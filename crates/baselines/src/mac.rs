@@ -1,0 +1,101 @@
+//! MAC-array accelerator model (the Table II "MAC" column).
+//!
+//! Models a weight-stationary systolic array à la AutoSA \[14\] (with the
+//! improvements of \[12\]): a `rows × cols` grid of MACs, per-layer
+//! utilization limited by how well the layer's fan-in/neuron dimensions
+//! fill the array, a fixed per-layer launch + off-chip round-trip
+//! overhead (intermediate feature maps travel through DRAM at batch 1 —
+//! the cost the LPU avoids by keeping everything on-chip, §VI-B), and a
+//! weight-streaming bandwidth bound.
+
+use lbnn_models::zoo::{LayerShape, ModelShape};
+
+/// A systolic MAC-array accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacAccelerator {
+    /// Array rows (reduction / fan-in dimension).
+    pub rows: usize,
+    /// Array columns (neuron dimension).
+    pub cols: usize,
+    /// Clock in MHz.
+    pub freq_mhz: f64,
+    /// Per-layer fixed cost in microseconds (launch + off-chip feature
+    /// round trip at batch 1).
+    pub layer_overhead_us: f64,
+    /// Weight-streaming bandwidth in G-weights/s (8-bit weights).
+    pub weight_gps: f64,
+}
+
+impl Default for MacAccelerator {
+    /// Calibrated against the paper's VGG16 and LeNet-5 MAC rows
+    /// (0.12K / 0.48K FPS).
+    fn default() -> Self {
+        MacAccelerator {
+            rows: 128,
+            cols: 128,
+            freq_mhz: 550.0,
+            layer_overhead_us: 400.0,
+            weight_gps: 25.0,
+        }
+    }
+}
+
+impl MacAccelerator {
+    /// Seconds spent on one layer.
+    pub fn layer_seconds(&self, layer: &LayerShape) -> f64 {
+        let macs = layer.macs() as f64;
+        // Utilization: both array dimensions must be filled.
+        let util_rows = (layer.fan_in() as f64 / self.rows as f64).min(1.0);
+        let util_cols = (layer.neurons() as f64 / self.cols as f64).min(1.0);
+        let peak = self.rows as f64 * self.cols as f64 * self.freq_mhz * 1e6;
+        let compute = macs / (peak * util_rows * util_cols);
+        // Weights streamed from DRAM once per image at batch 1.
+        let weights = layer.fan_in() as f64 * layer.neurons() as f64;
+        let streaming = weights / (self.weight_gps * 1e9);
+        compute.max(streaming) + self.layer_overhead_us * 1e-6
+    }
+
+    /// Frames per second over a whole model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no layers.
+    pub fn fps(&self, model: &ModelShape) -> f64 {
+        assert!(!model.layers.is_empty(), "model has no layers");
+        let total: f64 = model.layers.iter().map(|l| self.layer_seconds(l)).sum();
+        1.0 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_models::zoo;
+
+    #[test]
+    fn vgg16_and_lenet_land_near_paper() {
+        let acc = MacAccelerator::default();
+        let vgg = acc.fps(&zoo::vgg16_layers_2_13());
+        let lenet = acc.fps(&zoo::lenet5());
+        // Paper: 0.12K and 0.48K. Accept a 2x band (analytic model).
+        assert!((60.0..240.0).contains(&vgg), "VGG16 MAC fps = {vgg}");
+        assert!((240.0..960.0).contains(&lenet), "LeNet MAC fps = {lenet}");
+    }
+
+    #[test]
+    fn bigger_models_are_slower() {
+        let acc = MacAccelerator::default();
+        assert!(acc.fps(&zoo::vgg16_layers_2_13()) < acc.fps(&zoo::chewbacca_vgg()));
+        assert!(acc.fps(&zoo::chewbacca_vgg()) < acc.fps(&zoo::lenet5()));
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_layers() {
+        let acc = MacAccelerator::default();
+        let t = acc.layer_seconds(&zoo::lenet5().layers[0]);
+        assert!(
+            (t - acc.layer_overhead_us * 1e-6).abs() / t < 0.1,
+            "tiny conv should be overhead-bound"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! XNOR (FINN-style) accelerator model (the Table II "XNOR" column).
+//!
+//! FINN \[16\] builds one matrix-vector-threshold unit per layer and
+//! streams activations through a dataflow pipeline. With the operation
+//! packing of the paper's improved baseline, the fabric sustains
+//! `binops_per_cycle` XNOR-popcount operations; per-layer folding still
+//! costs a fixed pipeline-fill overhead per image at batch 1.
+
+use lbnn_models::zoo::{LayerShape, ModelShape};
+
+/// A FINN-style binarized accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XnorAccelerator {
+    /// Sustained binary operations per cycle across all MVTUs.
+    pub binops_per_cycle: f64,
+    /// Clock in MHz.
+    pub freq_mhz: f64,
+    /// Per-layer pipeline-fill/synchronization overhead in microseconds.
+    pub layer_overhead_us: f64,
+}
+
+impl Default for XnorAccelerator {
+    /// Calibrated against the paper's VGG16 XNOR row (0.83K FPS).
+    fn default() -> Self {
+        XnorAccelerator {
+            binops_per_cycle: 65_536.0,
+            freq_mhz: 250.0,
+            layer_overhead_us: 55.0,
+        }
+    }
+}
+
+impl XnorAccelerator {
+    /// Seconds spent on one layer.
+    pub fn layer_seconds(&self, layer: &LayerShape) -> f64 {
+        let binops = layer.macs() as f64;
+        let peak = self.binops_per_cycle * self.freq_mhz * 1e6;
+        binops / peak + self.layer_overhead_us * 1e-6
+    }
+
+    /// Frames per second over a whole model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no layers.
+    pub fn fps(&self, model: &ModelShape) -> f64 {
+        assert!(!model.layers.is_empty(), "model has no layers");
+        let total: f64 = model.layers.iter().map(|l| self.layer_seconds(l)).sum();
+        1.0 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_models::zoo;
+
+    #[test]
+    fn vgg16_lands_near_paper() {
+        let acc = XnorAccelerator::default();
+        let vgg = acc.fps(&zoo::vgg16_layers_2_13());
+        // Paper: 0.83K FPS; accept a 2x band.
+        assert!((415.0..1660.0).contains(&vgg), "VGG16 XNOR fps = {vgg}");
+    }
+
+    #[test]
+    fn xnor_beats_mac_on_binary_workloads() {
+        let xnor = XnorAccelerator::default();
+        let mac = crate::mac::MacAccelerator::default();
+        for model in [zoo::vgg16_layers_2_13(), zoo::lenet5(), zoo::mlpmixer_s4()] {
+            assert!(
+                xnor.fps(&model) > mac.fps(&model),
+                "{}: binary fabric should outrun the MAC array",
+                model.name
+            );
+        }
+    }
+}

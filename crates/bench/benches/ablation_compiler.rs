@@ -1,0 +1,93 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! stop-rule variants (paper pseudocode `>= m` vs conditions `> m`) and
+//! shared vs duplicated children.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_bench::bench_workload_options;
+use lbnn_core::compiler::partition::{partition, PartitionOptions, StopRule};
+use lbnn_core::flow::{Flow, FlowOptions};
+use lbnn_core::lpu::multi::{Assembly, MultiLpu};
+use lbnn_core::lpu::{hetero, LpuConfig};
+use lbnn_models::workload::layer_workload;
+use lbnn_models::zoo;
+use lbnn_netlist::balance::balance;
+use lbnn_netlist::Levels;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let wl = bench_workload_options();
+    let model = zoo::lenet5();
+    let workload = layer_workload(&model.layers[2], 2, &wl);
+    let (balanced, _) = balance(&workload.netlist);
+    let levels = Levels::compute(&balanced);
+    let m = 64;
+
+    // Report the partition sizes once (ablation data).
+    for (label, opts) in [
+        ("GtM/shared", PartitionOptions::default()),
+        (
+            "GeqM/shared",
+            PartitionOptions {
+                stop_rule: StopRule::GeqM,
+                ..Default::default()
+            },
+        ),
+        (
+            "GtM/duplicated",
+            PartitionOptions {
+                duplicate_children: true,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let part = partition(&balanced, &levels, m, opts).unwrap();
+        println!(
+            "ablation {label}: {} MFGs, {} executed nodes",
+            part.mfg_count(),
+            part.executed_nodes()
+        );
+    }
+
+    // Future-work ablations: heterogeneous LPV sizing and multi-LPU
+    // assemblies on the same block.
+    let config = LpuConfig::new(m, 8);
+    let flow = Flow::compile(&balanced, &config, &FlowOptions::default()).unwrap();
+    let proposal = hetero::propose(&flow.program, &config);
+    println!(
+        "ablation hetero: per-LPV LPEs {:?}, LUT saving {:.1}%, FF saving {:.1}%",
+        proposal.lpes_per_lpv,
+        100.0 * proposal.lut_saving,
+        100.0 * proposal.ff_saving
+    );
+    for k in [1usize, 2, 4] {
+        let series = MultiLpu::new(LpuConfig::new(m, 4), Assembly::Series(k))
+            .evaluate(&balanced, &FlowOptions::default())
+            .unwrap();
+        println!(
+            "ablation series x{k}: latency {} clk, II {:.0} clk",
+            series.latency_clk, series.ii_clk
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_stop_rule");
+    g.bench_function("partition_gtm", |b| {
+        b.iter(|| black_box(partition(&balanced, &levels, m, PartitionOptions::default())))
+    });
+    g.bench_function("partition_geqm", |b| {
+        b.iter(|| {
+            black_box(partition(
+                &balanced,
+                &levels,
+                m,
+                PartitionOptions {
+                    stop_rule: StopRule::GeqM,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

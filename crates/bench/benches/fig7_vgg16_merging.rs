@@ -1,0 +1,34 @@
+//! Criterion bench behind **Fig 7**: the partition + merge pipeline on a
+//! VGG16 layer block, merging on vs off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_bench::bench_workload_options;
+use lbnn_core::compiler::merge::merge_mfgs;
+use lbnn_core::compiler::partition::{partition, PartitionOptions};
+use lbnn_models::workload::layer_workload;
+use lbnn_models::zoo;
+use lbnn_netlist::balance::balance;
+use lbnn_netlist::Levels;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let wl = bench_workload_options();
+    let model = zoo::vgg16_layers_2_13();
+    let workload = layer_workload(&model.layers[3], 3, &wl);
+    let (balanced, _) = balance(&workload.netlist);
+    let levels = Levels::compute(&balanced);
+    let m = 64;
+
+    let mut g = c.benchmark_group("fig7_partition_merge");
+    g.bench_function("partition", |b| {
+        b.iter(|| {
+            black_box(partition(&balanced, &levels, m, PartitionOptions::default()).unwrap())
+        })
+    });
+    let part = partition(&balanced, &levels, m, PartitionOptions::default()).unwrap();
+    g.bench_function("merge", |b| b.iter(|| black_box(merge_mfgs(&part, m))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind **Fig 8**: merging across the model zoo's
+//! small models (JSC-M, NID).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_bench::bench_workload_options;
+use lbnn_core::compiler::merge::merge_mfgs;
+use lbnn_core::compiler::partition::{partition, PartitionOptions};
+use lbnn_models::workload::model_workloads;
+use lbnn_models::zoo;
+use lbnn_netlist::balance::balance;
+use lbnn_netlist::Levels;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let wl = bench_workload_options();
+    let mut g = c.benchmark_group("fig8_merge_models");
+    for model in [zoo::jsc_m(), zoo::nid()] {
+        let workloads = model_workloads(&model, &wl);
+        let prepared: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                let (balanced, _) = balance(&w.netlist);
+                let levels = Levels::compute(&balanced);
+                
+                partition(&balanced, &levels, 64, PartitionOptions::default()).unwrap()
+            })
+            .collect();
+        g.bench_function(format!("merge_{}", model.name), |b| {
+            b.iter(|| {
+                for part in &prepared {
+                    black_box(merge_mfgs(part, 64));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

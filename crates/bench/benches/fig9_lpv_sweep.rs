@@ -1,0 +1,35 @@
+//! Criterion bench behind **Fig 9**: the space-time scheduler across LPV
+//! counts on a LeNet-5 block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_bench::bench_workload_options;
+use lbnn_core::compiler::merge::merge_mfgs;
+use lbnn_core::compiler::partition::{partition, PartitionOptions};
+use lbnn_core::compiler::schedule::schedule_spacetime;
+use lbnn_models::workload::layer_workload;
+use lbnn_models::zoo;
+use lbnn_netlist::balance::balance;
+use lbnn_netlist::Levels;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let wl = bench_workload_options();
+    let model = zoo::lenet5();
+    let workload = layer_workload(&model.layers[2], 2, &wl);
+    let (balanced, _) = balance(&workload.netlist);
+    let levels = Levels::compute(&balanced);
+    let m = 64;
+    let raw = partition(&balanced, &levels, m, PartitionOptions::default()).unwrap();
+    let (part, _) = merge_mfgs(&raw, m);
+
+    let mut g = c.benchmark_group("fig9_schedule");
+    for n in [2usize, 4, 16] {
+        g.bench_function(format!("schedule_n{n}"), |b| {
+            b.iter(|| black_box(schedule_spacetime(&part, n, m).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench behind **Table I**: cost of the analytical FPGA
+//! resource model across LPU configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_core::lpu::resource::estimate;
+use lbnn_core::lpu::LpuConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_resources");
+    for (m, n) in [(64usize, 8usize), (64, 16), (128, 16)] {
+        let config = LpuConfig::new(m, n);
+        g.bench_function(format!("estimate_m{m}_n{n}"), |b| {
+            b.iter(|| black_box(estimate(black_box(&config))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

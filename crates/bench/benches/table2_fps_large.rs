@@ -1,0 +1,36 @@
+//! Criterion bench behind **Table II**: end-to-end compile time of one
+//! VGG16 conv-layer FFCL block on the paper's LPU configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_bench::bench_workload_options;
+use lbnn_core::flow::{Flow, FlowOptions};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_models::workload::layer_workload;
+use lbnn_models::zoo;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = LpuConfig::paper_default();
+    let wl = bench_workload_options();
+    let model = zoo::vgg16_layers_2_13();
+    // L8: a 256->512 conv block, mid-size.
+    let workload = layer_workload(&model.layers[7], 7, &wl);
+
+    let mut g = c.benchmark_group("table2_vgg16_block");
+    g.sample_size(10);
+    g.bench_function("compile_block", |b| {
+        b.iter(|| {
+            black_box(
+                Flow::compile(&workload.netlist, &config, &FlowOptions::default()).unwrap(),
+            )
+        })
+    });
+    let flow = Flow::compile(&workload.netlist, &config, &FlowOptions::default()).unwrap();
+    g.bench_function("verify_block", |b| {
+        b.iter(|| black_box(flow.verify_against_netlist(1).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench behind **Table III**: compile + cycle-accurate
+//! simulation of the NID first-layer FFCL block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_bench::table3_workload_options;
+use lbnn_core::flow::{Flow, FlowOptions};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_models::workload::layer_workload;
+use lbnn_models::zoo;
+use lbnn_netlist::Lanes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = LpuConfig::paper_default();
+    let wl = table3_workload_options();
+    let model = zoo::nid();
+    let workload = layer_workload(&model.layers[0], 0, &wl);
+
+    let mut g = c.benchmark_group("table3_nid_block");
+    g.sample_size(10);
+    g.bench_function("compile_block", |b| {
+        b.iter(|| {
+            black_box(
+                Flow::compile(&workload.netlist, &config, &FlowOptions::default()).unwrap(),
+            )
+        })
+    });
+    let flow = Flow::compile(&workload.netlist, &config, &FlowOptions::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let inputs: Vec<Lanes> = (0..workload.netlist.inputs().len())
+        .map(|_| {
+            let bits: Vec<bool> = (0..config.operand_bits()).map(|_| rng.random_bool(0.5)).collect();
+            Lanes::from_bools(&bits)
+        })
+        .collect();
+    g.bench_function("simulate_block_128_lanes", |b| {
+        b.iter(|| black_box(flow.simulate(&inputs).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates **Fig 7**: per-layer computation time (a) and MFG count
+//! (b) for VGG16 layers 2-13, with and without the merging procedure.
+
+use lbnn_bench::{bench_workload_options, evaluate_model};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_models::zoo;
+
+fn main() {
+    let config = LpuConfig::paper_default();
+    let wl = bench_workload_options();
+    let model = zoo::vgg16_layers_2_13();
+    let merged = evaluate_model(&model, &config, &wl, true);
+    let unmerged = evaluate_model(&model, &config, &wl, false);
+
+    println!("Fig 7a: VGG16 layers [2:13], clock cycles per image (Kcycles)");
+    println!("{:<8} {:>16} {:>16} {:>9}", "layer", "no merging", "with merging", "gain");
+    for (u, m) in unmerged.layers.iter().zip(&merged.layers) {
+        println!(
+            "{:<8} {:>16.1} {:>16.1} {:>8.2}x",
+            u.name,
+            u.cycles_per_image / 1e3,
+            m.cycles_per_image / 1e3,
+            u.cycles_per_image / m.cycles_per_image
+        );
+    }
+    println!();
+    println!("Fig 7b: VGG16 layers [2:13], MFG count");
+    println!("{:<8} {:>16} {:>16} {:>9}", "layer", "no merging", "with merging", "gain");
+    for (u, m) in unmerged.layers.iter().zip(&merged.layers) {
+        println!(
+            "{:<8} {:>16} {:>16} {:>8.2}x",
+            u.name,
+            u.mfgs_after,
+            m.mfgs_after,
+            u.mfgs_after as f64 / m.mfgs_after as f64
+        );
+    }
+    println!();
+    println!(
+        "Correlation (paper: computation time tracks MFG count): totals {} -> {} MFGs, {:.1}K -> {:.1}K cycles",
+        unmerged.mfgs_after(),
+        merged.mfgs_after(),
+        unmerged.total_cycles_per_image / 1e3,
+        merged.total_cycles_per_image / 1e3
+    );
+}

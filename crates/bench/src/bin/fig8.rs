@@ -1,0 +1,43 @@
+//! Regenerates **Fig 8**: throughput (a) and MFG count (b) before/after
+//! the merging procedure, across all benchmark models.
+//! Paper: 5.2x average throughput gain; MFG count reduced up to 9.4x.
+
+use lbnn_bench::{bench_workload_options, evaluate_model, fmt_fps};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_models::zoo;
+
+fn main() {
+    let config = LpuConfig::paper_default();
+    let wl = bench_workload_options();
+
+    println!("Fig 8: effect of the MFG merging procedure (all models)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8} {:>9} {:>9} {:>8}",
+        "model", "fps before", "fps after", "gain", "MFGs", "merged", "reduct"
+    );
+    let mut gains = Vec::new();
+    let mut max_reduction: f64 = 0.0;
+    for model in zoo::all_models() {
+        let merged = evaluate_model(&model, &config, &wl, true);
+        let unmerged = evaluate_model(&model, &config, &wl, false);
+        let gain = merged.fps / unmerged.fps;
+        let reduction = unmerged.mfgs_after() as f64 / merged.mfgs_after() as f64;
+        gains.push(gain);
+        max_reduction = max_reduction.max(reduction);
+        println!(
+            "{:<22} {:>12} {:>12} {:>7.2}x {:>9} {:>9} {:>7.2}x",
+            model.name,
+            fmt_fps(unmerged.fps),
+            fmt_fps(merged.fps),
+            gain,
+            unmerged.mfgs_after(),
+            merged.mfgs_after(),
+            reduction
+        );
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    println!();
+    println!(
+        "Average throughput gain {avg:.1}x (paper: 5.2x); max MFG reduction {max_reduction:.1}x (paper: up to 9.4x)"
+    );
+}

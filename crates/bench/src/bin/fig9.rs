@@ -1,0 +1,36 @@
+//! Regenerates **Fig 9**: inference time of VGG16 and LeNet-5 versus the
+//! LPV count, with the NullaDSP level marking the *effective LPV
+//! threshold* (paper: 2 LPVs for VGG16).
+
+use lbnn_baselines::NullaDsp;
+use lbnn_bench::{bench_workload_options, evaluate_model};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_models::zoo;
+
+fn main() {
+    let wl = bench_workload_options();
+    let sweeps: &[usize] = &[1, 2, 4, 8, 12, 16, 20, 24, 32];
+    let dsp = NullaDsp::default();
+
+    for model in [zoo::vgg16_layers_2_13(), zoo::lenet5()] {
+        let dsp_us = 1e6 / dsp.fps(&model);
+        println!("Fig 9: {} inference time vs LPV count (m = 64)", model.name);
+        println!("{:>6} {:>16} {:>12}", "LPVs", "time/image (us)", "vs NullaDSP");
+        let mut threshold: Option<usize> = None;
+        for &n in sweeps {
+            let config = LpuConfig::new(64, n);
+            let report = evaluate_model(&model, &config, &wl, true);
+            let us = 1e6 / report.fps;
+            if threshold.is_none() && us <= dsp_us {
+                threshold = Some(n);
+            }
+            println!("{:>6} {:>16.2} {:>11.2}x", n, us, dsp_us / us);
+        }
+        println!(
+            "NullaDSP reference: {:.2} us/image; effective LPV threshold = {} (paper: 2 for VGG16)",
+            dsp_us,
+            threshold.map_or("n/a".to_string(), |n| n.to_string())
+        );
+        println!();
+    }
+}

@@ -1,0 +1,222 @@
+//! `lbnnc` — the command-line compiler driver: structural Verilog in,
+//! compiled/verified LPU program out. The CLI face of the paper's Fig 1
+//! flow.
+//!
+//! ```text
+//! lbnnc <input.v> [options]
+//!   --m <N>            LPEs per LPV            (default 64)
+//!   --n <N>            LPVs per LPU            (default 16)
+//!   --no-merge         skip the MFG merging procedure (Algorithm 3)
+//!   --no-opt           skip logic optimization
+//!   --geq              use the pseudocode stop rule (>= m) instead of > m
+//!   --verify <SEED>    run the cycle-accurate machine against the netlist
+//!   --diagram          print the time-space schedule
+//!   --emit-verilog <F> write the mapped, balanced netlist as Verilog
+//!   --encode           report the binary program image size
+//! ```
+
+use std::process::ExitCode;
+
+use lbnn_core::compiler::isa::encode_program;
+use lbnn_core::compiler::partition::StopRule;
+use lbnn_core::compiler::schedule::lpv_of_level;
+use lbnn_core::flow::{Flow, FlowOptions};
+use lbnn_core::lpu::resource::estimate_with_depth;
+use lbnn_core::lpu::LpuConfig;
+use lbnn_netlist::verilog::{parse_verilog, write_verilog};
+
+struct Args {
+    input: String,
+    m: usize,
+    n: usize,
+    merge: bool,
+    optimize: bool,
+    geq: bool,
+    verify: Option<u64>,
+    diagram: bool,
+    emit_verilog: Option<String>,
+    encode: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lbnnc <input.v> [--m N] [--n N] [--no-merge] [--no-opt] [--geq]\n\
+         \u{20}             [--verify SEED] [--diagram] [--emit-verilog FILE] [--encode]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: String::new(),
+        m: 64,
+        n: 16,
+        merge: true,
+        optimize: true,
+        geq: false,
+        verify: None,
+        diagram: false,
+        emit_verilog: None,
+        encode: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--m" => args.m = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--n" => args.n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--no-merge" => args.merge = false,
+            "--no-opt" => args.optimize = false,
+            "--geq" => args.geq = true,
+            "--verify" => {
+                args.verify =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--diagram" => args.diagram = true,
+            "--emit-verilog" => args.emit_verilog = Some(it.next().unwrap_or_else(|| usage())),
+            "--encode" => args.encode = true,
+            "--help" | "-h" => usage(),
+            other if args.input.is_empty() && !other.starts_with('-') => {
+                args.input = other.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if args.input.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let src = match std::fs::read_to_string(&args.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lbnnc: cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let netlist = match parse_verilog(&src) {
+        Ok(nl) => nl,
+        Err(e) => {
+            eprintln!("lbnnc: parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "parsed `{}`: {} inputs, {} outputs, {} gates",
+        netlist.name(),
+        netlist.inputs().len(),
+        netlist.outputs().len(),
+        netlist.gate_count()
+    );
+
+    let config = LpuConfig::new(args.m, args.n);
+    let mut options = FlowOptions {
+        merge: args.merge,
+        optimize: args.optimize,
+        ..Default::default()
+    };
+    if args.geq {
+        options.partition.stop_rule = StopRule::GeqM;
+    }
+    let flow = match Flow::compile(&netlist, &config, &options) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lbnnc: compilation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "compiled for m={}, n={} @ {:.0} MHz (tc = {}):",
+        config.m,
+        config.n,
+        config.freq_mhz,
+        config.tc()
+    );
+    println!(
+        "  {} gates, depth {}, {} balance buffers",
+        flow.stats.gates, flow.stats.depth, flow.stats.balance_buffers
+    );
+    println!(
+        "  {} MFGs ({} before merging), {} node executions",
+        flow.stats.mfgs, flow.stats.mfgs_before_merge, flow.stats.executed_nodes
+    );
+    println!(
+        "  latency {} clk, steady-state II {} clk, queue depth {}",
+        flow.stats.clock_cycles, flow.stats.steady_clock_cycles, flow.stats.queue_depth
+    );
+    let t = flow.throughput();
+    println!(
+        "  throughput {:.3} M results/s at {} lanes/pass, occupancy {:.1}%",
+        t.fps / 1e6,
+        t.batch,
+        100.0 * flow.occupancy()
+    );
+    let r = estimate_with_depth(&config, flow.stats.queue_depth);
+    println!(
+        "  estimated FPGA cost: {} FF, {} LUT, {} Kb BRAM",
+        r.ff, r.lut, r.bram_kb
+    );
+
+    if let Some(seed) = args.verify {
+        match flow.verify_against_netlist(seed) {
+            Ok(rep) => println!(
+                "verify: OK — bit-exact on {} lanes x {} outputs (seed {seed})",
+                rep.lanes_checked, rep.outputs_checked
+            ),
+            Err(e) => {
+                eprintln!("lbnnc: VERIFICATION FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.encode {
+        match encode_program(&flow.program) {
+            Ok(img) => println!(
+                "encoded image: {} bits ({} Kb) across {} x {} queue slots of {} bits",
+                img.total_bits(),
+                img.total_bits() / 1024,
+                config.n,
+                img.queue_depth,
+                img.format.word_bits()
+            ),
+            Err(e) => {
+                eprintln!("lbnnc: encoding failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.diagram {
+        println!("\ntime-space schedule (rows = LPVs, cols = compute cycles):");
+        let cycles = flow.schedule.total_cycles;
+        let mut grid = vec![vec![' '; cycles]; config.n];
+        for (i, mfg) in flow.partition.mfgs.iter().enumerate() {
+            let letter = (b'A' + (i % 26) as u8) as char;
+            for &start in &flow.schedule.executions[i] {
+                for d in 0..mfg.depth() {
+                    let lpv = lpv_of_level(mfg.bottom() + d as u32, config.n);
+                    grid[lpv][start + d] = letter;
+                }
+            }
+        }
+        for (lpv, row) in grid.iter().enumerate() {
+            let line: String = row.iter().collect();
+            println!("  LPV{lpv:<3} |{line}|");
+        }
+    }
+
+    if let Some(path) = args.emit_verilog {
+        let text = write_verilog(&flow.netlist);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("lbnnc: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("mapped netlist written to {path}");
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,253 @@
+//! # lbnn-bench
+//!
+//! The evaluation harness: compiles the model-zoo workloads onto the LPU,
+//! measures cycle counts with the cycle-accurate simulator, combines them
+//! with the analytic baselines, and formats the rows of every table and
+//! figure of the paper. The `src/bin` binaries (`table1`–`table3`,
+//! `fig7`–`fig9`, `all`) print paper-vs-reproduced rows; the Criterion
+//! benches under `benches/` measure the implementation itself on the same
+//! workloads.
+
+use lbnn_core::flow::{Flow, FlowOptions};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_models::workload::{model_workloads, LayerWorkload, WorkloadOptions};
+use lbnn_models::zoo::ModelShape;
+
+/// Per-layer evaluation result.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Layer label.
+    pub name: String,
+    /// Gates in the compiled block (after optimization + balancing).
+    pub gates: usize,
+    /// Logic depth of the block.
+    pub depth: u32,
+    /// MFG count before merging.
+    pub mfgs_before: usize,
+    /// MFG count after merging.
+    pub mfgs_after: usize,
+    /// Instruction-queue depth (steady-state initiation interval in
+    /// compute cycles).
+    pub queue_depth: usize,
+    /// One-pass latency in clock cycles.
+    pub latency_clk: u64,
+    /// Steady-state clocks per pass (initiation interval × tc).
+    pub ii_clk: u64,
+    /// LPE occupancy of the steady-state schedule.
+    pub occupancy: f64,
+    /// Block passes per input image.
+    pub passes_per_image: f64,
+    /// Clock cycles per input image for this layer.
+    pub cycles_per_image: f64,
+}
+
+/// Whole-model evaluation result.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Model name.
+    pub model: String,
+    /// Per-layer reports.
+    pub layers: Vec<LayerReport>,
+    /// Total clock cycles per image.
+    pub total_cycles_per_image: f64,
+    /// Frames per second at the configuration's clock.
+    pub fps: f64,
+    /// Machine configuration used.
+    pub config: LpuConfig,
+}
+
+impl ModelReport {
+    /// Total MFGs across layers before merging.
+    pub fn mfgs_before(&self) -> usize {
+        self.layers.iter().map(|l| l.mfgs_before).sum()
+    }
+
+    /// Total MFGs across layers after merging.
+    pub fn mfgs_after(&self) -> usize {
+        self.layers.iter().map(|l| l.mfgs_after).sum()
+    }
+}
+
+/// Workload defaults for the Table II / Fig 7-9 benches: NullaNet-Tiny
+/// style bounded fan-in (6 inputs per neuron, exact truth-table
+/// extraction) and blocks of up to 256 neurons so merged MFGs fill the
+/// LPVs densely.
+pub fn bench_workload_options() -> WorkloadOptions {
+    WorkloadOptions {
+        block_neurons: 256,
+        max_fanin: 6,
+        exact_fanin: 10,
+        isf_samples: 48,
+        seed: 2023,
+    }
+}
+
+/// Compiles one layer workload and derives its per-image cost.
+///
+/// # Panics
+///
+/// Panics if compilation fails (bench workloads are all schedulable).
+pub fn evaluate_layer(
+    workload: &LayerWorkload,
+    config: &LpuConfig,
+    merge: bool,
+) -> LayerReport {
+    let options = FlowOptions {
+        merge,
+        ..Default::default()
+    };
+    let flow = Flow::compile(&workload.netlist, config, &options)
+        .unwrap_or_else(|e| panic!("layer {} failed to compile: {e}", workload.name));
+    let lanes = config.operand_bits();
+    let ii_clk = flow.stats.steady_clock_cycles;
+    let passes = workload.passes_per_image(lanes);
+    LayerReport {
+        name: workload.name.clone(),
+        gates: flow.stats.gates,
+        depth: flow.stats.depth,
+        mfgs_before: flow.stats.mfgs_before_merge,
+        mfgs_after: flow.stats.mfgs,
+        queue_depth: flow.stats.queue_depth,
+        latency_clk: flow.stats.clock_cycles,
+        ii_clk,
+        occupancy: flow.occupancy(),
+        passes_per_image: passes,
+        cycles_per_image: ii_clk as f64 * passes,
+    }
+}
+
+/// Evaluates a whole model on the LPU.
+pub fn evaluate_model(
+    model: &ModelShape,
+    config: &LpuConfig,
+    wl: &WorkloadOptions,
+    merge: bool,
+) -> ModelReport {
+    let workloads = model_workloads(model, wl);
+    let layers: Vec<LayerReport> = workloads
+        .iter()
+        .map(|w| evaluate_layer(w, config, merge))
+        .collect();
+    let total: f64 = layers.iter().map(|l| l.cycles_per_image).sum();
+    let fps = config.freq_mhz * 1e6 / total;
+    ModelReport {
+        model: model.name.to_string(),
+        layers,
+        total_cycles_per_image: total,
+        fps,
+        config: *config,
+    }
+}
+
+/// Evaluates a model in *latency* (single-stream) mode: one sample in
+/// flight, each block pass costs its full fill+drain latency, and blocks
+/// run sequentially. This matches the deployment of the Table III
+/// extreme-throughput tasks, where a detector processes one event at a
+/// time (LogicNets streams one sample per clock; the LPU runs one program
+/// pass per sample).
+pub fn evaluate_model_latency(
+    model: &ModelShape,
+    config: &LpuConfig,
+    wl: &WorkloadOptions,
+    merge: bool,
+) -> ModelReport {
+    let workloads = model_workloads(model, wl);
+    let layers: Vec<LayerReport> = workloads
+        .iter()
+        .map(|w| {
+            let mut report = evaluate_layer(w, config, merge);
+            // One sample: every block runs once at full latency.
+            report.passes_per_image = w.blocks as f64 * w.sites as f64;
+            report.cycles_per_image = report.latency_clk as f64 * report.passes_per_image;
+            report
+        })
+        .collect();
+    let total: f64 = layers.iter().map(|l| l.cycles_per_image).sum();
+    let fps = config.freq_mhz * 1e6 / total;
+    ModelReport {
+        model: model.name.to_string(),
+        layers,
+        total_cycles_per_image: total,
+        fps,
+        config: *config,
+    }
+}
+
+/// Workload options for the Table III tasks: realistic fan-in (the
+/// physics/security nets keep wide first layers; ISF extraction from
+/// observed samples, as NullaNet does on real data).
+pub fn table3_workload_options() -> WorkloadOptions {
+    WorkloadOptions {
+        block_neurons: 64,
+        max_fanin: 64,
+        exact_fanin: 8,
+        isf_samples: 96,
+        seed: 2023,
+    }
+}
+
+/// Formats an FPS value the way the paper's tables do (`0.12K`,
+/// `103.99K`, `8.39M`).
+pub fn fmt_fps(fps: f64) -> String {
+    if fps >= 1e6 {
+        format!("{:.2}M", fps / 1e6)
+    } else if fps >= 1e3 {
+        format!("{:.2}K", fps / 1e3)
+    } else {
+        format!("{fps:.2}")
+    }
+}
+
+/// Formats an optional FPS cell (dash for `None`, like the paper).
+pub fn fmt_fps_opt(fps: Option<f64>) -> String {
+    fps.map_or_else(|| "-".to_string(), fmt_fps)
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", row.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_models::zoo;
+
+    #[test]
+    fn fmt_matches_paper_style() {
+        assert_eq!(fmt_fps(103_990.0), "103.99K");
+        assert_eq!(fmt_fps(8_390_000.0), "8.39M");
+        assert_eq!(fmt_fps(120.0), "120.00");
+        assert_eq!(fmt_fps_opt(None), "-");
+    }
+
+    #[test]
+    fn small_model_evaluates() {
+        let model = zoo::jsc_m();
+        let config = LpuConfig::new(16, 4);
+        let report = evaluate_model(&model, &config, &bench_workload_options(), true);
+        assert_eq!(report.layers.len(), model.layers.len());
+        assert!(report.fps > 0.0);
+        assert!(report.total_cycles_per_image > 0.0);
+        for layer in &report.layers {
+            assert!(layer.occupancy > 0.0 && layer.occupancy <= 1.0);
+            assert!(layer.ii_clk <= layer.latency_clk);
+        }
+    }
+
+    #[test]
+    fn merging_improves_or_matches_throughput() {
+        let model = zoo::jsc_m();
+        let config = LpuConfig::new(16, 4);
+        let wl = bench_workload_options();
+        let merged = evaluate_model(&model, &config, &wl, true);
+        let unmerged = evaluate_model(&model, &config, &wl, false);
+        assert!(merged.mfgs_after() <= unmerged.mfgs_after());
+        assert!(merged.fps >= unmerged.fps * 0.95, "merging should not hurt");
+    }
+}

@@ -1,0 +1,373 @@
+//! MFG merging — Algorithm 3 of the paper.
+//!
+//! The runtime of an inference task is primarily driven by the total MFG
+//! count, so sibling MFGs (children of the same parent) that share a bottom
+//! level and whose level-wise union stays within the LPE count `m` are
+//! greedily merged into multi-output MFGs. Fig 7/8 of the paper quantify
+//! the effect; the benches regenerate those figures.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use lbnn_netlist::NodeId;
+
+use crate::compiler::mfg::{Mfg, MfgId};
+use crate::compiler::partition::Partition;
+
+/// Statistics reported by [`merge_mfgs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// MFG count before merging.
+    pub before: usize,
+    /// MFG count after merging.
+    pub after: usize,
+    /// Number of pairwise merges performed.
+    pub merges: usize,
+}
+
+/// The paper's `checkLevel`: `true` when the two MFGs can merge, i.e. they
+/// share the same level range and every level's node-set union has at most
+/// `m` nodes.
+pub fn check_level(a: &Mfg, b: &Mfg, m: usize) -> bool {
+    if a.bottom() != b.bottom() || a.top() != b.top() {
+        return false;
+    }
+    for (la, lb) in a.levels().iter().zip(b.levels()) {
+        // Both level vectors are sorted: count the union by merge-walk.
+        let mut union = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < la.len() || j < lb.len() {
+            union += 1;
+            if union > m {
+                return false;
+            }
+            if i < la.len() && (j >= lb.len() || la[i] < lb[j]) {
+                i += 1;
+            } else if j < lb.len() && (i >= la.len() || lb[j] < la[i]) {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    true
+}
+
+/// Merges two compatible MFGs into one multi-output MFG (level-wise union).
+fn union_mfgs(a: &Mfg, b: &Mfg) -> Mfg {
+    debug_assert_eq!(a.bottom(), b.bottom());
+    debug_assert_eq!(a.top(), b.top());
+    let levels: Vec<Vec<NodeId>> = a
+        .levels()
+        .iter()
+        .zip(b.levels())
+        .map(|(la, lb)| {
+            let mut v: Vec<NodeId> = la.iter().chain(lb).copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    let mut inputs: Vec<NodeId> = a.inputs().iter().chain(b.inputs()).copied().collect();
+    inputs.sort_unstable();
+    inputs.dedup();
+    Mfg::new(a.bottom(), levels, inputs)
+}
+
+/// Algorithm 3: greedy merging of same-bottom sibling MFGs, walking the MFG
+/// DAG breadth-first from the primary-output MFGs.
+///
+/// Returns the rewritten partition (dead MFGs compacted away, edges and
+/// producer maps rebuilt) and merge statistics.
+pub fn merge_mfgs(partition: &Partition, m: usize) -> (Partition, MergeStats) {
+    let mut mfgs: Vec<Mfg> = partition.mfgs.clone();
+    let mut children: Vec<Vec<MfgId>> = partition.children.clone();
+    let mut parents: Vec<Vec<MfgId>> = partition.parents.clone();
+    let mut alive: Vec<bool> = vec![true; mfgs.len()];
+    let mut merged_into: Vec<Option<MfgId>> = vec![None; mfgs.len()];
+    let mut merges = 0usize;
+
+    // Virtual super-root: treat the PO MFGs as one sibling group so they
+    // can merge with each other too ("rootMFG = the MFG contained PO(s)").
+    let mut queue: VecDeque<Option<MfgId>> = VecDeque::new();
+    queue.push_back(None); // None = the virtual root
+    let mut processed: HashSet<Option<MfgId>> = HashSet::new();
+
+    let mut po_group: Vec<MfgId> = partition.po_mfgs.clone();
+
+    while let Some(slot) = queue.pop_front() {
+        if !processed.insert(slot) {
+            continue;
+        }
+        // The sibling group to merge within.
+        let mut group: Vec<MfgId> = match slot {
+            None => po_group.clone(),
+            Some(p) => {
+                if !alive[p.index()] {
+                    continue;
+                }
+                children[p.index()].clone()
+            }
+        };
+        group.retain(|c| alive[c.index()]);
+        group.sort_unstable();
+        group.dedup();
+
+        // Greedy pairwise merging within the group.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            'pairs: for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    let (a, b) = (group[i], group[j]);
+                    if mfgs[a.index()].bottom() != mfgs[b.index()].bottom() {
+                        continue;
+                    }
+                    if !check_level(&mfgs[a.index()], &mfgs[b.index()], m) {
+                        continue;
+                    }
+                    // Merge b into a new MFG.
+                    let merged = union_mfgs(&mfgs[a.index()], &mfgs[b.index()]);
+                    let new_id = MfgId(mfgs.len() as u32);
+                    mfgs.push(merged);
+                    alive.push(true);
+                    merged_into.push(None);
+                    merged_into[a.index()] = Some(new_id);
+                    merged_into[b.index()] = Some(new_id);
+
+                    let mut kid_union: Vec<MfgId> = children[a.index()]
+                        .iter()
+                        .chain(&children[b.index()])
+                        .copied()
+                        .filter(|k| alive[k.index()])
+                        .collect();
+                    kid_union.sort_unstable();
+                    kid_union.dedup();
+                    let mut parent_union: Vec<MfgId> = parents[a.index()]
+                        .iter()
+                        .chain(&parents[b.index()])
+                        .copied()
+                        .filter(|p| alive[p.index()])
+                        .collect();
+                    parent_union.sort_unstable();
+                    parent_union.dedup();
+
+                    children.push(kid_union.clone());
+                    parents.push(parent_union.clone());
+
+                    // Rewire: parents' child lists and children's parent lists.
+                    for &p in &parent_union {
+                        let list = &mut children[p.index()];
+                        list.retain(|&k| k != a && k != b);
+                        list.push(new_id);
+                    }
+                    for &k in &kid_union {
+                        let list = &mut parents[k.index()];
+                        list.retain(|&p| p != a && p != b);
+                        if !list.contains(&new_id) {
+                            list.push(new_id);
+                        }
+                    }
+                    alive[a.index()] = false;
+                    alive[b.index()] = false;
+                    if slot.is_none() {
+                        po_group.retain(|&x| x != a && x != b);
+                        po_group.push(new_id);
+                    }
+                    merges += 1;
+
+                    group.remove(j);
+                    group.remove(i);
+                    group.push(new_id);
+                    changed = true;
+                    break 'pairs;
+                }
+            }
+        }
+        for &kid in &group {
+            queue.push_back(Some(kid));
+        }
+    }
+
+    // Compact: drop dead MFGs and re-densify ids.
+    let mut remap: Vec<Option<MfgId>> = vec![None; mfgs.len()];
+    let mut out_mfgs: Vec<Mfg> = Vec::new();
+    for (i, mfg) in mfgs.iter().enumerate() {
+        if alive[i] {
+            remap[i] = Some(MfgId(out_mfgs.len() as u32));
+            out_mfgs.push(mfg.clone());
+        }
+    }
+    let map = |id: MfgId| remap[id.index()].expect("alive edges reference alive MFGs");
+    let mut out_children: Vec<Vec<MfgId>> = Vec::with_capacity(out_mfgs.len());
+    let mut out_parents: Vec<Vec<MfgId>> = Vec::with_capacity(out_mfgs.len());
+    for i in 0..mfgs.len() {
+        if !alive[i] {
+            continue;
+        }
+        let mut kids: Vec<MfgId> = children[i]
+            .iter()
+            .filter(|k| alive[k.index()])
+            .map(|&k| map(k))
+            .collect();
+        kids.sort_unstable();
+        kids.dedup();
+        out_children.push(kids);
+        let mut ps: Vec<MfgId> = parents[i]
+            .iter()
+            .filter(|p| alive[p.index()])
+            .map(|&p| map(p))
+            .collect();
+        ps.sort_unstable();
+        ps.dedup();
+        out_parents.push(ps);
+    }
+
+    // Resolve an original id through the chain of merges to its final
+    // (compacted) id.
+    let resolve = |mut id: MfgId| -> MfgId {
+        while let Some(next) = merged_into[id.index()] {
+            id = next;
+        }
+        map(id)
+    };
+
+    // Rebuild the parent-scoped producer map and the PO producer map.
+    let mut producer_of: HashMap<(MfgId, NodeId), MfgId> = HashMap::new();
+    for (&(parent, node), &child) in &partition.producer_of {
+        producer_of.insert((resolve(parent), node), resolve(child));
+    }
+    let mut po_producer: HashMap<NodeId, MfgId> = HashMap::new();
+    for (&node, &id) in &partition.po_producer {
+        po_producer.insert(node, resolve(id));
+    }
+    let mut po_mfgs: Vec<MfgId> = po_group.iter().map(|&id| map(id)).collect();
+    po_mfgs.sort_unstable();
+    po_mfgs.dedup();
+
+    let stats = MergeStats {
+        before: partition.mfgs.len(),
+        after: out_mfgs.len(),
+        merges,
+    };
+    (
+        Partition {
+            mfgs: out_mfgs,
+            children: out_children,
+            parents: out_parents,
+            po_mfgs,
+            producer_of,
+            po_producer,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::partition::{check_partition, partition, PartitionOptions, StopRule};
+    use lbnn_netlist::random::RandomDag;
+    use lbnn_netlist::Levels;
+
+    #[test]
+    fn check_level_respects_capacity_and_alignment() {
+        use lbnn_netlist::{Netlist, Op};
+        let mut nl = Netlist::new("t");
+        let pis: Vec<_> = (0..8).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let g: Vec<_> = (0..4)
+            .map(|i| nl.add_gate2(Op::And, pis[2 * i], pis[2 * i + 1]))
+            .collect();
+        let a = Mfg::new(1, vec![vec![g[0], g[1]]], vec![pis[0], pis[1], pis[2], pis[3]]);
+        let b = Mfg::new(1, vec![vec![g[2], g[3]]], vec![pis[4], pis[5], pis[6], pis[7]]);
+        assert!(check_level(&a, &b, 4));
+        assert!(!check_level(&a, &b, 3), "union of 4 exceeds m = 3");
+        // Shared nodes count once.
+        let c = Mfg::new(1, vec![vec![g[0], g[2]]], vec![pis[0], pis[1], pis[4], pis[5]]);
+        assert!(check_level(&a, &c, 3), "union {{g0,g1,g2}} has 3 nodes");
+        let deep = Mfg::new(2, vec![vec![g[0]]], vec![pis[0]]);
+        assert!(!check_level(&a, &deep, 8), "different level ranges");
+    }
+
+    #[test]
+    fn merging_reduces_mfg_count_and_stays_valid() {
+        let nl = RandomDag::strict(64, 8, 32).outputs(8).generate(3);
+        let lv = Levels::compute(&nl);
+        let m = 8;
+        let part = partition(&nl, &lv, m, PartitionOptions::default()).unwrap();
+        let (merged, stats) = merge_mfgs(&part, m);
+        assert_eq!(stats.before, part.mfg_count());
+        assert_eq!(stats.after, merged.mfg_count());
+        assert!(stats.after < stats.before, "merging should fire on a wide graph");
+        assert_eq!(stats.before - stats.after, stats.merges);
+        // Merged MFGs still satisfy conditions (1)-(2); condition (4) is a
+        // property of extraction, preserved because merging unions inputs.
+        for mfg in &merged.mfgs {
+            mfg.validate(&nl, m).unwrap();
+        }
+        // Edges stay level-aligned.
+        for (p, kids) in merged.children.iter().enumerate() {
+            for &c in kids {
+                assert_eq!(merged.mfgs[c.index()].top() + 1, merged.mfgs[p].bottom());
+            }
+        }
+        // Coverage still holds.
+        check_partition(&nl, &lv, &merged, m, StopRule::GtM).unwrap();
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let nl = RandomDag::strict(32, 6, 16).outputs(4).generate(9);
+        let lv = Levels::compute(&nl);
+        let part = partition(&nl, &lv, 6, PartitionOptions::default()).unwrap();
+        let (m1, _) = merge_mfgs(&part, 6);
+        let (m2, s2) = merge_mfgs(&m1, 6);
+        assert_eq!(m1.mfg_count(), m2.mfg_count());
+        assert_eq!(s2.merges, 0);
+    }
+
+    #[test]
+    fn producers_cover_all_non_pi_inputs() {
+        let nl = RandomDag::strict(48, 7, 24).outputs(6).generate(5);
+        let lv = Levels::compute(&nl);
+        let part = partition(&nl, &lv, 6, PartitionOptions::default()).unwrap();
+        let (merged, _) = merge_mfgs(&part, 6);
+        for (i, mfg) in merged.mfgs.iter().enumerate() {
+            for &input in mfg.inputs() {
+                if lv.level(input) >= 1 {
+                    let producer = merged
+                        .producer_of
+                        .get(&(MfgId(i as u32), input))
+                        .copied()
+                        .expect("produced");
+                    assert!(merged.mfgs[producer.index()].roots().contains(&input));
+                    assert!(merged.children[i].contains(&producer));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_children_collapse_under_merged_parents() {
+        use crate::compiler::partition::PartitionOptions;
+        let nl = RandomDag::strict(32, 6, 16).outputs(4).generate(13);
+        let lv = Levels::compute(&nl);
+        let dup = partition(
+            &nl,
+            &lv,
+            6,
+            PartitionOptions {
+                duplicate_children: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let shared = partition(&nl, &lv, 6, PartitionOptions::default()).unwrap();
+        assert!(dup.mfg_count() >= shared.mfg_count());
+        let (merged, _) = merge_mfgs(&dup, 6);
+        for mfg in &merged.mfgs {
+            mfg.validate(&nl, 6).unwrap();
+        }
+        check_partition(&nl, &lv, &merged, 6, StopRule::GtM).unwrap();
+    }
+}

@@ -1,0 +1,238 @@
+//! Maximal feasible subgraphs (MFGs).
+//!
+//! An MFG is a rectangular slice of the fully path-balanced Boolean DAG:
+//! gate levels `[bottom, top]` with at most `m` nodes per level, closed
+//! under fanin except at the bottom level (condition (1) of the paper).
+//! Before merging an MFG has a single root (its top level is one node);
+//! merging produces multi-root MFGs.
+
+use lbnn_netlist::{Netlist, NodeId};
+
+use crate::error::CoreError;
+
+/// Identifier of an MFG within one [`crate::compiler::Partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MfgId(pub u32);
+
+impl MfgId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One maximal feasible subgraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mfg {
+    bottom: u32,
+    levels: Vec<Vec<NodeId>>,
+    inputs: Vec<NodeId>,
+}
+
+impl Mfg {
+    /// Builds an MFG from its per-level node sets.
+    ///
+    /// `levels[i]` holds the nodes at gate level `bottom + i`; `inputs` are
+    /// the distinct nodes (at level `bottom − 1`) feeding the bottom level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty, a level is empty, or `bottom == 0`
+    /// (gate levels are 1-based; level 0 holds primary inputs).
+    pub fn new(bottom: u32, levels: Vec<Vec<NodeId>>, inputs: Vec<NodeId>) -> Self {
+        assert!(bottom >= 1, "gate levels are 1-based");
+        assert!(!levels.is_empty(), "an MFG has at least one level");
+        assert!(levels.iter().all(|l| !l.is_empty()), "levels must be non-empty");
+        Mfg {
+            bottom,
+            levels,
+            inputs,
+        }
+    }
+
+    /// Bottom gate level (`Lbottom`). An MFG with `bottom == 1` reads
+    /// primary inputs (the paper's `Lbottom = 0` case).
+    #[inline]
+    pub fn bottom(&self) -> u32 {
+        self.bottom
+    }
+
+    /// Top gate level (`Ltop`).
+    #[inline]
+    pub fn top(&self) -> u32 {
+        self.bottom + self.levels.len() as u32 - 1
+    }
+
+    /// Number of levels (`Ltop − Lbottom + 1`) — the LPV span.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Maximum nodes at any level.
+    pub fn width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total node count (with multiplicity across levels — levels are
+    /// disjoint, so this is the plain sum).
+    pub fn node_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Nodes at absolute gate level `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside `[bottom, top]`.
+    pub fn nodes_at(&self, level: u32) -> &[NodeId] {
+        assert!(
+            level >= self.bottom && level <= self.top(),
+            "level {level} outside [{}, {}]",
+            self.bottom,
+            self.top()
+        );
+        &self.levels[(level - self.bottom) as usize]
+    }
+
+    /// The per-level node sets, bottom first.
+    pub fn levels(&self) -> &[Vec<NodeId>] {
+        &self.levels
+    }
+
+    /// The roots: nodes of the top level (one for pre-merge MFGs).
+    pub fn roots(&self) -> &[NodeId] {
+        self.levels.last().expect("non-empty")
+    }
+
+    /// Distinct nodes feeding the bottom level (at level `bottom − 1`).
+    /// These are primary inputs/constants when `bottom == 1`, and other
+    /// MFGs' roots otherwise.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// `true` if this MFG reads primary inputs (paper's `Lbottom = 0`).
+    pub fn reads_primary_inputs(&self) -> bool {
+        self.bottom == 1
+    }
+
+    /// Checks the paper's MFG conditions against the netlist:
+    ///
+    /// * condition (1): fanins of every non-bottom level lie in the
+    ///   previous level of this MFG;
+    /// * condition (2): every level has at most `m` nodes;
+    /// * the input set matches the bottom level's distinct fanins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LevelTooWide`] for a condition (2) violation
+    /// and [`CoreError::BadConfig`] describing any other violation.
+    pub fn validate(&self, netlist: &Netlist, m: usize) -> Result<(), CoreError> {
+        for (i, level) in self.levels.iter().enumerate() {
+            if level.len() > m {
+                return Err(CoreError::LevelTooWide {
+                    level: self.bottom + i as u32,
+                    width: level.len(),
+                    m,
+                });
+            }
+        }
+        for i in 1..self.levels.len() {
+            let prev: std::collections::HashSet<NodeId> =
+                self.levels[i - 1].iter().copied().collect();
+            for &node in &self.levels[i] {
+                for &f in netlist.node(node).fanins() {
+                    if !prev.contains(&f) {
+                        return Err(CoreError::BadConfig {
+                            reason: format!(
+                                "condition (1) violated: fanin {f:?} of {node:?} at level {} \
+                                 is not in the MFG's previous level",
+                                self.bottom + i as u32
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let mut expect: Vec<NodeId> = self
+            .levels[0]
+            .iter()
+            .flat_map(|&n| netlist.node(n).fanins().iter().copied())
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        let mut got = self.inputs.clone();
+        got.sort_unstable();
+        if expect != got {
+            return Err(CoreError::BadConfig {
+                reason: "input set does not match bottom-level fanins".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_netlist::{Netlist, Op};
+
+    fn tiny() -> (Netlist, Mfg) {
+        // Level 1: g0 = a&b, g1 = c|d ; level 2: g2 = g0^g1.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let g0 = nl.add_gate2(Op::And, a, b);
+        let g1 = nl.add_gate2(Op::Or, c, d);
+        let g2 = nl.add_gate2(Op::Xor, g0, g1);
+        nl.add_output(g2, "y");
+        let mfg = Mfg::new(1, vec![vec![g0, g1], vec![g2]], vec![a, b, c, d]);
+        (nl, mfg)
+    }
+
+    #[test]
+    fn accessors() {
+        let (_, mfg) = tiny();
+        assert_eq!(mfg.bottom(), 1);
+        assert_eq!(mfg.top(), 2);
+        assert_eq!(mfg.depth(), 2);
+        assert_eq!(mfg.width(), 2);
+        assert_eq!(mfg.node_count(), 3);
+        assert_eq!(mfg.roots().len(), 1);
+        assert!(mfg.reads_primary_inputs());
+        assert_eq!(mfg.nodes_at(1).len(), 2);
+    }
+
+    #[test]
+    fn validate_ok() {
+        let (nl, mfg) = tiny();
+        assert!(mfg.validate(&nl, 2).is_ok());
+        assert!(matches!(
+            mfg.validate(&nl, 1),
+            Err(CoreError::LevelTooWide { width: 2, m: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_condition_one() {
+        let (nl, _) = tiny();
+        let ids: Vec<NodeId> = nl.node_ids().collect();
+        let (g0, g2) = (ids[4], ids[6]);
+        // Claim an MFG [g0] -> [g2] but g2 also needs g1.
+        let bad = Mfg::new(1, vec![vec![g0], vec![g2]], vec![ids[0], ids[1]]);
+        assert!(matches!(
+            bad.validate(&nl, 4),
+            Err(CoreError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rejects_level_zero() {
+        let _ = Mfg::new(0, vec![vec![NodeId::new(0)]], vec![]);
+    }
+}

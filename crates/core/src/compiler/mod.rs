@@ -1,0 +1,57 @@
+//! The compiler tailored to the logic processor (§V of the paper).
+//!
+//! Pipeline: a fully path-balanced netlist is partitioned into MFGs
+//! ([`mod@partition`], Algorithms 1–2), sibling MFGs are merged ([`merge`],
+//! Algorithm 3), the MFG DAG is scheduled onto LPVs in space-time
+//! ([`schedule`], Algorithm 4 + the diagonal-address scheduler), and
+//! instruction queues plus buffer layouts are emitted ([`codegen`]) as an
+//! [`program::LpuProgram`] the [`crate::lpu`] machine executes.
+
+pub mod codegen;
+pub mod isa;
+pub mod merge;
+pub mod mfg;
+pub mod partition;
+pub mod program;
+pub mod schedule;
+
+pub use merge::merge_mfgs;
+pub use mfg::{Mfg, MfgId};
+pub use partition::{find_mfg, partition, Partition, PartitionOptions, StopRule};
+pub use isa::{decode_program, encode_program, EncodedProgram, InstrFormat};
+pub use program::LpuProgram;
+pub use schedule::{schedule_spacetime, Schedule};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for compiler/machine unit tests: partition + merge +
+    //! schedule with the same shared-children-then-duplicate fallback the
+    //! [`crate::flow::Flow`] uses.
+
+    use lbnn_netlist::{Levels, Netlist};
+
+    use super::merge::merge_mfgs;
+    use super::partition::{partition, Partition, PartitionOptions};
+    use super::schedule::{schedule_spacetime, Schedule};
+
+    pub(crate) fn compile_parts(
+        netlist: &Netlist,
+        levels: &Levels,
+        m: usize,
+        n: usize,
+        merge: bool,
+    ) -> (Partition, Schedule) {
+        let mut options = PartitionOptions::default();
+        loop {
+            let raw = partition(netlist, levels, m, options).expect("partition");
+            let part = if merge { merge_mfgs(&raw, m).0 } else { raw };
+            match schedule_spacetime(&part, n, m) {
+                Ok(sched) => return (part, sched),
+                Err(_) if !options.duplicate_children => {
+                    options.duplicate_children = true;
+                }
+                Err(e) => panic!("scheduling failed even with duplication: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type for the compiler and LPU simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use lbnn_netlist::NetlistError;
+use lbnn_switch::RouteError;
+
+/// Errors produced by the compiler pipeline or the LPU machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The input netlist is structurally invalid.
+    Netlist(NetlistError),
+    /// A switch-network routing request failed (cannot happen for
+    /// compiler-generated configurations; surfaced for diagnostics).
+    Route(RouteError),
+    /// The netlist is not fully path balanced (the compiler requires FPB).
+    NotBalanced,
+    /// A single logic level in one MFG exceeds the LPE count `m` — the
+    /// partitioner cannot produce such an MFG, so this flags corruption.
+    LevelTooWide {
+        /// Offending level.
+        level: u32,
+        /// Number of gates at that level.
+        width: usize,
+        /// LPEs per LPV.
+        m: usize,
+    },
+    /// Two scheduled level-executions claimed the same (LPV, cycle) slot.
+    ResourceConflict {
+        /// LPV index.
+        lpv: usize,
+        /// Compute cycle.
+        cycle: usize,
+    },
+    /// A snapshot register was overwritten while still holding live data.
+    SnapshotClobber {
+        /// LPV index.
+        lpv: usize,
+        /// LPE operand port (0..2m).
+        port: usize,
+        /// Compute cycle of the clobbering write.
+        cycle: usize,
+    },
+    /// The machine was given the wrong number of input lane vectors.
+    InputArity {
+        /// Primary inputs expected.
+        expected: usize,
+        /// Lane vectors supplied.
+        got: usize,
+    },
+    /// The LPU configuration is unusable (e.g. zero LPEs or LPVs).
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::Route(e) => write!(f, "switch routing error: {e}"),
+            CoreError::NotBalanced => {
+                write!(f, "netlist is not fully path balanced; run balance() first")
+            }
+            CoreError::LevelTooWide { level, width, m } => {
+                write!(f, "MFG level {level} has {width} gates, exceeding m = {m}")
+            }
+            CoreError::ResourceConflict { lpv, cycle } => {
+                write!(f, "two executions claim LPV {lpv} at compute cycle {cycle}")
+            }
+            CoreError::SnapshotClobber { lpv, port, cycle } => write!(
+                f,
+                "snapshot register at LPV {lpv} port {port} clobbered at cycle {cycle}"
+            ),
+            CoreError::InputArity { expected, got } => {
+                write!(f, "expected {expected} input lane vectors, got {got}")
+            }
+            CoreError::BadConfig { reason } => write!(f, "bad LPU configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Netlist(e) => Some(e),
+            CoreError::Route(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+impl From<RouteError> for CoreError {
+    fn from(e: RouteError) -> Self {
+        CoreError::Route(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Netlist(NetlistError::NoOutputs);
+        assert!(e.to_string().contains("netlist"));
+        assert!(e.source().is_some());
+        let e = CoreError::ResourceConflict { lpv: 3, cycle: 9 };
+        assert!(e.to_string().contains("LPV 3"));
+        assert!(e.source().is_none());
+    }
+}

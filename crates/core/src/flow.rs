@@ -1,0 +1,394 @@
+//! The end-to-end design flow (Fig 1 of the paper).
+//!
+//! `FFCL netlist → logic optimization → full path balancing → MFG
+//! partitioning → merging → scheduling → code generation`, wrapped in a
+//! single [`Flow::compile`] call, with simulation and verification
+//! helpers on the result.
+
+use lbnn_logic_synth::{optimize, OptimizeOptions};
+use lbnn_netlist::balance::balance;
+use lbnn_netlist::eval::evaluate;
+use lbnn_netlist::{Lanes, Levels, Netlist, Op};
+
+use crate::compiler::codegen::generate;
+use crate::compiler::merge::{merge_mfgs, MergeStats};
+use crate::compiler::partition::{partition, Partition, PartitionOptions};
+use crate::compiler::program::LpuProgram;
+use crate::compiler::schedule::{schedule_spacetime, Schedule};
+use crate::error::CoreError;
+use crate::lpu::machine::{LpuMachine, RunResult};
+use crate::lpu::LpuConfig;
+use crate::throughput::{block_throughput, ThroughputReport};
+
+/// Options controlling the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowOptions {
+    /// Run the logic-synthesis cleanup before mapping (Fig 1's
+    /// pre-processing). Disable to map the netlist exactly as given.
+    pub optimize: bool,
+    /// Apply the MFG merging procedure (Algorithm 3). The Fig 7/8
+    /// experiments toggle this.
+    pub merge: bool,
+    /// Partitioning options (stop rule).
+    pub partition: PartitionOptions,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            optimize: true,
+            merge: true,
+            partition: PartitionOptions::default(),
+        }
+    }
+}
+
+/// Statistics of one compiled flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowStats {
+    /// Gate count after optimization and balancing (includes buffers).
+    pub gates: usize,
+    /// Logic depth (`Lmax`).
+    pub depth: u32,
+    /// Buffers inserted by full path balancing.
+    pub balance_buffers: usize,
+    /// MFG count before merging.
+    pub mfgs_before_merge: usize,
+    /// MFG count after merging (equals `mfgs_before_merge` when merging
+    /// is disabled).
+    pub mfgs: usize,
+    /// Total node executions (recomputation from MFG overlap included).
+    pub executed_nodes: usize,
+    /// Compute cycles of one pass (fill + drain latency).
+    pub compute_cycles: usize,
+    /// Clock cycles of one pass (`compute_cycles × tc`).
+    pub clock_cycles: u64,
+    /// Instruction-queue depth used.
+    pub queue_depth: usize,
+    /// Steady-state clock cycles per batch: back-to-back batches replay
+    /// the instruction queues, so the initiation interval is
+    /// `queue_depth` compute cycles (`× tc` clocks). Latency is
+    /// `clock_cycles`; throughput divides by this.
+    pub steady_clock_cycles: u64,
+}
+
+/// Result of [`Flow::verify_against_netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Batch lanes compared.
+    pub lanes_checked: usize,
+    /// Primary outputs compared (all matched, or verification fails).
+    pub outputs_checked: usize,
+}
+
+/// A compiled flow: the mapped netlist, all intermediate compiler
+/// artifacts, and the executable LPU program.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// The netlist actually mapped (optimized + balanced).
+    pub netlist: Netlist,
+    /// The original input netlist (verification oracle).
+    pub source: Netlist,
+    /// Level assignment of `netlist`.
+    pub levels: Levels,
+    /// The (merged) partition.
+    pub partition: Partition,
+    /// Merge statistics (zero merges when disabled).
+    pub merge_stats: MergeStats,
+    /// The space-time schedule.
+    pub schedule: Schedule,
+    /// The generated program.
+    pub program: LpuProgram,
+    /// Machine configuration.
+    pub config: LpuConfig,
+    /// Aggregate statistics.
+    pub stats: FlowStats,
+}
+
+impl Flow {
+    /// Compiles a netlist for the given LPU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, netlist, partitioning and scheduling
+    /// errors; see [`CoreError`].
+    pub fn compile(
+        netlist: &Netlist,
+        config: &LpuConfig,
+        options: &FlowOptions,
+    ) -> Result<Flow, CoreError> {
+        config.validate()?;
+        netlist.validate()?;
+        let source = netlist.clone();
+
+        // 1. Logic optimization (Fig 1 pre-processing).
+        let mut current = if options.optimize {
+            optimize(netlist, OptimizeOptions::default()).0
+        } else {
+            netlist.clone()
+        };
+
+        // 2. Guard: POs driven by level-0 nodes (inputs/constants) get a
+        //    buffer so every output is computed by a gate.
+        current = buffer_level0_outputs(&current);
+
+        // 3. Full path balancing.
+        let (balanced, bal_stats) = balance(&current);
+        let levels = Levels::compute(&balanced);
+        debug_assert!(levels.is_fully_balanced(&balanced));
+
+        // 4-6. Partition (Algorithms 1-2), merge (Algorithm 3), schedule.
+        // Child MFGs are shared between parents first; if snapshot
+        // residency cannot be packed that way, fall back to the paper's
+        // literal Algorithm 1, which duplicates each parent's fan-in cones
+        // (condition (3) overlap) and is always schedulable.
+        let mut attempt_options = options.partition;
+        let (part, merge_stats, schedule, mfgs_before) = loop {
+            let raw = partition(&balanced, &levels, config.m, attempt_options)?;
+            let mfgs_before = raw.mfg_count();
+            let (part, merge_stats) = if options.merge {
+                merge_mfgs(&raw, config.m)
+            } else {
+                (
+                    raw,
+                    MergeStats {
+                        before: mfgs_before,
+                        after: mfgs_before,
+                        merges: 0,
+                    },
+                )
+            };
+            match schedule_spacetime(&part, config.n, config.m) {
+                Ok(schedule) => break (part, merge_stats, schedule, mfgs_before),
+                Err(_) if !attempt_options.duplicate_children => {
+                    attempt_options.duplicate_children = true;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+
+        // 7. Code generation.
+        let program = generate(&balanced, &levels, &part, &schedule, config)?;
+
+        let stats = FlowStats {
+            gates: balanced.gate_count(),
+            depth: levels.depth(),
+            balance_buffers: bal_stats.total(),
+            mfgs_before_merge: mfgs_before,
+            mfgs: part.mfg_count(),
+            executed_nodes: part.executed_nodes(),
+            compute_cycles: schedule.total_cycles,
+            clock_cycles: schedule.clock_cycles(config.tc()),
+            queue_depth: schedule.queue_depth,
+            steady_clock_cycles: schedule.queue_depth as u64 * config.tc() as u64,
+        };
+        Ok(Flow {
+            netlist: balanced,
+            source,
+            levels,
+            partition: part,
+            merge_stats,
+            schedule,
+            program,
+            config: *config,
+            stats,
+        })
+    }
+
+    /// Runs one pass on the LPU machine.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpuMachine::run`].
+    pub fn simulate(&self, inputs: &[Lanes]) -> Result<RunResult, CoreError> {
+        let machine = LpuMachine::new(self.config)?;
+        machine.run(&self.program, inputs)
+    }
+
+    /// Verifies the compiled program against direct evaluation of the
+    /// *source* netlist on seeded random lanes — end-to-end: any bug in
+    /// optimization, balancing, partitioning, scheduling, codegen or the
+    /// machine shows up here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch as [`CoreError::BadConfig`], or any
+    /// simulation error.
+    pub fn verify_against_netlist(&self, seed: u64) -> Result<VerifyReport, CoreError> {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lanes = self.config.operand_bits().max(64);
+        let inputs: Vec<Lanes> = (0..self.source.inputs().len())
+            .map(|_| {
+                let bits: Vec<bool> = (0..lanes).map(|_| rng.random_bool(0.5)).collect();
+                Lanes::from_bools(&bits)
+            })
+            .collect();
+        let got = self.simulate(&inputs)?;
+        let want = evaluate(&self.source, &inputs)?;
+        for (po, (g, w)) in got.outputs.iter().zip(&want).enumerate() {
+            if g != w {
+                return Err(CoreError::BadConfig {
+                    reason: format!(
+                        "LPU output `{}` disagrees with the netlist oracle",
+                        self.source.outputs()[po].name
+                    ),
+                });
+            }
+        }
+        Ok(VerifyReport {
+            lanes_checked: lanes,
+            outputs_checked: want.len(),
+        })
+    }
+
+    /// Steady-state throughput of this block at the hardware batch width
+    /// (`2m` lanes per pass, one pass per `queue_depth` compute cycles).
+    pub fn throughput(&self) -> ThroughputReport {
+        block_throughput(
+            self.stats.steady_clock_cycles,
+            self.config.operand_bits(),
+            self.config.freq_mhz,
+        )
+    }
+
+    /// LPE occupancy of the steady-state schedule: executed LPE operations
+    /// over available LPE slots per initiation interval.
+    pub fn occupancy(&self) -> f64 {
+        let slots = (self.stats.queue_depth * self.config.n * self.config.m) as f64;
+        if slots == 0.0 {
+            0.0
+        } else {
+            self.program.lpe_op_count() as f64 / slots
+        }
+    }
+}
+
+/// Inserts a buffer after any primary output driven by a level-0 node
+/// (primary input or constant), so the compiler always has a gate to
+/// schedule per output.
+fn buffer_level0_outputs(netlist: &Netlist) -> Netlist {
+    let needs_fix = netlist
+        .outputs()
+        .iter()
+        .any(|o| netlist.node(o.node).op() == Op::Input || netlist.node(o.node).op().arity() == 0);
+    if !needs_fix {
+        return netlist.clone();
+    }
+    let out = netlist.clone();
+    let fixes: Vec<(usize, lbnn_netlist::NodeId)> = out
+        .outputs()
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| {
+            let op = out.node(o.node).op();
+            op == Op::Input || op.arity() == 0
+        })
+        .map(|(i, o)| (i, o.node))
+        .collect();
+    // Rebuild with buffered outputs.
+    let mut rebuilt = Netlist::new(out.name().to_string());
+    let mut remap = Vec::with_capacity(out.len());
+    for (id, node) in out.iter() {
+        let new_id = match node.op() {
+            Op::Input => rebuilt.add_input(out.node_name(id).unwrap_or("in").to_string()),
+            op => {
+                let fanins: Vec<_> = node.fanins().iter().map(|f| remap[f.index()]).collect();
+                rebuilt.add_node(op, &fanins).expect("topo preserved")
+            }
+        };
+        remap.push(new_id);
+    }
+    for (i, o) in out.outputs().iter().enumerate() {
+        let mut node = remap[o.node.index()];
+        if fixes.iter().any(|&(fi, _)| fi == i) {
+            node = rebuilt.add_gate1(Op::Buf, node);
+        }
+        rebuilt.add_output(node, o.name.clone());
+    }
+    rebuilt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_netlist::random::RandomDag;
+
+    #[test]
+    fn compile_and_verify_random_graphs() {
+        for seed in 0..4 {
+            let nl = RandomDag::loose(12, 6, 10).outputs(4).generate(seed);
+            let flow = Flow::compile(&nl, &LpuConfig::new(6, 4), &FlowOptions::default()).unwrap();
+            let report = flow.verify_against_netlist(seed).unwrap();
+            assert_eq!(report.outputs_checked, 4);
+            assert!(flow.stats.clock_cycles > 0);
+            assert_eq!(
+                flow.stats.clock_cycles,
+                flow.stats.compute_cycles as u64 * 6
+            );
+        }
+    }
+
+    #[test]
+    fn merging_never_changes_results_but_reduces_mfgs() {
+        let nl = RandomDag::strict(48, 8, 32).outputs(8).generate(11);
+        let merged = Flow::compile(&nl, &LpuConfig::new(8, 8), &FlowOptions::default()).unwrap();
+        let unmerged = Flow::compile(
+            &nl,
+            &LpuConfig::new(8, 8),
+            &FlowOptions {
+                merge: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        merged.verify_against_netlist(1).unwrap();
+        unmerged.verify_against_netlist(1).unwrap();
+        assert!(merged.stats.mfgs < unmerged.stats.mfgs);
+        assert!(merged.stats.clock_cycles <= unmerged.stats.clock_cycles);
+    }
+
+    #[test]
+    fn pass_through_outputs_are_buffered() {
+        let mut nl = Netlist::new("wire");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate2(Op::And, a, b);
+        nl.add_output(g, "y");
+        nl.add_output(a, "a_copy");
+        let flow = Flow::compile(&nl, &LpuConfig::new(4, 2), &FlowOptions::default()).unwrap();
+        flow.verify_against_netlist(3).unwrap();
+    }
+
+    #[test]
+    fn constant_output() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let one = nl.add_const(true);
+        let g = nl.add_gate2(Op::Or, a, one); // constant 1
+        nl.add_output(g, "y");
+        let flow = Flow::compile(
+            &nl,
+            &LpuConfig::new(2, 2),
+            &FlowOptions {
+                optimize: false, // keep the constant gate
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        flow.verify_against_netlist(5).unwrap();
+    }
+
+    #[test]
+    fn throughput_report_consistency() {
+        let nl = RandomDag::strict(16, 4, 8).outputs(2).generate(2);
+        let flow = Flow::compile(&nl, &LpuConfig::new(8, 4), &FlowOptions::default()).unwrap();
+        let t = flow.throughput();
+        assert_eq!(t.batch, 16);
+        assert_eq!(t.clock_cycles, flow.stats.steady_clock_cycles);
+        assert!(t.fps > 0.0);
+        let occ = flow.occupancy();
+        assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ}");
+    }
+}

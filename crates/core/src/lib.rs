@@ -1,0 +1,50 @@
+//! # lbnn-core
+//!
+//! The primary contribution of *"Algorithms and Hardware for Efficient
+//! Processing of Logic-based Neural Networks"* (DAC 2023), reimplemented in
+//! Rust:
+//!
+//! * **Compiler** ([`compiler`]) — takes a levelized, fully path-balanced
+//!   Boolean DAG and
+//!   1. partitions it into *maximal feasible subgraphs* (MFGs) with the
+//!      BFS partitioning of Algorithms 1–2 ([`mod@compiler::partition`]),
+//!   2. merges sibling MFGs per Algorithm 3 ([`compiler::merge`]),
+//!   3. schedules MFG levels onto logic processing vectors (LPVs) in
+//!      space-time, deriving instruction-queue addresses (Algorithm 4 and
+//!      the diagonal-address scheduler, [`compiler::schedule`]),
+//!   4. generates per-LPV instruction queues, switch configurations and
+//!      data-buffer layouts ([`compiler::codegen`]).
+//! * **LPU** ([`lpu`]) — a cycle-accurate, bit-accurate simulator of the
+//!   logic processor (Fig 2): LPVs of `m` LPEs with dual snapshot
+//!   registers, non-blocking multicast switch stages between LPVs,
+//!   instruction queues with the read-address shift register, input/output
+//!   data buffers, and the circulation mechanism for deep graphs. Plus the
+//!   FPGA resource model behind Table I ([`lpu::resource`]).
+//! * **Flow** ([`flow`]) — the end-to-end pipeline (Fig 1): synthesize →
+//!   levelize → balance → partition → merge → schedule → codegen →
+//!   simulate, with throughput accounting ([`throughput`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lbnn_core::flow::{Flow, FlowOptions};
+//! use lbnn_core::lpu::LpuConfig;
+//! use lbnn_netlist::random::RandomDag;
+//!
+//! let netlist = RandomDag::strict(16, 6, 12).generate(1);
+//! let flow = Flow::compile(&netlist, &LpuConfig::new(8, 4), &FlowOptions::default())?;
+//! // The LPU computes exactly what the netlist computes, for every lane.
+//! let report = flow.verify_against_netlist(42)?;
+//! assert!(report.lanes_checked > 0);
+//! # Ok::<(), lbnn_core::CoreError>(())
+//! ```
+
+pub mod compiler;
+pub mod error;
+pub mod flow;
+pub mod lpu;
+pub mod throughput;
+
+pub use error::CoreError;
+pub use flow::{Flow, FlowOptions, FlowStats};
+pub use lpu::{LpuConfig, LpuMachine};

@@ -1,0 +1,119 @@
+//! LPU configuration parameters.
+
+use crate::error::CoreError;
+
+/// Configuration of one logic processor.
+///
+/// The paper's headline machine uses `n = 16` LPVs (Tables I–III); `m` is
+/// never stated explicitly, so this workspace defaults to `m = 64` LPEs
+/// per LPV (operand width `2m = 128` bits). `tsw = 5` switch stages give
+/// the paper's `tc = 6` clock cycles per compute cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpuConfig {
+    /// LPEs per LPV.
+    pub m: usize,
+    /// LPVs per LPU.
+    pub n: usize,
+    /// Switch-network routing stages between adjacent LPVs.
+    pub tsw: usize,
+    /// Clock frequency in MHz (Table I reports 333 MHz on the VU9P).
+    pub freq_mhz: f64,
+}
+
+impl LpuConfig {
+    /// The paper's evaluation machine: `m = 64`, `n = 16`, 333 MHz.
+    pub fn paper_default() -> Self {
+        LpuConfig::new(64, 16)
+    }
+
+    /// Creates a configuration with `m` LPEs per LPV and `n` LPVs,
+    /// `tsw = 5`, and the parametric frequency model (333 MHz at the
+    /// paper's size).
+    pub fn new(m: usize, n: usize) -> Self {
+        LpuConfig {
+            m,
+            n,
+            tsw: 5,
+            freq_mhz: Self::model_freq_mhz(m, n),
+        }
+    }
+
+    /// Parametric clock model calibrated to Table I: 333 MHz at
+    /// `m·n = 1024`, degrading gently with datapath size (longer switch
+    /// wires and wider multiplexers).
+    pub fn model_freq_mhz(m: usize, n: usize) -> f64 {
+        let size = (m.max(1) * n.max(1)) as f64;
+        (400.0 - 6.7 * size.log2()).clamp(50.0, 400.0)
+    }
+
+    /// Clock cycles per compute cycle: one LPE operation plus `tsw`
+    /// routing cycles (`tc = 6` in the paper).
+    #[inline]
+    pub fn tc(&self) -> usize {
+        1 + self.tsw
+    }
+
+    /// Operand width in bits — also the batch size processed per pass
+    /// (`2m` Boolean variables per operand).
+    #[inline]
+    pub fn operand_bits(&self) -> usize {
+        2 * self.m
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when `m`, `n` or the frequency is
+    /// unusable.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.m == 0 || self.n == 0 {
+            return Err(CoreError::BadConfig {
+                reason: "m and n must be positive".to_string(),
+            });
+        }
+        if !(self.freq_mhz.is_finite() && self.freq_mhz > 0.0) {
+            return Err(CoreError::BadConfig {
+                reason: "frequency must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for LpuConfig {
+    fn default() -> Self {
+        LpuConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table1_operating_point() {
+        let c = LpuConfig::paper_default();
+        assert_eq!(c.m, 64);
+        assert_eq!(c.n, 16);
+        assert_eq!(c.tc(), 6, "tc = 6 per the paper");
+        assert_eq!(c.operand_bits(), 128);
+        assert!((c.freq_mhz - 333.0).abs() < 1.0, "got {}", c.freq_mhz);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn frequency_degrades_with_size() {
+        assert!(LpuConfig::model_freq_mhz(64, 32) < LpuConfig::model_freq_mhz(64, 16));
+        assert!(LpuConfig::model_freq_mhz(8, 4) > LpuConfig::model_freq_mhz(64, 16));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        assert!(LpuConfig::new(0, 4).validate().is_err());
+        assert!(LpuConfig::new(4, 0).validate().is_err());
+        let mut c = LpuConfig::new(4, 4);
+        c.freq_mhz = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

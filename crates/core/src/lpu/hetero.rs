@@ -1,0 +1,171 @@
+//! Heterogeneous LPV exploration — the paper's concluding future work:
+//! "we plan to explore the heterogeneous architecture where the number of
+//! LPEs per LPVs and their following switch networks will not be the same
+//! for all LPVs."
+//!
+//! Given a compiled program, this module measures how many LPEs each LPV
+//! *actually* uses across the schedule and sizes a heterogeneous machine
+//! accordingly (per-LPV LPE count = peak use, rounded up to a power of
+//! two for the switch fabric), then prices both machines with the
+//! Table I resource model. The result quantifies exactly the saving the
+//! paper anticipates: deep graphs use early LPVs far more heavily than
+//! late ones, so uniform `m` over-provisions the tail.
+
+use crate::compiler::program::LpuProgram;
+use crate::lpu::config::LpuConfig;
+use crate::lpu::resource::{estimate_with_depth, ResourceReport};
+
+/// Per-LPV usage profile of one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpvProfile {
+    /// Peak LPEs used simultaneously on each LPV.
+    pub peak_lpes: Vec<usize>,
+    /// Total LPE-operations issued on each LPV.
+    pub total_ops: Vec<usize>,
+}
+
+/// A heterogeneous sizing proposal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroProposal {
+    /// Proposed LPE count per LPV (power of two, ≥ 1).
+    pub lpes_per_lpv: Vec<usize>,
+    /// Resources of the uniform baseline machine.
+    pub uniform: ResourceReport,
+    /// Resources of the proposed heterogeneous machine.
+    pub hetero: ResourceReport,
+    /// LUT saving fraction (0..1).
+    pub lut_saving: f64,
+    /// FF saving fraction (0..1).
+    pub ff_saving: f64,
+}
+
+/// Measures the per-LPV usage of a compiled program.
+pub fn profile(program: &LpuProgram) -> LpvProfile {
+    let n = program.n;
+    let mut peak = vec![0usize; n];
+    let mut total = vec![0usize; n];
+    for (lpv, queue) in program.queues.iter().enumerate() {
+        for instr in queue.iter().flatten() {
+            let used = instr.active_lpes();
+            peak[lpv] = peak[lpv].max(used);
+            total[lpv] += used;
+        }
+    }
+    LpvProfile {
+        peak_lpes: peak,
+        total_ops: total,
+    }
+}
+
+/// Proposes a heterogeneous machine for a program compiled on `config`,
+/// pricing both with the resource model (instruction queues sized to the
+/// program's depth).
+///
+/// The heterogeneous estimate prices each LPV as `1/n`-th of a uniform
+/// machine built from its own LPE count — switch fabrics and queues
+/// scale with the local width, exactly the sensitivity the future-work
+/// note is after.
+pub fn propose(program: &LpuProgram, config: &LpuConfig) -> HeteroProposal {
+    assert_eq!(program.m, config.m, "program/config mismatch");
+    assert_eq!(program.n, config.n, "program/config mismatch");
+    let prof = profile(program);
+    let lpes_per_lpv: Vec<usize> = prof
+        .peak_lpes
+        .iter()
+        .map(|&p| p.max(1).next_power_of_two())
+        .collect();
+
+    let uniform = estimate_with_depth(config, program.queue_depth);
+    // Price each heterogeneous LPV as a 1-LPV machine of its own width.
+    let mut ff = 0u64;
+    let mut lut = 0u64;
+    let mut bram = 0u64;
+    for &m_v in &lpes_per_lpv {
+        let one = estimate_with_depth(
+            &LpuConfig {
+                m: m_v,
+                n: 1,
+                ..*config
+            },
+            program.queue_depth,
+        );
+        ff += one.ff;
+        lut += one.lut;
+        bram += one.bram_kb;
+    }
+    let cap = crate::lpu::resource::Vu9pCapacity::default();
+    let hetero = ResourceReport {
+        ff,
+        lut,
+        bram_kb: bram,
+        freq_mhz: config.freq_mhz,
+        ff_util: ff as f64 / cap.ff as f64,
+        lut_util: lut as f64 / cap.lut as f64,
+        bram_util: bram as f64 / cap.bram_kb as f64,
+    };
+    HeteroProposal {
+        lpes_per_lpv,
+        lut_saving: 1.0 - hetero.lut as f64 / uniform.lut as f64,
+        ff_saving: 1.0 - hetero.ff as f64 / uniform.ff as f64,
+        uniform,
+        hetero,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{Flow, FlowOptions};
+    use lbnn_netlist::random::RandomDag;
+
+    /// A graph whose width shrinks sharply with depth: classic cone shape
+    /// where late LPVs see narrow levels.
+    fn cone_flow(m: usize, n: usize) -> Flow {
+        let nl = RandomDag::strict(4 * m, 3, 2 * m).outputs(1).generate(8);
+        Flow::compile(&nl, &LpuConfig::new(m, n), &FlowOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn profile_counts_ops() {
+        let flow = cone_flow(8, 4);
+        let prof = profile(&flow.program);
+        assert_eq!(prof.peak_lpes.len(), 4);
+        let total: usize = prof.total_ops.iter().sum();
+        assert_eq!(total, flow.program.lpe_op_count());
+        for (lpv, &p) in prof.peak_lpes.iter().enumerate() {
+            assert!(p <= 8, "LPV {lpv} peak {p} within m");
+        }
+    }
+
+    #[test]
+    fn cone_workloads_save_resources() {
+        let flow = cone_flow(16, 8);
+        let proposal = propose(&flow.program, &flow.config);
+        assert_eq!(proposal.lpes_per_lpv.len(), 8);
+        // The narrow tail must propose fewer LPEs than m somewhere.
+        assert!(
+            proposal.lpes_per_lpv.iter().any(|&m_v| m_v < 16),
+            "{:?}",
+            proposal.lpes_per_lpv
+        );
+        assert!(proposal.lut_saving > 0.0, "saving {}", proposal.lut_saving);
+        assert!(proposal.ff_saving > 0.0);
+        // And never proposes more than the uniform machine had.
+        assert!(proposal.lpes_per_lpv.iter().all(|&m_v| m_v <= 16));
+        assert!(proposal.hetero.lut < proposal.uniform.lut);
+    }
+
+    #[test]
+    fn uniformly_busy_machines_save_nothing_substantial() {
+        // A dense rectangular graph keeps every LPV near peak width; the
+        // proposal should stay at (or near) the uniform sizing.
+        let nl = RandomDag::strict(16, 8, 8).outputs(8).generate(3);
+        let flow = Flow::compile(&nl, &LpuConfig::new(8, 4), &FlowOptions::default()).unwrap();
+        let proposal = propose(&flow.program, &flow.config);
+        assert!(
+            proposal.lpes_per_lpv.iter().filter(|&&m_v| m_v == 8).count() >= 2,
+            "{:?}",
+            proposal.lpes_per_lpv
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! The logic processor (LPU) — §IV of the paper.
+//!
+//! A data-driven architecture: streaming operands flow through linearly
+//! ordered logic processing vectors (LPVs), each holding `m` logic
+//! processing elements (LPEs) with two snapshot registers apiece,
+//! connected by non-blocking multicast switch networks. No scratchpad
+//! memories: intermediate results either flow through the pipeline or
+//! rest briefly in snapshot registers, under compiler control.
+
+pub mod config;
+pub mod hetero;
+pub mod machine;
+pub mod multi;
+pub mod resource;
+
+pub use config::LpuConfig;
+pub use machine::{LpuMachine, RunResult};
+pub use hetero::{profile, propose, HeteroProposal, LpvProfile};
+pub use multi::{Assembly, MultiLpu};
+pub use resource::{ResourceReport, Vu9pCapacity};

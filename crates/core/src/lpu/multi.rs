@@ -1,0 +1,196 @@
+//! Multi-LPU assemblies — §III and the paper's future-work section:
+//! "Multiple LPUs can be assembled in parallel or series configuration
+//! for large graphs to complete the required computations … at the extra
+//! area/power cost."
+//!
+//! * **Parallel**: `k` identical LPUs run independent blocks (or lane
+//!   groups) — throughput scales by `k`, latency is unchanged, resources
+//!   add up.
+//! * **Series**: `k` LPUs chained output-buffer-to-input-buffer behave
+//!   like one machine with `k·n` LPVs — deep graphs wrap through the
+//!   circulation path `k×` less often, shortening schedules, again at
+//!   `k×` the resources.
+
+use lbnn_netlist::Netlist;
+
+use crate::error::CoreError;
+use crate::flow::{Flow, FlowOptions};
+use crate::lpu::config::LpuConfig;
+use crate::lpu::resource::{estimate, ResourceReport};
+
+/// How multiple LPUs are assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assembly {
+    /// `k` independent LPUs working on disjoint work items.
+    Parallel(usize),
+    /// `k` LPUs chained in a ring, acting as one `k·n`-LPV pipeline.
+    Series(usize),
+}
+
+impl Assembly {
+    /// Number of LPUs in the assembly.
+    pub fn count(self) -> usize {
+        match self {
+            Assembly::Parallel(k) | Assembly::Series(k) => k,
+        }
+    }
+}
+
+/// A multi-LPU system built from identical base processors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiLpu {
+    /// The per-LPU configuration.
+    pub base: LpuConfig,
+    /// Assembly topology.
+    pub assembly: Assembly,
+}
+
+/// Evaluation of one netlist on a multi-LPU system.
+#[derive(Debug, Clone)]
+pub struct MultiLpuReport {
+    /// One-pass latency in clock cycles (of the whole assembly).
+    pub latency_clk: u64,
+    /// Steady-state clocks per batch (assembly initiation interval,
+    /// already divided by parallel replication).
+    pub ii_clk: f64,
+    /// Effective batch lanes per pass across the assembly.
+    pub lanes: usize,
+    /// The compiled flow (on the effective machine).
+    pub flow: Flow,
+}
+
+impl MultiLpu {
+    /// Creates an assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LPU count is zero.
+    pub fn new(base: LpuConfig, assembly: Assembly) -> Self {
+        assert!(assembly.count() > 0, "assembly needs at least one LPU");
+        MultiLpu { base, assembly }
+    }
+
+    /// The configuration a compiler targets: series chains fuse into one
+    /// long pipeline; parallel LPUs each compile the same program.
+    pub fn effective_config(&self) -> LpuConfig {
+        match self.assembly {
+            Assembly::Parallel(_) => self.base,
+            Assembly::Series(k) => LpuConfig {
+                n: self.base.n * k,
+                // The chain runs at the base clock (links are
+                // buffer-to-buffer, not a longer combinational path).
+                ..self.base
+            },
+        }
+    }
+
+    /// Total FPGA resources (per-LPU estimate × count).
+    pub fn resources(&self) -> ResourceReport {
+        let one = estimate(&self.base);
+        let k = self.assembly.count() as u64;
+        ResourceReport {
+            ff: one.ff * k,
+            lut: one.lut * k,
+            bram_kb: one.bram_kb * k,
+            freq_mhz: one.freq_mhz,
+            ff_util: one.ff_util * k as f64,
+            lut_util: one.lut_util * k as f64,
+            bram_util: one.bram_util * k as f64,
+        }
+    }
+
+    /// Compiles and evaluates one FFCL block on the assembly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn evaluate(&self, netlist: &Netlist, options: &FlowOptions) -> Result<MultiLpuReport, CoreError> {
+        let config = self.effective_config();
+        let flow = Flow::compile(netlist, &config, options)?;
+        let (ii, lanes) = match self.assembly {
+            Assembly::Parallel(k) => (
+                flow.stats.steady_clock_cycles as f64 / k as f64,
+                config.operand_bits() * k,
+            ),
+            Assembly::Series(_) => (
+                flow.stats.steady_clock_cycles as f64,
+                config.operand_bits(),
+            ),
+        };
+        Ok(MultiLpuReport {
+            latency_clk: flow.stats.clock_cycles,
+            ii_clk: ii,
+            lanes,
+            flow,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_netlist::random::RandomDag;
+
+    #[test]
+    fn parallel_scales_throughput_not_latency() {
+        let nl = RandomDag::strict(16, 6, 12).outputs(4).generate(3);
+        let base = LpuConfig::new(8, 4);
+        let one = MultiLpu::new(base, Assembly::Parallel(1))
+            .evaluate(&nl, &FlowOptions::default())
+            .unwrap();
+        let four = MultiLpu::new(base, Assembly::Parallel(4))
+            .evaluate(&nl, &FlowOptions::default())
+            .unwrap();
+        assert_eq!(one.latency_clk, four.latency_clk, "latency unchanged");
+        assert!((one.ii_clk / four.ii_clk - 4.0).abs() < 1e-9, "II / 4");
+        assert_eq!(four.lanes, one.lanes * 4);
+    }
+
+    #[test]
+    fn series_reduces_wrapping_for_deep_graphs() {
+        // Depth 12 on a 3-LPV base: wraps 4x; a 4-chain (12 LPVs) wraps
+        // once. The series schedule must be no longer, and the circulation
+        // pressure strictly lower.
+        let nl = RandomDag::strict(8, 12, 4).outputs(2).generate(5);
+        let base = LpuConfig::new(6, 3);
+        let single = MultiLpu::new(base, Assembly::Series(1))
+            .evaluate(&nl, &FlowOptions::default())
+            .unwrap();
+        let chain = MultiLpu::new(base, Assembly::Series(4))
+            .evaluate(&nl, &FlowOptions::default())
+            .unwrap();
+        assert!(
+            chain.latency_clk <= single.latency_clk,
+            "series chain: {} vs {}",
+            chain.latency_clk,
+            single.latency_clk
+        );
+        // Functional equivalence on the fused machine.
+        chain.flow.verify_against_netlist(1).unwrap();
+    }
+
+    #[test]
+    fn resources_are_additive() {
+        let base = LpuConfig::new(64, 4);
+        let quad = MultiLpu::new(base, Assembly::Parallel(4)).resources();
+        let one = estimate(&base);
+        assert_eq!(quad.ff, one.ff * 4);
+        assert_eq!(quad.lut, one.lut * 4);
+        assert_eq!(quad.bram_kb, one.bram_kb * 4);
+    }
+
+    #[test]
+    fn series_effective_config() {
+        let base = LpuConfig::new(16, 4);
+        let m = MultiLpu::new(base, Assembly::Series(3));
+        let eff = m.effective_config();
+        assert_eq!(eff.n, 12);
+        assert_eq!(eff.m, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one LPU")]
+    fn zero_lpus_rejected() {
+        let _ = MultiLpu::new(LpuConfig::new(4, 4), Assembly::Parallel(0));
+    }
+}

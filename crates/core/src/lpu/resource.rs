@@ -1,0 +1,169 @@
+//! FPGA resource model — the analytical counterpart of Table I.
+//!
+//! The paper prototypes the LPU on a Xilinx Virtex UltraScale+ VU9P (the
+//! AWS EC2 F1 FPGA) and reports, for `n = 16` LPVs: 478 K FFs (20.2 %),
+//! 433 K LUTs (36.7 %), 12 240 Kb BRAM (15.8 %) at 333 MHz. This module
+//! rebuilds those numbers from first principles:
+//!
+//! * **FF** — snapshot registers (`n·m·2` registers of `2m` bits), LPV
+//!   output registers (`n·m` × `2m` bits), switch-stage pipeline registers
+//!   and per-LPV control (read-address shift register, queue pointers);
+//! * **LUT** — the LPE logic units (`2m`-bit wide operation mux per LPE)
+//!   and the multicast switch fabric (per-LPV, `2m`-port, `2m`-bit
+//!   datapath with a `log²`-scaled crosspoint factor);
+//! * **BRAM** — instruction queues (six per LPV, Fig 6) sized by the
+//!   instruction word, plus input/output data buffers.
+//!
+//! Constants are calibrated once against Table I at `(m, n) = (64, 16)`
+//! and then *predict* other configurations (used by the Fig 9 ablation).
+
+use crate::lpu::config::LpuConfig;
+
+/// Published capacities of the Xilinx VU9P.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vu9pCapacity {
+    /// CLB flip-flops.
+    pub ff: u64,
+    /// CLB LUTs.
+    pub lut: u64,
+    /// Block RAM capacity in Kb.
+    pub bram_kb: u64,
+}
+
+impl Default for Vu9pCapacity {
+    fn default() -> Self {
+        // Virtex UltraScale+ XCVU9P: 2,364,480 FF; 1,182,240 LUT;
+        // 75.9 Mb BRAM.
+        Vu9pCapacity {
+            ff: 2_364_480,
+            lut: 1_182_240,
+            bram_kb: 77_721,
+        }
+    }
+}
+
+/// Resource estimate for one LPU configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceReport {
+    /// Flip-flop count.
+    pub ff: u64,
+    /// LUT count.
+    pub lut: u64,
+    /// Block RAM in Kb.
+    pub bram_kb: u64,
+    /// Achievable clock (MHz).
+    pub freq_mhz: f64,
+    /// FF utilization of the VU9P (0..1).
+    pub ff_util: f64,
+    /// LUT utilization of the VU9P (0..1).
+    pub lut_util: f64,
+    /// BRAM utilization of the VU9P (0..1).
+    pub bram_util: f64,
+}
+
+/// Instruction-queue depth assumed for standalone resource reports (the
+/// paper provisions for large models; per-program reports can use the
+/// actual compiled depth instead).
+pub const DEFAULT_QUEUE_DEPTH: usize = 320;
+
+/// Estimates FPGA resources for a configuration with the default
+/// provisioned queue depth.
+pub fn estimate(config: &LpuConfig) -> ResourceReport {
+    estimate_with_depth(config, DEFAULT_QUEUE_DEPTH)
+}
+
+/// Estimates FPGA resources with an explicit instruction-queue depth.
+pub fn estimate_with_depth(config: &LpuConfig, queue_depth: usize) -> ResourceReport {
+    let m = config.m as u64;
+    let n = config.n as u64;
+    let w = 2 * m; // operand width in bits
+    let tsw = config.tsw as u64;
+
+    // --- Flip-flops -----------------------------------------------------
+    // Two snapshot registers per LPE, each an operand wide.
+    let ff_snapshots = n * m * 2 * w;
+    // One output register per LPE, an operand wide.
+    let ff_outputs = n * m * w;
+    // Switch-stage pipelining: one register column per routing stage,
+    // amortized to one port-width column per two stages (the fabric
+    // retimes alternate stages).
+    let ff_switch = n * (tsw / 2).max(1) * w * log2_ceil(w);
+    // Per-LPV control: read-address shift register, queue pointers,
+    // handshake state (calibrated residue).
+    let ff_control = n * 3_500;
+    let ff = ff_snapshots + ff_outputs + ff_switch + ff_control;
+
+    // --- LUTs -------------------------------------------------------------
+    // LPE logic unit: a full two-input op mux is ~1 LUT per datapath bit.
+    let lut_lpes = n * m * w;
+    // Multicast switch: 2m-port, 2m-bit datapath; crosspoint-reduced
+    // multistage fabric scales with w · log2(w)^2 per LPV.
+    let lut_switch = n * 3 * w * log2_ceil(w) * log2_ceil(w);
+    // Queue addressing and decoders.
+    let lut_control = n * 900;
+    let lut = lut_lpes + lut_switch + lut_control;
+
+    // --- BRAM -------------------------------------------------------------
+    // Instruction word per LPV: per-LPE opcode + two operand selects,
+    // switch assignment, snapshot-write mask.
+    let instr_bits = m * (4 + 2 * (2 + log2_ceil(w).max(1)))
+        + w * log2_ceil(m).max(1)
+        + w;
+    // Six instruction queues per LPV block (Fig 6).
+    let bram_queues_bits = n * 6 * queue_depth as u64 * instr_bits / 6;
+    // Input and output data buffers: provisioned at 2·queue_depth operands.
+    let bram_buffers_bits = 2 * 2 * queue_depth as u64 * w * log2_ceil(w);
+    let bram_kb = (bram_queues_bits + bram_buffers_bits) / 1024;
+
+    let cap = Vu9pCapacity::default();
+    ResourceReport {
+        ff,
+        lut,
+        bram_kb,
+        freq_mhz: config.freq_mhz,
+        ff_util: ff as f64 / cap.ff as f64,
+        lut_util: lut as f64 / cap.lut as f64,
+        bram_util: bram_kb as f64 / cap.bram_kb as f64,
+    }
+}
+
+fn log2_ceil(x: u64) -> u64 {
+    u64::from(64 - x.max(1).next_power_of_two().leading_zeros()) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(128), 7);
+        assert_eq!(log2_ceil(100), 7);
+    }
+
+    #[test]
+    fn table1_operating_point_within_band() {
+        // Paper: 478K FF (20.2%), 433K LUT (36.7%), 12,240 Kb (15.8%),
+        // 333 MHz. The analytical model must land within ±20% of each.
+        let r = estimate(&LpuConfig::paper_default());
+        let within = |got: f64, want: f64| (got - want).abs() / want < 0.20;
+        assert!(within(r.ff as f64, 478_000.0), "FF = {}", r.ff);
+        assert!(within(r.lut as f64, 433_000.0), "LUT = {}", r.lut);
+        assert!(within(r.bram_kb as f64, 12_240.0), "BRAM = {} Kb", r.bram_kb);
+        assert!((r.freq_mhz - 333.0).abs() < 5.0);
+        assert!(within(r.ff_util, 0.202), "FF util = {}", r.ff_util);
+        assert!(within(r.lut_util, 0.367), "LUT util = {}", r.lut_util);
+        assert!(within(r.bram_util, 0.158), "BRAM util = {}", r.bram_util);
+    }
+
+    #[test]
+    fn resources_scale_monotonically() {
+        let small = estimate(&LpuConfig::new(64, 8));
+        let big = estimate(&LpuConfig::new(64, 16));
+        assert!(small.ff < big.ff);
+        assert!(small.lut < big.lut);
+        assert!(small.bram_kb < big.bram_kb);
+    }
+}

@@ -1,0 +1,584 @@
+//! Positional-cube representation of product terms and covers.
+//!
+//! A [`Cube`] is a product term over `n` Boolean variables. Each variable is
+//! encoded with two bits, PLA style: `(pos, neg) = (1,0)` is the positive
+//! literal, `(0,1)` the negative literal, `(1,1)` a don't-care (variable
+//! absent from the product), and `(0,0)` an empty (contradictory) cube.
+//! A [`Cover`] is a set of cubes — a sum-of-products.
+
+use std::fmt;
+
+/// Number of `u64` words needed for `n` variable bits.
+#[inline]
+fn words_for(nvars: usize) -> usize {
+    nvars.div_ceil(64)
+}
+
+/// The three states a variable can take inside a cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Literal {
+    /// Variable appears positively.
+    Pos,
+    /// Variable appears negated.
+    Neg,
+    /// Variable does not appear (don't care).
+    DontCare,
+}
+
+/// A product term over `nvars` variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    nvars: usize,
+    pos: Vec<u64>,
+    neg: Vec<u64>,
+}
+
+impl Cube {
+    /// The full cube (all variables don't-care): the constant-1 product.
+    pub fn full(nvars: usize) -> Self {
+        let w = words_for(nvars);
+        let mut c = Cube {
+            nvars,
+            pos: vec![!0u64; w],
+            neg: vec![!0u64; w],
+        };
+        c.mask_tail();
+        c
+    }
+
+    /// The cube of a single minterm: bit `v` of `minterm` gives variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 64`; use explicit literal construction for wider
+    /// functions.
+    pub fn from_minterm(nvars: usize, minterm: u64) -> Self {
+        assert!(nvars <= 64, "minterm construction limited to 64 variables");
+        let mut c = Cube::full(nvars);
+        for v in 0..nvars {
+            c.set(v, if minterm >> v & 1 != 0 { Literal::Pos } else { Literal::Neg });
+        }
+        c
+    }
+
+    /// The full-minterm cube of a sample: variable `v` takes phase
+    /// `bits[v]`. Unlike [`Cube::from_minterm`] this supports any width.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut c = Cube::full(bits.len());
+        for (v, &b) in bits.iter().enumerate() {
+            c.set(v, if b { Literal::Pos } else { Literal::Neg });
+        }
+        c
+    }
+
+    /// Builds a cube from explicit literals (`(var, phase)` pairs); all other
+    /// variables are don't-care.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range.
+    pub fn from_literals(nvars: usize, literals: &[(usize, bool)]) -> Self {
+        let mut c = Cube::full(nvars);
+        for &(v, phase) in literals {
+            c.set(v, if phase { Literal::Pos } else { Literal::Neg });
+        }
+        c
+    }
+
+    /// Number of variables in the cube's universe.
+    #[inline]
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The literal state of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or the cube is empty at `v`.
+    pub fn literal(&self, v: usize) -> Literal {
+        assert!(v < self.nvars, "variable {v} out of range {}", self.nvars);
+        let (w, b) = (v / 64, v % 64);
+        match (self.pos[w] >> b & 1, self.neg[w] >> b & 1) {
+            (1, 1) => Literal::DontCare,
+            (1, 0) => Literal::Pos,
+            (0, 1) => Literal::Neg,
+            _ => panic!("cube is empty at variable {v}"),
+        }
+    }
+
+    /// Sets the literal state of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set(&mut self, v: usize, lit: Literal) {
+        assert!(v < self.nvars, "variable {v} out of range {}", self.nvars);
+        let (w, b) = (v / 64, v % 64);
+        let (p, n) = match lit {
+            Literal::Pos => (1u64, 0u64),
+            Literal::Neg => (0, 1),
+            Literal::DontCare => (1, 1),
+        };
+        self.pos[w] = self.pos[w] & !(1 << b) | (p << b);
+        self.neg[w] = self.neg[w] & !(1 << b) | (n << b);
+    }
+
+    /// Number of literals (variables not don't-care).
+    pub fn literal_count(&self) -> usize {
+        let dc: usize = self
+            .pos
+            .iter()
+            .zip(&self.neg)
+            .map(|(&p, &n)| (p & n).count_ones() as usize)
+            .sum();
+        self.nvars - dc
+    }
+
+    /// `true` when some variable has neither phase (contradictory product).
+    pub fn is_empty(&self) -> bool {
+        let w = words_for(self.nvars);
+        for i in 0..w {
+            let mut present = self.pos[i] | self.neg[i];
+            if i == w - 1 && !self.nvars.is_multiple_of(64) {
+                present |= !((1u64 << (self.nvars % 64)) - 1);
+            }
+            if present != !0u64 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `true` when every variable is don't-care (the constant-1 product).
+    pub fn is_full(&self) -> bool {
+        self.literal_count() == 0 && !self.is_empty()
+    }
+
+    /// Cube intersection (product of products). Empty if contradictory.
+    pub fn intersect(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.nvars, other.nvars);
+        Cube {
+            nvars: self.nvars,
+            pos: self.pos.iter().zip(&other.pos).map(|(a, b)| a & b).collect(),
+            neg: self.neg.iter().zip(&other.neg).map(|(a, b)| a & b).collect(),
+        }
+    }
+
+    /// `true` if `other` is contained in `self` (every minterm of `other`
+    /// is a minterm of `self`).
+    pub fn contains(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.nvars, other.nvars);
+        self.pos
+            .iter()
+            .zip(&other.pos)
+            .all(|(s, o)| s & o == *o)
+            && self.neg.iter().zip(&other.neg).all(|(s, o)| s & o == *o)
+    }
+
+    /// The smallest cube containing both (bitwise union of phases).
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.nvars, other.nvars);
+        Cube {
+            nvars: self.nvars,
+            pos: self.pos.iter().zip(&other.pos).map(|(a, b)| a | b).collect(),
+            neg: self.neg.iter().zip(&other.neg).map(|(a, b)| a | b).collect(),
+        }
+    }
+
+    /// `true` if the cube contains the given minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 64`.
+    pub fn covers_minterm(&self, minterm: u64) -> bool {
+        assert!(self.nvars <= 64);
+        for v in 0..self.nvars {
+            let (w, b) = (v / 64, v % 64);
+            let bit = minterm >> v & 1 != 0;
+            let ok = if bit {
+                self.pos[w] >> b & 1 != 0
+            } else {
+                self.neg[w] >> b & 1 != 0
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Cofactor with respect to the literal `(v, phase)`: `None` if the cube
+    /// requires the opposite phase (it vanishes), otherwise the cube with
+    /// variable `v` freed.
+    pub fn cofactor(&self, v: usize, phase: bool) -> Option<Cube> {
+        match (self.literal(v), phase) {
+            (Literal::Pos, false) | (Literal::Neg, true) => None,
+            _ => {
+                let mut c = self.clone();
+                c.set(v, Literal::DontCare);
+                Some(c)
+            }
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.nvars % 64;
+        if rem != 0 {
+            let mask = (1u64 << rem) - 1;
+            if let Some(last) = self.pos.last_mut() {
+                *last &= mask;
+            }
+            if let Some(last) = self.neg.last_mut() {
+                *last &= mask;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("<empty>");
+        }
+        for v in 0..self.nvars {
+            let c = match self.literal(v) {
+                Literal::Pos => '1',
+                Literal::Neg => '0',
+                Literal::DontCare => '-',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products: a set of cubes over a common variable universe.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cover {
+    nvars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0).
+    pub fn empty(nvars: usize) -> Self {
+        Cover {
+            nvars,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// A cover containing only the full cube (constant 1).
+    pub fn tautology(nvars: usize) -> Self {
+        Cover {
+            nvars,
+            cubes: vec![Cube::full(nvars)],
+        }
+    }
+
+    /// Builds a cover from a list of minterms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 64`.
+    pub fn from_minterms(nvars: usize, minterms: &[u64]) -> Self {
+        Cover {
+            nvars,
+            cubes: minterms
+                .iter()
+                .map(|&m| Cube::from_minterm(nvars, m))
+                .collect(),
+        }
+    }
+
+    /// Builds a cover from explicit cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cubes disagree on the variable count.
+    pub fn from_cubes(nvars: usize, cubes: Vec<Cube>) -> Self {
+        for c in &cubes {
+            assert_eq!(c.nvars(), nvars, "cube universe mismatch");
+        }
+        Cover { nvars, cubes }
+    }
+
+    /// Number of variables in the universe.
+    #[inline]
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of cubes.
+    #[inline]
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total literal count across cubes (the classic PLA cost metric).
+    pub fn literal_cost(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// `true` when the cover has no cubes.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Adds a cube (non-empty ones only; empty cubes are dropped).
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.nvars(), self.nvars, "cube universe mismatch");
+        if !cube.is_empty() {
+            self.cubes.push(cube);
+        }
+    }
+
+    /// Removes the cube at `index` and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn remove(&mut self, index: usize) -> Cube {
+        self.cubes.remove(index)
+    }
+
+    /// `true` if any cube covers the minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 64`.
+    pub fn covers_minterm(&self, minterm: u64) -> bool {
+        self.cubes.iter().any(|c| c.covers_minterm(minterm))
+    }
+
+    /// Cofactor of the whole cover by literal `(v, phase)`.
+    pub fn cofactor(&self, v: usize, phase: bool) -> Cover {
+        Cover {
+            nvars: self.nvars,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|c| c.cofactor(v, phase))
+                .collect(),
+        }
+    }
+
+    /// Cofactor of the cover with respect to a *cube* (Shannon cofactor
+    /// against every literal of `cube`).
+    pub fn cofactor_cube(&self, cube: &Cube) -> Cover {
+        let mut out = Vec::new();
+        'next: for c in &self.cubes {
+            let mut r = c.clone();
+            for v in 0..self.nvars {
+                match cube.literal(v) {
+                    Literal::Pos => match r.literal(v) {
+                        Literal::Neg => continue 'next,
+                        _ => r.set(v, Literal::DontCare),
+                    },
+                    Literal::Neg => match r.literal(v) {
+                        Literal::Pos => continue 'next,
+                        _ => r.set(v, Literal::DontCare),
+                    },
+                    Literal::DontCare => {}
+                }
+            }
+            out.push(r);
+        }
+        Cover {
+            nvars: self.nvars,
+            cubes: out,
+        }
+    }
+
+    /// Removes cubes single-cube-contained in another cube of the cover.
+    pub fn remove_contained(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i != j && keep[j] && keep[i]
+                    && self.cubes[j].contains(&self.cubes[i])
+                        && (!self.cubes[i].contains(&self.cubes[j]) || i > j)
+                    {
+                        keep[i] = false;
+                    }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Variable selection for recursion: the *most binate* variable (appears
+    /// in both phases in the largest number of cubes), falling back to the
+    /// most frequently used variable. `None` when all cubes are full.
+    pub fn most_binate_var(&self) -> Option<usize> {
+        let mut pos_count = vec![0usize; self.nvars];
+        let mut neg_count = vec![0usize; self.nvars];
+        for c in &self.cubes {
+            for v in 0..self.nvars {
+                match c.literal(v) {
+                    Literal::Pos => pos_count[v] += 1,
+                    Literal::Neg => neg_count[v] += 1,
+                    Literal::DontCare => {}
+                }
+            }
+        }
+        (0..self.nvars)
+            .filter(|&v| pos_count[v] + neg_count[v] > 0)
+            .max_by_key(|&v| {
+                let binate = pos_count[v].min(neg_count[v]);
+                (binate, pos_count[v] + neg_count[v])
+            })
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cover({} vars, {} cubes):", self.nvars, self.cubes.len())?;
+        for c in &self.cubes {
+            writeln!(f, "  {c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minterm_round_trip() {
+        for m in 0..8u64 {
+            let c = Cube::from_minterm(3, m);
+            assert_eq!(c.literal_count(), 3);
+            for other in 0..8u64 {
+                assert_eq!(c.covers_minterm(other), m == other);
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_and_contains() {
+        // ab (c free) ∩ bc (a free) = abc
+        let ab = Cube::from_literals(3, &[(0, true), (1, true)]);
+        let bc = Cube::from_literals(3, &[(1, true), (2, true)]);
+        let abc = ab.intersect(&bc);
+        assert_eq!(abc.literal_count(), 3);
+        assert!(ab.contains(&abc));
+        assert!(bc.contains(&abc));
+        assert!(!abc.contains(&ab));
+
+        // a ∩ a' = empty
+        let a = Cube::from_literals(1, &[(0, true)]);
+        let na = Cube::from_literals(1, &[(0, false)]);
+        assert!(a.intersect(&na).is_empty());
+    }
+
+    #[test]
+    fn supercube_drops_conflicting_literals() {
+        let ab = Cube::from_literals(2, &[(0, true), (1, true)]);
+        let anb = Cube::from_literals(2, &[(0, true), (1, false)]);
+        let sup = ab.supercube(&anb);
+        assert_eq!(sup.literal(0), Literal::Pos);
+        assert_eq!(sup.literal(1), Literal::DontCare);
+    }
+
+    #[test]
+    fn cofactor_behaviour() {
+        let ab = Cube::from_literals(3, &[(0, true), (1, true)]);
+        assert!(ab.cofactor(0, false).is_none());
+        let cof = ab.cofactor(0, true).unwrap();
+        assert_eq!(cof.literal(0), Literal::DontCare);
+        assert_eq!(cof.literal(1), Literal::Pos);
+        // Cofactor on an absent variable keeps the cube.
+        assert!(ab.cofactor(2, false).is_some());
+    }
+
+    #[test]
+    fn cover_cofactor_cube() {
+        // F = ab + a'c ; cofactor by cube a -> b + c... wait: F_a = b + c? No:
+        // F_a = b (from ab) — a'c vanishes. Check precisely.
+        let f = Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true), (1, true)]),
+                Cube::from_literals(3, &[(0, false), (2, true)]),
+            ],
+        );
+        let fa = f.cofactor_cube(&Cube::from_literals(3, &[(0, true)]));
+        assert_eq!(fa.cube_count(), 1);
+        assert_eq!(fa.cubes()[0].literal(1), Literal::Pos);
+    }
+
+    #[test]
+    fn remove_contained_keeps_maximal_cubes() {
+        let mut f = Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true)]),                       // a
+                Cube::from_literals(3, &[(0, true), (1, true)]),            // ab ⊆ a
+                Cube::from_literals(3, &[(1, false), (2, true)]),           // b'c
+                Cube::from_literals(3, &[(0, true), (1, false), (2, true)]) // ab'c ⊆ both
+            ],
+        );
+        f.remove_contained();
+        assert_eq!(f.cube_count(), 2);
+    }
+
+    #[test]
+    fn remove_contained_deduplicates_equal_cubes() {
+        let c = Cube::from_literals(2, &[(0, true)]);
+        let mut f = Cover::from_cubes(2, vec![c.clone(), c.clone(), c]);
+        f.remove_contained();
+        assert_eq!(f.cube_count(), 1);
+    }
+
+    #[test]
+    fn binate_selection() {
+        // x0 appears in both phases; x1 only positive.
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true), (1, true)]),
+                Cube::from_literals(2, &[(0, false)]),
+            ],
+        );
+        assert_eq!(f.most_binate_var(), Some(0));
+        let full = Cover::tautology(2);
+        assert_eq!(full.most_binate_var(), None);
+    }
+
+    #[test]
+    fn wide_cubes_beyond_64_vars() {
+        let mut c = Cube::full(100);
+        c.set(70, Literal::Pos);
+        c.set(99, Literal::Neg);
+        assert_eq!(c.literal_count(), 2);
+        assert_eq!(c.literal(70), Literal::Pos);
+        assert_eq!(c.literal(99), Literal::Neg);
+        assert!(!c.is_empty());
+        let d = Cube::from_literals(100, &[(70, false)]);
+        assert!(c.intersect(&d).is_empty());
+    }
+
+    #[test]
+    fn push_drops_empty_cubes() {
+        let a = Cube::from_literals(1, &[(0, true)]);
+        let na = Cube::from_literals(1, &[(0, false)]);
+        let mut f = Cover::empty(1);
+        f.push(a.intersect(&na));
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,582 @@
+//! Espresso-style two-level minimization.
+//!
+//! Implements the classic EXPAND / IRREDUNDANT / REDUCE loop over
+//! incompletely specified functions, plus a sample-based variant
+//! ([`minimize_samples`]) that NullaNet-style extraction uses when the
+//! ON/OFF sets are observed minterm lists rather than closed-form covers
+//! (don't-cares are then implicit — exactly the situation described in the
+//! NullaNet upstream of the paper).
+
+use crate::cube::{Cover, Cube, Literal};
+
+/// Recursion guard: tautology/complement recursion splits at most once per
+/// variable, so depth is bounded by the variable count; this is a safety
+/// net for pathological covers.
+const MAX_DEPTH: usize = 128;
+
+/// `true` if the cover is a tautology (covers every minterm).
+///
+/// Uses unate reduction: a unate cover is a tautology iff it contains the
+/// full cube; binate covers split on the most binate variable.
+pub fn is_tautology(cover: &Cover) -> bool {
+    taut_rec(cover, 0)
+}
+
+fn taut_rec(cover: &Cover, depth: usize) -> bool {
+    if cover.cubes().iter().any(Cube::is_full) {
+        return true;
+    }
+    if cover.is_empty() {
+        return false;
+    }
+    assert!(depth < MAX_DEPTH, "tautology recursion exceeded depth bound");
+    match cover.most_binate_var() {
+        // No variable appears at all, and no cube is full: not a tautology.
+        None => false,
+        Some(v) => {
+            // Unate in v? If v never appears in one phase, cubes with v in the
+            // other phase can't help cover that cofactor — recursion handles
+            // it naturally, so just split.
+            taut_rec(&cover.cofactor(v, false), depth + 1)
+                && taut_rec(&cover.cofactor(v, true), depth + 1)
+        }
+    }
+}
+
+/// Complement of a cover (Shannon recursion with single-cube De Morgan base
+/// case). Exponential in the worst case — intended for the variable counts
+/// NullaNet hands us (≤ 24).
+pub fn complement(cover: &Cover) -> Cover {
+    comp_rec(cover, 0)
+}
+
+fn comp_rec(cover: &Cover, depth: usize) -> Cover {
+    let nvars = cover.nvars();
+    if cover.is_empty() {
+        return Cover::tautology(nvars);
+    }
+    if cover.cubes().iter().any(Cube::is_full) {
+        return Cover::empty(nvars);
+    }
+    assert!(depth < MAX_DEPTH, "complement recursion exceeded depth bound");
+    if cover.cube_count() == 1 {
+        // De Morgan: (l1 l2 … lk)' = l1' + l2' + … + lk'
+        let cube = &cover.cubes()[0];
+        let mut out = Cover::empty(nvars);
+        for v in 0..nvars {
+            match cube.literal(v) {
+                Literal::Pos => out.push(Cube::from_literals(nvars, &[(v, false)])),
+                Literal::Neg => out.push(Cube::from_literals(nvars, &[(v, true)])),
+                Literal::DontCare => {}
+            }
+        }
+        return out;
+    }
+    let v = cover
+        .most_binate_var()
+        .expect("non-empty, non-full cover mentions a variable");
+    let c0 = comp_rec(&cover.cofactor(v, false), depth + 1);
+    let c1 = comp_rec(&cover.cofactor(v, true), depth + 1);
+    let mut out = Cover::empty(nvars);
+    for c in c0.cubes() {
+        let mut c = c.clone();
+        c.set(v, Literal::Neg);
+        out.push(c);
+    }
+    for c in c1.cubes() {
+        let mut c = c.clone();
+        c.set(v, Literal::Pos);
+        out.push(c);
+    }
+    out.remove_contained();
+    out
+}
+
+/// `true` if `cover ∪ dc` covers `cube` entirely.
+pub fn covers_cube(cover: &Cover, dc: &Cover, cube: &Cube) -> bool {
+    let mut restricted = cover.cofactor_cube(cube);
+    for c in dc.cofactor_cube(cube).cubes() {
+        restricted.push(c.clone());
+    }
+    is_tautology(&restricted)
+}
+
+/// EXPAND: enlarge each cube to a prime implicant against the OFF-set,
+/// dropping cubes that become contained in an already-expanded cube.
+///
+/// Literal removal order is "most freeing first": literals whose removal
+/// lets the cube absorb the most other cubes are tried first; we use the
+/// simple heuristic of trying variables in increasing frequency-in-OFF-set
+/// order, which tends to keep expansion legal longer.
+pub fn expand(cover: &mut Cover, off: &Cover) {
+    let nvars = cover.nvars();
+    // Frequency of each variable in the OFF-set: removing a rarely-blocked
+    // literal first is more likely to succeed.
+    let mut off_freq = vec![0usize; nvars];
+    for c in off.cubes() {
+        for v in 0..nvars {
+            if c.literal(v) != Literal::DontCare {
+                off_freq[v] += 1;
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..nvars).collect();
+    order.sort_by_key(|&v| off_freq[v]);
+
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Expand small cubes first: they have the most to gain.
+    cubes.sort_by_key(Cube::literal_count);
+    let mut result: Vec<Cube> = Vec::with_capacity(cubes.len());
+    'outer: for mut cube in cubes {
+        // Skip cubes already swallowed by an expanded prime.
+        for r in &result {
+            if r.contains(&cube) {
+                continue 'outer;
+            }
+        }
+        for &v in &order {
+            if cube.literal(v) == Literal::DontCare {
+                continue;
+            }
+            let mut widened = cube.clone();
+            widened.set(v, Literal::DontCare);
+            let blocked = off.cubes().iter().any(|o| !widened.intersect(o).is_empty());
+            if !blocked {
+                cube = widened;
+            }
+        }
+        result.retain(|r| !cube.contains(r));
+        result.push(cube);
+    }
+    *cover = Cover::from_cubes(nvars, result);
+}
+
+/// IRREDUNDANT: drop every cube whose minterms are all covered by the rest
+/// of the cover plus the don't-care set.
+pub fn irredundant(cover: &mut Cover, dc: &Cover) {
+    // Try to drop large cubes first (they are most likely to be the union
+    // of smaller essential ones? — actually classic espresso drops
+    // *redundant* cubes in increasing essentiality; simple order works).
+    let mut i = 0;
+    while i < cover.cube_count() {
+        let cube = cover.cubes()[i].clone();
+        let rest = Cover::from_cubes(
+            cover.nvars(),
+            cover
+                .cubes()
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| c.clone())
+                .collect(),
+        );
+        if covers_cube(&rest, dc, &cube) {
+            cover.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// REDUCE: shrink each cube to the smallest cube still covering the part of
+/// the function not covered by the other cubes, opening room for the next
+/// EXPAND to find different primes.
+pub fn reduce(cover: &mut Cover, dc: &Cover) {
+    let nvars = cover.nvars();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Classic heuristic: reduce in order of decreasing size.
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+    for i in 0..cubes.len() {
+        let cube = cubes[i].clone();
+        let mut rest = Cover::from_cubes(
+            nvars,
+            cubes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| c.clone())
+                .collect(),
+        );
+        for c in dc.cubes() {
+            rest.push(c.clone());
+        }
+        // c~ = c ∩ supercube(complement(rest cofactored by c))
+        let not_rest = comp_rec(&rest.cofactor_cube(&cube), 0);
+        if not_rest.is_empty() {
+            // Entirely covered by the others: shrink to nothing.
+            cubes[i] = {
+                let mut dead = Cube::full(nvars);
+                if nvars > 0 {
+                    // Make it empty by giving variable 0 no phase: emulate
+                    // by intersecting opposite literals.
+                    dead = Cube::from_literals(nvars, &[(0, true)])
+                        .intersect(&Cube::from_literals(nvars, &[(0, false)]));
+                }
+                dead
+            };
+            continue;
+        }
+        let mut sup = not_rest.cubes()[0].clone();
+        for c in &not_rest.cubes()[1..] {
+            sup = sup.supercube(c);
+        }
+        cubes[i] = cube.intersect(&sup);
+    }
+    *cover = Cover::empty(nvars);
+    for c in cubes {
+        cover.push(c); // push drops empty cubes
+    }
+}
+
+/// Cost used to decide whether an iteration improved the cover.
+fn cost(cover: &Cover) -> (usize, usize) {
+    (cover.cube_count(), cover.literal_cost())
+}
+
+/// Minimizes an incompletely specified function given as ON-set and DC-set
+/// covers. Returns a cover `F` with `ON ⊆ F ⊆ ON ∪ DC` whose cube/literal
+/// cost is locally minimal under the EXPAND/IRREDUNDANT/REDUCE loop.
+///
+/// # Example
+///
+/// ```
+/// use lbnn_logic_synth::cube::Cover;
+/// use lbnn_logic_synth::espresso::minimize;
+/// // f = sum of all 4 minterms of 2 vars = constant 1.
+/// let on = Cover::from_minterms(2, &[0, 1, 2, 3]);
+/// let min = minimize(&on, &Cover::empty(2));
+/// assert_eq!(min.cube_count(), 1);
+/// assert_eq!(min.literal_cost(), 0);
+/// ```
+pub fn minimize(on: &Cover, dc: &Cover) -> Cover {
+    assert_eq!(on.nvars(), dc.nvars(), "ON/DC universe mismatch");
+    let nvars = on.nvars();
+    if on.is_empty() {
+        return Cover::empty(nvars);
+    }
+    // OFF = (ON ∪ DC)'
+    let mut union = on.clone();
+    for c in dc.cubes() {
+        union.push(c.clone());
+    }
+    let off = complement(&union);
+
+    let mut f = on.clone();
+    f.remove_contained();
+    expand(&mut f, &off);
+    irredundant(&mut f, dc);
+    let mut best = f.clone();
+    for _ in 0..8 {
+        reduce(&mut f, dc);
+        expand(&mut f, &off);
+        irredundant(&mut f, dc);
+        if cost(&f) < cost(&best) {
+            best = f.clone();
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Fraction of samples in which variable `v` appears in positive phase.
+fn phase_rate(samples: &[Cube], v: usize) -> f64 {
+    if samples.is_empty() {
+        return 0.5;
+    }
+    let pos = samples
+        .iter()
+        .filter(|s| s.literal(v) == Literal::Pos)
+        .count();
+    pos as f64 / samples.len() as f64
+}
+
+/// Sample-based minimization for NullaNet-style incompletely specified
+/// functions: `on` and `off` are observed minterms (full cubes, any width);
+/// everything unobserved is a don't-care.
+///
+/// Scales to hundreds of variables because primality is checked against the
+/// explicit OFF *sample list* instead of a complemented cover.
+///
+/// # Panics
+///
+/// Panics if a sample's width differs from `nvars`.
+pub fn minimize_samples(nvars: usize, on: &[Cube], off: &[Cube]) -> Cover {
+    for s in on.iter().chain(off) {
+        assert_eq!(s.nvars(), nvars, "sample width mismatch");
+    }
+    if on.is_empty() {
+        return Cover::empty(nvars);
+    }
+
+    // EXPAND each ON sample against the OFF samples. Variables are dropped
+    // in order of *increasing* label correlation: a variable whose phase
+    // barely differs between ON and OFF samples carries little information,
+    // so freeing it first keeps the discriminative variables as the cube's
+    // surviving literals (better generalization, smaller covers).
+    let correlation: Vec<f64> = (0..nvars)
+        .map(|v| {
+            let p_on = phase_rate(on, v);
+            let p_off = phase_rate(off, v);
+            (p_on - p_off).abs()
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..nvars).collect();
+    order.sort_by(|&a, &b| {
+        correlation[a]
+            .partial_cmp(&correlation[b])
+            .expect("correlations are finite")
+    });
+
+    let mut expanded: Vec<Cube> = Vec::with_capacity(on.len());
+    'outer: for sample in on {
+        for e in &expanded {
+            if e.contains(sample) {
+                continue 'outer;
+            }
+        }
+        let mut cube = sample.clone();
+        for &v in &order {
+            if cube.literal(v) == Literal::DontCare {
+                continue;
+            }
+            let mut widened = cube.clone();
+            widened.set(v, Literal::DontCare);
+            let blocked = off.iter().any(|o| widened.contains(o));
+            if !blocked {
+                cube = widened;
+            }
+        }
+        expanded.retain(|e| !cube.contains(e));
+        expanded.push(cube);
+    }
+
+    // Greedy minimal cover: repeatedly pick the prime covering the most
+    // still-uncovered ON samples.
+    let mut covered = vec![false; on.len()];
+    let mut chosen: Vec<Cube> = Vec::new();
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (cube idx, gain)
+        for (ci, cube) in expanded.iter().enumerate() {
+            let gain = on
+                .iter()
+                .enumerate()
+                .filter(|&(si, s)| !covered[si] && cube.contains(s))
+                .count();
+            if gain > 0 && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((ci, gain));
+            }
+        }
+        let Some((ci, _)) = best else { break };
+        let cube = expanded[ci].clone();
+        for (si, s) in on.iter().enumerate() {
+            if cube.contains(s) {
+                covered[si] = true;
+            }
+        }
+        chosen.push(cube);
+        if covered.iter().all(|&c| c) {
+            break;
+        }
+    }
+    Cover::from_cubes(nvars, chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    #[test]
+    fn tautology_detection() {
+        assert!(is_tautology(&Cover::tautology(3)));
+        assert!(!is_tautology(&Cover::empty(3)));
+        // x + x' is a tautology.
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(0, false)]),
+            ],
+        );
+        assert!(is_tautology(&f));
+        // x + x y' is not.
+        let g = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(0, true), (1, false)]),
+            ],
+        );
+        assert!(!is_tautology(&g));
+    }
+
+    #[test]
+    fn complement_is_exact() {
+        // Check complement on every 3-variable function given by minterms.
+        for f_bits in [0u8, 1, 0b1010_1010, 0b1100_0011, 0b0110_1001, 0xFF] {
+            let minterms: Vec<u64> = (0..8u64).filter(|&m| f_bits >> m & 1 != 0).collect();
+            let cover = Cover::from_minterms(3, &minterms);
+            let comp = complement(&cover);
+            let t = TruthTable::from_cover(&cover);
+            let tc = TruthTable::from_cover(&comp);
+            assert_eq!(t.not(), tc, "f_bits={f_bits:#010b}");
+        }
+    }
+
+    #[test]
+    fn minimize_majority() {
+        let on = Cover::from_minterms(3, &[0b011, 0b101, 0b110, 0b111]);
+        let min = minimize(&on, &Cover::empty(3));
+        let t = TruthTable::from_cover(&on);
+        assert!(t.equals_cover(&min));
+        assert_eq!(min.cube_count(), 3, "majority = ab + ac + bc");
+        assert_eq!(min.literal_cost(), 6);
+    }
+
+    #[test]
+    fn minimize_with_dont_cares() {
+        // ON = {000}, DC = everything else: minimizes to constant 1.
+        let on = Cover::from_minterms(2, &[0]);
+        let dc = Cover::from_minterms(2, &[1, 2, 3]);
+        let min = minimize(&on, &dc);
+        assert_eq!(min.cube_count(), 1);
+        assert!(min.cubes()[0].is_full());
+    }
+
+    #[test]
+    fn minimize_is_sound_for_random_isfs() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..30 {
+            let nvars = 4 + (trial % 3);
+            let mut on = Vec::new();
+            let mut dc = Vec::new();
+            for m in 0..(1u64 << nvars) {
+                match rng.random_range(0..3) {
+                    0 => on.push(m),
+                    1 => dc.push(m),
+                    _ => {}
+                }
+            }
+            let on_c = Cover::from_minterms(nvars, &on);
+            let dc_c = Cover::from_minterms(nvars, &dc);
+            let min = minimize(&on_c, &dc_c);
+            // Soundness: ON ⊆ min ⊆ ON ∪ DC.
+            for &m in &on {
+                assert!(min.covers_minterm(m), "trial {trial}: lost minterm {m}");
+            }
+            for m in 0..(1u64 << nvars) {
+                if min.covers_minterm(m) {
+                    assert!(
+                        on.contains(&m) || dc.contains(&m),
+                        "trial {trial}: minimized cover spilled into OFF at {m}"
+                    );
+                }
+            }
+            // Effectiveness: never more cubes than raw ON minterms.
+            assert!(min.cube_count() <= on.len().max(1));
+        }
+    }
+
+    #[test]
+    fn minimize_samples_fully_observed() {
+        // 6-var function, fully observed: f = x0. Full observation forces
+        // every expansion to keep x0, so the result is the single literal.
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for m in 0..64u64 {
+            let bits: Vec<bool> = (0..6).map(|v| m >> v & 1 != 0).collect();
+            if bits[0] {
+                on.push(Cube::from_bools(&bits));
+            } else {
+                off.push(Cube::from_bools(&bits));
+            }
+        }
+        let min = minimize_samples(6, &on, &off);
+        assert_eq!(min.cube_count(), 1, "single literal explains the data");
+        assert_eq!(min.literal_cost(), 1);
+        for s in &on {
+            assert!(min.cubes().iter().any(|c| c.contains(s)));
+        }
+        for s in &off {
+            assert!(!min.cubes().iter().any(|c| c.contains(s)));
+        }
+    }
+
+    #[test]
+    fn minimize_samples_sparse_observation_is_sound() {
+        // Only a third of the minterms are observed: the minimizer may
+        // generalize differently from the hidden function, but it must
+        // stay consistent with every observation.
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for m in (0..64u64).step_by(3) {
+            let bits: Vec<bool> = (0..6).map(|v| m >> v & 1 != 0).collect();
+            if bits[0] {
+                on.push(Cube::from_bools(&bits));
+            } else {
+                off.push(Cube::from_bools(&bits));
+            }
+        }
+        let min = minimize_samples(6, &on, &off);
+        for s in &on {
+            assert!(min.cubes().iter().any(|c| c.contains(s)));
+        }
+        for s in &off {
+            assert!(!min.cubes().iter().any(|c| c.contains(s)));
+        }
+        // The correlation-ordered expansion should find a compact cover.
+        assert!(min.cube_count() <= on.len() / 2);
+    }
+
+    #[test]
+    fn minimize_samples_wide_universe() {
+        // 100 variables — far beyond truth-table reach.
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let nvars = 100;
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for _ in 0..80 {
+            let bits: Vec<bool> = (0..nvars).map(|_| rng.random_bool(0.5)).collect();
+            // Hidden function: x0 & !x1. Both variables correlate strongly
+            // with the label, so the correlation-ordered expansion keeps
+            // them as the surviving literals.
+            if bits[0] && !bits[1] {
+                on.push(Cube::from_bools(&bits));
+            } else {
+                off.push(Cube::from_bools(&bits));
+            }
+        }
+        assert!(!on.is_empty() && !off.is_empty());
+        let min = minimize_samples(nvars, &on, &off);
+        for s in &on {
+            assert!(min.cubes().iter().any(|c| c.contains(s)));
+        }
+        for s in &off {
+            assert!(!min.cubes().iter().any(|c| c.contains(s)));
+        }
+        assert_eq!(min.cube_count(), 1, "x0·x1' explains all samples");
+        assert_eq!(min.literal_cost(), 2);
+    }
+
+    #[test]
+    fn reduce_then_expand_keeps_function() {
+        let on = Cover::from_minterms(4, &[1, 3, 5, 7, 9, 11, 15]);
+        let dc = Cover::empty(4);
+        let min = minimize(&on, &dc);
+        let t = TruthTable::from_cover(&on);
+        assert!(t.equals_cover(&min));
+    }
+
+    #[test]
+    fn empty_on_set() {
+        let min = minimize(&Cover::empty(3), &Cover::empty(3));
+        assert!(min.is_empty());
+        let min2 = minimize_samples(3, &[], &[Cube::from_bools(&[true, true, true])]);
+        assert!(min2.is_empty());
+    }
+}

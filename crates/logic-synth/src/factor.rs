@@ -1,0 +1,326 @@
+//! Algebraic factoring of two-level covers into multi-level two-input logic.
+//!
+//! The LPU's cell library is two-input gates, so a minimized sum-of-products
+//! must be rebuilt as a gate network. [`factor`] performs classic *literal
+//! factoring* (repeatedly dividing by the most frequent literal, as in SIS's
+//! `quick_factor`), producing far fewer gates than a flat AND/OR expansion;
+//! [`cover_to_netlist`] then emits balanced two-input trees.
+
+use std::collections::HashMap;
+
+use lbnn_netlist::{Netlist, NodeId, Op};
+
+use crate::cube::{Cover, Cube, Literal};
+
+/// A factored Boolean expression over numbered input variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Literal: variable index and phase (`true` = positive).
+    Lit(usize, bool),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Conjunction with constant folding.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        match (a, b) {
+            (Expr::Const(false), _) | (_, Expr::Const(false)) => Expr::Const(false),
+            (Expr::Const(true), e) | (e, Expr::Const(true)) => e,
+            (a, b) => Expr::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction with constant folding.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        match (a, b) {
+            (Expr::Const(true), _) | (_, Expr::Const(true)) => Expr::Const(true),
+            (Expr::Const(false), e) | (e, Expr::Const(false)) => e,
+            (a, b) => Expr::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Number of literal occurrences in the expression.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Lit(..) => 1,
+            Expr::And(a, b) | Expr::Or(a, b) => a.literal_count() + b.literal_count(),
+        }
+    }
+
+    /// Evaluates the expression on an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Lit(v, phase) => assignment[*v] == *phase,
+            Expr::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            Expr::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+        }
+    }
+}
+
+/// Builds a balanced binary combination of `exprs` under `combine`.
+fn balanced(mut exprs: Vec<Expr>, combine: fn(Expr, Expr) -> Expr, identity: bool) -> Expr {
+    if exprs.is_empty() {
+        return Expr::Const(identity);
+    }
+    while exprs.len() > 1 {
+        let mut next = Vec::with_capacity(exprs.len().div_ceil(2));
+        let mut it = exprs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        exprs = next;
+    }
+    exprs.pop().expect("non-empty")
+}
+
+/// The product expression of one cube (balanced AND tree of its literals).
+fn cube_expr(cube: &Cube) -> Expr {
+    let lits: Vec<Expr> = (0..cube.nvars())
+        .filter_map(|v| match cube.literal(v) {
+            Literal::Pos => Some(Expr::Lit(v, true)),
+            Literal::Neg => Some(Expr::Lit(v, false)),
+            Literal::DontCare => None,
+        })
+        .collect();
+    balanced(lits, Expr::and, true)
+}
+
+/// Factors a cover into a multi-level expression by repeated division by
+/// the most frequent literal.
+///
+/// # Example
+///
+/// ```
+/// use lbnn_logic_synth::cube::{Cover, Cube};
+/// use lbnn_logic_synth::factor::factor;
+/// // ab + ac factors to a(b + c): 3 literals instead of 4.
+/// let f = Cover::from_cubes(3, vec![
+///     Cube::from_literals(3, &[(0, true), (1, true)]),
+///     Cube::from_literals(3, &[(0, true), (2, true)]),
+/// ]);
+/// assert_eq!(factor(&f).literal_count(), 3);
+/// ```
+pub fn factor(cover: &Cover) -> Expr {
+    if cover.is_empty() {
+        return Expr::Const(false);
+    }
+    if cover.cubes().iter().any(Cube::is_full) {
+        return Expr::Const(true);
+    }
+    if cover.cube_count() == 1 {
+        return cube_expr(&cover.cubes()[0]);
+    }
+
+    // Count literal frequencies.
+    let nvars = cover.nvars();
+    let mut freq: HashMap<(usize, bool), usize> = HashMap::new();
+    for cube in cover.cubes() {
+        for v in 0..nvars {
+            match cube.literal(v) {
+                Literal::Pos => *freq.entry((v, true)).or_insert(0) += 1,
+                Literal::Neg => *freq.entry((v, false)).or_insert(0) += 1,
+                Literal::DontCare => {}
+            }
+        }
+    }
+    // Fully ordered tie-break (count, then lowest variable, then positive
+    // phase) so factoring is deterministic across runs.
+    let best = freq
+        .iter()
+        .max_by_key(|&(&(v, phase), &count)| (count, std::cmp::Reverse(v), phase))
+        .map(|(&lit, &count)| (lit, count));
+
+    match best {
+        Some(((v, phase), count)) if count >= 2 => {
+            // Divide: quotient = cubes containing the literal (literal
+            // removed), remainder = the rest.
+            let mut quotient = Cover::empty(nvars);
+            let mut remainder = Cover::empty(nvars);
+            for cube in cover.cubes() {
+                let has = match cube.literal(v) {
+                    Literal::Pos => phase,
+                    Literal::Neg => !phase,
+                    Literal::DontCare => false,
+                };
+                if has {
+                    let mut c = cube.clone();
+                    c.set(v, Literal::DontCare);
+                    quotient.push(c);
+                } else {
+                    remainder.push(cube.clone());
+                }
+            }
+            let q = Expr::and(Expr::Lit(v, phase), factor(&quotient));
+            Expr::or(q, factor(&remainder))
+        }
+        _ => {
+            // No shared literal: balanced OR of the cube products.
+            let cubes: Vec<Expr> = cover.cubes().iter().map(cube_expr).collect();
+            balanced(cubes, Expr::or, false)
+        }
+    }
+}
+
+/// Emits an expression into a netlist, sharing inverters via `not_cache`.
+///
+/// `inputs[v]` is the node for variable `v`.
+///
+/// # Panics
+///
+/// Panics if the expression references a variable outside `inputs`.
+pub fn build_expr(
+    nl: &mut Netlist,
+    inputs: &[NodeId],
+    not_cache: &mut HashMap<usize, NodeId>,
+    expr: &Expr,
+) -> NodeId {
+    match expr {
+        Expr::Const(c) => nl.add_const(*c),
+        Expr::Lit(v, true) => inputs[*v],
+        Expr::Lit(v, false) => {
+            if let Some(&n) = not_cache.get(v) {
+                n
+            } else {
+                let n = nl.add_gate1(Op::Not, inputs[*v]);
+                not_cache.insert(*v, n);
+                n
+            }
+        }
+        Expr::And(a, b) => {
+            let na = build_expr(nl, inputs, not_cache, a);
+            let nb = build_expr(nl, inputs, not_cache, b);
+            nl.add_gate2(Op::And, na, nb)
+        }
+        Expr::Or(a, b) => {
+            let na = build_expr(nl, inputs, not_cache, a);
+            let nb = build_expr(nl, inputs, not_cache, b);
+            nl.add_gate2(Op::Or, na, nb)
+        }
+    }
+}
+
+/// Factors a single-output cover and emits it as a netlist with inputs
+/// `x0..x{nvars-1}` and output `y`.
+pub fn cover_to_netlist(cover: &Cover, nvars: usize, name: &str) -> Netlist {
+    covers_to_netlist(&[("y".to_string(), cover.clone())], nvars, name)
+}
+
+/// Factors several covers over a shared input universe into one
+/// multi-output netlist (inputs `x0..`, one named output per cover).
+///
+/// Inverters are shared across outputs; deeper sharing is left to the
+/// [`crate::strash`] pass.
+pub fn covers_to_netlist(outputs: &[(String, Cover)], nvars: usize, name: &str) -> Netlist {
+    let mut nl = Netlist::new(name);
+    let inputs: Vec<NodeId> = (0..nvars).map(|v| nl.add_input(format!("x{v}"))).collect();
+    let mut not_cache = HashMap::new();
+    for (out_name, cover) in outputs {
+        assert_eq!(cover.nvars(), nvars, "cover universe mismatch");
+        let expr = factor(cover);
+        let node = build_expr(&mut nl, &inputs, &mut not_cache, &expr);
+        nl.add_output(node, out_name.clone());
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    fn check_equiv(cover: &Cover, nvars: usize) {
+        let nl = cover_to_netlist(cover, nvars, "f");
+        for m in 0..(1u64 << nvars) {
+            let ins: Vec<bool> = (0..nvars).map(|v| m >> v & 1 != 0).collect();
+            assert_eq!(
+                nl.eval_bools(&ins)[0],
+                cover.covers_minterm(m),
+                "minterm {m:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn factoring_shares_literals() {
+        // ab + ac + ad -> a(b + c + d): 4 literals.
+        let f = Cover::from_cubes(
+            4,
+            vec![
+                Cube::from_literals(4, &[(0, true), (1, true)]),
+                Cube::from_literals(4, &[(0, true), (2, true)]),
+                Cube::from_literals(4, &[(0, true), (3, true)]),
+            ],
+        );
+        let e = factor(&f);
+        assert_eq!(e.literal_count(), 4);
+        check_equiv(&f, 4);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(factor(&Cover::empty(3)), Expr::Const(false));
+        assert_eq!(factor(&Cover::tautology(3)), Expr::Const(true));
+    }
+
+    #[test]
+    fn netlist_matches_cover_for_random_functions() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let nvars = rng.random_range(2..6);
+            let minterms: Vec<u64> =
+                (0..1u64 << nvars).filter(|_| rng.random_bool(0.4)).collect();
+            let cover = Cover::from_minterms(nvars, &minterms);
+            check_equiv(&cover, nvars);
+        }
+    }
+
+    #[test]
+    fn expr_eval_matches_truth_table() {
+        let f = Cover::from_minterms(3, &[1, 2, 4, 7]); // parity
+        let e = factor(&f);
+        let t = TruthTable::from_cover(&f);
+        for m in 0..8u64 {
+            let ins: Vec<bool> = (0..3).map(|v| m >> v & 1 != 0).collect();
+            assert_eq!(e.eval(&ins), t.get(m));
+        }
+    }
+
+    #[test]
+    fn inverter_sharing_across_outputs() {
+        // Two outputs both using x0': only one NOT gate emitted.
+        let f1 = Cover::from_cubes(2, vec![Cube::from_literals(2, &[(0, false), (1, true)])]);
+        let f2 = Cover::from_cubes(2, vec![Cube::from_literals(2, &[(0, false), (1, false)])]);
+        let nl = covers_to_netlist(
+            &[("a".to_string(), f1), ("b".to_string(), f2)],
+            2,
+            "two",
+        );
+        let nots = nl
+            .iter()
+            .filter(|(_, n)| n.op() == lbnn_netlist::Op::Not)
+            .count();
+        assert_eq!(nots, 2, "one NOT for x0 shared, one for x1 in f2");
+    }
+
+    #[test]
+    fn balanced_trees_keep_depth_logarithmic() {
+        // Single cube of 16 literals -> AND tree of depth 4.
+        let cube = Cube::from_literals(16, &(0..16).map(|v| (v, true)).collect::<Vec<_>>());
+        let f = Cover::from_cubes(16, vec![cube]);
+        let nl = cover_to_netlist(&f, 16, "wide");
+        let lv = lbnn_netlist::Levels::compute(&nl);
+        assert_eq!(lv.depth(), 4);
+    }
+}

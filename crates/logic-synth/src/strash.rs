@@ -1,0 +1,378 @@
+//! Structural hashing, constant propagation and dead-code elimination.
+//!
+//! This is the workhorse cleanup pass of the synthesis pipeline ("run logic
+//! minimization" in Fig 1 of the paper): identical gates are merged,
+//! constants folded through the network, buffers and double inverters
+//! collapsed, and unreachable gates dropped.
+
+use std::collections::HashMap;
+
+use lbnn_netlist::{Netlist, NodeId, Op};
+
+/// Statistics reported by [`strash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StrashStats {
+    /// Node count before the pass (including inputs).
+    pub nodes_before: usize,
+    /// Node count after the pass (including inputs).
+    pub nodes_after: usize,
+    /// Gates simplified by constant folding or algebraic rules.
+    pub folded: usize,
+    /// Gates merged with an identical existing gate.
+    pub merged: usize,
+}
+
+/// Runs structural hashing over the netlist.
+///
+/// Applied rules, in order:
+///
+/// 1. buffer elision (`BUF(x) → x`) and double-inverter collapse,
+/// 2. constant folding (`AND(x,0) → 0`, `XOR(x,1) → NOT x`, …),
+/// 3. same-operand and complement rules (`AND(x,x) → x`, `OR(x,~x) → 1`, …),
+/// 4. hash-consing of structurally identical gates (commutative inputs are
+///    canonicalized),
+/// 5. dead-node elimination (gates not reachable from any output are
+///    dropped; primary inputs are always kept to preserve the interface).
+pub fn strash(netlist: &Netlist) -> (Netlist, StrashStats) {
+    let mut stats = StrashStats {
+        nodes_before: netlist.len(),
+        ..Default::default()
+    };
+
+    // Scratch netlist holding simplified nodes (may contain dead ones).
+    let mut scratch = Netlist::new(netlist.name().to_string());
+    let mut remap: Vec<NodeId> = Vec::with_capacity(netlist.len());
+    let mut hash: HashMap<(Op, NodeId, NodeId), NodeId> = HashMap::new();
+    let mut const_nodes: [Option<NodeId>; 2] = [None, None];
+
+    // Helper closures operate on `scratch`.
+    fn get_const(
+        scratch: &mut Netlist,
+        const_nodes: &mut [Option<NodeId>; 2],
+        v: bool,
+    ) -> NodeId {
+        let idx = usize::from(v);
+        if let Some(n) = const_nodes[idx] {
+            n
+        } else {
+            let n = scratch.add_const(v);
+            const_nodes[idx] = Some(n);
+            n
+        }
+    }
+
+    fn const_value(scratch: &Netlist, id: NodeId) -> Option<bool> {
+        match scratch.node(id).op() {
+            Op::Const0 => Some(false),
+            Op::Const1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// `true` if `a` is the inverter of `b` in the scratch netlist.
+    fn is_not_of(scratch: &Netlist, a: NodeId, b: NodeId) -> bool {
+        let n = scratch.node(a);
+        n.op() == Op::Not && n.fanins()[0] == b
+    }
+
+    for (id, node) in netlist.iter() {
+        let new_id = match node.op() {
+            Op::Input => scratch.add_input(netlist.node_name(id).unwrap_or("in").to_string()),
+            Op::Const0 => get_const(&mut scratch, &mut const_nodes, false),
+            Op::Const1 => get_const(&mut scratch, &mut const_nodes, true),
+            Op::Buf => {
+                stats.folded += 1;
+                remap[node.fanins()[0].index()]
+            }
+            Op::Not => {
+                let a = remap[node.fanins()[0].index()];
+                if let Some(v) = const_value(&scratch, a) {
+                    stats.folded += 1;
+                    get_const(&mut scratch, &mut const_nodes, !v)
+                } else if scratch.node(a).op() == Op::Not {
+                    // NOT(NOT(x)) = x
+                    stats.folded += 1;
+                    scratch.node(a).fanins()[0]
+                } else if let Some(&n) = hash.get(&(Op::Not, a, a)) {
+                    stats.merged += 1;
+                    n
+                } else {
+                    let n = scratch.add_gate1(Op::Not, a);
+                    hash.insert((Op::Not, a, a), n);
+                    n
+                }
+            }
+            op => {
+                let mut a = remap[node.fanins()[0].index()];
+                let mut b = remap[node.fanins()[1].index()];
+                if op.is_commutative() && b < a {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                let ca = const_value(&scratch, a);
+                let cb = const_value(&scratch, b);
+
+                // Constant folding and algebraic rules. `simplified` is
+                // Some(node) when the gate disappears.
+                let simplified: Option<NodeId> = match (ca, cb) {
+                    (Some(va), Some(vb)) => Some(get_const(
+                        &mut scratch,
+                        &mut const_nodes,
+                        op.eval_bit(va, vb),
+                    )),
+                    (Some(v), None) | (None, Some(v)) => {
+                        let x = if ca.is_some() { b } else { a };
+                        match (op, v) {
+                            (Op::And, false) | (Op::Nor, true) => {
+                                Some(get_const(&mut scratch, &mut const_nodes, false))
+                            }
+                            (Op::Or, true) | (Op::Nand, false) => {
+                                Some(get_const(&mut scratch, &mut const_nodes, true))
+                            }
+                            (Op::And, true) | (Op::Or, false) | (Op::Xor, false)
+                            | (Op::Xnor, true) => Some(x),
+                            // These reduce to NOT(x): emit via the Not path.
+                            (Op::Nand, true) | (Op::Nor, false) | (Op::Xor, true)
+                            | (Op::Xnor, false) => {
+                                let n = if scratch.node(x).op() == Op::Not {
+                                    scratch.node(x).fanins()[0]
+                                } else if let Some(&n) = hash.get(&(Op::Not, x, x)) {
+                                    n
+                                } else {
+                                    let n = scratch.add_gate1(Op::Not, x);
+                                    hash.insert((Op::Not, x, x), n);
+                                    n
+                                };
+                                Some(n)
+                            }
+                            _ => None,
+                        }
+                    }
+                    (None, None) if a == b => Some(match op {
+                        Op::And | Op::Or => a,
+                        Op::Xor => get_const(&mut scratch, &mut const_nodes, false),
+                        Op::Xnor => get_const(&mut scratch, &mut const_nodes, true),
+                        Op::Nand | Op::Nor => {
+                            if scratch.node(a).op() == Op::Not {
+                                scratch.node(a).fanins()[0]
+                            } else if let Some(&n) = hash.get(&(Op::Not, a, a)) {
+                                n
+                            } else {
+                                let n = scratch.add_gate1(Op::Not, a);
+                                hash.insert((Op::Not, a, a), n);
+                                n
+                            }
+                        }
+                        _ => unreachable!("all gate2 ops covered"),
+                    }),
+                    (None, None)
+                        if is_not_of(&scratch, a, b) || is_not_of(&scratch, b, a) =>
+                    {
+                        Some(match op {
+                            Op::And | Op::Nor | Op::Xnor => {
+                                get_const(&mut scratch, &mut const_nodes, false)
+                            }
+                            Op::Or | Op::Nand | Op::Xor => {
+                                get_const(&mut scratch, &mut const_nodes, true)
+                            }
+                            _ => unreachable!("all gate2 ops covered"),
+                        })
+                    }
+                    _ => None,
+                };
+
+                match simplified {
+                    Some(n) => {
+                        stats.folded += 1;
+                        n
+                    }
+                    None => {
+                        if let Some(&n) = hash.get(&(op, a, b)) {
+                            stats.merged += 1;
+                            n
+                        } else {
+                            let n = scratch.add_gate2(op, a, b);
+                            hash.insert((op, a, b), n);
+                            n
+                        }
+                    }
+                }
+            }
+        };
+        remap.push(new_id);
+    }
+
+    // Dead-node sweep: keep all PIs (interface stability) and every node
+    // reachable from an output.
+    let mut keep = vec![false; scratch.len()];
+    let mut stack: Vec<NodeId> = netlist
+        .outputs()
+        .iter()
+        .map(|o| remap[o.node.index()])
+        .collect();
+    while let Some(id) = stack.pop() {
+        if keep[id.index()] {
+            continue;
+        }
+        keep[id.index()] = true;
+        for &f in scratch.node(id).fanins() {
+            stack.push(f);
+        }
+    }
+
+    let mut out = Netlist::new(netlist.name().to_string());
+    let mut final_map: Vec<Option<NodeId>> = vec![None; scratch.len()];
+    // Inputs in original order, always.
+    for &pi in scratch.inputs() {
+        let n = out.add_input(scratch.node_name(pi).unwrap_or("in").to_string());
+        final_map[pi.index()] = Some(n);
+    }
+    for (id, node) in scratch.iter() {
+        if node.op() == Op::Input || !keep[id.index()] {
+            continue;
+        }
+        let fanins: Vec<NodeId> = node
+            .fanins()
+            .iter()
+            .map(|f| final_map[f.index()].expect("topo order"))
+            .collect();
+        let n = out.add_node(node.op(), &fanins).expect("valid rebuild");
+        final_map[id.index()] = Some(n);
+    }
+    for o in netlist.outputs() {
+        let n = final_map[remap[o.node.index()].index()].expect("output reachable");
+        out.add_output(n, o.name.clone());
+    }
+
+    stats.nodes_after = out.len();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_netlist::random::RandomDag;
+
+    fn assert_equiv(a: &Netlist, b: &Netlist) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        let n = a.inputs().len();
+        if n <= 12 {
+            for m in 0..(1u64 << n) {
+                let ins: Vec<bool> = (0..n).map(|v| m >> v & 1 != 0).collect();
+                assert_eq!(a.eval_bools(&ins), b.eval_bools(&ins), "minterm {m:#b}");
+            }
+        } else {
+            use rand::rngs::StdRng;
+            use rand::{RngExt, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..256 {
+                let ins: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+                assert_eq!(a.eval_bools(&ins), b.eval_bools(&ins));
+            }
+        }
+    }
+
+    #[test]
+    fn merges_identical_gates() {
+        let mut nl = Netlist::new("dup");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate2(Op::And, a, b);
+        let g2 = nl.add_gate2(Op::And, b, a); // commutative duplicate
+        let y = nl.add_gate2(Op::Xor, g1, g2); // x ^ x = 0
+        nl.add_output(y, "y");
+        let (opt, stats) = strash(&nl);
+        assert!(stats.merged >= 1);
+        // XOR(x, x) folds to constant 0.
+        assert_eq!(opt.gate2_count(), 0);
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn constant_folding_cascades() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let zero = nl.add_const(false);
+        let g1 = nl.add_gate2(Op::And, a, zero); // = 0
+        let g2 = nl.add_gate2(Op::Or, g1, a); // = a
+        let g3 = nl.add_gate2(Op::Xnor, g2, g2); // = 1
+        let y = nl.add_gate2(Op::And, g3, a); // = a
+        nl.add_output(y, "y");
+        let (opt, _) = strash(&nl);
+        assert_eq!(opt.gate_count(), 0, "everything folds to the input");
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn double_negation_and_buffers_collapse() {
+        let mut nl = Netlist::new("nn");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n1 = nl.add_gate1(Op::Not, a);
+        let buf = nl.add_gate1(Op::Buf, n1);
+        let n2 = nl.add_gate1(Op::Not, buf);
+        let y = nl.add_gate2(Op::And, n2, b);
+        nl.add_output(y, "y");
+        let (opt, _) = strash(&nl);
+        assert_eq!(opt.gate_count(), 1, "just the AND survives");
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn complement_rules() {
+        let mut nl = Netlist::new("comp");
+        let a = nl.add_input("a");
+        let na = nl.add_gate1(Op::Not, a);
+        let t = nl.add_gate2(Op::Or, a, na); // = 1
+        let u = nl.add_gate2(Op::And, a, na); // = 0
+        let y = nl.add_gate2(Op::Xor, t, u); // = 1
+        nl.add_output(y, "y");
+        let (opt, _) = strash(&nl);
+        assert_eq!(opt.gate2_count(), 0);
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn dead_nodes_are_swept_but_inputs_kept() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let _dead = nl.add_gate2(Op::And, b, c);
+        let y = nl.add_gate1(Op::Not, a);
+        nl.add_output(y, "y");
+        let (opt, _) = strash(&nl);
+        assert_eq!(opt.inputs().len(), 3, "interface preserved");
+        assert_eq!(opt.gate_count(), 1);
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn random_netlists_stay_equivalent() {
+        for seed in 0..8 {
+            let nl = RandomDag::loose(8, 6, 10).outputs(4).generate(seed);
+            let (opt, stats) = strash(&nl);
+            assert!(stats.nodes_after <= stats.nodes_before);
+            assert_equiv(&nl, &opt);
+            // Idempotence: a second pass finds nothing new.
+            let (opt2, stats2) = strash(&opt);
+            assert_eq!(opt.len(), opt2.len());
+            assert_eq!(stats2.folded, 0, "second pass folds nothing");
+        }
+    }
+
+    #[test]
+    fn nand_of_same_input_becomes_not() {
+        let mut nl = Netlist::new("n");
+        let a = nl.add_input("a");
+        let y = nl.add_gate2(Op::Nand, a, a);
+        nl.add_output(y, "y");
+        let (opt, _) = strash(&nl);
+        assert_eq!(opt.gate_count(), 1);
+        assert_eq!(
+            opt.node(opt.outputs()[0].node).op(),
+            Op::Not,
+            "NAND(x,x) = NOT x"
+        );
+        assert_equiv(&nl, &opt);
+    }
+}

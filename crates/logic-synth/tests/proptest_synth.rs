@@ -1,0 +1,81 @@
+//! Property-based tests for the synthesis substrate, using the BDD engine
+//! as the scalable equivalence oracle.
+
+use lbnn_logic_synth::bdd::{netlists_equivalent, Bdd};
+use lbnn_logic_synth::cube::Cover;
+use lbnn_logic_synth::espresso::minimize;
+use lbnn_logic_synth::factor::cover_to_netlist;
+use lbnn_logic_synth::truth::TruthTable;
+use lbnn_logic_synth::{optimize, OptimizeOptions};
+use lbnn_netlist::random::RandomDag;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// `optimize` preserves the function of arbitrary netlists (checked by
+    /// BDD equivalence, not sampling).
+    #[test]
+    fn optimize_preserves_function(
+        seed in 0u64..10_000,
+        inputs in 2usize..16,
+        depth in 1usize..7,
+        width in 1usize..10,
+        outputs in 1usize..5,
+    ) {
+        let nl = RandomDag::loose(inputs, depth, width).outputs(outputs).generate(seed);
+        let (opt, stats) = optimize(&nl, OptimizeOptions::default());
+        prop_assert!(netlists_equivalent(&nl, &opt));
+        prop_assert!(stats.nodes_after <= stats.nodes_before);
+    }
+
+    /// Espresso minimization of a completely specified function is exact.
+    #[test]
+    fn espresso_exact_on_csf(
+        nvars in 2usize..6,
+        onset in proptest::collection::btree_set(0u64..32, 0..20),
+    ) {
+        let minterms: Vec<u64> = onset.into_iter().filter(|&m| m < (1 << nvars)).collect();
+        let on = Cover::from_minterms(nvars, &minterms);
+        let min = minimize(&on, &Cover::empty(nvars));
+        let want = TruthTable::from_cover(&on);
+        prop_assert!(want.equals_cover(&min));
+        prop_assert!(min.cube_count() <= minterms.len().max(1));
+    }
+
+    /// Factoring a cover into gates preserves the function.
+    #[test]
+    fn factoring_preserves_function(
+        nvars in 2usize..6,
+        onset in proptest::collection::btree_set(0u64..32, 1..20),
+    ) {
+        let minterms: Vec<u64> = onset.into_iter().filter(|&m| m < (1 << nvars)).collect();
+        prop_assume!(!minterms.is_empty());
+        let cover = Cover::from_minterms(nvars, &minterms);
+        let nl = cover_to_netlist(&cover, nvars, "f");
+        for m in 0..(1u64 << nvars) {
+            let bits: Vec<bool> = (0..nvars).map(|i| m >> i & 1 != 0).collect();
+            prop_assert_eq!(nl.eval_bools(&bits)[0], cover.covers_minterm(m));
+        }
+    }
+
+    /// The BDD engine agrees with direct netlist evaluation.
+    #[test]
+    fn bdd_agrees_with_eval(
+        seed in 0u64..10_000,
+        inputs in 2usize..8,
+        depth in 1usize..6,
+        width in 1usize..8,
+    ) {
+        let nl = RandomDag::loose(inputs, depth, width).outputs(3).generate(seed);
+        let mut bdd = Bdd::new();
+        let outs = bdd.from_netlist(&nl);
+        for m in 0..(1u64 << inputs) {
+            let bits: Vec<bool> = (0..inputs).map(|i| m >> i & 1 != 0).collect();
+            let want = nl.eval_bools(&bits);
+            for (o, &f) in outs.iter().enumerate() {
+                prop_assert_eq!(bdd.eval(f, &bits), want[o]);
+            }
+        }
+    }
+}

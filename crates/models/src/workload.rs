@@ -1,0 +1,201 @@
+//! FFCL workload construction and pass-counting arithmetic.
+//!
+//! The paper maps each layer's neuron functions to FFCL blocks and streams
+//! feature-map patches through the LPU, `2m` Boolean samples per operand.
+//! Reproducing a full VGG16 layer gate-for-gate would mean millions of
+//! gates, so a workload samples a *representative block* of neurons
+//! (seeded weights, NullaNet-Tiny-style bounded fan-in) and scales:
+//!
+//! ```text
+//! cycles(layer, per image) = cycles(block pass) × blocks × sites / 2m
+//! ```
+//!
+//! where `blocks = ⌈neurons / block_neurons⌉` and `sites` is the number of
+//! spatial evaluation positions. Lane batching makes the `sites / 2m`
+//! factor fractional — leftover lanes are filled by the next image, as in
+//! the paper's batch-based inference.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use lbnn_netlist::Netlist;
+use lbnn_nullanet::bnn::BinaryDense;
+use lbnn_nullanet::extract::{layer_netlist, ExtractMode};
+
+use crate::zoo::{LayerShape, ModelShape};
+
+/// Options for workload generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadOptions {
+    /// Neurons per sampled FFCL block.
+    pub block_neurons: usize,
+    /// Fan-in cap: neurons with more inputs connect to a seeded random
+    /// subset (NullaNet-Tiny / LogicNets-style input selection).
+    pub max_fanin: usize,
+    /// Fan-in at or below which exact truth-table extraction is used.
+    pub exact_fanin: usize,
+    /// Observed samples for ISF extraction above `exact_fanin`.
+    pub isf_samples: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        WorkloadOptions {
+            block_neurons: 8,
+            max_fanin: 96,
+            exact_fanin: 10,
+            isf_samples: 64,
+            seed: 2023,
+        }
+    }
+}
+
+/// A layer's workload: one representative compiled-ready block plus the
+/// replication counts.
+#[derive(Debug, Clone)]
+pub struct LayerWorkload {
+    /// Layer label (`conv3_2`-style names are synthesized as `L<i>`).
+    pub name: String,
+    /// The sampled block's netlist (inputs = effective fan-in, outputs =
+    /// block neurons).
+    pub netlist: Netlist,
+    /// Number of blocks covering all neurons of the layer.
+    pub blocks: u64,
+    /// Spatial evaluation sites per input sample.
+    pub sites: u64,
+    /// Neurons realized by the sampled block.
+    pub block_neurons: usize,
+    /// Effective per-neuron fan-in after the cap.
+    pub effective_fanin: usize,
+}
+
+impl LayerWorkload {
+    /// Block-pass executions needed per input image, as a rational count
+    /// scaled by the lane width (`sites / lanes` passes per block).
+    pub fn passes_per_image(&self, lanes: usize) -> f64 {
+        assert!(lanes > 0, "lane width must be positive");
+        self.blocks as f64 * self.sites as f64 / lanes as f64
+    }
+
+    /// Per-image cycles for this layer, given the measured cycles of one
+    /// block pass.
+    pub fn cycles_per_image(&self, block_pass_cycles: u64, lanes: usize) -> f64 {
+        block_pass_cycles as f64 * self.passes_per_image(lanes)
+    }
+}
+
+/// Builds the workload of one layer.
+pub fn layer_workload(shape: &LayerShape, index: usize, opts: &WorkloadOptions) -> LayerWorkload {
+    let fan_in = shape.fan_in().min(opts.max_fanin);
+    let block_neurons = shape.neurons().min(opts.block_neurons);
+    let seed = opts
+        .seed
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(index as u64);
+    let layer = BinaryDense::random(seed, fan_in, block_neurons);
+
+    let netlist = if fan_in <= opts.exact_fanin {
+        layer_netlist(&layer, ExtractMode::Exact, None).expect("fan-in within exact bound")
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5DEE_CE66);
+        let samples: Vec<Vec<bool>> = (0..opts.isf_samples)
+            .map(|_| (0..fan_in).map(|_| rng.random_bool(0.5)).collect())
+            .collect();
+        layer_netlist(&layer, ExtractMode::Sampled, Some(&samples)).expect("samples provided")
+    };
+
+    LayerWorkload {
+        name: format!("L{}", index + 1),
+        netlist,
+        blocks: shape.neurons().div_ceil(block_neurons) as u64,
+        sites: shape.sites() as u64,
+        block_neurons,
+        effective_fanin: fan_in,
+    }
+}
+
+/// Builds the workloads of every layer of a model.
+pub fn model_workloads(model: &ModelShape, opts: &WorkloadOptions) -> Vec<LayerWorkload> {
+    model
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, shape)| layer_workload(shape, i, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn small_fanin_uses_exact_extraction() {
+        let shape = LayerShape::Dense(crate::zoo::DenseShape {
+            in_dim: 8,
+            out_dim: 4,
+            sites: 1,
+        });
+        let w = layer_workload(&shape, 0, &WorkloadOptions::default());
+        assert_eq!(w.effective_fanin, 8);
+        assert_eq!(w.netlist.inputs().len(), 8);
+        assert_eq!(w.netlist.outputs().len(), 4);
+        assert_eq!(w.blocks, 1);
+    }
+
+    #[test]
+    fn fanin_cap_applies() {
+        let shape = zoo::vgg16_layers_2_13().layers[7]; // 256 -> 512 conv
+        let opts = WorkloadOptions {
+            max_fanin: 48,
+            isf_samples: 32,
+            ..Default::default()
+        };
+        let w = layer_workload(&shape, 7, &opts);
+        assert_eq!(w.effective_fanin, 48);
+        assert_eq!(w.block_neurons, 8);
+        assert_eq!(w.blocks, 512u64.div_ceil(8));
+        assert_eq!(w.sites, 28 * 28);
+        assert!(w.netlist.gate_count() > 0);
+    }
+
+    #[test]
+    fn pass_arithmetic() {
+        let shape = zoo::lenet5().layers[0]; // 1->6 conv, 24x24 sites
+        let opts = WorkloadOptions::default();
+        let w = layer_workload(&shape, 0, &opts);
+        assert_eq!(w.sites, 576);
+        // 6 neurons fit one block of 8.
+        assert_eq!(w.blocks, 1);
+        let passes = w.passes_per_image(128);
+        assert!((passes - 576.0 / 128.0).abs() < 1e-9);
+        assert!((w.cycles_per_image(100, 128) - passes * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let model = zoo::jsc_m();
+        let a = model_workloads(&model, &WorkloadOptions::default());
+        let b = model_workloads(&model, &WorkloadOptions::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.netlist, y.netlist);
+            assert_eq!(x.blocks, y.blocks);
+        }
+    }
+
+    #[test]
+    fn nid_first_layer_caps_593_inputs() {
+        let model = zoo::nid();
+        let opts = WorkloadOptions {
+            max_fanin: 64,
+            isf_samples: 48,
+            ..Default::default()
+        };
+        let w = layer_workload(&model.layers[0], 0, &opts);
+        assert_eq!(w.effective_fanin, 64);
+        assert!(w.netlist.validate().is_ok());
+    }
+}

@@ -1,0 +1,346 @@
+//! Layer-shape definitions of the evaluated models.
+//!
+//! Shapes carry exactly the information the throughput accounting needs:
+//! per-neuron fan-in, neuron count, and spatial evaluation sites. Weights
+//! are *not* stored here — workload generation draws seeded binary
+//! weights, since only the logic's size distribution matters for the
+//! reproduced figures.
+
+/// A convolutional layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels (neurons).
+    pub out_ch: usize,
+    /// Square kernel size.
+    pub k: usize,
+    /// Output feature-map height.
+    pub out_h: usize,
+    /// Output feature-map width.
+    pub out_w: usize,
+}
+
+/// A fully-connected layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseShape {
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension (neurons).
+    pub out_dim: usize,
+    /// Number of positions this dense layer is applied to (MLP-Mixer
+    /// applies its token/channel MLPs once per channel/token).
+    pub sites: usize,
+}
+
+/// One layer of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerShape {
+    /// Convolution.
+    Conv(ConvShape),
+    /// Fully connected (possibly site-replicated).
+    Dense(DenseShape),
+}
+
+impl LayerShape {
+    /// Per-neuron fan-in.
+    pub fn fan_in(&self) -> usize {
+        match self {
+            LayerShape::Conv(c) => c.in_ch * c.k * c.k,
+            LayerShape::Dense(d) => d.in_dim,
+        }
+    }
+
+    /// Number of neurons (output channels / output dimension).
+    pub fn neurons(&self) -> usize {
+        match self {
+            LayerShape::Conv(c) => c.out_ch,
+            LayerShape::Dense(d) => d.out_dim,
+        }
+    }
+
+    /// Spatial evaluation sites per input sample.
+    pub fn sites(&self) -> usize {
+        match self {
+            LayerShape::Conv(c) => c.out_h * c.out_w,
+            LayerShape::Dense(d) => d.sites,
+        }
+    }
+
+    /// Multiply-accumulate operations per input sample (the MAC-baseline
+    /// cost metric).
+    pub fn macs(&self) -> u64 {
+        self.fan_in() as u64 * self.neurons() as u64 * self.sites() as u64
+    }
+}
+
+/// A named stack of layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelShape {
+    /// Model name as used in the paper's tables.
+    pub name: &'static str,
+    /// Layer stack.
+    pub layers: Vec<LayerShape>,
+}
+
+impl ModelShape {
+    /// Total MACs per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerShape::macs).sum()
+    }
+}
+
+fn conv(in_ch: usize, out_ch: usize, k: usize, out_h: usize, out_w: usize) -> LayerShape {
+    LayerShape::Conv(ConvShape {
+        in_ch,
+        out_ch,
+        k,
+        out_h,
+        out_w,
+    })
+}
+
+fn dense(in_dim: usize, out_dim: usize) -> LayerShape {
+    LayerShape::Dense(DenseShape {
+        in_dim,
+        out_dim,
+        sites: 1,
+    })
+}
+
+fn dense_sites(in_dim: usize, out_dim: usize, sites: usize) -> LayerShape {
+    LayerShape::Dense(DenseShape {
+        in_dim,
+        out_dim,
+        sites,
+    })
+}
+
+/// VGG16 on 224×224 ImageNet inputs: the 13 convolutional layers plus the
+/// three classifier layers (~138 M parameters).
+pub fn vgg16() -> ModelShape {
+    ModelShape {
+        name: "VGG16",
+        layers: vec![
+            conv(3, 64, 3, 224, 224),
+            conv(64, 64, 3, 224, 224),
+            conv(64, 128, 3, 112, 112),
+            conv(128, 128, 3, 112, 112),
+            conv(128, 256, 3, 56, 56),
+            conv(256, 256, 3, 56, 56),
+            conv(256, 256, 3, 56, 56),
+            conv(256, 512, 3, 28, 28),
+            conv(512, 512, 3, 28, 28),
+            conv(512, 512, 3, 28, 28),
+            conv(512, 512, 3, 14, 14),
+            conv(512, 512, 3, 14, 14),
+            conv(512, 512, 3, 14, 14),
+            dense(25088, 4096),
+            dense(4096, 4096),
+            dense(4096, 1000),
+        ],
+    }
+}
+
+/// The paper's VGG16 workload: intermediate convolutional layers 2–13
+/// (§VI-B implements exactly these with FFCL).
+pub fn vgg16_layers_2_13() -> ModelShape {
+    let all = vgg16();
+    ModelShape {
+        name: "VGG16[2:13]",
+        layers: all.layers[1..13].to_vec(),
+    }
+}
+
+/// LeNet-5 on 28×28 MNIST.
+pub fn lenet5() -> ModelShape {
+    ModelShape {
+        name: "LENET5",
+        layers: vec![
+            conv(1, 6, 5, 24, 24),
+            conv(6, 16, 5, 8, 8),
+            dense(256, 120),
+            dense(120, 84),
+            dense(84, 10),
+        ],
+    }
+}
+
+/// MLPMixer-S/4 on CIFAR-10 (paper §VI: 32×32 inputs, 4×4 patches → 64
+/// tokens, hidden C = 128, DS = 64, DC = 512, 8 mixing layers).
+pub fn mlpmixer_s4() -> ModelShape {
+    mixer("MLPMixer-S/4", 64, 128, 64, 512, 8)
+}
+
+/// MLPMixer-B/4 on CIFAR-10 (C = 192, DS = 96, DC = 768, 12 layers).
+pub fn mlpmixer_b4() -> ModelShape {
+    mixer("MLPMixer-B/4", 64, 192, 96, 768, 12)
+}
+
+fn mixer(
+    name: &'static str,
+    tokens: usize,
+    c: usize,
+    ds: usize,
+    dc: usize,
+    layers: usize,
+) -> ModelShape {
+    let mut stack = Vec::new();
+    // Patch embedding: 4×4×3 = 48 inputs per token.
+    stack.push(dense_sites(48, c, tokens));
+    for _ in 0..layers {
+        // Token mixing: applied per channel.
+        stack.push(dense_sites(tokens, ds, c));
+        stack.push(dense_sites(ds, tokens, c));
+        // Channel mixing: applied per token.
+        stack.push(dense_sites(c, dc, tokens));
+        stack.push(dense_sites(dc, c, tokens));
+    }
+    // Head.
+    stack.push(dense(c, 10));
+    ModelShape {
+        name,
+        layers: stack,
+    }
+}
+
+/// The ChewBaccaNN-style VGG-like CIFAR-10 BNN (Andri et al., ISCAS 2021).
+pub fn chewbacca_vgg() -> ModelShape {
+    ModelShape {
+        name: "VGG-like (ChewBaccaNN)",
+        layers: vec![
+            conv(3, 64, 3, 32, 32),
+            conv(64, 64, 3, 32, 32),
+            conv(64, 128, 3, 16, 16),
+            conv(128, 128, 3, 16, 16),
+            conv(128, 256, 3, 8, 8),
+            conv(256, 256, 3, 8, 8),
+            dense(4096, 1024),
+            dense(1024, 10),
+        ],
+    }
+}
+
+/// Jet substructure classification, medium (LogicNets JSC-M topology:
+/// 16 features → 64-32-32-32 → 5 classes).
+pub fn jsc_m() -> ModelShape {
+    ModelShape {
+        name: "JSC-M",
+        layers: vec![
+            dense(16, 64),
+            dense(64, 32),
+            dense(32, 32),
+            dense(32, 32),
+            dense(32, 5),
+        ],
+    }
+}
+
+/// Jet substructure classification, large (LogicNets JSC-L topology:
+/// 16 → 32-64-192-192-16 → 5).
+pub fn jsc_l() -> ModelShape {
+    ModelShape {
+        name: "JSC-L",
+        layers: vec![
+            dense(16, 32),
+            dense(32, 64),
+            dense(64, 192),
+            dense(192, 192),
+            dense(192, 16),
+            dense(16, 5),
+        ],
+    }
+}
+
+/// UNSW-NB15 network intrusion detection (Murovic et al.: 593 binary
+/// features, two classes; hidden stack representative of the massively
+/// parallel FPGA nets the paper compares against).
+pub fn nid() -> ModelShape {
+    ModelShape {
+        name: "NID",
+        layers: vec![dense(593, 128), dense(128, 64), dense(64, 2)],
+    }
+}
+
+/// Every model of Tables II and III, in table order.
+pub fn all_models() -> Vec<ModelShape> {
+    vec![
+        vgg16_layers_2_13(),
+        lenet5(),
+        mlpmixer_s4(),
+        mlpmixer_b4(),
+        chewbacca_vgg(),
+        jsc_m(),
+        jsc_l(),
+        nid(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_parameter_scale() {
+        // ~138M parameters; weights = fan_in × neurons per layer.
+        let params: u64 = vgg16()
+            .layers
+            .iter()
+            .map(|l| l.fan_in() as u64 * l.neurons() as u64)
+            .sum();
+        assert!(
+            (130_000_000..150_000_000).contains(&params),
+            "VGG16 weights = {params}"
+        );
+    }
+
+    #[test]
+    fn paper_subset_is_layers_2_to_13() {
+        let sub = vgg16_layers_2_13();
+        assert_eq!(sub.layers.len(), 12);
+        assert_eq!(sub.layers[0].fan_in(), 64 * 9, "first is conv1_2");
+        assert_eq!(sub.layers[11].neurons(), 512, "last is conv5_3");
+    }
+
+    #[test]
+    fn lenet_dimensions_chain() {
+        let m = lenet5();
+        // conv2 output 16×4×4 = 256 feeds the first dense layer
+        // (post-pooling).
+        assert_eq!(m.layers[2].fan_in(), 256);
+        assert_eq!(m.layers.last().unwrap().neurons(), 10);
+    }
+
+    #[test]
+    fn mixer_dims_match_paper() {
+        let s = mlpmixer_s4();
+        // Token-mixing hidden DS = 64, channel-mixing hidden DC = 512.
+        assert!(s
+            .layers
+            .iter()
+            .any(|l| matches!(l, LayerShape::Dense(d) if d.out_dim == 512)));
+        let b = mlpmixer_b4();
+        assert!(b
+            .layers
+            .iter()
+            .any(|l| matches!(l, LayerShape::Dense(d) if d.out_dim == 768)));
+        // 8 vs 12 mixing layers -> 4 dense layers each + stem + head.
+        assert_eq!(s.layers.len(), 8 * 4 + 2);
+        assert_eq!(b.layers.len(), 12 * 4 + 2);
+    }
+
+    #[test]
+    fn nid_has_593_binary_features() {
+        let m = nid();
+        assert_eq!(m.layers[0].fan_in(), 593);
+        assert_eq!(m.layers.last().unwrap().neurons(), 2);
+    }
+
+    #[test]
+    fn macs_ordering_matches_model_sizes() {
+        assert!(vgg16().total_macs() > chewbacca_vgg().total_macs());
+        assert!(chewbacca_vgg().total_macs() > lenet5().total_macs());
+        assert!(lenet5().total_macs() > jsc_l().total_macs());
+        assert!(jsc_l().total_macs() > jsc_m().total_macs());
+    }
+}

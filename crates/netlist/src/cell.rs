@@ -1,0 +1,261 @@
+//! The customized cell library supported by the logic processing elements.
+//!
+//! The paper's LPE supports *multiple-input single-output* (MISO) operations
+//! — `AND`, `OR`, `XOR`/`XNOR` (and their negations) — and *single-input
+//! single-output* (SISO) operations — `NOT`/`BUFFER` (§IV). `BUFFER` nodes
+//! are inserted by full path balancing so that all paths between two
+//! connected nodes have equal topological length.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A Boolean operation performed by one logic processing element (LPE).
+///
+/// `Input` marks primary-input nodes; it is not an executable LPE opcode but
+/// keeps the netlist arena homogeneous. `Const0`/`Const1` are tie cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Op {
+    /// A primary input of the FFCL block.
+    Input,
+    /// Constant logic 0 (tie-low).
+    Const0,
+    /// Constant logic 1 (tie-high).
+    Const1,
+    /// Two-input AND.
+    And,
+    /// Two-input OR.
+    Or,
+    /// Two-input XOR.
+    Xor,
+    /// Two-input XNOR.
+    Xnor,
+    /// Two-input NAND.
+    Nand,
+    /// Two-input NOR.
+    Nor,
+    /// Inverter (SISO).
+    Not,
+    /// Buffer (SISO); inserted by full path balancing.
+    Buf,
+}
+
+impl Op {
+    /// All executable two-input (MISO) opcodes.
+    pub const MISO: [Op; 6] = [Op::And, Op::Or, Op::Xor, Op::Xnor, Op::Nand, Op::Nor];
+
+    /// All executable single-input (SISO) opcodes.
+    pub const SISO: [Op; 2] = [Op::Not, Op::Buf];
+
+    /// Number of fanins this operation consumes (0, 1 or 2).
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Input | Op::Const0 | Op::Const1 => 0,
+            Op::Not | Op::Buf => 1,
+            _ => 2,
+        }
+    }
+
+    /// `true` for operations a logic processing element can execute
+    /// (everything except `Input`).
+    #[inline]
+    pub fn is_executable(self) -> bool {
+        self != Op::Input
+    }
+
+    /// `true` for the two-input gate operations.
+    #[inline]
+    pub fn is_gate2(self) -> bool {
+        self.arity() == 2
+    }
+
+    /// Evaluate the operation on single-bit operands.
+    ///
+    /// Unused operands are ignored (e.g. `b` for [`Op::Not`]).
+    #[inline]
+    pub fn eval_bit(self, a: bool, b: bool) -> bool {
+        match self {
+            Op::Input => a,
+            Op::Const0 => false,
+            Op::Const1 => true,
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+            Op::Xnor => !(a ^ b),
+            Op::Nand => !(a & b),
+            Op::Nor => !(a | b),
+            Op::Not => !a,
+            Op::Buf => a,
+        }
+    }
+
+    /// Evaluate the operation bit-parallel on 64-lane words.
+    #[inline]
+    pub fn eval_word(self, a: u64, b: u64) -> u64 {
+        match self {
+            Op::Input => a,
+            Op::Const0 => 0,
+            Op::Const1 => !0,
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+            Op::Xnor => !(a ^ b),
+            Op::Nand => !(a & b),
+            Op::Nor => !(a | b),
+            Op::Not => !a,
+            Op::Buf => a,
+        }
+    }
+
+    /// The operation computing the complement of this operation's output,
+    /// when one exists in the cell library.
+    pub fn negated(self) -> Option<Op> {
+        Some(match self {
+            Op::And => Op::Nand,
+            Op::Nand => Op::And,
+            Op::Or => Op::Nor,
+            Op::Nor => Op::Or,
+            Op::Xor => Op::Xnor,
+            Op::Xnor => Op::Xor,
+            Op::Not => Op::Buf,
+            Op::Buf => Op::Not,
+            Op::Const0 => Op::Const1,
+            Op::Const1 => Op::Const0,
+            Op::Input => return None,
+        })
+    }
+
+    /// `true` if the operation is commutative in its two operands.
+    #[inline]
+    pub fn is_commutative(self) -> bool {
+        self.is_gate2()
+    }
+
+    /// The Verilog primitive name for this operation, if it has one.
+    pub fn verilog_primitive(self) -> Option<&'static str> {
+        Some(match self {
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Xnor => "xnor",
+            Op::Nand => "nand",
+            Op::Nor => "nor",
+            Op::Not => "not",
+            Op::Buf => "buf",
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Input => "input",
+            Op::Const0 => "const0",
+            Op::Const1 => "const1",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Xnor => "xnor",
+            Op::Nand => "nand",
+            Op::Nor => "nor",
+            Op::Not => "not",
+            Op::Buf => "buf",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for Op {
+    type Err = crate::NetlistError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "and" => Op::And,
+            "or" => Op::Or,
+            "xor" => Op::Xor,
+            "xnor" => Op::Xnor,
+            "nand" => Op::Nand,
+            "nor" => Op::Nor,
+            "not" => Op::Not,
+            "buf" => Op::Buf,
+            "const0" => Op::Const0,
+            "const1" => Op::Const1,
+            "input" => Op::Input,
+            other => {
+                return Err(crate::NetlistError::UnknownOp {
+                    op: other.to_string(),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_class() {
+        for op in Op::MISO {
+            assert_eq!(op.arity(), 2, "{op}");
+        }
+        for op in Op::SISO {
+            assert_eq!(op.arity(), 1, "{op}");
+        }
+        assert_eq!(Op::Input.arity(), 0);
+        assert_eq!(Op::Const0.arity(), 0);
+    }
+
+    #[test]
+    fn eval_bit_truth_tables() {
+        let cases = [(false, false), (false, true), (true, false), (true, true)];
+        for (a, b) in cases {
+            assert_eq!(Op::And.eval_bit(a, b), a && b);
+            assert_eq!(Op::Or.eval_bit(a, b), a || b);
+            assert_eq!(Op::Xor.eval_bit(a, b), a ^ b);
+            assert_eq!(Op::Xnor.eval_bit(a, b), !(a ^ b));
+            assert_eq!(Op::Nand.eval_bit(a, b), !(a && b));
+            assert_eq!(Op::Nor.eval_bit(a, b), !(a || b));
+            assert_eq!(Op::Not.eval_bit(a, b), !a);
+            assert_eq!(Op::Buf.eval_bit(a, b), a);
+        }
+    }
+
+    #[test]
+    fn eval_word_agrees_with_eval_bit() {
+        for op in Op::MISO.into_iter().chain(Op::SISO) {
+            for bits in 0u8..4 {
+                let a = bits & 1 != 0;
+                let b = bits & 2 != 0;
+                let wa = if a { !0u64 } else { 0 };
+                let wb = if b { !0u64 } else { 0 };
+                let expect = if op.eval_bit(a, b) { !0u64 } else { 0 };
+                assert_eq!(op.eval_word(wa, wb), expect, "{op} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for op in Op::MISO.into_iter().chain(Op::SISO) {
+            let neg = op.negated().expect("gates have negations");
+            assert_eq!(neg.negated(), Some(op));
+            // The negated op computes the complement.
+            for bits in 0u8..4 {
+                let a = bits & 1 != 0;
+                let b = bits & 2 != 0;
+                assert_eq!(op.eval_bit(a, b), !neg.eval_bit(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for op in Op::MISO.into_iter().chain(Op::SISO) {
+            let s = op.to_string();
+            assert_eq!(s.parse::<Op>().unwrap(), op);
+        }
+        assert!("majority3".parse::<Op>().is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type shared by all netlist operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::netlist::NodeId;
+
+/// Errors produced while building, parsing or transforming a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate operation name was not part of the cell library.
+    UnknownOp {
+        /// The offending operation name.
+        op: String,
+    },
+    /// A node id referenced a node that does not exist in the arena.
+    InvalidNode {
+        /// The offending id.
+        id: NodeId,
+    },
+    /// The netlist contains a combinational cycle.
+    Cyclic {
+        /// A node known to lie on the cycle.
+        on: NodeId,
+    },
+    /// A signal name was used before being defined (Verilog parsing).
+    UndefinedSignal {
+        /// The undefined signal name.
+        name: String,
+    },
+    /// A signal was driven by more than one gate (Verilog parsing).
+    MultipleDrivers {
+        /// The multiply-driven signal name.
+        name: String,
+    },
+    /// A Verilog syntax error with a line number and message.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        msg: String,
+    },
+    /// The netlist has no primary outputs (nothing to compute).
+    NoOutputs,
+    /// An evaluation was given the wrong number of input values.
+    InputArity {
+        /// Number of primary inputs of the netlist.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownOp { op } => write!(f, "unknown cell-library operation `{op}`"),
+            NetlistError::InvalidNode { id } => write!(f, "invalid node id {id:?}"),
+            NetlistError::Cyclic { on } => {
+                write!(f, "netlist contains a combinational cycle through {on:?}")
+            }
+            NetlistError::UndefinedSignal { name } => {
+                write!(f, "signal `{name}` is used but never defined")
+            }
+            NetlistError::MultipleDrivers { name } => {
+                write!(f, "signal `{name}` has multiple drivers")
+            }
+            NetlistError::Syntax { line, msg } => write!(f, "syntax error on line {line}: {msg}"),
+            NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
+            NetlistError::InputArity { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NetlistError::UnknownOp { op: "maj".into() },
+            NetlistError::InvalidNode { id: NodeId::new(3) },
+            NetlistError::Cyclic { on: NodeId::new(0) },
+            NetlistError::UndefinedSignal { name: "w".into() },
+            NetlistError::MultipleDrivers { name: "w".into() },
+            NetlistError::Syntax {
+                line: 7,
+                msg: "expected `;`".into(),
+            },
+            NetlistError::NoOutputs,
+            NetlistError::InputArity {
+                expected: 2,
+                got: 3,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

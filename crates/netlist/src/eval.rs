@@ -1,0 +1,315 @@
+//! Bit-parallel functional evaluation of a netlist.
+//!
+//! The LPU processes `2m`-bit operands: each bit is an independent Boolean
+//! sample (a patch of a feature volume, or one image of a batch). [`Lanes`]
+//! models exactly that — a vector of Boolean lanes packed into `u64` words —
+//! and [`evaluate`] runs the whole netlist across all lanes at once. This is
+//! the golden reference the cycle-accurate LPU simulator is tested against.
+
+use crate::cell::Op;
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+
+/// A packed vector of Boolean lanes (the value of one signal across a batch).
+///
+/// # Example
+///
+/// ```
+/// use lbnn_netlist::Lanes;
+/// let mut l = Lanes::zeros(100);
+/// l.set(3, true);
+/// assert!(l.get(3));
+/// assert_eq!(l.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lanes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Lanes {
+    /// Creates `len` lanes, all 0.
+    pub fn zeros(len: usize) -> Self {
+        Lanes {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates `len` lanes, all 1.
+    pub fn ones(len: usize) -> Self {
+        let mut l = Lanes {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        l.mask_tail();
+        l
+    }
+
+    /// Packs a slice of booleans into lanes.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut l = Lanes::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                l.set(i, true);
+            }
+        }
+        l
+    }
+
+    /// Creates lanes from raw words; bits past `len` are masked off.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        let mut l = Lanes { words, len };
+        l.mask_tail();
+        l
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when there are no lanes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The lane at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "lane {index} out of range {}", self.len);
+        self.words[index / 64] >> (index % 64) & 1 != 0
+    }
+
+    /// Sets the lane at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "lane {index} out of range {}", self.len);
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// The packed words backing the lanes.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of lanes set to 1.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Unpacks the lanes into booleans.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Applies a gate operation lane-wise: `self = op(a, b)`. Single-input
+    /// operations ignore `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lane counts differ from `self`.
+    pub fn assign_op(&mut self, op: Op, a: &Lanes, b: Option<&Lanes>) {
+        assert_eq!(a.len(), self.len, "operand lane count mismatch");
+        if let Some(b) = b {
+            assert_eq!(b.len(), self.len, "operand lane count mismatch");
+        }
+        self.assign_op_inner(op, a, b);
+    }
+
+    #[inline]
+    fn assign_op_inner(&mut self, op: Op, a: &Lanes, b: Option<&Lanes>) {
+        let zero: &[u64] = &[];
+        let bw = b.map_or(zero, |b| b.words.as_slice());
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let wa = a.words[i];
+            let wb = if bw.is_empty() { 0 } else { bw[i] };
+            *w = op.eval_word(wa, wb);
+        }
+        self.mask_tail();
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// Evaluates the netlist across all lanes simultaneously.
+///
+/// `inputs[i]` carries the batch values of primary input `i` (in
+/// [`Netlist::inputs`] order); the result holds one [`Lanes`] per primary
+/// output, in [`Netlist::outputs`] order.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InputArity`] if the number of input lane vectors
+/// does not match the netlist's primary input count.
+///
+/// # Panics
+///
+/// Panics if the input lane vectors have inconsistent lane counts.
+///
+/// # Example
+///
+/// ```
+/// use lbnn_netlist::{eval::evaluate, Lanes, Netlist, Op};
+/// # fn main() -> Result<(), lbnn_netlist::NetlistError> {
+/// let mut nl = Netlist::new("and");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let y = nl.add_gate2(Op::And, a, b);
+/// nl.add_output(y, "y");
+/// let out = evaluate(&nl, &[
+///     Lanes::from_bools(&[true, true, false]),
+///     Lanes::from_bools(&[true, false, true]),
+/// ])?;
+/// assert_eq!(out[0].to_bools(), vec![true, false, false]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(netlist: &Netlist, inputs: &[Lanes]) -> Result<Vec<Lanes>, NetlistError> {
+    if inputs.len() != netlist.inputs().len() {
+        return Err(NetlistError::InputArity {
+            expected: netlist.inputs().len(),
+            got: inputs.len(),
+        });
+    }
+    let lanes = inputs.first().map_or(0, Lanes::len);
+    for l in inputs {
+        assert_eq!(l.len(), lanes, "inconsistent lane counts across inputs");
+    }
+
+    let mut values: Vec<Lanes> = vec![Lanes::zeros(lanes); netlist.len()];
+    for (i, &pi) in netlist.inputs().iter().enumerate() {
+        values[pi.index()] = inputs[i].clone();
+    }
+    for (id, node) in netlist.iter() {
+        if node.op() == Op::Input {
+            continue;
+        }
+        let mut v = Lanes::zeros(lanes);
+        let fan = node.fanins();
+        match fan.len() {
+            0 => v.assign_op(node.op(), &Lanes::zeros(lanes), None),
+            1 => v.assign_op(node.op(), &values[fan[0].index()], None),
+            _ => v.assign_op(
+                node.op(),
+                &values[fan[0].index()],
+                Some(&values[fan[1].index()]),
+            ),
+        }
+        values[id.index()] = v;
+    }
+    Ok(netlist
+        .outputs()
+        .iter()
+        .map(|o| values[o.node.index()].clone())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Op;
+
+    #[test]
+    fn lanes_pack_unpack() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let lanes = Lanes::from_bools(&bits);
+        assert_eq!(lanes.len(), 130);
+        assert_eq!(lanes.to_bools(), bits);
+        assert_eq!(lanes.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn ones_masks_tail() {
+        let l = Lanes::ones(70);
+        assert_eq!(l.count_ones(), 70);
+        assert_eq!(l.words().len(), 2);
+        assert_eq!(l.words()[1] >> 6, 0, "tail bits must stay clear");
+    }
+
+    #[test]
+    fn evaluate_matches_scalar_eval() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let nb = nl.add_gate1(Op::Not, b);
+        let t = nl.add_gate2(Op::Xnor, a, nb);
+        let y = nl.add_gate2(Op::Nor, t, c);
+        nl.add_output(y, "y");
+        nl.add_output(t, "t");
+
+        // All 8 combinations as 8 lanes.
+        let mut ins = vec![Lanes::zeros(8), Lanes::zeros(8), Lanes::zeros(8)];
+        for lane in 0..8 {
+            for (bit, lanes) in ins.iter_mut().enumerate() {
+                lanes.set(lane, lane & (1 << bit) != 0);
+            }
+        }
+        let outs = evaluate(&nl, &ins).unwrap();
+        for lane in 0..8 {
+            let scalar = nl.eval_bools(&[lane & 1 != 0, lane & 2 != 0, lane & 4 != 0]);
+            assert_eq!(outs[0].get(lane), scalar[0], "lane {lane}");
+            assert_eq!(outs[1].get(lane), scalar[1], "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn evaluate_checks_input_count() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        nl.add_output(a, "y");
+        assert!(matches!(
+            evaluate(&nl, &[]),
+            Err(NetlistError::InputArity {
+                expected: 1,
+                got: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn constants_across_lanes() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let one = nl.add_const(true);
+        let y = nl.add_gate2(Op::Xor, a, one);
+        nl.add_output(y, "y");
+        let out = evaluate(&nl, &[Lanes::from_bools(&[true, false, true])]).unwrap();
+        assert_eq!(out[0].to_bools(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn wide_batch_tail_masking() {
+        let mut nl = Netlist::new("n");
+        let a = nl.add_input("a");
+        let y = nl.add_gate1(Op::Not, a);
+        nl.add_output(y, "y");
+        let out = evaluate(&nl, &[Lanes::zeros(100)]).unwrap();
+        assert_eq!(out[0].count_ones(), 100, "NOT of all-zero = all-one");
+    }
+}

@@ -1,0 +1,181 @@
+//! Depth levelization of a netlist (§III of the paper).
+//!
+//! A gate at logic level `l` has no connection to any other gate at level
+//! `l`, so all gates of one level can execute simultaneously. Levelization
+//! assigns every node its ASAP level: primary inputs and constants sit at
+//! level 0, every gate at `1 + max(level of fanins)`.
+
+use crate::cell::Op;
+use crate::netlist::{Netlist, NodeId};
+
+/// The level assignment of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levels {
+    level: Vec<u32>,
+    max: u32,
+}
+
+impl Levels {
+    /// Computes ASAP levels for the netlist.
+    pub fn compute(netlist: &Netlist) -> Levels {
+        let mut level = vec![0u32; netlist.len()];
+        let mut max = 0;
+        for (id, node) in netlist.iter() {
+            if node.op() == Op::Input || node.op().arity() == 0 {
+                level[id.index()] = 0;
+                continue;
+            }
+            let l = 1 + node
+                .fanins()
+                .iter()
+                .map(|f| level[f.index()])
+                .max()
+                .unwrap_or(0);
+            level[id.index()] = l;
+            max = max.max(l);
+        }
+        Levels { level, max }
+    }
+
+    /// The level of a node.
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The maximum level in the netlist (`Lmax`); primary inputs are level 0.
+    #[inline]
+    pub fn max_level(&self) -> u32 {
+        self.max
+    }
+
+    /// The logic depth of the netlist: number of gate levels (`Lmax`).
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.max
+    }
+
+    /// Number of *gate* nodes at each level (level 0 counts constants but
+    /// not primary inputs). Index `l` holds the node count of level `l`.
+    pub fn width_profile(&self, netlist: &Netlist) -> Vec<usize> {
+        let mut width = vec![0usize; self.max as usize + 1];
+        for (id, node) in netlist.iter() {
+            if node.op() == Op::Input {
+                continue;
+            }
+            width[self.level[id.index()] as usize] += 1;
+        }
+        width
+    }
+
+    /// The maximum number of gates at any single level (the graph *width*
+    /// in the paper's terminology).
+    pub fn max_width(&self, netlist: &Netlist) -> usize {
+        self.width_profile(netlist).into_iter().max().unwrap_or(0)
+    }
+
+    /// Groups gate node ids by level: entry `l` lists the gates at level `l`
+    /// in topological order. Primary inputs are omitted.
+    pub fn nodes_by_level(&self, netlist: &Netlist) -> Vec<Vec<NodeId>> {
+        let mut by_level = vec![Vec::new(); self.max as usize + 1];
+        for (id, node) in netlist.iter() {
+            if node.op() == Op::Input {
+                continue;
+            }
+            by_level[self.level[id.index()] as usize].push(id);
+        }
+        by_level
+    }
+
+    /// `true` when every edge spans exactly one level and every primary
+    /// output sits at `Lmax` — i.e. the netlist is *fully path balanced*.
+    pub fn is_fully_balanced(&self, netlist: &Netlist) -> bool {
+        for (id, node) in netlist.iter() {
+            if node.op() == Op::Input {
+                continue;
+            }
+            let l = self.level[id.index()];
+            for &f in node.fanins() {
+                if self.level[f.index()] + 1 != l {
+                    return false;
+                }
+            }
+        }
+        netlist
+            .outputs()
+            .iter()
+            .all(|o| self.level[o.node.index()] == self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Op;
+
+    fn chain(depth: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let mut cur = nl.add_gate2(Op::And, a, b);
+        for _ in 1..depth {
+            cur = nl.add_gate2(Op::Xor, cur, b);
+        }
+        nl.add_output(cur, "y");
+        nl
+    }
+
+    #[test]
+    fn chain_depth() {
+        for d in 1..6 {
+            let nl = chain(d);
+            let lv = Levels::compute(&nl);
+            assert_eq!(lv.depth(), d as u32);
+            assert_eq!(lv.max_width(&nl), 1);
+        }
+    }
+
+    #[test]
+    fn unbalanced_edge_detected() {
+        // y = (a & b) & c has an edge c(level 0) -> gate(level 2).
+        let mut nl = Netlist::new("unbal");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_gate2(Op::And, a, b);
+        let y = nl.add_gate2(Op::And, ab, c);
+        nl.add_output(y, "y");
+        let lv = Levels::compute(&nl);
+        assert_eq!(lv.level(y), 2);
+        assert!(!lv.is_fully_balanced(&nl));
+    }
+
+    #[test]
+    fn width_profile_counts_gates_per_level() {
+        // Two independent AND gates at level 1, one OR at level 2.
+        let mut nl = Netlist::new("w");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let g0 = nl.add_gate2(Op::And, a, b);
+        let g1 = nl.add_gate2(Op::And, c, d);
+        let y = nl.add_gate2(Op::Or, g0, g1);
+        nl.add_output(y, "y");
+        let lv = Levels::compute(&nl);
+        assert_eq!(lv.width_profile(&nl), vec![0, 2, 1]);
+        assert_eq!(lv.max_width(&nl), 2);
+        let by = lv.nodes_by_level(&nl);
+        assert_eq!(by[1], vec![g0, g1]);
+        assert_eq!(by[2], vec![y]);
+    }
+
+    #[test]
+    fn inputs_are_level_zero() {
+        let nl = chain(3);
+        let lv = Levels::compute(&nl);
+        for &pi in nl.inputs() {
+            assert_eq!(lv.level(pi), 0);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # lbnn-netlist
+//!
+//! Gate-level netlist intermediate representation for the `lbnn` workspace,
+//! the Rust reproduction of *"Algorithms and Hardware for Efficient
+//! Processing of Logic-based Neural Networks"* (DAC 2023).
+//!
+//! A [`Netlist`] is a directed acyclic graph of two-input Boolean gates (plus
+//! inverters, buffers and constants) — the in-memory form of a
+//! *fixed-function combinational logic* (FFCL) block. The crate provides:
+//!
+//! * the node/edge arena itself ([`Netlist`], [`Node`], [`NodeId`], [`Op`]),
+//! * a structural-Verilog parser and writer ([`verilog`]),
+//! * depth levelization ([`levelize`]) and full path balancing ([`balance`]),
+//!   the two pre-processing steps the paper's compiler requires,
+//! * bit-parallel functional evaluation ([`eval`]) used as the correctness
+//!   oracle for the LPU simulator,
+//! * seeded random netlist generators ([`random`]) for tests and benchmarks.
+//!
+//! ## Example
+//!
+//! ```
+//! use lbnn_netlist::{Netlist, Op};
+//!
+//! // y = (a & b) ^ c
+//! let mut nl = Netlist::new("demo");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let c = nl.add_input("c");
+//! let ab = nl.add_gate2(Op::And, a, b);
+//! let y = nl.add_gate2(Op::Xor, ab, c);
+//! nl.add_output(y, "y");
+//!
+//! let out = nl.eval_bools(&[true, true, false]);
+//! assert_eq!(out, vec![true]);
+//! ```
+
+pub mod balance;
+pub mod cell;
+pub mod error;
+pub mod eval;
+pub mod levelize;
+pub mod netlist;
+pub mod random;
+pub mod verilog;
+
+pub use cell::Op;
+pub use error::NetlistError;
+pub use eval::Lanes;
+pub use levelize::Levels;
+pub use netlist::{Netlist, Node, NodeId};

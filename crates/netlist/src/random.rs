@@ -1,0 +1,190 @@
+//! Seeded random netlist generators for tests and benchmarks.
+//!
+//! Two flavors:
+//!
+//! * [`RandomDag::strict`] — *strictly leveled* graphs where every gate reads
+//!   only the previous level; these are fully path balanced by construction
+//!   and drive the partitioner/scheduler benchmarks directly.
+//! * [`RandomDag::loose`] — gates may read any earlier node, producing the
+//!   unbalanced netlists a synthesis front-end would hand to the compiler.
+//!
+//! All generation is deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::cell::Op;
+use crate::netlist::{Netlist, NodeId};
+
+/// Configuration for random DAG generation (builder-style).
+///
+/// # Example
+///
+/// ```
+/// use lbnn_netlist::random::RandomDag;
+/// let nl = RandomDag::strict(8, 5, 4).generate(42);
+/// assert_eq!(nl.inputs().len(), 8);
+/// let same = RandomDag::strict(8, 5, 4).generate(42);
+/// assert_eq!(nl, same, "generation is deterministic in the seed");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomDag {
+    inputs: usize,
+    levels: usize,
+    width: usize,
+    width_jitter: usize,
+    strict: bool,
+    outputs: Option<usize>,
+    ops: Vec<Op>,
+}
+
+impl RandomDag {
+    /// A strictly leveled DAG: `levels` levels of about `width` gates, each
+    /// reading only the previous level. Fully path balanced by construction.
+    pub fn strict(inputs: usize, levels: usize, width: usize) -> Self {
+        RandomDag {
+            inputs,
+            levels,
+            width,
+            width_jitter: 0,
+            strict: true,
+            outputs: None,
+            ops: vec![Op::And, Op::Or, Op::Xor, Op::Xnor, Op::Nand, Op::Nor],
+        }
+    }
+
+    /// A loose DAG: gates read any earlier node, so paths have uneven
+    /// lengths and the netlist needs full path balancing before mapping.
+    pub fn loose(inputs: usize, levels: usize, width: usize) -> Self {
+        RandomDag {
+            strict: false,
+            ..RandomDag::strict(inputs, levels, width)
+        }
+    }
+
+    /// Varies each level's width uniformly in `width ± jitter` (clamped to 1).
+    pub fn width_jitter(mut self, jitter: usize) -> Self {
+        self.width_jitter = jitter;
+        self
+    }
+
+    /// Number of primary outputs (default: all nodes of the last level).
+    pub fn outputs(mut self, count: usize) -> Self {
+        self.outputs = Some(count);
+        self
+    }
+
+    /// Restricts the gate operation pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or contains a non-two-input operation.
+    pub fn ops(mut self, ops: &[Op]) -> Self {
+        assert!(!ops.is_empty(), "operation pool must be non-empty");
+        assert!(
+            ops.iter().all(|o| o.is_gate2()),
+            "operation pool must contain only two-input gates"
+        );
+        self.ops = ops.to_vec();
+        self
+    }
+
+    /// Generates the netlist; identical seeds yield identical netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs == 0` or `levels == 0`.
+    pub fn generate(&self, seed: u64) -> Netlist {
+        assert!(self.inputs > 0, "need at least one input");
+        assert!(self.levels > 0, "need at least one level");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nl = Netlist::new(format!("rand_{seed}"));
+
+        let mut prev: Vec<NodeId> = (0..self.inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let mut all: Vec<NodeId> = prev.clone();
+
+        let mut last = Vec::new();
+        for _level in 0..self.levels {
+            let w = if self.width_jitter == 0 {
+                self.width
+            } else {
+                let lo = self.width.saturating_sub(self.width_jitter).max(1);
+                let hi = self.width + self.width_jitter;
+                rng.random_range(lo..=hi)
+            };
+            let mut cur = Vec::with_capacity(w);
+            for _ in 0..w {
+                let op = self.ops[rng.random_range(0..self.ops.len())];
+                let pool: &[NodeId] = if self.strict { &prev } else { &all };
+                let a = pool[rng.random_range(0..pool.len())];
+                let b = pool[rng.random_range(0..pool.len())];
+                cur.push(nl.add_gate2(op, a, b));
+            }
+            all.extend_from_slice(&cur);
+            last = cur.clone();
+            prev = cur;
+        }
+
+        let out_count = self.outputs.unwrap_or(last.len()).max(1);
+        for i in 0..out_count {
+            let node = if i < last.len() {
+                last[i]
+            } else {
+                last[rng.random_range(0..last.len())]
+            };
+            nl.add_output(node, format!("y{i}"));
+        }
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levelize::Levels;
+
+    #[test]
+    fn strict_is_fully_balanced() {
+        let nl = RandomDag::strict(16, 6, 8).generate(7);
+        let lv = Levels::compute(&nl);
+        assert!(lv.is_fully_balanced(&nl));
+        assert_eq!(lv.depth(), 6);
+        assert_eq!(lv.max_width(&nl), 8);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn loose_needs_balancing() {
+        // With many levels over a loose pool, some edge will skip a level.
+        let nl = RandomDag::loose(8, 8, 6).generate(3);
+        let lv = Levels::compute(&nl);
+        assert!(!lv.is_fully_balanced(&nl));
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = RandomDag::strict(8, 4, 4).generate(1);
+        let b = RandomDag::strict(8, 4, 4).generate(1);
+        let c = RandomDag::strict(8, 4, 4).generate(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jitter_and_output_count() {
+        let nl = RandomDag::strict(8, 5, 6)
+            .width_jitter(3)
+            .outputs(4)
+            .generate(11);
+        assert_eq!(nl.outputs().len(), 4);
+        let lv = Levels::compute(&nl);
+        assert_eq!(lv.depth(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-input")]
+    fn ops_rejects_siso() {
+        let _ = RandomDag::strict(4, 2, 2).ops(&[Op::Not]);
+    }
+}

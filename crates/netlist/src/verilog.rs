@@ -1,0 +1,968 @@
+//! Structural Verilog reader and writer.
+//!
+//! The paper's design flow takes "a description of an FFCL block in the
+//! Verilog language" (Fig 1) — gate-level netlists as produced by
+//! NullaNet/Yosys/ABC. This module implements the structural subset those
+//! tools emit:
+//!
+//! * non-ANSI module headers with `input`/`output`/`wire` declarations,
+//!   scalar or vector (`input [7:0] x;`, expanded to `x[7]`…`x[0]`),
+//! * primitive gate instantiations (`and g1 (y, a, b);`), n-ary forms are
+//!   decomposed into chains of two-input gates,
+//! * `assign` statements over `~ & ^ |`, parentheses, bit-selects and the
+//!   constants `1'b0`/`1'b1`,
+//! * `//` and `/* */` comments.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::cell::Op;
+use crate::error::NetlistError;
+use crate::netlist::{Netlist, NodeId};
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    /// `1'b0` / `1'b1`
+    Const(bool),
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    Comma,
+    Semi,
+    Colon,
+    Eq,
+    Tilde,
+    Amp,
+    Pipe,
+    Caret,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> NetlistError {
+        NetlistError::Syntax {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), NetlistError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<(Tok, usize), NetlistError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let Some(c) = self.peek() else {
+            return Ok((Tok::Eof, line));
+        };
+        let tok = match c {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBrack
+            }
+            b']' => {
+                self.bump();
+                Tok::RBrack
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b'=' => {
+                self.bump();
+                Tok::Eq
+            }
+            b'~' => {
+                self.bump();
+                Tok::Tilde
+            }
+            b'&' => {
+                self.bump();
+                Tok::Amp
+            }
+            b'|' => {
+                self.bump();
+                Tok::Pipe
+            }
+            b'^' => {
+                self.bump();
+                Tok::Caret
+            }
+            b'0'..=b'9' => {
+                let mut n: u64 = 0;
+                while let Some(d @ b'0'..=b'9') = self.peek() {
+                    self.bump();
+                    n = n * 10 + u64::from(d - b'0');
+                }
+                if self.peek() == Some(b'\'') {
+                    // based literal: width 'b digits (we accept b/d/h with value 0/1)
+                    self.bump();
+                    let base = self.bump().ok_or_else(|| self.err("truncated literal"))?;
+                    let mut digits = String::new();
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_alphanumeric() || d == b'_' {
+                            digits.push(d as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let radix = match base.to_ascii_lowercase() {
+                        b'b' => 2,
+                        b'd' => 10,
+                        b'h' => 16,
+                        _ => return Err(self.err("unsupported literal base")),
+                    };
+                    let value = u64::from_str_radix(&digits.replace('_', ""), radix)
+                        .map_err(|_| self.err("bad literal digits"))?;
+                    match value {
+                        0 => Tok::Const(false),
+                        1 => Tok::Const(true),
+                        _ => return Err(self.err("only 1-bit constants are supported")),
+                    }
+                } else {
+                    Tok::Int(n)
+                }
+            }
+            c if c == b'_' || c == b'\\' || c.is_ascii_alphabetic() => {
+                let escaped = c == b'\\';
+                if escaped {
+                    self.bump();
+                }
+                let mut s = String::new();
+                while let Some(d) = self.peek() {
+                    let ok = if escaped {
+                        !d.is_ascii_whitespace()
+                    } else {
+                        d == b'_' || d == b'$' || d.is_ascii_alphanumeric()
+                    };
+                    if ok {
+                        s.push(d as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(s)
+            }
+            other => return Err(self.err(format!("unexpected character `{}`", other as char))),
+        };
+        Ok((tok, line))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+type SigId = usize;
+
+#[derive(Debug, Clone)]
+enum Drive {
+    Input,
+    Const(bool),
+    Gate(Op, Vec<SigId>),
+}
+
+struct Builder {
+    by_name: HashMap<String, SigId>,
+    names: Vec<String>,
+    drive: Vec<Option<Drive>>,
+    inputs: Vec<SigId>,
+    outputs: Vec<SigId>,
+    temp: usize,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+            drive: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            temp: 0,
+        }
+    }
+
+    fn sig(&mut self, name: &str) -> SigId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.drive.push(None);
+        id
+    }
+
+    fn fresh(&mut self) -> SigId {
+        loop {
+            self.temp += 1;
+            let name = format!("__t{}", self.temp);
+            if !self.by_name.contains_key(&name) {
+                return self.sig(&name);
+            }
+        }
+    }
+
+    fn set_drive(&mut self, id: SigId, d: Drive, line: usize) -> Result<(), NetlistError> {
+        if self.drive[id].is_some() {
+            return Err(NetlistError::Syntax {
+                line,
+                msg: format!("signal `{}` has multiple drivers", self.names[id]),
+            });
+        }
+        self.drive[id] = Some(d);
+        Ok(())
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+    line: usize,
+    b: Builder,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, NetlistError> {
+        let mut lexer = Lexer::new(src);
+        let (tok, line) = lexer.next_tok()?;
+        Ok(Parser {
+            lexer,
+            tok,
+            line,
+            b: Builder::new(),
+        })
+    }
+
+    fn err(&self, msg: impl Into<String>) -> NetlistError {
+        NetlistError::Syntax {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Result<Tok, NetlistError> {
+        let (next, line) = self.lexer.next_tok()?;
+        self.line = line;
+        Ok(std::mem::replace(&mut self.tok, next))
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), NetlistError> {
+        if &self.tok == want {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.tok)))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, NetlistError> {
+        match self.advance()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Parses a signal reference: `name` or `name[index]`.
+    fn signal_ref(&mut self) -> Result<SigId, NetlistError> {
+        let base = self.expect_ident("signal name")?;
+        if self.tok == Tok::LBrack {
+            self.advance()?;
+            let idx = match self.advance()? {
+                Tok::Int(i) => i,
+                other => return Err(self.err(format!("expected bit index, found {other:?}"))),
+            };
+            self.expect(&Tok::RBrack, "`]`")?;
+            Ok(self.b.sig(&format!("{base}[{idx}]")))
+        } else {
+            Ok(self.b.sig(&base))
+        }
+    }
+
+    /// Parses a declaration range `[msb:lsb]` if present.
+    fn range(&mut self) -> Result<Option<(u64, u64)>, NetlistError> {
+        if self.tok != Tok::LBrack {
+            return Ok(None);
+        }
+        self.advance()?;
+        let msb = match self.advance()? {
+            Tok::Int(i) => i,
+            other => return Err(self.err(format!("expected msb, found {other:?}"))),
+        };
+        self.expect(&Tok::Colon, "`:`")?;
+        let lsb = match self.advance()? {
+            Tok::Int(i) => i,
+            other => return Err(self.err(format!("expected lsb, found {other:?}"))),
+        };
+        self.expect(&Tok::RBrack, "`]`")?;
+        Ok(Some((msb, lsb)))
+    }
+
+    fn declared_names(&mut self, range: Option<(u64, u64)>, base: &str) -> Vec<String> {
+        match range {
+            None => vec![base.to_string()],
+            Some((msb, lsb)) => {
+                let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                // Expand msb-first, matching the header port order convention.
+                let mut v: Vec<String> = (lo..=hi).rev().map(|i| format!("{base}[{i}]")).collect();
+                if msb < lsb {
+                    v.reverse();
+                }
+                v
+            }
+        }
+    }
+
+    fn parse_module(mut self) -> Result<Netlist, NetlistError> {
+        loop {
+            match &self.tok {
+                Tok::Ident(k) if k == "module" => break,
+                Tok::Eof => return Err(self.err("no `module` found")),
+                _ => {
+                    self.advance()?;
+                }
+            }
+        }
+        self.advance()?; // consume `module`
+        let module_name = self.expect_ident("module name")?;
+        // Header port list (names only; directions come from declarations).
+        if self.tok == Tok::LParen {
+            self.advance()?;
+            while self.tok != Tok::RParen {
+                match self.advance()? {
+                    Tok::Ident(_) | Tok::Comma => {}
+                    // tolerate ANSI-style `input`/`output`/ranges in header
+                    Tok::LBrack => {
+                        while self.tok != Tok::RBrack {
+                            self.advance()?;
+                        }
+                        self.advance()?;
+                    }
+                    other => {
+                        return Err(self.err(format!("unexpected token in port list: {other:?}")))
+                    }
+                }
+            }
+            self.advance()?; // `)`
+        }
+        self.expect(&Tok::Semi, "`;` after module header")?;
+
+        loop {
+            let Tok::Ident(kw) = self.tok.clone() else {
+                return Err(self.err(format!("expected statement, found {:?}", self.tok)));
+            };
+            match kw.as_str() {
+                "endmodule" => break,
+                "input" | "output" | "wire" => {
+                    self.advance()?;
+                    let range = self.range()?;
+                    loop {
+                        let base = self.expect_ident("signal name")?;
+                        for name in self.declared_names(range, &base) {
+                            let id = self.b.sig(&name);
+                            match kw.as_str() {
+                                "input" => {
+                                    let line = self.line;
+                                    self.b.inputs.push(id);
+                                    self.b.set_drive(id, Drive::Input, line)?;
+                                }
+                                "output" => self.b.outputs.push(id),
+                                _ => {}
+                            }
+                        }
+                        if self.tok == Tok::Comma {
+                            self.advance()?;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::Semi, "`;` after declaration")?;
+                }
+                "assign" => {
+                    self.advance()?;
+                    let lhs = self.signal_ref()?;
+                    self.expect(&Tok::Eq, "`=`")?;
+                    let rhs = self.expr()?;
+                    let line = self.line;
+                    self.expect(&Tok::Semi, "`;` after assign")?;
+                    // Alias the rhs through a buffer to keep one driver per signal.
+                    self.b.set_drive(lhs, Drive::Gate(Op::Buf, vec![rhs]), line)?;
+                }
+                prim
+                    if matches!(
+                        prim,
+                        "and" | "or" | "xor" | "xnor" | "nand" | "nor" | "not" | "buf"
+                    ) =>
+                {
+                    let op: Op = prim.parse()?;
+                    self.advance()?;
+                    // Optional instance name.
+                    if matches!(self.tok, Tok::Ident(_)) {
+                        self.advance()?;
+                    }
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let out = self.signal_ref()?;
+                    let mut ins = Vec::new();
+                    while self.tok == Tok::Comma {
+                        self.advance()?;
+                        if let Tok::Const(v) = self.tok {
+                            self.advance()?;
+                            let c = self.b.fresh();
+                            let line = self.line;
+                            self.b.set_drive(c, Drive::Const(v), line)?;
+                            ins.push(c);
+                        } else {
+                            ins.push(self.signal_ref()?);
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                    let line = self.line;
+                    self.expect(&Tok::Semi, "`;` after gate")?;
+                    self.lower_gate(op, out, ins, line)?;
+                }
+                other => return Err(self.err(format!("unsupported statement `{other}`"))),
+            }
+        }
+
+        self.finish(module_name)
+    }
+
+    /// Lowers a (possibly n-ary) primitive instantiation to 2-input drives.
+    fn lower_gate(
+        &mut self,
+        op: Op,
+        out: SigId,
+        ins: Vec<SigId>,
+        line: usize,
+    ) -> Result<(), NetlistError> {
+        match op {
+            Op::Not | Op::Buf => {
+                if ins.len() != 1 {
+                    return Err(NetlistError::Syntax {
+                        line,
+                        msg: format!("{op} expects 1 input, got {}", ins.len()),
+                    });
+                }
+                self.b.set_drive(out, Drive::Gate(op, ins), line)
+            }
+            _ => {
+                if ins.len() < 2 {
+                    return Err(NetlistError::Syntax {
+                        line,
+                        msg: format!("{op} expects at least 2 inputs, got {}", ins.len()),
+                    });
+                }
+                if ins.len() == 2 {
+                    // The cell library has native 2-input nand/nor/xnor.
+                    return self.b.set_drive(out, Drive::Gate(op, ins), line);
+                }
+                // n-ary gates: fold with the *base* op, apply negation last.
+                let (base, negate) = match op {
+                    Op::Nand => (Op::And, true),
+                    Op::Nor => (Op::Or, true),
+                    Op::Xnor => (Op::Xor, true),
+                    other => (other, false),
+                };
+                let mut acc = ins[0];
+                for (i, &next) in ins[1..].iter().enumerate() {
+                    let last = i == ins.len() - 2;
+                    let target = if last && !negate {
+                        out
+                    } else {
+                        self.b.fresh()
+                    };
+                    self.b
+                        .set_drive(target, Drive::Gate(base, vec![acc, next]), line)?;
+                    acc = target;
+                }
+                if negate {
+                    self.b.set_drive(out, Drive::Gate(Op::Not, vec![acc]), line)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // Expression grammar: or := xor ('|' xor)*, xor := and ('^' and)*,
+    // and := unary ('&' unary)*, unary := '~' unary | primary.
+    fn expr(&mut self) -> Result<SigId, NetlistError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, level: u8) -> Result<SigId, NetlistError> {
+        if level == 3 {
+            return self.unary();
+        }
+        let (tok, op) = match level {
+            0 => (Tok::Pipe, Op::Or),
+            1 => (Tok::Caret, Op::Xor),
+            _ => (Tok::Amp, Op::And),
+        };
+        let mut lhs = self.binary(level + 1)?;
+        while self.tok == tok {
+            self.advance()?;
+            let rhs = self.binary(level + 1)?;
+            let t = self.b.fresh();
+            let line = self.line;
+            self.b.set_drive(t, Drive::Gate(op, vec![lhs, rhs]), line)?;
+            lhs = t;
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<SigId, NetlistError> {
+        match self.tok.clone() {
+            Tok::Tilde => {
+                self.advance()?;
+                let inner = self.unary()?;
+                let t = self.b.fresh();
+                let line = self.line;
+                self.b.set_drive(t, Drive::Gate(Op::Not, vec![inner]), line)?;
+                Ok(t)
+            }
+            Tok::LParen => {
+                self.advance()?;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Const(v) => {
+                self.advance()?;
+                let t = self.b.fresh();
+                let line = self.line;
+                self.b.set_drive(t, Drive::Const(v), line)?;
+                Ok(t)
+            }
+            Tok::Ident(_) => self.signal_ref(),
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    /// Topologically emits the builder's driver graph into a [`Netlist`].
+    fn finish(self, module_name: String) -> Result<Netlist, NetlistError> {
+        let b = self.b;
+        let n = b.names.len();
+        let mut nl = Netlist::new(module_name);
+        let mut node_of: Vec<Option<NodeId>> = vec![None; n];
+
+        // Inputs first, in declaration order.
+        for &id in &b.inputs {
+            node_of[id] = Some(nl.add_input(b.names[id].clone()));
+        }
+
+        // Iterative DFS with cycle detection over the remaining drivers.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut mark = vec![Mark::White; n];
+        for root in 0..n {
+            if node_of[root].is_some() {
+                continue;
+            }
+            let mut stack: Vec<(SigId, bool)> = vec![(root, false)];
+            while let Some((sig, expanded)) = stack.pop() {
+                if node_of[sig].is_some() || mark[sig] == Mark::Black {
+                    continue;
+                }
+                let drive = b.drive[sig].as_ref().ok_or_else(|| {
+                    NetlistError::UndefinedSignal {
+                        name: b.names[sig].clone(),
+                    }
+                })?;
+                if expanded {
+                    mark[sig] = Mark::Black;
+                    let node = match drive {
+                        Drive::Input => unreachable!("inputs were pre-assigned"),
+                        Drive::Const(v) => nl.add_const(*v),
+                        Drive::Gate(op, ins) => {
+                            let f: Vec<NodeId> =
+                                ins.iter().map(|&i| node_of[i].expect("dfs order")).collect();
+                            nl.add_node(*op, &f).expect("arity checked at parse time")
+                        }
+                    };
+                    if !b.names[sig].starts_with("__t") {
+                        nl.set_node_name(node, b.names[sig].clone());
+                    }
+                    node_of[sig] = Some(node);
+                } else {
+                    if mark[sig] == Mark::Grey {
+                        return Err(NetlistError::Cyclic {
+                            on: NodeId::new(sig as u32),
+                        });
+                    }
+                    mark[sig] = Mark::Grey;
+                    stack.push((sig, true));
+                    if let Drive::Gate(_, ins) = drive {
+                        for &i in ins {
+                            if node_of[i].is_none() {
+                                if mark[i] == Mark::Grey {
+                                    return Err(NetlistError::Cyclic {
+                                        on: NodeId::new(i as u32),
+                                    });
+                                }
+                                stack.push((i, false));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for &o in &b.outputs {
+            let node = node_of[o].ok_or_else(|| NetlistError::UndefinedSignal {
+                name: b.names[o].clone(),
+            })?;
+            nl.add_output(node, b.names[o].clone());
+        }
+        nl.validate()?;
+        Ok(nl)
+    }
+}
+
+/// Parses the first `module` in `src` into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Syntax`] for malformed input,
+/// [`NetlistError::UndefinedSignal`] / [`NetlistError::Cyclic`] for
+/// structurally invalid netlists, and [`NetlistError::NoOutputs`] when the
+/// module declares no outputs.
+///
+/// # Example
+///
+/// ```
+/// let src = "module f (a, b, y); input a, b; output y; and (y, a, b); endmodule";
+/// let nl = lbnn_netlist::verilog::parse_verilog(src)?;
+/// assert_eq!(nl.eval_bools(&[true, true]), vec![true]);
+/// # Ok::<(), lbnn_netlist::NetlistError>(())
+/// ```
+pub fn parse_verilog(src: &str) -> Result<Netlist, NetlistError> {
+    Parser::new(src)?.parse_module()
+}
+
+/// Writes a netlist as structural Verilog accepted by [`parse_verilog`].
+///
+/// Port and net names are sanitized to plain identifiers (`x[3]` becomes
+/// `x_3_`); gate nets are named `n<id>`.
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let mut used: HashMap<String, usize> = HashMap::new();
+    let mut sanitize = |raw: &str| -> String {
+        let mut s: String = raw
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .collect();
+        if s.is_empty() || s.chars().next().unwrap().is_ascii_digit() {
+            s.insert(0, '_');
+        }
+        let count = used.entry(s.clone()).or_insert(0);
+        *count += 1;
+        if *count > 1 {
+            s = format!("{s}_{}", *count - 1);
+        }
+        s
+    };
+
+    let mut pi_name: HashMap<NodeId, String> = HashMap::new();
+    for &pi in netlist.inputs() {
+        let raw = netlist.node_name(pi).unwrap_or("in").to_string();
+        pi_name.insert(pi, sanitize(&raw));
+    }
+    let po_names: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .map(|o| sanitize(&o.name))
+        .collect();
+
+    let net = |id: NodeId| -> String {
+        pi_name
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("n{}", id.index()))
+    };
+
+    let mut s = String::new();
+    let module = if netlist.name().is_empty() {
+        "ffcl"
+    } else {
+        netlist.name()
+    };
+    let ports: Vec<String> = netlist
+        .inputs()
+        .iter()
+        .map(|&pi| pi_name[&pi].clone())
+        .chain(po_names.iter().cloned())
+        .collect();
+    let _ = writeln!(s, "module {module} ({});", ports.join(", "));
+    for &pi in netlist.inputs() {
+        let _ = writeln!(s, "  input {};", pi_name[&pi]);
+    }
+    for name in &po_names {
+        let _ = writeln!(s, "  output {name};");
+    }
+    for (id, node) in netlist.iter() {
+        if node.op() != Op::Input {
+            let _ = writeln!(s, "  wire n{};", id.index());
+        }
+    }
+    for (id, node) in netlist.iter() {
+        match node.op() {
+            Op::Input => {}
+            Op::Const0 => {
+                let _ = writeln!(s, "  buf g{} (n{}, 1'b0);", id.index(), id.index());
+            }
+            Op::Const1 => {
+                let _ = writeln!(s, "  buf g{} (n{}, 1'b1);", id.index(), id.index());
+            }
+            op => {
+                let prim = op.verilog_primitive().expect("gate op");
+                let ins: Vec<String> = node.fanins().iter().map(|&f| net(f)).collect();
+                let _ = writeln!(
+                    s,
+                    "  {prim} g{} (n{}, {});",
+                    id.index(),
+                    id.index(),
+                    ins.join(", ")
+                );
+            }
+        }
+    }
+    for (o, name) in netlist.outputs().iter().zip(&po_names) {
+        let _ = writeln!(s, "  assign {name} = {};", net(o.node));
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_gates() {
+        let src = r#"
+            // full adder sum
+            module fa (a, b, cin, s);
+              input a, b, cin;
+              output s;
+              wire t;
+              xor g0 (t, a, b);
+              xor g1 (s, t, cin);
+            endmodule
+        "#;
+        let nl = parse_verilog(src).unwrap();
+        assert_eq!(nl.inputs().len(), 3);
+        assert_eq!(nl.outputs().len(), 1);
+        for bits in 0u8..8 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            assert_eq!(nl.eval_bools(&[a, b, c])[0], a ^ b ^ c);
+        }
+    }
+
+    #[test]
+    fn parse_nary_and_negated_gates() {
+        let src = "module m (a, b, c, y, z); input a, b, c; output y, z;\
+                   and (y, a, b, c); nor (z, a, b, c); endmodule";
+        let nl = parse_verilog(src).unwrap();
+        for bits in 0u8..8 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let out = nl.eval_bools(&[a, b, c]);
+            assert_eq!(out[0], a && b && c);
+            assert_eq!(out[1], !(a || b || c));
+        }
+    }
+
+    #[test]
+    fn parse_assign_expressions() {
+        let src = "module m (a, b, c, y); input a, b, c; output y;\
+                   assign y = ~(a & b) ^ (c | 1'b0); endmodule";
+        let nl = parse_verilog(src).unwrap();
+        for bits in 0u8..8 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            assert_eq!(nl.eval_bools(&[a, b, c])[0], !(a && b) ^ c);
+        }
+    }
+
+    #[test]
+    fn parse_vectors_and_bit_selects() {
+        let src = "module m (x, y); input [2:0] x; output y;\
+                   assign y = x[0] & x[1] & x[2]; endmodule";
+        let nl = parse_verilog(src).unwrap();
+        assert_eq!(nl.inputs().len(), 3);
+        // Declaration order is msb-first: x[2], x[1], x[0].
+        assert_eq!(nl.node_name(nl.inputs()[0]), Some("x[2]"));
+        assert_eq!(nl.eval_bools(&[true, true, true]), vec![true]);
+        assert_eq!(nl.eval_bools(&[true, true, false]), vec![false]);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // `a | b & c` must parse as `a | (b & c)`.
+        let src = "module m (a, b, c, y); input a, b, c; output y;\
+                   assign y = a | b & c; endmodule";
+        let nl = parse_verilog(src).unwrap();
+        assert_eq!(nl.eval_bools(&[true, false, false]), vec![true]);
+        assert_eq!(nl.eval_bools(&[false, true, false]), vec![false]);
+    }
+
+    #[test]
+    fn undefined_signal_rejected() {
+        let src = "module m (a, y); input a; output y; and (y, a, ghost); endmodule";
+        assert!(matches!(
+            parse_verilog(src),
+            Err(NetlistError::UndefinedSignal { name }) if name == "ghost"
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let src = "module m (a, b, y); input a, b; output y;\
+                   and (y, a, b); or (y, a, b); endmodule";
+        assert!(matches!(parse_verilog(src), Err(NetlistError::Syntax { .. })));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let src = "module m (a, y); input a; output y; wire w;\
+                   and (w, a, y); buf (y, w); endmodule";
+        assert!(matches!(parse_verilog(src), Err(NetlistError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn syntax_error_carries_line() {
+        let src = "module m (a, y);\ninput a;\noutput y;\nand (y a);\nendmodule";
+        match parse_verilog(src) {
+            Err(NetlistError::Syntax { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_then_parse_round_trip() {
+        let src = "module m (a, b, c, y, z); input a, b, c; output y, z;\
+                   wire t; xnor (t, a, b); assign y = t | ~c; nand (z, t, c, a); endmodule";
+        let nl = parse_verilog(src).unwrap();
+        let text = write_verilog(&nl);
+        let nl2 = parse_verilog(&text).unwrap();
+        assert_eq!(nl2.inputs().len(), nl.inputs().len());
+        assert_eq!(nl2.outputs().len(), nl.outputs().len());
+        for bits in 0u8..8 {
+            let ins: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(nl.eval_bools(&ins), nl2.eval_bools(&ins));
+        }
+    }
+
+    #[test]
+    fn writer_sanitizes_vector_names() {
+        let src = "module m (x, y); input [1:0] x; output y; and (y, x[0], x[1]); endmodule";
+        let nl = parse_verilog(src).unwrap();
+        let text = write_verilog(&nl);
+        assert!(text.contains("x_1_"), "vector bits become plain identifiers");
+        let nl2 = parse_verilog(&text).unwrap();
+        for bits in 0u8..4 {
+            let ins: Vec<bool> = (0..2).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(nl.eval_bools(&ins), nl2.eval_bools(&ins));
+        }
+    }
+
+    #[test]
+    fn block_comments_and_junk_before_module() {
+        let src = "/* header\n spanning lines */ timescale junk ; module m (a,y);\
+                   input a; output y; buf (y, a); endmodule";
+        // Unknown tokens before `module` are skipped.
+        let nl = parse_verilog(src).unwrap();
+        assert_eq!(nl.eval_bools(&[true]), vec![true]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the netlist substrate.
+
+use lbnn_netlist::balance::balance;
+use lbnn_netlist::eval::{evaluate, Lanes};
+use lbnn_netlist::random::RandomDag;
+use lbnn_netlist::verilog::{parse_verilog, write_verilog};
+use lbnn_netlist::Levels;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Verilog write → parse round trip preserves the function and the
+    /// interface.
+    #[test]
+    fn verilog_round_trip(
+        seed in 0u64..10_000,
+        inputs in 2usize..10,
+        depth in 1usize..6,
+        width in 1usize..8,
+        outputs in 1usize..4,
+        loose in proptest::bool::ANY,
+    ) {
+        let gen = if loose {
+            RandomDag::loose(inputs, depth, width)
+        } else {
+            RandomDag::strict(inputs, depth, width)
+        };
+        let nl = gen.outputs(outputs).generate(seed);
+        let text = write_verilog(&nl);
+        let back = parse_verilog(&text).expect("writer output parses");
+        prop_assert_eq!(back.inputs().len(), nl.inputs().len());
+        prop_assert_eq!(back.outputs().len(), nl.outputs().len());
+        for m in 0..(1u64 << inputs.min(8)) {
+            let bits: Vec<bool> = (0..inputs).map(|i| m >> i & 1 != 0).collect();
+            prop_assert_eq!(nl.eval_bools(&bits), back.eval_bools(&bits));
+        }
+    }
+
+    /// Bit-parallel evaluation agrees with scalar evaluation lane by lane.
+    #[test]
+    fn lanes_agree_with_scalar(
+        seed in 0u64..10_000,
+        inputs in 2usize..8,
+        depth in 1usize..5,
+        width in 1usize..6,
+        lanes in 1usize..100,
+    ) {
+        let nl = RandomDag::loose(inputs, depth, width).outputs(2).generate(seed);
+        let vectors: Vec<Vec<bool>> = (0..lanes)
+            .map(|l| (0..inputs).map(|i| (seed as usize + l * 7 + i).is_multiple_of(3)).collect())
+            .collect();
+        let packed: Vec<Lanes> = (0..inputs)
+            .map(|i| Lanes::from_bools(&vectors.iter().map(|v| v[i]).collect::<Vec<_>>()))
+            .collect();
+        let out = evaluate(&nl, &packed).unwrap();
+        for (l, v) in vectors.iter().enumerate() {
+            let scalar = nl.eval_bools(v);
+            for (o, lane_out) in out.iter().enumerate() {
+                prop_assert_eq!(lane_out.get(l), scalar[o]);
+            }
+        }
+    }
+
+    /// Balancing is idempotent: balancing a balanced netlist inserts
+    /// nothing.
+    #[test]
+    fn balance_idempotent(
+        seed in 0u64..10_000,
+        inputs in 2usize..8,
+        depth in 1usize..6,
+        width in 1usize..6,
+    ) {
+        let nl = RandomDag::loose(inputs, depth, width).outputs(2).generate(seed);
+        let (b1, _) = balance(&nl);
+        let (b2, stats2) = balance(&b1);
+        prop_assert_eq!(stats2.total(), 0);
+        prop_assert_eq!(b1.len(), b2.len());
+        let lv = Levels::compute(&b1);
+        prop_assert!(lv.is_fully_balanced(&b1));
+    }
+
+    /// After balancing, every PI→PO path crosses exactly Lmax gates.
+    #[test]
+    fn balanced_path_lengths_uniform(
+        seed in 0u64..10_000,
+        inputs in 2usize..7,
+        depth in 1usize..5,
+        width in 1usize..5,
+    ) {
+        let nl = RandomDag::loose(inputs, depth, width).outputs(2).generate(seed);
+        let (bal, _) = balance(&nl);
+        let lv = Levels::compute(&bal);
+        // Walk all paths from each PO backwards, tracking depth.
+        for o in bal.outputs() {
+            let mut stack = vec![(o.node, 0u32)];
+            while let Some((node, d)) = stack.pop() {
+                let fanins = bal.node(node).fanins();
+                if fanins.is_empty() {
+                    prop_assert_eq!(d, lv.max_level(), "path length mismatch");
+                } else {
+                    for &f in fanins {
+                        stack.push((f, d + 1));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Binarized neural networks with XNOR-popcount-threshold semantics.
+//!
+//! Bits encode the bipolar values of BNN literature: `true = +1`,
+//! `false = −1`. A binarized neuron with weights `w`, input `x` (both
+//! bipolar) and sign activation computes
+//! `sign(Σᵢ wᵢ·xᵢ + bias) = [popcount(xnor(w, x)) ≥ t]`
+//! where the agreement count threshold is `t = ⌈(k − bias)/2⌉` for fan-in
+//! `k` — the form the FFCL extraction works from.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A fully-connected binarized layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryDense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim` bipolar weights.
+    weights: Vec<bool>,
+    /// Agreement-count thresholds, one per output neuron.
+    thresholds: Vec<i32>,
+}
+
+impl BinaryDense {
+    /// Creates a layer from explicit weights (row-major `out × in`) and
+    /// agreement thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are inconsistent or zero.
+    pub fn new(in_dim: usize, out_dim: usize, weights: Vec<bool>, thresholds: Vec<i32>) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dimensions must be positive");
+        assert_eq!(weights.len(), in_dim * out_dim, "weight count mismatch");
+        assert_eq!(thresholds.len(), out_dim, "threshold count mismatch");
+        BinaryDense {
+            in_dim,
+            out_dim,
+            weights,
+            thresholds,
+        }
+    }
+
+    /// A random layer with thresholds at the unbiased midpoint
+    /// (`⌈k/2⌉`), deterministic in the seed.
+    pub fn random(seed: u64, in_dim: usize, out_dim: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = (0..in_dim * out_dim).map(|_| rng.random_bool(0.5)).collect();
+        let thresholds = vec![in_dim.div_ceil(2) as i32; out_dim];
+        BinaryDense::new(in_dim, out_dim, weights, thresholds)
+    }
+
+    /// Input dimension (neuron fan-in).
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension (neuron count).
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight row of neuron `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn weights_of(&self, j: usize) -> &[bool] {
+        &self.weights[j * self.in_dim..(j + 1) * self.in_dim]
+    }
+
+    /// The agreement threshold of neuron `j`.
+    pub fn threshold_of(&self, j: usize) -> i32 {
+        self.thresholds[j]
+    }
+
+    /// Agreement count of neuron `j` on input `x`
+    /// (`popcount(xnor(w, x))`).
+    pub fn agreement(&self, j: usize, x: &[bool]) -> usize {
+        assert_eq!(x.len(), self.in_dim, "input width mismatch");
+        self.weights_of(j)
+            .iter()
+            .zip(x)
+            .filter(|&(w, x)| w == x)
+            .count()
+    }
+
+    /// Forward pass: `out[j] = agreement(j, x) ≥ threshold(j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[bool]) -> Vec<bool> {
+        (0..self.out_dim)
+            .map(|j| self.agreement(j, x) as i32 >= self.thresholds[j])
+            .collect()
+    }
+}
+
+/// A multi-layer binarized network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bnn {
+    layers: Vec<BinaryDense>,
+}
+
+impl Bnn {
+    /// Builds a network from layers with matching dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layer dimensions disagree or the list is
+    /// empty.
+    pub fn new(layers: Vec<BinaryDense>) -> Self {
+        assert!(!layers.is_empty(), "a network has at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "layer dimensions must chain"
+            );
+        }
+        Bnn { layers }
+    }
+
+    /// A random network over the given dimension chain
+    /// (`dims[0]` inputs, …, `dims.last()` outputs).
+    pub fn random(seed: u64, dims: &[usize]) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, d)| BinaryDense::random(seed.wrapping_add(i as u64), d[0], d[1]))
+            .collect();
+        Bnn::new(layers)
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[BinaryDense] {
+        &self.layers
+    }
+
+    /// Full forward pass.
+    pub fn forward(&self, x: &[bool]) -> Vec<bool> {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Classification: hidden layers binarize, the output layer scores by
+    /// agreement margin (`popcount(xnor) − threshold`) and the argmax wins
+    /// — the standard BNN head (the binarized output bits alone cannot
+    /// break ties).
+    pub fn classify(&self, x: &[bool]) -> usize {
+        let mut cur = x.to_vec();
+        let (hidden, last) = self.layers.split_at(self.layers.len() - 1);
+        for layer in hidden {
+            cur = layer.forward(&cur);
+        }
+        let out = &last[0];
+        if out.out_dim() == 1 {
+            // Single-neuron binary head: the sign is the class.
+            return usize::from(out.forward(&cur)[0]);
+        }
+        (0..out.out_dim())
+            .map(|j| out.agreement(j, &cur) as i32 - out.threshold_of(j))
+            .enumerate()
+            .max_by_key(|&(_, score)| score)
+            .map(|(j, _)| j)
+            .expect("at least one output neuron")
+    }
+
+    /// Accuracy over a labelled dataset.
+    pub fn accuracy(&self, xs: &[Vec<bool>], ys: &[usize]) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let correct = xs
+            .iter()
+            .zip(ys)
+            .filter(|&(x, &y)| self.classify(x) == y)
+            .count();
+        correct as f64 / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neuron_threshold_semantics() {
+        // 4 inputs, weights all +1, threshold 3: out = (popcount(x) >= 3).
+        let layer = BinaryDense::new(4, 1, vec![true; 4], vec![3]);
+        assert!(!layer.forward(&[true, true, false, false])[0]);
+        assert!(layer.forward(&[true, true, true, false])[0]);
+        assert!(layer.forward(&[true, true, true, true])[0]);
+    }
+
+    #[test]
+    fn xnor_weight_flip() {
+        // A false weight agrees with a false input.
+        let layer = BinaryDense::new(2, 1, vec![false, true], vec![2]);
+        assert!(layer.forward(&[false, true])[0]);
+        assert!(!layer.forward(&[true, true])[0]);
+    }
+
+    #[test]
+    fn network_chaining_and_determinism() {
+        let a = Bnn::random(5, &[8, 6, 2]);
+        let b = Bnn::random(5, &[8, 6, 2]);
+        assert_eq!(a, b);
+        let x: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        assert_eq!(a.forward(&x).len(), 2);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let layer = BinaryDense::new(2, 1, vec![true, true], vec![2]);
+        let net = Bnn::new(vec![layer]);
+        let xs = vec![vec![true, true], vec![false, false]];
+        let ys = vec![1usize, 0];
+        assert_eq!(net.accuracy(&xs, &ys), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn dimension_mismatch_panics() {
+        let _ = Bnn::new(vec![
+            BinaryDense::random(0, 4, 3),
+            BinaryDense::random(1, 5, 2),
+        ]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Binarized 2-D convolution with im2col lowering.
+//!
+//! A binarized conv filter is the same XNOR-popcount-threshold neuron as a
+//! dense one, applied at every spatial position over an im2col patch.
+//! This module provides the feature-map forward pass and the lowering
+//! that turns one conv layer into the [`BinaryDense`] form the FFCL
+//! extraction consumes — which is exactly how the paper's VGG16/LeNet
+//! conv layers become logic: one FFCL block per filter group, streamed
+//! over patches (`2m` patches per pass).
+
+use crate::bnn::BinaryDense;
+
+/// A binary feature map: `channels × height × width` bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureMap {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    data: Vec<bool>,
+}
+
+impl FeatureMap {
+    /// Creates an all-false map.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        FeatureMap {
+            c,
+            h,
+            w,
+            data: vec![false; c * h * w],
+        }
+    }
+
+    /// Builds a map from a flat channel-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != c*h*w`.
+    pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<bool>) -> Self {
+        assert_eq!(data.len(), c * h * w, "feature map size mismatch");
+        FeatureMap { c, h, w, data }
+    }
+
+    /// The bit at `(channel, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn get(&self, ch: usize, row: usize, col: usize) -> bool {
+        assert!(ch < self.c && row < self.h && col < self.w);
+        self.data[(ch * self.h + row) * self.w + col]
+    }
+
+    /// Sets the bit at `(channel, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, ch: usize, row: usize, col: usize, v: bool) {
+        assert!(ch < self.c && row < self.h && col < self.w);
+        self.data[(ch * self.h + row) * self.w + col] = v;
+    }
+}
+
+/// A binarized convolution layer (square kernel, valid padding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryConv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    /// The equivalent dense layer over im2col patches
+    /// (`out_ch × in_ch·k·k`).
+    dense: BinaryDense,
+}
+
+impl BinaryConv2d {
+    /// Creates a conv layer from explicit weights (`out_ch` rows of
+    /// `in_ch·k·k` bits, patch order = channel-major, then row, then
+    /// column) and agreement thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions or `stride == 0`.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        weights: Vec<bool>,
+        thresholds: Vec<i32>,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let fan_in = in_ch * k * k;
+        BinaryConv2d {
+            in_ch,
+            out_ch,
+            k,
+            stride,
+            dense: BinaryDense::new(fan_in, out_ch, weights, thresholds),
+        }
+    }
+
+    /// A random conv layer with midpoint thresholds.
+    pub fn random(seed: u64, in_ch: usize, out_ch: usize, k: usize, stride: usize) -> Self {
+        let dense = BinaryDense::random(seed, in_ch * k * k, out_ch);
+        BinaryConv2d {
+            in_ch,
+            out_ch,
+            k,
+            stride,
+            dense,
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// The equivalent dense (im2col) layer — the form FFCL extraction
+    /// consumes.
+    pub fn as_dense(&self) -> &BinaryDense {
+        &self.dense
+    }
+
+    /// Output spatial dimensions for an input map (valid padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the kernel.
+    pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(h >= self.k && w >= self.k, "input smaller than kernel");
+        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+    }
+
+    /// Extracts the im2col patch at output position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on channel mismatch or out-of-range positions.
+    pub fn patch(&self, input: &FeatureMap, row: usize, col: usize) -> Vec<bool> {
+        assert_eq!(input.c, self.in_ch, "channel mismatch");
+        let (r0, c0) = (row * self.stride, col * self.stride);
+        let mut p = Vec::with_capacity(self.in_ch * self.k * self.k);
+        for ch in 0..self.in_ch {
+            for dr in 0..self.k {
+                for dc in 0..self.k {
+                    p.push(input.get(ch, r0 + dr, c0 + dc));
+                }
+            }
+        }
+        p
+    }
+
+    /// Forward pass over a whole feature map.
+    pub fn forward(&self, input: &FeatureMap) -> FeatureMap {
+        let (oh, ow) = self.out_dims(input.h, input.w);
+        let mut out = FeatureMap::zeros(self.out_ch, oh, ow);
+        for row in 0..oh {
+            for col in 0..ow {
+                let patch = self.patch(input, row, col);
+                let bits = self.dense.forward(&patch);
+                for (ch, &b) in bits.iter().enumerate() {
+                    out.set(ch, row, col, b);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// 2×2 max-pooling on a binary map (OR-pooling, the BNN convention).
+///
+/// # Panics
+///
+/// Panics on odd dimensions.
+pub fn maxpool2(input: &FeatureMap) -> FeatureMap {
+    assert!(input.h.is_multiple_of(2) && input.w.is_multiple_of(2), "pooling needs even dims");
+    let mut out = FeatureMap::zeros(input.c, input.h / 2, input.w / 2);
+    for ch in 0..input.c {
+        for r in 0..input.h / 2 {
+            for c in 0..input.w / 2 {
+                let v = input.get(ch, 2 * r, 2 * c)
+                    || input.get(ch, 2 * r, 2 * c + 1)
+                    || input.get(ch, 2 * r + 1, 2 * c)
+                    || input.get(ch, 2 * r + 1, 2 * c + 1);
+                out.set(ch, r, c, v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{layer_netlist, ExtractMode};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_map(seed: u64, c: usize, h: usize, w: usize) -> FeatureMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..c * h * w).map(|_| rng.random_bool(0.5)).collect();
+        FeatureMap::from_vec(c, h, w, data)
+    }
+
+    #[test]
+    fn forward_matches_manual_patch_dense() {
+        let conv = BinaryConv2d::random(3, 2, 4, 3, 1);
+        let input = random_map(9, 2, 6, 6);
+        let out = conv.forward(&input);
+        let (oh, ow) = conv.out_dims(6, 6);
+        assert_eq!((out.h, out.w), (oh, ow));
+        for row in 0..oh {
+            for col in 0..ow {
+                let patch = conv.patch(&input, row, col);
+                let bits = conv.as_dense().forward(&patch);
+                for ch in 0..4 {
+                    assert_eq!(out.get(ch, row, col), bits[ch]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let conv = BinaryConv2d::random(1, 1, 2, 3, 2);
+        let (oh, ow) = conv.out_dims(9, 9);
+        assert_eq!((oh, ow), (4, 4));
+    }
+
+    #[test]
+    fn conv_ffcl_matches_feature_map_forward() {
+        // The full paper path: conv -> im2col dense -> FFCL netlist; the
+        // netlist applied per patch equals the feature-map forward pass.
+        let conv = BinaryConv2d::random(5, 1, 3, 2, 1);
+        let nl = layer_netlist(conv.as_dense(), ExtractMode::Exact, None).unwrap();
+        let input = random_map(6, 1, 5, 5);
+        let out = conv.forward(&input);
+        let (oh, ow) = conv.out_dims(5, 5);
+        for row in 0..oh {
+            for col in 0..ow {
+                let patch = conv.patch(&input, row, col);
+                let bits = nl.eval_bools(&patch);
+                for ch in 0..3 {
+                    assert_eq!(out.get(ch, row, col), bits[ch], "({row},{col}) ch{ch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooling_is_or() {
+        let mut m = FeatureMap::zeros(1, 4, 4);
+        m.set(0, 0, 1, true);
+        m.set(0, 3, 3, true);
+        let p = maxpool2(&m);
+        assert!(p.get(0, 0, 0));
+        assert!(!p.get(0, 0, 1));
+        assert!(p.get(0, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn kernel_larger_than_input_rejected() {
+        let conv = BinaryConv2d::random(1, 1, 1, 5, 1);
+        let _ = conv.out_dims(3, 3);
+    }
+}

@@ -1,0 +1,261 @@
+//! FFCL extraction: binarized neurons → minimized combinational netlists.
+//!
+//! Three extraction paths, matching NullaNet's methodology:
+//!
+//! * [`ExtractMode::Exact`] — enumerate the neuron's full truth table
+//!   (fan-in ≤ 16), minimize with Espresso, factor into two-input gates.
+//!   Exact and usually the smallest logic, but exponential in fan-in.
+//! * [`ExtractMode::Sampled`] — treat the neuron as an *incompletely
+//!   specified function*: only input patterns observed in the training
+//!   data are care-set minterms; everything else is a don't-care.
+//!   NullaNet's key insight — this shrinks wide neurons dramatically at a
+//!   small accuracy cost (the paper quotes < 4 % drop).
+//! * [`ExtractMode::Popcount`] — exact structural XNOR/popcount/comparator
+//!   netlist, any fan-in (see [`crate::popcount`]).
+
+use lbnn_logic_synth::cube::{Cover, Cube};
+use lbnn_logic_synth::espresso::{minimize, minimize_samples};
+use lbnn_logic_synth::factor::covers_to_netlist;
+use lbnn_logic_synth::truth::TruthTable;
+use lbnn_netlist::Netlist;
+
+use crate::bnn::BinaryDense;
+use crate::popcount::neuron_popcount_netlist;
+
+/// How a neuron's Boolean function is realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractMode {
+    /// Full truth-table enumeration + two-level minimization (fan-in ≤ 16).
+    Exact,
+    /// Incompletely-specified-function minimization from observed samples.
+    Sampled,
+    /// Structural XNOR-popcount-threshold netlist (any fan-in).
+    Popcount,
+}
+
+/// Maximum fan-in accepted by [`ExtractMode::Exact`].
+pub const MAX_EXACT_FANIN: usize = 16;
+
+/// Errors produced during extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// Exact mode with too many inputs.
+    FaninTooLarge {
+        /// Requested fan-in.
+        fanin: usize,
+    },
+    /// Sampled mode without samples.
+    NoSamples,
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::FaninTooLarge { fanin } => write!(
+                f,
+                "exact extraction limited to {MAX_EXACT_FANIN} inputs, got {fanin}"
+            ),
+            ExtractError::NoSamples => write!(f, "sampled extraction requires samples"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// The minimized cover of one neuron under the chosen mode (not available
+/// for [`ExtractMode::Popcount`], which is structural).
+fn neuron_cover(
+    weights: &[bool],
+    threshold: i32,
+    mode: ExtractMode,
+    samples: Option<&[Vec<bool>]>,
+) -> Result<Option<Cover>, ExtractError> {
+    let k = weights.len();
+    match mode {
+        ExtractMode::Popcount => Ok(None),
+        ExtractMode::Exact => {
+            if k > MAX_EXACT_FANIN {
+                return Err(ExtractError::FaninTooLarge { fanin: k });
+            }
+            let table = TruthTable::from_fn(k, |m| {
+                let agree = weights
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &w)| (m >> i & 1 != 0) == w)
+                    .count();
+                agree as i32 >= threshold
+            });
+            let on = table.to_cover();
+            Ok(Some(minimize(&on, &Cover::empty(k))))
+        }
+        ExtractMode::Sampled => {
+            let samples = samples.ok_or(ExtractError::NoSamples)?;
+            if samples.is_empty() {
+                return Err(ExtractError::NoSamples);
+            }
+            let mut on = Vec::new();
+            let mut off = Vec::new();
+            for s in samples {
+                assert_eq!(s.len(), k, "sample width mismatch");
+                let agree = weights.iter().zip(s).filter(|&(w, x)| w == x).count();
+                let cube = Cube::from_bools(s);
+                if agree as i32 >= threshold {
+                    on.push(cube);
+                } else {
+                    off.push(cube);
+                }
+            }
+            Ok(Some(minimize_samples(k, &on, &off)))
+        }
+    }
+}
+
+/// Extracts one neuron as a netlist with inputs `x0..` and output `y`.
+///
+/// `samples` is required by [`ExtractMode::Sampled`] (observed input
+/// patterns of this neuron's layer).
+///
+/// # Errors
+///
+/// See [`ExtractError`].
+pub fn neuron_netlist(
+    weights: &[bool],
+    threshold: i32,
+    mode: ExtractMode,
+    samples: Option<&[Vec<bool>]>,
+    name: &str,
+) -> Result<Netlist, ExtractError> {
+    match neuron_cover(weights, threshold, mode, samples)? {
+        None => Ok(neuron_popcount_netlist(weights, threshold, name)),
+        Some(cover) => Ok(covers_to_netlist(
+            &[("y".to_string(), cover)],
+            weights.len(),
+            name,
+        )),
+    }
+}
+
+/// Extracts a whole layer as one multi-output netlist over shared inputs.
+///
+/// # Errors
+///
+/// See [`ExtractError`].
+pub fn layer_netlist(
+    layer: &BinaryDense,
+    mode: ExtractMode,
+    samples: Option<&[Vec<bool>]>,
+) -> Result<Netlist, ExtractError> {
+    match mode {
+        ExtractMode::Popcount => {
+            // Structural netlists per neuron, merged over shared inputs.
+            let mut nl = Netlist::new("layer");
+            let inputs: Vec<_> = (0..layer.in_dim())
+                .map(|i| nl.add_input(format!("x{i}")))
+                .collect();
+            for j in 0..layer.out_dim() {
+                let weights = layer.weights_of(j);
+                let agree: Vec<_> = inputs
+                    .iter()
+                    .zip(weights)
+                    .map(|(&x, &w)| {
+                        if w {
+                            nl.add_gate1(lbnn_netlist::Op::Buf, x)
+                        } else {
+                            nl.add_gate1(lbnn_netlist::Op::Not, x)
+                        }
+                    })
+                    .collect();
+                let count = crate::popcount::popcount_tree(&mut nl, &agree);
+                let t = layer.threshold_of(j);
+                let y = if t <= 0 {
+                    nl.add_const(true)
+                } else {
+                    crate::popcount::geq_const(&mut nl, &count, t as u64)
+                };
+                nl.add_output(y, format!("y{j}"));
+            }
+            Ok(nl)
+        }
+        _ => {
+            let mut outputs = Vec::with_capacity(layer.out_dim());
+            for j in 0..layer.out_dim() {
+                let cover = neuron_cover(layer.weights_of(j), layer.threshold_of(j), mode, samples)?
+                    .expect("non-popcount modes yield covers");
+                outputs.push((format!("y{j}"), cover));
+            }
+            Ok(covers_to_netlist(&outputs, layer.in_dim(), "layer"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn exact_matches_layer_forward() {
+        let layer = BinaryDense::random(2, 8, 4);
+        let nl = layer_netlist(&layer, ExtractMode::Exact, None).unwrap();
+        for m in 0..256u64 {
+            let x: Vec<bool> = (0..8).map(|i| m >> i & 1 != 0).collect();
+            assert_eq!(nl.eval_bools(&x), layer.forward(&x), "m={m:#b}");
+        }
+    }
+
+    #[test]
+    fn popcount_matches_layer_forward() {
+        let layer = BinaryDense::random(4, 24, 3);
+        let nl = layer_netlist(&layer, ExtractMode::Popcount, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let x: Vec<bool> = (0..24).map(|_| rng.random_bool(0.5)).collect();
+            assert_eq!(nl.eval_bools(&x), layer.forward(&x));
+        }
+    }
+
+    #[test]
+    fn sampled_agrees_on_observed_patterns() {
+        let layer = BinaryDense::random(6, 16, 4);
+        let mut rng = StdRng::seed_from_u64(10);
+        let samples: Vec<Vec<bool>> = (0..150)
+            .map(|_| (0..16).map(|_| rng.random_bool(0.5)).collect())
+            .collect();
+        let nl = layer_netlist(&layer, ExtractMode::Sampled, Some(&samples)).unwrap();
+        // Perfect fidelity on every observed sample (the ISF care set).
+        for s in &samples {
+            assert_eq!(nl.eval_bools(s), layer.forward(s));
+        }
+    }
+
+    #[test]
+    fn sampled_is_much_smaller_than_popcount() {
+        let layer = BinaryDense::random(6, 32, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<Vec<bool>> = (0..100)
+            .map(|_| (0..32).map(|_| rng.random_bool(0.5)).collect())
+            .collect();
+        let sampled = layer_netlist(&layer, ExtractMode::Sampled, Some(&samples)).unwrap();
+        let exact = layer_netlist(&layer, ExtractMode::Popcount, None).unwrap();
+        assert!(
+            sampled.gate_count() * 2 < exact.gate_count(),
+            "ISF minimization should shrink the logic: {} vs {}",
+            sampled.gate_count(),
+            exact.gate_count()
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let wide = vec![true; 32];
+        assert!(matches!(
+            neuron_netlist(&wide, 16, ExtractMode::Exact, None, "n"),
+            Err(ExtractError::FaninTooLarge { fanin: 32 })
+        ));
+        assert!(matches!(
+            neuron_netlist(&wide, 16, ExtractMode::Sampled, None, "n"),
+            Err(ExtractError::NoSamples)
+        ));
+    }
+}

@@ -1,0 +1,253 @@
+//! Exact structural netlists for XNOR-popcount-threshold neurons.
+//!
+//! For neurons whose fan-in is too large to enumerate (VGG16 conv filters
+//! see thousands of inputs), the neuron function is emitted *structurally*:
+//! an XNOR stage (a `BUF`/`NOT` per input, since weights are constants), a
+//! popcount adder tree built from half/full adders, and a
+//! compare-to-constant stage. The result is exact at any fan-in.
+
+use lbnn_netlist::{Netlist, NodeId, Op};
+
+/// Emits `sum = a + b` over little-endian bit vectors using a ripple-carry
+/// adder; returns the result bits (length `max(len a, len b) + 1`, top bit
+/// possibly constant-folded away by later synthesis).
+pub fn ripple_add(nl: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let width = a.len().max(b.len());
+    let mut sum = Vec::with_capacity(width + 1);
+    let mut carry: Option<NodeId> = None;
+    for i in 0..width {
+        match (a.get(i), b.get(i)) {
+            (Some(&x), Some(&y)) => {
+                let x_xor_y = nl.add_gate2(Op::Xor, x, y);
+                let x_and_y = nl.add_gate2(Op::And, x, y);
+                match carry {
+                    None => {
+                        sum.push(x_xor_y);
+                        carry = Some(x_and_y);
+                    }
+                    Some(c) => {
+                        let s = nl.add_gate2(Op::Xor, x_xor_y, c);
+                        let t = nl.add_gate2(Op::And, x_xor_y, c);
+                        let cout = nl.add_gate2(Op::Or, x_and_y, t);
+                        sum.push(s);
+                        carry = Some(cout);
+                    }
+                }
+            }
+            (Some(&x), None) | (None, Some(&x)) => match carry {
+                None => sum.push(x),
+                Some(c) => {
+                    let s = nl.add_gate2(Op::Xor, x, c);
+                    let cout = nl.add_gate2(Op::And, x, c);
+                    sum.push(s);
+                    carry = Some(cout);
+                }
+            },
+            (None, None) => unreachable!("loop bounded by max width"),
+        }
+    }
+    if let Some(c) = carry {
+        sum.push(c);
+    }
+    sum
+}
+
+/// Builds a popcount adder tree over `bits`, returning the little-endian
+/// binary count.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn popcount_tree(nl: &mut Netlist, bits: &[NodeId]) -> Vec<NodeId> {
+    assert!(!bits.is_empty(), "popcount of zero bits");
+    if bits.len() == 1 {
+        return vec![bits[0]];
+    }
+    let mid = bits.len() / 2;
+    let left = popcount_tree(nl, &bits[..mid]);
+    let right = popcount_tree(nl, &bits[mid..]);
+    ripple_add(nl, &left, &right)
+}
+
+/// Emits `value >= t` for a little-endian binary `value` and constant `t`.
+///
+/// Walks from the most significant bit keeping an "already greater" and an
+/// "still equal" running pair.
+pub fn geq_const(nl: &mut Netlist, value: &[NodeId], t: u64) -> NodeId {
+    let width = value.len();
+    if t == 0 {
+        return nl.add_const(true);
+    }
+    if t >= (1u64 << width) {
+        return nl.add_const(false);
+    }
+    // greater: value's seen prefix exceeds t's; equal: prefixes match.
+    let mut greater: Option<NodeId> = None;
+    let mut equal: Option<NodeId> = None; // None = "so far trivially equal"
+    for i in (0..width).rev() {
+        let bit = value[i];
+        let t_bit = t >> i & 1 != 0;
+        if t_bit {
+            // value bit must be 1 to stay equal; cannot become greater here.
+            equal = Some(match equal {
+                None => bit,
+                Some(e) => nl.add_gate2(Op::And, e, bit),
+            });
+        } else {
+            // value bit 1 while still equal => greater.
+            let e_and_bit = match equal {
+                None => bit,
+                Some(e) => nl.add_gate2(Op::And, e, bit),
+            };
+            greater = Some(match greater {
+                None => e_and_bit,
+                Some(g) => nl.add_gate2(Op::Or, g, e_and_bit),
+            });
+            if equal.is_some() {
+                // staying equal requires bit == 0
+                let not_bit = nl.add_gate1(Op::Not, bit);
+                equal = Some(nl.add_gate2(Op::And, equal.expect("checked"), not_bit));
+            } else {
+                equal = Some(nl.add_gate1(Op::Not, bit));
+            }
+        }
+    }
+    match (greater, equal) {
+        (Some(g), Some(e)) => nl.add_gate2(Op::Or, g, e),
+        (Some(g), None) => g,
+        (None, Some(e)) => e,
+        (None, None) => nl.add_const(true),
+    }
+}
+
+/// Emits the exact neuron `popcount(xnor(w, x)) >= threshold` as a netlist
+/// with inputs `x0..x{k-1}` and output `y`.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty.
+pub fn neuron_popcount_netlist(weights: &[bool], threshold: i32, name: &str) -> Netlist {
+    assert!(!weights.is_empty(), "neuron needs at least one input");
+    let mut nl = Netlist::new(name);
+    let inputs: Vec<NodeId> = (0..weights.len())
+        .map(|i| nl.add_input(format!("x{i}")))
+        .collect();
+    // XNOR with a constant weight: BUF for +1, NOT for −1.
+    let agree: Vec<NodeId> = inputs
+        .iter()
+        .zip(weights)
+        .map(|(&x, &w)| {
+            if w {
+                nl.add_gate1(Op::Buf, x)
+            } else {
+                nl.add_gate1(Op::Not, x)
+            }
+        })
+        .collect();
+    let count = popcount_tree(&mut nl, &agree);
+    let y = if threshold <= 0 {
+        nl.add_const(true)
+    } else {
+        geq_const(&mut nl, &count, threshold as u64)
+    };
+    nl.add_output(y, "y");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn popcount_exhaustive_small() {
+        for k in 1..=8usize {
+            let mut nl = Netlist::new("pc");
+            let inputs: Vec<NodeId> = (0..k).map(|i| nl.add_input(format!("x{i}"))).collect();
+            let count = popcount_tree(&mut nl, &inputs);
+            for (b, &bit) in count.iter().enumerate() {
+                nl.add_output(bit, format!("c{b}"));
+            }
+            for m in 0..(1u64 << k) {
+                let x: Vec<bool> = (0..k).map(|i| m >> i & 1 != 0).collect();
+                let out = nl.eval_bools(&x);
+                let got: u64 = out
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| (b as u64) << i)
+                    .sum();
+                assert_eq!(got, m.count_ones() as u64, "k={k} m={m:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn geq_const_exhaustive() {
+        for width in 1..=5usize {
+            for t in 0..(1u64 << width) + 2 {
+                let mut nl = Netlist::new("ge");
+                let value: Vec<NodeId> =
+                    (0..width).map(|i| nl.add_input(format!("v{i}"))).collect();
+                let y = geq_const(&mut nl, &value, t);
+                nl.add_output(y, "y");
+                for v in 0..(1u64 << width) {
+                    let x: Vec<bool> = (0..width).map(|i| v >> i & 1 != 0).collect();
+                    assert_eq!(nl.eval_bools(&x)[0], v >= t, "w={width} t={t} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neuron_matches_direct_computation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in [3usize, 7, 12, 20] {
+            let weights: Vec<bool> = (0..k).map(|_| rng.random_bool(0.5)).collect();
+            let t = (k / 2) as i32;
+            let nl = neuron_popcount_netlist(&weights, t, "neuron");
+            for _ in 0..200 {
+                let x: Vec<bool> = (0..k).map(|_| rng.random_bool(0.5)).collect();
+                let agree = weights.iter().zip(&x).filter(|&(w, x)| w == x).count();
+                assert_eq!(nl.eval_bools(&x)[0], agree as i32 >= t);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_thresholds() {
+        let weights = vec![true; 4];
+        let always = neuron_popcount_netlist(&weights, 0, "a");
+        let never = neuron_popcount_netlist(&weights, 5, "n");
+        for m in 0..16u64 {
+            let x: Vec<bool> = (0..4).map(|i| m >> i & 1 != 0).collect();
+            assert!(always.eval_bools(&x)[0]);
+            assert!(!never.eval_bools(&x)[0]);
+        }
+    }
+
+    #[test]
+    fn ripple_add_random() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let wa = rng.random_range(1..6);
+            let wb = rng.random_range(1..6);
+            let mut nl = Netlist::new("add");
+            let a: Vec<NodeId> = (0..wa).map(|i| nl.add_input(format!("a{i}"))).collect();
+            let b: Vec<NodeId> = (0..wb).map(|i| nl.add_input(format!("b{i}"))).collect();
+            let s = ripple_add(&mut nl, &a, &b);
+            for (i, &bit) in s.iter().enumerate() {
+                nl.add_output(bit, format!("s{i}"));
+            }
+            for _ in 0..50 {
+                let va = rng.random_range(0..(1u64 << wa));
+                let vb = rng.random_range(0..(1u64 << wb));
+                let mut x: Vec<bool> = (0..wa).map(|i| va >> i & 1 != 0).collect();
+                x.extend((0..wb).map(|i| vb >> i & 1 != 0));
+                let out = nl.eval_bools(&x);
+                let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+                assert_eq!(got, va + vb);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for BNN → FFCL extraction.
+
+use lbnn_nullanet::bnn::BinaryDense;
+use lbnn_nullanet::extract::{layer_netlist, ExtractMode};
+use lbnn_nullanet::popcount::neuron_popcount_netlist;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The popcount netlist computes the neuron exactly for any weights,
+    /// threshold and input.
+    #[test]
+    fn popcount_neuron_exact(
+        weights in proptest::collection::vec(proptest::bool::ANY, 1..24),
+        threshold in -2i32..26,
+        seed in 0u64..10_000,
+    ) {
+        let nl = neuron_popcount_netlist(&weights, threshold, "n");
+        let k = weights.len();
+        for trial in 0..32u64 {
+            let h = seed.wrapping_add(trial).wrapping_mul(0x2545F4914F6CDD1D);
+            let x: Vec<bool> = (0..k).map(|i| h >> (i % 60) & 1 != 0).collect();
+            let agree = weights.iter().zip(&x).filter(|&(w, b)| w == b).count();
+            prop_assert_eq!(nl.eval_bools(&x)[0], agree as i32 >= threshold);
+        }
+    }
+
+    /// Exact extraction equals the layer's forward pass on all inputs.
+    #[test]
+    fn exact_extraction_equals_forward(
+        seed in 0u64..10_000,
+        in_dim in 1usize..9,
+        out_dim in 1usize..5,
+    ) {
+        let layer = BinaryDense::random(seed, in_dim, out_dim);
+        let nl = layer_netlist(&layer, ExtractMode::Exact, None).unwrap();
+        for m in 0..(1u64 << in_dim) {
+            let x: Vec<bool> = (0..in_dim).map(|i| m >> i & 1 != 0).collect();
+            prop_assert_eq!(nl.eval_bools(&x), layer.forward(&x));
+        }
+    }
+
+    /// Sampled (ISF) extraction is always faithful on the observed care
+    /// set, whatever the samples.
+    #[test]
+    fn sampled_extraction_faithful_on_care_set(
+        seed in 0u64..10_000,
+        in_dim in 4usize..20,
+        out_dim in 1usize..4,
+        sample_count in 1usize..40,
+    ) {
+        let layer = BinaryDense::random(seed, in_dim, out_dim);
+        let samples: Vec<Vec<bool>> = (0..sample_count)
+            .map(|s| {
+                let h = seed.wrapping_add(s as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                (0..in_dim).map(|i| h >> (i % 60) & 1 != 0).collect()
+            })
+            .collect();
+        let nl = layer_netlist(&layer, ExtractMode::Sampled, Some(&samples)).unwrap();
+        for s in &samples {
+            prop_assert_eq!(nl.eval_bools(s), layer.forward(s));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Beneš rearrangeable permutation network with the looping algorithm.
+//!
+//! A Beneš network on `n = 2^k` ports has `2k − 1` stages of `n/2` two-by-two
+//! elements and can realize *any* permutation. The recursive structure is
+//! kept explicit in [`BenesConfig`]: an input column, two half-size
+//! sub-networks, and an output column.
+
+/// Configuration of a Beneš network for one routed permutation.
+///
+/// `n = 2` is a single exchange element (`cross`); larger sizes hold the
+/// input/output switch columns plus two recursive halves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenesConfig {
+    /// A single 2×2 element: `false` = straight, `true` = crossed.
+    Leaf {
+        /// Exchange setting.
+        cross: bool,
+    },
+    /// A recursive node of width `n >= 4`.
+    Node {
+        /// Input column: `input[i]` crossed means input `2i` enters the
+        /// lower sub-network.
+        input: Vec<bool>,
+        /// Output column settings, same convention mirrored.
+        output: Vec<bool>,
+        /// Upper half-size network.
+        upper: Box<BenesConfig>,
+        /// Lower half-size network.
+        lower: Box<BenesConfig>,
+    },
+}
+
+impl BenesConfig {
+    /// Number of elementary 2×2 stages this configuration spans
+    /// (`2·log2(n) − 1`).
+    pub fn depth(&self) -> usize {
+        match self {
+            BenesConfig::Leaf { .. } => 1,
+            BenesConfig::Node { upper, .. } => 2 + upper.depth(),
+        }
+    }
+}
+
+/// Number of stages of a Beneš network on `n` ports.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `n < 2`.
+pub fn depth(n: usize) -> usize {
+    assert!(n.is_power_of_two() && n >= 2, "size must be a power of two >= 2");
+    2 * n.trailing_zeros() as usize - 1
+}
+
+/// Routes a full permutation through a Beneš network.
+///
+/// `perm[i] = j` means input `i` must exit on output `j`. Returns the
+/// network configuration realizing it.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..n` with `n` a power of two.
+pub fn route_permutation(perm: &[usize]) -> BenesConfig {
+    let n = perm.len();
+    assert!(n.is_power_of_two() && n >= 2, "size must be a power of two >= 2");
+    {
+        let mut seen = vec![false; n];
+        for &d in perm {
+            assert!(d < n && !seen[d], "input is not a permutation");
+            seen[d] = true;
+        }
+    }
+    route_rec(perm)
+}
+
+fn route_rec(perm: &[usize]) -> BenesConfig {
+    let n = perm.len();
+    if n == 2 {
+        return BenesConfig::Leaf { cross: perm[0] == 1 };
+    }
+    let half = n / 2;
+    // inv[j] = i  such that perm[i] = j
+    let mut inv = vec![0usize; n];
+    for (i, &d) in perm.iter().enumerate() {
+        inv[d] = i;
+    }
+
+    // subnet[i] = Some(false) => input i goes through the upper subnetwork.
+    let mut in_subnet: Vec<Option<bool>> = vec![None; n];
+    let mut out_subnet: Vec<Option<bool>> = vec![None; n];
+
+    // Looping: pick an unconstrained input, send it upper, and propagate
+    // the three constraint families until the cycle closes:
+    //   (A) input-switch partners use opposite subnetworks,
+    //   (B) output-switch partners use opposite subnetworks,
+    //   (C) a signal stays in one subnetwork end to end.
+    for start in 0..n {
+        if in_subnet[start].is_some() {
+            continue;
+        }
+        let mut x = start;
+        let via_lower = false; // route the chain anchor through the upper half
+        loop {
+            debug_assert!(in_subnet[x].is_none() || in_subnet[x] == Some(via_lower));
+            in_subnet[x] = Some(via_lower); // anchor of this step
+            out_subnet[perm[x]] = Some(via_lower); // (C)
+            let y = perm[x] ^ 1;
+            out_subnet[y] = Some(!via_lower); // (B)
+            let x1 = inv[y];
+            debug_assert!(in_subnet[x1].is_none() || in_subnet[x1] == Some(!via_lower));
+            in_subnet[x1] = Some(!via_lower); // (C) backwards
+            let next = x1 ^ 1; // (A): the partner goes back to the upper half
+            if in_subnet[next].is_some() {
+                break; // cycle closed
+            }
+            x = next;
+        }
+    }
+
+    // Build sub-permutations. Input switch i (inputs 2i, 2i+1) feeds upper
+    // port i and lower port i; output switch j similarly.
+    let mut upper_perm = vec![usize::MAX; half];
+    let mut lower_perm = vec![usize::MAX; half];
+    let mut input_col = vec![false; half];
+    let mut output_col = vec![false; half];
+    for sw in 0..half {
+        let a = 2 * sw;
+        // Crossed input switch: even input goes to the lower subnetwork.
+        let a_lower = in_subnet[a].expect("all inputs assigned");
+        input_col[sw] = a_lower;
+        for input in [a, a + 1] {
+            let lower_net = in_subnet[input].expect("assigned");
+            let dest = perm[input];
+            let dest_sw = dest / 2;
+            if lower_net {
+                lower_perm[sw] = dest_sw;
+            } else {
+                upper_perm[sw] = dest_sw;
+            }
+        }
+    }
+    for sw in 0..half {
+        let a = 2 * sw;
+        // Crossed output switch: the upper-subnetwork value exits on the
+        // odd port.
+        let a_lower = out_subnet[a].expect("all outputs assigned");
+        output_col[sw] = a_lower;
+    }
+    debug_assert!(upper_perm.iter().all(|&d| d != usize::MAX));
+    debug_assert!(lower_perm.iter().all(|&d| d != usize::MAX));
+
+    BenesConfig::Node {
+        input: input_col,
+        output: output_col,
+        upper: Box::new(route_rec(&upper_perm)),
+        lower: Box::new(route_rec(&lower_perm)),
+    }
+}
+
+/// Applies a configuration to a vector of values.
+///
+/// # Panics
+///
+/// Panics if `values.len()` does not match the configuration's width.
+pub fn apply<T: Clone>(config: &BenesConfig, values: &[T]) -> Vec<T> {
+    match config {
+        BenesConfig::Leaf { cross } => {
+            assert_eq!(values.len(), 2);
+            if *cross {
+                vec![values[1].clone(), values[0].clone()]
+            } else {
+                values.to_vec()
+            }
+        }
+        BenesConfig::Node { input, output, upper, lower } => {
+            let n = values.len();
+            let half = n / 2;
+            assert_eq!(input.len(), half, "width mismatch");
+            let mut up_in = Vec::with_capacity(half);
+            let mut lo_in = Vec::with_capacity(half);
+            for sw in 0..half {
+                let (a, b) = (values[2 * sw].clone(), values[2 * sw + 1].clone());
+                if input[sw] {
+                    up_in.push(b);
+                    lo_in.push(a);
+                } else {
+                    up_in.push(a);
+                    lo_in.push(b);
+                }
+            }
+            let up_out = apply(upper, &up_in);
+            let lo_out = apply(lower, &lo_in);
+            let mut out = Vec::with_capacity(n);
+            for sw in 0..half {
+                if output[sw] {
+                    out.push(lo_out[sw].clone());
+                    out.push(up_out[sw].clone());
+                } else {
+                    out.push(up_out[sw].clone());
+                    out.push(lo_out[sw].clone());
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(perm: &[usize]) {
+        let cfg = route_permutation(perm);
+        let values: Vec<usize> = (0..perm.len()).collect();
+        let out = apply(&cfg, &values);
+        for (i, &d) in perm.iter().enumerate() {
+            assert_eq!(out[d], i, "input {i} must land on output {d} (perm {perm:?})");
+        }
+        assert_eq!(cfg.depth(), depth(perm.len()));
+    }
+
+    #[test]
+    fn identity_and_reverse() {
+        for k in 1..6 {
+            let n = 1 << k;
+            let id: Vec<usize> = (0..n).collect();
+            check(&id);
+            let rev: Vec<usize> = (0..n).rev().collect();
+            check(&rev);
+        }
+    }
+
+    #[test]
+    fn all_permutations_of_4_and_8() {
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            let mut out = Vec::new();
+            let mut items: Vec<usize> = (0..n).collect();
+            heap(&mut items, n, &mut out);
+            fn heap(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+                if k == 1 {
+                    out.push(items.clone());
+                    return;
+                }
+                for i in 0..k {
+                    heap(items, k - 1, out);
+                    if k.is_multiple_of(2) {
+                        items.swap(i, k - 1);
+                    } else {
+                        items.swap(0, k - 1);
+                    }
+                }
+            }
+            out
+        }
+        for p in permutations(4) {
+            check(&p);
+        }
+        // 8! = 40320 — still fast enough.
+        for p in permutations(8) {
+            check(&p);
+        }
+    }
+
+    #[test]
+    fn random_large_permutations() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        for k in [16usize, 64, 128, 256] {
+            for _ in 0..5 {
+                let mut perm: Vec<usize> = (0..k).collect();
+                perm.shuffle(&mut rng);
+                check(&perm);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_formula() {
+        assert_eq!(depth(2), 1);
+        assert_eq!(depth(4), 3);
+        assert_eq!(depth(8), 5);
+        assert_eq!(depth(128), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutation() {
+        route_permutation(&[0, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Broadcast banyan copy network (Boolean interval splitting).
+//!
+//! Replicates each of `a` concentrated inputs (rows `0..a`) into a
+//! contiguous range of output rows. Cell `i` carries an address interval
+//! `[lo_i, hi_i]`; the intervals of the inputs partition `[0, C)` in order.
+//! At the stage examining address bit `b` (MSB first), a cell routes to the
+//! side matching bit `b` of its interval — or *splits* into two copies when
+//! the interval spans both halves. This is the classic copy network of
+//! multicast ATM switches (Lee/Turner), conflict-free for ordered
+//! contiguous intervals on concentrated inputs.
+
+use crate::error::RouteError;
+
+/// Where one output port of a broadcast element takes its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortSource {
+    /// No value.
+    #[default]
+    None,
+    /// From the element's low-row input.
+    FromLow,
+    /// From the element's high-row input.
+    FromHigh,
+}
+
+/// One 2×2 broadcast element: each output independently selects an input,
+/// so a single input can feed both outputs (the *split*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BroadcastElement {
+    /// Source of the low-row output.
+    pub out_low: PortSource,
+    /// Source of the high-row output.
+    pub out_high: PortSource,
+}
+
+/// Copy-network configuration: `stages[s][e]`, stage `0` examines the MSB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyConfig {
+    width: usize,
+    stages: Vec<Vec<BroadcastElement>>,
+}
+
+impl CopyConfig {
+    /// Network width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of stages (`log2(width)`).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Routes a copy request: `fanouts[i]` is the number of copies of input
+/// row `i` (inputs are concentrated: rows `0..fanouts.len()`). Copy `j` of
+/// input `i` lands on row `sum(fanouts[..i]) + j`.
+///
+/// # Errors
+///
+/// Returns [`RouteError::TooManyDestinations`] if the total fanout exceeds
+/// the width, and [`RouteError::StageConflict`] on an internal collision
+/// (impossible for ordered contiguous intervals; kept for property tests).
+///
+/// # Panics
+///
+/// Panics if `width` is not a power of two or any fanout is zero.
+pub fn route_copies(width: usize, fanouts: &[usize]) -> Result<CopyConfig, RouteError> {
+    assert!(width.is_power_of_two() && width >= 2, "width must be a power of two >= 2");
+    assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
+    let total: usize = fanouts.iter().sum();
+    if total > width {
+        return Err(RouteError::TooManyDestinations {
+            requested: total,
+            available: width,
+        });
+    }
+    let k = width.trailing_zeros() as usize;
+    let mut stages = vec![vec![BroadcastElement::default(); width / 2]; k];
+
+    // Active cells: (current_row, lo, hi).
+    let mut cells: Vec<(usize, usize, usize)> = Vec::with_capacity(fanouts.len());
+    let mut start = 0usize;
+    for (row, &f) in fanouts.iter().enumerate() {
+        cells.push((row, start, start + f - 1));
+        start += f;
+    }
+
+    for s in 0..k {
+        let b = k - 1 - s; // bit examined at this stage (MSB first)
+        let bit = 1usize << b;
+        let elem_of = |r: usize| -> usize {
+            let low = r & (bit - 1);
+            let high = (r >> (b + 1)) << b;
+            high | low
+        };
+        let mut next_cells: Vec<(usize, usize, usize)> = Vec::with_capacity(cells.len() * 2);
+        let stage = &mut stages[s];
+        let mut claim = vec![[false; 2]; width / 2];
+
+        for &(row, lo, hi) in &cells {
+            let e = elem_of(row);
+            let in_side = (row >> b) & 1;
+            let from = if in_side == 0 {
+                PortSource::FromLow
+            } else {
+                PortSource::FromHigh
+            };
+            let lo_b = (lo >> b) & 1;
+            let hi_b = (hi >> b) & 1;
+            let mut emit = |side: usize,
+                            lo2: usize,
+                            hi2: usize,
+                            stage: &mut Vec<BroadcastElement>|
+             -> Result<(), RouteError> {
+                if claim[e][side] {
+                    return Err(RouteError::StageConflict { stage: s, row });
+                }
+                claim[e][side] = true;
+                let out_row = (row & !bit) | (side << b);
+                if side == 0 {
+                    stage[e].out_low = from;
+                } else {
+                    stage[e].out_high = from;
+                }
+                next_cells.push((out_row, lo2, hi2));
+                Ok(())
+            };
+            match (lo_b, hi_b) {
+                (0, 0) => emit(0, lo, hi, stage)?,
+                (1, 1) => emit(1, lo, hi, stage)?,
+                (0, 1) => {
+                    // Split: [lo, mid] goes low, [mid+1, hi] goes high,
+                    // where mid = common prefix · 0 · 111…1.
+                    let mid = (lo & !(2 * bit - 1)) | (bit - 1);
+                    emit(0, lo, mid, stage)?;
+                    emit(1, mid + 1, hi, stage)?;
+                }
+                _ => unreachable!("interval endpoints are ordered (lo <= hi)"),
+            }
+        }
+        cells = next_cells;
+    }
+    debug_assert!(cells.iter().all(|&(row, lo, hi)| row == lo && lo == hi));
+    Ok(CopyConfig { width, stages })
+}
+
+/// Applies a copy configuration to optional packets.
+///
+/// # Panics
+///
+/// Panics if `values.len()` differs from the configuration width.
+pub fn apply<T: Clone>(config: &CopyConfig, values: &[Option<T>]) -> Vec<Option<T>> {
+    assert_eq!(values.len(), config.width, "width mismatch");
+    let k = config.stages.len();
+    let mut cur = values.to_vec();
+    for (s, stage) in config.stages.iter().enumerate() {
+        let b = k - 1 - s;
+        let bit = 1usize << b;
+        let mut next: Vec<Option<T>> = vec![None; config.width];
+        for (e, elem) in stage.iter().enumerate() {
+            let low = ((e >> b) << (b + 1)) | (e & (bit - 1));
+            let high = low | bit;
+            let pick = |src: PortSource| -> Option<T> {
+                match src {
+                    PortSource::None => None,
+                    PortSource::FromLow => cur[low].clone(),
+                    PortSource::FromHigh => cur[high].clone(),
+                }
+            };
+            next[low] = pick(elem.out_low);
+            next[high] = pick(elem.out_high);
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(width: usize, fanouts: &[usize]) {
+        let cfg = route_copies(width, fanouts)
+            .unwrap_or_else(|e| panic!("copy routing failed: {e} (fanouts {fanouts:?})"));
+        let mut values: Vec<Option<usize>> = vec![None; width];
+        for i in 0..fanouts.len() {
+            values[i] = Some(i);
+        }
+        let out = apply(&cfg, &values);
+        let mut expect_row = 0;
+        for (i, &f) in fanouts.iter().enumerate() {
+            for _ in 0..f {
+                assert_eq!(
+                    out[expect_row],
+                    Some(i),
+                    "row {expect_row}, fanouts {fanouts:?}"
+                );
+                expect_row += 1;
+            }
+        }
+        for row in expect_row..width {
+            assert_eq!(out[row], None, "rows past total fanout stay empty");
+        }
+    }
+
+    #[test]
+    fn single_input_full_broadcast() {
+        for width in [2usize, 4, 8, 16, 64] {
+            check(width, &[width]);
+        }
+    }
+
+    #[test]
+    fn exhaustive_fanout_compositions_width_8() {
+        // All compositions (ordered positive integer sums) of totals 1..=8
+        // over any number of inputs.
+        fn compositions(total: usize) -> Vec<Vec<usize>> {
+            if total == 0 {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for first in 1..=total {
+                for rest in compositions(total - first) {
+                    let mut v = vec![first];
+                    v.extend(rest);
+                    out.push(v);
+                }
+            }
+            out
+        }
+        for total in 1..=8usize {
+            for comp in compositions(total) {
+                check(8, &comp);
+            }
+        }
+    }
+
+    #[test]
+    fn random_fanouts_width_128() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let mut fanouts = Vec::new();
+            let mut budget = 128usize;
+            while budget > 0 && rng.random_bool(0.9) {
+                let f = rng.random_range(1..=budget.min(20));
+                fanouts.push(f);
+                budget -= f;
+            }
+            if fanouts.is_empty() {
+                fanouts.push(1);
+            }
+            check(128, &fanouts);
+        }
+    }
+
+    #[test]
+    fn overflow_reports_error() {
+        assert!(matches!(
+            route_copies(8, &[5, 5]),
+            Err(RouteError::TooManyDestinations { requested: 10, available: 8 })
+        ));
+    }
+}

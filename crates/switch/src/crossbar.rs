@@ -1,0 +1,84 @@
+//! Full crossbar baseline.
+//!
+//! An `m × n` crossbar trivially realizes any multicast assignment but
+//! costs `m · n` crosspoints, versus `O(n log n)` elements for the
+//! multi-stage fabric. Used as the reference implementation in tests and
+//! for the area comparison in the FPGA resource model.
+
+/// A full crossbar with `num_sources` inputs and `num_dests` outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossbar {
+    num_sources: usize,
+    num_dests: usize,
+}
+
+impl Crossbar {
+    /// Creates a crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port count is zero.
+    pub fn new(num_sources: usize, num_dests: usize) -> Self {
+        assert!(num_sources > 0 && num_dests > 0, "ports must be non-zero");
+        Crossbar {
+            num_sources,
+            num_dests,
+        }
+    }
+
+    /// Number of crosspoints (the area cost of the crossbar).
+    pub fn crosspoints(&self) -> usize {
+        self.num_sources * self.num_dests
+    }
+
+    /// Applies a multicast assignment directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` or `assignment.len()` mismatch the port
+    /// counts, or an assignment references an out-of-range source.
+    pub fn apply<T: Clone>(&self, assignment: &[Option<usize>], sources: &[T]) -> Vec<Option<T>> {
+        assert_eq!(sources.len(), self.num_sources, "source count mismatch");
+        assert!(assignment.len() <= self.num_dests, "too many destinations");
+        assignment
+            .iter()
+            .map(|s| {
+                s.map(|s| {
+                    assert!(s < self.num_sources, "source {s} out of range");
+                    sources[s].clone()
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicast::MulticastNetwork;
+
+    #[test]
+    fn crossbar_matches_multistage_fabric() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, n) = (16usize, 32usize);
+        let xbar = Crossbar::new(m, n);
+        let net = MulticastNetwork::new(m, n);
+        let sources: Vec<usize> = (100..100 + m).collect();
+        for _ in 0..200 {
+            let assignment: Vec<Option<usize>> = (0..n)
+                .map(|_| rng.random_bool(0.7).then(|| rng.random_range(0..m)))
+                .collect();
+            let direct = xbar.apply(&assignment, &sources);
+            let cfg = net.route(&assignment).expect("non-blocking");
+            let routed = net.apply(&cfg, &sources);
+            assert_eq!(direct, routed);
+        }
+    }
+
+    #[test]
+    fn crosspoint_cost() {
+        assert_eq!(Crossbar::new(64, 128).crosspoints(), 8192);
+    }
+}

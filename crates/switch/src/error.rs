@@ -1,0 +1,67 @@
+//! Error type for switch-network routing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while routing a request through a switch network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A destination referenced a source index outside the network.
+    SourceOutOfRange {
+        /// The offending source index.
+        source: usize,
+        /// Number of source ports.
+        num_sources: usize,
+    },
+    /// The request has more destinations than the network has ports.
+    TooManyDestinations {
+        /// Destinations requested.
+        requested: usize,
+        /// Destination ports available.
+        available: usize,
+    },
+    /// Two packets collided inside a banyan stage — cannot happen for the
+    /// monotone requests this crate generates; reported rather than panicked
+    /// so property tests can surface violations.
+    StageConflict {
+        /// Stage index where the conflict occurred.
+        stage: usize,
+        /// Row of the conflicting element.
+        row: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::SourceOutOfRange { source, num_sources } => {
+                write!(f, "source {source} out of range ({num_sources} sources)")
+            }
+            RouteError::TooManyDestinations { requested, available } => {
+                write!(f, "{requested} destinations requested, {available} available")
+            }
+            RouteError::StageConflict { stage, row } => {
+                write!(f, "internal routing conflict at stage {stage}, row {row}")
+            }
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            RouteError::SourceOutOfRange { source: 9, num_sources: 4 },
+            RouteError::TooManyDestinations { requested: 10, available: 8 },
+            RouteError::StageConflict { stage: 2, row: 5 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # lbnn-switch
+//!
+//! The inter-LPV routing fabric of the logic processor: a multi-stage
+//! **non-blocking multicast switch network** in the spirit of Yang & Masson
+//! ("Nonblocking broadcast switching networks", IEEE ToC 1991), which the
+//! paper instantiates as a 5-stage network with `tsw = 5` cycles of routing
+//! latency (§V-B).
+//!
+//! The network is built from three routable components:
+//!
+//! 1. a **concentrator** ([`omega`]) — packs the active sources into a
+//!    contiguous prefix (monotone routing on a butterfly is conflict-free);
+//! 2. a **copy network** ([`copy`]) — Boolean-interval-splitting broadcast
+//!    banyan that replicates each source into its contiguous fanout range;
+//! 3. a **Beneš permutation network** ([`benes`]) — routed with the classic
+//!    looping algorithm, placing every copy at its destination port.
+//!
+//! [`multicast::MulticastNetwork`] composes the three into
+//! the paper's logical 5-stage pipeline (concentrate, copy, Beneš
+//! input/middle/output) and demonstrates every request routable by
+//! construction — the *non-blocking* property the LPU relies on. A plain
+//! [`crossbar`] is provided as the baseline for tests and the FPGA resource
+//! model.
+//!
+//! ```
+//! use lbnn_switch::multicast::MulticastNetwork;
+//!
+//! // 4 sources, 8 destinations; dest j wants source assignment[j].
+//! let net = MulticastNetwork::new(4, 8);
+//! let assignment = [Some(0), Some(0), None, Some(3), Some(1), Some(0), None, Some(3)];
+//! let config = net.route(&assignment).expect("non-blocking");
+//! let out = net.apply(&config, &["a", "b", "c", "d"]);
+//! assert_eq!(out[0], Some("a"));
+//! assert_eq!(out[5], Some("a"));
+//! assert_eq!(out[3], Some("d"));
+//! assert_eq!(out[2], None);
+//! ```
+
+pub mod benes;
+pub mod copy;
+pub mod crossbar;
+pub mod error;
+pub mod multicast;
+pub mod omega;
+
+pub use error::RouteError;
+pub use multicast::{MulticastConfig, MulticastNetwork};
+
+/// Routing latency of the deployed switch network in clock cycles
+/// (`tsw = 5` in the paper, giving `tc = 6` with one LPE compute cycle).
+pub const SWITCH_STAGES: usize = 5;

@@ -1,0 +1,307 @@
+//! The composed non-blocking multicast network (concentrate → copy → Beneš).
+//!
+//! This is the behavioral model of the paper's 5-stage non-blocking
+//! multicast switch network [Yang–Masson 91]: the five logical pipeline
+//! stages are (1) concentration, (2) copy/fanout, and (3–5) the Beneš
+//! input/middle/output columns. Every multicast assignment from `m`
+//! sources to `n` destinations is routable — there is no blocking state —
+//! and [`MulticastNetwork::route`] constructs the explicit stage
+//! configurations, which [`MulticastNetwork::apply`] then simulates.
+
+use crate::benes::{self, BenesConfig};
+use crate::copy::{self, CopyConfig};
+use crate::error::RouteError;
+use crate::omega::{self, OmegaConfig};
+
+/// A non-blocking multicast switch network with fixed port counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulticastNetwork {
+    num_sources: usize,
+    num_dests: usize,
+    width: usize,
+}
+
+/// A routed configuration: per-component switch settings plus the
+/// bookkeeping needed to re-simulate the path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastConfig {
+    concentrator: OmegaConfig,
+    copy: CopyConfig,
+    benes: BenesConfig,
+    /// Sources in concentration order (ascending source index).
+    active_sources: Vec<usize>,
+    /// Destinations that receive a value (for output masking).
+    active_dests: Vec<bool>,
+}
+
+impl MulticastNetwork {
+    /// Creates a network with `num_sources` input ports and `num_dests`
+    /// output ports. The internal datapath width is the next power of two
+    /// covering both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port count is zero.
+    pub fn new(num_sources: usize, num_dests: usize) -> Self {
+        assert!(num_sources > 0, "need at least one source port");
+        assert!(num_dests > 0, "need at least one destination port");
+        let width = num_sources.max(num_dests).max(2).next_power_of_two();
+        MulticastNetwork {
+            num_sources,
+            num_dests,
+            width,
+        }
+    }
+
+    /// Number of source ports.
+    pub fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Number of destination ports.
+    pub fn num_dests(&self) -> usize {
+        self.num_dests
+    }
+
+    /// Internal datapath width (power of two).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Logical pipeline stages: concentrate, copy, Beneš in/mid/out — the
+    /// paper's `tsw = 5`.
+    pub fn logical_stages(&self) -> usize {
+        crate::SWITCH_STAGES
+    }
+
+    /// Total elementary 2×2 stages of the composed fabric (the physical
+    /// depth a gate-level implementation would have).
+    pub fn elementary_stages(&self) -> usize {
+        let k = self.width.trailing_zeros() as usize;
+        // concentrator (k) + copy (k) + Beneš (2k − 1)
+        k + k + (2 * k - 1)
+    }
+
+    /// Routes a multicast assignment: `assignment[d] = Some(s)` means
+    /// destination `d` receives source `s`; `None` destinations are idle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::SourceOutOfRange`] for bad source indices and
+    /// [`RouteError::TooManyDestinations`] if the assignment is longer than
+    /// the destination port count. Internal stage conflicts cannot occur
+    /// (the fabric is non-blocking); they would surface as
+    /// [`RouteError::StageConflict`].
+    pub fn route(&self, assignment: &[Option<usize>]) -> Result<MulticastConfig, RouteError> {
+        if assignment.len() > self.num_dests {
+            return Err(RouteError::TooManyDestinations {
+                requested: assignment.len(),
+                available: self.num_dests,
+            });
+        }
+        for s in assignment.iter().flatten() {
+            if *s >= self.num_sources {
+                return Err(RouteError::SourceOutOfRange {
+                    source: *s,
+                    num_sources: self.num_sources,
+                });
+            }
+        }
+
+        // Destinations of each source, ascending.
+        let mut dests_of: Vec<Vec<usize>> = vec![Vec::new(); self.num_sources];
+        for (d, s) in assignment.iter().enumerate() {
+            if let Some(s) = s {
+                dests_of[*s].push(d);
+            }
+        }
+        let active_sources: Vec<usize> = (0..self.num_sources)
+            .filter(|&s| !dests_of[s].is_empty())
+            .collect();
+
+        // 1. Concentrate active sources to ranks 0..a.
+        let requests: Vec<(usize, usize)> = active_sources
+            .iter()
+            .enumerate()
+            .map(|(rank, &s)| (s, rank))
+            .collect();
+        let concentrator = omega::route_monotone(self.width, &requests)?;
+
+        // 2. Copy each source into its contiguous fanout range.
+        let fanouts: Vec<usize> = active_sources.iter().map(|&s| dests_of[s].len()).collect();
+        let copy = if fanouts.is_empty() {
+            // Idle assignment: identity copy of nothing.
+            copy::route_copies(self.width, &[1])?
+        } else {
+            copy::route_copies(self.width, &fanouts)?
+        };
+
+        // 3. Permute copies to their destinations. Copy at row
+        //    `start(s) + j` must reach `dests_of[s][j]`; idle rows are
+        //    filled with the unused destinations to complete a permutation.
+        let mut perm = vec![usize::MAX; self.width];
+        let mut used_dest = vec![false; self.width];
+        let mut row = 0;
+        for &s in &active_sources {
+            for &d in &dests_of[s] {
+                perm[row] = d;
+                used_dest[d] = true;
+                row += 1;
+            }
+        }
+        let mut free_dests = (0..self.width).filter(|&d| !used_dest[d]);
+        for slot in perm.iter_mut() {
+            if *slot == usize::MAX {
+                *slot = free_dests.next().expect("counts match");
+            }
+        }
+        let benes = benes::route_permutation(&perm);
+
+        let mut active_dests = vec![false; self.num_dests];
+        for (d, s) in assignment.iter().enumerate() {
+            if s.is_some() {
+                active_dests[d] = true;
+            }
+        }
+        Ok(MulticastConfig {
+            concentrator,
+            copy,
+            benes,
+            active_sources,
+            active_dests,
+        })
+    }
+
+    /// Simulates the routed fabric: feeds `sources` into the input ports
+    /// and returns what each destination port receives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` differs from the source port count.
+    pub fn apply<T: Clone>(&self, config: &MulticastConfig, sources: &[T]) -> Vec<Option<T>> {
+        assert_eq!(sources.len(), self.num_sources, "source count mismatch");
+        let mut values: Vec<Option<T>> = vec![None; self.width];
+        for &s in &config.active_sources {
+            values[s] = Some(sources[s].clone());
+        }
+        let concentrated = omega::apply(&config.concentrator, &values);
+        let copied = copy::apply(&config.copy, &concentrated);
+        let routed = benes::apply(&config.benes, &copied);
+        routed
+            .into_iter()
+            .take(self.num_dests)
+            .enumerate()
+            .map(|(d, v)| if config.active_dests[d] { v } else { None })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(num_sources: usize, num_dests: usize, assignment: &[Option<usize>]) {
+        let net = MulticastNetwork::new(num_sources, num_dests);
+        let cfg = net
+            .route(assignment)
+            .unwrap_or_else(|e| panic!("route failed: {e} ({assignment:?})"));
+        let sources: Vec<usize> = (0..num_sources).collect();
+        let out = net.apply(&cfg, &sources);
+        for (d, want) in assignment.iter().enumerate() {
+            assert_eq!(out[d], *want, "dest {d} of {assignment:?}");
+        }
+        for d in assignment.len()..num_dests {
+            assert_eq!(out[d], None);
+        }
+    }
+
+    #[test]
+    fn unicast_permutations() {
+        check(4, 4, &[Some(2), Some(0), Some(3), Some(1)]);
+        check(8, 8, &[Some(7), Some(6), Some(5), Some(4), Some(3), Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn broadcast_one_to_all() {
+        check(4, 8, &[Some(1); 8]);
+    }
+
+    #[test]
+    fn mixed_multicast_with_idles() {
+        check(
+            4,
+            8,
+            &[Some(0), Some(0), None, Some(3), Some(1), Some(0), None, Some(3)],
+        );
+    }
+
+    #[test]
+    fn all_idle() {
+        check(4, 4, &[None, None, None, None]);
+    }
+
+    #[test]
+    fn exhaustive_small_assignments() {
+        // Every assignment of 4 destinations over {None, s0..s2}.
+        for code in 0..(4u32.pow(4)) {
+            let assignment: Vec<Option<usize>> = (0..4)
+                .map(|d| {
+                    let v = (code >> (2 * d)) & 3;
+                    if v == 3 {
+                        None
+                    } else {
+                        Some(v as usize)
+                    }
+                })
+                .collect();
+            check(3, 4, &assignment);
+        }
+    }
+
+    #[test]
+    fn random_wide_assignments() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        // The LPU shape: m sources (LPE results), 2m destinations (operands).
+        let (m, n) = (64usize, 128usize);
+        let net = MulticastNetwork::new(m, n);
+        assert_eq!(net.logical_stages(), 5);
+        for _ in 0..30 {
+            let assignment: Vec<Option<usize>> = (0..n)
+                .map(|_| {
+                    if rng.random_bool(0.8) {
+                        Some(rng.random_range(0..m))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let cfg = net.route(&assignment).expect("non-blocking");
+            let sources: Vec<usize> = (0..m).collect();
+            let out = net.apply(&cfg, &sources);
+            for (d, want) in assignment.iter().enumerate() {
+                assert_eq!(out[d], *want);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let net = MulticastNetwork::new(4, 4);
+        assert!(matches!(
+            net.route(&[Some(9)]),
+            Err(RouteError::SourceOutOfRange { source: 9, .. })
+        ));
+        assert!(matches!(
+            net.route(&[None, None, None, None, None]),
+            Err(RouteError::TooManyDestinations { .. })
+        ));
+    }
+
+    #[test]
+    fn elementary_depth() {
+        let net = MulticastNetwork::new(64, 128); // width 128, k = 7
+        assert_eq!(net.elementary_stages(), 7 + 7 + 13);
+    }
+}

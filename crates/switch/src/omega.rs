@@ -1,0 +1,201 @@
+//! Butterfly (banyan) network used as a concentrator.
+//!
+//! The concentration step packs the active source ports into a contiguous
+//! prefix, preserving order — the classic *packing* problem, which a
+//! butterfly routes without internal conflicts when destinations are
+//! monotone in the source rows (reverse-banyan concentrator).
+
+use crate::error::RouteError;
+
+/// Setting of one 2×2 exchange element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Element {
+    /// `true` = crossed (low input → high output, high input → low output).
+    pub cross: bool,
+}
+
+/// Configuration of the butterfly: `stages[s][e]` is element `e` of stage
+/// `s`. Stage `s` exchanges rows differing in bit `s` (LSB first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OmegaConfig {
+    width: usize,
+    stages: Vec<Vec<Element>>,
+}
+
+impl OmegaConfig {
+    /// Network width (number of rows).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of stages (`log2(width)`).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Routes a monotone partial permutation: `requests` is a list of
+/// `(row, dest)` pairs with strictly increasing rows **and** strictly
+/// increasing destinations.
+///
+/// The conflict-free guarantee only holds for **packing** requests, where
+/// the destinations are the consecutive ranks `0..requests.len()` (the
+/// reverse-banyan concentrator property); that is the only pattern the
+/// multicast pipeline submits. Other monotone patterns may legitimately
+/// return a conflict.
+///
+/// # Errors
+///
+/// Returns [`RouteError::StageConflict`] if two packets collide inside a
+/// stage (impossible for packing requests; the error path lets property
+/// tests check the claim rather than trust it).
+///
+/// # Panics
+///
+/// Panics if `width` is not a power of two, or requests are out of range
+/// or not strictly monotone.
+pub fn route_monotone(
+    width: usize,
+    requests: &[(usize, usize)],
+) -> Result<OmegaConfig, RouteError> {
+    assert!(width.is_power_of_two() && width >= 2, "width must be a power of two >= 2");
+    for w in requests.windows(2) {
+        assert!(w[0].0 < w[1].0, "rows must be strictly increasing");
+        assert!(w[0].1 < w[1].1, "destinations must be strictly increasing");
+    }
+    for &(r, d) in requests {
+        assert!(r < width && d < width, "request out of range");
+    }
+
+    let k = width.trailing_zeros() as usize;
+    let mut stages = vec![vec![Element::default(); width / 2]; k];
+    // positions[i] = current row of packet i.
+    let mut rows: Vec<usize> = requests.iter().map(|&(r, _)| r).collect();
+
+    for (s, stage) in stages.iter_mut().enumerate() {
+        let bit = 1usize << s;
+        // Desired output side at this stage = bit s of destination.
+        // Element index for row r at stage s: drop bit s of r.
+        let elem_of = |r: usize| -> usize {
+            let low = r & (bit - 1);
+            let high = (r >> (s + 1)) << s;
+            high | low
+        };
+        // occupancy[e]: which output sides are taken.
+        let mut taken = vec![[false; 2]; width / 2];
+        for (i, row) in rows.iter_mut().enumerate() {
+            let want = (requests[i].1 >> s) & 1;
+            let e = elem_of(*row);
+            if taken[e][want] {
+                return Err(RouteError::StageConflict { stage: s, row: *row });
+            }
+            taken[e][want] = true;
+            let in_side = (*row >> s) & 1;
+            if in_side != want {
+                stage[e].cross = true;
+            }
+            *row = (*row & !bit) | (want << s);
+        }
+        // Consistency: a crossed element with packets on both inputs is
+        // fine (they swap); a crossed element set by one packet also drags
+        // the partner row, which carries no packet for monotone requests.
+    }
+    debug_assert!(rows
+        .iter()
+        .zip(requests)
+        .all(|(&r, &(_, d))| r == d));
+    Ok(OmegaConfig { width, stages })
+}
+
+/// Applies a configuration to a vector of optional packets.
+///
+/// # Panics
+///
+/// Panics if `values.len()` differs from the configuration width.
+pub fn apply<T: Clone>(config: &OmegaConfig, values: &[Option<T>]) -> Vec<Option<T>> {
+    assert_eq!(values.len(), config.width, "width mismatch");
+    let mut cur = values.to_vec();
+    for (s, stage) in config.stages.iter().enumerate() {
+        let bit = 1usize << s;
+        let mut next = cur.clone();
+        for (e, elem) in stage.iter().enumerate() {
+            let low = ((e >> s) << (s + 1)) | (e & (bit - 1));
+            let high = low | bit;
+            if elem.cross {
+                next[low] = cur[high].clone();
+                next[high] = cur[low].clone();
+            } else {
+                next[low] = cur[low].clone();
+                next[high] = cur[high].clone();
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Routes and simulates a concentration of the given active rows.
+    fn concentrate(width: usize, active: &[usize]) {
+        let requests: Vec<(usize, usize)> =
+            active.iter().enumerate().map(|(rank, &r)| (r, rank)).collect();
+        let cfg = route_monotone(width, &requests).unwrap_or_else(|e| {
+            panic!("concentration must be conflict-free: {e} (active {active:?})")
+        });
+        let mut values: Vec<Option<usize>> = vec![None; width];
+        for &r in active {
+            values[r] = Some(r);
+        }
+        let out = apply(&cfg, &values);
+        for (rank, &r) in active.iter().enumerate() {
+            assert_eq!(out[rank], Some(r), "active {active:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_concentrations_width_8_and_16() {
+        for width in [8usize, 16] {
+            for mask in 0u32..(1 << width) {
+                let active: Vec<usize> =
+                    (0..width).filter(|&r| mask >> r & 1 != 0).collect();
+                concentrate(width, &active);
+            }
+        }
+    }
+
+    #[test]
+    fn random_concentrations_width_128() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let active: Vec<usize> = (0..128).filter(|_| rng.random_bool(0.4)).collect();
+            concentrate(128, &active);
+        }
+    }
+
+    #[test]
+    fn general_monotone_requests_can_conflict() {
+        // The conflict-free guarantee holds for *packing* (destinations are
+        // consecutive ranks), not arbitrary monotone requests: 0→1 and 1→3
+        // fight over the odd output of stage-0 element 0.
+        let result = route_monotone(4, &[(0, 1), (1, 3)]);
+        assert!(matches!(result, Err(RouteError::StageConflict { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_monotone() {
+        let _ = route_monotone(8, &[(0, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn empty_request_is_identity() {
+        let cfg = route_monotone(8, &[]).unwrap();
+        let values: Vec<Option<u8>> = (0..8).map(Some).collect();
+        assert_eq!(apply(&cfg, &values), values);
+    }
+}

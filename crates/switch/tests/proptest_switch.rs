@@ -1,0 +1,58 @@
+//! Property-based tests for the multicast switch fabric.
+
+use lbnn_switch::benes;
+use lbnn_switch::crossbar::Crossbar;
+use lbnn_switch::multicast::MulticastNetwork;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every multicast assignment routes and delivers exactly (the
+    /// non-blocking property, checked against the crossbar reference).
+    #[test]
+    fn multicast_is_nonblocking(
+        sources in 1usize..20,
+        dests in 1usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let net = MulticastNetwork::new(sources, dests);
+        let xbar = Crossbar::new(sources, dests);
+        // Deterministic pseudo-random assignment from the seed.
+        let assignment: Vec<Option<usize>> = (0..dests)
+            .map(|d| {
+                let h = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(d as u64);
+                if h % 5 == 0 { None } else { Some((h >> 8) as usize % sources) }
+            })
+            .collect();
+        let values: Vec<u32> = (0..sources as u32).map(|s| s + 1000).collect();
+        let cfg = net.route(&assignment).expect("non-blocking");
+        let routed = net.apply(&cfg, &values);
+        let direct = xbar.apply(&assignment, &values);
+        prop_assert_eq!(routed, direct);
+    }
+
+    /// Beneš routes every permutation (rearrangeable non-blocking).
+    #[test]
+    fn benes_routes_all_permutations(
+        k in 1u32..8,
+        seed in 0u64..10_000,
+    ) {
+        let n = 1usize << k;
+        // Fisher-Yates from a seeded LCG.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let cfg = benes::route_permutation(&perm);
+        let values: Vec<usize> = (0..n).collect();
+        let out = benes::apply(&cfg, &values);
+        for (i, &d) in perm.iter().enumerate() {
+            prop_assert_eq!(out[d], i);
+        }
+        prop_assert_eq!(cfg.depth(), benes::depth(n.max(2)));
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: build a small FFCL block, compile it for a logic
+//! processor, execute it cycle-accurately, and check it against direct
+//! evaluation.
+//!
+//! ```sh
+//! cargo run --release -p lbnn-bench --example quickstart
+//! ```
+
+use lbnn_core::flow::{Flow, FlowOptions};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_netlist::{Lanes, Netlist, Op};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a fixed-function combinational logic block: a 4-bit
+    //    "exactly two bits set" detector.
+    let mut nl = Netlist::new("two_of_four");
+    let x: Vec<_> = (0..4).map(|i| nl.add_input(format!("x{i}"))).collect();
+    // Pairwise ANDs for each of the 6 pairs, then "some pair" AND "no triple".
+    let pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    let mut any_pair = None;
+    for &(a, b) in &pairs {
+        let p = nl.add_gate2(Op::And, x[a], x[b]);
+        any_pair = Some(match any_pair {
+            None => p,
+            Some(acc) => nl.add_gate2(Op::Or, acc, p),
+        });
+    }
+    // A triple exists iff two disjoint-ish pairs overlap: detect via
+    // (x0&x1&x2) | (x0&x1&x3) | (x0&x2&x3) | (x1&x2&x3).
+    let mut any_triple = None;
+    for t in [(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)] {
+        let ab = nl.add_gate2(Op::And, x[t.0], x[t.1]);
+        let abc = nl.add_gate2(Op::And, ab, x[t.2]);
+        any_triple = Some(match any_triple {
+            None => abc,
+            Some(acc) => nl.add_gate2(Op::Or, acc, abc),
+        });
+    }
+    let no_triple = nl.add_gate1(Op::Not, any_triple.unwrap());
+    let y = nl.add_gate2(Op::And, any_pair.unwrap(), no_triple);
+    nl.add_output(y, "exactly_two");
+
+    // 2. Compile for a small logic processor: 4 LPEs per LPV, 4 LPVs.
+    let config = LpuConfig::new(4, 4);
+    let flow = Flow::compile(&nl, &config, &FlowOptions::default())?;
+    println!("compiled `{}`:", nl.name());
+    println!("  gates (after synthesis + balancing): {}", flow.stats.gates);
+    println!("  logic depth:                          {}", flow.stats.depth);
+    println!(
+        "  MFGs: {} -> {} after merging",
+        flow.stats.mfgs_before_merge, flow.stats.mfgs
+    );
+    println!(
+        "  one pass: {} clock cycles (tc = {}), steady-state II {} cycles",
+        flow.stats.clock_cycles,
+        config.tc(),
+        flow.stats.steady_clock_cycles
+    );
+
+    // 3. Execute all 16 input combinations as 16 parallel lanes.
+    let inputs: Vec<Lanes> = (0..4)
+        .map(|bit| {
+            let bits: Vec<bool> = (0..16u32).map(|m| m >> bit & 1 != 0).collect();
+            Lanes::from_bools(&bits)
+        })
+        .collect();
+    let result = flow.simulate(&inputs)?;
+    println!("\n  input  -> exactly-two-bits-set?");
+    for m in 0..16u32 {
+        println!("  {m:04b}   -> {}", result.outputs[0].get(m as usize));
+        assert_eq!(
+            result.outputs[0].get(m as usize),
+            m.count_ones() == 2,
+            "the LPU must agree with arithmetic"
+        );
+    }
+
+    // 4. And the built-in oracle check.
+    let report = flow.verify_against_netlist(99)?;
+    println!(
+        "\nverified against direct evaluation on {} lanes x {} outputs",
+        report.lanes_checked, report.outputs_checked
+    );
+    Ok(())
+}

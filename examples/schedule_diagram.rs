@@ -1,0 +1,104 @@
+//! Reconstructs the paper's illustrative figures: an MFG partition of a
+//! Boolean network (Fig 4) and the time-space schedule on the LPVs
+//! (Fig 5), printed as ASCII diagrams.
+//!
+//! ```sh
+//! cargo run --release -p lbnn-bench --example schedule_diagram
+//! ```
+
+use lbnn_core::compiler::merge::merge_mfgs;
+use lbnn_core::compiler::partition::{partition, PartitionOptions};
+use lbnn_core::compiler::schedule::{lpv_of_level, schedule_spacetime};
+use lbnn_netlist::random::RandomDag;
+use lbnn_netlist::Levels;
+
+fn main() {
+    // A deep network in the spirit of Fig 4 (Lmax = 10) on a small LPU.
+    let netlist = RandomDag::strict(12, 10, 8).outputs(3).generate(7);
+    let levels = Levels::compute(&netlist);
+    let (m, n) = (4usize, 12usize);
+
+    let raw = partition(&netlist, &levels, m, PartitionOptions::default()).unwrap();
+    let (part, stats) = merge_mfgs(&raw, m);
+    println!(
+        "partitioned Lmax = {} network into {} MFGs ({} before merging)",
+        levels.depth(),
+        part.mfg_count(),
+        stats.before
+    );
+    println!();
+
+    // Fig 4-style: per-MFG level ranges.
+    println!("MFG inventory (letters as in the paper's Fig 4):");
+    for (i, mfg) in part.mfgs.iter().enumerate() {
+        let letter = (b'A' + (i % 26) as u8) as char;
+        println!(
+            "  {letter}: levels [{:>2}, {:>2}]  widths {:?}  inputs {}",
+            mfg.bottom(),
+            mfg.top(),
+            mfg.levels().iter().map(Vec::len).collect::<Vec<_>>(),
+            mfg.inputs().len()
+        );
+    }
+    println!();
+
+    // Fig 5-style time-space diagram: rows = LPVs, columns = compute
+    // cycles, cells = the MFG whose level executes there.
+    let schedule = schedule_spacetime(&part, n, m).unwrap();
+    let cycles = schedule.total_cycles;
+    let mut grid = vec![vec![' '; cycles]; n];
+    for (i, mfg) in part.mfgs.iter().enumerate() {
+        let letter = (b'A' + (i % 26) as u8) as char;
+        for &start in &schedule.executions[i] {
+            for d in 0..mfg.depth() {
+                let lpv = lpv_of_level(mfg.bottom() + d as u32, n);
+                grid[lpv][start + d] = letter;
+            }
+        }
+    }
+    println!("time-space schedule (rows = LPVs, cols = compute cycles C0..):");
+    print!("       ");
+    for c in 0..cycles {
+        print!("{:>2}", c % 100);
+    }
+    println!();
+    for (lpv, row) in grid.iter().enumerate() {
+        print!("LPV{lpv:<2}  ");
+        for &c in row {
+            print!(" {c}");
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "queue depth (memLoc count) = {}, total compute cycles = {}",
+        schedule.queue_depth, schedule.total_cycles
+    );
+
+    // Fig 6-style: the instruction-queue memory locations.
+    println!();
+    println!("instruction-queue addresses (rows = LPVs, `.` = empty):");
+    let mut q = vec![vec!['.'; schedule.queue_depth]; n];
+    for (i, mfg) in part.mfgs.iter().enumerate() {
+        let letter = (b'A' + (i % 26) as u8) as char;
+        for &start in &schedule.executions[i] {
+            for d in 0..mfg.depth() {
+                let lpv = lpv_of_level(mfg.bottom() + d as u32, n);
+                let addr = start + d - lpv;
+                q[lpv][addr] = letter;
+            }
+        }
+    }
+    print!("       ");
+    for a in 0..schedule.queue_depth {
+        print!("{:>2}", a % 100);
+    }
+    println!();
+    for (lpv, row) in q.iter().enumerate() {
+        print!("LPV{lpv:<2}  ");
+        for &c in row {
+            print!(" {c}");
+        }
+        println!();
+    }
+}

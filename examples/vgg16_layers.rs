@@ -1,0 +1,44 @@
+//! VGG16 convolutional layers 2-13 on the logic processor — the paper's
+//! headline workload, with the Fig 7 merging comparison for each layer.
+//!
+//! ```sh
+//! cargo run --release -p lbnn-bench --example vgg16_layers
+//! ```
+
+use lbnn_bench::{bench_workload_options, evaluate_model, fmt_fps};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_models::zoo;
+
+fn main() {
+    let config = LpuConfig::paper_default();
+    let wl = bench_workload_options();
+    let model = zoo::vgg16_layers_2_13();
+
+    println!("== VGG16 layers [2:13] on the LPU (m = {}, n = {}) ==\n", config.m, config.n);
+    let merged = evaluate_model(&model, &config, &wl, true);
+    let unmerged = evaluate_model(&model, &config, &wl, false);
+
+    println!(
+        "{:<6} {:>7} {:>6} {:>11} {:>11} {:>13} {:>13}",
+        "layer", "gates", "depth", "MFGs (off)", "MFGs (on)", "Kcyc (off)", "Kcyc (on)"
+    );
+    for (u, m) in unmerged.layers.iter().zip(&merged.layers) {
+        println!(
+            "{:<6} {:>7} {:>6} {:>11} {:>11} {:>13.1} {:>13.1}",
+            m.name, m.gates, m.depth, u.mfgs_after, m.mfgs_after,
+            u.cycles_per_image / 1e3,
+            m.cycles_per_image / 1e3
+        );
+    }
+    println!();
+    println!(
+        "throughput: {} without merging -> {} with merging ({:.1}x)",
+        fmt_fps(unmerged.fps),
+        fmt_fps(merged.fps),
+        merged.fps / unmerged.fps
+    );
+    println!(
+        "paper's Table II row: LPU 103.99K FPS; XNOR baseline 0.83K; our LPU/XNOR shape holds at {}",
+        fmt_fps(merged.fps)
+    );
+}

@@ -1,0 +1,170 @@
+//! End-to-end: model-zoo FFCL workloads through the full compiler + LPU
+//! stack, checked bit-exactly against direct netlist evaluation.
+
+use lbnn_core::flow::{Flow, FlowOptions};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_models::workload::{layer_workload, WorkloadOptions};
+use lbnn_models::zoo;
+use lbnn_netlist::eval::evaluate;
+use lbnn_netlist::Lanes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_lanes(rng: &mut StdRng, count: usize, lanes: usize) -> Vec<Lanes> {
+    (0..count)
+        .map(|_| {
+            let bits: Vec<bool> = (0..lanes).map(|_| rng.random_bool(0.5)).collect();
+            Lanes::from_bools(&bits)
+        })
+        .collect()
+}
+
+fn small_options() -> WorkloadOptions {
+    WorkloadOptions {
+        block_neurons: 16,
+        max_fanin: 6,
+        exact_fanin: 8,
+        isf_samples: 32,
+        seed: 7,
+    }
+}
+
+#[test]
+fn jsc_layers_execute_bit_exactly() {
+    let model = zoo::jsc_m();
+    let config = LpuConfig::new(16, 4);
+    let mut rng = StdRng::seed_from_u64(1);
+    for (i, shape) in model.layers.iter().enumerate() {
+        let w = layer_workload(shape, i, &small_options());
+        let flow = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
+        let inputs = random_lanes(&mut rng, w.netlist.inputs().len(), 64);
+        let got = flow.simulate(&inputs).unwrap();
+        let want = evaluate(&w.netlist, &inputs).unwrap();
+        assert_eq!(got.outputs, want, "layer {i} of {}", model.name);
+    }
+}
+
+#[test]
+fn merging_on_and_off_agree_functionally() {
+    let model = zoo::lenet5();
+    let config = LpuConfig::new(16, 4);
+    let w = layer_workload(&model.layers[2], 2, &small_options());
+    let mut rng = StdRng::seed_from_u64(2);
+    let inputs = random_lanes(&mut rng, w.netlist.inputs().len(), 96);
+
+    let merged = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
+    let unmerged = Flow::compile(
+        &w.netlist,
+        &config,
+        &FlowOptions {
+            merge: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let a = merged.simulate(&inputs).unwrap();
+    let b = unmerged.simulate(&inputs).unwrap();
+    assert_eq!(a.outputs, b.outputs, "merging must not change results");
+    assert!(
+        merged.stats.mfgs <= unmerged.stats.mfgs,
+        "merging reduces MFGs"
+    );
+}
+
+#[test]
+fn lpv_sweep_preserves_results() {
+    // Fig 9's sweep must be a pure performance knob: identical outputs at
+    // every LPV count.
+    let model = zoo::nid();
+    let w = layer_workload(&model.layers[1], 1, &small_options());
+    let mut rng = StdRng::seed_from_u64(3);
+    let inputs = random_lanes(&mut rng, w.netlist.inputs().len(), 64);
+    let reference = evaluate(&w.netlist, &inputs).unwrap();
+    let mut cycles = Vec::new();
+    for n in [2usize, 4, 8, 16] {
+        let config = LpuConfig::new(16, n);
+        let flow = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
+        let got = flow.simulate(&inputs).unwrap();
+        assert_eq!(got.outputs, reference, "n = {n}");
+        cycles.push(flow.stats.clock_cycles);
+    }
+    // More LPVs never slow a block down (monotone non-increasing latency).
+    for pair in cycles.windows(2) {
+        assert!(pair[1] <= pair[0], "latency should not grow with LPVs: {cycles:?}");
+    }
+}
+
+#[test]
+fn wide_isf_layer_compiles_and_verifies() {
+    // An ISF-extracted block (sampled mode) with realistic fan-in.
+    let model = zoo::nid();
+    let opts = WorkloadOptions {
+        block_neurons: 16,
+        max_fanin: 48,
+        exact_fanin: 8,
+        isf_samples: 48,
+        seed: 11,
+    };
+    let w = layer_workload(&model.layers[0], 0, &opts);
+    assert_eq!(w.effective_fanin, 48);
+    let config = LpuConfig::new(32, 8);
+    let flow = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
+    flow.verify_against_netlist(13).unwrap();
+}
+
+#[test]
+fn paper_machine_runs_a_mixer_block() {
+    // The full paper configuration (m = 64, n = 16) on an MLPMixer
+    // token-mixing block.
+    let model = zoo::mlpmixer_s4();
+    let w = layer_workload(&model.layers[1], 1, &small_options());
+    let config = LpuConfig::paper_default();
+    let flow = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
+    let report = flow.verify_against_netlist(17).unwrap();
+    assert_eq!(report.lanes_checked, 128, "2m lanes at m = 64");
+}
+
+#[test]
+fn conv_feature_map_equals_patch_parallel_lpu() {
+    // A binarized conv layer run two ways: (a) feature-map forward pass in
+    // software, (b) its FFCL block on the LPU with one *lane per spatial
+    // patch* — exactly the paper's streaming model ("the 2m bits of data
+    // come from different patches of an input feature volume", §IV).
+    use lbnn_nullanet::conv::{BinaryConv2d, FeatureMap};
+    use lbnn_nullanet::extract::{layer_netlist, ExtractMode};
+
+    let conv = BinaryConv2d::random(21, 2, 4, 2, 1); // 2ch in, 4 filters, 2x2
+    let nl = layer_netlist(conv.as_dense(), ExtractMode::Exact, None).unwrap();
+    let flow = Flow::compile(&nl, &LpuConfig::new(8, 4), &FlowOptions::default()).unwrap();
+
+    // Input map and software reference.
+    let mut rng = StdRng::seed_from_u64(33);
+    let data: Vec<bool> = (0..2 * 7 * 7).map(|_| rng.random_bool(0.5)).collect();
+    let input = FeatureMap::from_vec(2, 7, 7, data);
+    let reference = conv.forward(&input);
+    let (oh, ow) = conv.out_dims(7, 7);
+
+    // Pack every output position's im2col patch into the lanes.
+    let positions: Vec<(usize, usize)> = (0..oh)
+        .flat_map(|r| (0..ow).map(move |c| (r, c)))
+        .collect();
+    let fan_in = 2 * 2 * 2;
+    let mut lane_bits = vec![vec![false; positions.len()]; fan_in];
+    for (lane, &(r, c)) in positions.iter().enumerate() {
+        for (i, &bit) in conv.patch(&input, r, c).iter().enumerate() {
+            lane_bits[i][lane] = bit;
+        }
+    }
+    let inputs: Vec<Lanes> = lane_bits.iter().map(|b| Lanes::from_bools(b)).collect();
+
+    let result = flow.simulate(&inputs).unwrap();
+    for (lane, &(r, c)) in positions.iter().enumerate() {
+        for ch in 0..4 {
+            assert_eq!(
+                result.outputs[ch].get(lane),
+                reference.get(ch, r, c),
+                "filter {ch} at ({r},{c})"
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Failure injection: every malformed input and corrupted artifact must
+//! surface as a structured error (or checked panic), never as silent
+//! wrong answers.
+
+use lbnn_core::error::CoreError;
+use lbnn_core::flow::{Flow, FlowOptions};
+use lbnn_core::lpu::{LpuConfig, LpuMachine};
+use lbnn_netlist::random::RandomDag;
+use lbnn_netlist::verilog::parse_verilog;
+use lbnn_netlist::{Lanes, NetlistError};
+
+#[test]
+fn malformed_verilog_corpus() {
+    let cases: &[(&str, &str)] = &[
+        ("", "no module"),
+        ("module m;", "truncated before endmodule"),
+        ("module m (a); input a; output y; endmodule", "undriven output"),
+        (
+            "module m (a, y); input a; output y; and (y, a); endmodule",
+            "and with one input",
+        ),
+        (
+            "module m (a, y); input a; output y; frob (y, a); endmodule",
+            "unknown statement",
+        ),
+        (
+            "module m (a, y); input a; output y; assign y = a |; endmodule",
+            "dangling operator",
+        ),
+        (
+            "module m (a, y); input a; output y; assign y = 2'b10; endmodule",
+            "multi-bit constant",
+        ),
+        (
+            "module m (a, y); input a; input a; output y; buf (y, a); endmodule",
+            "doubly declared input",
+        ),
+        (
+            "module m (a, y); input a; output y; wire w; buf (w, y); buf (y, w); endmodule",
+            "combinational cycle",
+        ),
+    ];
+    for (src, what) in cases {
+        assert!(parse_verilog(src).is_err(), "must reject: {what}");
+    }
+}
+
+#[test]
+fn machine_rejects_mismatched_programs() {
+    let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(1);
+    let config = LpuConfig::new(8, 4);
+    let flow = Flow::compile(&nl, &config, &FlowOptions::default()).unwrap();
+
+    // Wrong machine shape.
+    let other = LpuMachine::new(LpuConfig::new(4, 4)).unwrap();
+    assert!(matches!(
+        other.run(&flow.program, &[]),
+        Err(CoreError::BadConfig { .. })
+    ));
+
+    // Wrong input arity.
+    let machine = LpuMachine::new(config).unwrap();
+    assert!(matches!(
+        machine.run(&flow.program, &[Lanes::zeros(8)]),
+        Err(CoreError::InputArity { expected: 8, got: 1 })
+    ));
+}
+
+#[test]
+fn snapshot_clobber_is_detected() {
+    // Corrupt a healthy program: force an extra snapshot write into a port
+    // that is still live, and check the machine catches it.
+    let nl = RandomDag::strict(12, 6, 10).outputs(3).generate(4);
+    let config = LpuConfig::new(6, 3);
+    let flow = Flow::compile(&nl, &config, &FlowOptions::default()).unwrap();
+    let mut program = flow.program.clone();
+
+    // Find an instruction with a snapshot write, then duplicate that write
+    // one cycle later on the same LPV with a self-route so the value is
+    // re-latched while the original is still resident.
+    let mut injected = false;
+    'outer: for lpv in 0..program.n {
+        for addr in 0..program.queue_depth.saturating_sub(1) {
+            let has_write = program.queues[lpv][addr]
+                .as_ref()
+                .is_some_and(|i| !i.snapshot_writes.is_empty());
+            if !has_write {
+                continue;
+            }
+            let port = program.queues[lpv][addr].as_ref().unwrap().snapshot_writes[0];
+            // The consuming instruction reads it later; injecting another
+            // latch in between must clobber.
+            let next = program.queues[lpv][addr + 1]
+                .get_or_insert_with(|| lbnn_core::compiler::program::VliwInstr::empty(config.m));
+            if next.route_in[port as usize].is_none() {
+                next.route_in[port as usize] = Some(0);
+            }
+            if !next.snapshot_writes.contains(&port) {
+                next.snapshot_writes.push(port);
+            }
+            injected = true;
+            break 'outer;
+        }
+    }
+    assert!(injected, "test premise: some snapshot write exists");
+
+    let machine = LpuMachine::new(config).unwrap();
+    let inputs: Vec<Lanes> = (0..12).map(|_| Lanes::ones(8)).collect();
+    let err = machine.run(&program, &inputs);
+    assert!(
+        matches!(
+            err,
+            Err(CoreError::SnapshotClobber { .. }) | Err(CoreError::BadConfig { .. })
+        ),
+        "corruption must be detected, got {err:?}"
+    );
+}
+
+#[test]
+fn unbalanced_netlists_rejected_by_partitioner() {
+    use lbnn_core::compiler::partition::{partition, PartitionOptions};
+    use lbnn_netlist::{Levels, Netlist, Op};
+    let mut nl = Netlist::new("u");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let c = nl.add_input("c");
+    let g = nl.add_gate2(Op::And, a, b);
+    let h = nl.add_gate2(Op::Or, g, c);
+    nl.add_output(h, "y");
+    let lv = Levels::compute(&nl);
+    assert_eq!(
+        partition(&nl, &lv, 4, PartitionOptions::default()).unwrap_err(),
+        CoreError::NotBalanced
+    );
+}
+
+#[test]
+fn degenerate_machines_rejected() {
+    let nl = RandomDag::strict(4, 2, 3).outputs(1).generate(2);
+    for bad in [LpuConfig::new(0, 4), LpuConfig::new(4, 0)] {
+        assert!(Flow::compile(&nl, &bad, &FlowOptions::default()).is_err());
+    }
+}
+
+#[test]
+fn evaluation_arity_errors() {
+    let nl = RandomDag::strict(4, 2, 3).outputs(1).generate(3);
+    assert!(matches!(
+        lbnn_netlist::eval::evaluate(&nl, &[]),
+        Err(NetlistError::InputArity { expected: 4, got: 0 })
+    ));
+}

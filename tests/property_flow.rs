@@ -1,0 +1,102 @@
+//! Property-based tests over the whole compiler + LPU stack: for *any*
+//! random netlist and machine shape, the compiled program computes
+//! exactly what the netlist computes, and the paper's structural
+//! invariants hold.
+
+use lbnn_core::compiler::partition::{check_partition, partition, PartitionOptions, StopRule};
+use lbnn_core::flow::{Flow, FlowOptions};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_netlist::balance::balance;
+use lbnn_netlist::random::RandomDag;
+use lbnn_netlist::{Levels, Op};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// The headline invariant: compile + simulate ≡ direct evaluation,
+    /// across netlist shapes, machine sizes and merging choices.
+    #[test]
+    fn lpu_equals_oracle(
+        seed in 0u64..1000,
+        inputs in 4usize..14,
+        depth in 2usize..7,
+        width in 2usize..10,
+        outputs in 1usize..5,
+        m in 4usize..10,
+        n in 2usize..6,
+        merge in proptest::bool::ANY,
+        loose in proptest::bool::ANY,
+    ) {
+        let gen = if loose {
+            RandomDag::loose(inputs, depth, width)
+        } else {
+            RandomDag::strict(inputs, depth, width)
+        };
+        let netlist = gen.outputs(outputs).generate(seed);
+        let options = FlowOptions { merge, ..Default::default() };
+        let flow = Flow::compile(&netlist, &LpuConfig::new(m, n), &options).unwrap();
+        flow.verify_against_netlist(seed ^ 0xABCD).unwrap();
+    }
+
+    /// Full path balancing always yields equal-length paths and preserves
+    /// the function.
+    #[test]
+    fn balancing_invariants(
+        seed in 0u64..1000,
+        inputs in 3usize..10,
+        depth in 2usize..8,
+        width in 2usize..8,
+    ) {
+        let netlist = RandomDag::loose(inputs, depth, width).outputs(2).generate(seed);
+        let (balanced, _) = balance(&netlist);
+        let levels = Levels::compute(&balanced);
+        prop_assert!(levels.is_fully_balanced(&balanced));
+        for m in 0..(1u64 << inputs.min(10)) {
+            let bits: Vec<bool> = (0..inputs).map(|i| m >> i & 1 != 0).collect();
+            prop_assert_eq!(netlist.eval_bools(&bits), balanced.eval_bools(&bits));
+        }
+    }
+
+    /// The partitioner satisfies the paper's conditions (1), (2) and (4)
+    /// under both stop rules, with full PO-cone coverage.
+    #[test]
+    fn partition_conditions(
+        seed in 0u64..1000,
+        inputs in 4usize..12,
+        depth in 2usize..7,
+        width in 2usize..10,
+        m in 2usize..8,
+        geq in proptest::bool::ANY,
+    ) {
+        let netlist = RandomDag::strict(inputs, depth, width).outputs(2).generate(seed);
+        let levels = Levels::compute(&netlist);
+        let rule = if geq { StopRule::GeqM } else { StopRule::GtM };
+        let options = PartitionOptions { stop_rule: rule, ..Default::default() };
+        let part = partition(&netlist, &levels, m, options).unwrap();
+        check_partition(&netlist, &levels, &part, m, rule).unwrap();
+    }
+
+    /// Buffers inserted by balancing never appear below their driver's
+    /// level (structural sanity of the FPB output).
+    #[test]
+    fn balanced_netlists_only_add_buffers(
+        seed in 0u64..500,
+        inputs in 3usize..8,
+        depth in 2usize..6,
+        width in 2usize..6,
+    ) {
+        let netlist = RandomDag::loose(inputs, depth, width).outputs(2).generate(seed);
+        let (balanced, stats) = balance(&netlist);
+        let added = balanced.len() - netlist.len();
+        prop_assert_eq!(added, stats.total());
+        let buf_count = balanced
+            .iter()
+            .filter(|(_, node)| node.op() == Op::Buf)
+            .count();
+        prop_assert!(buf_count >= stats.total());
+    }
+}
