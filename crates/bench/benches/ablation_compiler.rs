@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
     // Future-work ablations: heterogeneous LPV sizing and multi-LPU
     // assemblies on the same block.
     let config = LpuConfig::new(m, 8);
-    let flow = Flow::compile(&balanced, &config, &FlowOptions::default()).unwrap();
+    let flow = Flow::builder(&balanced).config(config).compile().unwrap();
     let proposal = hetero::propose(&flow.program, &config);
     println!(
         "ablation hetero: per-LPV LPEs {:?}, LUT saving {:.1}%, FF saving {:.1}%",
@@ -71,7 +71,14 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_stop_rule");
     g.bench_function("partition_gtm", |b| {
-        b.iter(|| black_box(partition(&balanced, &levels, m, PartitionOptions::default())))
+        b.iter(|| {
+            black_box(partition(
+                &balanced,
+                &levels,
+                m,
+                PartitionOptions::default(),
+            ))
+        })
     });
     g.bench_function("partition_geqm", |b| {
         b.iter(|| {

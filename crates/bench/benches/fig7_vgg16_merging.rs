@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fig7_partition_merge");
     g.bench_function("partition", |b| {
-        b.iter(|| {
-            black_box(partition(&balanced, &levels, m, PartitionOptions::default()).unwrap())
-        })
+        b.iter(|| black_box(partition(&balanced, &levels, m, PartitionOptions::default()).unwrap()))
     });
     let part = partition(&balanced, &levels, m, PartitionOptions::default()).unwrap();
     g.bench_function("merge", |b| b.iter(|| black_box(merge_mfgs(&part, m))));

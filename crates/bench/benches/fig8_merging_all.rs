@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
             .map(|w| {
                 let (balanced, _) = balance(&w.netlist);
                 let levels = Levels::compute(&balanced);
-                
+
                 partition(&balanced, &levels, 64, PartitionOptions::default()).unwrap()
             })
             .collect();

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lbnn_bench::bench_workload_options;
-use lbnn_core::flow::{Flow, FlowOptions};
 use lbnn_core::lpu::LpuConfig;
+use lbnn_core::Flow;
 use lbnn_models::workload::layer_workload;
 use lbnn_models::zoo;
 use std::hint::black_box;
@@ -21,11 +21,17 @@ fn bench(c: &mut Criterion) {
     g.bench_function("compile_block", |b| {
         b.iter(|| {
             black_box(
-                Flow::compile(&workload.netlist, &config, &FlowOptions::default()).unwrap(),
+                Flow::builder(&workload.netlist)
+                    .config(config)
+                    .compile()
+                    .unwrap(),
             )
         })
     });
-    let flow = Flow::compile(&workload.netlist, &config, &FlowOptions::default()).unwrap();
+    let flow = Flow::builder(&workload.netlist)
+        .config(config)
+        .compile()
+        .unwrap();
     g.bench_function("verify_block", |b| {
         b.iter(|| black_box(flow.verify_against_netlist(1).unwrap()))
     });

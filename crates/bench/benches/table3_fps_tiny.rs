@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lbnn_bench::table3_workload_options;
-use lbnn_core::flow::{Flow, FlowOptions};
 use lbnn_core::lpu::LpuConfig;
+use lbnn_core::Flow;
 use lbnn_models::workload::layer_workload;
 use lbnn_models::zoo;
 use lbnn_netlist::Lanes;
@@ -23,15 +23,23 @@ fn bench(c: &mut Criterion) {
     g.bench_function("compile_block", |b| {
         b.iter(|| {
             black_box(
-                Flow::compile(&workload.netlist, &config, &FlowOptions::default()).unwrap(),
+                Flow::builder(&workload.netlist)
+                    .config(config)
+                    .compile()
+                    .unwrap(),
             )
         })
     });
-    let flow = Flow::compile(&workload.netlist, &config, &FlowOptions::default()).unwrap();
+    let flow = Flow::builder(&workload.netlist)
+        .config(config)
+        .compile()
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(5);
     let inputs: Vec<Lanes> = (0..workload.netlist.inputs().len())
         .map(|_| {
-            let bits: Vec<bool> = (0..config.operand_bits()).map(|_| rng.random_bool(0.5)).collect();
+            let bits: Vec<bool> = (0..config.operand_bits())
+                .map(|_| rng.random_bool(0.5))
+                .collect();
             Lanes::from_bools(&bits)
         })
         .collect();

@@ -13,7 +13,10 @@ fn main() {
     let unmerged = evaluate_model(&model, &config, &wl, false);
 
     println!("Fig 7a: VGG16 layers [2:13], clock cycles per image (Kcycles)");
-    println!("{:<8} {:>16} {:>16} {:>9}", "layer", "no merging", "with merging", "gain");
+    println!(
+        "{:<8} {:>16} {:>16} {:>9}",
+        "layer", "no merging", "with merging", "gain"
+    );
     for (u, m) in unmerged.layers.iter().zip(&merged.layers) {
         println!(
             "{:<8} {:>16.1} {:>16.1} {:>8.2}x",
@@ -25,7 +28,10 @@ fn main() {
     }
     println!();
     println!("Fig 7b: VGG16 layers [2:13], MFG count");
-    println!("{:<8} {:>16} {:>16} {:>9}", "layer", "no merging", "with merging", "gain");
+    println!(
+        "{:<8} {:>16} {:>16} {:>9}",
+        "layer", "no merging", "with merging", "gain"
+    );
     for (u, m) in unmerged.layers.iter().zip(&merged.layers) {
         println!(
             "{:<8} {:>16} {:>16} {:>8.2}x",

@@ -15,7 +15,10 @@ fn main() {
     for model in [zoo::vgg16_layers_2_13(), zoo::lenet5()] {
         let dsp_us = 1e6 / dsp.fps(&model);
         println!("Fig 9: {} inference time vs LPV count (m = 64)", model.name);
-        println!("{:>6} {:>16} {:>12}", "LPVs", "time/image (us)", "vs NullaDSP");
+        println!(
+            "{:>6} {:>16} {:>12}",
+            "LPVs", "time/image (us)", "vs NullaDSP"
+        );
         let mut threshold: Option<usize> = None;
         for &n in sweeps {
             let config = LpuConfig::new(64, n);

@@ -18,11 +18,12 @@
 use std::process::ExitCode;
 
 use lbnn_core::compiler::isa::encode_program;
+use lbnn_core::compiler::partition::PartitionOptions;
 use lbnn_core::compiler::partition::StopRule;
 use lbnn_core::compiler::schedule::lpv_of_level;
-use lbnn_core::flow::{Flow, FlowOptions};
 use lbnn_core::lpu::resource::estimate_with_depth;
 use lbnn_core::lpu::LpuConfig;
+use lbnn_core::Flow;
 use lbnn_netlist::verilog::{parse_verilog, write_verilog};
 
 struct Args {
@@ -62,14 +63,27 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--m" => args.m = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--n" => args.n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--m" => {
+                args.m = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--n" => {
+                args.n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--no-merge" => args.merge = false,
             "--no-opt" => args.optimize = false,
             "--geq" => args.geq = true,
             "--verify" => {
-                args.verify =
-                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                args.verify = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--diagram" => args.diagram = true,
             "--emit-verilog" => args.emit_verilog = Some(it.next().unwrap_or_else(|| usage())),
@@ -112,15 +126,17 @@ fn main() -> ExitCode {
     );
 
     let config = LpuConfig::new(args.m, args.n);
-    let mut options = FlowOptions {
-        merge: args.merge,
-        optimize: args.optimize,
-        ..Default::default()
-    };
+    let mut partition = PartitionOptions::default();
     if args.geq {
-        options.partition.stop_rule = StopRule::GeqM;
+        partition.stop_rule = StopRule::GeqM;
     }
-    let flow = match Flow::compile(&netlist, &config, &options) {
+    let flow = match Flow::builder(&netlist)
+        .config(config)
+        .merge(args.merge)
+        .optimize(args.optimize)
+        .partition(partition)
+        .compile()
+    {
         Ok(f) => f,
         Err(e) => {
             eprintln!("lbnnc: compilation failed: {e}");

@@ -9,17 +9,43 @@ fn main() {
     let r = estimate(&config);
     let cap = Vu9pCapacity::default();
 
-    println!("Table I: resource utilization, LPV count = 16 (m = {}, 2m = {}-bit operands)", config.m, config.operand_bits());
+    println!(
+        "Table I: resource utilization, LPV count = 16 (m = {}, 2m = {}-bit operands)",
+        config.m,
+        config.operand_bits()
+    );
     println!();
-    println!("{:<10} {:>18} {:>22}", "resource", "paper", "this reproduction");
-    println!("{:<10} {:>18} {:>22}", "FF", "478K (20.2%)",
-        format!("{:.0}K ({:.1}%)", r.ff as f64 / 1e3, 100.0 * r.ff_util));
-    println!("{:<10} {:>18} {:>22}", "LUT", "433K (36.7%)",
-        format!("{:.0}K ({:.1}%)", r.lut as f64 / 1e3, 100.0 * r.lut_util));
-    println!("{:<10} {:>18} {:>22}", "BRAM", "12240Kb (15.8%)",
-        format!("{}Kb ({:.1}%)", r.bram_kb, 100.0 * r.bram_util));
-    println!("{:<10} {:>18} {:>22}", "FREQ", "333MHz",
-        format!("{:.0}MHz", r.freq_mhz));
+    println!(
+        "{:<10} {:>18} {:>22}",
+        "resource", "paper", "this reproduction"
+    );
+    println!(
+        "{:<10} {:>18} {:>22}",
+        "FF",
+        "478K (20.2%)",
+        format!("{:.0}K ({:.1}%)", r.ff as f64 / 1e3, 100.0 * r.ff_util)
+    );
+    println!(
+        "{:<10} {:>18} {:>22}",
+        "LUT",
+        "433K (36.7%)",
+        format!("{:.0}K ({:.1}%)", r.lut as f64 / 1e3, 100.0 * r.lut_util)
+    );
+    println!(
+        "{:<10} {:>18} {:>22}",
+        "BRAM",
+        "12240Kb (15.8%)",
+        format!("{}Kb ({:.1}%)", r.bram_kb, 100.0 * r.bram_util)
+    );
+    println!(
+        "{:<10} {:>18} {:>22}",
+        "FREQ",
+        "333MHz",
+        format!("{:.0}MHz", r.freq_mhz)
+    );
     println!();
-    println!("VU9P capacities used: {} FF, {} LUT, {} Kb BRAM", cap.ff, cap.lut, cap.bram_kb);
+    println!(
+        "VU9P capacities used: {} FF, {} LUT, {} Kb BRAM",
+        cap.ff, cap.lut, cap.bram_kb
+    );
 }

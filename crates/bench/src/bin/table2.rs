@@ -60,14 +60,20 @@ fn main() {
     println!();
     println!("Shape checks (paper's headline: LPU wins every Table II row):");
     for model in [zoo::vgg16_layers_2_13(), zoo::lenet5()] {
-        let paper_name = if model.name == "VGG16[2:13]" { "VGG16" } else { model.name };
+        let paper_name = if model.name == "VGG16[2:13]" {
+            "VGG16"
+        } else {
+            model.name
+        };
         let lpu = evaluate_model(&model, &config, &wl, true);
         println!(
             "  {paper_name}: LPU/XNOR = {:.1}x (paper {:.1}x), LPU/MAC = {:.0}x (paper {:.0}x)",
             lpu.fps / XnorAccelerator::default().fps(&model),
-            table2_fps(paper_name, Impl2::Lpu).unwrap() / table2_fps(paper_name, Impl2::Xnor).unwrap(),
+            table2_fps(paper_name, Impl2::Lpu).unwrap()
+                / table2_fps(paper_name, Impl2::Xnor).unwrap(),
             lpu.fps / MacAccelerator::default().fps(&model),
-            table2_fps(paper_name, Impl2::Lpu).unwrap() / table2_fps(paper_name, Impl2::Mac).unwrap(),
+            table2_fps(paper_name, Impl2::Lpu).unwrap()
+                / table2_fps(paper_name, Impl2::Mac).unwrap(),
         );
     }
 }

@@ -1,16 +1,17 @@
 //! # lbnn-bench
 //!
-//! The evaluation harness: compiles the model-zoo workloads onto the LPU,
-//! measures cycle counts with the cycle-accurate simulator, combines them
-//! with the analytic baselines, and formats the rows of every table and
-//! figure of the paper. The `src/bin` binaries (`table1`–`table3`,
-//! `fig7`–`fig9`, `all`) print paper-vs-reproduced rows; the Criterion
-//! benches under `benches/` measure the implementation itself on the same
-//! workloads.
+//! The evaluation harness: compiles the model-zoo workloads onto the LPU
+//! through the serving API ([`CompiledModel`]), measures cycle counts with
+//! the cycle-accurate simulator, combines them with the analytic
+//! baselines, and formats the rows of every table and figure of the
+//! paper. The `src/bin` binaries (`table1`–`table3`, `fig7`–`fig9`,
+//! `all`) print paper-vs-reproduced rows; the Criterion benches under
+//! `benches/` measure the implementation itself on the same workloads.
 
 use lbnn_core::flow::{Flow, FlowOptions};
 use lbnn_core::lpu::LpuConfig;
-use lbnn_models::workload::{model_workloads, LayerWorkload, WorkloadOptions};
+use lbnn_core::model::{CompiledLayer, CompiledModel, ServingMode};
+use lbnn_models::workload::{model_specs, LayerWorkload, WorkloadOptions};
 use lbnn_models::zoo::ModelShape;
 
 /// Per-layer evaluation result.
@@ -41,6 +42,26 @@ pub struct LayerReport {
     pub cycles_per_image: f64,
 }
 
+impl LayerReport {
+    /// Extracts the report of one compiled layer under `mode`.
+    pub fn from_compiled(layer: &CompiledLayer, mode: ServingMode, lanes: usize) -> LayerReport {
+        let stats = layer.stats();
+        LayerReport {
+            name: layer.name().to_string(),
+            gates: stats.gates,
+            depth: stats.depth,
+            mfgs_before: stats.mfgs_before_merge,
+            mfgs_after: stats.mfgs,
+            queue_depth: stats.queue_depth,
+            latency_clk: stats.clock_cycles,
+            ii_clk: stats.steady_clock_cycles,
+            occupancy: layer.flow().occupancy(),
+            passes_per_image: layer.passes_per_image(mode, lanes),
+            cycles_per_image: layer.cycles_per_image(mode, lanes),
+        }
+    }
+}
+
 /// Whole-model evaluation result.
 #[derive(Debug, Clone)]
 pub struct ModelReport {
@@ -57,6 +78,24 @@ pub struct ModelReport {
 }
 
 impl ModelReport {
+    /// Derives the full report from a compiled model under `mode`.
+    pub fn from_compiled(compiled: &CompiledModel, mode: ServingMode) -> ModelReport {
+        let config = *compiled.config();
+        let lanes = config.operand_bits();
+        let layers: Vec<LayerReport> = compiled
+            .layers()
+            .iter()
+            .map(|l| LayerReport::from_compiled(l, mode, lanes))
+            .collect();
+        ModelReport {
+            model: compiled.name().to_string(),
+            layers,
+            total_cycles_per_image: compiled.cycles_per_image(mode),
+            fps: compiled.fps(mode),
+            config,
+        }
+    }
+
     /// Total MFGs across layers before merging.
     pub fn mfgs_before(&self) -> usize {
         self.layers.iter().map(|l| l.mfgs_before).sum()
@@ -82,21 +121,35 @@ pub fn bench_workload_options() -> WorkloadOptions {
     }
 }
 
+/// Compiles a zoo model's workloads into one serving artifact.
+///
+/// # Panics
+///
+/// Panics if compilation fails (bench workloads are all schedulable).
+pub fn compile_model(
+    model: &ModelShape,
+    config: &LpuConfig,
+    wl: &WorkloadOptions,
+    merge: bool,
+) -> CompiledModel {
+    let options = FlowOptions {
+        merge,
+        ..Default::default()
+    };
+    CompiledModel::compile(model.name, model_specs(model, wl), config, &options)
+        .unwrap_or_else(|e| panic!("model {} failed to compile: {e}", model.name))
+}
+
 /// Compiles one layer workload and derives its per-image cost.
 ///
 /// # Panics
 ///
 /// Panics if compilation fails (bench workloads are all schedulable).
-pub fn evaluate_layer(
-    workload: &LayerWorkload,
-    config: &LpuConfig,
-    merge: bool,
-) -> LayerReport {
-    let options = FlowOptions {
-        merge,
-        ..Default::default()
-    };
-    let flow = Flow::compile(&workload.netlist, config, &options)
+pub fn evaluate_layer(workload: &LayerWorkload, config: &LpuConfig, merge: bool) -> LayerReport {
+    let flow = Flow::builder(&workload.netlist)
+        .config(*config)
+        .merge(merge)
+        .compile()
         .unwrap_or_else(|e| panic!("layer {} failed to compile: {e}", workload.name));
     let lanes = config.operand_bits();
     let ii_clk = flow.stats.steady_clock_cycles;
@@ -116,27 +169,18 @@ pub fn evaluate_layer(
     }
 }
 
-/// Evaluates a whole model on the LPU.
+/// Evaluates a whole model on the LPU in batched steady state (the Table
+/// II deployment).
 pub fn evaluate_model(
     model: &ModelShape,
     config: &LpuConfig,
     wl: &WorkloadOptions,
     merge: bool,
 ) -> ModelReport {
-    let workloads = model_workloads(model, wl);
-    let layers: Vec<LayerReport> = workloads
-        .iter()
-        .map(|w| evaluate_layer(w, config, merge))
-        .collect();
-    let total: f64 = layers.iter().map(|l| l.cycles_per_image).sum();
-    let fps = config.freq_mhz * 1e6 / total;
-    ModelReport {
-        model: model.name.to_string(),
-        layers,
-        total_cycles_per_image: total,
-        fps,
-        config: *config,
-    }
+    ModelReport::from_compiled(
+        &compile_model(model, config, wl, merge),
+        ServingMode::Throughput,
+    )
 }
 
 /// Evaluates a model in *latency* (single-stream) mode: one sample in
@@ -151,26 +195,10 @@ pub fn evaluate_model_latency(
     wl: &WorkloadOptions,
     merge: bool,
 ) -> ModelReport {
-    let workloads = model_workloads(model, wl);
-    let layers: Vec<LayerReport> = workloads
-        .iter()
-        .map(|w| {
-            let mut report = evaluate_layer(w, config, merge);
-            // One sample: every block runs once at full latency.
-            report.passes_per_image = w.blocks as f64 * w.sites as f64;
-            report.cycles_per_image = report.latency_clk as f64 * report.passes_per_image;
-            report
-        })
-        .collect();
-    let total: f64 = layers.iter().map(|l| l.cycles_per_image).sum();
-    let fps = config.freq_mhz * 1e6 / total;
-    ModelReport {
-        model: model.name.to_string(),
-        layers,
-        total_cycles_per_image: total,
-        fps,
-        config: *config,
-    }
+    ModelReport::from_compiled(
+        &compile_model(model, config, wl, merge),
+        ServingMode::Latency,
+    )
 }
 
 /// Workload options for the Table III tasks: realistic fan-in (the
@@ -237,6 +265,24 @@ mod tests {
         for layer in &report.layers {
             assert!(layer.occupancy > 0.0 && layer.occupancy <= 1.0);
             assert!(layer.ii_clk <= layer.latency_clk);
+        }
+    }
+
+    #[test]
+    fn model_report_agrees_with_per_layer_evaluation() {
+        // The CompiledModel path must reproduce exactly what per-layer
+        // compilation computed before the serving API existed.
+        let model = zoo::jsc_m();
+        let config = LpuConfig::new(16, 4);
+        let wl = bench_workload_options();
+        let report = evaluate_model(&model, &config, &wl, true);
+        let workloads = lbnn_models::workload::model_workloads(&model, &wl);
+        for (layer, workload) in report.layers.iter().zip(&workloads) {
+            let solo = evaluate_layer(workload, &config, true);
+            assert_eq!(layer.gates, solo.gates);
+            assert_eq!(layer.ii_clk, solo.ii_clk);
+            assert_eq!(layer.latency_clk, solo.latency_clk);
+            assert_eq!(layer.cycles_per_image, solo.cycles_per_image);
         }
     }
 

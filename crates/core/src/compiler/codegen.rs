@@ -118,12 +118,16 @@ pub fn generate(
                                         .delivery
                                         .get(&(id, child))
                                         .expect("scheduled edge has a delivery");
-                                    let src_lpe =
-                                        lpe_of(child, child_mfg.top(), fanin) as u16;
+                                    let src_lpe = lpe_of(child, child_mfg.top(), fanin) as u16;
                                     if delivery == s {
                                         // Most recent child: flow-through.
                                         set_route(
-                                            &mut queues, m, lpv, addr, port, src_lpe,
+                                            &mut queues,
+                                            m,
+                                            lpv,
+                                            addr,
+                                            port,
+                                            src_lpe,
                                             Some(id),
                                         )?;
                                         OperandSrc::Route(port)
@@ -135,7 +139,13 @@ pub fn generate(
                                         );
                                         let d_addr = Schedule::address_of(delivery, lpv);
                                         set_route(
-                                            &mut queues, m, lpv, d_addr, port, src_lpe, None,
+                                            &mut queues,
+                                            m,
+                                            lpv,
+                                            d_addr,
+                                            port,
+                                            src_lpe,
+                                            None,
                                         )?;
                                         let instr = queues[lpv][d_addr]
                                             .as_mut()

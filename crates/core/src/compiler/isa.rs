@@ -136,7 +136,10 @@ impl BitWriter {
 
     fn push(&mut self, value: u64, bits: usize) {
         debug_assert!(bits <= 64);
-        debug_assert!(bits == 64 || value < (1u64 << bits), "value overflows field");
+        debug_assert!(
+            bits == 64 || value < (1u64 << bits),
+            "value overflows field"
+        );
         let mut remaining = bits;
         let mut v = value;
         while remaining > 0 {
@@ -146,7 +149,11 @@ impl BitWriter {
                 self.words.push(0);
             }
             let take = remaining.min(64 - off);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             self.words[word] |= (v & mask) << off;
             v >>= take % 64; // take == 64 only with off == 0, ending the loop
             self.pos += take;
@@ -173,7 +180,12 @@ impl<'a> BitReader<'a> {
             let word = self.pos / 64;
             let off = self.pos % 64;
             let take = (bits - got).min(64 - off);
-            let chunk = (self.words[word] >> off) & if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let chunk = (self.words[word] >> off)
+                & if take == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << take) - 1
+                };
             value |= chunk << got;
             got += take;
             self.pos += take;
@@ -414,7 +426,10 @@ mod tests {
 
             // Same structure modulo diagnostic fields.
             assert_eq!(decoded.queue_depth, flow.program.queue_depth);
-            assert_eq!(decoded.instruction_count(), flow.program.instruction_count());
+            assert_eq!(
+                decoded.instruction_count(),
+                flow.program.instruction_count()
+            );
             assert_eq!(decoded.lpe_op_count(), flow.program.lpe_op_count());
 
             // And bit-identical behaviour on the machine.
@@ -428,7 +443,10 @@ mod tests {
                 .collect();
             let a = machine.run(&flow.program, &inputs).unwrap();
             let b = machine.run(&decoded, &inputs).unwrap();
-            assert_eq!(a.outputs, b.outputs, "decoded program must behave identically");
+            assert_eq!(
+                a.outputs, b.outputs,
+                "decoded program must behave identically"
+            );
         }
     }
 

@@ -278,12 +278,24 @@ mod tests {
         let g: Vec<_> = (0..4)
             .map(|i| nl.add_gate2(Op::And, pis[2 * i], pis[2 * i + 1]))
             .collect();
-        let a = Mfg::new(1, vec![vec![g[0], g[1]]], vec![pis[0], pis[1], pis[2], pis[3]]);
-        let b = Mfg::new(1, vec![vec![g[2], g[3]]], vec![pis[4], pis[5], pis[6], pis[7]]);
+        let a = Mfg::new(
+            1,
+            vec![vec![g[0], g[1]]],
+            vec![pis[0], pis[1], pis[2], pis[3]],
+        );
+        let b = Mfg::new(
+            1,
+            vec![vec![g[2], g[3]]],
+            vec![pis[4], pis[5], pis[6], pis[7]],
+        );
         assert!(check_level(&a, &b, 4));
         assert!(!check_level(&a, &b, 3), "union of 4 exceeds m = 3");
         // Shared nodes count once.
-        let c = Mfg::new(1, vec![vec![g[0], g[2]]], vec![pis[0], pis[1], pis[4], pis[5]]);
+        let c = Mfg::new(
+            1,
+            vec![vec![g[0], g[2]]],
+            vec![pis[0], pis[1], pis[4], pis[5]],
+        );
         assert!(check_level(&a, &c, 3), "union {{g0,g1,g2}} has 3 nodes");
         let deep = Mfg::new(2, vec![vec![g[0]]], vec![pis[0]]);
         assert!(!check_level(&a, &deep, 8), "different level ranges");
@@ -298,7 +310,10 @@ mod tests {
         let (merged, stats) = merge_mfgs(&part, m);
         assert_eq!(stats.before, part.mfg_count());
         assert_eq!(stats.after, merged.mfg_count());
-        assert!(stats.after < stats.before, "merging should fire on a wide graph");
+        assert!(
+            stats.after < stats.before,
+            "merging should fire on a wide graph"
+        );
         assert_eq!(stats.before - stats.after, stats.merges);
         // Merged MFGs still satisfy conditions (1)-(2); condition (4) is a
         // property of extraction, preserved because merging unions inputs.

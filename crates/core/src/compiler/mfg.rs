@@ -43,7 +43,10 @@ impl Mfg {
     pub fn new(bottom: u32, levels: Vec<Vec<NodeId>>, inputs: Vec<NodeId>) -> Self {
         assert!(bottom >= 1, "gate levels are 1-based");
         assert!(!levels.is_empty(), "an MFG has at least one level");
-        assert!(levels.iter().all(|l| !l.is_empty()), "levels must be non-empty");
+        assert!(
+            levels.iter().all(|l| !l.is_empty()),
+            "levels must be non-empty"
+        );
         Mfg {
             bottom,
             levels,
@@ -156,8 +159,7 @@ impl Mfg {
                 }
             }
         }
-        let mut expect: Vec<NodeId> = self
-            .levels[0]
+        let mut expect: Vec<NodeId> = self.levels[0]
             .iter()
             .flat_map(|&n| netlist.node(n).fanins().iter().copied())
             .collect();

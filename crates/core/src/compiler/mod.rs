@@ -15,10 +15,10 @@ pub mod partition;
 pub mod program;
 pub mod schedule;
 
+pub use isa::{decode_program, encode_program, EncodedProgram, InstrFormat};
 pub use merge::merge_mfgs;
 pub use mfg::{Mfg, MfgId};
 pub use partition::{find_mfg, partition, Partition, PartitionOptions, StopRule};
-pub use isa::{decode_program, encode_program, EncodedProgram, InstrFormat};
 pub use program::LpuProgram;
 pub use schedule::{schedule_spacetime, Schedule};
 
@@ -41,16 +41,27 @@ pub(crate) mod testutil {
         n: usize,
         merge: bool,
     ) -> (Partition, Schedule) {
+        try_compile_parts(netlist, levels, m, n, merge)
+            .unwrap_or_else(|e| panic!("scheduling failed even with duplication: {e}"))
+    }
+
+    pub(crate) fn try_compile_parts(
+        netlist: &Netlist,
+        levels: &Levels,
+        m: usize,
+        n: usize,
+        merge: bool,
+    ) -> Result<(Partition, Schedule), crate::error::CoreError> {
         let mut options = PartitionOptions::default();
         loop {
             let raw = partition(netlist, levels, m, options).expect("partition");
             let part = if merge { merge_mfgs(&raw, m).0 } else { raw };
             match schedule_spacetime(&part, n, m) {
-                Ok(sched) => return (part, sched),
+                Ok(sched) => return Ok((part, sched)),
                 Err(_) if !options.duplicate_children => {
                     options.duplicate_children = true;
                 }
-                Err(e) => panic!("scheduling failed even with duplication: {e}"),
+                Err(e) => return Err(e),
             }
         }
     }

@@ -97,8 +97,7 @@ impl Partition {
     pub fn topo_order(&self) -> Vec<MfgId> {
         let n = self.mfgs.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.children[i].len()).collect();
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(MfgId(i as u32));
@@ -127,13 +126,7 @@ impl Partition {
 /// # Panics
 ///
 /// Panics if `root` is a primary input / constant (level 0) or `m == 0`.
-pub fn find_mfg(
-    netlist: &Netlist,
-    levels: &Levels,
-    root: NodeId,
-    m: usize,
-    rule: StopRule,
-) -> Mfg {
+pub fn find_mfg(netlist: &Netlist, levels: &Levels, root: NodeId, m: usize, rule: StopRule) -> Mfg {
     assert!(m > 0, "need at least one LPE per LPV");
     let root_level = levels.level(root);
     assert!(root_level >= 1, "cannot root an MFG at a primary input");
@@ -434,8 +427,26 @@ mod tests {
         let nl = RandomDag::strict(32, 6, 16).outputs(4).generate(2);
         let lv = Levels::compute(&nl);
         let m = 4;
-        let gt = partition(&nl, &lv, m, PartitionOptions { stop_rule: StopRule::GtM, ..Default::default() }).unwrap();
-        let geq = partition(&nl, &lv, m, PartitionOptions { stop_rule: StopRule::GeqM, ..Default::default() }).unwrap();
+        let gt = partition(
+            &nl,
+            &lv,
+            m,
+            PartitionOptions {
+                stop_rule: StopRule::GtM,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let geq = partition(
+            &nl,
+            &lv,
+            m,
+            PartitionOptions {
+                stop_rule: StopRule::GeqM,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         check_partition(&nl, &lv, &geq, m, StopRule::GeqM).unwrap();
         let max_w_geq = geq.mfgs.iter().map(Mfg::width).max().unwrap();
         assert!(max_w_geq < m, "pseudocode rule caps levels at m-1");
@@ -473,7 +484,10 @@ mod tests {
         // Without balancing it is rejected.
         let lv_raw = Levels::compute(&nl);
         let err = partition(&nl, &lv_raw, 4, PartitionOptions::default()).unwrap_err();
-        assert!(matches!(err, CoreError::NotBalanced | CoreError::BadConfig { .. }));
+        assert!(matches!(
+            err,
+            CoreError::NotBalanced | CoreError::BadConfig { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! The serving layer: compile once, run batches forever.
+//!
+//! The paper's deployment model (§V) replays one compiled instruction
+//! queue back to back at the steady-state initiation interval. An
+//! [`Engine`] is that steady state as an object: it owns a validated
+//! [`LpuMachine`] and the program, plus the machine's reusable lane
+//! buffers, so [`Engine::run_batch`] skips the per-call configuration
+//! validation and state allocation that [`crate::flow::Flow::simulate`]
+//! pays on every invocation.
+
+use lbnn_netlist::Lanes;
+
+use crate::compiler::program::LpuProgram;
+use crate::error::CoreError;
+use crate::flow::Flow;
+use crate::lpu::machine::{LpuMachine, PassScratch, RunResult};
+use crate::lpu::LpuConfig;
+
+/// A resident, ready-to-serve compiled block.
+///
+/// Construction validates the configuration and the program/machine shape
+/// once; afterwards every [`run_batch`](Engine::run_batch) is a pure
+/// replay. Buffers (snapshot registers, pipeline registers, retired lane
+/// vectors) persist across batches.
+///
+/// ```
+/// use lbnn_core::{Engine, Flow, LpuConfig};
+/// use lbnn_netlist::random::RandomDag;
+/// use lbnn_netlist::Lanes;
+///
+/// let netlist = RandomDag::strict(8, 4, 6).outputs(2).generate(3);
+/// let flow = Flow::builder(&netlist).config(LpuConfig::new(4, 4)).compile()?;
+/// let mut engine = flow.engine()?;
+/// let batch: Vec<Lanes> = (0..8).map(|i| Lanes::from_bools(&[i % 2 == 0])).collect();
+/// let first = engine.run_batch(&batch)?;
+/// let second = engine.run_batch(&batch)?;
+/// assert_eq!(first.outputs, second.outputs);
+/// assert_eq!(engine.batches_served(), 2);
+/// # Ok::<(), lbnn_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    machine: LpuMachine,
+    program: LpuProgram,
+    scratch: PassScratch,
+    batches_served: u64,
+}
+
+impl Engine {
+    /// Builds an engine from a configuration and a compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] if the configuration is unusable
+    /// or the program was compiled for a different machine shape.
+    pub fn new(config: LpuConfig, program: LpuProgram) -> Result<Self, CoreError> {
+        let machine = LpuMachine::new(config)?;
+        if program.m != config.m || program.n != config.n {
+            return Err(CoreError::BadConfig {
+                reason: format!(
+                    "program compiled for m={}, n={} but engine machine has m={}, n={}",
+                    program.m, program.n, config.m, config.n
+                ),
+            });
+        }
+        Ok(Engine {
+            machine,
+            program,
+            scratch: PassScratch::default(),
+            batches_served: 0,
+        })
+    }
+
+    /// Builds an engine serving `flow`'s program (clones the program; use
+    /// [`Flow::into_engine`] to avoid the copy).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::new`].
+    pub fn from_flow(flow: &Flow) -> Result<Self, CoreError> {
+        Engine::new(flow.config, flow.program.clone())
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &LpuConfig {
+        self.machine.config()
+    }
+
+    /// The resident program.
+    pub fn program(&self) -> &LpuProgram {
+        &self.program
+    }
+
+    /// Batches served since construction.
+    pub fn batches_served(&self) -> u64 {
+        self.batches_served
+    }
+
+    /// Runs one batch (`inputs[i]` = lanes of primary input `i`),
+    /// reusing the engine's buffers.
+    ///
+    /// Results are bit-identical to [`Flow::simulate`] on the same
+    /// inputs; only the allocation/validation cost differs.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpuMachine::run`].
+    pub fn run_batch(&mut self, inputs: &[Lanes]) -> Result<RunResult, CoreError> {
+        let result = self
+            .machine
+            .run_with_scratch(&self.program, inputs, &mut self.scratch)?;
+        self.batches_served += 1;
+        Ok(result)
+    }
+
+    /// Runs a sequence of batches back to back — the paper's steady-state
+    /// serving loop — returning one result per batch.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first batch error.
+    pub fn run_batches<B: AsRef<[Lanes]>>(
+        &mut self,
+        batches: &[B],
+    ) -> Result<Vec<RunResult>, CoreError> {
+        batches
+            .iter()
+            .map(|batch| self.run_batch(batch.as_ref()))
+            .collect()
+    }
+
+    /// Steady-state clock cycles between batch starts (initiation
+    /// interval × `tc`): back-to-back serving admits a new batch every
+    /// `queue_depth` compute cycles, not every full fill+drain latency.
+    pub fn steady_clock_cycles_per_batch(&self) -> u64 {
+        self.program.queue_depth as u64 * self.config().tc() as u64
+    }
+}
+
+impl Flow {
+    /// Builds a resident [`Engine`] serving this flow's program (clones
+    /// the program).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::new`].
+    pub fn engine(&self) -> Result<Engine, CoreError> {
+        Engine::from_flow(self)
+    }
+
+    /// Converts this flow into a resident [`Engine`], moving the program
+    /// (the compiler artifacts are dropped).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::new`].
+    pub fn into_engine(self) -> Result<Engine, CoreError> {
+        Engine::new(self.config, self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_netlist::random::RandomDag;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_batch(rng: &mut StdRng, width: usize, lanes: usize) -> Vec<Lanes> {
+        (0..width)
+            .map(|_| {
+                let bits: Vec<bool> = (0..lanes).map(|_| rng.random_bool(0.5)).collect();
+                Lanes::from_bools(&bits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_simulate_across_many_batches() {
+        let nl = RandomDag::strict(12, 5, 8).outputs(3).generate(5);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(6, 4))
+            .compile()
+            .unwrap();
+        let mut engine = flow.engine().unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        for batch_no in 0..5 {
+            let batch = random_batch(&mut rng, nl.inputs().len(), 64 + batch_no);
+            let fresh = flow.simulate(&batch).unwrap();
+            let served = engine.run_batch(&batch).unwrap();
+            assert_eq!(served.outputs, fresh.outputs, "batch {batch_no}");
+            assert_eq!(served.lpe_ops, fresh.lpe_ops);
+        }
+        assert_eq!(engine.batches_served(), 5);
+    }
+
+    #[test]
+    fn run_batches_returns_one_result_per_batch() {
+        let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(1);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap();
+        let mut engine = flow.clone().into_engine().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let batches: Vec<Vec<Lanes>> = (0..4)
+            .map(|_| random_batch(&mut rng, nl.inputs().len(), 32))
+            .collect();
+        let results = engine.run_batches(&batches).unwrap();
+        assert_eq!(results.len(), 4);
+        for (res, batch) in results.iter().zip(&batches) {
+            assert_eq!(res.outputs, flow.simulate(batch).unwrap().outputs);
+        }
+        assert!(engine.steady_clock_cycles_per_batch() > 0);
+        assert_eq!(
+            engine.steady_clock_cycles_per_batch(),
+            flow.stats.steady_clock_cycles
+        );
+    }
+
+    #[test]
+    fn engine_rejects_shape_mismatch() {
+        let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(2);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap();
+        let err = Engine::new(LpuConfig::new(8, 4), flow.program).unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig { .. }));
+    }
+}

@@ -54,6 +54,14 @@ pub enum CoreError {
         /// Human-readable reason.
         reason: String,
     },
+    /// End-to-end verification found a primary output whose LPU lanes
+    /// disagree with the netlist oracle.
+    VerifyMismatch {
+        /// Name of the mismatching primary output.
+        output: String,
+        /// First batch lane where the LPU and the oracle disagree.
+        lane: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -78,6 +86,10 @@ impl fmt::Display for CoreError {
                 write!(f, "expected {expected} input lane vectors, got {got}")
             }
             CoreError::BadConfig { reason } => write!(f, "bad LPU configuration: {reason}"),
+            CoreError::VerifyMismatch { output, lane } => write!(
+                f,
+                "LPU output `{output}` disagrees with the netlist oracle (first at lane {lane})"
+            ),
         }
     }
 }
@@ -115,6 +127,13 @@ mod tests {
         assert!(e.source().is_some());
         let e = CoreError::ResourceConflict { lpv: 3, cycle: 9 };
         assert!(e.to_string().contains("LPV 3"));
+        assert!(e.source().is_none());
+        let e = CoreError::VerifyMismatch {
+            output: "y0".to_string(),
+            lane: 17,
+        };
+        assert!(e.to_string().contains("y0"));
+        assert!(e.to_string().contains("lane 17"));
         assert!(e.source().is_none());
     }
 }

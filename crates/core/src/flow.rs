@@ -1,9 +1,23 @@
 //! The end-to-end design flow (Fig 1 of the paper).
 //!
 //! `FFCL netlist → logic optimization → full path balancing → MFG
-//! partitioning → merging → scheduling → code generation`, wrapped in a
-//! single [`Flow::compile`] call, with simulation and verification
-//! helpers on the result.
+//! partitioning → merging → scheduling → code generation`, driven through
+//! [`Flow::builder`], with simulation and verification helpers on the
+//! result and [`crate::engine::Engine`] as the steady-state serving
+//! hand-off.
+//!
+//! ```
+//! use lbnn_core::{Flow, LpuConfig};
+//! use lbnn_netlist::random::RandomDag;
+//!
+//! let netlist = RandomDag::strict(16, 6, 12).generate(1);
+//! let flow = Flow::builder(&netlist)
+//!     .config(LpuConfig::new(8, 4))
+//!     .merge(false)
+//!     .compile()?;
+//! assert!(flow.stats.clock_cycles > 0);
+//! # Ok::<(), lbnn_core::CoreError>(())
+//! ```
 
 use lbnn_logic_synth::{optimize, OptimizeOptions};
 use lbnn_netlist::balance::balance;
@@ -105,96 +119,205 @@ pub struct Flow {
     pub stats: FlowStats,
 }
 
-impl Flow {
-    /// Compiles a netlist for the given LPU.
+/// Staged configuration of a compilation, created by [`Flow::builder`].
+///
+/// Defaults: the paper's machine ([`LpuConfig::default`]) and
+/// [`FlowOptions::default`] (optimize + merge on).
+///
+/// ```
+/// use lbnn_core::{Flow, LpuConfig};
+/// use lbnn_netlist::random::RandomDag;
+///
+/// let netlist = RandomDag::strict(16, 6, 12).generate(1);
+/// let flow = Flow::builder(&netlist)
+///     .config(LpuConfig::new(8, 4))
+///     .merge(false)
+///     .compile()?;
+/// assert_eq!(flow.merge_stats.merges, 0);
+/// # Ok::<(), lbnn_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a FlowBuilder does nothing until .compile() is called"]
+pub struct FlowBuilder<'a> {
+    netlist: &'a Netlist,
+    config: LpuConfig,
+    options: FlowOptions,
+}
+
+impl<'a> FlowBuilder<'a> {
+    /// Sets the machine configuration.
+    pub fn config(mut self, config: LpuConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the whole option set at once.
+    pub fn options(mut self, options: FlowOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Toggles logic-synthesis pre-processing (Fig 1).
+    pub fn optimize(mut self, optimize: bool) -> Self {
+        self.options.optimize = optimize;
+        self
+    }
+
+    /// Toggles MFG merging (Algorithm 3; the Fig 7/8 knob).
+    pub fn merge(mut self, merge: bool) -> Self {
+        self.options.merge = merge;
+        self
+    }
+
+    /// Sets the partitioning options (stop rule, child duplication).
+    pub fn partition(mut self, partition: PartitionOptions) -> Self {
+        self.options.partition = partition;
+        self
+    }
+
+    /// The configuration the build would use (for inspection/tests).
+    pub fn current_config(&self) -> &LpuConfig {
+        &self.config
+    }
+
+    /// The options the build would use (for inspection/tests).
+    pub fn current_options(&self) -> &FlowOptions {
+        &self.options
+    }
+
+    /// Runs the full pipeline.
     ///
     /// # Errors
     ///
     /// Propagates configuration, netlist, partitioning and scheduling
     /// errors; see [`CoreError`].
+    pub fn compile(self) -> Result<Flow, CoreError> {
+        compile_impl(self.netlist, self.config, self.options)
+    }
+}
+
+impl Flow {
+    /// Starts a compilation of `netlist` with the default machine and
+    /// options; see [`FlowBuilder`].
+    pub fn builder(netlist: &Netlist) -> FlowBuilder<'_> {
+        FlowBuilder {
+            netlist,
+            config: LpuConfig::default(),
+            options: FlowOptions::default(),
+        }
+    }
+
+    /// Compiles a netlist for the given LPU.
+    ///
+    /// Positional-argument shim over [`Flow::builder`], kept for callers
+    /// predating the builder API.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowBuilder::compile`].
     pub fn compile(
         netlist: &Netlist,
         config: &LpuConfig,
         options: &FlowOptions,
     ) -> Result<Flow, CoreError> {
-        config.validate()?;
-        netlist.validate()?;
-        let source = netlist.clone();
-
-        // 1. Logic optimization (Fig 1 pre-processing).
-        let mut current = if options.optimize {
-            optimize(netlist, OptimizeOptions::default()).0
-        } else {
-            netlist.clone()
-        };
-
-        // 2. Guard: POs driven by level-0 nodes (inputs/constants) get a
-        //    buffer so every output is computed by a gate.
-        current = buffer_level0_outputs(&current);
-
-        // 3. Full path balancing.
-        let (balanced, bal_stats) = balance(&current);
-        let levels = Levels::compute(&balanced);
-        debug_assert!(levels.is_fully_balanced(&balanced));
-
-        // 4-6. Partition (Algorithms 1-2), merge (Algorithm 3), schedule.
-        // Child MFGs are shared between parents first; if snapshot
-        // residency cannot be packed that way, fall back to the paper's
-        // literal Algorithm 1, which duplicates each parent's fan-in cones
-        // (condition (3) overlap) and is always schedulable.
-        let mut attempt_options = options.partition;
-        let (part, merge_stats, schedule, mfgs_before) = loop {
-            let raw = partition(&balanced, &levels, config.m, attempt_options)?;
-            let mfgs_before = raw.mfg_count();
-            let (part, merge_stats) = if options.merge {
-                merge_mfgs(&raw, config.m)
-            } else {
-                (
-                    raw,
-                    MergeStats {
-                        before: mfgs_before,
-                        after: mfgs_before,
-                        merges: 0,
-                    },
-                )
-            };
-            match schedule_spacetime(&part, config.n, config.m) {
-                Ok(schedule) => break (part, merge_stats, schedule, mfgs_before),
-                Err(_) if !attempt_options.duplicate_children => {
-                    attempt_options.duplicate_children = true;
-                }
-                Err(e) => return Err(e),
-            }
-        };
-
-        // 7. Code generation.
-        let program = generate(&balanced, &levels, &part, &schedule, config)?;
-
-        let stats = FlowStats {
-            gates: balanced.gate_count(),
-            depth: levels.depth(),
-            balance_buffers: bal_stats.total(),
-            mfgs_before_merge: mfgs_before,
-            mfgs: part.mfg_count(),
-            executed_nodes: part.executed_nodes(),
-            compute_cycles: schedule.total_cycles,
-            clock_cycles: schedule.clock_cycles(config.tc()),
-            queue_depth: schedule.queue_depth,
-            steady_clock_cycles: schedule.queue_depth as u64 * config.tc() as u64,
-        };
-        Ok(Flow {
-            netlist: balanced,
-            source,
-            levels,
-            partition: part,
-            merge_stats,
-            schedule,
-            program,
-            config: *config,
-            stats,
-        })
+        Flow::builder(netlist)
+            .config(*config)
+            .options(*options)
+            .compile()
     }
+}
 
+/// The pipeline shared by every entry point.
+///
+/// Clone accounting: `source` keeps the caller's netlist as the
+/// verification oracle (one clone). With optimization on, the optimizer
+/// produces the working copy; with it off, one further clone is the
+/// working copy. [`buffer_level0_outputs`] and the balancer then own
+/// their input and never copy an already-correct netlist.
+fn compile_impl(
+    netlist: &Netlist,
+    config: LpuConfig,
+    options: FlowOptions,
+) -> Result<Flow, CoreError> {
+    config.validate()?;
+    netlist.validate()?;
+    let source = netlist.clone();
+
+    // 1. Logic optimization (Fig 1 pre-processing).
+    let current = if options.optimize {
+        optimize(netlist, OptimizeOptions::default()).0
+    } else {
+        source.clone()
+    };
+
+    // 2. Guard: POs driven by level-0 nodes (inputs/constants) get a
+    //    buffer so every output is computed by a gate.
+    let current = buffer_level0_outputs(current);
+
+    // 3. Full path balancing.
+    let (balanced, bal_stats) = balance(&current);
+    let levels = Levels::compute(&balanced);
+    debug_assert!(levels.is_fully_balanced(&balanced));
+
+    // 4-6. Partition (Algorithms 1-2), merge (Algorithm 3), schedule.
+    // Child MFGs are shared between parents first; if snapshot
+    // residency cannot be packed that way, fall back to the paper's
+    // literal Algorithm 1, which duplicates each parent's fan-in cones
+    // (condition (3) overlap) and is always schedulable.
+    let mut attempt_options = options.partition;
+    let (part, merge_stats, schedule, mfgs_before) = loop {
+        let raw = partition(&balanced, &levels, config.m, attempt_options)?;
+        let mfgs_before = raw.mfg_count();
+        let (part, merge_stats) = if options.merge {
+            merge_mfgs(&raw, config.m)
+        } else {
+            (
+                raw,
+                MergeStats {
+                    before: mfgs_before,
+                    after: mfgs_before,
+                    merges: 0,
+                },
+            )
+        };
+        match schedule_spacetime(&part, config.n, config.m) {
+            Ok(schedule) => break (part, merge_stats, schedule, mfgs_before),
+            Err(_) if !attempt_options.duplicate_children => {
+                attempt_options.duplicate_children = true;
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    // 7. Code generation.
+    let program = generate(&balanced, &levels, &part, &schedule, &config)?;
+
+    let stats = FlowStats {
+        gates: balanced.gate_count(),
+        depth: levels.depth(),
+        balance_buffers: bal_stats.total(),
+        mfgs_before_merge: mfgs_before,
+        mfgs: part.mfg_count(),
+        executed_nodes: part.executed_nodes(),
+        compute_cycles: schedule.total_cycles,
+        clock_cycles: schedule.clock_cycles(config.tc()),
+        queue_depth: schedule.queue_depth,
+        steady_clock_cycles: schedule.queue_depth as u64 * config.tc() as u64,
+    };
+    Ok(Flow {
+        netlist: balanced,
+        source,
+        levels,
+        partition: part,
+        merge_stats,
+        schedule,
+        program,
+        config,
+        stats,
+    })
+}
+
+impl Flow {
     /// Runs one pass on the LPU machine.
     ///
     /// # Errors
@@ -212,8 +335,8 @@ impl Flow {
     ///
     /// # Errors
     ///
-    /// Returns the first mismatch as [`CoreError::BadConfig`], or any
-    /// simulation error.
+    /// Returns the first mismatch as [`CoreError::VerifyMismatch`], or
+    /// any simulation error.
     pub fn verify_against_netlist(&self, seed: u64) -> Result<VerifyReport, CoreError> {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
@@ -229,11 +352,12 @@ impl Flow {
         let want = evaluate(&self.source, &inputs)?;
         for (po, (g, w)) in got.outputs.iter().zip(&want).enumerate() {
             if g != w {
-                return Err(CoreError::BadConfig {
-                    reason: format!(
-                        "LPU output `{}` disagrees with the netlist oracle",
-                        self.source.outputs()[po].name
-                    ),
+                let lane = (0..g.len().min(w.len()))
+                    .find(|&l| g.get(l) != w.get(l))
+                    .unwrap_or(0);
+                return Err(CoreError::VerifyMismatch {
+                    output: self.source.outputs()[po].name.clone(),
+                    lane,
                 });
             }
         }
@@ -267,16 +391,17 @@ impl Flow {
 
 /// Inserts a buffer after any primary output driven by a level-0 node
 /// (primary input or constant), so the compiler always has a gate to
-/// schedule per output.
-fn buffer_level0_outputs(netlist: &Netlist) -> Netlist {
+/// schedule per output. Takes ownership: the common no-fix case returns
+/// the input unchanged, without a copy.
+fn buffer_level0_outputs(netlist: Netlist) -> Netlist {
     let needs_fix = netlist
         .outputs()
         .iter()
         .any(|o| netlist.node(o.node).op() == Op::Input || netlist.node(o.node).op().arity() == 0);
     if !needs_fix {
-        return netlist.clone();
+        return netlist;
     }
-    let out = netlist.clone();
+    let out = netlist;
     let fixes: Vec<(usize, lbnn_netlist::NodeId)> = out
         .outputs()
         .iter()
@@ -378,6 +503,62 @@ mod tests {
         )
         .unwrap();
         flow.verify_against_netlist(5).unwrap();
+    }
+
+    #[test]
+    fn builder_defaults_match_flow_options_default() {
+        let nl = RandomDag::strict(8, 4, 6).generate(1);
+        let builder = Flow::builder(&nl);
+        assert_eq!(*builder.current_options(), FlowOptions::default());
+        assert_eq!(*builder.current_config(), LpuConfig::default());
+    }
+
+    #[test]
+    fn builder_and_positional_shim_agree() {
+        let nl = RandomDag::strict(16, 5, 10).outputs(4).generate(9);
+        let config = LpuConfig::new(8, 4);
+        let via_builder = Flow::builder(&nl)
+            .config(config)
+            .optimize(false)
+            .merge(false)
+            .compile()
+            .unwrap();
+        let via_shim = Flow::compile(
+            &nl,
+            &config,
+            &FlowOptions {
+                optimize: false,
+                merge: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(via_builder.stats, via_shim.stats);
+        assert_eq!(
+            via_builder.program.queue_depth,
+            via_shim.program.queue_depth
+        );
+        via_builder.verify_against_netlist(1).unwrap();
+    }
+
+    #[test]
+    fn verify_mismatch_is_structured() {
+        // Corrupt a compiled program's output tap so verification must
+        // report a VerifyMismatch naming the output.
+        let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(6);
+        let mut flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap();
+        let [a, b] = [flow.program.outputs[0].po, flow.program.outputs[1].po];
+        flow.program.outputs[0].po = b;
+        flow.program.outputs[1].po = a;
+        match flow.verify_against_netlist(2) {
+            Err(CoreError::VerifyMismatch { output, .. }) => {
+                assert!(flow.source.outputs().iter().any(|o| o.name == output));
+            }
+            other => panic!("expected VerifyMismatch, got {other:?}"),
+        }
     }
 
     #[test]

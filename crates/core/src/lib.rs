@@ -24,27 +24,45 @@
 //!   levelize → balance → partition → merge → schedule → codegen →
 //!   simulate, with throughput accounting ([`throughput`]).
 //!
+//! * **Serving** ([`engine`], [`model`]) — the deployment API: compile
+//!   once, serve forever. An [`Engine`] owns a validated machine and its
+//!   reusable buffers for back-to-back batch replay; a
+//!   [`CompiledModel`](model::CompiledModel) compiles a whole multi-block
+//!   workload into one artifact with per-layer stats and aggregate
+//!   throughput.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use lbnn_core::flow::{Flow, FlowOptions};
-//! use lbnn_core::lpu::LpuConfig;
+//! use lbnn_core::{Flow, LpuConfig};
 //! use lbnn_netlist::random::RandomDag;
+//! use lbnn_netlist::Lanes;
 //!
+//! // Compile once...
 //! let netlist = RandomDag::strict(16, 6, 12).generate(1);
-//! let flow = Flow::compile(&netlist, &LpuConfig::new(8, 4), &FlowOptions::default())?;
-//! // The LPU computes exactly what the netlist computes, for every lane.
+//! let flow = Flow::builder(&netlist).config(LpuConfig::new(8, 4)).compile()?;
+//! // ...the LPU computes exactly what the netlist computes, for every lane...
 //! let report = flow.verify_against_netlist(42)?;
 //! assert!(report.lanes_checked > 0);
+//! // ...then serve batches from a resident engine (no per-call setup).
+//! let mut engine = flow.into_engine()?;
+//! let batch: Vec<Lanes> = (0..16).map(|i| Lanes::from_bools(&[i % 2 == 0])).collect();
+//! let result = engine.run_batch(&batch)?;
+//! assert!(!result.outputs.is_empty());
 //! # Ok::<(), lbnn_core::CoreError>(())
 //! ```
 
 pub mod compiler;
+pub mod engine;
 pub mod error;
 pub mod flow;
 pub mod lpu;
+pub mod model;
 pub mod throughput;
 
+pub use engine::Engine;
 pub use error::CoreError;
-pub use flow::{Flow, FlowOptions, FlowStats};
+pub use flow::{Flow, FlowBuilder, FlowOptions, FlowStats};
 pub use lpu::{LpuConfig, LpuMachine};
+pub use model::{CompiledModel, LayerSpec, ServingMode};
+pub use throughput::ThroughputReport;

@@ -163,7 +163,12 @@ mod tests {
         let flow = Flow::compile(&nl, &LpuConfig::new(8, 4), &FlowOptions::default()).unwrap();
         let proposal = propose(&flow.program, &flow.config);
         assert!(
-            proposal.lpes_per_lpv.iter().filter(|&&m_v| m_v == 8).count() >= 2,
+            proposal
+                .lpes_per_lpv
+                .iter()
+                .filter(|&&m_v| m_v == 8)
+                .count()
+                >= 2,
             "{:?}",
             proposal.lpes_per_lpv
         );

@@ -26,6 +26,45 @@ pub struct LpuMachine {
     config: LpuConfig,
 }
 
+/// Reusable execution state: snapshot registers, the two inter-LPV
+/// pipeline buffers, the primary-output buffer, and a free list of lane
+/// vectors. [`LpuMachine::run`] allocates one per call;
+/// [`crate::engine::Engine`] keeps one alive across batches so steady-state
+/// serving stops paying per-pass allocation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PassScratch {
+    snapshots: Vec<Vec<Option<Lanes>>>,
+    prev_out: Vec<Vec<Option<Lanes>>>,
+    new_out: Vec<Vec<Option<Lanes>>>,
+    outputs: Vec<Option<Lanes>>,
+    /// Retired lane vectors, reused for LPE results instead of fresh
+    /// allocations.
+    spare: Vec<Lanes>,
+}
+
+impl PassScratch {
+    /// Shapes the buffers for `program` on a machine with `m`/`n`, clearing
+    /// stale values into the spare list.
+    fn prepare(&mut self, m: usize, n: usize, num_outputs: usize) {
+        let clear = |grid: &mut Vec<Vec<Option<Lanes>>>, width: usize, spare: &mut Vec<Lanes>| {
+            grid.resize_with(n, Vec::new);
+            for row in grid.iter_mut() {
+                row.resize_with(width, || None);
+                for slot in row.iter_mut() {
+                    if let Some(l) = slot.take() {
+                        spare.push(l);
+                    }
+                }
+            }
+        };
+        clear(&mut self.snapshots, 2 * m, &mut self.spare);
+        clear(&mut self.prev_out, m, &mut self.spare);
+        clear(&mut self.new_out, m, &mut self.spare);
+        self.outputs.clear();
+        self.outputs.resize_with(num_outputs, || None);
+    }
+}
+
 /// The result of one program pass.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -70,6 +109,18 @@ impl LpuMachine {
     ///   overwritten while live (indicates a scheduler bug);
     /// * [`CoreError::BadConfig`] — program/machine shape mismatch.
     pub fn run(&self, program: &LpuProgram, inputs: &[Lanes]) -> Result<RunResult, CoreError> {
+        let mut scratch = PassScratch::default();
+        self.run_with_scratch(program, inputs, &mut scratch)
+    }
+
+    /// Runs one pass reusing `scratch` buffers (the [`crate::engine::Engine`]
+    /// fast path; [`LpuMachine::run`] is this with throwaway scratch).
+    pub(crate) fn run_with_scratch(
+        &self,
+        program: &LpuProgram,
+        inputs: &[Lanes],
+        scratch: &mut PassScratch,
+    ) -> Result<RunResult, CoreError> {
         let m = self.config.m;
         let n = self.config.n;
         if program.m != m || program.n != n {
@@ -100,15 +151,30 @@ impl LpuMachine {
             })
             .collect();
 
-        // Machine state.
-        let mut snapshots: Vec<Vec<Option<Lanes>>> = vec![vec![None; 2 * m]; n];
-        let mut prev_out: Vec<Vec<Option<Lanes>>> = vec![vec![None; m]; n];
-        let mut outputs: Vec<Option<Lanes>> = vec![None; program.outputs.len()];
+        // Machine state, shaped for this program (no-op when reused on the
+        // same shape).
+        scratch.prepare(m, n, program.outputs.len());
+        let PassScratch {
+            snapshots,
+            prev_out,
+            new_out,
+            outputs,
+            spare,
+        } = scratch;
         let mut lpe_ops = 0usize;
         let mut peak_live = 0usize;
 
         for cycle in 0..program.total_cycles {
-            let mut new_out: Vec<Vec<Option<Lanes>>> = vec![vec![None; m]; n];
+            // Retire the values produced two cycles ago (the buffer about
+            // to be overwritten) into the spare list.
+            for row in new_out.iter_mut() {
+                for slot in row.iter_mut() {
+                    if let Some(l) = slot.take() {
+                        spare.push(l);
+                    }
+                }
+            }
+            let mut routed: Vec<Option<&Lanes>> = vec![None; 2 * m];
             for lpv in 0..n {
                 let Some(instr) = program.instr_at(lpv, cycle) else {
                     continue;
@@ -118,7 +184,7 @@ impl LpuMachine {
                 let src_lpv = if lpv == 0 { n - 1 } else { lpv - 1 };
 
                 // 1. Switch delivery.
-                let mut routed: Vec<Option<&Lanes>> = vec![None; 2 * m];
+                routed.fill(None);
                 for (port, src) in instr.route_in.iter().enumerate() {
                     if let Some(src) = src {
                         let v = prev_out[src_lpv][*src as usize].as_ref().ok_or_else(|| {
@@ -148,14 +214,33 @@ impl LpuMachine {
                 // 3. LPE execution.
                 for (lpe, li) in instr.lpes.iter().enumerate() {
                     let Some(li) = li else { continue };
-                    let a = fetch(li.a, &routed, &mut snapshots[lpv], &input_data, lanes, lpv, cycle)?;
+                    let a = fetch(
+                        li.a,
+                        &routed,
+                        &mut snapshots[lpv],
+                        &input_data,
+                        lanes,
+                        lpv,
+                        cycle,
+                    )?;
                     let b = match li.b {
-                        Some(src) => {
-                            Some(fetch(src, &routed, &mut snapshots[lpv], &input_data, lanes, lpv, cycle)?)
-                        }
+                        Some(src) => Some(fetch(
+                            src,
+                            &routed,
+                            &mut snapshots[lpv],
+                            &input_data,
+                            lanes,
+                            lpv,
+                            cycle,
+                        )?),
                         None => None,
                     };
-                    let mut out = Lanes::zeros(lanes);
+                    // Reuse a retired lane vector; assign_op overwrites
+                    // every word, so stale contents are harmless.
+                    let mut out = match spare.pop() {
+                        Some(l) if l.len() == lanes => l,
+                        _ => Lanes::zeros(lanes),
+                    };
                     out.assign_op(li.op, &a, b.as_ref());
                     new_out[lpv][lpe] = Some(out);
                     lpe_ops += 1;
@@ -165,14 +250,15 @@ impl LpuMachine {
             // Output taps read this cycle's freshly produced values.
             for tap in &program.outputs {
                 if tap.cycle == cycle {
-                    let v = new_out[tap.lpv][tap.lpe].clone().ok_or_else(|| {
-                        CoreError::BadConfig {
-                            reason: format!(
+                    let v =
+                        new_out[tap.lpv][tap.lpe]
+                            .clone()
+                            .ok_or_else(|| CoreError::BadConfig {
+                                reason: format!(
                                 "output tap for PO {} reads idle LPE {} of LPV {} at cycle {cycle}",
                                 tap.po, tap.lpe, tap.lpv
                             ),
-                        }
-                    })?;
+                            })?;
                     outputs[tap.po] = Some(v);
                 }
             }
@@ -182,14 +268,14 @@ impl LpuMachine {
                 .map(|s| s.iter().filter(|x| x.is_some()).count())
                 .sum();
             peak_live = peak_live.max(live);
-            prev_out = new_out;
+            std::mem::swap(prev_out, new_out);
         }
 
         let outputs: Vec<Lanes> = outputs
-            .into_iter()
+            .iter_mut()
             .enumerate()
             .map(|(po, v)| {
-                v.ok_or_else(|| CoreError::BadConfig {
+                v.take().ok_or_else(|| CoreError::BadConfig {
                     reason: format!("primary output {po} was never produced"),
                 })
             })
@@ -216,22 +302,26 @@ fn fetch(
     cycle: usize,
 ) -> Result<Lanes, CoreError> {
     match src {
-        OperandSrc::Route(port) => routed[port as usize]
-            .cloned()
-            .ok_or_else(|| CoreError::BadConfig {
-                reason: format!("LPV {lpv} cycle {cycle}: port {port} has no routed value"),
-            }),
+        OperandSrc::Route(port) => {
+            routed[port as usize]
+                .cloned()
+                .ok_or_else(|| CoreError::BadConfig {
+                    reason: format!("LPV {lpv} cycle {cycle}: port {port} has no routed value"),
+                })
+        }
         OperandSrc::Snapshot(port) => {
             snapshots[port as usize]
                 .take()
                 .ok_or_else(|| CoreError::BadConfig {
-                    reason: format!(
-                        "LPV {lpv} cycle {cycle}: snapshot register {port} is empty"
-                    ),
+                    reason: format!("LPV {lpv} cycle {cycle}: snapshot register {port} is empty"),
                 })
         }
         OperandSrc::Input(addr) => Ok(input_data[addr as usize].clone()),
-        OperandSrc::Const(v) => Ok(if v { Lanes::ones(lanes) } else { Lanes::zeros(lanes) }),
+        OperandSrc::Const(v) => Ok(if v {
+            Lanes::ones(lanes)
+        } else {
+            Lanes::zeros(lanes)
+        }),
     }
 }
 

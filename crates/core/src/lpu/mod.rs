@@ -14,7 +14,7 @@ pub mod multi;
 pub mod resource;
 
 pub use config::LpuConfig;
-pub use machine::{LpuMachine, RunResult};
 pub use hetero::{profile, propose, HeteroProposal, LpvProfile};
+pub use machine::{LpuMachine, RunResult};
 pub use multi::{Assembly, MultiLpu};
 pub use resource::{ResourceReport, Vu9pCapacity};

@@ -104,7 +104,11 @@ impl MultiLpu {
     /// # Errors
     ///
     /// Propagates compilation errors.
-    pub fn evaluate(&self, netlist: &Netlist, options: &FlowOptions) -> Result<MultiLpuReport, CoreError> {
+    pub fn evaluate(
+        &self,
+        netlist: &Netlist,
+        options: &FlowOptions,
+    ) -> Result<MultiLpuReport, CoreError> {
         let config = self.effective_config();
         let flow = Flow::compile(netlist, &config, options)?;
         let (ii, lanes) = match self.assembly {
@@ -112,10 +116,7 @@ impl MultiLpu {
                 flow.stats.steady_clock_cycles as f64 / k as f64,
                 config.operand_bits() * k,
             ),
-            Assembly::Series(_) => (
-                flow.stats.steady_clock_cycles as f64,
-                config.operand_bits(),
-            ),
+            Assembly::Series(_) => (flow.stats.steady_clock_cycles as f64, config.operand_bits()),
         };
         Ok(MultiLpuReport {
             latency_clk: flow.stats.clock_cycles,

@@ -106,9 +106,7 @@ pub fn estimate_with_depth(config: &LpuConfig, queue_depth: usize) -> ResourceRe
     // --- BRAM -------------------------------------------------------------
     // Instruction word per LPV: per-LPE opcode + two operand selects,
     // switch assignment, snapshot-write mask.
-    let instr_bits = m * (4 + 2 * (2 + log2_ceil(w).max(1)))
-        + w * log2_ceil(m).max(1)
-        + w;
+    let instr_bits = m * (4 + 2 * (2 + log2_ceil(w).max(1))) + w * log2_ceil(m).max(1) + w;
     // Six instruction queues per LPV block (Fig 6).
     let bram_queues_bits = n * 6 * queue_depth as u64 * instr_bits / 6;
     // Input and output data buffers: provisioned at 2·queue_depth operands.
@@ -151,7 +149,11 @@ mod tests {
         let within = |got: f64, want: f64| (got - want).abs() / want < 0.20;
         assert!(within(r.ff as f64, 478_000.0), "FF = {}", r.ff);
         assert!(within(r.lut as f64, 433_000.0), "LUT = {}", r.lut);
-        assert!(within(r.bram_kb as f64, 12_240.0), "BRAM = {} Kb", r.bram_kb);
+        assert!(
+            within(r.bram_kb as f64, 12_240.0),
+            "BRAM = {} Kb",
+            r.bram_kb
+        );
         assert!((r.freq_mhz - 333.0).abs() < 5.0);
         assert!(within(r.ff_util, 0.202), "FF util = {}", r.ff_util);
         assert!(within(r.lut_util, 0.367), "LUT util = {}", r.lut_util);

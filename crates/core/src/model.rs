@@ -1,0 +1,423 @@
+//! Whole-model compilation: many FFCL blocks, one serving artifact.
+//!
+//! A neural network on the LPU is a sequence of FFCL blocks (one
+//! representative block per layer, replicated `blocks × sites` times per
+//! image — the Table II/III scenario). [`CompiledModel::compile`] runs the
+//! full Fig-1 pipeline over every block once and keeps a resident
+//! [`Engine`] per layer, so whole-model inference and throughput
+//! accounting stop being ad-hoc per-layer loops at the call sites.
+
+use lbnn_netlist::{Lanes, Netlist};
+
+use crate::engine::Engine;
+use crate::error::CoreError;
+use crate::flow::{Flow, FlowOptions, FlowStats};
+use crate::lpu::machine::RunResult;
+use crate::lpu::LpuConfig;
+use crate::throughput::{block_throughput, ThroughputReport};
+
+/// One layer of a multi-block workload: a representative netlist plus the
+/// replication counts that scale its measured cost to the full layer
+/// (`lbnn-models`' workload generator produces exactly this shape).
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    /// Layer label.
+    pub name: String,
+    /// The block's netlist.
+    pub netlist: Netlist,
+    /// Blocks covering all neurons of the layer.
+    pub blocks: u64,
+    /// Spatial evaluation sites per input sample.
+    pub sites: u64,
+}
+
+impl LayerSpec {
+    /// A single stand-alone block (no replication).
+    pub fn block(name: impl Into<String>, netlist: Netlist) -> Self {
+        LayerSpec {
+            name: name.into(),
+            netlist,
+            blocks: 1,
+            sites: 1,
+        }
+    }
+
+    /// Block-pass executions per input image at the given lane width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn passes_per_image(&self, lanes: usize) -> f64 {
+        replicated_passes(self.blocks, self.sites, lanes)
+    }
+}
+
+/// The replication arithmetic shared by spec- and layer-level accounting:
+/// `blocks × sites / lanes` passes per input image.
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero.
+fn replicated_passes(blocks: u64, sites: u64, lanes: usize) -> f64 {
+    assert!(lanes > 0, "lane width must be positive");
+    blocks as f64 * sites as f64 / lanes as f64
+}
+
+/// How the model is deployed; determines the per-image cycle accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServingMode {
+    /// Batched steady state: back-to-back passes replay the instruction
+    /// queues, so each pass costs the initiation interval and `2m` lanes
+    /// amortize across samples (Table II).
+    #[default]
+    Throughput,
+    /// Single-stream: one sample in flight, every block pass pays its
+    /// full fill+drain latency (Table III's detector deployments).
+    Latency,
+}
+
+/// One compiled layer inside a [`CompiledModel`].
+///
+/// The layer netlist lives on as the flow's verification oracle
+/// ([`Flow::source`](crate::flow::Flow)); the spec's copy is not kept, so
+/// the artifact stores each netlist once per role, not per wrapper.
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    name: String,
+    blocks: u64,
+    sites: u64,
+    flow: Flow,
+    /// Built on first [`CompiledModel::infer`]: accounting-only consumers
+    /// (the bench reports) never pay the program clone an [`Engine`]
+    /// needs.
+    engine: Option<Engine>,
+}
+
+impl CompiledLayer {
+    /// The layer label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks covering all neurons of the layer.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Spatial evaluation sites per input sample.
+    pub fn sites(&self) -> u64 {
+        self.sites
+    }
+
+    /// The layer's source netlist (the compiled block, pre-optimization).
+    pub fn source_netlist(&self) -> &Netlist {
+        &self.flow.source
+    }
+
+    /// The compiled flow (all compiler artifacts).
+    pub fn flow(&self) -> &Flow {
+        &self.flow
+    }
+
+    /// Compile-time statistics of the block.
+    pub fn stats(&self) -> &FlowStats {
+        &self.flow.stats
+    }
+
+    /// Clock cycles one pass costs under `mode`.
+    pub fn pass_cycles(&self, mode: ServingMode) -> u64 {
+        match mode {
+            ServingMode::Throughput => self.flow.stats.steady_clock_cycles,
+            ServingMode::Latency => self.flow.stats.clock_cycles,
+        }
+    }
+
+    /// Pass count per input image under `mode` at lane width `lanes`.
+    pub fn passes_per_image(&self, mode: ServingMode, lanes: usize) -> f64 {
+        match mode {
+            ServingMode::Throughput => replicated_passes(self.blocks, self.sites, lanes),
+            // One sample in flight: no lane amortization.
+            ServingMode::Latency => replicated_passes(self.blocks, self.sites, 1),
+        }
+    }
+
+    /// Clock cycles per input image under `mode`.
+    pub fn cycles_per_image(&self, mode: ServingMode, lanes: usize) -> f64 {
+        self.pass_cycles(mode) as f64 * self.passes_per_image(mode, lanes)
+    }
+}
+
+/// The result of one whole-model inference pass.
+#[derive(Debug, Clone)]
+pub struct ModelInference {
+    /// Every layer's output lanes, in layer order.
+    pub layer_outputs: Vec<Vec<Lanes>>,
+    /// Total LPE operations across layers.
+    pub lpe_ops: usize,
+    /// Total clock cycles across layers (sequential block execution).
+    pub clock_cycles: u64,
+}
+
+impl ModelInference {
+    /// The final layer's output lanes.
+    pub fn outputs(&self) -> &[Lanes] {
+        self.layer_outputs.last().map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Adapts one layer's output lanes to the next layer's input arity by
+/// cycling — the simulation analogue of streaming a feature map into the
+/// next block's sampled fan-in (§IV). Used by [`CompiledModel::infer`]
+/// between layers; exposed so per-layer callers can reproduce the chain
+/// exactly.
+pub fn chain_inputs(prev_outputs: &[Lanes], want: usize) -> Vec<Lanes> {
+    assert!(
+        !prev_outputs.is_empty(),
+        "cannot chain from a layer with no outputs"
+    );
+    (0..want)
+        .map(|i| prev_outputs[i % prev_outputs.len()].clone())
+        .collect()
+}
+
+/// A whole multi-block workload compiled into one serving artifact.
+///
+/// ```
+/// use lbnn_core::model::{CompiledModel, LayerSpec};
+/// use lbnn_core::{FlowOptions, LpuConfig};
+/// use lbnn_netlist::random::RandomDag;
+/// use lbnn_netlist::Lanes;
+///
+/// let specs = vec![
+///     LayerSpec::block("L1", RandomDag::strict(8, 4, 6).outputs(4).generate(1)),
+///     LayerSpec::block("L2", RandomDag::strict(4, 3, 4).outputs(2).generate(2)),
+/// ];
+/// let mut model =
+///     CompiledModel::compile("demo", specs, &LpuConfig::new(4, 4), &FlowOptions::default())?;
+/// let batch: Vec<Lanes> = (0..8).map(|i| Lanes::from_bools(&[i % 3 == 0])).collect();
+/// let result = model.infer(&batch)?;
+/// assert_eq!(result.outputs().len(), 2);
+/// assert!(model.throughput().fps > 0.0);
+/// # Ok::<(), lbnn_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    name: String,
+    config: LpuConfig,
+    layers: Vec<CompiledLayer>,
+}
+
+impl CompiledModel {
+    /// Compiles every layer of `specs` for the given machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for an empty spec list, and
+    /// propagates any layer's compilation error.
+    pub fn compile(
+        name: impl Into<String>,
+        specs: Vec<LayerSpec>,
+        config: &LpuConfig,
+        options: &FlowOptions,
+    ) -> Result<Self, CoreError> {
+        if specs.is_empty() {
+            return Err(CoreError::BadConfig {
+                reason: "a model needs at least one layer".to_string(),
+            });
+        }
+        let layers = specs
+            .into_iter()
+            .map(|spec| {
+                let LayerSpec {
+                    name,
+                    netlist,
+                    blocks,
+                    sites,
+                } = spec;
+                let flow = Flow::builder(&netlist)
+                    .config(*config)
+                    .options(*options)
+                    .compile()?;
+                Ok(CompiledLayer {
+                    name,
+                    blocks,
+                    sites,
+                    flow,
+                    engine: None,
+                })
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(CompiledModel {
+            name: name.into(),
+            config: *config,
+            layers,
+        })
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The machine configuration every layer was compiled for.
+    pub fn config(&self) -> &LpuConfig {
+        &self.config
+    }
+
+    /// The compiled layers, in execution order.
+    pub fn layers(&self) -> &[CompiledLayer] {
+        &self.layers
+    }
+
+    /// Runs one whole-model pass: the first layer sees `inputs`, each
+    /// subsequent layer sees the previous outputs adapted via
+    /// [`chain_inputs`]. Results are bit-identical to running each
+    /// layer's [`Flow::simulate`] by hand over the same chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer execution error.
+    pub fn infer(&mut self, inputs: &[Lanes]) -> Result<ModelInference, CoreError> {
+        let mut layer_outputs: Vec<Vec<Lanes>> = Vec::with_capacity(self.layers.len());
+        let mut lpe_ops = 0usize;
+        let mut clock_cycles = 0u64;
+        for layer in self.layers.iter_mut() {
+            let want = layer.flow.program.num_inputs;
+            if layer.engine.is_none() {
+                layer.engine = Some(Engine::from_flow(&layer.flow)?);
+            }
+            let engine = layer.engine.as_mut().expect("just initialized");
+            // The caller must match the first layer exactly (a mismatch
+            // surfaces as InputArity below); between layers, adapt. Lane
+            // vectors are borrowed from the previous layer's outputs — no
+            // copies on the exact-arity fast path.
+            let RunResult {
+                outputs,
+                clock_cycles: cycles,
+                lpe_ops: ops,
+                ..
+            } = match layer_outputs.last() {
+                None => engine.run_batch(inputs)?,
+                Some(prev) if prev.len() == want => engine.run_batch(prev)?,
+                Some(prev) => engine.run_batch(&chain_inputs(prev, want))?,
+            };
+            lpe_ops += ops;
+            clock_cycles += cycles;
+            layer_outputs.push(outputs);
+        }
+        Ok(ModelInference {
+            layer_outputs,
+            lpe_ops,
+            clock_cycles,
+        })
+    }
+
+    /// Total clock cycles per input image under `mode` (fractional: lane
+    /// batching amortizes passes across images in throughput mode).
+    pub fn cycles_per_image(&self, mode: ServingMode) -> f64 {
+        let lanes = self.config.operand_bits();
+        self.layers
+            .iter()
+            .map(|l| l.cycles_per_image(mode, lanes))
+            .sum()
+    }
+
+    /// Frames per second under `mode` at the configured clock.
+    pub fn fps(&self, mode: ServingMode) -> f64 {
+        self.config.freq_mhz * 1e6 / self.cycles_per_image(mode)
+    }
+
+    /// Aggregate steady-state throughput report: cycles for one full
+    /// `2m`-sample operand batch through every layer.
+    pub fn throughput(&self) -> ThroughputReport {
+        let batch = self.config.operand_bits();
+        let batch_cycles = self.cycles_per_image(ServingMode::Throughput) * batch as f64;
+        block_throughput(
+            (batch_cycles.ceil() as u64).max(1),
+            batch,
+            self.config.freq_mhz,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_netlist::random::RandomDag;
+
+    fn two_layer_model() -> CompiledModel {
+        let specs = vec![
+            LayerSpec {
+                name: "L1".to_string(),
+                netlist: RandomDag::strict(10, 4, 8).outputs(6).generate(4),
+                blocks: 3,
+                sites: 16,
+            },
+            LayerSpec {
+                name: "L2".to_string(),
+                netlist: RandomDag::strict(6, 3, 4).outputs(3).generate(5),
+                blocks: 2,
+                sites: 4,
+            },
+        ];
+        CompiledModel::compile("m", specs, &LpuConfig::new(6, 4), &FlowOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn infer_chains_layers_bit_exactly() {
+        let mut model = two_layer_model();
+        let inputs: Vec<Lanes> = (0..10usize)
+            .map(|i| {
+                let bits: Vec<bool> = (0..48).map(|l| (i * 7 + l) % 3 == 0).collect();
+                Lanes::from_bools(&bits)
+            })
+            .collect();
+        let result = model.infer(&inputs).unwrap();
+        assert_eq!(result.layer_outputs.len(), 2);
+        assert_eq!(result.outputs().len(), 3);
+
+        // Reproduce by hand with fresh per-layer simulation.
+        let l1 = model.layers()[0].flow().simulate(&inputs).unwrap();
+        assert_eq!(result.layer_outputs[0], l1.outputs);
+        let chained = chain_inputs(&l1.outputs, 6);
+        let l2 = model.layers()[1].flow().simulate(&chained).unwrap();
+        assert_eq!(result.layer_outputs[1], l2.outputs);
+        assert!(result.lpe_ops > 0);
+        assert_eq!(result.clock_cycles, l1.clock_cycles + l2.clock_cycles);
+    }
+
+    #[test]
+    fn accounting_modes_are_consistent() {
+        let model = two_layer_model();
+        let thr = model.cycles_per_image(ServingMode::Throughput);
+        let lat = model.cycles_per_image(ServingMode::Latency);
+        assert!(thr > 0.0);
+        // Single-stream pays full latency and no lane amortization.
+        assert!(lat > thr);
+        assert!(model.fps(ServingMode::Throughput) > model.fps(ServingMode::Latency));
+        let report = model.throughput();
+        assert_eq!(report.batch, model.config().operand_bits());
+        let expect_fps = model.fps(ServingMode::Throughput);
+        assert!((report.fps - expect_fps).abs() / expect_fps < 1e-3);
+    }
+
+    #[test]
+    fn chain_inputs_cycles() {
+        let a = Lanes::from_bools(&[true, false]);
+        let b = Lanes::from_bools(&[false, true]);
+        let chained = chain_inputs(&[a.clone(), b.clone()], 5);
+        assert_eq!(chained, vec![a.clone(), b.clone(), a.clone(), b, a]);
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        let err = CompiledModel::compile(
+            "empty",
+            Vec::new(),
+            &LpuConfig::new(4, 4),
+            &FlowOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig { .. }));
+    }
+}

@@ -58,7 +58,11 @@ mod tests {
     fn fps_formula() {
         // 333 MHz, batch 128, 1000 cycles: 128 / (1000/333e6) ≈ 42.6 M FPS.
         let r = block_throughput(1000, 128, 333.0);
-        assert!((r.fps - 42.624e6).abs() / 42.624e6 < 1e-3, "fps = {}", r.fps);
+        assert!(
+            (r.fps - 42.624e6).abs() / 42.624e6 < 1e-3,
+            "fps = {}",
+            r.fps
+        );
         assert!((r.latency_us - 3.003).abs() < 0.01);
     }
 

@@ -47,8 +47,16 @@ impl Bdd {
             ite_cache: HashMap::new(),
         };
         // Index 0 = ZERO, 1 = ONE (self-referential leaves).
-        bdd.nodes.push(Node { var: u32::MAX, lo: BddRef::ZERO, hi: BddRef::ZERO });
-        bdd.nodes.push(Node { var: u32::MAX, lo: BddRef::ONE, hi: BddRef::ONE });
+        bdd.nodes.push(Node {
+            var: u32::MAX,
+            lo: BddRef::ZERO,
+            hi: BddRef::ZERO,
+        });
+        bdd.nodes.push(Node {
+            var: u32::MAX,
+            lo: BddRef::ONE,
+            hi: BddRef::ONE,
+        });
         bdd
     }
 
@@ -230,7 +238,13 @@ impl Bdd {
 
     /// Number of satisfying assignments over `nvars` variables.
     pub fn sat_count(&self, f: BddRef, nvars: u32) -> u64 {
-        fn rec(bdd: &Bdd, f: BddRef, from_var: u32, nvars: u32, memo: &mut HashMap<BddRef, u64>) -> u64 {
+        fn rec(
+            bdd: &Bdd,
+            f: BddRef,
+            from_var: u32,
+            nvars: u32,
+            memo: &mut HashMap<BddRef, u64>,
+        ) -> u64 {
             if f == BddRef::ZERO {
                 return 0;
             }

@@ -56,7 +56,14 @@ impl Cube {
         assert!(nvars <= 64, "minterm construction limited to 64 variables");
         let mut c = Cube::full(nvars);
         for v in 0..nvars {
-            c.set(v, if minterm >> v & 1 != 0 { Literal::Pos } else { Literal::Neg });
+            c.set(
+                v,
+                if minterm >> v & 1 != 0 {
+                    Literal::Pos
+                } else {
+                    Literal::Neg
+                },
+            );
         }
         c
     }
@@ -160,8 +167,18 @@ impl Cube {
         debug_assert_eq!(self.nvars, other.nvars);
         Cube {
             nvars: self.nvars,
-            pos: self.pos.iter().zip(&other.pos).map(|(a, b)| a & b).collect(),
-            neg: self.neg.iter().zip(&other.neg).map(|(a, b)| a & b).collect(),
+            pos: self
+                .pos
+                .iter()
+                .zip(&other.pos)
+                .map(|(a, b)| a & b)
+                .collect(),
+            neg: self
+                .neg
+                .iter()
+                .zip(&other.neg)
+                .map(|(a, b)| a & b)
+                .collect(),
         }
     }
 
@@ -169,10 +186,7 @@ impl Cube {
     /// is a minterm of `self`).
     pub fn contains(&self, other: &Cube) -> bool {
         debug_assert_eq!(self.nvars, other.nvars);
-        self.pos
-            .iter()
-            .zip(&other.pos)
-            .all(|(s, o)| s & o == *o)
+        self.pos.iter().zip(&other.pos).all(|(s, o)| s & o == *o)
             && self.neg.iter().zip(&other.neg).all(|(s, o)| s & o == *o)
     }
 
@@ -181,8 +195,18 @@ impl Cube {
         debug_assert_eq!(self.nvars, other.nvars);
         Cube {
             nvars: self.nvars,
-            pos: self.pos.iter().zip(&other.pos).map(|(a, b)| a | b).collect(),
-            neg: self.neg.iter().zip(&other.neg).map(|(a, b)| a | b).collect(),
+            pos: self
+                .pos
+                .iter()
+                .zip(&other.pos)
+                .map(|(a, b)| a | b)
+                .collect(),
+            neg: self
+                .neg
+                .iter()
+                .zip(&other.neg)
+                .map(|(a, b)| a | b)
+                .collect(),
         }
     }
 
@@ -404,12 +428,14 @@ impl Cover {
                 continue;
             }
             for j in 0..self.cubes.len() {
-                if i != j && keep[j] && keep[i]
+                if i != j
+                    && keep[j]
+                    && keep[i]
                     && self.cubes[j].contains(&self.cubes[i])
-                        && (!self.cubes[i].contains(&self.cubes[j]) || i > j)
-                    {
-                        keep[i] = false;
-                    }
+                    && (!self.cubes[i].contains(&self.cubes[j]) || i > j)
+                {
+                    keep[i] = false;
+                }
             }
         }
         let mut idx = 0;
@@ -527,10 +553,10 @@ mod tests {
         let mut f = Cover::from_cubes(
             3,
             vec![
-                Cube::from_literals(3, &[(0, true)]),                       // a
-                Cube::from_literals(3, &[(0, true), (1, true)]),            // ab ⊆ a
-                Cube::from_literals(3, &[(1, false), (2, true)]),           // b'c
-                Cube::from_literals(3, &[(0, true), (1, false), (2, true)]) // ab'c ⊆ both
+                Cube::from_literals(3, &[(0, true)]),                        // a
+                Cube::from_literals(3, &[(0, true), (1, true)]),             // ab ⊆ a
+                Cube::from_literals(3, &[(1, false), (2, true)]),            // b'c
+                Cube::from_literals(3, &[(0, true), (1, false), (2, true)]), // ab'c ⊆ both
             ],
         );
         f.remove_contained();

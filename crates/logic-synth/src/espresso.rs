@@ -29,7 +29,10 @@ fn taut_rec(cover: &Cover, depth: usize) -> bool {
     if cover.is_empty() {
         return false;
     }
-    assert!(depth < MAX_DEPTH, "tautology recursion exceeded depth bound");
+    assert!(
+        depth < MAX_DEPTH,
+        "tautology recursion exceeded depth bound"
+    );
     match cover.most_binate_var() {
         // No variable appears at all, and no cube is full: not a tautology.
         None => false,
@@ -58,7 +61,10 @@ fn comp_rec(cover: &Cover, depth: usize) -> Cover {
     if cover.cubes().iter().any(Cube::is_full) {
         return Cover::empty(nvars);
     }
-    assert!(depth < MAX_DEPTH, "complement recursion exceeded depth bound");
+    assert!(
+        depth < MAX_DEPTH,
+        "complement recursion exceeded depth bound"
+    );
     if cover.cube_count() == 1 {
         // De Morgan: (l1 l2 … lk)' = l1' + l2' + … + lk'
         let cube = &cover.cubes()[0];
@@ -114,9 +120,9 @@ pub fn expand(cover: &mut Cover, off: &Cover) {
     // literal first is more likely to succeed.
     let mut off_freq = vec![0usize; nvars];
     for c in off.cubes() {
-        for v in 0..nvars {
+        for (v, freq) in off_freq.iter_mut().enumerate() {
             if c.literal(v) != Literal::DontCare {
-                off_freq[v] += 1;
+                *freq += 1;
             }
         }
     }

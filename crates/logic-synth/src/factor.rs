@@ -279,8 +279,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         for _ in 0..20 {
             let nvars = rng.random_range(2..6);
-            let minterms: Vec<u64> =
-                (0..1u64 << nvars).filter(|_| rng.random_bool(0.4)).collect();
+            let minterms: Vec<u64> = (0..1u64 << nvars)
+                .filter(|_| rng.random_bool(0.4))
+                .collect();
             let cover = Cover::from_minterms(nvars, &minterms);
             check_equiv(&cover, nvars);
         }
@@ -302,11 +303,7 @@ mod tests {
         // Two outputs both using x0': only one NOT gate emitted.
         let f1 = Cover::from_cubes(2, vec![Cube::from_literals(2, &[(0, false), (1, true)])]);
         let f2 = Cover::from_cubes(2, vec![Cube::from_literals(2, &[(0, false), (1, false)])]);
-        let nl = covers_to_netlist(
-            &[("a".to_string(), f1), ("b".to_string(), f2)],
-            2,
-            "two",
-        );
+        let nl = covers_to_netlist(&[("a".to_string(), f1), ("b".to_string(), f2)], 2, "two");
         let nots = nl
             .iter()
             .filter(|(_, n)| n.op() == lbnn_netlist::Op::Not)

@@ -46,11 +46,7 @@ pub fn strash(netlist: &Netlist) -> (Netlist, StrashStats) {
     let mut const_nodes: [Option<NodeId>; 2] = [None, None];
 
     // Helper closures operate on `scratch`.
-    fn get_const(
-        scratch: &mut Netlist,
-        const_nodes: &mut [Option<NodeId>; 2],
-        v: bool,
-    ) -> NodeId {
+    fn get_const(scratch: &mut Netlist, const_nodes: &mut [Option<NodeId>; 2], v: bool) -> NodeId {
         let idx = usize::from(v);
         if let Some(n) = const_nodes[idx] {
             n
@@ -128,10 +124,14 @@ pub fn strash(netlist: &Netlist) -> (Netlist, StrashStats) {
                             (Op::Or, true) | (Op::Nand, false) => {
                                 Some(get_const(&mut scratch, &mut const_nodes, true))
                             }
-                            (Op::And, true) | (Op::Or, false) | (Op::Xor, false)
+                            (Op::And, true)
+                            | (Op::Or, false)
+                            | (Op::Xor, false)
                             | (Op::Xnor, true) => Some(x),
                             // These reduce to NOT(x): emit via the Not path.
-                            (Op::Nand, true) | (Op::Nor, false) | (Op::Xor, true)
+                            (Op::Nand, true)
+                            | (Op::Nor, false)
+                            | (Op::Xor, true)
                             | (Op::Xnor, false) => {
                                 let n = if scratch.node(x).op() == Op::Not {
                                     scratch.node(x).fanins()[0]
@@ -164,9 +164,7 @@ pub fn strash(netlist: &Netlist) -> (Netlist, StrashStats) {
                         }
                         _ => unreachable!("all gate2 ops covered"),
                     }),
-                    (None, None)
-                        if is_not_of(&scratch, a, b) || is_not_of(&scratch, b, a) =>
-                    {
+                    (None, None) if is_not_of(&scratch, a, b) || is_not_of(&scratch, b, a) => {
                         Some(match op {
                             Op::And | Op::Nor | Op::Xnor => {
                                 get_const(&mut scratch, &mut const_nodes, false)

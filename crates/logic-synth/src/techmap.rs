@@ -41,9 +41,8 @@ pub fn absorb_inverters(netlist: &Netlist) -> (Netlist, AbsorbStats) {
             Op::Not => {
                 let src = node.fanins()[0];
                 let src_node = netlist.node(src);
-                let fusable = src_node.op().is_gate2()
-                    && fanout[src.index()] == 1
-                    && !po_driver[src.index()];
+                let fusable =
+                    src_node.op().is_gate2() && fanout[src.index()] == 1 && !po_driver[src.index()];
                 if fusable {
                     let neg = src_node.op().negated().expect("gate2 ops have negations");
                     let a = remap[src_node.fanins()[0].index()];
@@ -55,8 +54,7 @@ pub fn absorb_inverters(netlist: &Netlist) -> (Netlist, AbsorbStats) {
                 }
             }
             op => {
-                let fanins: Vec<NodeId> =
-                    node.fanins().iter().map(|f| remap[f.index()]).collect();
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| remap[f.index()]).collect();
                 out.add_node(op, &fanins).expect("topo order preserved")
             }
         };

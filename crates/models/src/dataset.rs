@@ -65,13 +65,7 @@ impl Dataset {
 /// Prototype-plus-noise generator: `classes` random prototypes over `dim`
 /// bits; each sample copies its class prototype and flips each bit with
 /// probability `noise`.
-pub fn prototype_dataset(
-    seed: u64,
-    n: usize,
-    dim: usize,
-    classes: usize,
-    noise: f64,
-) -> Dataset {
+pub fn prototype_dataset(seed: u64, n: usize, dim: usize, classes: usize, noise: f64) -> Dataset {
     assert!(classes >= 2, "need at least two classes");
     let mut rng = StdRng::seed_from_u64(seed);
     let prototypes: Vec<Vec<bool>> = (0..classes)

@@ -20,5 +20,5 @@ pub mod workload;
 pub mod zoo;
 
 pub use dataset::Dataset;
-pub use workload::{model_workloads, LayerWorkload, WorkloadOptions};
+pub use workload::{model_specs, model_workloads, LayerWorkload, WorkloadOptions};
 pub use zoo::{LayerShape, ModelShape};

@@ -18,6 +18,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use lbnn_core::model::LayerSpec;
 use lbnn_netlist::Netlist;
 use lbnn_nullanet::bnn::BinaryDense;
 use lbnn_nullanet::extract::{layer_netlist, ExtractMode};
@@ -84,6 +85,37 @@ impl LayerWorkload {
     pub fn cycles_per_image(&self, block_pass_cycles: u64, lanes: usize) -> f64 {
         block_pass_cycles as f64 * self.passes_per_image(lanes)
     }
+
+    /// Converts to the serving layer's spec (the shape
+    /// [`lbnn_core::model::CompiledModel::compile`] consumes).
+    pub fn to_spec(&self) -> LayerSpec {
+        LayerSpec {
+            name: self.name.clone(),
+            netlist: self.netlist.clone(),
+            blocks: self.blocks,
+            sites: self.sites,
+        }
+    }
+}
+
+impl From<&LayerWorkload> for LayerSpec {
+    fn from(w: &LayerWorkload) -> Self {
+        w.to_spec()
+    }
+}
+
+/// Builds the [`LayerSpec`]s of every layer of a model — the direct feed
+/// into [`lbnn_core::model::CompiledModel::compile`].
+pub fn model_specs(model: &ModelShape, opts: &WorkloadOptions) -> Vec<LayerSpec> {
+    model_workloads(model, opts)
+        .into_iter()
+        .map(|w| LayerSpec {
+            name: w.name,
+            netlist: w.netlist,
+            blocks: w.blocks,
+            sites: w.sites,
+        })
+        .collect()
 }
 
 /// Builds the workload of one layer.
@@ -172,6 +204,26 @@ mod tests {
         let passes = w.passes_per_image(128);
         assert!((passes - 576.0 / 128.0).abs() < 1e-9);
         assert!((w.cycles_per_image(100, 128) - passes * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn specs_mirror_workloads() {
+        let model = zoo::jsc_m();
+        let opts = WorkloadOptions::default();
+        let workloads = model_workloads(&model, &opts);
+        let specs = model_specs(&model, &opts);
+        assert_eq!(workloads.len(), specs.len());
+        for (w, s) in workloads.iter().zip(&specs) {
+            assert_eq!(w.name, s.name);
+            assert_eq!(w.netlist, s.netlist);
+            assert_eq!(w.blocks, s.blocks);
+            assert_eq!(w.sites, s.sites);
+            assert_eq!(
+                w.passes_per_image(128),
+                s.passes_per_image(128),
+                "pass arithmetic must agree between workload and spec"
+            );
+        }
     }
 
     #[test]

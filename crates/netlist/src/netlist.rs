@@ -366,7 +366,8 @@ impl Netlist {
                 out.add_input(self.node_name(id).unwrap_or("in").to_string())
             } else {
                 let f: Vec<NodeId> = node.fanins().iter().map(|f| remap[f.index()]).collect();
-                out.add_node(node.op, &f).expect("cone preserves topo order")
+                out.add_node(node.op, &f)
+                    .expect("cone preserves topo order")
             };
             if node.op != Op::Input {
                 if let Some(n) = self.node_name(id) {
@@ -507,10 +508,7 @@ mod tests {
             let s = bits & 1 != 0;
             let a = bits & 2 != 0;
             let b = bits & 4 != 0;
-            assert_eq!(
-                cone.eval_bools(&[s, a, b])[0],
-                nl.eval_bools(&[s, a, b])[0]
-            );
+            assert_eq!(cone.eval_bools(&[s, a, b])[0], nl.eval_bools(&[s, a, b])[0]);
         }
 
         // The z-cone drops the unused select input.

@@ -100,7 +100,9 @@ impl RandomDag {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut nl = Netlist::new(format!("rand_{seed}"));
 
-        let mut prev: Vec<NodeId> = (0..self.inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let mut prev: Vec<NodeId> = (0..self.inputs)
+            .map(|i| nl.add_input(format!("x{i}")))
+            .collect();
         let mut all: Vec<NodeId> = prev.clone();
 
         let mut last = Vec::new();

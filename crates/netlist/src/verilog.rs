@@ -470,13 +470,13 @@ impl<'a> Parser<'a> {
                     let line = self.line;
                     self.expect(&Tok::Semi, "`;` after assign")?;
                     // Alias the rhs through a buffer to keep one driver per signal.
-                    self.b.set_drive(lhs, Drive::Gate(Op::Buf, vec![rhs]), line)?;
+                    self.b
+                        .set_drive(lhs, Drive::Gate(Op::Buf, vec![rhs]), line)?;
                 }
-                prim
-                    if matches!(
-                        prim,
-                        "and" | "or" | "xor" | "xnor" | "nand" | "nor" | "not" | "buf"
-                    ) =>
+                prim if matches!(
+                    prim,
+                    "and" | "or" | "xor" | "xnor" | "nand" | "nor" | "not" | "buf"
+                ) =>
                 {
                     let op: Op = prim.parse()?;
                     self.advance()?;
@@ -550,17 +550,14 @@ impl<'a> Parser<'a> {
                 let mut acc = ins[0];
                 for (i, &next) in ins[1..].iter().enumerate() {
                     let last = i == ins.len() - 2;
-                    let target = if last && !negate {
-                        out
-                    } else {
-                        self.b.fresh()
-                    };
+                    let target = if last && !negate { out } else { self.b.fresh() };
                     self.b
                         .set_drive(target, Drive::Gate(base, vec![acc, next]), line)?;
                     acc = target;
                 }
                 if negate {
-                    self.b.set_drive(out, Drive::Gate(Op::Not, vec![acc]), line)?;
+                    self.b
+                        .set_drive(out, Drive::Gate(Op::Not, vec![acc]), line)?;
                 }
                 Ok(())
             }
@@ -601,7 +598,8 @@ impl<'a> Parser<'a> {
                 let inner = self.unary()?;
                 let t = self.b.fresh();
                 let line = self.line;
-                self.b.set_drive(t, Drive::Gate(Op::Not, vec![inner]), line)?;
+                self.b
+                    .set_drive(t, Drive::Gate(Op::Not, vec![inner]), line)?;
                 Ok(t)
             }
             Tok::LParen => {
@@ -651,19 +649,21 @@ impl<'a> Parser<'a> {
                 if node_of[sig].is_some() || mark[sig] == Mark::Black {
                     continue;
                 }
-                let drive = b.drive[sig].as_ref().ok_or_else(|| {
-                    NetlistError::UndefinedSignal {
+                let drive = b.drive[sig]
+                    .as_ref()
+                    .ok_or_else(|| NetlistError::UndefinedSignal {
                         name: b.names[sig].clone(),
-                    }
-                })?;
+                    })?;
                 if expanded {
                     mark[sig] = Mark::Black;
                     let node = match drive {
                         Drive::Input => unreachable!("inputs were pre-assigned"),
                         Drive::Const(v) => nl.add_const(*v),
                         Drive::Gate(op, ins) => {
-                            let f: Vec<NodeId> =
-                                ins.iter().map(|&i| node_of[i].expect("dfs order")).collect();
+                            let f: Vec<NodeId> = ins
+                                .iter()
+                                .map(|&i| node_of[i].expect("dfs order"))
+                                .collect();
                             nl.add_node(*op, &f).expect("arity checked at parse time")
                         }
                     };
@@ -736,7 +736,13 @@ pub fn write_verilog(netlist: &Netlist) -> String {
     let mut sanitize = |raw: &str| -> String {
         let mut s: String = raw
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         if s.is_empty() || s.chars().next().unwrap().is_ascii_digit() {
             s.insert(0, '_');
@@ -910,14 +916,20 @@ mod tests {
     fn multiple_drivers_rejected() {
         let src = "module m (a, b, y); input a, b; output y;\
                    and (y, a, b); or (y, a, b); endmodule";
-        assert!(matches!(parse_verilog(src), Err(NetlistError::Syntax { .. })));
+        assert!(matches!(
+            parse_verilog(src),
+            Err(NetlistError::Syntax { .. })
+        ));
     }
 
     #[test]
     fn combinational_cycle_rejected() {
         let src = "module m (a, y); input a; output y; wire w;\
                    and (w, a, y); buf (y, w); endmodule";
-        assert!(matches!(parse_verilog(src), Err(NetlistError::Cyclic { .. })));
+        assert!(matches!(
+            parse_verilog(src),
+            Err(NetlistError::Cyclic { .. })
+        ));
     }
 
     #[test]
@@ -949,7 +961,10 @@ mod tests {
         let src = "module m (x, y); input [1:0] x; output y; and (y, x[0], x[1]); endmodule";
         let nl = parse_verilog(src).unwrap();
         let text = write_verilog(&nl);
-        assert!(text.contains("x_1_"), "vector bits become plain identifiers");
+        assert!(
+            text.contains("x_1_"),
+            "vector bits become plain identifiers"
+        );
         let nl2 = parse_verilog(&text).unwrap();
         for bits in 0u8..4 {
             let ins: Vec<bool> = (0..2).map(|i| bits & (1 << i) != 0).collect();

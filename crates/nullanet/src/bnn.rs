@@ -44,7 +44,9 @@ impl BinaryDense {
     /// (`⌈k/2⌉`), deterministic in the seed.
     pub fn random(seed: u64, in_dim: usize, out_dim: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let weights = (0..in_dim * out_dim).map(|_| rng.random_bool(0.5)).collect();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| rng.random_bool(0.5))
+            .collect();
         let thresholds = vec![in_dim.div_ceil(2) as i32; out_dim];
         BinaryDense::new(in_dim, out_dim, weights, thresholds)
     }

@@ -135,7 +135,10 @@ impl BinaryConv2d {
     /// Panics if the input is smaller than the kernel.
     pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
         assert!(h >= self.k && w >= self.k, "input smaller than kernel");
-        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+        (
+            (h - self.k) / self.stride + 1,
+            (w - self.k) / self.stride + 1,
+        )
     }
 
     /// Extracts the im2col patch at output position `(row, col)`.
@@ -180,7 +183,10 @@ impl BinaryConv2d {
 ///
 /// Panics on odd dimensions.
 pub fn maxpool2(input: &FeatureMap) -> FeatureMap {
-    assert!(input.h.is_multiple_of(2) && input.w.is_multiple_of(2), "pooling needs even dims");
+    assert!(
+        input.h.is_multiple_of(2) && input.w.is_multiple_of(2),
+        "pooling needs even dims"
+    );
     let mut out = FeatureMap::zeros(input.c, input.h / 2, input.w / 2);
     for ch in 0..input.c {
         for r in 0..input.h / 2 {
@@ -220,8 +226,8 @@ mod tests {
             for col in 0..ow {
                 let patch = conv.patch(&input, row, col);
                 let bits = conv.as_dense().forward(&patch);
-                for ch in 0..4 {
-                    assert_eq!(out.get(ch, row, col), bits[ch]);
+                for (ch, &bit) in bits.iter().enumerate() {
+                    assert_eq!(out.get(ch, row, col), bit);
                 }
             }
         }
@@ -247,8 +253,8 @@ mod tests {
             for col in 0..ow {
                 let patch = conv.patch(&input, row, col);
                 let bits = nl.eval_bools(&patch);
-                for ch in 0..3 {
-                    assert_eq!(out.get(ch, row, col), bits[ch], "({row},{col}) ch{ch}");
+                for (ch, &bit) in bits.iter().enumerate() {
+                    assert_eq!(out.get(ch, row, col), bit, "({row},{col}) ch{ch}");
                 }
             }
         }

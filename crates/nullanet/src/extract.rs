@@ -179,8 +179,9 @@ pub fn layer_netlist(
         _ => {
             let mut outputs = Vec::with_capacity(layer.out_dim());
             for j in 0..layer.out_dim() {
-                let cover = neuron_cover(layer.weights_of(j), layer.threshold_of(j), mode, samples)?
-                    .expect("non-popcount modes yield covers");
+                let cover =
+                    neuron_cover(layer.weights_of(j), layer.threshold_of(j), mode, samples)?
+                        .expect("non-popcount modes yield covers");
                 outputs.push((format!("y{j}"), cover));
             }
             Ok(covers_to_netlist(&outputs, layer.in_dim(), "layer"))

@@ -172,11 +172,7 @@ mod tests {
             for m in 0..(1u64 << k) {
                 let x: Vec<bool> = (0..k).map(|i| m >> i & 1 != 0).collect();
                 let out = nl.eval_bools(&x);
-                let got: u64 = out
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &b)| (b as u64) << i)
-                    .sum();
+                let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
                 assert_eq!(got, m.count_ones() as u64, "k={k} m={m:#b}");
             }
         }

@@ -98,7 +98,11 @@ impl SteMlp {
             if l + 1 == self.dims.len() - 1 {
                 logits = pre.clone();
             }
-            acts.push(pre.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect());
+            acts.push(
+                pre.iter()
+                    .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+                    .collect(),
+            );
         }
         (acts, logits)
     }
@@ -158,8 +162,8 @@ impl SteMlp {
                     let fan_out = self.dims[l + 1];
                     let input = &acts[l];
                     let mut grad_in = vec![0.0f32; fan_in];
-                    for j in 0..fan_out {
-                        let d = delta[j];
+                    debug_assert_eq!(delta.len(), fan_out);
+                    for (j, &d) in delta.iter().enumerate() {
                         if d == 0.0 {
                             continue;
                         }
@@ -254,7 +258,10 @@ mod tests {
         let (xs, ys) = majority_data(5, 100, 10);
         let mut a = SteMlp::new(&[10, 6, 2], 7);
         let mut b = SteMlp::new(&[10, 6, 2], 7);
-        let cfg = TrainConfig { epochs: 5, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
         let acc_a = a.train(&xs, &ys, &cfg);
         let acc_b = b.train(&xs, &ys, &cfg);
         assert_eq!(acc_a, acc_b);

@@ -47,7 +47,10 @@ impl BenesConfig {
 ///
 /// Panics if `n` is not a power of two or `n < 2`.
 pub fn depth(n: usize) -> usize {
-    assert!(n.is_power_of_two() && n >= 2, "size must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "size must be a power of two >= 2"
+    );
     2 * n.trailing_zeros() as usize - 1
 }
 
@@ -61,7 +64,10 @@ pub fn depth(n: usize) -> usize {
 /// Panics if `perm` is not a permutation of `0..n` with `n` a power of two.
 pub fn route_permutation(perm: &[usize]) -> BenesConfig {
     let n = perm.len();
-    assert!(n.is_power_of_two() && n >= 2, "size must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "size must be a power of two >= 2"
+    );
     {
         let mut seen = vec![false; n];
         for &d in perm {
@@ -75,7 +81,9 @@ pub fn route_permutation(perm: &[usize]) -> BenesConfig {
 fn route_rec(perm: &[usize]) -> BenesConfig {
     let n = perm.len();
     if n == 2 {
-        return BenesConfig::Leaf { cross: perm[0] == 1 };
+        return BenesConfig::Leaf {
+            cross: perm[0] == 1,
+        };
     }
     let half = n / 2;
     // inv[j] = i  such that perm[i] = j
@@ -138,12 +146,10 @@ fn route_rec(perm: &[usize]) -> BenesConfig {
             }
         }
     }
-    for sw in 0..half {
-        let a = 2 * sw;
+    for (sw, col) in output_col.iter_mut().enumerate() {
         // Crossed output switch: the upper-subnetwork value exits on the
         // odd port.
-        let a_lower = out_subnet[a].expect("all outputs assigned");
-        output_col[sw] = a_lower;
+        *col = out_subnet[2 * sw].expect("all outputs assigned");
     }
     debug_assert!(upper_perm.iter().all(|&d| d != usize::MAX));
     debug_assert!(lower_perm.iter().all(|&d| d != usize::MAX));
@@ -171,7 +177,12 @@ pub fn apply<T: Clone>(config: &BenesConfig, values: &[T]) -> Vec<T> {
                 values.to_vec()
             }
         }
-        BenesConfig::Node { input, output, upper, lower } => {
+        BenesConfig::Node {
+            input,
+            output,
+            upper,
+            lower,
+        } => {
             let n = values.len();
             let half = n / 2;
             assert_eq!(input.len(), half, "width mismatch");
@@ -213,7 +224,10 @@ mod tests {
         let values: Vec<usize> = (0..perm.len()).collect();
         let out = apply(&cfg, &values);
         for (i, &d) in perm.iter().enumerate() {
-            assert_eq!(out[d], i, "input {i} must land on output {d} (perm {perm:?})");
+            assert_eq!(
+                out[d], i,
+                "input {i} must land on output {d} (perm {perm:?})"
+            );
         }
         assert_eq!(cfg.depth(), depth(perm.len()));
     }

@@ -66,7 +66,10 @@ impl CopyConfig {
 ///
 /// Panics if `width` is not a power of two or any fanout is zero.
 pub fn route_copies(width: usize, fanouts: &[usize]) -> Result<CopyConfig, RouteError> {
-    assert!(width.is_power_of_two() && width >= 2, "width must be a power of two >= 2");
+    assert!(
+        width.is_power_of_two() && width >= 2,
+        "width must be a power of two >= 2"
+    );
     assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
     let total: usize = fanouts.iter().sum();
     if total > width {
@@ -86,7 +89,7 @@ pub fn route_copies(width: usize, fanouts: &[usize]) -> Result<CopyConfig, Route
         start += f;
     }
 
-    for s in 0..k {
+    for (s, stage) in stages.iter_mut().enumerate() {
         let b = k - 1 - s; // bit examined at this stage (MSB first)
         let bit = 1usize << b;
         let elem_of = |r: usize| -> usize {
@@ -95,7 +98,6 @@ pub fn route_copies(width: usize, fanouts: &[usize]) -> Result<CopyConfig, Route
             high | low
         };
         let mut next_cells: Vec<(usize, usize, usize)> = Vec::with_capacity(cells.len() * 2);
-        let stage = &mut stages[s];
         let mut claim = vec![[false; 2]; width / 2];
 
         for &(row, lo, hi) in &cells {
@@ -184,8 +186,8 @@ mod tests {
         let cfg = route_copies(width, fanouts)
             .unwrap_or_else(|e| panic!("copy routing failed: {e} (fanouts {fanouts:?})"));
         let mut values: Vec<Option<usize>> = vec![None; width];
-        for i in 0..fanouts.len() {
-            values[i] = Some(i);
+        for (i, v) in values.iter_mut().take(fanouts.len()).enumerate() {
+            *v = Some(i);
         }
         let out = apply(&cfg, &values);
         let mut expect_row = 0;
@@ -199,8 +201,8 @@ mod tests {
                 expect_row += 1;
             }
         }
-        for row in expect_row..width {
-            assert_eq!(out[row], None, "rows past total fanout stay empty");
+        for got in out.iter().skip(expect_row) {
+            assert_eq!(*got, None, "rows past total fanout stay empty");
         }
     }
 
@@ -260,7 +262,10 @@ mod tests {
     fn overflow_reports_error() {
         assert!(matches!(
             route_copies(8, &[5, 5]),
-            Err(RouteError::TooManyDestinations { requested: 10, available: 8 })
+            Err(RouteError::TooManyDestinations {
+                requested: 10,
+                available: 8
+            })
         ));
     }
 }

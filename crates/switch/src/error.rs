@@ -34,11 +34,20 @@ pub enum RouteError {
 impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RouteError::SourceOutOfRange { source, num_sources } => {
+            RouteError::SourceOutOfRange {
+                source,
+                num_sources,
+            } => {
                 write!(f, "source {source} out of range ({num_sources} sources)")
             }
-            RouteError::TooManyDestinations { requested, available } => {
-                write!(f, "{requested} destinations requested, {available} available")
+            RouteError::TooManyDestinations {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "{requested} destinations requested, {available} available"
+                )
             }
             RouteError::StageConflict { stage, row } => {
                 write!(f, "internal routing conflict at stage {stage}, row {row}")
@@ -56,8 +65,14 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            RouteError::SourceOutOfRange { source: 9, num_sources: 4 },
-            RouteError::TooManyDestinations { requested: 10, available: 8 },
+            RouteError::SourceOutOfRange {
+                source: 9,
+                num_sources: 4,
+            },
+            RouteError::TooManyDestinations {
+                requested: 10,
+                available: 8,
+            },
             RouteError::StageConflict { stage: 2, row: 5 },
         ];
         for e in errs {

@@ -207,18 +207,31 @@ mod tests {
             .unwrap_or_else(|e| panic!("route failed: {e} ({assignment:?})"));
         let sources: Vec<usize> = (0..num_sources).collect();
         let out = net.apply(&cfg, &sources);
-        for (d, want) in assignment.iter().enumerate() {
-            assert_eq!(out[d], *want, "dest {d} of {assignment:?}");
+        for (d, (got, want)) in out.iter().zip(assignment).enumerate() {
+            assert_eq!(got, want, "dest {d} of {assignment:?}");
         }
-        for d in assignment.len()..num_dests {
-            assert_eq!(out[d], None);
+        for got in out.iter().skip(assignment.len()) {
+            assert_eq!(*got, None);
         }
     }
 
     #[test]
     fn unicast_permutations() {
         check(4, 4, &[Some(2), Some(0), Some(3), Some(1)]);
-        check(8, 8, &[Some(7), Some(6), Some(5), Some(4), Some(3), Some(2), Some(1), Some(0)]);
+        check(
+            8,
+            8,
+            &[
+                Some(7),
+                Some(6),
+                Some(5),
+                Some(4),
+                Some(3),
+                Some(2),
+                Some(1),
+                Some(0),
+            ],
+        );
     }
 
     #[test]
@@ -231,7 +244,16 @@ mod tests {
         check(
             4,
             8,
-            &[Some(0), Some(0), None, Some(3), Some(1), Some(0), None, Some(3)],
+            &[
+                Some(0),
+                Some(0),
+                None,
+                Some(3),
+                Some(1),
+                Some(0),
+                None,
+                Some(3),
+            ],
         );
     }
 

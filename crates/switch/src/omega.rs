@@ -58,7 +58,10 @@ pub fn route_monotone(
     width: usize,
     requests: &[(usize, usize)],
 ) -> Result<OmegaConfig, RouteError> {
-    assert!(width.is_power_of_two() && width >= 2, "width must be a power of two >= 2");
+    assert!(
+        width.is_power_of_two() && width >= 2,
+        "width must be a power of two >= 2"
+    );
     for w in requests.windows(2) {
         assert!(w[0].0 < w[1].0, "rows must be strictly increasing");
         assert!(w[0].1 < w[1].1, "destinations must be strictly increasing");
@@ -87,7 +90,10 @@ pub fn route_monotone(
             let want = (requests[i].1 >> s) & 1;
             let e = elem_of(*row);
             if taken[e][want] {
-                return Err(RouteError::StageConflict { stage: s, row: *row });
+                return Err(RouteError::StageConflict {
+                    stage: s,
+                    row: *row,
+                });
             }
             taken[e][want] = true;
             let in_side = (*row >> s) & 1;
@@ -100,10 +106,7 @@ pub fn route_monotone(
         // fine (they swap); a crossed element set by one packet also drags
         // the partner row, which carries no packet for monotone requests.
     }
-    debug_assert!(rows
-        .iter()
-        .zip(requests)
-        .all(|(&r, &(_, d))| r == d));
+    debug_assert!(rows.iter().zip(requests).all(|(&r, &(_, d))| r == d));
     Ok(OmegaConfig { width, stages })
 }
 
@@ -140,8 +143,11 @@ mod tests {
 
     /// Routes and simulates a concentration of the given active rows.
     fn concentrate(width: usize, active: &[usize]) {
-        let requests: Vec<(usize, usize)> =
-            active.iter().enumerate().map(|(rank, &r)| (r, rank)).collect();
+        let requests: Vec<(usize, usize)> = active
+            .iter()
+            .enumerate()
+            .map(|(rank, &r)| (r, rank))
+            .collect();
         let cfg = route_monotone(width, &requests).unwrap_or_else(|e| {
             panic!("concentration must be conflict-free: {e} (active {active:?})")
         });
@@ -159,8 +165,7 @@ mod tests {
     fn exhaustive_concentrations_width_8_and_16() {
         for width in [8usize, 16] {
             for mask in 0u32..(1 << width) {
-                let active: Vec<usize> =
-                    (0..width).filter(|&r| mask >> r & 1 != 0).collect();
+                let active: Vec<usize> = (0..width).filter(|&r| mask >> r & 1 != 0).collect();
                 concentrate(width, &active);
             }
         }

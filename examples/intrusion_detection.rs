@@ -4,15 +4,14 @@
 //! processor, and measure accuracy + throughput.
 //!
 //! ```sh
-//! cargo run --release -p lbnn-bench --example intrusion_detection
+//! cargo run --release -p lbnn --example intrusion_detection
 //! ```
 
-use lbnn_core::flow::{Flow, FlowOptions};
-use lbnn_core::lpu::LpuConfig;
-use lbnn_models::dataset::synthetic_nid;
-use lbnn_netlist::Lanes;
-use lbnn_nullanet::extract::{layer_netlist, ExtractMode};
-use lbnn_nullanet::train::{SteMlp, TrainConfig};
+use lbnn::models::dataset::synthetic_nid;
+use lbnn::netlist::Lanes;
+use lbnn::nullanet::extract::{layer_netlist, ExtractMode};
+use lbnn::nullanet::train::{SteMlp, TrainConfig};
+use lbnn::{CompiledModel, FlowOptions, LayerSpec, LpuConfig, ServingMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== network intrusion detection on the logic processor ==\n");
@@ -39,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     let bnn = mlp.to_bnn();
-    println!("BNN: train accuracy {train_acc:.3}, test accuracy {:.3}", bnn.accuracy(&test.xs, &test.ys));
+    println!(
+        "BNN: train accuracy {train_acc:.3}, test accuracy {:.3}",
+        bnn.accuracy(&test.xs, &test.ys)
+    );
 
     // NullaNet extraction: hidden layer as ISF from training data,
     // output layer as exact popcount logic.
@@ -52,33 +54,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         output.gate_count()
     );
 
-    // Compile for the paper's LPU (m = 64, n = 16).
+    // Compile the whole detector — both blocks — into one serving
+    // artifact for the paper's LPU (m = 64, n = 16).
     let config = LpuConfig::paper_default();
-    let opts = FlowOptions::default();
-    let hidden_flow = Flow::compile(&hidden, &config, &opts)?;
-    let output_flow = Flow::compile(&output, &config, &opts)?;
-    for (name, flow) in [("hidden", &hidden_flow), ("output", &output_flow)] {
+    let mut detector = CompiledModel::compile(
+        "nid",
+        vec![
+            LayerSpec::block("hidden", hidden),
+            LayerSpec::block("output", output),
+        ],
+        &config,
+        &FlowOptions::default(),
+    )?;
+    for layer in detector.layers() {
+        let stats = layer.stats();
         println!(
-            "  {name}: {} gates, depth {}, MFGs {} -> {}, latency {} clk, II {} clk",
-            flow.stats.gates,
-            flow.stats.depth,
-            flow.stats.mfgs_before_merge,
-            flow.stats.mfgs,
-            flow.stats.clock_cycles,
-            flow.stats.steady_clock_cycles
+            "  {}: {} gates, depth {}, MFGs {} -> {}, latency {} clk, II {} clk",
+            layer.name(),
+            stats.gates,
+            stats.depth,
+            stats.mfgs_before_merge,
+            stats.mfgs,
+            stats.clock_cycles,
+            stats.steady_clock_cycles
         );
     }
 
-    // Run the test set: features across lanes.
+    // Run the test set in one whole-model inference: features across
+    // lanes, the hidden block's outputs chained into the head.
     let inputs: Vec<Lanes> = (0..data.dim())
         .map(|f| Lanes::from_bools(&test.xs.iter().map(|x| x[f]).collect::<Vec<_>>()))
         .collect();
-    let hidden_out = hidden_flow.simulate(&inputs)?;
-    let logits = output_flow.simulate(&hidden_out.outputs)?;
+    let inference = detector.infer(&inputs)?;
+    let logits = inference.outputs();
 
     let mut correct = 0usize;
     for (i, &y) in test.ys.iter().enumerate() {
-        let pred = match (logits.outputs[0].get(i), logits.outputs[1].get(i)) {
+        let pred = match (logits[0].get(i), logits[1].get(i)) {
             (true, false) => 0,
             (false, true) => 1,
             (_, c1) => usize::from(c1),
@@ -94,14 +106,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         test.len()
     );
 
-    let total_ii = hidden_flow.stats.steady_clock_cycles + output_flow.stats.steady_clock_cycles;
-    let fps = config.freq_mhz * 1e6 * config.operand_bits() as f64 / total_ii as f64;
+    let report = detector.throughput();
     println!(
-        "steady-state throughput at {:.0} MHz: {:.2} M samples/s ({} lanes per pass, {} clk II)",
-        config.freq_mhz,
-        fps / 1e6,
-        config.operand_bits(),
-        total_ii
+        "steady-state throughput at {:.0} MHz: {:.2} M samples/s \
+         ({} lanes per pass, {:.0} clk per image, single-stream {:.2} K samples/s)",
+        report.freq_mhz,
+        report.fps / 1e6,
+        report.batch,
+        detector.cycles_per_image(ServingMode::Throughput),
+        detector.fps(ServingMode::Latency) / 1e3
     );
     Ok(())
 }

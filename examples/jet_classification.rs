@@ -3,17 +3,16 @@
 //! of Table III.
 //!
 //! ```sh
-//! cargo run --release -p lbnn-bench --example jet_classification
+//! cargo run --release -p lbnn --example jet_classification
 //! ```
 
-use lbnn_baselines::LogicNets;
-use lbnn_core::flow::{Flow, FlowOptions};
-use lbnn_core::lpu::LpuConfig;
-use lbnn_models::dataset::synthetic_jsc;
-use lbnn_models::zoo;
-use lbnn_netlist::Lanes;
-use lbnn_nullanet::extract::{layer_netlist, ExtractMode};
-use lbnn_nullanet::train::{SteMlp, TrainConfig};
+use lbnn::baselines::LogicNets;
+use lbnn::models::dataset::synthetic_jsc;
+use lbnn::models::zoo;
+use lbnn::netlist::Lanes;
+use lbnn::nullanet::extract::{layer_netlist, ExtractMode};
+use lbnn::nullanet::train::{SteMlp, TrainConfig};
+use lbnn::{CompiledModel, FlowOptions, LayerSpec, LpuConfig, ServingMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== jet substructure classification on the logic processor ==\n");
@@ -49,25 +48,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let head = layer_netlist(&layers[1], ExtractMode::Popcount, None)?;
 
     let config = LpuConfig::paper_default();
-    let hidden_flow = Flow::compile(&hidden, &config, &FlowOptions::default())?;
-    let head_flow = Flow::compile(&head, &config, &FlowOptions::default())?;
+    let mut classifier = CompiledModel::compile(
+        "jsc",
+        vec![
+            LayerSpec::block("hidden", hidden),
+            LayerSpec::block("head", head),
+        ],
+        &config,
+        &FlowOptions::default(),
+    )?;
+    let (hs, ts) = (
+        classifier.layers()[0].stats(),
+        classifier.layers()[1].stats(),
+    );
     println!(
         "FFCL blocks: hidden {} gates (MFGs {} -> {}), head {} gates (MFGs {} -> {})",
-        hidden_flow.stats.gates,
-        hidden_flow.stats.mfgs_before_merge,
-        hidden_flow.stats.mfgs,
-        head_flow.stats.gates,
-        head_flow.stats.mfgs_before_merge,
-        head_flow.stats.mfgs
+        hs.gates, hs.mfgs_before_merge, hs.mfgs, ts.gates, ts.mfgs_before_merge, ts.mfgs
     );
 
-    // Classify the test set on the machine (head outputs are 5 threshold
-    // bits; ties resolved by first set bit).
+    // Classify the test set on the machine in one whole-model inference
+    // (head outputs are 5 threshold bits; ties resolved by first set bit).
     let inputs: Vec<Lanes> = (0..data.dim())
         .map(|f| Lanes::from_bools(&test.xs.iter().map(|x| x[f]).collect::<Vec<_>>()))
         .collect();
-    let hid = hidden_flow.simulate(&inputs)?;
-    let out = head_flow.simulate(&hid.outputs)?;
+    let inference = classifier.infer(&inputs)?;
+    let (hid, out) = (&inference.layer_outputs[0], &inference.layer_outputs[1]);
 
     // Two head options: (a) fully on-fabric threshold bits (first set bit
     // wins — loses tie information), and (b) the usual deployment where
@@ -77,11 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut correct_bits = 0usize;
     let mut correct_argmax = 0usize;
     for (i, &y) in test.ys.iter().enumerate() {
-        let pred_bits = (0..5).find(|&c| out.outputs[c].get(i)).unwrap_or(0);
+        let pred_bits = (0..5).find(|&c| out[c].get(i)).unwrap_or(0);
         if pred_bits == y {
             correct_bits += 1;
         }
-        let hidden_bits: Vec<bool> = hid.outputs.iter().map(|l| l.get(i)).collect();
+        let hidden_bits: Vec<bool> = hid.iter().map(|l| l.get(i)).collect();
         let head = &layers[1];
         let pred_argmax = (0..head.out_dim())
             .map(|j| head.agreement(j, &hidden_bits) as i32 - head.threshold_of(j))
@@ -101,11 +106,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The Table III trade-off: single-event latency vs a hardened pipeline.
-    let latency_clk = hidden_flow.stats.clock_cycles + head_flow.stats.clock_cycles;
+    let latency_clk = classifier.cycles_per_image(ServingMode::Latency) as u64;
     let latency_us = latency_clk as f64 / (config.freq_mhz * 1e6) * 1e6;
     let lpu_fps = 1e6 / latency_us;
     let ln_fps = LogicNets::default().fps(&zoo::jsc_m());
-    println!("\nsingle-event latency: {latency_clk} clk = {latency_us:.3} us -> {:.2} K events/s", lpu_fps / 1e3);
+    println!(
+        "\nsingle-event latency: {latency_clk} clk = {latency_us:.3} us -> {:.2} K events/s",
+        lpu_fps / 1e3
+    );
     println!(
         "LogicNets-style hardened pipeline: {:.0} M events/s — {:.0}x faster, but frozen at synthesis;\nthe LPU reloads its instruction queues for any new model (the paper's programmability argument).",
         ln_fps / 1e6,

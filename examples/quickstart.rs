@@ -1,14 +1,13 @@
-//! Quickstart: build a small FFCL block, compile it for a logic
-//! processor, execute it cycle-accurately, and check it against direct
-//! evaluation.
+//! Quickstart: build a small FFCL block, compile it once with the
+//! builder API, then serve batches from a resident [`Engine`] and check
+//! the results against direct evaluation.
 //!
 //! ```sh
-//! cargo run --release -p lbnn-bench --example quickstart
+//! cargo run --release -p lbnn --example quickstart
 //! ```
 
-use lbnn_core::flow::{Flow, FlowOptions};
-use lbnn_core::lpu::LpuConfig;
-use lbnn_netlist::{Lanes, Netlist, Op};
+use lbnn::netlist::{Lanes, Netlist, Op};
+use lbnn::{Flow, LpuConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe a fixed-function combinational logic block: a 4-bit
@@ -42,10 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Compile for a small logic processor: 4 LPEs per LPV, 4 LPVs.
     let config = LpuConfig::new(4, 4);
-    let flow = Flow::compile(&nl, &config, &FlowOptions::default())?;
+    let flow = Flow::builder(&nl).config(config).compile()?;
     println!("compiled `{}`:", nl.name());
-    println!("  gates (after synthesis + balancing): {}", flow.stats.gates);
-    println!("  logic depth:                          {}", flow.stats.depth);
+    println!(
+        "  gates (after synthesis + balancing): {}",
+        flow.stats.gates
+    );
+    println!(
+        "  logic depth:                          {}",
+        flow.stats.depth
+    );
     println!(
         "  MFGs: {} -> {} after merging",
         flow.stats.mfgs_before_merge, flow.stats.mfgs
@@ -57,14 +62,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flow.stats.steady_clock_cycles
     );
 
-    // 3. Execute all 16 input combinations as 16 parallel lanes.
+    // 3. The oracle check on the compiled artifact.
+    let report = flow.verify_against_netlist(99)?;
+    println!(
+        "\nverified against direct evaluation on {} lanes x {} outputs",
+        report.lanes_checked, report.outputs_checked
+    );
+
+    // 4. Hand the program to a resident engine and serve: all 16 input
+    //    combinations as 16 parallel lanes, replayed batch after batch
+    //    with zero per-call setup.
+    let mut engine = flow.into_engine()?;
     let inputs: Vec<Lanes> = (0..4)
         .map(|bit| {
             let bits: Vec<bool> = (0..16u32).map(|m| m >> bit & 1 != 0).collect();
             Lanes::from_bools(&bits)
         })
         .collect();
-    let result = flow.simulate(&inputs)?;
+    let result = engine.run_batch(&inputs)?;
     println!("\n  input  -> exactly-two-bits-set?");
     for m in 0..16u32 {
         println!("  {m:04b}   -> {}", result.outputs[0].get(m as usize));
@@ -75,11 +90,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. And the built-in oracle check.
-    let report = flow.verify_against_netlist(99)?;
+    // Steady state: the same batch served again is bit-identical.
+    let again = engine.run_batch(&inputs)?;
+    assert_eq!(again.outputs, result.outputs);
     println!(
-        "\nverified against direct evaluation on {} lanes x {} outputs",
-        report.lanes_checked, report.outputs_checked
+        "\nserved {} batches; steady-state interval {} clocks/batch",
+        engine.batches_served(),
+        engine.steady_clock_cycles_per_batch()
     );
     Ok(())
 }

@@ -3,14 +3,14 @@
 //! (Fig 5), printed as ASCII diagrams.
 //!
 //! ```sh
-//! cargo run --release -p lbnn-bench --example schedule_diagram
+//! cargo run --release -p lbnn --example schedule_diagram
 //! ```
 
-use lbnn_core::compiler::merge::merge_mfgs;
-use lbnn_core::compiler::partition::{partition, PartitionOptions};
-use lbnn_core::compiler::schedule::{lpv_of_level, schedule_spacetime};
-use lbnn_netlist::random::RandomDag;
-use lbnn_netlist::Levels;
+use lbnn::core::compiler::merge::merge_mfgs;
+use lbnn::core::compiler::partition::{partition, PartitionOptions};
+use lbnn::core::compiler::schedule::{lpv_of_level, schedule_spacetime};
+use lbnn::netlist::random::RandomDag;
+use lbnn::netlist::Levels;
 
 fn main() {
     // A deep network in the spirit of Fig 4 (Lmax = 10) on a small LPU.

@@ -2,13 +2,12 @@
 //! balance, partition, merge, schedule, generate instructions, simulate.
 //!
 //! ```sh
-//! cargo run --release -p lbnn-bench --example verilog_flow
+//! cargo run --release -p lbnn --example verilog_flow
 //! ```
 
-use lbnn_core::flow::{Flow, FlowOptions};
-use lbnn_core::lpu::resource::estimate_with_depth;
-use lbnn_core::lpu::LpuConfig;
-use lbnn_netlist::verilog::{parse_verilog, write_verilog};
+use lbnn::core::lpu::resource::estimate_with_depth;
+use lbnn::netlist::verilog::{parse_verilog, write_verilog};
+use lbnn::{Flow, LpuConfig};
 
 const FFCL: &str = r#"
 // A NullaNet-style FFCL block: two neurons over 6 shared literals.
@@ -39,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let config = LpuConfig::new(8, 4);
-    let flow = Flow::compile(&netlist, &config, &FlowOptions::default())?;
+    let flow = Flow::builder(&netlist).config(config).compile()?;
     println!("\nafter synthesis + full path balancing:");
     println!(
         "  {} gates ({} balance buffers), depth {}",

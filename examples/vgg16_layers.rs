@@ -2,11 +2,11 @@
 //! headline workload, with the Fig 7 merging comparison for each layer.
 //!
 //! ```sh
-//! cargo run --release -p lbnn-bench --example vgg16_layers
+//! cargo run --release -p lbnn --example vgg16_layers
 //! ```
 
-use lbnn_bench::{bench_workload_options, evaluate_model, fmt_fps};
-use lbnn_core::lpu::LpuConfig;
+use lbnn::bench::{bench_workload_options, compile_model, fmt_fps, ModelReport};
+use lbnn::{LpuConfig, ServingMode};
 use lbnn_models::zoo;
 
 fn main() {
@@ -14,9 +14,18 @@ fn main() {
     let wl = bench_workload_options();
     let model = zoo::vgg16_layers_2_13();
 
-    println!("== VGG16 layers [2:13] on the LPU (m = {}, n = {}) ==\n", config.m, config.n);
-    let merged = evaluate_model(&model, &config, &wl, true);
-    let unmerged = evaluate_model(&model, &config, &wl, false);
+    println!(
+        "== VGG16 layers [2:13] on the LPU (m = {}, n = {}) ==\n",
+        config.m, config.n
+    );
+    let merged = ModelReport::from_compiled(
+        &compile_model(&model, &config, &wl, true),
+        ServingMode::Throughput,
+    );
+    let unmerged = ModelReport::from_compiled(
+        &compile_model(&model, &config, &wl, false),
+        ServingMode::Throughput,
+    );
 
     println!(
         "{:<6} {:>7} {:>6} {:>11} {:>11} {:>13} {:>13}",
@@ -25,7 +34,11 @@ fn main() {
     for (u, m) in unmerged.layers.iter().zip(&merged.layers) {
         println!(
             "{:<6} {:>7} {:>6} {:>11} {:>11} {:>13.1} {:>13.1}",
-            m.name, m.gates, m.depth, u.mfgs_after, m.mfgs_after,
+            m.name,
+            m.gates,
+            m.depth,
+            u.mfgs_after,
+            m.mfgs_after,
             u.cycles_per_image / 1e3,
             m.cycles_per_image / 1e3
         );

@@ -1,8 +1,7 @@
 //! End-to-end: model-zoo FFCL workloads through the full compiler + LPU
 //! stack, checked bit-exactly against direct netlist evaluation.
 
-use lbnn_core::flow::{Flow, FlowOptions};
-use lbnn_core::lpu::LpuConfig;
+use lbnn_core::{Flow, LpuConfig};
 use lbnn_models::workload::{layer_workload, WorkloadOptions};
 use lbnn_models::zoo;
 use lbnn_netlist::eval::evaluate;
@@ -36,7 +35,7 @@ fn jsc_layers_execute_bit_exactly() {
     let mut rng = StdRng::seed_from_u64(1);
     for (i, shape) in model.layers.iter().enumerate() {
         let w = layer_workload(shape, i, &small_options());
-        let flow = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
+        let flow = Flow::builder(&w.netlist).config(config).compile().unwrap();
         let inputs = random_lanes(&mut rng, w.netlist.inputs().len(), 64);
         let got = flow.simulate(&inputs).unwrap();
         let want = evaluate(&w.netlist, &inputs).unwrap();
@@ -52,16 +51,12 @@ fn merging_on_and_off_agree_functionally() {
     let mut rng = StdRng::seed_from_u64(2);
     let inputs = random_lanes(&mut rng, w.netlist.inputs().len(), 96);
 
-    let merged = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
-    let unmerged = Flow::compile(
-        &w.netlist,
-        &config,
-        &FlowOptions {
-            merge: false,
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let merged = Flow::builder(&w.netlist).config(config).compile().unwrap();
+    let unmerged = Flow::builder(&w.netlist)
+        .config(config)
+        .merge(false)
+        .compile()
+        .unwrap();
     let a = merged.simulate(&inputs).unwrap();
     let b = unmerged.simulate(&inputs).unwrap();
     assert_eq!(a.outputs, b.outputs, "merging must not change results");
@@ -83,14 +78,17 @@ fn lpv_sweep_preserves_results() {
     let mut cycles = Vec::new();
     for n in [2usize, 4, 8, 16] {
         let config = LpuConfig::new(16, n);
-        let flow = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
+        let flow = Flow::builder(&w.netlist).config(config).compile().unwrap();
         let got = flow.simulate(&inputs).unwrap();
         assert_eq!(got.outputs, reference, "n = {n}");
         cycles.push(flow.stats.clock_cycles);
     }
     // More LPVs never slow a block down (monotone non-increasing latency).
     for pair in cycles.windows(2) {
-        assert!(pair[1] <= pair[0], "latency should not grow with LPVs: {cycles:?}");
+        assert!(
+            pair[1] <= pair[0],
+            "latency should not grow with LPVs: {cycles:?}"
+        );
     }
 }
 
@@ -108,7 +106,7 @@ fn wide_isf_layer_compiles_and_verifies() {
     let w = layer_workload(&model.layers[0], 0, &opts);
     assert_eq!(w.effective_fanin, 48);
     let config = LpuConfig::new(32, 8);
-    let flow = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
+    let flow = Flow::builder(&w.netlist).config(config).compile().unwrap();
     flow.verify_against_netlist(13).unwrap();
 }
 
@@ -119,7 +117,7 @@ fn paper_machine_runs_a_mixer_block() {
     let model = zoo::mlpmixer_s4();
     let w = layer_workload(&model.layers[1], 1, &small_options());
     let config = LpuConfig::paper_default();
-    let flow = Flow::compile(&w.netlist, &config, &FlowOptions::default()).unwrap();
+    let flow = Flow::builder(&w.netlist).config(config).compile().unwrap();
     let report = flow.verify_against_netlist(17).unwrap();
     assert_eq!(report.lanes_checked, 128, "2m lanes at m = 64");
 }
@@ -135,7 +133,10 @@ fn conv_feature_map_equals_patch_parallel_lpu() {
 
     let conv = BinaryConv2d::random(21, 2, 4, 2, 1); // 2ch in, 4 filters, 2x2
     let nl = layer_netlist(conv.as_dense(), ExtractMode::Exact, None).unwrap();
-    let flow = Flow::compile(&nl, &LpuConfig::new(8, 4), &FlowOptions::default()).unwrap();
+    let flow = Flow::builder(&nl)
+        .config(LpuConfig::new(8, 4))
+        .compile()
+        .unwrap();
 
     // Input map and software reference.
     let mut rng = StdRng::seed_from_u64(33);
@@ -145,9 +146,8 @@ fn conv_feature_map_equals_patch_parallel_lpu() {
     let (oh, ow) = conv.out_dims(7, 7);
 
     // Pack every output position's im2col patch into the lanes.
-    let positions: Vec<(usize, usize)> = (0..oh)
-        .flat_map(|r| (0..ow).map(move |c| (r, c)))
-        .collect();
+    let positions: Vec<(usize, usize)> =
+        (0..oh).flat_map(|r| (0..ow).map(move |c| (r, c))).collect();
     let fan_in = 2 * 2 * 2;
     let mut lane_bits = vec![vec![false; positions.len()]; fan_in];
     for (lane, &(r, c)) in positions.iter().enumerate() {

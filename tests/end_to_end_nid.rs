@@ -4,8 +4,8 @@
 //! every step. This is the full pipeline of the paper's Fig 1 with its
 //! upstream engine included.
 
-use lbnn_core::flow::{Flow, FlowOptions};
-use lbnn_core::lpu::LpuConfig;
+use lbnn_core::model::LayerSpec;
+use lbnn_core::{CompiledModel, FlowOptions, LpuConfig};
 use lbnn_models::dataset::synthetic_nid;
 use lbnn_netlist::Lanes;
 use lbnn_nullanet::extract::{layer_netlist, ExtractMode};
@@ -43,19 +43,28 @@ fn nid_pipeline_preserves_accuracy() {
     // Output layer fan-in 32: popcount form keeps it exact.
     let out_nl = layer_netlist(&layers[1], ExtractMode::Popcount, None).expect("popcount");
 
-    // 4. Compile both blocks and execute the test set on the LPU.
+    // 4. Compile both blocks into one serving artifact and execute the
+    //    test set on the LPU in a single whole-model inference.
     let config = LpuConfig::new(32, 8);
-    let opts = FlowOptions::default();
-    let hidden_flow = Flow::compile(&hidden_nl, &config, &opts).expect("hidden compiles");
-    let out_flow = Flow::compile(&out_nl, &config, &opts).expect("output compiles");
+    let mut detector = CompiledModel::compile(
+        "nid",
+        vec![
+            LayerSpec::block("hidden", hidden_nl),
+            LayerSpec::block("output", out_nl),
+        ],
+        &config,
+        &FlowOptions::default(),
+    )
+    .expect("both blocks compile");
 
     let lanes = test.xs.len();
     let inputs: Vec<Lanes> = (0..593)
         .map(|f| Lanes::from_bools(&test.xs.iter().map(|x| x[f]).collect::<Vec<_>>()))
         .collect();
-    let hidden_out = hidden_flow.simulate(&inputs).expect("hidden runs").outputs;
+    let inference = detector.infer(&inputs).expect("model runs");
+    let hidden_out = &inference.layer_outputs[0];
     assert_eq!(hidden_out.len(), 32);
-    let logits = out_flow.simulate(&hidden_out).expect("output runs").outputs;
+    let logits = inference.outputs();
     assert_eq!(logits.len(), 2);
 
     // 5. Machine accuracy: for the 2-class head, use neuron 1's bit as the
@@ -83,5 +92,8 @@ fn nid_pipeline_preserves_accuracy() {
     );
 
     // 6. The hidden FFCL block is bit-exact against its own netlist.
-    hidden_flow.verify_against_netlist(21).expect("bit-exact");
+    detector.layers()[0]
+        .flow()
+        .verify_against_netlist(21)
+        .expect("bit-exact");
 }

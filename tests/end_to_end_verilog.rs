@@ -1,7 +1,6 @@
 //! End-to-end: structural Verilog in, bit-exact LPU execution out.
 
-use lbnn_core::flow::{Flow, FlowOptions};
-use lbnn_core::lpu::LpuConfig;
+use lbnn_core::{Flow, LpuConfig};
 use lbnn_netlist::random::RandomDag;
 use lbnn_netlist::verilog::{parse_verilog, write_verilog};
 
@@ -20,7 +19,9 @@ fn handwritten_module_runs_on_the_lpu() {
         endmodule
     "#;
     let netlist = parse_verilog(src).expect("valid verilog");
-    let flow = Flow::compile(&netlist, &LpuConfig::new(4, 4), &FlowOptions::default())
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(4, 4))
+        .compile()
         .expect("compiles");
     let report = flow.verify_against_netlist(7).expect("bit-exact");
     assert_eq!(report.outputs_checked, 1);
@@ -33,7 +34,9 @@ fn generated_verilog_round_trips_through_the_flow() {
     let text = write_verilog(&original);
     let parsed = parse_verilog(&text).expect("writer output is parseable");
     assert_eq!(parsed.inputs().len(), original.inputs().len());
-    let flow = Flow::compile(&parsed, &LpuConfig::new(8, 4), &FlowOptions::default())
+    let flow = Flow::builder(&parsed)
+        .config(LpuConfig::new(8, 4))
+        .compile()
         .expect("compiles");
     flow.verify_against_netlist(11).expect("bit-exact");
 
@@ -52,7 +55,9 @@ fn assign_expressions_compile() {
                assign out1 = ~out0 & (y | z);\
                endmodule";
     let netlist = parse_verilog(src).expect("valid verilog");
-    let flow = Flow::compile(&netlist, &LpuConfig::new(4, 2), &FlowOptions::default())
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(4, 2))
+        .compile()
         .expect("compiles");
     flow.verify_against_netlist(3).expect("bit-exact");
 }

@@ -3,8 +3,8 @@
 //! wrong answers.
 
 use lbnn_core::error::CoreError;
-use lbnn_core::flow::{Flow, FlowOptions};
 use lbnn_core::lpu::{LpuConfig, LpuMachine};
+use lbnn_core::Flow;
 use lbnn_netlist::random::RandomDag;
 use lbnn_netlist::verilog::parse_verilog;
 use lbnn_netlist::{Lanes, NetlistError};
@@ -14,7 +14,10 @@ fn malformed_verilog_corpus() {
     let cases: &[(&str, &str)] = &[
         ("", "no module"),
         ("module m;", "truncated before endmodule"),
-        ("module m (a); input a; output y; endmodule", "undriven output"),
+        (
+            "module m (a); input a; output y; endmodule",
+            "undriven output",
+        ),
         (
             "module m (a, y); input a; output y; and (y, a); endmodule",
             "and with one input",
@@ -49,7 +52,7 @@ fn malformed_verilog_corpus() {
 fn machine_rejects_mismatched_programs() {
     let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(1);
     let config = LpuConfig::new(8, 4);
-    let flow = Flow::compile(&nl, &config, &FlowOptions::default()).unwrap();
+    let flow = Flow::builder(&nl).config(config).compile().unwrap();
 
     // Wrong machine shape.
     let other = LpuMachine::new(LpuConfig::new(4, 4)).unwrap();
@@ -62,7 +65,10 @@ fn machine_rejects_mismatched_programs() {
     let machine = LpuMachine::new(config).unwrap();
     assert!(matches!(
         machine.run(&flow.program, &[Lanes::zeros(8)]),
-        Err(CoreError::InputArity { expected: 8, got: 1 })
+        Err(CoreError::InputArity {
+            expected: 8,
+            got: 1
+        })
     ));
 }
 
@@ -72,7 +78,7 @@ fn snapshot_clobber_is_detected() {
     // that is still live, and check the machine catches it.
     let nl = RandomDag::strict(12, 6, 10).outputs(3).generate(4);
     let config = LpuConfig::new(6, 3);
-    let flow = Flow::compile(&nl, &config, &FlowOptions::default()).unwrap();
+    let flow = Flow::builder(&nl).config(config).compile().unwrap();
     let mut program = flow.program.clone();
 
     // Find an instruction with a snapshot write, then duplicate that write
@@ -138,7 +144,7 @@ fn unbalanced_netlists_rejected_by_partitioner() {
 fn degenerate_machines_rejected() {
     let nl = RandomDag::strict(4, 2, 3).outputs(1).generate(2);
     for bad in [LpuConfig::new(0, 4), LpuConfig::new(4, 0)] {
-        assert!(Flow::compile(&nl, &bad, &FlowOptions::default()).is_err());
+        assert!(Flow::builder(&nl).config(bad).compile().is_err());
     }
 }
 
@@ -147,6 +153,9 @@ fn evaluation_arity_errors() {
     let nl = RandomDag::strict(4, 2, 3).outputs(1).generate(3);
     assert!(matches!(
         lbnn_netlist::eval::evaluate(&nl, &[]),
-        Err(NetlistError::InputArity { expected: 4, got: 0 })
+        Err(NetlistError::InputArity {
+            expected: 4,
+            got: 0
+        })
     ));
 }

@@ -4,8 +4,7 @@
 //! invariants hold.
 
 use lbnn_core::compiler::partition::{check_partition, partition, PartitionOptions, StopRule};
-use lbnn_core::flow::{Flow, FlowOptions};
-use lbnn_core::lpu::LpuConfig;
+use lbnn_core::{Flow, LpuConfig};
 use lbnn_netlist::balance::balance;
 use lbnn_netlist::random::RandomDag;
 use lbnn_netlist::{Levels, Op};
@@ -37,8 +36,11 @@ proptest! {
             RandomDag::strict(inputs, depth, width)
         };
         let netlist = gen.outputs(outputs).generate(seed);
-        let options = FlowOptions { merge, ..Default::default() };
-        let flow = Flow::compile(&netlist, &LpuConfig::new(m, n), &options).unwrap();
+        let flow = Flow::builder(&netlist)
+            .config(LpuConfig::new(m, n))
+            .merge(merge)
+            .compile()
+            .unwrap();
         flow.verify_against_netlist(seed ^ 0xABCD).unwrap();
     }
 

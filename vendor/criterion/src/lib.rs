@@ -1,0 +1,192 @@
+//! Vendored, minimal stand-in for the parts of `criterion` this workspace
+//! uses (the build environment has no crates.io access).
+//!
+//! It is a real measuring harness — warmup, multiple samples, mean /
+//! min / max wall-clock per iteration printed to stdout — just without
+//! criterion's statistics engine, HTML reports, and CLI. The API surface
+//! matches what `crates/bench/benches/*.rs` call: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`criterion_group!`],
+//! [`criterion_main!`].
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), self.sample_size, f);
+        self
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let samples = self.sample_size.unwrap_or(self._criterion.sample_size);
+        run_benchmark(&full, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` `self.iters` times and records the total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibrate the per-sample iteration count so one sample lasts at
+    // least ~2 ms (or a single iteration, whichever is longer).
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calib);
+    let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(2).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut per_iter_times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let mean = per_iter_times.iter().sum::<f64>() / per_iter_times.len() as f64;
+    let min = per_iter_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter_times.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "bench {name:<40} mean {:>12} min {:>12} max {:>12} ({samples} samples x {iters} iters)",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group function that runs each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            $(
+                let mut c = $crate::Criterion::default();
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("count", |b| {
+            runs += 1;
+            b.iter(|| black_box(2 * 2))
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+}
