@@ -1,10 +1,12 @@
 //! Criterion bench behind **Table II**: end-to-end compile time of one
-//! VGG16 conv-layer FFCL block on the paper's LPU configuration.
+//! VGG16 conv-layer FFCL block on the paper's LPU configuration, plus the
+//! batch-serving throughput comparison of the two execution backends
+//! (cycle-accurate scalar machine vs bit-sliced 64-lane kernels).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lbnn_bench::bench_workload_options;
+use lbnn_bench::{bench_workload_options, serving_batches};
 use lbnn_core::lpu::LpuConfig;
-use lbnn_core::Flow;
+use lbnn_core::{Backend, Flow};
 use lbnn_models::workload::layer_workload;
 use lbnn_models::zoo;
 use std::hint::black_box;
@@ -35,6 +37,21 @@ fn bench(c: &mut Criterion) {
     g.bench_function("verify_block", |b| {
         b.iter(|| black_box(flow.verify_against_netlist(1).unwrap()))
     });
+
+    // Batch serving throughput, backend vs backend: 16 batches of 2m
+    // lanes through a resident engine (the steady-state serving loop).
+    let batches = serving_batches(flow.program.num_inputs, config.operand_bits(), 16, 0x7ab1e2);
+    for backend in [Backend::Scalar, Backend::BitSliced64] {
+        let engine_flow = Flow::builder(&workload.netlist)
+            .config(config)
+            .backend(backend)
+            .compile()
+            .unwrap();
+        let mut engine = engine_flow.into_engine().unwrap();
+        g.bench_function(format!("serve_batches_{backend}"), |b| {
+            b.iter(|| black_box(engine.run_batches(&batches).unwrap()))
+        });
+    }
     g.finish();
 }
 

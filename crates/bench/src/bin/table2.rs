@@ -6,13 +6,21 @@
 //! column is measured by compiling the FFCL workloads and counting cycles
 //! in the cycle-accurate simulator.
 
+//! Pass `--backend <scalar|bitsliced64>` (and optionally `--workers <n>`,
+//! `0` = one per CPU) to also measure host serving throughput of a
+//! representative VGG16 block on that execution backend.
+
 use lbnn_baselines::reported::{table2_fps, Impl2};
 use lbnn_baselines::{MacAccelerator, NullaDsp, XnorAccelerator};
-use lbnn_bench::{bench_workload_options, evaluate_model, fmt_fps, fmt_fps_opt};
+use lbnn_bench::{
+    backend_args, bench_workload_options, evaluate_model, fmt_fps, fmt_fps_opt, measure_block_wall,
+};
 use lbnn_core::lpu::LpuConfig;
+use lbnn_models::workload::layer_workload;
 use lbnn_models::zoo;
 
 fn main() {
+    let args = backend_args();
     let config = LpuConfig::paper_default();
     let wl = bench_workload_options();
     let mac = MacAccelerator::default();
@@ -74,6 +82,32 @@ fn main() {
             lpu.fps / MacAccelerator::default().fps(&model),
             table2_fps(paper_name, Impl2::Lpu).unwrap()
                 / table2_fps(paper_name, Impl2::Mac).unwrap(),
+        );
+    }
+
+    if args.measure {
+        // Host-side serving throughput of a representative mid-size block
+        // (VGG16 L8, 256->512 conv) on the selected execution backend.
+        let model = zoo::vgg16_layers_2_13();
+        let workload = layer_workload(&model.layers[7], 7, &wl);
+        let report = measure_block_wall(&workload.netlist, &config, args.backend, args.workers, 32);
+        let wall = report.wall.expect("measured run has wall timing");
+        println!();
+        println!(
+            "Host serving throughput, VGG16 L8 block, backend = {}, workers = {}:",
+            wall.backend, wall.workers
+        );
+        println!(
+            "  {} batches x {} lanes in {:.1} ms -> {} samples/s on this host",
+            wall.batches,
+            config.operand_bits(),
+            wall.elapsed_us / 1e3,
+            fmt_fps(wall.samples_per_sec),
+        );
+        println!(
+            "  (modeled hardware: {} samples/s at {:.0} MHz)",
+            fmt_fps(report.fps),
+            report.freq_mhz
         );
     }
 }

@@ -6,13 +6,22 @@
 //! win by orders of magnitude — the paper's trade-off: raw speed vs
 //! field-reprogrammability.
 
+//! Pass `--backend <scalar|bitsliced64>` (and optionally `--workers <n>`,
+//! `0` = one per CPU) to also measure host serving throughput of a
+//! representative JSC-M block on that execution backend.
+
 use lbnn_baselines::reported::{table3_fps, Impl3};
 use lbnn_baselines::LogicNets;
-use lbnn_bench::{evaluate_model_latency, fmt_fps, fmt_fps_opt, table3_workload_options};
+use lbnn_bench::{
+    backend_args, evaluate_model_latency, fmt_fps, fmt_fps_opt, measure_block_wall,
+    table3_workload_options,
+};
 use lbnn_core::lpu::LpuConfig;
+use lbnn_models::workload::layer_workload;
 use lbnn_models::zoo;
 
 fn main() {
+    let args = backend_args();
     let config = LpuConfig::paper_default();
     let wl = table3_workload_options();
     let ln = LogicNets::default();
@@ -54,6 +63,27 @@ fn main() {
             ln_fps / lpu.fps,
             table3_fps(model.name, Impl3::LogicNets).unwrap()
                 / table3_fps(model.name, Impl3::Lpu).unwrap()
+        );
+    }
+
+    if args.measure {
+        // Host-side serving throughput of a representative block (JSC-M
+        // first layer) on the selected execution backend.
+        let model = zoo::jsc_m();
+        let workload = layer_workload(&model.layers[0], 0, &wl);
+        let report = measure_block_wall(&workload.netlist, &config, args.backend, args.workers, 32);
+        let wall = report.wall.expect("measured run has wall timing");
+        println!();
+        println!(
+            "Host serving throughput, JSC-M L0 block, backend = {}, workers = {}:",
+            wall.backend, wall.workers
+        );
+        println!(
+            "  {} batches x {} lanes in {:.1} ms -> {} samples/s on this host",
+            wall.batches,
+            config.operand_bits(),
+            wall.elapsed_us / 1e3,
+            fmt_fps(wall.samples_per_sec),
         );
     }
 }

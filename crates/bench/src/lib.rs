@@ -11,8 +11,10 @@
 use lbnn_core::flow::{Flow, FlowOptions};
 use lbnn_core::lpu::LpuConfig;
 use lbnn_core::model::{CompiledLayer, CompiledModel, ServingMode};
+use lbnn_core::{Backend, ThroughputReport};
 use lbnn_models::workload::{model_specs, LayerWorkload, WorkloadOptions};
 use lbnn_models::zoo::ModelShape;
+use lbnn_netlist::{Lanes, Netlist};
 
 /// Per-layer evaluation result.
 #[derive(Debug, Clone)]
@@ -214,6 +216,122 @@ pub fn table3_workload_options() -> WorkloadOptions {
     }
 }
 
+/// Shared `--backend` / `--workers` CLI flags of the table binaries.
+///
+/// `measure` is set when `--backend` was passed explicitly: the binaries
+/// then append a host-side serving-throughput section measured on that
+/// backend (see [`measure_block_wall`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendArgs {
+    /// Selected execution backend (default [`Backend::Scalar`]).
+    pub backend: Backend,
+    /// Worker threads for batch sharding (default 1; 0 = one per CPU).
+    pub workers: usize,
+    /// `true` when `--backend` appeared on the command line.
+    pub measure: bool,
+}
+
+impl Default for BackendArgs {
+    fn default() -> Self {
+        BackendArgs {
+            backend: Backend::Scalar,
+            workers: 1,
+            measure: false,
+        }
+    }
+}
+
+/// Parses `--backend <scalar|bitsliced64>` and `--workers <n>` from an
+/// argument iterator (unrecognized arguments are ignored so binaries can
+/// layer their own flags).
+///
+/// # Panics
+///
+/// Panics with a usage message on a malformed value, the right behavior
+/// for the reproduction binaries this serves.
+pub fn parse_backend_args<I: IntoIterator<Item = String>>(args: I) -> BackendArgs {
+    let mut parsed = BackendArgs::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let v = iter.next().expect("--backend needs a value");
+                parsed.backend = v
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad --backend value: {e}"));
+                parsed.measure = true;
+            }
+            "--workers" => {
+                let v = iter.next().expect("--workers needs a value");
+                parsed.workers = v.parse().expect("--workers needs an integer");
+            }
+            _ => {}
+        }
+    }
+    parsed
+}
+
+/// Reads [`BackendArgs`] from the process command line.
+pub fn backend_args() -> BackendArgs {
+    parse_backend_args(std::env::args().skip(1))
+}
+
+/// Deterministic pseudo-random serving batches for one block: `batches`
+/// batches of `lanes` samples across `width` primary inputs (xorshift64;
+/// no RNG dependency in the measurement path).
+pub fn serving_batches(width: usize, lanes: usize, batches: usize, seed: u64) -> Vec<Vec<Lanes>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..batches)
+        .map(|_| {
+            (0..width)
+                .map(|_| {
+                    let words: Vec<u64> = (0..lanes.div_ceil(64)).map(|_| next()).collect();
+                    Lanes::from_words(words, lanes)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Compiles `netlist` for `backend` and measures host wall-clock serving
+/// throughput over `batches` batches of `2m` lanes — the number behind
+/// the table binaries' `--backend` section and the
+/// `table2_fps_large` backend comparison bench.
+///
+/// # Panics
+///
+/// Panics if compilation or serving fails (bench workloads are all
+/// schedulable).
+pub fn measure_block_wall(
+    netlist: &Netlist,
+    config: &LpuConfig,
+    backend: Backend,
+    workers: usize,
+    batches: usize,
+) -> ThroughputReport {
+    let flow = Flow::builder(netlist)
+        .config(*config)
+        .backend(backend)
+        .compile()
+        .unwrap_or_else(|e| panic!("block failed to compile: {e}"));
+    let mut engine = flow
+        .into_engine()
+        .unwrap_or_else(|e| panic!("engine construction failed: {e}"))
+        .with_workers(workers);
+    let width = engine.program().num_inputs;
+    let inputs = serving_batches(width, config.operand_bits(), batches, 0x1b22_2023);
+    let (_, report) = engine
+        .run_batches_timed(&inputs)
+        .unwrap_or_else(|e| panic!("serving run failed: {e}"));
+    report
+}
+
 /// Formats an FPS value the way the paper's tables do (`0.12K`,
 /// `103.99K`, `8.39M`).
 pub fn fmt_fps(fps: f64) -> String {
@@ -283,6 +401,44 @@ mod tests {
             assert_eq!(layer.ii_clk, solo.ii_clk);
             assert_eq!(layer.latency_clk, solo.latency_clk);
             assert_eq!(layer.cycles_per_image, solo.cycles_per_image);
+        }
+    }
+
+    #[test]
+    fn backend_flags_parse() {
+        let args = |v: &[&str]| parse_backend_args(v.iter().map(|s| s.to_string()));
+        assert_eq!(args(&[]), BackendArgs::default());
+        let a = args(&["--backend", "bitsliced64", "--workers", "4"]);
+        assert_eq!(a.backend, Backend::BitSliced64);
+        assert_eq!(a.workers, 4);
+        assert!(a.measure);
+        let b = args(&["--unrelated", "--backend", "scalar"]);
+        assert_eq!(b.backend, Backend::Scalar);
+        assert!(b.measure);
+    }
+
+    #[test]
+    fn serving_batches_are_deterministic_and_shaped() {
+        let a = serving_batches(5, 130, 3, 7);
+        let b = serving_batches(5, 130, 3, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].len(), 5);
+        assert_eq!(a[0][0].len(), 130);
+        assert_ne!(a, serving_batches(5, 130, 3, 8));
+    }
+
+    #[test]
+    fn measure_block_wall_reports_both_backends() {
+        use lbnn_netlist::random::RandomDag;
+        let nl = RandomDag::strict(16, 5, 12).outputs(4).generate(3);
+        let config = LpuConfig::new(8, 4);
+        for backend in [Backend::Scalar, Backend::BitSliced64] {
+            let report = measure_block_wall(&nl, &config, backend, 1, 4);
+            let wall = report.wall.expect("measured run has wall timing");
+            assert_eq!(wall.backend, backend);
+            assert_eq!(wall.batches, 4);
+            assert!(wall.samples_per_sec > 0.0);
         }
     }
 

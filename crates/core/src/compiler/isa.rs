@@ -398,7 +398,7 @@ pub fn decode_program(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{Flow, FlowOptions};
+    use crate::flow::Flow;
     use crate::lpu::{LpuConfig, LpuMachine};
     use lbnn_netlist::random::RandomDag;
     use lbnn_netlist::Lanes;
@@ -419,7 +419,7 @@ mod tests {
         for seed in 0..4 {
             let nl = RandomDag::strict(12, 6, 10).outputs(4).generate(seed);
             let config = LpuConfig::new(6, 4);
-            let flow = Flow::compile(&nl, &config, &FlowOptions::default()).unwrap();
+            let flow = Flow::builder(&nl).config(config).compile().unwrap();
 
             let encoded = encode_program(&flow.program).unwrap();
             let decoded = decode_program(&encoded, &flow.program).unwrap();
@@ -470,7 +470,7 @@ mod tests {
     fn empty_slots_stay_empty() {
         let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(1);
         let config = LpuConfig::new(4, 4);
-        let flow = Flow::compile(&nl, &config, &FlowOptions::default()).unwrap();
+        let flow = Flow::builder(&nl).config(config).compile().unwrap();
         let encoded = encode_program(&flow.program).unwrap();
         let decoded = decode_program(&encoded, &flow.program).unwrap();
         for lpv in 0..4 {

@@ -7,21 +7,82 @@
 //! buffers, so [`Engine::run_batch`] skips the per-call configuration
 //! validation and state allocation that [`crate::flow::Flow::simulate`]
 //! pays on every invocation.
+//!
+//! Two execution [`Backend`]s produce bit-identical outputs:
+//!
+//! * [`Backend::Scalar`] — the cycle-accurate machine replay, modeling
+//!   every switch delivery and snapshot register;
+//! * [`Backend::BitSliced64`] — the compiled netlist replayed as a flat
+//!   tape of branch-free 64-lane word kernels
+//!   ([`lbnn_netlist::BitSliceEvaluator`]), the paper's word-level
+//!   parallelism exploited in software.
+//!
+//! [`Engine::run_batches`] additionally shards a batch sequence across OS
+//! threads (`std::thread::scope`), each worker owning its own scratch
+//! state, with results merged back in input order.
 
-use lbnn_netlist::Lanes;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+use lbnn_netlist::{BitSlice64, BitSliceEvaluator, Lanes, Netlist};
 
 use crate::compiler::program::LpuProgram;
 use crate::error::CoreError;
 use crate::flow::Flow;
 use crate::lpu::machine::{LpuMachine, PassScratch, RunResult};
 use crate::lpu::LpuConfig;
+use crate::throughput::{block_throughput, ThroughputReport, WallTiming};
+
+/// How an [`Engine`] executes a compiled flow.
+///
+/// Both backends are bit-identical on every batch; they differ only in
+/// what they model and how fast they run. Select one at compile time with
+/// [`crate::flow::FlowBuilder::backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Cycle-accurate machine replay (Fig 2): every switch delivery,
+    /// snapshot latch and LPE operation is simulated, and scheduling bugs
+    /// surface as structured errors. The default, and the reference.
+    #[default]
+    Scalar,
+    /// Bit-sliced functional execution: the mapped netlist compiled once
+    /// into branch-free word kernels, 64 samples per `u64` per net.
+    /// Reports the same model-time statistics (compute/clock cycles, LPE
+    /// ops) as [`Backend::Scalar`] but does not track snapshot occupancy
+    /// ([`RunResult::peak_live_snapshots`] is 0).
+    BitSliced64,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Scalar => "scalar",
+            Backend::BitSliced64 => "bitsliced64",
+        })
+    }
+}
+
+impl FromStr for Backend {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(Backend::Scalar),
+            "bitsliced64" | "bitsliced" | "bit-sliced" => Ok(Backend::BitSliced64),
+            other => Err(CoreError::BadConfig {
+                reason: format!("unknown backend `{other}` (expected `scalar` or `bitsliced64`)"),
+            }),
+        }
+    }
+}
 
 /// A resident, ready-to-serve compiled block.
 ///
 /// Construction validates the configuration and the program/machine shape
 /// once; afterwards every [`run_batch`](Engine::run_batch) is a pure
 /// replay. Buffers (snapshot registers, pipeline registers, retired lane
-/// vectors) persist across batches.
+/// vectors, bit-slice frames) persist across batches.
 ///
 /// ```
 /// use lbnn_core::{Engine, Flow, LpuConfig};
@@ -43,17 +104,57 @@ pub struct Engine {
     machine: LpuMachine,
     program: LpuProgram,
     scratch: PassScratch,
+    backend: Backend,
+    /// Compiled kernel tape ([`Backend::BitSliced64`] engines only).
+    sliced: Option<BitSliceEvaluator>,
+    /// Reusable 64-lane frame for the bit-sliced path.
+    frame: BitSlice64,
+    /// LPE operations per pass, cached from the program.
+    lpe_ops_per_pass: usize,
+    workers: usize,
     batches_served: u64,
 }
 
 impl Engine {
-    /// Builds an engine from a configuration and a compiled program.
+    /// Builds a [`Backend::Scalar`] engine from a configuration and a
+    /// compiled program.
+    ///
+    /// The bit-sliced backend needs the mapped netlist to compile its
+    /// kernel tape, so bit-sliced engines are built from a flow
+    /// ([`Flow::engine`] / [`Flow::into_engine`] /
+    /// [`Engine::from_flow`]), which carries it.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::BadConfig`] if the configuration is unusable
     /// or the program was compiled for a different machine shape.
     pub fn new(config: LpuConfig, program: LpuProgram) -> Result<Self, CoreError> {
+        Engine::build(config, program, Backend::Scalar, None)
+    }
+
+    /// Builds an engine serving `flow`'s program on `flow`'s backend
+    /// (clones the program; use [`Flow::into_engine`] to avoid the copy).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::new`].
+    pub fn from_flow(flow: &Flow) -> Result<Self, CoreError> {
+        Engine::build(
+            flow.config,
+            flow.program.clone(),
+            flow.backend,
+            Some(&flow.netlist),
+        )
+    }
+
+    /// Shared constructor: `netlist` (the mapped netlist the program
+    /// computes) is required for [`Backend::BitSliced64`].
+    pub(crate) fn build(
+        config: LpuConfig,
+        program: LpuProgram,
+        backend: Backend,
+        netlist: Option<&Netlist>,
+    ) -> Result<Self, CoreError> {
         let machine = LpuMachine::new(config)?;
         if program.m != config.m || program.n != config.n {
             return Err(CoreError::BadConfig {
@@ -63,22 +164,73 @@ impl Engine {
                 ),
             });
         }
+        let sliced = match backend {
+            Backend::Scalar => None,
+            Backend::BitSliced64 => {
+                let netlist = netlist.ok_or_else(|| CoreError::BadConfig {
+                    reason: "the bit-sliced backend needs the mapped netlist; build the engine \
+                             from a Flow"
+                        .to_string(),
+                })?;
+                let sliced = BitSliceEvaluator::compile(netlist);
+                if sliced.num_inputs() != program.num_inputs
+                    || sliced.num_outputs() != program.outputs.len()
+                {
+                    return Err(CoreError::BadConfig {
+                        reason: format!(
+                            "netlist interface ({} in / {} out) disagrees with the program \
+                             ({} in / {} out)",
+                            sliced.num_inputs(),
+                            sliced.num_outputs(),
+                            program.num_inputs,
+                            program.outputs.len()
+                        ),
+                    });
+                }
+                Some(sliced)
+            }
+        };
+        let lpe_ops_per_pass = program.lpe_op_count();
         Ok(Engine {
             machine,
             program,
             scratch: PassScratch::default(),
+            backend,
+            sliced,
+            frame: BitSlice64::default(),
+            lpe_ops_per_pass,
+            workers: 1,
             batches_served: 0,
         })
     }
 
-    /// Builds an engine serving `flow`'s program (clones the program; use
-    /// [`Flow::into_engine`] to avoid the copy).
-    ///
-    /// # Errors
-    ///
-    /// See [`Engine::new`].
-    pub fn from_flow(flow: &Flow) -> Result<Self, CoreError> {
-        Engine::new(flow.config, flow.program.clone())
+    /// Sets the worker-thread count used by [`Engine::run_batches`] and
+    /// returns the engine (builder style). `0` means "one per available
+    /// CPU".
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.set_workers(workers);
+        self
+    }
+
+    /// Sets the worker-thread count used by [`Engine::run_batches`].
+    /// `0` means "one per available CPU".
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            workers
+        };
+    }
+
+    /// The worker-thread count [`Engine::run_batches`] shards over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The execution backend this engine replays batches on.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The machine configuration.
@@ -100,33 +252,156 @@ impl Engine {
     /// reusing the engine's buffers.
     ///
     /// Results are bit-identical to [`Flow::simulate`] on the same
-    /// inputs; only the allocation/validation cost differs.
+    /// inputs, on either backend; only the execution strategy differs.
     ///
     /// # Errors
     ///
     /// See [`LpuMachine::run`].
     pub fn run_batch(&mut self, inputs: &[Lanes]) -> Result<RunResult, CoreError> {
-        let result = self
-            .machine
-            .run_with_scratch(&self.program, inputs, &mut self.scratch)?;
+        let result = dispatch_pass(
+            &self.machine,
+            &self.program,
+            self.backend,
+            self.sliced.as_ref(),
+            self.lpe_ops_per_pass,
+            inputs,
+            &mut self.scratch,
+            &mut self.frame,
+        )?;
         self.batches_served += 1;
         Ok(result)
     }
 
     /// Runs a sequence of batches back to back — the paper's steady-state
-    /// serving loop — returning one result per batch.
+    /// serving loop — returning one result per batch, in input order.
+    ///
+    /// With [`workers`](Engine::workers) > 1 the sequence is sharded into
+    /// contiguous chunks across that many OS threads
+    /// (`std::thread::scope`); each worker owns its own scratch buffers,
+    /// and the merged results are indistinguishable from sequential
+    /// execution.
     ///
     /// # Errors
     ///
-    /// Stops at and returns the first batch error.
-    pub fn run_batches<B: AsRef<[Lanes]>>(
+    /// Returns the first batch error in input order. Sequentially,
+    /// execution stops right there; with multiple workers, batches in
+    /// later shards may already have executed (and count toward
+    /// [`batches_served`](Engine::batches_served)) before the error is
+    /// reported.
+    pub fn run_batches<B: AsRef<[Lanes]> + Sync>(
         &mut self,
         batches: &[B],
     ) -> Result<Vec<RunResult>, CoreError> {
-        batches
+        let workers = self.workers.clamp(1, batches.len().max(1));
+        if workers == 1 {
+            return batches
+                .iter()
+                .map(|batch| self.run_batch(batch.as_ref()))
+                .collect();
+        }
+
+        let machine = &self.machine;
+        let program = &self.program;
+        let backend = self.backend;
+        let sliced = self.sliced.as_ref();
+        let lpe_ops = self.lpe_ops_per_pass;
+        let chunk = batches.len().div_ceil(workers);
+        let shards: Vec<Vec<Result<RunResult, CoreError>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = batches
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut scratch = PassScratch::default();
+                        let mut frame = BitSlice64::default();
+                        let mut out = Vec::with_capacity(shard.len());
+                        for batch in shard {
+                            let result = dispatch_pass(
+                                machine,
+                                program,
+                                backend,
+                                sliced,
+                                lpe_ops,
+                                batch.as_ref(),
+                                &mut scratch,
+                                &mut frame,
+                            );
+                            let failed = result.is_err();
+                            out.push(result);
+                            if failed {
+                                break; // this shard stops at its first error
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+
+        let mut results = Vec::with_capacity(batches.len());
+        let mut first_err = None;
+        for result in shards.into_iter().flatten() {
+            match result {
+                Ok(r) => {
+                    self.batches_served += 1;
+                    if first_err.is_none() {
+                        results.push(r);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => Ok(results),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Runs [`Engine::run_batches`] under a wall-clock timer, returning
+    /// the results plus a [`ThroughputReport`] whose model-time fields
+    /// cover the whole sequence and whose [`ThroughputReport::wall`]
+    /// records what this backend actually measured — the apples-to-apples
+    /// number for comparing [`Backend`]s and worker counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_batches`].
+    pub fn run_batches_timed<B: AsRef<[Lanes]> + Sync>(
+        &mut self,
+        batches: &[B],
+    ) -> Result<(Vec<RunResult>, ThroughputReport), CoreError> {
+        let start = Instant::now();
+        let results = self.run_batches(batches)?;
+        let elapsed = start.elapsed();
+        let samples: usize = results
             .iter()
-            .map(|batch| self.run_batch(batch.as_ref()))
-            .collect()
+            .map(|r| r.outputs.first().map_or(0, Lanes::len))
+            .sum();
+        let elapsed_us = elapsed.as_secs_f64() * 1e6;
+        let report = block_throughput(
+            (self.steady_clock_cycles_per_batch() * results.len() as u64).max(1),
+            samples,
+            self.config().freq_mhz,
+        )
+        .with_wall(WallTiming {
+            backend: self.backend,
+            workers: self.workers,
+            batches: results.len(),
+            elapsed_us,
+            samples_per_sec: if elapsed_us > 0.0 {
+                samples as f64 / (elapsed_us / 1e6)
+            } else {
+                f64::INFINITY
+            },
+        });
+        Ok((results, report))
     }
 
     /// Steady-state clock cycles between batch starts (initiation
@@ -137,9 +412,64 @@ impl Engine {
     }
 }
 
+/// One pass on the selected backend — the single dispatch point shared by
+/// sequential [`Engine::run_batch`] and the sharded workers, so the two
+/// paths cannot diverge.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_pass(
+    machine: &LpuMachine,
+    program: &LpuProgram,
+    backend: Backend,
+    sliced: Option<&BitSliceEvaluator>,
+    lpe_ops: usize,
+    inputs: &[Lanes],
+    scratch: &mut PassScratch,
+    frame: &mut BitSlice64,
+) -> Result<RunResult, CoreError> {
+    match backend {
+        Backend::Scalar => machine.run_with_scratch(program, inputs, scratch),
+        Backend::BitSliced64 => run_bitsliced(
+            program,
+            sliced.expect("bit-sliced engine has a tape"),
+            machine.config(),
+            lpe_ops,
+            inputs,
+            frame,
+        ),
+    }
+}
+
+/// One bit-sliced pass: functional execution with the scalar path's
+/// model-time accounting.
+fn run_bitsliced(
+    program: &LpuProgram,
+    sliced: &BitSliceEvaluator,
+    config: &LpuConfig,
+    lpe_ops: usize,
+    inputs: &[Lanes],
+    frame: &mut BitSlice64,
+) -> Result<RunResult, CoreError> {
+    if inputs.len() != program.num_inputs {
+        return Err(CoreError::InputArity {
+            expected: program.num_inputs,
+            got: inputs.len(),
+        });
+    }
+    // The scalar machine defaults no-input programs to one lane; match it.
+    let lanes = inputs.first().map_or(1, Lanes::len);
+    let outputs = sliced.evaluate_with(inputs, lanes, frame)?;
+    Ok(RunResult {
+        outputs,
+        compute_cycles: program.total_cycles,
+        clock_cycles: program.total_cycles as u64 * config.tc() as u64,
+        lpe_ops,
+        peak_live_snapshots: 0,
+    })
+}
+
 impl Flow {
-    /// Builds a resident [`Engine`] serving this flow's program (clones
-    /// the program).
+    /// Builds a resident [`Engine`] serving this flow's program on this
+    /// flow's [`Backend`] (clones the program).
     ///
     /// # Errors
     ///
@@ -155,7 +485,7 @@ impl Flow {
     ///
     /// See [`Engine::new`].
     pub fn into_engine(self) -> Result<Engine, CoreError> {
-        Engine::new(self.config, self.program)
+        Engine::build(self.config, self.program, self.backend, Some(&self.netlist))
     }
 }
 
@@ -227,5 +557,125 @@ mod tests {
             .unwrap();
         let err = Engine::new(LpuConfig::new(8, 4), flow.program).unwrap_err();
         assert!(matches!(err, CoreError::BadConfig { .. }));
+    }
+
+    #[test]
+    fn bitsliced_backend_is_bit_identical_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for seed in 0..4 {
+            let nl = RandomDag::strict(12, 6, 9).outputs(4).generate(seed);
+            let scalar_flow = Flow::builder(&nl)
+                .config(LpuConfig::new(6, 4))
+                .compile()
+                .unwrap();
+            let sliced_flow = Flow::builder(&nl)
+                .config(LpuConfig::new(6, 4))
+                .backend(Backend::BitSliced64)
+                .compile()
+                .unwrap();
+            let mut scalar = scalar_flow.engine().unwrap();
+            let mut sliced = sliced_flow.engine().unwrap();
+            assert_eq!(scalar.backend(), Backend::Scalar);
+            assert_eq!(sliced.backend(), Backend::BitSliced64);
+            for lanes in [1usize, 64, 100, 200] {
+                let batch = random_batch(&mut rng, nl.inputs().len(), lanes);
+                let a = scalar.run_batch(&batch).unwrap();
+                let b = sliced.run_batch(&batch).unwrap();
+                assert_eq!(a.outputs, b.outputs, "seed {seed} lanes {lanes}");
+                assert_eq!(a.clock_cycles, b.clock_cycles);
+                assert_eq!(a.lpe_ops, b.lpe_ops);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_batches_preserves_input_order() {
+        let nl = RandomDag::strict(10, 5, 8).outputs(3).generate(7);
+        for backend in [Backend::Scalar, Backend::BitSliced64] {
+            let flow = Flow::builder(&nl)
+                .config(LpuConfig::new(5, 4))
+                .backend(backend)
+                .compile()
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(17);
+            // Distinguishable batches (different lane widths + contents).
+            let batches: Vec<Vec<Lanes>> = (0..13)
+                .map(|i| random_batch(&mut rng, nl.inputs().len(), 40 + i))
+                .collect();
+            let mut sequential = flow.engine().unwrap();
+            let expect = sequential.run_batches(&batches).unwrap();
+            for workers in [2usize, 3, 8, 32] {
+                let mut sharded = flow.engine().unwrap().with_workers(workers);
+                assert_eq!(sharded.workers(), workers);
+                let got = sharded.run_batches(&batches).unwrap();
+                assert_eq!(got.len(), expect.len());
+                for (g, e) in got.iter().zip(&expect) {
+                    assert_eq!(g.outputs, e.outputs, "{backend} x{workers}");
+                }
+                assert_eq!(sharded.batches_served(), batches.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_batches_reports_first_error_in_input_order() {
+        let nl = RandomDag::strict(6, 3, 4).outputs(2).generate(3);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut batches: Vec<Vec<Lanes>> = (0..6)
+            .map(|_| random_batch(&mut rng, nl.inputs().len(), 16))
+            .collect();
+        batches[2] = random_batch(&mut rng, 1, 16); // wrong arity
+        let mut engine = flow.engine().unwrap().with_workers(3);
+        let err = engine.run_batches(&batches).unwrap_err();
+        assert!(matches!(err, CoreError::InputArity { .. }));
+    }
+
+    #[test]
+    fn timed_run_attaches_wall_timing() {
+        let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(9);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .backend(Backend::BitSliced64)
+            .compile()
+            .unwrap();
+        let mut engine = flow.engine().unwrap().with_workers(2);
+        let mut rng = StdRng::seed_from_u64(21);
+        let batches: Vec<Vec<Lanes>> = (0..5)
+            .map(|_| random_batch(&mut rng, nl.inputs().len(), 64))
+            .collect();
+        let (results, report) = engine.run_batches_timed(&batches).unwrap();
+        assert_eq!(results.len(), 5);
+        let wall = report.wall.expect("timed run records wall timing");
+        assert_eq!(wall.backend, Backend::BitSliced64);
+        assert_eq!(wall.workers, 2);
+        assert_eq!(wall.batches, 5);
+        assert_eq!(report.batch, 5 * 64);
+        assert!(wall.samples_per_sec > 0.0);
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("scalar".parse::<Backend>().unwrap(), Backend::Scalar);
+        assert_eq!(
+            "bitsliced64".parse::<Backend>().unwrap(),
+            Backend::BitSliced64
+        );
+        assert_eq!(Backend::BitSliced64.to_string(), "bitsliced64");
+        assert!("simd".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn workers_zero_means_available_parallelism() {
+        let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(1);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap();
+        let engine = flow.engine().unwrap().with_workers(0);
+        assert!(engine.workers() >= 1);
     }
 }

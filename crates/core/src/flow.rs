@@ -29,6 +29,7 @@ use crate::compiler::merge::{merge_mfgs, MergeStats};
 use crate::compiler::partition::{partition, Partition, PartitionOptions};
 use crate::compiler::program::LpuProgram;
 use crate::compiler::schedule::{schedule_spacetime, Schedule};
+use crate::engine::Backend;
 use crate::error::CoreError;
 use crate::lpu::machine::{LpuMachine, RunResult};
 use crate::lpu::LpuConfig;
@@ -45,6 +46,8 @@ pub struct FlowOptions {
     pub merge: bool,
     /// Partitioning options (stop rule).
     pub partition: PartitionOptions,
+    /// Execution backend engines built from this flow will use.
+    pub backend: Backend,
 }
 
 impl Default for FlowOptions {
@@ -53,6 +56,7 @@ impl Default for FlowOptions {
             optimize: true,
             merge: true,
             partition: PartitionOptions::default(),
+            backend: Backend::default(),
         }
     }
 }
@@ -115,6 +119,8 @@ pub struct Flow {
     pub program: LpuProgram,
     /// Machine configuration.
     pub config: LpuConfig,
+    /// Execution backend engines built from this flow will use.
+    pub backend: Backend,
     /// Aggregate statistics.
     pub stats: FlowStats,
 }
@@ -169,6 +175,15 @@ impl<'a> FlowBuilder<'a> {
         self
     }
 
+    /// Selects the execution [`Backend`] engines built from the compiled
+    /// flow will replay batches on. Defaults to [`Backend::Scalar`] (the
+    /// cycle-accurate machine); [`Backend::BitSliced64`] runs the same
+    /// program bit-identically as branch-free 64-lane word kernels.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.options.backend = backend;
+        self
+    }
+
     /// Sets the partitioning options (stop rule, child duplication).
     pub fn partition(mut self, partition: PartitionOptions) -> Self {
         self.options.partition = partition;
@@ -212,9 +227,22 @@ impl Flow {
     /// Positional-argument shim over [`Flow::builder`], kept for callers
     /// predating the builder API.
     ///
+    /// # Migration
+    ///
+    /// Replace `Flow::compile(&nl, &config, &options)` with
+    /// `Flow::builder(&nl).config(config).options(options).compile()` —
+    /// the builder also exposes per-knob setters
+    /// ([`FlowBuilder::optimize`], [`FlowBuilder::merge`],
+    /// [`FlowBuilder::partition`], [`FlowBuilder::backend`]) so most
+    /// callers never need to construct a [`FlowOptions`] at all.
+    ///
     /// # Errors
     ///
     /// See [`FlowBuilder::compile`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Flow::builder(netlist).config(..).options(..).compile() instead"
+    )]
     pub fn compile(
         netlist: &Netlist,
         config: &LpuConfig,
@@ -313,6 +341,7 @@ fn compile_impl(
         schedule,
         program,
         config,
+        backend: options.backend,
         stats,
     })
 }
@@ -444,7 +473,10 @@ mod tests {
     fn compile_and_verify_random_graphs() {
         for seed in 0..4 {
             let nl = RandomDag::loose(12, 6, 10).outputs(4).generate(seed);
-            let flow = Flow::compile(&nl, &LpuConfig::new(6, 4), &FlowOptions::default()).unwrap();
+            let flow = Flow::builder(&nl)
+                .config(LpuConfig::new(6, 4))
+                .compile()
+                .unwrap();
             let report = flow.verify_against_netlist(seed).unwrap();
             assert_eq!(report.outputs_checked, 4);
             assert!(flow.stats.clock_cycles > 0);
@@ -458,16 +490,15 @@ mod tests {
     #[test]
     fn merging_never_changes_results_but_reduces_mfgs() {
         let nl = RandomDag::strict(48, 8, 32).outputs(8).generate(11);
-        let merged = Flow::compile(&nl, &LpuConfig::new(8, 8), &FlowOptions::default()).unwrap();
-        let unmerged = Flow::compile(
-            &nl,
-            &LpuConfig::new(8, 8),
-            &FlowOptions {
-                merge: false,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let merged = Flow::builder(&nl)
+            .config(LpuConfig::new(8, 8))
+            .compile()
+            .unwrap();
+        let unmerged = Flow::builder(&nl)
+            .config(LpuConfig::new(8, 8))
+            .merge(false)
+            .compile()
+            .unwrap();
         merged.verify_against_netlist(1).unwrap();
         unmerged.verify_against_netlist(1).unwrap();
         assert!(merged.stats.mfgs < unmerged.stats.mfgs);
@@ -482,7 +513,10 @@ mod tests {
         let g = nl.add_gate2(Op::And, a, b);
         nl.add_output(g, "y");
         nl.add_output(a, "a_copy");
-        let flow = Flow::compile(&nl, &LpuConfig::new(4, 2), &FlowOptions::default()).unwrap();
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 2))
+            .compile()
+            .unwrap();
         flow.verify_against_netlist(3).unwrap();
     }
 
@@ -493,15 +527,11 @@ mod tests {
         let one = nl.add_const(true);
         let g = nl.add_gate2(Op::Or, a, one); // constant 1
         nl.add_output(g, "y");
-        let flow = Flow::compile(
-            &nl,
-            &LpuConfig::new(2, 2),
-            &FlowOptions {
-                optimize: false, // keep the constant gate
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(2, 2))
+            .optimize(false) // keep the constant gate
+            .compile()
+            .unwrap();
         flow.verify_against_netlist(5).unwrap();
     }
 
@@ -523,6 +553,7 @@ mod tests {
             .merge(false)
             .compile()
             .unwrap();
+        #[allow(deprecated)]
         let via_shim = Flow::compile(
             &nl,
             &config,
@@ -564,7 +595,10 @@ mod tests {
     #[test]
     fn throughput_report_consistency() {
         let nl = RandomDag::strict(16, 4, 8).outputs(2).generate(2);
-        let flow = Flow::compile(&nl, &LpuConfig::new(8, 4), &FlowOptions::default()).unwrap();
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(8, 4))
+            .compile()
+            .unwrap();
         let t = flow.throughput();
         assert_eq!(t.batch, 16);
         assert_eq!(t.clock_cycles, flow.stats.steady_clock_cycles);

@@ -27,9 +27,15 @@
 //! * **Serving** ([`engine`], [`model`]) — the deployment API: compile
 //!   once, serve forever. An [`Engine`] owns a validated machine and its
 //!   reusable buffers for back-to-back batch replay; a
-//!   [`CompiledModel`](model::CompiledModel) compiles a whole multi-block
+//!   [`CompiledModel`] compiles a whole multi-block
 //!   workload into one artifact with per-layer stats and aggregate
-//!   throughput.
+//!   throughput. Engines execute on one of two bit-identical
+//!   [`Backend`]s — the cycle-accurate machine ([`Backend::Scalar`]) or
+//!   branch-free bit-sliced 64-lane word kernels
+//!   ([`Backend::BitSliced64`]) — selected via
+//!   [`FlowBuilder::backend`](flow::FlowBuilder::backend), and
+//!   [`Engine::run_batches`] shards batch sequences across worker
+//!   threads.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +58,8 @@
 //! # Ok::<(), lbnn_core::CoreError>(())
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod compiler;
 pub mod engine;
 pub mod error;
@@ -60,9 +68,9 @@ pub mod lpu;
 pub mod model;
 pub mod throughput;
 
-pub use engine::Engine;
+pub use engine::{Backend, Engine};
 pub use error::CoreError;
 pub use flow::{Flow, FlowBuilder, FlowOptions, FlowStats};
 pub use lpu::{LpuConfig, LpuMachine};
 pub use model::{CompiledModel, LayerSpec, ServingMode};
-pub use throughput::ThroughputReport;
+pub use throughput::{ThroughputReport, WallTiming};

@@ -115,14 +115,17 @@ pub fn propose(program: &LpuProgram, config: &LpuConfig) -> HeteroProposal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{Flow, FlowOptions};
+    use crate::flow::Flow;
     use lbnn_netlist::random::RandomDag;
 
     /// A graph whose width shrinks sharply with depth: classic cone shape
     /// where late LPVs see narrow levels.
     fn cone_flow(m: usize, n: usize) -> Flow {
         let nl = RandomDag::strict(4 * m, 3, 2 * m).outputs(1).generate(8);
-        Flow::compile(&nl, &LpuConfig::new(m, n), &FlowOptions::default()).unwrap()
+        Flow::builder(&nl)
+            .config(LpuConfig::new(m, n))
+            .compile()
+            .unwrap()
     }
 
     #[test]
@@ -160,7 +163,10 @@ mod tests {
         // A dense rectangular graph keeps every LPV near peak width; the
         // proposal should stay at (or near) the uniform sizing.
         let nl = RandomDag::strict(16, 8, 8).outputs(8).generate(3);
-        let flow = Flow::compile(&nl, &LpuConfig::new(8, 4), &FlowOptions::default()).unwrap();
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(8, 4))
+            .compile()
+            .unwrap();
         let proposal = propose(&flow.program, &flow.config);
         assert!(
             proposal

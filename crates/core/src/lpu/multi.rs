@@ -110,7 +110,10 @@ impl MultiLpu {
         options: &FlowOptions,
     ) -> Result<MultiLpuReport, CoreError> {
         let config = self.effective_config();
-        let flow = Flow::compile(netlist, &config, options)?;
+        let flow = Flow::builder(netlist)
+            .config(config)
+            .options(*options)
+            .compile()?;
         let (ii, lanes) = match self.assembly {
             Assembly::Parallel(k) => (
                 flow.stats.steady_clock_cycles as f64 / k as f64,

@@ -9,7 +9,7 @@
 
 use lbnn_netlist::{Lanes, Netlist};
 
-use crate::engine::Engine;
+use crate::engine::{Backend, Engine};
 use crate::error::CoreError;
 use crate::flow::{Flow, FlowOptions, FlowStats};
 use crate::lpu::machine::RunResult;
@@ -117,6 +117,13 @@ impl CompiledLayer {
     /// The compiled flow (all compiler artifacts).
     pub fn flow(&self) -> &Flow {
         &self.flow
+    }
+
+    /// The execution backend this layer's engine replays batches on
+    /// (set by [`FlowOptions::backend`] at compile time; bit-identical
+    /// across backends).
+    pub fn backend(&self) -> Backend {
+        self.flow.backend
     }
 
     /// Compile-time statistics of the block.

@@ -6,6 +6,30 @@
 //! sequence of FFCL blocks (one or more per layer) executed back to back;
 //! its FPS divides the batch by the summed cycles.
 
+use crate::engine::Backend;
+
+/// Wall-clock measurement of one simulated serving run, attached to a
+/// [`ThroughputReport`] by
+/// [`Engine::run_batches_timed`](crate::engine::Engine::run_batches_timed).
+///
+/// The model-time fields of the report describe what the *hardware* would
+/// do; this records what the chosen software [`Backend`] actually took on
+/// the host, which is the number that distinguishes backends and worker
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallTiming {
+    /// Backend that executed the run.
+    pub backend: Backend,
+    /// Worker threads the batches were sharded over.
+    pub workers: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Wall-clock time of the whole run in microseconds.
+    pub elapsed_us: f64,
+    /// Measured host throughput in samples (lanes) per second.
+    pub samples_per_sec: f64,
+}
+
 /// Throughput of a single compiled block.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThroughputReport {
@@ -19,6 +43,19 @@ pub struct ThroughputReport {
     pub fps: f64,
     /// Latency of one pass in microseconds.
     pub latency_us: f64,
+    /// Measured wall-clock timing of the backend that produced this
+    /// report, when the report comes from a timed run (`None` for purely
+    /// analytic reports).
+    pub wall: Option<WallTiming>,
+}
+
+impl ThroughputReport {
+    /// Attaches a wall-clock measurement to an analytic report.
+    #[must_use]
+    pub fn with_wall(mut self, wall: WallTiming) -> Self {
+        self.wall = Some(wall);
+        self
+    }
 }
 
 /// Computes FPS for a block: `freq · batch / cycles`.
@@ -35,6 +72,7 @@ pub fn block_throughput(clock_cycles: u64, batch: usize, freq_mhz: f64) -> Throu
         freq_mhz,
         fps: batch as f64 / seconds,
         latency_us: seconds * 1e6,
+        wall: None,
     }
 }
 

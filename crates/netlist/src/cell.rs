@@ -107,6 +107,48 @@ impl Op {
         }
     }
 
+    /// The branch-free kernel of this operation as *algebraic normal form*
+    /// (ANF) coefficient masks `[k0, k1, k2, k3]`, each `0` or `!0`.
+    ///
+    /// Every one- and two-input Boolean function is a polynomial over
+    /// GF(2): `f(a, b) = k0 ⊕ (k1·b) ⊕ (k2·a) ⊕ (k3·a·b)`. Expanding the
+    /// four coefficients to full-width masks turns every cell of the
+    /// library into the *same* straight-line word kernel,
+    ///
+    /// ```text
+    /// out = k0 ^ (k1 & b) ^ (k2 & a) ^ (k3 & a & b)
+    /// ```
+    ///
+    /// with no data-dependent branch and no per-opcode dispatch — the form
+    /// the bit-sliced evaluator ([`crate::eval::BitSliceEvaluator`])
+    /// executes 64 samples at a time.
+    ///
+    /// ```
+    /// use lbnn_netlist::Op;
+    /// let [k0, k1, k2, k3] = Op::Nand.anf_masks();
+    /// let (a, b) = (0b1100u64, 0b1010);
+    /// let out = k0 ^ (k1 & b) ^ (k2 & a) ^ (k3 & a & b);
+    /// assert_eq!(out & 0xF, 0b0111); // NAND truth table, bit i = row i
+    /// ```
+    #[inline]
+    pub fn anf_masks(self) -> [u64; 4] {
+        // (k0, k1, k2, k3) as single bits; `Input` behaves as `Buf` so the
+        // kernel is total over the arena.
+        let bits: [u64; 4] = match self {
+            Op::Input | Op::Buf => [0, 0, 1, 0],
+            Op::Const0 => [0, 0, 0, 0],
+            Op::Const1 => [1, 0, 0, 0],
+            Op::And => [0, 0, 0, 1],
+            Op::Or => [0, 1, 1, 1],
+            Op::Xor => [0, 1, 1, 0],
+            Op::Xnor => [1, 1, 1, 0],
+            Op::Nand => [1, 0, 0, 1],
+            Op::Nor => [1, 1, 1, 1],
+            Op::Not => [1, 0, 1, 0],
+        };
+        bits.map(|k| k.wrapping_neg())
+    }
+
     /// The operation computing the complement of this operation's output,
     /// when one exists in the cell library.
     pub fn negated(self) -> Option<Op> {
@@ -232,6 +274,37 @@ mod tests {
                 let wb = if b { !0u64 } else { 0 };
                 let expect = if op.eval_bit(a, b) { !0u64 } else { 0 };
                 assert_eq!(op.eval_word(wa, wb), expect, "{op} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn anf_masks_agree_with_eval_bit() {
+        // Every opcode, every operand combination: the uniform ANF kernel
+        // computes the same function as the reference evaluator.
+        let all = [
+            Op::Input,
+            Op::Const0,
+            Op::Const1,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Xnor,
+            Op::Nand,
+            Op::Nor,
+            Op::Not,
+            Op::Buf,
+        ];
+        for op in all {
+            let [k0, k1, k2, k3] = op.anf_masks();
+            for bits in 0u8..4 {
+                let a = bits & 1 != 0;
+                let b = bits & 2 != 0;
+                let wa = if a { !0u64 } else { 0 };
+                let wb = if b { !0u64 } else { 0 };
+                let out = k0 ^ (k1 & wb) ^ (k2 & wa) ^ (k3 & wa & wb);
+                let expect = if op.eval_bit(a, b) { !0u64 } else { 0 };
+                assert_eq!(out, expect, "{op} a={a} b={b}");
             }
         }
     }

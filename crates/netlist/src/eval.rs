@@ -5,6 +5,19 @@
 //! models exactly that — a vector of Boolean lanes packed into `u64` words —
 //! and [`evaluate`] runs the whole netlist across all lanes at once. This is
 //! the golden reference the cycle-accurate LPU simulator is tested against.
+//!
+//! Two evaluation strategies share the [`Lanes`] I/O format:
+//!
+//! * [`evaluate`] — walks the netlist arena directly, one [`Lanes`]
+//!   allocation per net. Simple, and the oracle everything else is tested
+//!   against.
+//! * [`BitSliceEvaluator`] — compiles the netlist once into a flat tape of
+//!   branch-free ANF word kernels ([`crate::Op::anf_masks`]) over a
+//!   [`BitSlice64`] frame (one `u64` per net = 64 samples), then replays
+//!   the tape per 64-lane block. No per-net allocation, no per-gate
+//!   dispatch: this is the software analogue of the LPU's word-level
+//!   parallelism and the kernel behind the serving layer's bit-sliced
+//!   backend.
 
 use crate::cell::Op;
 use crate::error::NetlistError;
@@ -229,6 +242,251 @@ pub fn evaluate(netlist: &Netlist, inputs: &[Lanes]) -> Result<Vec<Lanes>, Netli
         .collect())
 }
 
+/// One bit-sliced execution frame: a single `u64` per net, so one frame
+/// holds the values of 64 independent samples for every signal of the
+/// netlist at once.
+///
+/// Frames are plain scratch storage — [`BitSliceEvaluator::run_block`]
+/// fills one from packed inputs, replays the kernel tape over it, and
+/// reads the primary outputs back out. Reusing a frame across blocks and
+/// batches keeps steady-state evaluation allocation-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSlice64 {
+    words: Vec<u64>,
+}
+
+impl BitSlice64 {
+    /// A frame with `slots` nets, all 64 lanes zero.
+    pub fn with_slots(slots: usize) -> Self {
+        BitSlice64 {
+            words: vec![0; slots],
+        }
+    }
+
+    /// Number of net slots in the frame.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The 64 packed samples of net `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= slots()`.
+    #[inline]
+    pub fn word(&self, slot: usize) -> u64 {
+        self.words[slot]
+    }
+
+    /// Sets the 64 packed samples of net `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= slots()`.
+    #[inline]
+    pub fn set_word(&mut self, slot: usize, value: u64) {
+        self.words[slot] = value;
+    }
+
+    /// Resizes the frame to `slots` nets (new slots are zero).
+    fn reshape(&mut self, slots: usize) {
+        self.words.resize(slots, 0);
+    }
+}
+
+/// One straight-line kernel step: `frame[out] = k0 ^ (k1 & frame[b]) ^
+/// (k2 & frame[a]) ^ (k3 & frame[a] & frame[b])`.
+///
+/// The coefficients come from [`crate::Op::anf_masks`]; single-input and
+/// constant cells simply have the unused coefficients zeroed, so every
+/// gate kind executes the same branch-free sequence of bitwise ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SliceInstr {
+    a: u32,
+    b: u32,
+    out: u32,
+    k: [u64; 4],
+}
+
+/// A netlist compiled into a bit-sliced 64-lane kernel tape.
+///
+/// Compilation walks the arena once, turning every executable cell into a
+/// kernel instruction in topological order. Evaluation then processes the
+/// batch 64 lanes at a time: load each primary input's packed word into a
+/// [`BitSlice64`] frame, replay the tape, read the primary outputs back.
+/// Results are bit-identical to [`evaluate`] on the same inputs.
+///
+/// # Example
+///
+/// ```
+/// use lbnn_netlist::eval::{evaluate, BitSliceEvaluator};
+/// use lbnn_netlist::{Lanes, Netlist, Op};
+/// let mut nl = Netlist::new("f");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let y = nl.add_gate2(Op::Nand, a, b);
+/// nl.add_output(y, "y");
+/// let inputs = [
+///     Lanes::from_bools(&[true, true, false]),
+///     Lanes::from_bools(&[true, false, true]),
+/// ];
+/// let sliced = BitSliceEvaluator::compile(&nl);
+/// assert_eq!(
+///     sliced.evaluate(&inputs).unwrap(),
+///     evaluate(&nl, &inputs).unwrap(),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitSliceEvaluator {
+    /// Straight-line program, one instruction per executable node.
+    tape: Vec<SliceInstr>,
+    /// Frame slot of each primary input, in [`Netlist::inputs`] order.
+    inputs: Vec<u32>,
+    /// Frame slot of each primary output, in [`Netlist::outputs`] order.
+    outputs: Vec<u32>,
+    /// Frame size (one slot per netlist node).
+    slots: usize,
+}
+
+impl BitSliceEvaluator {
+    /// Compiles `netlist` into a kernel tape.
+    ///
+    /// The arena's topological order is the tape order; primary inputs
+    /// occupy frame slots but emit no instruction.
+    pub fn compile(netlist: &Netlist) -> Self {
+        let mut tape = Vec::with_capacity(netlist.len());
+        for (id, node) in netlist.iter() {
+            if node.op() == Op::Input {
+                continue;
+            }
+            let fan = node.fanins();
+            // Unused operands read slot 0 behind a zero mask — harmless,
+            // and it keeps the kernel uniform across arities.
+            let a = fan.first().map_or(0, |f| f.index() as u32);
+            let b = fan.get(1).map_or(a, |f| f.index() as u32);
+            tape.push(SliceInstr {
+                a,
+                b,
+                out: id.index() as u32,
+                k: node.op().anf_masks(),
+            });
+        }
+        BitSliceEvaluator {
+            tape,
+            inputs: netlist.inputs().iter().map(|i| i.index() as u32).collect(),
+            outputs: netlist
+                .outputs()
+                .iter()
+                .map(|o| o.node.index() as u32)
+                .collect(),
+            slots: netlist.len(),
+        }
+    }
+
+    /// Number of kernel instructions (executable nets).
+    pub fn tape_len(&self) -> usize {
+        self.tape.len()
+    }
+
+    /// Number of primary inputs the evaluator expects.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs the evaluator produces.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// A frame sized for this evaluator's netlist.
+    pub fn frame(&self) -> BitSlice64 {
+        BitSlice64::with_slots(self.slots)
+    }
+
+    /// Replays the kernel tape over one 64-lane frame in place.
+    ///
+    /// The caller loads the primary-input words first (slots from the
+    /// compiled input map); afterwards every net's slot holds its value
+    /// for all 64 lanes. [`BitSliceEvaluator::evaluate`] wraps the
+    /// packing/unpacking; this is the raw kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` has fewer slots than the compiled netlist.
+    #[inline]
+    pub fn run_block(&self, frame: &mut BitSlice64) {
+        assert!(frame.slots() >= self.slots, "frame too small for tape");
+        let words = &mut frame.words;
+        for i in &self.tape {
+            let a = words[i.a as usize];
+            let b = words[i.b as usize];
+            words[i.out as usize] = i.k[0] ^ (i.k[1] & b) ^ (i.k[2] & a) ^ (i.k[3] & a & b);
+        }
+    }
+
+    /// Evaluates the whole batch, reusing `frame` as scratch across
+    /// 64-lane blocks. Semantics match [`evaluate`]; `lanes` overrides the
+    /// batch width (used by no-input netlists, where width cannot be
+    /// inferred from `inputs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputArity`] on an input-count mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lane vectors have inconsistent lane counts or
+    /// fewer lanes than `lanes`.
+    pub fn evaluate_with(
+        &self,
+        inputs: &[Lanes],
+        lanes: usize,
+        frame: &mut BitSlice64,
+    ) -> Result<Vec<Lanes>, NetlistError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(NetlistError::InputArity {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        for l in inputs {
+            assert_eq!(l.len(), lanes, "inconsistent lane counts across inputs");
+        }
+        frame.reshape(self.slots);
+        let blocks = lanes.div_ceil(64);
+        let mut out_words: Vec<Vec<u64>> = vec![Vec::with_capacity(blocks); self.outputs.len()];
+        for block in 0..blocks {
+            for (lanes_in, &slot) in inputs.iter().zip(&self.inputs) {
+                frame.words[slot as usize] = lanes_in.words()[block];
+            }
+            self.run_block(frame);
+            for (words, &slot) in out_words.iter_mut().zip(&self.outputs) {
+                words.push(frame.words[slot as usize]);
+            }
+        }
+        Ok(out_words
+            .into_iter()
+            .map(|words| Lanes::from_words(words, lanes))
+            .collect())
+    }
+
+    /// Evaluates the netlist across all lanes — the bit-sliced counterpart
+    /// of [`evaluate`], with identical semantics and results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputArity`] on an input-count mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lane vectors have inconsistent lane counts.
+    pub fn evaluate(&self, inputs: &[Lanes]) -> Result<Vec<Lanes>, NetlistError> {
+        let lanes = inputs.first().map_or(0, Lanes::len);
+        self.evaluate_with(inputs, lanes, &mut self.frame())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +559,70 @@ mod tests {
         nl.add_output(y, "y");
         let out = evaluate(&nl, &[Lanes::from_bools(&[true, false, true])]).unwrap();
         assert_eq!(out[0].to_bools(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn bitsliced_matches_evaluate() {
+        use crate::random::RandomDag;
+        for seed in 0..6 {
+            let nl = RandomDag::loose(7, 5, 8).outputs(3).generate(seed);
+            let sliced = BitSliceEvaluator::compile(&nl);
+            assert_eq!(sliced.num_inputs(), nl.inputs().len());
+            assert_eq!(sliced.num_outputs(), nl.outputs().len());
+            // Deliberately awkward widths: sub-word, exact word, multi-word
+            // with tail.
+            for lanes in [1usize, 63, 64, 65, 130, 256] {
+                let inputs: Vec<Lanes> = (0..nl.inputs().len())
+                    .map(|i| {
+                        let bits: Vec<bool> = (0..lanes)
+                            .map(|l| (seed as usize + i * 31 + l * 7).is_multiple_of(3))
+                            .collect();
+                        Lanes::from_bools(&bits)
+                    })
+                    .collect();
+                let want = evaluate(&nl, &inputs).unwrap();
+                let got = sliced.evaluate(&inputs).unwrap();
+                assert_eq!(got, want, "seed {seed} lanes {lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitsliced_constants_and_arity_errors() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let one = nl.add_const(true);
+        let y = nl.add_gate2(Op::Xor, a, one);
+        nl.add_output(y, "y");
+        let sliced = BitSliceEvaluator::compile(&nl);
+        let out = sliced
+            .evaluate(&[Lanes::from_bools(&[true, false, true])])
+            .unwrap();
+        assert_eq!(out[0].to_bools(), vec![false, true, false]);
+        assert!(matches!(
+            sliced.evaluate(&[]),
+            Err(NetlistError::InputArity {
+                expected: 1,
+                got: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn bitsliced_frame_reuse_across_widths() {
+        let mut nl = Netlist::new("n");
+        let a = nl.add_input("a");
+        let y = nl.add_gate1(Op::Not, a);
+        nl.add_output(y, "y");
+        let sliced = BitSliceEvaluator::compile(&nl);
+        assert_eq!(sliced.tape_len(), 1);
+        let mut frame = sliced.frame();
+        for lanes in [100usize, 3, 64] {
+            let out = sliced
+                .evaluate_with(&[Lanes::zeros(lanes)], lanes, &mut frame)
+                .unwrap();
+            assert_eq!(out[0].count_ones(), lanes, "NOT of all-zero = all-one");
+        }
     }
 
     #[test]

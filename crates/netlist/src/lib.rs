@@ -13,7 +13,9 @@
 //! * depth levelization ([`levelize`]) and full path balancing ([`balance`]),
 //!   the two pre-processing steps the paper's compiler requires,
 //! * bit-parallel functional evaluation ([`eval`]) used as the correctness
-//!   oracle for the LPU simulator,
+//!   oracle for the LPU simulator, plus the bit-sliced 64-lane kernel
+//!   compiler ([`BitSliceEvaluator`]) behind the serving layer's fast
+//!   execution backend,
 //! * seeded random netlist generators ([`random`]) for tests and benchmarks.
 //!
 //! ## Example
@@ -45,6 +47,6 @@ pub mod verilog;
 
 pub use cell::Op;
 pub use error::NetlistError;
-pub use eval::Lanes;
+pub use eval::{BitSlice64, BitSliceEvaluator, Lanes};
 pub use levelize::Levels;
 pub use netlist::{Netlist, Node, NodeId};

@@ -1,7 +1,7 @@
 //! Property-based tests for the netlist substrate.
 
 use lbnn_netlist::balance::balance;
-use lbnn_netlist::eval::{evaluate, Lanes};
+use lbnn_netlist::eval::{evaluate, BitSliceEvaluator, Lanes};
 use lbnn_netlist::random::RandomDag;
 use lbnn_netlist::verilog::{parse_verilog, write_verilog};
 use lbnn_netlist::Levels;
@@ -103,6 +103,50 @@ proptest! {
                         stack.push((f, d + 1));
                     }
                 }
+            }
+        }
+    }
+
+    /// One bit-sliced 64-lane pass equals 64 independent scalar passes:
+    /// the defining property of the `BitSlice64` packing — every bit
+    /// position of the word is a fully independent sample.
+    #[test]
+    fn bitsliced_pass_equals_64_scalar_passes(
+        seed in 0u64..10_000,
+        inputs in 2usize..8,
+        depth in 1usize..6,
+        width in 1usize..7,
+        outputs in 1usize..4,
+        loose in proptest::bool::ANY,
+    ) {
+        let gen = if loose {
+            RandomDag::loose(inputs, depth, width)
+        } else {
+            RandomDag::strict(inputs, depth, width)
+        };
+        let nl = gen.outputs(outputs).generate(seed);
+
+        // 64 pseudo-random scalar input vectors, one per lane.
+        let vectors: Vec<Vec<bool>> = (0..64)
+            .map(|l| {
+                (0..inputs)
+                    .map(|i| (seed as usize).wrapping_add(l * 131 + i * 17) % 5 < 2)
+                    .collect()
+            })
+            .collect();
+
+        // One bit-sliced pass over the packed 64-lane batch.
+        let packed: Vec<Lanes> = (0..inputs)
+            .map(|i| Lanes::from_bools(&vectors.iter().map(|v| v[i]).collect::<Vec<_>>()))
+            .collect();
+        let sliced = BitSliceEvaluator::compile(&nl);
+        let got = sliced.evaluate(&packed).unwrap();
+
+        // 64 independent scalar passes.
+        for (lane, v) in vectors.iter().enumerate() {
+            let scalar = nl.eval_bools(v);
+            for (o, out) in got.iter().enumerate() {
+                prop_assert_eq!(out.get(lane), scalar[o], "lane {} output {}", lane, o);
             }
         }
     }

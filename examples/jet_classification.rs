@@ -5,6 +5,11 @@
 //! ```sh
 //! cargo run --release -p lbnn --example jet_classification
 //! ```
+//!
+//! A doc-tested miniature of this program lives in the
+//! `lbnn::examples` module docs (section `intrusion_detection` / `jet_classification`) and runs
+//! under `cargo test --doc`, so the API sequence shown here cannot
+//! silently rot.
 
 use lbnn::baselines::LogicNets;
 use lbnn::models::dataset::synthetic_jsc;

@@ -5,6 +5,11 @@
 //! ```sh
 //! cargo run --release -p lbnn --example quickstart
 //! ```
+//!
+//! A doc-tested miniature of this program lives in the
+//! `lbnn::examples` module docs (section `quickstart`) and runs
+//! under `cargo test --doc`, so the API sequence shown here cannot
+//! silently rot.
 
 use lbnn::netlist::{Lanes, Netlist, Op};
 use lbnn::{Flow, LpuConfig};

@@ -5,6 +5,11 @@
 //! ```sh
 //! cargo run --release -p lbnn --example schedule_diagram
 //! ```
+//!
+//! A doc-tested miniature of this program lives in the
+//! `lbnn::examples` module docs (section `schedule_diagram`) and runs
+//! under `cargo test --doc`, so the API sequence shown here cannot
+//! silently rot.
 
 use lbnn::core::compiler::merge::merge_mfgs;
 use lbnn::core::compiler::partition::{partition, PartitionOptions};

@@ -4,6 +4,11 @@
 //! ```sh
 //! cargo run --release -p lbnn --example verilog_flow
 //! ```
+//!
+//! A doc-tested miniature of this program lives in the
+//! `lbnn::examples` module docs (section `verilog_flow`) and runs
+//! under `cargo test --doc`, so the API sequence shown here cannot
+//! silently rot.
 
 use lbnn::core::lpu::resource::estimate_with_depth;
 use lbnn::netlist::verilog::{parse_verilog, write_verilog};

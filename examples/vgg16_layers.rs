@@ -4,6 +4,11 @@
 //! ```sh
 //! cargo run --release -p lbnn --example vgg16_layers
 //! ```
+//!
+//! A doc-tested miniature of this program lives in the
+//! `lbnn::examples` module docs (section `vgg16_layers`) and runs
+//! under `cargo test --doc`, so the API sequence shown here cannot
+//! silently rot.
 
 use lbnn::bench::{bench_workload_options, compile_model, fmt_fps, ModelReport};
 use lbnn::{LpuConfig, ServingMode};

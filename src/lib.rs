@@ -16,6 +16,13 @@
 //!    (one block per layer), with per-layer stats and aggregate
 //!    throughput.
 //!
+//! Engines replay on one of two bit-identical [`Backend`]s — the
+//! cycle-accurate machine ([`Backend::Scalar`]) or bit-sliced 64-lane
+//! word kernels ([`Backend::BitSliced64`]), selected with
+//! [`FlowBuilder::backend`] — and [`Engine::run_batches`] shards batch
+//! sequences across worker threads. `docs/ARCHITECTURE.md` maps the
+//! crate layers end to end.
+//!
 //! ```
 //! use lbnn::{Flow, LpuConfig};
 //! use lbnn::netlist::random::RandomDag;
@@ -45,7 +52,7 @@
 //! | [`core`] | `lbnn-core` | compiler, cycle-accurate LPU, serving layer |
 //! | [`models`] | `lbnn-models` | model zoo, datasets, workload construction |
 //! | [`baselines`] | `lbnn-baselines` | analytic MAC/XNOR/LogicNets baselines |
-//! | [`bench`] | `lbnn-bench` | table/figure reproduction harness |
+//! | [`bench`](mod@bench) | `lbnn-bench` | table/figure reproduction harness |
 
 pub use lbnn_baselines as baselines;
 pub use lbnn_bench as bench;
@@ -57,6 +64,14 @@ pub use lbnn_nullanet as nullanet;
 pub use lbnn_switch as switch;
 
 pub use lbnn_core::{
-    CompiledModel, CoreError, Engine, Flow, FlowBuilder, FlowOptions, FlowStats, LayerSpec,
-    LpuConfig, LpuMachine, ServingMode, ThroughputReport,
+    Backend, CompiledModel, CoreError, Engine, Flow, FlowBuilder, FlowOptions, FlowStats,
+    LayerSpec, LpuConfig, LpuMachine, ServingMode, ThroughputReport, WallTiming,
 };
+
+/// Compiles the README's code blocks as doctests (`cargo test --doc`),
+/// so the quickstart in the repository front page cannot rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
+pub mod examples;

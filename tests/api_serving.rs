@@ -8,7 +8,7 @@ use lbnn::models::workload::{model_specs, model_workloads, WorkloadOptions};
 use lbnn::models::zoo;
 use lbnn::netlist::random::RandomDag;
 use lbnn::netlist::Lanes;
-use lbnn::{CompiledModel, Engine, Flow, FlowOptions, LpuConfig, ServingMode};
+use lbnn::{Backend, CompiledModel, Engine, Flow, FlowOptions, LpuConfig, ServingMode};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -70,6 +70,8 @@ fn builder_defaults_equal_flow_options_default() {
 
     let config = LpuConfig::new(6, 4);
     let defaulted = Flow::builder(&netlist).config(config).compile().unwrap();
+    // The deprecated positional shim must keep agreeing with the builder.
+    #[allow(deprecated)]
     let explicit = Flow::compile(&netlist, &config, &FlowOptions::default()).unwrap();
     assert_eq!(defaulted.stats, explicit.stats);
     let mut rng = StdRng::seed_from_u64(5);
@@ -170,5 +172,97 @@ fn engines_are_independent() {
     let all = a.run_batches(&batches).unwrap();
     for (res, want) in all.iter().zip(&solo) {
         assert_eq!(&res.outputs, want);
+    }
+}
+
+/// The bit-sliced backend is bit-identical to the scalar machine on a
+/// real extracted workload (JSC-M layer blocks), across batch widths that
+/// exercise sub-word, exact-word and multi-word 64-lane blocks.
+#[test]
+fn bitsliced_backend_matches_scalar_on_extracted_workloads() {
+    let model = zoo::jsc_m();
+    let config = LpuConfig::new(16, 4);
+    let wl = small_options();
+    let mut rng = StdRng::seed_from_u64(2023);
+    for workload in model_workloads(&model, &wl) {
+        let scalar = Flow::builder(&workload.netlist)
+            .config(config)
+            .compile()
+            .unwrap();
+        let sliced = Flow::builder(&workload.netlist)
+            .config(config)
+            .backend(Backend::BitSliced64)
+            .compile()
+            .unwrap();
+        let mut scalar_engine = scalar.engine().unwrap();
+        let mut sliced_engine = sliced.engine().unwrap();
+        for lanes in [1usize, 64, 129] {
+            let batch = random_lanes(&mut rng, workload.netlist.inputs().len(), lanes);
+            let a = scalar_engine.run_batch(&batch).unwrap();
+            let b = sliced_engine.run_batch(&batch).unwrap();
+            assert_eq!(a.outputs, b.outputs, "{} lanes {lanes}", workload.name);
+        }
+    }
+}
+
+/// A whole model compiled on the bit-sliced backend infers bit-identically
+/// to the scalar-backend artifact.
+#[test]
+fn compiled_model_infer_is_backend_independent() {
+    let model = zoo::jsc_m();
+    let config = LpuConfig::new(16, 4);
+    let wl = small_options();
+    let specs = model_specs(&model, &wl);
+    let mut scalar =
+        CompiledModel::compile(model.name, specs.clone(), &config, &FlowOptions::default())
+            .unwrap();
+    let mut sliced = CompiledModel::compile(
+        model.name,
+        specs,
+        &config,
+        &FlowOptions {
+            backend: Backend::BitSliced64,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sliced.layers()[0].backend(), Backend::BitSliced64);
+
+    let first_inputs = scalar.layers()[0].source_netlist().inputs().len();
+    let mut rng = StdRng::seed_from_u64(4);
+    let inputs = random_lanes(&mut rng, first_inputs, 128);
+    let a = scalar.infer(&inputs).unwrap();
+    let b = sliced.infer(&inputs).unwrap();
+    assert_eq!(a.layer_outputs, b.layer_outputs);
+    assert_eq!(a.clock_cycles, b.clock_cycles);
+}
+
+/// Threaded batch sharding returns results in input order, bit-identical
+/// to sequential serving, on both backends.
+#[test]
+fn threaded_sharding_is_bit_identical_and_ordered() {
+    let netlist = RandomDag::strict(18, 6, 12).outputs(4).generate(12);
+    for backend in [Backend::Scalar, Backend::BitSliced64] {
+        let flow = Flow::builder(&netlist)
+            .config(LpuConfig::new(8, 4))
+            .backend(backend)
+            .compile()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(55);
+        let batches: Vec<Vec<Lanes>> = (0..9)
+            .map(|i| random_lanes(&mut rng, netlist.inputs().len(), 32 + 8 * i))
+            .collect();
+        let mut sequential = flow.engine().unwrap();
+        let expect = sequential.run_batches(&batches).unwrap();
+        let mut sharded = flow.engine().unwrap().with_workers(4);
+        let (got, report) = sharded.run_batches_timed(&batches).unwrap();
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.outputs, e.outputs, "backend {backend}");
+        }
+        let wall = report.wall.expect("timed run records wall timing");
+        assert_eq!(wall.backend, backend);
+        assert_eq!(wall.workers, 4);
+        assert_eq!(wall.batches, 9);
     }
 }
