@@ -1,0 +1,93 @@
+//! Times the compiler's pipeline passes individually — partition, merge,
+//! schedule, codegen — plus the full builder compile, so compile-time
+//! regressions are visible per stage alongside the serve benches.
+//!
+//! The isolated numbers here cross-check the `CompileReport` every
+//! `Flow` now carries (printed at the end for reference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_bench::bench_workload_options;
+use lbnn_core::compiler::codegen::generate;
+use lbnn_core::compiler::merge::merge_mfgs;
+use lbnn_core::compiler::partition::{partition, PartitionOptions};
+use lbnn_core::compiler::schedule::schedule_spacetime;
+use lbnn_core::flow::Flow;
+use lbnn_core::lpu::LpuConfig;
+use lbnn_models::workload::layer_workload;
+use lbnn_models::zoo;
+use lbnn_netlist::balance::balance;
+use lbnn_netlist::Levels;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let wl = bench_workload_options();
+    let model = zoo::lenet5();
+    let workload = layer_workload(&model.layers[2], 2, &wl);
+    let (balanced, _) = balance(&workload.netlist);
+    let levels = Levels::compute(&balanced);
+    let config = LpuConfig::new(64, 8);
+    let m = config.m;
+
+    // Fixed intermediates so each pass is measured in isolation, with the
+    // same shared-children-then-duplicate fallback the flow applies.
+    let raw = partition(&balanced, &levels, m, PartitionOptions::default()).unwrap();
+    let (part, schedule) = {
+        let (merged, _) = merge_mfgs(&raw, m);
+        match schedule_spacetime(&merged, config.n, m) {
+            Ok(s) => (merged, s),
+            Err(_) => {
+                let opts = PartitionOptions {
+                    duplicate_children: true,
+                    ..Default::default()
+                };
+                let raw = partition(&balanced, &levels, m, opts).unwrap();
+                let (merged, _) = merge_mfgs(&raw, m);
+                let s = schedule_spacetime(&merged, config.n, m).unwrap();
+                (merged, s)
+            }
+        }
+    };
+
+    let mut g = c.benchmark_group("compile_pipeline");
+    g.bench_function("partition", |b| {
+        b.iter(|| {
+            black_box(partition(
+                &balanced,
+                &levels,
+                m,
+                PartitionOptions::default(),
+            ))
+        })
+    });
+    g.bench_function("merge", |b| b.iter(|| black_box(merge_mfgs(&raw, m))));
+    g.bench_function("schedule", |b| {
+        b.iter(|| black_box(schedule_spacetime(&part, config.n, m)))
+    });
+    g.bench_function("codegen", |b| {
+        b.iter(|| black_box(generate(&balanced, &levels, &part, &schedule, &config)))
+    });
+    g.bench_function("full_compile", |b| {
+        b.iter(|| {
+            black_box(
+                Flow::builder(&workload.netlist)
+                    .config(config)
+                    .compile()
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+
+    // One pass-pipeline report for the same block, as the flow records it.
+    let flow = Flow::builder(&workload.netlist)
+        .config(config)
+        .compile()
+        .unwrap();
+    println!("\nCompileReport for {} (LeNet-5 L3 block):", workload.name);
+    for line in flow.report.to_string().lines() {
+        println!("  {line}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,19 +1,32 @@
 //! `lbnnc` — the command-line compiler driver: structural Verilog in,
 //! compiled/verified LPU program out. The CLI face of the paper's Fig 1
-//! flow.
+//! flow, including the artifact boundary: `--emit-artifact` writes a
+//! self-contained binary a later `--from-artifact` run (any process, any
+//! machine) loads straight into a serving engine without recompiling.
 //!
 //! ```text
-//! lbnnc <input.v> [options]
-//!   --m <N>            LPEs per LPV            (default 64)
-//!   --n <N>            LPVs per LPU            (default 16)
-//!   --no-merge         skip the MFG merging procedure (Algorithm 3)
-//!   --no-opt           skip logic optimization
-//!   --geq              use the pseudocode stop rule (>= m) instead of > m
-//!   --verify <SEED>    run the cycle-accurate machine against the netlist
-//!   --diagram          print the time-space schedule
-//!   --emit-verilog <F> write the mapped, balanced netlist as Verilog
-//!   --encode           report the binary program image size
+//! lbnnc <input.v> [options]            compile a netlist
+//! lbnnc --from-artifact <F> [input.v]  load a compiled artifact (the
+//!                                      optional netlist re-attaches the
+//!                                      original verification oracle)
+//!   --m <N>             LPEs per LPV            (default 64)
+//!   --n <N>             LPVs per LPU            (default 16)
+//!   --backend <B>       execution backend: scalar | bitsliced64; with
+//!                       --from-artifact, overrides the recorded backend
+//!                       (both serve bit-identically)
+//!   --no-merge          skip the MFG merging procedure (Algorithm 3)
+//!   --no-opt            skip logic optimization
+//!   --geq               use the pseudocode stop rule (>= m) instead of > m
+//!   --verify <SEED>     run the cycle-accurate machine against the netlist
+//!   --diagram           print the time-space schedule
+//!   --emit-verilog <F>  write the mapped, balanced netlist as Verilog
+//!   --emit-artifact <F> write the compiled flow as a serving artifact
+//!   --encode            report the binary program image size
 //! ```
+//!
+//! Every compile prints the pass pipeline's `CompileReport` (per-pass
+//! wall time and stat deltas); `--from-artifact` prints the report
+//! persisted inside the artifact.
 
 use std::process::ExitCode;
 
@@ -23,26 +36,38 @@ use lbnn_core::compiler::partition::StopRule;
 use lbnn_core::compiler::schedule::lpv_of_level;
 use lbnn_core::lpu::resource::estimate_with_depth;
 use lbnn_core::lpu::LpuConfig;
-use lbnn_core::Flow;
+use lbnn_core::{Backend, Flow};
 use lbnn_netlist::verilog::{parse_verilog, write_verilog};
 
 struct Args {
     input: String,
     m: usize,
     n: usize,
+    /// `Some` only when `--backend` appeared on the command line; in
+    /// `--from-artifact` mode an explicit backend overrides the one
+    /// recorded in the artifact (both serve bit-identically).
+    backend: Option<Backend>,
     merge: bool,
     optimize: bool,
     geq: bool,
     verify: Option<u64>,
     diagram: bool,
     emit_verilog: Option<String>,
+    emit_artifact: Option<String>,
+    from_artifact: Option<String>,
     encode: bool,
+    /// Compile-only flags seen on the command line, for a loud warning
+    /// when `--from-artifact` makes them meaningless.
+    compile_flags_seen: Vec<&'static str>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lbnnc <input.v> [--m N] [--n N] [--no-merge] [--no-opt] [--geq]\n\
-         \u{20}             [--verify SEED] [--diagram] [--emit-verilog FILE] [--encode]"
+        "usage: lbnnc <input.v> [--m N] [--n N] [--backend scalar|bitsliced64]\n\
+         \u{20}             [--no-merge] [--no-opt] [--geq] [--verify SEED] [--diagram]\n\
+         \u{20}             [--emit-verilog FILE] [--emit-artifact FILE] [--encode]\n\
+         \u{20}      lbnnc --from-artifact FILE [input.v] [--backend B] [--verify SEED]\n\
+         \u{20}             [--encode]"
     );
     std::process::exit(2);
 }
@@ -52,32 +77,54 @@ fn parse_args() -> Args {
         input: String::new(),
         m: 64,
         n: 16,
+        backend: None,
         merge: true,
         optimize: true,
         geq: false,
         verify: None,
         diagram: false,
         emit_verilog: None,
+        emit_artifact: None,
+        from_artifact: None,
         encode: false,
+        compile_flags_seen: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--m" => {
+                args.compile_flags_seen.push("--m");
                 args.m = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
             "--n" => {
+                args.compile_flags_seen.push("--n");
                 args.n = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
-            "--no-merge" => args.merge = false,
-            "--no-opt" => args.optimize = false,
-            "--geq" => args.geq = true,
+            "--backend" => {
+                args.backend = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--no-merge" => {
+                args.compile_flags_seen.push("--no-merge");
+                args.merge = false
+            }
+            "--no-opt" => {
+                args.compile_flags_seen.push("--no-opt");
+                args.optimize = false
+            }
+            "--geq" => {
+                args.compile_flags_seen.push("--geq");
+                args.geq = true
+            }
             "--verify" => {
                 args.verify = Some(
                     it.next()
@@ -87,6 +134,8 @@ fn parse_args() -> Args {
             }
             "--diagram" => args.diagram = true,
             "--emit-verilog" => args.emit_verilog = Some(it.next().unwrap_or_else(|| usage())),
+            "--emit-artifact" => args.emit_artifact = Some(it.next().unwrap_or_else(|| usage())),
+            "--from-artifact" => args.from_artifact = Some(it.next().unwrap_or_else(|| usage())),
             "--encode" => args.encode = true,
             "--help" | "-h" => usage(),
             other if args.input.is_empty() && !other.starts_with('-') => {
@@ -95,61 +144,38 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    if args.input.is_empty() {
+    if args.input.is_empty() && args.from_artifact.is_none() {
         usage();
     }
     args
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
-    let src = match std::fs::read_to_string(&args.input) {
+fn read_netlist_arg(path: &str) -> Result<lbnn_netlist::Netlist, ExitCode> {
+    let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("lbnnc: cannot read {}: {e}", args.input);
-            return ExitCode::FAILURE;
+            eprintln!("lbnnc: cannot read {path}: {e}");
+            return Err(ExitCode::FAILURE);
         }
     };
-    let netlist = match parse_verilog(&src) {
-        Ok(nl) => nl,
+    match parse_verilog(&src) {
+        Ok(nl) => Ok(nl),
         Err(e) => {
             eprintln!("lbnnc: parse error: {e}");
-            return ExitCode::FAILURE;
+            Err(ExitCode::FAILURE)
         }
-    };
-    println!(
-        "parsed `{}`: {} inputs, {} outputs, {} gates",
-        netlist.name(),
-        netlist.inputs().len(),
-        netlist.outputs().len(),
-        netlist.gate_count()
-    );
-
-    let config = LpuConfig::new(args.m, args.n);
-    let mut partition = PartitionOptions::default();
-    if args.geq {
-        partition.stop_rule = StopRule::GeqM;
     }
-    let flow = match Flow::builder(&netlist)
-        .config(config)
-        .merge(args.merge)
-        .optimize(args.optimize)
-        .partition(partition)
-        .compile()
-    {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("lbnnc: compilation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+}
 
+fn print_flow_summary(flow: &Flow) {
+    let config = &flow.config;
     println!(
-        "compiled for m={}, n={} @ {:.0} MHz (tc = {}):",
+        "compiled for m={}, n={} @ {:.0} MHz (tc = {}), backend {}:",
         config.m,
         config.n,
         config.freq_mhz,
-        config.tc()
+        config.tc(),
+        flow.backend
     );
     println!(
         "  {} gates, depth {}, {} balance buffers",
@@ -170,11 +196,146 @@ fn main() -> ExitCode {
         t.batch,
         100.0 * flow.occupancy()
     );
-    let r = estimate_with_depth(&config, flow.stats.queue_depth);
+    let r = estimate_with_depth(config, flow.stats.queue_depth);
     println!(
         "  estimated FPGA cost: {} FF, {} LUT, {} Kb BRAM",
         r.ff, r.lut, r.bram_kb
     );
+}
+
+fn print_compile_report(flow: &Flow) {
+    if flow.report.is_empty() {
+        println!("compile passes: (none recorded in this artifact)");
+        return;
+    }
+    println!("compile passes:");
+    for line in flow.report.to_string().lines() {
+        println!("  {line}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let flow = match &args.from_artifact {
+        // Serve-anywhere path: load a compiled artifact, no recompilation.
+        Some(path) => {
+            if !args.compile_flags_seen.is_empty() {
+                eprintln!(
+                    "lbnnc: warning: {} only affect compilation and are ignored with \
+                     --from-artifact (the artifact is already compiled)",
+                    args.compile_flags_seen.join(", ")
+                );
+            }
+            let mut flow = match Flow::load(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("lbnnc: cannot load artifact {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // The backend is a serving-time choice (both are
+            // bit-identical): an explicit --backend overrides the one
+            // recorded in the artifact.
+            if let Some(backend) = args.backend {
+                if backend != flow.backend {
+                    println!(
+                        "backend override: artifact recorded {}, serving on {backend}",
+                        flow.backend
+                    );
+                }
+                flow.backend = backend;
+            }
+            println!(
+                "loaded artifact `{path}`: {} inputs, {} outputs, {} gates",
+                flow.source.inputs().len(),
+                flow.source.outputs().len(),
+                flow.stats.gates
+            );
+            // An accompanying netlist re-attaches the original oracle, so
+            // --verify checks the served program against the *source*, not
+            // just the mapped netlist stored in the artifact.
+            if !args.input.is_empty() {
+                let netlist = match read_netlist_arg(&args.input) {
+                    Ok(nl) => nl,
+                    Err(code) => return code,
+                };
+                if netlist.inputs().len() != flow.source.inputs().len()
+                    || netlist.outputs().len() != flow.source.outputs().len()
+                {
+                    eprintln!(
+                        "lbnnc: {} has {} inputs / {} outputs but the artifact serves {} / {}",
+                        args.input,
+                        netlist.inputs().len(),
+                        netlist.outputs().len(),
+                        flow.source.inputs().len(),
+                        flow.source.outputs().len()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "verification oracle: `{}` from {}",
+                    netlist.name(),
+                    args.input
+                );
+                flow.source = netlist;
+            }
+            flow
+        }
+        // Compile path: Verilog in, compiled flow out.
+        None => {
+            let netlist = match read_netlist_arg(&args.input) {
+                Ok(nl) => nl,
+                Err(code) => return code,
+            };
+            println!(
+                "parsed `{}`: {} inputs, {} outputs, {} gates",
+                netlist.name(),
+                netlist.inputs().len(),
+                netlist.outputs().len(),
+                netlist.gate_count()
+            );
+            let config = LpuConfig::new(args.m, args.n);
+            let mut partition = PartitionOptions::default();
+            if args.geq {
+                partition.stop_rule = StopRule::GeqM;
+            }
+            match Flow::builder(&netlist)
+                .config(config)
+                .merge(args.merge)
+                .optimize(args.optimize)
+                .backend(args.backend.unwrap_or_default())
+                .partition(partition)
+                .compile()
+            {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("lbnnc: compilation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    print_flow_summary(&flow);
+    print_compile_report(&flow);
+
+    // Loaded artifacts go straight to a resident engine (that is their
+    // point); surface the serving parameters.
+    if args.from_artifact.is_some() {
+        match flow.engine() {
+            Ok(engine) => println!(
+                "engine ready: backend {}, {} clk between batches, {} lanes/batch",
+                engine.backend(),
+                engine.steady_clock_cycles_per_batch(),
+                flow.config.operand_bits()
+            ),
+            Err(e) => {
+                eprintln!("lbnnc: engine construction failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if let Some(seed) = args.verify {
         match flow.verify_against_netlist(seed) {
@@ -195,7 +356,7 @@ fn main() -> ExitCode {
                 "encoded image: {} bits ({} Kb) across {} x {} queue slots of {} bits",
                 img.total_bits(),
                 img.total_bits() / 1024,
-                config.n,
+                flow.config.n,
                 img.queue_depth,
                 img.format.word_bits()
             ),
@@ -207,21 +368,29 @@ fn main() -> ExitCode {
     }
 
     if args.diagram {
-        println!("\ntime-space schedule (rows = LPVs, cols = compute cycles):");
-        let cycles = flow.schedule.total_cycles;
-        let mut grid = vec![vec![' '; cycles]; config.n];
-        for (i, mfg) in flow.partition.mfgs.iter().enumerate() {
-            let letter = (b'A' + (i % 26) as u8) as char;
-            for &start in &flow.schedule.executions[i] {
-                for d in 0..mfg.depth() {
-                    let lpv = lpv_of_level(mfg.bottom() + d as u32, config.n);
-                    grid[lpv][start + d] = letter;
+        match &flow.artifacts {
+            None => println!(
+                "(no schedule diagram: artifacts store the program, not the compiler's \
+                 intermediate schedule)"
+            ),
+            Some(artifacts) => {
+                println!("\ntime-space schedule (rows = LPVs, cols = compute cycles):");
+                let cycles = artifacts.schedule.total_cycles;
+                let mut grid = vec![vec![' '; cycles]; flow.config.n];
+                for (i, mfg) in artifacts.partition.mfgs.iter().enumerate() {
+                    let letter = (b'A' + (i % 26) as u8) as char;
+                    for &start in &artifacts.schedule.executions[i] {
+                        for d in 0..mfg.depth() {
+                            let lpv = lpv_of_level(mfg.bottom() + d as u32, flow.config.n);
+                            grid[lpv][start + d] = letter;
+                        }
+                    }
+                }
+                for (lpv, row) in grid.iter().enumerate() {
+                    let line: String = row.iter().collect();
+                    println!("  LPV{lpv:<3} |{line}|");
                 }
             }
-        }
-        for (lpv, row) in grid.iter().enumerate() {
-            let line: String = row.iter().collect();
-            println!("  LPV{lpv:<3} |{line}|");
         }
     }
 
@@ -232,6 +401,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("mapped netlist written to {path}");
+    }
+
+    if let Some(path) = args.emit_artifact {
+        match flow.save(&path) {
+            Ok(()) => {
+                let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                println!("artifact written to {path} ({size} bytes) — reload with --from-artifact");
+            }
+            Err(e) => {
+                eprintln!("lbnnc: cannot write artifact {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     ExitCode::SUCCESS

@@ -13,9 +13,11 @@
 use lbnn_baselines::reported::{table2_fps, Impl2};
 use lbnn_baselines::{MacAccelerator, NullaDsp, XnorAccelerator};
 use lbnn_bench::{
-    backend_args, bench_workload_options, evaluate_model, fmt_fps, fmt_fps_opt, measure_block_wall,
+    backend_args, bench_workload_options, compile_model, evaluate_model, fmt_fps, fmt_fps_opt,
+    measure_block_wall, print_compile_pass_timings, ModelReport,
 };
 use lbnn_core::lpu::LpuConfig;
+use lbnn_core::{CompiledModel, ServingMode};
 use lbnn_models::workload::layer_workload;
 use lbnn_models::zoo;
 
@@ -34,6 +36,9 @@ fn main() {
         "{:<14} {:>17} {:>17} {:>17} {:>21}",
         "model", "MAC", "NullaDSP", "XNOR", "LPU"
     );
+    // LeNet-5's compiled artifact is kept for the pass-timing section at
+    // the end, so the model is not compiled a second time just for that.
+    let mut lenet: Option<CompiledModel> = None;
     for model in [
         zoo::vgg16_layers_2_13(),
         zoo::lenet5(),
@@ -45,7 +50,14 @@ fn main() {
             "VGG16[2:13]" => "VGG16",
             other => other,
         };
-        let lpu = evaluate_model(&model, &config, &wl, true);
+        let lpu = if model.name == "LENET5" {
+            let compiled = compile_model(&model, &config, &wl, true);
+            let report = ModelReport::from_compiled(&compiled, ServingMode::Throughput);
+            lenet = Some(compiled);
+            report
+        } else {
+            evaluate_model(&model, &config, &wl, true)
+        };
         let row = |m: f64, p: Option<f64>| format!("{} / {}", fmt_fps(m), fmt_fps_opt(p));
         // NullaDSP has no mixer rows in the paper (dash).
         let dsp_model = if paper_name.starts_with("MLPMixer") {
@@ -110,4 +122,10 @@ fn main() {
             report.freq_mhz
         );
     }
+
+    // Where whole-model compile time goes, per pipeline pass (the serve
+    // numbers above amortize this one-time cost forever). Reuses the
+    // LeNet-5 artifact compiled for the table.
+    println!();
+    print_compile_pass_timings(lenet.as_ref().expect("LeNet-5 compiled above"));
 }

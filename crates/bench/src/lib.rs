@@ -332,6 +332,65 @@ pub fn measure_block_wall(
     report
 }
 
+/// One pipeline pass's compile cost aggregated across all layers of a
+/// [`CompiledModel`] (the whole-model view of the per-flow
+/// [`lbnn_core::CompileReport`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassTiming {
+    /// Pass name (`optimize`, `balance`, …, `codegen`).
+    pub name: String,
+    /// Total wall time across layers, in microseconds.
+    pub total_us: f64,
+    /// Layers whose report recorded this pass.
+    pub layers: usize,
+}
+
+/// Aggregates per-pass compile wall time across a model's layers, in
+/// pipeline pass order.
+pub fn compile_pass_timings(model: &CompiledModel) -> Vec<PassTiming> {
+    let mut totals: Vec<PassTiming> = Vec::new();
+    for layer in model.layers() {
+        for pass in &layer.report().passes {
+            match totals.iter_mut().find(|t| t.name == pass.name) {
+                Some(t) => {
+                    t.total_us += pass.wall_us;
+                    t.layers += 1;
+                }
+                None => totals.push(PassTiming {
+                    name: pass.name.clone(),
+                    total_us: pass.wall_us,
+                    layers: 1,
+                }),
+            }
+        }
+    }
+    totals
+}
+
+/// Prints the per-pass compile-time breakdown of a model — the table
+/// binaries' window into where whole-model compile time goes.
+pub fn print_compile_pass_timings(model: &CompiledModel) {
+    let timings = compile_pass_timings(model);
+    let total: f64 = timings.iter().map(|t| t.total_us).sum();
+    println!(
+        "Compile pass timings, {} ({} layers, total {:.1} ms):",
+        model.name(),
+        model.layers().len(),
+        total / 1e3
+    );
+    for t in &timings {
+        let share = if total > 0.0 {
+            100.0 * t.total_us / total
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<9} {:>10.1} us  ({share:>4.1}% across {} layer compiles)",
+            t.name, t.total_us, t.layers
+        );
+    }
+}
+
 /// Formats an FPS value the way the paper's tables do (`0.12K`,
 /// `103.99K`, `8.39M`).
 pub fn fmt_fps(fps: f64) -> String {

@@ -1,0 +1,750 @@
+//! Self-contained serialized artifacts: compile once, serve anywhere.
+//!
+//! The paper's deployment model is a one-time compile whose product is
+//! replayed forever. This module gives that product a process boundary:
+//! [`Flow::save`]/[`Flow::load`] and
+//! [`CompiledModel::save`]/[`CompiledModel::load`] write a versioned,
+//! checksummed binary image holding everything serving needs — the
+//! mapped netlist (binary image, [`lbnn_netlist::serdes`]), the
+//! [`LpuConfig`], the [`Backend`] choice, the self-describing
+//! [`EncodedProgram`], the [`FlowStats`], and the per-pass
+//! [`CompileReport`]. A loaded flow builds an [`Engine`](crate::Engine)
+//! on either backend and serves bit-identically to the process that
+//! compiled it.
+//!
+//! ## Container layout
+//!
+//! ```text
+//! ┌──────────────┬─────────┬──────┬─────────────┬─────────┬──────────┐
+//! │ magic        │ version │ kind │ payload len │ payload │ checksum │
+//! │ "LBNNARTF"   │ u32     │ u8   │ u64         │ bytes   │ u64 FNV  │
+//! └──────────────┴─────────┴──────┴─────────────┴─────────┴──────────┘
+//! ```
+//!
+//! The checksum is FNV-1a over everything before it. Validation is
+//! layered so corruption surfaces as the most specific typed error
+//! ([`ArtifactError`]): wrong magic → `BadMagic`, unknown version →
+//! `UnsupportedVersion`, short image → `Truncated`, flipped bytes →
+//! `ChecksumMismatch`, structural nonsense inside a valid envelope →
+//! `Malformed`. Nothing in this module panics on untrusted bytes.
+//!
+//! ```
+//! use lbnn_core::{Flow, LpuConfig};
+//! use lbnn_netlist::random::RandomDag;
+//!
+//! let netlist = RandomDag::strict(12, 5, 8).outputs(3).generate(7);
+//! let flow = Flow::builder(&netlist).config(LpuConfig::new(6, 4)).compile()?;
+//! let bytes = flow.to_artifact_bytes()?;
+//! let loaded = Flow::from_artifact_bytes(&bytes)?;
+//! assert_eq!(loaded.stats, flow.stats);
+//! assert_eq!(loaded.report, flow.report); // pass timings travel along
+//! # Ok::<(), lbnn_core::CoreError>(())
+//! ```
+
+use std::path::Path;
+
+use lbnn_netlist::serdes::{read_netlist, write_netlist, ByteReader, ByteWriter};
+use lbnn_netlist::{Levels, NetlistError};
+
+use crate::compiler::isa::{decode_program, encode_program, EncodedProgram, InstrFormat};
+use crate::compiler::pipeline::{CompileReport, PassReport};
+use crate::compiler::program::{InputSlot, OutputTap};
+use crate::engine::Backend;
+use crate::error::{ArtifactError, CoreError};
+use crate::flow::{Flow, FlowStats};
+use crate::lpu::LpuConfig;
+use crate::model::{CompiledLayer, CompiledModel};
+
+/// Artifact file magic.
+const MAGIC: [u8; 8] = *b"LBNNARTF";
+/// Current container format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+/// Container kind: a single compiled flow.
+const KIND_FLOW: u8 = 1;
+/// Container kind: a whole compiled model (one flow per layer).
+const KIND_MODEL: u8 = 2;
+
+/// FNV-1a 64-bit checksum (dependency-free, deterministic, fast enough
+/// for artifact-sized payloads).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn malformed(reason: impl Into<String>) -> CoreError {
+    CoreError::Artifact(ArtifactError::Malformed {
+        reason: reason.into(),
+    })
+}
+
+/// Maps byte-reader errors (which are netlist-flavoured) onto the
+/// artifact error space.
+fn rd<T>(r: Result<T, NetlistError>) -> Result<T, CoreError> {
+    r.map_err(|e| malformed(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Container envelope
+// ---------------------------------------------------------------------------
+
+fn wrap(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u32(ARTIFACT_VERSION);
+    w.put_u8(kind);
+    w.put_u64(payload.len() as u64);
+    w.put_bytes(payload);
+    let mut out = w.into_bytes();
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+fn unwrap(bytes: &[u8], want_kind: u8) -> Result<&[u8], CoreError> {
+    const HEADER: usize = 8 + 4 + 1 + 8;
+    if bytes.len() < 8 {
+        return Err(CoreError::Artifact(ArtifactError::Truncated {
+            expected: HEADER + 8,
+            got: bytes.len(),
+        }));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(CoreError::Artifact(ArtifactError::BadMagic));
+    }
+    if bytes.len() < HEADER {
+        return Err(CoreError::Artifact(ArtifactError::Truncated {
+            expected: HEADER + 8,
+            got: bytes.len(),
+        }));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != ARTIFACT_VERSION {
+        return Err(CoreError::Artifact(ArtifactError::UnsupportedVersion {
+            found: version,
+            supported: ARTIFACT_VERSION,
+        }));
+    }
+    let kind = bytes[12];
+    let payload_len = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes")) as usize;
+    let expected = HEADER
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or_else(|| malformed("payload length overflows"))?;
+    if bytes.len() < expected {
+        return Err(CoreError::Artifact(ArtifactError::Truncated {
+            expected,
+            got: bytes.len(),
+        }));
+    }
+    if bytes.len() > expected {
+        return Err(malformed(format!(
+            "{} trailing bytes after artifact",
+            bytes.len() - expected
+        )));
+    }
+    let stored = u64::from_le_bytes(bytes[expected - 8..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(&bytes[..expected - 8]);
+    if stored != computed {
+        return Err(CoreError::Artifact(ArtifactError::ChecksumMismatch {
+            stored,
+            computed,
+        }));
+    }
+    if kind != want_kind {
+        let name = |k| match k {
+            KIND_FLOW => "flow",
+            KIND_MODEL => "model",
+            _ => "unknown",
+        };
+        return Err(malformed(format!(
+            "artifact holds a {} but a {} was requested",
+            name(kind),
+            name(want_kind)
+        )));
+    }
+    Ok(&bytes[HEADER..HEADER + payload_len])
+}
+
+// ---------------------------------------------------------------------------
+// Field encoders
+// ---------------------------------------------------------------------------
+
+fn write_config(w: &mut ByteWriter, c: &LpuConfig) {
+    w.put_u64(c.m as u64);
+    w.put_u64(c.n as u64);
+    w.put_u64(c.tsw as u64);
+    w.put_f64(c.freq_mhz);
+}
+
+fn read_config(r: &mut ByteReader<'_>) -> Result<LpuConfig, CoreError> {
+    let config = LpuConfig {
+        m: rd(r.get_u64())? as usize,
+        n: rd(r.get_u64())? as usize,
+        tsw: rd(r.get_u64())? as usize,
+        freq_mhz: rd(r.get_f64())?,
+    };
+    config.validate().map_err(|e| malformed(e.to_string()))?;
+    Ok(config)
+}
+
+fn backend_code(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => 0,
+        Backend::BitSliced64 => 1,
+    }
+}
+
+fn backend_from_code(code: u8) -> Result<Backend, CoreError> {
+    match code {
+        0 => Ok(Backend::Scalar),
+        1 => Ok(Backend::BitSliced64),
+        other => Err(malformed(format!("unknown backend code {other}"))),
+    }
+}
+
+fn write_stats(w: &mut ByteWriter, s: &FlowStats) {
+    w.put_u64(s.gates as u64);
+    w.put_u32(s.depth);
+    w.put_u64(s.balance_buffers as u64);
+    w.put_u64(s.mfgs_before_merge as u64);
+    w.put_u64(s.mfgs as u64);
+    w.put_u64(s.executed_nodes as u64);
+    w.put_u64(s.compute_cycles as u64);
+    w.put_u64(s.clock_cycles);
+    w.put_u64(s.queue_depth as u64);
+    w.put_u64(s.steady_clock_cycles);
+}
+
+fn read_stats(r: &mut ByteReader<'_>) -> Result<FlowStats, CoreError> {
+    Ok(FlowStats {
+        gates: rd(r.get_u64())? as usize,
+        depth: rd(r.get_u32())?,
+        balance_buffers: rd(r.get_u64())? as usize,
+        mfgs_before_merge: rd(r.get_u64())? as usize,
+        mfgs: rd(r.get_u64())? as usize,
+        executed_nodes: rd(r.get_u64())? as usize,
+        compute_cycles: rd(r.get_u64())? as usize,
+        clock_cycles: rd(r.get_u64())?,
+        queue_depth: rd(r.get_u64())? as usize,
+        steady_clock_cycles: rd(r.get_u64())?,
+    })
+}
+
+fn write_report(w: &mut ByteWriter, report: &CompileReport) {
+    w.put_u32(report.passes.len() as u32);
+    for pass in &report.passes {
+        w.put_str(&pass.name);
+        w.put_str(&pass.stat);
+        w.put_f64(pass.wall_us);
+        w.put_u64(pass.before as u64);
+        w.put_u64(pass.after as u64);
+    }
+    w.put_u32(report.schedule_attempts as u32);
+}
+
+fn read_report(r: &mut ByteReader<'_>) -> Result<CompileReport, CoreError> {
+    let count = rd(r.get_count("pass", 8))?;
+    let mut passes = Vec::with_capacity(count);
+    for _ in 0..count {
+        passes.push(PassReport {
+            name: rd(r.get_str())?,
+            stat: rd(r.get_str())?,
+            wall_us: rd(r.get_f64())?,
+            before: rd(r.get_u64())? as usize,
+            after: rd(r.get_u64())? as usize,
+        });
+    }
+    let schedule_attempts = rd(r.get_u32())? as usize;
+    Ok(CompileReport {
+        passes,
+        schedule_attempts,
+    })
+}
+
+fn write_encoded_program(w: &mut ByteWriter, p: &EncodedProgram) {
+    w.put_u64(p.format.m as u64);
+    w.put_u64(p.n as u64);
+    w.put_u64(p.queue_depth as u64);
+    w.put_u64(p.total_cycles as u64);
+    w.put_u64(p.num_inputs as u64);
+    w.put_u32(p.input_buffer.len() as u32);
+    for slot in &p.input_buffer {
+        let InputSlot::Pi(pi) = slot;
+        w.put_u32(*pi);
+    }
+    w.put_u32(p.outputs.len() as u32);
+    for tap in &p.outputs {
+        w.put_u64(tap.po as u64);
+        w.put_u64(tap.lpv as u64);
+        w.put_u64(tap.cycle as u64);
+        w.put_u64(tap.lpe as u64);
+    }
+    for queue in &p.words {
+        for slot in queue {
+            match slot {
+                None => w.put_u8(0),
+                Some(words) => {
+                    w.put_u8(1);
+                    w.put_u32(words.len() as u32);
+                    for &word in words {
+                        w.put_u64(word);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn read_encoded_program(r: &mut ByteReader<'_>) -> Result<EncodedProgram, CoreError> {
+    let m = rd(r.get_u64())? as usize;
+    let n = rd(r.get_u64())? as usize;
+    let queue_depth = rd(r.get_u64())? as usize;
+    let total_cycles = rd(r.get_u64())? as usize;
+    let num_inputs = rd(r.get_u64())? as usize;
+    if n.saturating_mul(queue_depth) > r.remaining() {
+        return Err(malformed(format!(
+            "program declares {n} x {queue_depth} queue slots, larger than the image"
+        )));
+    }
+    let input_count = rd(r.get_count("input-buffer slot", 4))?;
+    let mut input_buffer = Vec::with_capacity(input_count);
+    for _ in 0..input_count {
+        input_buffer.push(InputSlot::Pi(rd(r.get_u32())?));
+    }
+    let tap_count = rd(r.get_count("output tap", 32))?;
+    let mut outputs = Vec::with_capacity(tap_count);
+    for _ in 0..tap_count {
+        outputs.push(OutputTap {
+            po: rd(r.get_u64())? as usize,
+            lpv: rd(r.get_u64())? as usize,
+            cycle: rd(r.get_u64())? as usize,
+            lpe: rd(r.get_u64())? as usize,
+        });
+    }
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut queue = Vec::with_capacity(queue_depth);
+        for _ in 0..queue_depth {
+            match rd(r.get_u8())? {
+                0 => queue.push(None),
+                1 => {
+                    let len = rd(r.get_count("instruction word", 8))?;
+                    let mut instr = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        instr.push(rd(r.get_u64())?);
+                    }
+                    queue.push(Some(instr));
+                }
+                other => return Err(malformed(format!("bad queue-slot flag {other}"))),
+            }
+        }
+        words.push(queue);
+    }
+    Ok(EncodedProgram {
+        format: InstrFormat::new(m),
+        n,
+        queue_depth,
+        total_cycles,
+        num_inputs,
+        input_buffer,
+        outputs,
+        words,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Flow payload
+// ---------------------------------------------------------------------------
+
+fn encode_flow_payload(flow: &Flow) -> Result<Vec<u8>, CoreError> {
+    let mut w = ByteWriter::new();
+    write_netlist(&flow.netlist, &mut w);
+    write_config(&mut w, &flow.config);
+    w.put_u8(backend_code(flow.backend));
+    write_stats(&mut w, &flow.stats);
+    write_report(&mut w, &flow.report);
+    write_encoded_program(&mut w, &encode_program(&flow.program)?);
+    Ok(w.into_bytes())
+}
+
+fn decode_flow_payload(payload: &[u8]) -> Result<Flow, CoreError> {
+    let mut r = ByteReader::new(payload);
+    let netlist = rd(read_netlist(&mut r))?;
+    let config = read_config(&mut r)?;
+    let backend = backend_from_code(rd(r.get_u8())?)?;
+    let stats = read_stats(&mut r)?;
+    let report = read_report(&mut r)?;
+    let encoded = read_encoded_program(&mut r)?;
+    if !r.is_empty() {
+        return Err(malformed(format!(
+            "{} trailing bytes after flow payload",
+            r.remaining()
+        )));
+    }
+    if encoded.format.m != config.m || encoded.n != config.n {
+        return Err(malformed(format!(
+            "program was encoded for m={}, n={} but the config says m={}, n={}",
+            encoded.format.m, encoded.n, config.m, config.n
+        )));
+    }
+    if encoded.num_inputs != netlist.inputs().len() {
+        return Err(malformed(format!(
+            "program expects {} inputs but the mapped netlist has {}",
+            encoded.num_inputs,
+            netlist.inputs().len()
+        )));
+    }
+    if encoded.outputs.len() != netlist.outputs().len() {
+        return Err(malformed(format!(
+            "program taps {} outputs but the mapped netlist has {}",
+            encoded.outputs.len(),
+            netlist.outputs().len()
+        )));
+    }
+    // Balanced-netlist depth is a serving invariant other layers rely on.
+    let depth = Levels::compute(&netlist).depth();
+    if depth != stats.depth {
+        return Err(malformed(format!(
+            "netlist depth {depth} disagrees with recorded stats depth {}",
+            stats.depth
+        )));
+    }
+    let program = decode_program(&encoded)?;
+    Ok(Flow {
+        source: netlist.clone(),
+        netlist,
+        program,
+        config,
+        backend,
+        stats,
+        report,
+        artifacts: None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+impl Flow {
+    /// Serializes this flow into a self-contained artifact image
+    /// (netlist + config + backend + encoded program + stats + compile
+    /// report) with magic, version and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-encoding failures; see
+    /// [`encode_program`].
+    pub fn to_artifact_bytes(&self) -> Result<Vec<u8>, CoreError> {
+        Ok(wrap(KIND_FLOW, &encode_flow_payload(self)?))
+    }
+
+    /// Reconstructs a servable flow from [`Flow::to_artifact_bytes`]
+    /// output.
+    ///
+    /// The loaded flow serves bit-identically to the original on either
+    /// [`Backend`]; its [`Flow::artifacts`] is `None` (intermediate
+    /// compiler state does not travel) and its [`Flow::source`] is the
+    /// mapped netlist.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ArtifactError`]s via [`CoreError::Artifact`] for any
+    /// corruption; never panics on untrusted bytes.
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<Flow, CoreError> {
+        decode_flow_payload(unwrap(bytes, KIND_FLOW)?)
+    }
+
+    /// Writes the artifact image to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failure, plus anything
+    /// [`Flow::to_artifact_bytes`] reports.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let bytes = self.to_artifact_bytes()?;
+        std::fs::write(path.as_ref(), bytes).map_err(|e| {
+            CoreError::Artifact(ArtifactError::Io {
+                reason: format!("{}: {e}", path.as_ref().display()),
+            })
+        })
+    }
+
+    /// Reads an artifact image from `path`; see
+    /// [`Flow::from_artifact_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failure, plus anything
+    /// [`Flow::from_artifact_bytes`] reports.
+    pub fn load(path: impl AsRef<Path>) -> Result<Flow, CoreError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| {
+            CoreError::Artifact(ArtifactError::Io {
+                reason: format!("{}: {e}", path.as_ref().display()),
+            })
+        })?;
+        Flow::from_artifact_bytes(&bytes)
+    }
+}
+
+impl CompiledModel {
+    /// Serializes the whole model — every layer's flow artifact plus the
+    /// replication counts — into one container image.
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::to_artifact_bytes`].
+    pub fn to_artifact_bytes(&self) -> Result<Vec<u8>, CoreError> {
+        let mut w = ByteWriter::new();
+        w.put_str(self.name());
+        write_config(&mut w, self.config());
+        w.put_u32(self.layers().len() as u32);
+        for layer in self.layers() {
+            w.put_str(layer.name());
+            w.put_u64(layer.blocks());
+            w.put_u64(layer.sites());
+            let flow = encode_flow_payload(layer.flow())?;
+            w.put_u64(flow.len() as u64);
+            w.put_bytes(&flow);
+        }
+        Ok(wrap(KIND_MODEL, &w.into_bytes()))
+    }
+
+    /// Reconstructs a servable model from
+    /// [`CompiledModel::to_artifact_bytes`] output. Layer engines are
+    /// rebuilt lazily on the first [`CompiledModel::infer`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ArtifactError`]s via [`CoreError::Artifact`]; never
+    /// panics on untrusted bytes.
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<CompiledModel, CoreError> {
+        let payload = unwrap(bytes, KIND_MODEL)?;
+        let mut r = ByteReader::new(payload);
+        let name = rd(r.get_str())?;
+        let config = read_config(&mut r)?;
+        let layer_count = rd(r.get_count("layer", 16))?;
+        if layer_count == 0 {
+            return Err(malformed("a model artifact needs at least one layer"));
+        }
+        let mut layers = Vec::with_capacity(layer_count);
+        for _ in 0..layer_count {
+            let layer_name = rd(r.get_str())?;
+            let blocks = rd(r.get_u64())?;
+            let sites = rd(r.get_u64())?;
+            let flow_len = rd(r.get_u64())? as usize;
+            let flow_bytes = rd(r.get_bytes(flow_len))?;
+            let flow = decode_flow_payload(flow_bytes)?;
+            if flow.config != config {
+                return Err(malformed(format!(
+                    "layer `{layer_name}` was compiled for a different machine than the model"
+                )));
+            }
+            layers.push(CompiledLayer::from_loaded(layer_name, blocks, sites, flow));
+        }
+        if !r.is_empty() {
+            return Err(malformed(format!(
+                "{} trailing bytes after model payload",
+                r.remaining()
+            )));
+        }
+        Ok(CompiledModel::from_parts(name, config, layers))
+    }
+
+    /// Writes the model artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failure, plus anything
+    /// [`CompiledModel::to_artifact_bytes`] reports.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let bytes = self.to_artifact_bytes()?;
+        std::fs::write(path.as_ref(), bytes).map_err(|e| {
+            CoreError::Artifact(ArtifactError::Io {
+                reason: format!("{}: {e}", path.as_ref().display()),
+            })
+        })
+    }
+
+    /// Reads a model artifact from `path`; see
+    /// [`CompiledModel::from_artifact_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failure, plus anything
+    /// [`CompiledModel::from_artifact_bytes`] reports.
+    pub fn load(path: impl AsRef<Path>) -> Result<CompiledModel, CoreError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| {
+            CoreError::Artifact(ArtifactError::Io {
+                reason: format!("{}: {e}", path.as_ref().display()),
+            })
+        })?;
+        CompiledModel::from_artifact_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_netlist::random::RandomDag;
+    use lbnn_netlist::Lanes;
+
+    fn compile(seed: u64, backend: Backend) -> Flow {
+        let nl = RandomDag::strict(14, 5, 10).outputs(4).generate(seed);
+        Flow::builder(&nl)
+            .config(LpuConfig::new(6, 4))
+            .backend(backend)
+            .compile()
+            .unwrap()
+    }
+
+    fn batch(width: usize, lanes: usize, seed: u64) -> Vec<Lanes> {
+        (0..width)
+            .map(|i| {
+                let bits: Vec<bool> = (0..lanes)
+                    .map(|l| (seed + i as u64 * 31 + l as u64).is_multiple_of(3))
+                    .collect();
+                Lanes::from_bools(&bits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flow_round_trip_serves_identically_on_both_backends() {
+        for backend in [Backend::Scalar, Backend::BitSliced64] {
+            let flow = compile(3, backend);
+            let bytes = flow.to_artifact_bytes().unwrap();
+            let loaded = Flow::from_artifact_bytes(&bytes).unwrap();
+            assert_eq!(loaded.backend, backend);
+            assert_eq!(loaded.stats, flow.stats);
+            assert_eq!(loaded.netlist, flow.netlist);
+            assert_eq!(loaded.report, flow.report);
+            assert!(loaded.artifacts.is_none());
+            let mut original = flow.engine().unwrap();
+            let mut reloaded = loaded.engine().unwrap();
+            for lanes in [1usize, 64, 100] {
+                let b = batch(flow.program.num_inputs, lanes, 17);
+                assert_eq!(
+                    original.run_batch(&b).unwrap().outputs,
+                    reloaded.run_batch(&b).unwrap().outputs,
+                    "{backend} lanes {lanes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loaded_flow_still_verifies_against_its_netlist() {
+        let flow = compile(9, Backend::Scalar);
+        let loaded = Flow::from_artifact_bytes(&flow.to_artifact_bytes().unwrap()).unwrap();
+        // Source collapses to the mapped netlist, which is functionally
+        // equivalent — end-to-end verification still holds.
+        loaded.verify_against_netlist(5).unwrap();
+    }
+
+    #[test]
+    fn corruption_produces_the_most_specific_typed_error() {
+        let flow = compile(1, Backend::Scalar);
+        let bytes = flow.to_artifact_bytes().unwrap();
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            Flow::from_artifact_bytes(&bad),
+            Err(CoreError::Artifact(ArtifactError::BadMagic))
+        ));
+
+        // Unsupported version (checked before the checksum).
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Flow::from_artifact_bytes(&bad),
+            Err(CoreError::Artifact(ArtifactError::UnsupportedVersion {
+                found: 99,
+                supported: ARTIFACT_VERSION,
+            }))
+        ));
+
+        // Truncation at any point is typed, never a panic.
+        for cut in [0, 5, 12, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    Flow::from_artifact_bytes(&bytes[..cut]),
+                    Err(CoreError::Artifact(ArtifactError::Truncated { .. })),
+                ),
+                "cut {cut}"
+            );
+        }
+
+        // A flipped payload byte breaks the checksum.
+        let mut bad = bytes.clone();
+        let mid = 21 + (bytes.len() - 29) / 2;
+        bad[mid] ^= 0x01;
+        assert!(matches!(
+            Flow::from_artifact_bytes(&bad),
+            Err(CoreError::Artifact(ArtifactError::ChecksumMismatch { .. }))
+        ));
+
+        // A flipped checksum byte is also a checksum mismatch.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            Flow::from_artifact_bytes(&bad),
+            Err(CoreError::Artifact(ArtifactError::ChecksumMismatch { .. }))
+        ));
+
+        // Trailing garbage is rejected.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            Flow::from_artifact_bytes(&bad),
+            Err(CoreError::Artifact(ArtifactError::Malformed { .. }))
+        ));
+
+        // A flow artifact is not a model artifact.
+        assert!(matches!(
+            CompiledModel::from_artifact_bytes(&bytes),
+            Err(CoreError::Artifact(ArtifactError::Malformed { .. }))
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_survivable() {
+        let flow = compile(4, Backend::Scalar);
+        let bytes = flow.to_artifact_bytes().unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xA5;
+            // Must return (any) typed error or a valid flow — no panic.
+            let _ = Flow::from_artifact_bytes(&bad);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let flow = compile(6, Backend::BitSliced64);
+        let path =
+            std::env::temp_dir().join(format!("lbnn-artifact-test-{}.lbnn", std::process::id()));
+        flow.save(&path).unwrap();
+        let loaded = Flow::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.stats, flow.stats);
+        let b = batch(flow.program.num_inputs, 64, 3);
+        assert_eq!(
+            flow.engine().unwrap().run_batch(&b).unwrap().outputs,
+            loaded.engine().unwrap().run_batch(&b).unwrap().outputs
+        );
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Flow::load("/nonexistent/lbnn/artifact.bin").unwrap_err();
+        assert!(matches!(err, CoreError::Artifact(ArtifactError::Io { .. })));
+    }
+}

@@ -18,11 +18,17 @@
 //! counter addressing — a property codegen guarantees and tests check),
 //! so the decoder reconstructs addresses with a running counter. Constant
 //! operands use the payload's low bit for the value.
+//!
+//! An [`EncodedProgram`] is **self-contained**: alongside the instruction
+//! words it carries the data-buffer metadata the hardware keeps outside
+//! the instruction store (input-buffer layout, output taps, cycle counts),
+//! so [`decode_program`] needs nothing but the image itself — the property
+//! the serialized artifacts ([`crate::artifact`]) are built on.
 
 use lbnn_netlist::{NodeId, Op};
 
 use crate::compiler::program::{InputSlot, LpeInstr, LpuProgram, OperandSrc, OutputTap, VliwInstr};
-use crate::error::CoreError;
+use crate::error::{ArtifactError, CoreError};
 
 /// Operand source tags.
 const TAG_ROUTE: u64 = 0;
@@ -30,37 +36,19 @@ const TAG_SNAPSHOT: u64 = 1;
 const TAG_INPUT: u64 = 2;
 const TAG_CONST: u64 = 3;
 
-/// Opcode assignments (4 bits; `Input` is not executable).
+/// Opcode assignments (4 bits; `Input` is not executable). The numbering
+/// is [`Op::code`], which the netlist serializer shares.
 fn opcode(op: Op) -> u64 {
-    match op {
-        Op::And => 0,
-        Op::Or => 1,
-        Op::Xor => 2,
-        Op::Xnor => 3,
-        Op::Nand => 4,
-        Op::Nor => 5,
-        Op::Not => 6,
-        Op::Buf => 7,
-        Op::Const0 => 8,
-        Op::Const1 => 9,
-        Op::Input => unreachable!("inputs are ports, not instructions"),
-    }
+    assert!(op != Op::Input, "inputs are ports, not instructions");
+    u64::from(op.code())
 }
 
 fn op_from_code(code: u64) -> Option<Op> {
-    Some(match code {
-        0 => Op::And,
-        1 => Op::Or,
-        2 => Op::Xor,
-        3 => Op::Xnor,
-        4 => Op::Nand,
-        5 => Op::Nor,
-        6 => Op::Not,
-        7 => Op::Buf,
-        8 => Op::Const0,
-        9 => Op::Const1,
-        _ => return None,
-    })
+    let op = u8::try_from(code).ok().and_then(Op::from_code)?;
+    if op == Op::Input {
+        return None;
+    }
+    Some(op)
 }
 
 fn log2_ceil(x: usize) -> usize {
@@ -99,7 +87,11 @@ impl InstrFormat {
     }
 }
 
-/// A bit-packed program image.
+/// A bit-packed, self-contained program image.
+///
+/// Everything [`decode_program`] needs is in here: the instruction words
+/// plus the buffer/tap metadata that lives in the LPU's data buffers
+/// rather than its instruction store.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedProgram {
     /// Format used.
@@ -108,6 +100,14 @@ pub struct EncodedProgram {
     pub n: usize,
     /// Queue depth.
     pub queue_depth: usize,
+    /// Total compute cycles of one pass (including output drain).
+    pub total_cycles: usize,
+    /// Number of primary inputs the program expects.
+    pub num_inputs: usize,
+    /// Input data buffer layout, read sequentially during execution.
+    pub input_buffer: Vec<InputSlot>,
+    /// Output taps, one per primary output.
+    pub outputs: Vec<OutputTap>,
     /// `words[lpv][addr]` — `None` encodes an empty queue slot; the
     /// hardware image would store an all-zero word (valid bits clear).
     pub words: Vec<Vec<Option<Vec<u64>>>>,
@@ -162,7 +162,9 @@ impl BitWriter {
     }
 }
 
-/// Little-endian bit reader.
+/// Little-endian bit reader. Reads past the end of the image surface as
+/// [`ArtifactError::Truncated`], never a panic — decoding must survive
+/// corrupt bytes.
 struct BitReader<'a> {
     words: &'a [u64],
     pos: usize,
@@ -173,7 +175,13 @@ impl<'a> BitReader<'a> {
         BitReader { words, pos: 0 }
     }
 
-    fn pull(&mut self, bits: usize) -> u64 {
+    fn pull(&mut self, bits: usize) -> Result<u64, CoreError> {
+        if self.pos + bits > self.words.len() * 64 {
+            return Err(CoreError::Artifact(ArtifactError::Truncated {
+                expected: (self.pos + bits).div_ceil(64) * 8,
+                got: self.words.len() * 8,
+            }));
+        }
         let mut value = 0u64;
         let mut got = 0usize;
         while got < bits {
@@ -190,7 +198,7 @@ impl<'a> BitReader<'a> {
             got += take;
             self.pos += take;
         }
-        value
+        Ok(value)
     }
 }
 
@@ -216,7 +224,7 @@ fn encode_operand(w: &mut BitWriter, fmt: &InstrFormat, src: OperandSrc) {
     }
 }
 
-/// Encodes a program into its bit-packed image.
+/// Encodes a program into its self-contained bit-packed image.
 ///
 /// # Errors
 ///
@@ -276,29 +284,48 @@ pub fn encode_program(program: &LpuProgram) -> Result<EncodedProgram, CoreError>
         format: fmt,
         n: program.n,
         queue_depth: program.queue_depth,
+        total_cycles: program.total_cycles,
+        num_inputs: program.num_inputs,
+        input_buffer: program.input_buffer.clone(),
+        outputs: program.outputs.clone(),
         words,
     })
 }
 
-/// Decodes a program image back to an executable [`LpuProgram`].
+/// Decodes a self-contained program image back to an executable
+/// [`LpuProgram`].
 ///
 /// Node annotations (diagnostic `node`/`mfg` fields) are not stored in the
 /// bitstream and come back as placeholders; input-buffer addresses are
-/// reconstructed with the §V-B read counter, which requires the metadata
-/// (`input_buffer`, `outputs`, `total_cycles`) that the hardware keeps in
-/// its data buffers — passed through unchanged from `meta`.
+/// reconstructed with the §V-B read counter. All other metadata
+/// (input-buffer layout, output taps, cycle counts) travels inside the
+/// [`EncodedProgram`] itself.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::BadConfig`] for malformed opcodes.
-pub fn decode_program(
-    encoded: &EncodedProgram,
-    meta: &LpuProgram,
-) -> Result<LpuProgram, CoreError> {
+/// Returns [`CoreError::Artifact`] for truncated or structurally
+/// inconsistent images and malformed opcodes — corrupt images are typed
+/// errors, never panics.
+pub fn decode_program(encoded: &EncodedProgram) -> Result<LpuProgram, CoreError> {
     let fmt = encoded.format;
     let m = fmt.m;
+    let malformed = |reason: String| CoreError::Artifact(ArtifactError::Malformed { reason });
+    if encoded.words.len() != encoded.n {
+        return Err(malformed(format!(
+            "image stores {} LPV queues but declares n = {}",
+            encoded.words.len(),
+            encoded.n
+        )));
+    }
     let mut queues: Vec<Vec<Option<VliwInstr>>> = Vec::with_capacity(encoded.n);
-    for lpv_words in &encoded.words {
+    for (lpv, lpv_words) in encoded.words.iter().enumerate() {
+        if lpv_words.len() != encoded.queue_depth {
+            return Err(malformed(format!(
+                "LPV {lpv} stores {} queue slots but the image declares depth {}",
+                lpv_words.len(),
+                encoded.queue_depth
+            )));
+        }
         let mut queue = Vec::with_capacity(encoded.queue_depth);
         for slot in lpv_words {
             match slot {
@@ -309,26 +336,27 @@ pub fn decode_program(
                     // LPE lanes (operand sources first pass; input
                     // addresses patched below by the counter walk).
                     for lpe in 0..m {
-                        let valid = r.pull(1) == 1;
+                        let valid = r.pull(1)? == 1;
                         if !valid {
-                            r.pull(4 + 2 * (2 + fmt.payload_bits));
+                            r.pull(4 + 2 * (2 + fmt.payload_bits))?;
                             continue;
                         }
-                        let op = op_from_code(r.pull(4)).ok_or_else(|| CoreError::BadConfig {
-                            reason: "bad opcode in instruction image".to_string(),
+                        let code = r.pull(4)?;
+                        let op = op_from_code(code).ok_or_else(|| {
+                            malformed(format!("bad opcode {code} in instruction image"))
                         })?;
-                        let pull_operand = |r: &mut BitReader| -> OperandSrc {
-                            let tag = r.pull(2);
-                            let payload = r.pull(fmt.payload_bits);
-                            match tag {
+                        let pull_operand = |r: &mut BitReader| -> Result<OperandSrc, CoreError> {
+                            let tag = r.pull(2)?;
+                            let payload = r.pull(fmt.payload_bits)?;
+                            Ok(match tag {
                                 TAG_ROUTE => OperandSrc::Route(payload as u16),
                                 TAG_SNAPSHOT => OperandSrc::Snapshot(payload as u16),
                                 TAG_INPUT => OperandSrc::Input(u32::MAX),
                                 _ => OperandSrc::Const(payload & 1 == 1),
-                            }
+                            })
                         };
-                        let a = pull_operand(&mut r);
-                        let b_raw = pull_operand(&mut r);
+                        let a = pull_operand(&mut r)?;
+                        let b_raw = pull_operand(&mut r)?;
                         let b = if op.arity() == 2 { Some(b_raw) } else { None };
                         instr.lpes[lpe] = Some(LpeInstr {
                             op,
@@ -338,14 +366,14 @@ pub fn decode_program(
                         });
                     }
                     for port in 0..2 * m {
-                        let valid = r.pull(1) == 1;
-                        let src = r.pull(fmt.source_bits);
+                        let valid = r.pull(1)? == 1;
+                        let src = r.pull(fmt.source_bits)?;
                         if valid {
                             instr.route_in[port] = Some(src as u16);
                         }
                     }
                     for port in 0..2 * m {
-                        if r.pull(1) == 1 {
+                        if r.pull(1)? == 1 {
                             instr.snapshot_writes.push(port as u16);
                         }
                     }
@@ -360,11 +388,11 @@ pub fn decode_program(
         m,
         n: encoded.n,
         queue_depth: encoded.queue_depth,
-        total_cycles: meta.total_cycles,
+        total_cycles: encoded.total_cycles,
         queues,
-        input_buffer: meta.input_buffer.clone(),
-        outputs: meta.outputs.clone(),
-        num_inputs: meta.num_inputs,
+        input_buffer: encoded.input_buffer.clone(),
+        outputs: encoded.outputs.clone(),
+        num_inputs: encoded.num_inputs,
     };
 
     // Reconstruct sequential input-buffer addresses (§V-B counter).
@@ -390,8 +418,13 @@ pub fn decode_program(
             }
         }
     }
-    let _: &[InputSlot] = &program.input_buffer;
-    let _: &[OutputTap] = &program.outputs;
+    if counter as usize != program.input_buffer.len() {
+        return Err(malformed(format!(
+            "instructions read {} input-buffer slots but the layout holds {}",
+            counter,
+            program.input_buffer.len()
+        )));
+    }
     Ok(program)
 }
 
@@ -422,10 +455,15 @@ mod tests {
             let flow = Flow::builder(&nl).config(config).compile().unwrap();
 
             let encoded = encode_program(&flow.program).unwrap();
-            let decoded = decode_program(&encoded, &flow.program).unwrap();
+            // Self-contained: decoding uses nothing but the image.
+            let decoded = decode_program(&encoded).unwrap();
 
             // Same structure modulo diagnostic fields.
             assert_eq!(decoded.queue_depth, flow.program.queue_depth);
+            assert_eq!(decoded.total_cycles, flow.program.total_cycles);
+            assert_eq!(decoded.num_inputs, flow.program.num_inputs);
+            assert_eq!(decoded.input_buffer, flow.program.input_buffer);
+            assert_eq!(decoded.outputs, flow.program.outputs);
             assert_eq!(
                 decoded.instruction_count(),
                 flow.program.instruction_count()
@@ -472,7 +510,7 @@ mod tests {
         let config = LpuConfig::new(4, 4);
         let flow = Flow::builder(&nl).config(config).compile().unwrap();
         let encoded = encode_program(&flow.program).unwrap();
-        let decoded = decode_program(&encoded, &flow.program).unwrap();
+        let decoded = decode_program(&encoded).unwrap();
         for lpv in 0..4 {
             for addr in 0..flow.program.queue_depth {
                 assert_eq!(
@@ -481,5 +519,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn truncated_words_are_typed_errors_not_panics() {
+        let nl = RandomDag::strict(10, 5, 8).outputs(3).generate(2);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(5, 4))
+            .compile()
+            .unwrap();
+        let encoded = encode_program(&flow.program).unwrap();
+
+        // Chop words out of every stored instruction, one image at a time.
+        let mut found_truncation = false;
+        for lpv in 0..encoded.words.len() {
+            for addr in 0..encoded.words[lpv].len() {
+                if encoded.words[lpv][addr].is_none() {
+                    continue;
+                }
+                let mut bad = encoded.clone();
+                let w = bad.words[lpv][addr].as_mut().unwrap();
+                w.truncate(w.len().saturating_sub(1));
+                match decode_program(&bad) {
+                    Err(CoreError::Artifact(ArtifactError::Truncated { .. })) => {
+                        found_truncation = true;
+                    }
+                    Err(CoreError::Artifact(_)) => {}
+                    other => panic!("expected a typed artifact error, got {other:?}"),
+                }
+            }
+        }
+        assert!(found_truncation, "at least one truncation must surface");
+    }
+
+    #[test]
+    fn inconsistent_shape_is_malformed() {
+        let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(3);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap();
+        let encoded = encode_program(&flow.program).unwrap();
+
+        let mut missing_lpv = encoded.clone();
+        missing_lpv.words.pop();
+        assert!(matches!(
+            decode_program(&missing_lpv),
+            Err(CoreError::Artifact(ArtifactError::Malformed { .. }))
+        ));
+
+        let mut short_queue = encoded.clone();
+        short_queue.words[0].pop();
+        assert!(matches!(
+            decode_program(&short_queue),
+            Err(CoreError::Artifact(ArtifactError::Malformed { .. }))
+        ));
+
+        let mut wrong_inputs = encoded;
+        wrong_inputs.input_buffer.pop();
+        assert!(matches!(
+            decode_program(&wrong_inputs),
+            Err(CoreError::Artifact(ArtifactError::Malformed { .. }))
+        ));
     }
 }

@@ -5,13 +5,16 @@
 //! Algorithm 3), the MFG DAG is scheduled onto LPVs in space-time
 //! ([`schedule`], Algorithm 4 + the diagonal-address scheduler), and
 //! instruction queues plus buffer layouts are emitted ([`codegen`]) as an
-//! [`program::LpuProgram`] the [`crate::lpu`] machine executes.
+//! [`program::LpuProgram`] the [`crate::lpu`] machine executes. The
+//! [`pipeline`] module drives these stages as named, timed passes behind
+//! [`crate::Flow::builder`], recording a [`CompileReport`] per compile.
 
 pub mod codegen;
 pub mod isa;
 pub mod merge;
 pub mod mfg;
 pub mod partition;
+pub mod pipeline;
 pub mod program;
 pub mod schedule;
 
@@ -19,6 +22,7 @@ pub use isa::{decode_program, encode_program, EncodedProgram, InstrFormat};
 pub use merge::merge_mfgs;
 pub use mfg::{Mfg, MfgId};
 pub use partition::{find_mfg, partition, Partition, PartitionOptions, StopRule};
+pub use pipeline::{CompileReport, PassReport};
 pub use program::LpuProgram;
 pub use schedule::{schedule_spacetime, Schedule};
 

@@ -147,6 +147,17 @@ impl Engine {
         )
     }
 
+    /// Loads a serialized flow artifact ([`Flow::load`]) and goes
+    /// straight to a resident engine on the artifact's recorded backend —
+    /// the "serve anywhere" half of compile-once/serve-anywhere.
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::load`] and [`Engine::new`].
+    pub fn from_artifact(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
+        Flow::load(path)?.into_engine()
+    }
+
     /// Shared constructor: `netlist` (the mapped netlist the program
     /// computes) is required for [`Backend::BitSliced64`].
     pub(crate) fn build(

@@ -6,6 +6,76 @@ use std::fmt;
 use lbnn_netlist::NetlistError;
 use lbnn_switch::RouteError;
 
+/// Failure modes of the serialized-artifact layer ([`crate::artifact`])
+/// and of decoding binary program images
+/// ([`crate::compiler::isa::decode_program`]).
+///
+/// Every variant is a typed, recoverable error: corrupt or truncated
+/// bytes never panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The file could not be read or written.
+    Io {
+        /// Stringified `std::io::Error`.
+        reason: String,
+    },
+    /// The image does not start with the artifact magic.
+    BadMagic,
+    /// The artifact was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the image.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The image ends before its declared payload does.
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The checksum over the payload does not match the stored value.
+    ChecksumMismatch {
+        /// Checksum recorded in the image.
+        stored: u64,
+        /// Checksum computed from the bytes.
+        computed: u64,
+    },
+    /// The payload is structurally invalid (bad opcode, broken counts,
+    /// inconsistent interface…).
+    Malformed {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io { reason } => write!(f, "artifact I/O failed: {reason}"),
+            ArtifactError::BadMagic => write!(f, "not an lbnn artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported (this build reads v{supported})"
+            ),
+            ArtifactError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "artifact truncated: expected {expected} bytes, got {got}"
+                )
+            }
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            ArtifactError::Malformed { reason } => write!(f, "malformed artifact: {reason}"),
+        }
+    }
+}
+
+impl Error for ArtifactError {}
+
 /// Errors produced by the compiler pipeline or the LPU machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
@@ -62,6 +132,8 @@ pub enum CoreError {
         /// First batch lane where the LPU and the oracle disagree.
         lane: usize,
     },
+    /// A serialized artifact or program image could not be loaded.
+    Artifact(ArtifactError),
 }
 
 impl fmt::Display for CoreError {
@@ -90,6 +162,7 @@ impl fmt::Display for CoreError {
                 f,
                 "LPU output `{output}` disagrees with the netlist oracle (first at lane {lane})"
             ),
+            CoreError::Artifact(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
@@ -99,8 +172,15 @@ impl Error for CoreError {
         match self {
             CoreError::Netlist(e) => Some(e),
             CoreError::Route(e) => Some(e),
+            CoreError::Artifact(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ArtifactError> for CoreError {
+    fn from(e: ArtifactError) -> Self {
+        CoreError::Artifact(e)
     }
 }
 
@@ -135,5 +215,37 @@ mod tests {
         assert!(e.to_string().contains("y0"));
         assert!(e.to_string().contains("lane 17"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn artifact_errors_display_and_chain() {
+        let cases = [
+            ArtifactError::Io {
+                reason: "denied".into(),
+            },
+            ArtifactError::BadMagic,
+            ArtifactError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            ArtifactError::Truncated {
+                expected: 100,
+                got: 4,
+            },
+            ArtifactError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            },
+            ArtifactError::Malformed {
+                reason: "bad opcode".into(),
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            let wrapped: CoreError = e.clone().into();
+            assert!(wrapped.to_string().contains("artifact"));
+            assert!(wrapped.source().is_some());
+            assert_eq!(wrapped, CoreError::Artifact(e));
+        }
     }
 }

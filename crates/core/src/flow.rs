@@ -2,9 +2,12 @@
 //!
 //! `FFCL netlist → logic optimization → full path balancing → MFG
 //! partitioning → merging → scheduling → code generation`, driven through
-//! [`Flow::builder`], with simulation and verification helpers on the
-//! result and [`crate::engine::Engine`] as the steady-state serving
-//! hand-off.
+//! [`Flow::builder`] over the explicit pass pipeline
+//! ([`crate::compiler::pipeline`]), with simulation and verification
+//! helpers on the result, [`crate::engine::Engine`] as the steady-state
+//! serving hand-off, and [`Flow::save`]/[`Flow::load`]
+//! ([`crate::artifact`]) as the process boundary: compile once, serve
+//! anywhere.
 //!
 //! ```
 //! use lbnn_core::{Flow, LpuConfig};
@@ -16,19 +19,18 @@
 //!     .merge(false)
 //!     .compile()?;
 //! assert!(flow.stats.clock_cycles > 0);
+//! assert_eq!(flow.report.passes.len(), 7); // one entry per pipeline pass
 //! # Ok::<(), lbnn_core::CoreError>(())
 //! ```
 
-use lbnn_logic_synth::{optimize, OptimizeOptions};
-use lbnn_netlist::balance::balance;
 use lbnn_netlist::eval::evaluate;
-use lbnn_netlist::{Lanes, Levels, Netlist, Op};
+use lbnn_netlist::{Lanes, Levels, Netlist};
 
-use crate::compiler::codegen::generate;
-use crate::compiler::merge::{merge_mfgs, MergeStats};
-use crate::compiler::partition::{partition, Partition, PartitionOptions};
+use crate::compiler::merge::MergeStats;
+use crate::compiler::partition::{Partition, PartitionOptions};
+use crate::compiler::pipeline::{self, CompileReport};
 use crate::compiler::program::LpuProgram;
-use crate::compiler::schedule::{schedule_spacetime, Schedule};
+use crate::compiler::schedule::Schedule;
 use crate::engine::Backend;
 use crate::error::CoreError;
 use crate::lpu::machine::{LpuMachine, RunResult};
@@ -99,15 +101,17 @@ pub struct VerifyReport {
     pub outputs_checked: usize,
 }
 
-/// A compiled flow: the mapped netlist, all intermediate compiler
-/// artifacts, and the executable LPU program.
+/// The intermediate compiler artifacts an in-process compile retains:
+/// the level assignment, the (merged) partition, and the space-time
+/// schedule.
+///
+/// These exist only on freshly compiled flows. A [`Flow`] loaded from a
+/// serialized artifact ([`Flow::load`]) carries everything needed to
+/// *serve* — netlist, program, config, stats — but not the compiler's
+/// working state, so its `artifacts` is `None`.
 #[derive(Debug, Clone)]
-pub struct Flow {
-    /// The netlist actually mapped (optimized + balanced).
-    pub netlist: Netlist,
-    /// The original input netlist (verification oracle).
-    pub source: Netlist,
-    /// Level assignment of `netlist`.
+pub struct CompileArtifacts {
+    /// Level assignment of the mapped netlist.
     pub levels: Levels,
     /// The (merged) partition.
     pub partition: Partition,
@@ -115,6 +119,18 @@ pub struct Flow {
     pub merge_stats: MergeStats,
     /// The space-time schedule.
     pub schedule: Schedule,
+}
+
+/// A compiled flow: the mapped netlist, the executable LPU program, and
+/// (for in-process compiles) all intermediate compiler artifacts.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// The netlist actually mapped (optimized + balanced).
+    pub netlist: Netlist,
+    /// The original input netlist (verification oracle). For flows loaded
+    /// from a serialized artifact this is the mapped netlist — the
+    /// original source does not travel in the artifact.
+    pub source: Netlist,
     /// The generated program.
     pub program: LpuProgram,
     /// Machine configuration.
@@ -123,6 +139,12 @@ pub struct Flow {
     pub backend: Backend,
     /// Aggregate statistics.
     pub stats: FlowStats,
+    /// Per-pass wall times and stat deltas of the compile that produced
+    /// this flow (persisted across [`Flow::save`]/[`Flow::load`]).
+    pub report: CompileReport,
+    /// Intermediate compiler artifacts; `None` on flows loaded from a
+    /// serialized artifact.
+    pub artifacts: Option<CompileArtifacts>,
 }
 
 /// Staged configuration of a compilation, created by [`Flow::builder`].
@@ -139,7 +161,7 @@ pub struct Flow {
 ///     .config(LpuConfig::new(8, 4))
 ///     .merge(false)
 ///     .compile()?;
-/// assert_eq!(flow.merge_stats.merges, 0);
+/// assert_eq!(flow.stats.mfgs, flow.stats.mfgs_before_merge);
 /// # Ok::<(), lbnn_core::CoreError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -200,14 +222,16 @@ impl<'a> FlowBuilder<'a> {
         &self.options
     }
 
-    /// Runs the full pipeline.
+    /// Runs the full pass pipeline
+    /// (`optimize → balance → levelize → partition → merge → schedule →
+    /// codegen`); per-pass timings land in [`Flow::report`].
     ///
     /// # Errors
     ///
     /// Propagates configuration, netlist, partitioning and scheduling
     /// errors; see [`CoreError`].
     pub fn compile(self) -> Result<Flow, CoreError> {
-        compile_impl(self.netlist, self.config, self.options)
+        pipeline::run(self.netlist, self.config, self.options)
     }
 }
 
@@ -222,131 +246,6 @@ impl Flow {
         }
     }
 
-    /// Compiles a netlist for the given LPU.
-    ///
-    /// Positional-argument shim over [`Flow::builder`], kept for callers
-    /// predating the builder API.
-    ///
-    /// # Migration
-    ///
-    /// Replace `Flow::compile(&nl, &config, &options)` with
-    /// `Flow::builder(&nl).config(config).options(options).compile()` —
-    /// the builder also exposes per-knob setters
-    /// ([`FlowBuilder::optimize`], [`FlowBuilder::merge`],
-    /// [`FlowBuilder::partition`], [`FlowBuilder::backend`]) so most
-    /// callers never need to construct a [`FlowOptions`] at all.
-    ///
-    /// # Errors
-    ///
-    /// See [`FlowBuilder::compile`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Flow::builder(netlist).config(..).options(..).compile() instead"
-    )]
-    pub fn compile(
-        netlist: &Netlist,
-        config: &LpuConfig,
-        options: &FlowOptions,
-    ) -> Result<Flow, CoreError> {
-        Flow::builder(netlist)
-            .config(*config)
-            .options(*options)
-            .compile()
-    }
-}
-
-/// The pipeline shared by every entry point.
-///
-/// Clone accounting: `source` keeps the caller's netlist as the
-/// verification oracle (one clone). With optimization on, the optimizer
-/// produces the working copy; with it off, one further clone is the
-/// working copy. [`buffer_level0_outputs`] and the balancer then own
-/// their input and never copy an already-correct netlist.
-fn compile_impl(
-    netlist: &Netlist,
-    config: LpuConfig,
-    options: FlowOptions,
-) -> Result<Flow, CoreError> {
-    config.validate()?;
-    netlist.validate()?;
-    let source = netlist.clone();
-
-    // 1. Logic optimization (Fig 1 pre-processing).
-    let current = if options.optimize {
-        optimize(netlist, OptimizeOptions::default()).0
-    } else {
-        source.clone()
-    };
-
-    // 2. Guard: POs driven by level-0 nodes (inputs/constants) get a
-    //    buffer so every output is computed by a gate.
-    let current = buffer_level0_outputs(current);
-
-    // 3. Full path balancing.
-    let (balanced, bal_stats) = balance(&current);
-    let levels = Levels::compute(&balanced);
-    debug_assert!(levels.is_fully_balanced(&balanced));
-
-    // 4-6. Partition (Algorithms 1-2), merge (Algorithm 3), schedule.
-    // Child MFGs are shared between parents first; if snapshot
-    // residency cannot be packed that way, fall back to the paper's
-    // literal Algorithm 1, which duplicates each parent's fan-in cones
-    // (condition (3) overlap) and is always schedulable.
-    let mut attempt_options = options.partition;
-    let (part, merge_stats, schedule, mfgs_before) = loop {
-        let raw = partition(&balanced, &levels, config.m, attempt_options)?;
-        let mfgs_before = raw.mfg_count();
-        let (part, merge_stats) = if options.merge {
-            merge_mfgs(&raw, config.m)
-        } else {
-            (
-                raw,
-                MergeStats {
-                    before: mfgs_before,
-                    after: mfgs_before,
-                    merges: 0,
-                },
-            )
-        };
-        match schedule_spacetime(&part, config.n, config.m) {
-            Ok(schedule) => break (part, merge_stats, schedule, mfgs_before),
-            Err(_) if !attempt_options.duplicate_children => {
-                attempt_options.duplicate_children = true;
-            }
-            Err(e) => return Err(e),
-        }
-    };
-
-    // 7. Code generation.
-    let program = generate(&balanced, &levels, &part, &schedule, &config)?;
-
-    let stats = FlowStats {
-        gates: balanced.gate_count(),
-        depth: levels.depth(),
-        balance_buffers: bal_stats.total(),
-        mfgs_before_merge: mfgs_before,
-        mfgs: part.mfg_count(),
-        executed_nodes: part.executed_nodes(),
-        compute_cycles: schedule.total_cycles,
-        clock_cycles: schedule.clock_cycles(config.tc()),
-        queue_depth: schedule.queue_depth,
-        steady_clock_cycles: schedule.queue_depth as u64 * config.tc() as u64,
-    };
-    Ok(Flow {
-        netlist: balanced,
-        source,
-        levels,
-        partition: part,
-        merge_stats,
-        schedule,
-        program,
-        config,
-        backend: options.backend,
-        stats,
-    })
-}
-
-impl Flow {
     /// Runs one pass on the LPU machine.
     ///
     /// # Errors
@@ -418,56 +317,11 @@ impl Flow {
     }
 }
 
-/// Inserts a buffer after any primary output driven by a level-0 node
-/// (primary input or constant), so the compiler always has a gate to
-/// schedule per output. Takes ownership: the common no-fix case returns
-/// the input unchanged, without a copy.
-fn buffer_level0_outputs(netlist: Netlist) -> Netlist {
-    let needs_fix = netlist
-        .outputs()
-        .iter()
-        .any(|o| netlist.node(o.node).op() == Op::Input || netlist.node(o.node).op().arity() == 0);
-    if !needs_fix {
-        return netlist;
-    }
-    let out = netlist;
-    let fixes: Vec<(usize, lbnn_netlist::NodeId)> = out
-        .outputs()
-        .iter()
-        .enumerate()
-        .filter(|(_, o)| {
-            let op = out.node(o.node).op();
-            op == Op::Input || op.arity() == 0
-        })
-        .map(|(i, o)| (i, o.node))
-        .collect();
-    // Rebuild with buffered outputs.
-    let mut rebuilt = Netlist::new(out.name().to_string());
-    let mut remap = Vec::with_capacity(out.len());
-    for (id, node) in out.iter() {
-        let new_id = match node.op() {
-            Op::Input => rebuilt.add_input(out.node_name(id).unwrap_or("in").to_string()),
-            op => {
-                let fanins: Vec<_> = node.fanins().iter().map(|f| remap[f.index()]).collect();
-                rebuilt.add_node(op, &fanins).expect("topo preserved")
-            }
-        };
-        remap.push(new_id);
-    }
-    for (i, o) in out.outputs().iter().enumerate() {
-        let mut node = remap[o.node.index()];
-        if fixes.iter().any(|&(fi, _)| fi == i) {
-            node = rebuilt.add_gate1(Op::Buf, node);
-        }
-        rebuilt.add_output(node, o.name.clone());
-    }
-    rebuilt
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use lbnn_netlist::random::RandomDag;
+    use lbnn_netlist::Op;
 
     #[test]
     fn compile_and_verify_random_graphs() {
@@ -503,6 +357,9 @@ mod tests {
         unmerged.verify_against_netlist(1).unwrap();
         assert!(merged.stats.mfgs < unmerged.stats.mfgs);
         assert!(merged.stats.clock_cycles <= unmerged.stats.clock_cycles);
+        let stats = &merged.artifacts.as_ref().unwrap().merge_stats;
+        assert_eq!(stats.before - stats.after, stats.merges);
+        assert!(stats.merges > 0);
     }
 
     #[test]
@@ -544,32 +401,17 @@ mod tests {
     }
 
     #[test]
-    fn builder_and_positional_shim_agree() {
+    fn compiled_flows_retain_intermediate_artifacts() {
         let nl = RandomDag::strict(16, 5, 10).outputs(4).generate(9);
-        let config = LpuConfig::new(8, 4);
-        let via_builder = Flow::builder(&nl)
-            .config(config)
-            .optimize(false)
-            .merge(false)
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(8, 4))
             .compile()
             .unwrap();
-        #[allow(deprecated)]
-        let via_shim = Flow::compile(
-            &nl,
-            &config,
-            &FlowOptions {
-                optimize: false,
-                merge: false,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(via_builder.stats, via_shim.stats);
-        assert_eq!(
-            via_builder.program.queue_depth,
-            via_shim.program.queue_depth
-        );
-        via_builder.verify_against_netlist(1).unwrap();
+        let artifacts = flow.artifacts.as_ref().expect("in-process compile");
+        assert_eq!(artifacts.partition.mfg_count(), flow.stats.mfgs);
+        assert_eq!(artifacts.schedule.total_cycles, flow.stats.compute_cycles);
+        assert_eq!(artifacts.schedule.queue_depth, flow.stats.queue_depth);
+        assert_eq!(artifacts.levels.depth(), flow.stats.depth);
     }
 
     #[test]

@@ -20,9 +20,15 @@
 //!   instruction queues with the read-address shift register, input/output
 //!   data buffers, and the circulation mechanism for deep graphs. Plus the
 //!   FPGA resource model behind Table I ([`lpu::resource`]).
-//! * **Flow** ([`flow`]) — the end-to-end pipeline (Fig 1): synthesize →
-//!   levelize → balance → partition → merge → schedule → codegen →
-//!   simulate, with throughput accounting ([`throughput`]).
+//! * **Flow** ([`flow`]) — the end-to-end pipeline (Fig 1), run as
+//!   explicit named passes ([`compiler::pipeline`]): optimize → balance →
+//!   levelize → partition → merge → schedule → codegen, each timed into a
+//!   per-compile [`CompileReport`], with throughput accounting
+//!   ([`throughput`]).
+//! * **Artifacts** ([`artifact`]) — `Flow::save`/`Flow::load` and
+//!   `CompiledModel::save`/`CompiledModel::load` move compiled programs
+//!   across processes as versioned, checksummed, self-contained binary
+//!   images: compile once, serve anywhere.
 //!
 //! * **Serving** ([`engine`], [`model`]) — the deployment API: compile
 //!   once, serve forever. An [`Engine`] owns a validated machine and its
@@ -60,6 +66,7 @@
 
 #![deny(missing_docs)]
 
+pub mod artifact;
 pub mod compiler;
 pub mod engine;
 pub mod error;
@@ -68,9 +75,10 @@ pub mod lpu;
 pub mod model;
 pub mod throughput;
 
+pub use compiler::pipeline::{CompileReport, PassReport};
 pub use engine::{Backend, Engine};
-pub use error::CoreError;
-pub use flow::{Flow, FlowBuilder, FlowOptions, FlowStats};
+pub use error::{ArtifactError, CoreError};
+pub use flow::{CompileArtifacts, Flow, FlowBuilder, FlowOptions, FlowStats};
 pub use lpu::{LpuConfig, LpuMachine};
 pub use model::{CompiledModel, LayerSpec, ServingMode};
 pub use throughput::{ThroughputReport, WallTiming};

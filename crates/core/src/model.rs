@@ -9,6 +9,7 @@
 
 use lbnn_netlist::{Lanes, Netlist};
 
+use crate::compiler::pipeline::CompileReport;
 use crate::engine::{Backend, Engine};
 use crate::error::CoreError;
 use crate::flow::{Flow, FlowOptions, FlowStats};
@@ -94,6 +95,18 @@ pub struct CompiledLayer {
 }
 
 impl CompiledLayer {
+    /// Rebuilds a layer from artifact parts ([`crate::artifact`]); the
+    /// engine is re-created lazily on first inference.
+    pub(crate) fn from_loaded(name: String, blocks: u64, sites: u64, flow: Flow) -> Self {
+        CompiledLayer {
+            name,
+            blocks,
+            sites,
+            flow,
+            engine: None,
+        }
+    }
+
     /// The layer label.
     pub fn name(&self) -> &str {
         &self.name
@@ -129,6 +142,12 @@ impl CompiledLayer {
     /// Compile-time statistics of the block.
     pub fn stats(&self) -> &FlowStats {
         &self.flow.stats
+    }
+
+    /// Per-pass wall times and stat deltas of this layer's compile
+    /// (persisted across [`CompiledModel::save`]/[`CompiledModel::load`]).
+    pub fn report(&self) -> &CompileReport {
+        &self.flow.report
     }
 
     /// Clock cycles one pass costs under `mode`.
@@ -259,6 +278,15 @@ impl CompiledModel {
             config: *config,
             layers,
         })
+    }
+
+    /// Rebuilds a model from artifact parts ([`crate::artifact`]).
+    pub(crate) fn from_parts(name: String, config: LpuConfig, layers: Vec<CompiledLayer>) -> Self {
+        CompiledModel {
+            name,
+            config,
+            layers,
+        }
     }
 
     /// The model name.

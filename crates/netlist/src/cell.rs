@@ -149,6 +149,46 @@ impl Op {
         bits.map(|k| k.wrapping_neg())
     }
 
+    /// Stable binary opcode of this operation, shared by the netlist
+    /// serializer ([`crate::serdes`]) and the LPU instruction encoding.
+    /// Codes are part of the on-disk artifact format and must never be
+    /// renumbered.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            Op::And => 0,
+            Op::Or => 1,
+            Op::Xor => 2,
+            Op::Xnor => 3,
+            Op::Nand => 4,
+            Op::Nor => 5,
+            Op::Not => 6,
+            Op::Buf => 7,
+            Op::Const0 => 8,
+            Op::Const1 => 9,
+            Op::Input => 10,
+        }
+    }
+
+    /// Inverse of [`Op::code`]; `None` for unassigned code points.
+    #[inline]
+    pub fn from_code(code: u8) -> Option<Op> {
+        Some(match code {
+            0 => Op::And,
+            1 => Op::Or,
+            2 => Op::Xor,
+            3 => Op::Xnor,
+            4 => Op::Nand,
+            5 => Op::Nor,
+            6 => Op::Not,
+            7 => Op::Buf,
+            8 => Op::Const0,
+            9 => Op::Const1,
+            10 => Op::Input,
+            _ => return None,
+        })
+    }
+
     /// The operation computing the complement of this operation's output,
     /// when one exists in the cell library.
     pub fn negated(self) -> Option<Op> {
@@ -330,5 +370,28 @@ mod tests {
             assert_eq!(s.parse::<Op>().unwrap(), op);
         }
         assert!("majority3".parse::<Op>().is_err());
+    }
+
+    #[test]
+    fn binary_codes_round_trip_and_stay_dense() {
+        let all = [
+            Op::Input,
+            Op::Const0,
+            Op::Const1,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Xnor,
+            Op::Nand,
+            Op::Nor,
+            Op::Not,
+            Op::Buf,
+        ];
+        for op in all {
+            assert_eq!(Op::from_code(op.code()), Some(op));
+            assert!(op.code() <= 10);
+        }
+        assert_eq!(Op::from_code(11), None);
+        assert_eq!(Op::from_code(255), None);
     }
 }

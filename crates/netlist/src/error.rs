@@ -49,6 +49,12 @@ pub enum NetlistError {
         /// Number of values supplied.
         got: usize,
     },
+    /// A serialized netlist image is truncated or structurally invalid
+    /// (binary deserialization, [`crate::serdes`]).
+    Malformed {
+        /// Human-readable description of the corruption.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -69,6 +75,9 @@ impl fmt::Display for NetlistError {
             NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
             NetlistError::InputArity { expected, got } => {
                 write!(f, "expected {expected} input values, got {got}")
+            }
+            NetlistError::Malformed { reason } => {
+                write!(f, "malformed netlist image: {reason}")
             }
         }
     }
@@ -96,6 +105,9 @@ mod tests {
             NetlistError::InputArity {
                 expected: 2,
                 got: 3,
+            },
+            NetlistError::Malformed {
+                reason: "truncated".into(),
             },
         ];
         for e in errs {

@@ -9,7 +9,9 @@
 //! *fixed-function combinational logic* (FFCL) block. The crate provides:
 //!
 //! * the node/edge arena itself ([`Netlist`], [`Node`], [`NodeId`], [`Op`]),
-//! * a structural-Verilog parser and writer ([`verilog`]),
+//! * a structural-Verilog parser and writer ([`verilog`]) and a compact
+//!   binary image format ([`serdes`]) used by the self-contained
+//!   serving artifacts of `lbnn-core`,
 //! * depth levelization ([`levelize`]) and full path balancing ([`balance`]),
 //!   the two pre-processing steps the paper's compiler requires,
 //! * bit-parallel functional evaluation ([`eval`]) used as the correctness
@@ -43,6 +45,7 @@ pub mod eval;
 pub mod levelize;
 pub mod netlist;
 pub mod random;
+pub mod serdes;
 pub mod verilog;
 
 pub use cell::Op;
@@ -50,3 +53,4 @@ pub use error::NetlistError;
 pub use eval::{BitSlice64, BitSliceEvaluator, Lanes};
 pub use levelize::Levels;
 pub use netlist::{Netlist, Node, NodeId};
+pub use serdes::{ByteReader, ByteWriter};

@@ -1,0 +1,33 @@
+// Smoke-test FFCL block for the lbnnc artifact workflow:
+// an 8-input parity tree plus a 2-level majority/compare slice,
+// small enough to compile in milliseconds, deep enough to exercise
+// partitioning, merging and scheduling.
+module smoke (a0, a1, a2, a3, a4, a5, a6, a7, parity, maj, any_hi, all_lo);
+  input a0, a1, a2, a3, a4, a5, a6, a7;
+  output parity, maj, any_hi, all_lo;
+  wire p01, p23, p45, p67, p03, p47;
+  wire m01, m23, m0123;
+  wire o01, o23, o0123;
+
+  // Parity tree.
+  xor g0 (p01, a0, a1);
+  xor g1 (p23, a2, a3);
+  xor g2 (p45, a4, a5);
+  xor g3 (p67, a6, a7);
+  xor g4 (p03, p01, p23);
+  xor g5 (p47, p45, p67);
+  xor g6 (parity, p03, p47);
+
+  // Majority-ish slice over the low nibble.
+  and g7 (m01, a0, a1);
+  and g8 (m23, a2, a3);
+  or  g9 (m0123, m01, m23);
+  assign maj = m0123 | (a0 & a3);
+
+  // Wide OR / NOR.
+  or  g10 (o01, a0, a1);
+  or  g11 (o23, a2, a3);
+  or  g12 (o0123, o01, o23);
+  assign any_hi = o0123 | (a4 | a5) | (a6 | a7);
+  assign all_lo = ~any_hi;
+endmodule

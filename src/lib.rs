@@ -15,6 +15,12 @@
 //! 3. [`CompiledModel`] does the same for a whole multi-block workload
 //!    (one block per layer), with per-layer stats and aggregate
 //!    throughput.
+//! 4. [`Flow::save`]/[`Flow::load`] and
+//!    [`CompiledModel::save`]/[`CompiledModel::load`] carry compiled
+//!    programs across processes as self-contained, checksummed binary
+//!    artifacts — compile once, serve anywhere. Every compile records a
+//!    per-pass [`CompileReport`] (wall time + stat deltas), persisted in
+//!    the artifact.
 //!
 //! Engines replay on one of two bit-identical [`Backend`]s — the
 //! cycle-accurate machine ([`Backend::Scalar`]) or bit-sliced 64-lane
@@ -64,8 +70,9 @@ pub use lbnn_nullanet as nullanet;
 pub use lbnn_switch as switch;
 
 pub use lbnn_core::{
-    Backend, CompiledModel, CoreError, Engine, Flow, FlowBuilder, FlowOptions, FlowStats,
-    LayerSpec, LpuConfig, LpuMachine, ServingMode, ThroughputReport, WallTiming,
+    ArtifactError, Backend, CompileArtifacts, CompileReport, CompiledModel, CoreError, Engine,
+    Flow, FlowBuilder, FlowOptions, FlowStats, LayerSpec, LpuConfig, LpuMachine, PassReport,
+    ServingMode, ThroughputReport, WallTiming,
 };
 
 /// Compiles the README's code blocks as doctests (`cargo test --doc`),

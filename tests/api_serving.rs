@@ -70,9 +70,13 @@ fn builder_defaults_equal_flow_options_default() {
 
     let config = LpuConfig::new(6, 4);
     let defaulted = Flow::builder(&netlist).config(config).compile().unwrap();
-    // The deprecated positional shim must keep agreeing with the builder.
-    #[allow(deprecated)]
-    let explicit = Flow::compile(&netlist, &config, &FlowOptions::default()).unwrap();
+    // Explicitly passing the default option set must agree with the
+    // defaulted builder.
+    let explicit = Flow::builder(&netlist)
+        .config(config)
+        .options(FlowOptions::default())
+        .compile()
+        .unwrap();
     assert_eq!(defaulted.stats, explicit.stats);
     let mut rng = StdRng::seed_from_u64(5);
     let batch = random_lanes(&mut rng, netlist.inputs().len(), 64);

@@ -1,0 +1,248 @@
+//! The artifact contract, end to end: `load(save(flow))` must serve
+//! bit-identically to the in-process compile on both backends, for any
+//! compilable netlist; corrupt images must surface as typed
+//! `CoreError::Artifact` values, never panics.
+
+use std::path::PathBuf;
+
+use lbnn::netlist::random::RandomDag;
+use lbnn::netlist::Lanes;
+use lbnn::{
+    ArtifactError, Backend, CompiledModel, CoreError, Flow, FlowOptions, LayerSpec, LpuConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_lanes(rng: &mut StdRng, count: usize, lanes: usize) -> Vec<Lanes> {
+    (0..count)
+        .map(|_| {
+            let bits: Vec<bool> = (0..lanes).map(|_| rng.random_bool(0.5)).collect();
+            Lanes::from_bools(&bits)
+        })
+        .collect()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lbnn-roundtrip-{tag}-{}.lbnn", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// Satellite requirement: for random DAGs, machine shapes and both
+    /// backends, a flow reloaded from its serialized artifact serves
+    /// bit-identically to the freshly compiled one.
+    #[test]
+    fn load_of_save_serves_bit_identically(
+        seed in 0u64..1000,
+        inputs in 4usize..12,
+        depth in 2usize..6,
+        width in 2usize..8,
+        outputs in 1usize..5,
+        m in 4usize..10,
+        n in 2usize..6,
+        bitsliced in proptest::bool::ANY,
+    ) {
+        let netlist = RandomDag::strict(inputs, depth, width)
+            .outputs(outputs)
+            .generate(seed);
+        let backend = if bitsliced { Backend::BitSliced64 } else { Backend::Scalar };
+        let flow = Flow::builder(&netlist)
+            .config(LpuConfig::new(m, n))
+            .backend(backend)
+            .compile()
+            .unwrap();
+        let bytes = flow.to_artifact_bytes().unwrap();
+        let loaded = Flow::from_artifact_bytes(&bytes).unwrap();
+        prop_assert_eq!(loaded.stats, flow.stats);
+        prop_assert_eq!(loaded.backend, backend);
+        prop_assert_eq!(&loaded.report, &flow.report);
+
+        let mut original = flow.engine().unwrap();
+        let mut reloaded = loaded.engine().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00C0_FFEE);
+        for lanes in [1usize, 64, 97] {
+            let batch = random_lanes(&mut rng, netlist.inputs().len(), lanes);
+            let a = original.run_batch(&batch).unwrap();
+            let b = reloaded.run_batch(&batch).unwrap();
+            prop_assert_eq!(a.outputs, b.outputs, "lanes {}", lanes);
+            prop_assert_eq!(a.clock_cycles, b.clock_cycles);
+        }
+        // The loaded flow still verifies end-to-end against its own
+        // (mapped) netlist oracle.
+        loaded.verify_against_netlist(seed).unwrap();
+    }
+}
+
+/// Both backends loaded from artifacts agree with each other, not just
+/// each with its own original — the full compile-once/serve-anywhere
+/// diamond.
+#[test]
+fn loaded_backends_agree_with_each_other() {
+    let netlist = RandomDag::strict(16, 6, 12).outputs(5).generate(77);
+    let mut engines = Vec::new();
+    for backend in [Backend::Scalar, Backend::BitSliced64] {
+        let flow = Flow::builder(&netlist)
+            .config(LpuConfig::new(8, 4))
+            .backend(backend)
+            .compile()
+            .unwrap();
+        let loaded = Flow::from_artifact_bytes(&flow.to_artifact_bytes().unwrap()).unwrap();
+        engines.push(loaded.into_engine().unwrap());
+    }
+    let [scalar, sliced] = &mut engines[..] else {
+        unreachable!()
+    };
+    let mut rng = StdRng::seed_from_u64(31);
+    for lanes in [1usize, 64, 130] {
+        let batch = random_lanes(&mut rng, netlist.inputs().len(), lanes);
+        assert_eq!(
+            scalar.run_batch(&batch).unwrap().outputs,
+            sliced.run_batch(&batch).unwrap().outputs,
+            "lanes {lanes}"
+        );
+    }
+}
+
+/// Satellite requirement: corruption comes back as the typed error for
+/// each failure mode — truncated file, bad magic, wrong version, flipped
+/// checksum byte — through the file-based API.
+#[test]
+fn corrupted_files_report_typed_errors() {
+    let netlist = RandomDag::strict(10, 5, 8).outputs(3).generate(5);
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(5, 4))
+        .compile()
+        .unwrap();
+    let path = temp_path("corrupt");
+    flow.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    let reload = |mutated: &[u8]| -> CoreError {
+        std::fs::write(&path, mutated).unwrap();
+        Flow::load(&path).unwrap_err()
+    };
+
+    // Truncated file.
+    let err = reload(&bytes[..bytes.len() / 3]);
+    assert!(
+        matches!(err, CoreError::Artifact(ArtifactError::Truncated { .. })),
+        "{err:?}"
+    );
+
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    let err = reload(&bad);
+    assert!(
+        matches!(err, CoreError::Artifact(ArtifactError::BadMagic)),
+        "{err:?}"
+    );
+
+    // Wrong version.
+    let mut bad = bytes.clone();
+    bad[8..12].copy_from_slice(&7u32.to_le_bytes());
+    let err = reload(&bad);
+    assert!(
+        matches!(
+            err,
+            CoreError::Artifact(ArtifactError::UnsupportedVersion { found: 7, .. })
+        ),
+        "{err:?}"
+    );
+
+    // Flipped checksum byte.
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x40;
+    let err = reload(&bad);
+    assert!(
+        matches!(
+            err,
+            CoreError::Artifact(ArtifactError::ChecksumMismatch { .. })
+        ),
+        "{err:?}"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// A whole model survives the artifact boundary: save, load in a fresh
+/// value, and infer bit-identically, with per-layer stats and compile
+/// reports intact.
+#[test]
+fn compiled_model_round_trips_through_a_file() {
+    let specs = vec![
+        LayerSpec {
+            name: "L1".to_string(),
+            netlist: RandomDag::strict(10, 4, 8).outputs(6).generate(4),
+            blocks: 3,
+            sites: 16,
+        },
+        LayerSpec {
+            name: "L2".to_string(),
+            netlist: RandomDag::strict(6, 3, 4).outputs(3).generate(5),
+            blocks: 2,
+            sites: 4,
+        },
+    ];
+    let config = LpuConfig::new(6, 4);
+    let mut model =
+        CompiledModel::compile("roundtrip", specs, &config, &FlowOptions::default()).unwrap();
+
+    let path = temp_path("model");
+    model.save(&path).unwrap();
+    let mut loaded = CompiledModel::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.name(), model.name());
+    assert_eq!(loaded.config(), model.config());
+    assert_eq!(loaded.layers().len(), model.layers().len());
+    for (a, b) in loaded.layers().iter().zip(model.layers()) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.blocks(), b.blocks());
+        assert_eq!(a.sites(), b.sites());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.report(), b.report());
+    }
+    assert!((loaded.throughput().fps - model.throughput().fps).abs() < 1e-9);
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let inputs = random_lanes(&mut rng, 10, 96);
+    let a = model.infer(&inputs).unwrap();
+    let b = loaded.infer(&inputs).unwrap();
+    assert_eq!(a.layer_outputs, b.layer_outputs);
+    assert_eq!(a.clock_cycles, b.clock_cycles);
+}
+
+/// The compile report is part of the serving story: a fresh compile
+/// records all seven passes, and the report survives the artifact.
+#[test]
+fn compile_report_travels_with_the_artifact() {
+    let netlist = RandomDag::strict(12, 5, 8).outputs(3).generate(2);
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(6, 4))
+        .compile()
+        .unwrap();
+    let names: Vec<&str> = flow.report.passes.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "optimize",
+            "balance",
+            "levelize",
+            "partition",
+            "merge",
+            "schedule",
+            "codegen"
+        ]
+    );
+    let loaded = Flow::from_artifact_bytes(&flow.to_artifact_bytes().unwrap()).unwrap();
+    assert_eq!(loaded.report, flow.report);
+    assert!(loaded.artifacts.is_none(), "compiler state does not travel");
+    assert!(flow.artifacts.is_some(), "fresh compiles keep it");
+}
