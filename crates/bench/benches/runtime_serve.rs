@@ -1,0 +1,150 @@
+//! Criterion bench behind the serving-runtime acceptance number:
+//! micro-batched `Runtime::submit` serving vs pre-packed
+//! `Engine::run_batches` vs per-request serving, on a representative
+//! JSC-M block.
+//!
+//! The acceptance bar (ISSUE 4): micro-batched BitSliced64 serving beats
+//! per-request scalar serving by ≥ 4×. The summary printed after the
+//! benches measures exactly that ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_bench::{synthetic_requests, table3_workload_options};
+use lbnn_core::runtime::{RequestHandle, Runtime, RuntimeOptions};
+use lbnn_core::{Backend, EngineScratch, Flow, LpuConfig};
+use lbnn_models::workload::layer_workload;
+use lbnn_models::zoo;
+use lbnn_netlist::Lanes;
+use std::hint::black_box;
+use std::time::Instant;
+
+const REQUESTS: usize = 256;
+
+fn compile(netlist: &lbnn_netlist::Netlist, config: LpuConfig, backend: Backend) -> Flow {
+    Flow::builder(netlist)
+        .config(config)
+        .backend(backend)
+        .compile()
+        .unwrap()
+}
+
+/// Serves every request as its own 1-lane batch — the no-batching
+/// baseline a naive per-request server would run. The engine is built
+/// outside the timed region (like the runtime), so only serving is
+/// measured.
+fn serve_per_request(
+    engine: &lbnn_core::Engine,
+    scratch: &mut EngineScratch,
+    requests: &[Vec<Lanes>],
+) -> usize {
+    let mut outputs = 0usize;
+    for request in requests {
+        outputs += engine
+            .run_batch_with(scratch, request)
+            .unwrap()
+            .outputs
+            .len();
+    }
+    outputs
+}
+
+/// Serves all requests through the Runtime: individual submits,
+/// dynamically packed into 64-lane words by the micro-batcher.
+fn serve_micro_batched(runtime: &Runtime, requests: &[Vec<bool>]) -> usize {
+    let handles: Vec<RequestHandle> = requests
+        .iter()
+        .map(|bits| runtime.submit(bits).unwrap())
+        .collect();
+    runtime.flush();
+    handles.into_iter().map(|h| h.wait().unwrap().len()).sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let config = LpuConfig::new(16, 4);
+    let wl = table3_workload_options();
+    let model = zoo::jsc_m();
+    let workload = layer_workload(&model.layers[0], 0, &wl);
+    let width = workload.netlist.inputs().len();
+
+    let request_bits = synthetic_requests(width, REQUESTS, 0xbe9c);
+    // The same requests as 1-lane batches (per-request serving)...
+    let single_lane: Vec<Vec<Lanes>> = request_bits
+        .iter()
+        .map(|bits| bits.iter().map(|&b| Lanes::from_bools(&[b])).collect())
+        .collect();
+    // ...and pre-packed into full 64-lane batches (the best case the old
+    // API required callers to arrange by hand).
+    let prepacked: Vec<Vec<Lanes>> = request_bits
+        .chunks(64)
+        .map(|chunk| Lanes::pack_rows(chunk, width))
+        .collect();
+
+    let scalar = compile(&workload.netlist, config, Backend::Scalar);
+    let sliced = compile(&workload.netlist, config, Backend::BitSliced64);
+    let scalar_engine = scalar.engine().unwrap();
+    let sliced_engine = sliced.engine().unwrap();
+    let mut scalar_scratch = EngineScratch::new();
+    let mut sliced_scratch = EngineScratch::new();
+    let runtime = Runtime::from_engine(
+        sliced.engine().unwrap(),
+        RuntimeOptions::default().workers(0),
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("runtime_serve");
+    g.sample_size(10);
+    g.bench_function("per_request_scalar", |b| {
+        b.iter(|| {
+            black_box(serve_per_request(
+                &scalar_engine,
+                &mut scalar_scratch,
+                &single_lane,
+            ))
+        })
+    });
+    g.bench_function("per_request_bitsliced64", |b| {
+        b.iter(|| {
+            black_box(serve_per_request(
+                &sliced_engine,
+                &mut sliced_scratch,
+                &single_lane,
+            ))
+        })
+    });
+    g.bench_function("prepacked_run_batches_bitsliced64", |b| {
+        let mut engine = sliced.engine().unwrap();
+        b.iter(|| black_box(engine.run_batches(&prepacked).unwrap()))
+    });
+    g.bench_function("micro_batched_submit_bitsliced64", |b| {
+        b.iter(|| black_box(serve_micro_batched(&runtime, &request_bits)))
+    });
+    g.finish();
+
+    // The acceptance ratio, measured directly (mean of 5 runs each).
+    let time = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..5 {
+            f();
+        }
+        start.elapsed().as_secs_f64() / 5.0
+    };
+    let per_request_scalar = time(&mut || {
+        black_box(serve_per_request(
+            &scalar_engine,
+            &mut scalar_scratch,
+            &single_lane,
+        ));
+    });
+    let micro_batched = time(&mut || {
+        black_box(serve_micro_batched(&runtime, &request_bits));
+    });
+    println!(
+        "\nsummary: {REQUESTS} requests — per-request scalar {:.2} ms, micro-batched \
+         bitsliced64 {:.2} ms -> {:.1}x speedup (acceptance bar: >= 4x)",
+        per_request_scalar * 1e3,
+        micro_batched * 1e3,
+        per_request_scalar / micro_batched
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

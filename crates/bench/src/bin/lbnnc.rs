@@ -18,6 +18,12 @@
 //!   --no-opt            skip logic optimization
 //!   --geq               use the pseudocode stop rule (>= m) instead of > m
 //!   --verify <SEED>     run the cycle-accurate machine against the netlist
+//!   --serve <N>         replay N synthetic single-sample requests through
+//!                       the Runtime worker pool (dynamic 64-lane
+//!                       micro-batching) and print throughput + latency
+//!                       percentiles; with --verify, every response is also
+//!                       checked against the netlist oracle
+//!   --workers <N>       runtime worker threads for --serve (0 = one per CPU)
 //!   --diagram           print the time-space schedule
 //!   --emit-verilog <F>  write the mapped, balanced netlist as Verilog
 //!   --emit-artifact <F> write the compiled flow as a serving artifact
@@ -30,12 +36,14 @@
 
 use std::process::ExitCode;
 
+use lbnn_bench::{print_runtime_serve, synthetic_requests};
 use lbnn_core::compiler::isa::encode_program;
 use lbnn_core::compiler::partition::PartitionOptions;
 use lbnn_core::compiler::partition::StopRule;
 use lbnn_core::compiler::schedule::lpv_of_level;
 use lbnn_core::lpu::resource::estimate_with_depth;
 use lbnn_core::lpu::LpuConfig;
+use lbnn_core::runtime::{RequestHandle, RuntimeOptions};
 use lbnn_core::{Backend, Flow};
 use lbnn_netlist::verilog::{parse_verilog, write_verilog};
 
@@ -51,6 +59,8 @@ struct Args {
     optimize: bool,
     geq: bool,
     verify: Option<u64>,
+    serve: Option<usize>,
+    serve_workers: usize,
     diagram: bool,
     emit_verilog: Option<String>,
     emit_artifact: Option<String>,
@@ -65,9 +75,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: lbnnc <input.v> [--m N] [--n N] [--backend scalar|bitsliced64]\n\
          \u{20}             [--no-merge] [--no-opt] [--geq] [--verify SEED] [--diagram]\n\
+         \u{20}             [--serve N] [--workers N]\n\
          \u{20}             [--emit-verilog FILE] [--emit-artifact FILE] [--encode]\n\
          \u{20}      lbnnc --from-artifact FILE [input.v] [--backend B] [--verify SEED]\n\
-         \u{20}             [--encode]"
+         \u{20}             [--serve N] [--workers N] [--encode]"
     );
     std::process::exit(2);
 }
@@ -82,6 +93,8 @@ fn parse_args() -> Args {
         optimize: true,
         geq: false,
         verify: None,
+        serve: None,
+        serve_workers: 0,
         diagram: false,
         emit_verilog: None,
         emit_artifact: None,
@@ -131,6 +144,19 @@ fn parse_args() -> Args {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 )
+            }
+            "--serve" => {
+                args.serve = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--workers" => {
+                args.serve_workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--diagram" => args.diagram = true,
             "--emit-verilog" => args.emit_verilog = Some(it.next().unwrap_or_else(|| usage())),
@@ -347,6 +373,79 @@ fn main() -> ExitCode {
                 eprintln!("lbnnc: VERIFICATION FAILED: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    // Serving mode: replay N synthetic single-sample requests through the
+    // persistent Runtime worker pool; the micro-batcher packs them into
+    // 64-lane bit-sliced words dynamically.
+    if let Some(requests) = args.serve {
+        let engine = match flow.engine() {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("lbnnc: engine construction failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let runtime =
+            match engine.into_runtime(RuntimeOptions::default().workers(args.serve_workers)) {
+                Ok(runtime) => runtime,
+                Err(e) => {
+                    eprintln!("lbnnc: runtime construction failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        let width = flow.program.num_inputs;
+        let inputs = synthetic_requests(width, requests, 0x5e12_2023);
+        println!(
+            "serving {requests} single-sample requests through the runtime \
+             (dynamic 64-lane micro-batching)..."
+        );
+        let handles: Vec<RequestHandle> = match inputs
+            .iter()
+            .map(|bits| runtime.submit(bits))
+            .collect::<Result<_, _>>()
+        {
+            Ok(handles) => handles,
+            Err(e) => {
+                eprintln!("lbnnc: request submission failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        runtime.flush();
+        let mut responses = Vec::with_capacity(handles.len());
+        for handle in handles {
+            match handle.wait() {
+                Ok(bits) => responses.push(bits),
+                Err(e) => {
+                    eprintln!("lbnnc: request failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        print_runtime_serve("compiled block", &runtime.stats(), &runtime.report());
+        // With --verify, every served response is also checked against
+        // direct evaluation of the (source) netlist oracle.
+        if args.verify.is_some() {
+            let packed = lbnn_netlist::Lanes::pack_rows(&inputs, width);
+            let oracle = match lbnn_netlist::eval::evaluate(&flow.source, &packed) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("lbnnc: oracle evaluation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (j, response) in responses.iter().enumerate() {
+                let want: Vec<bool> = oracle.iter().map(|o| o.get(j)).collect();
+                if response != &want {
+                    eprintln!(
+                        "lbnnc: SERVE VERIFICATION FAILED: request {j} disagrees with the \
+                         netlist oracle"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!("  serve verify: OK — all {requests} responses bit-exact against the oracle");
         }
     }
 

@@ -8,13 +8,16 @@
 
 //! Pass `--backend <scalar|bitsliced64>` (and optionally `--workers <n>`,
 //! `0` = one per CPU) to also measure host serving throughput of a
-//! representative VGG16 block on that execution backend.
+//! representative VGG16 block on that execution backend; add
+//! `--serve <N>` to replay `N` synthetic single-sample requests through
+//! the `Runtime` micro-batcher and print latency percentiles.
 
 use lbnn_baselines::reported::{table2_fps, Impl2};
 use lbnn_baselines::{MacAccelerator, NullaDsp, XnorAccelerator};
 use lbnn_bench::{
     backend_args, bench_workload_options, compile_model, evaluate_model, fmt_fps, fmt_fps_opt,
-    measure_block_wall, print_compile_pass_timings, ModelReport,
+    measure_block_wall, measure_runtime_serve, print_compile_pass_timings, print_runtime_serve,
+    ModelReport,
 };
 use lbnn_core::lpu::LpuConfig;
 use lbnn_core::{CompiledModel, ServingMode};
@@ -121,6 +124,22 @@ fn main() {
             fmt_fps(report.fps),
             report.freq_mhz
         );
+    }
+
+    if let Some(requests) = args.serve {
+        // Individual requests through the persistent Runtime pool: the
+        // micro-batcher packs them into 64-lane words dynamically.
+        let model = zoo::vgg16_layers_2_13();
+        let workload = layer_workload(&model.layers[7], 7, &wl);
+        let (stats, report) = measure_runtime_serve(
+            &workload.netlist,
+            &config,
+            args.backend,
+            args.workers,
+            requests,
+        );
+        println!();
+        print_runtime_serve("VGG16 L8 block", &stats, &report);
     }
 
     // Where whole-model compile time goes, per pipeline pass (the serve

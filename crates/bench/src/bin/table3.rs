@@ -8,13 +8,16 @@
 
 //! Pass `--backend <scalar|bitsliced64>` (and optionally `--workers <n>`,
 //! `0` = one per CPU) to also measure host serving throughput of a
-//! representative JSC-M block on that execution backend.
+//! representative JSC-M block on that execution backend; add
+//! `--serve <N>` to replay `N` synthetic single-sample requests through
+//! the `Runtime` micro-batcher and print latency percentiles.
 
 use lbnn_baselines::reported::{table3_fps, Impl3};
 use lbnn_baselines::LogicNets;
 use lbnn_bench::{
     backend_args, compile_model, evaluate_model_latency, fmt_fps, fmt_fps_opt, measure_block_wall,
-    print_compile_pass_timings, table3_workload_options, ModelReport,
+    measure_runtime_serve, print_compile_pass_timings, print_runtime_serve,
+    table3_workload_options, ModelReport,
 };
 use lbnn_core::lpu::LpuConfig;
 use lbnn_core::{CompiledModel, ServingMode};
@@ -96,6 +99,22 @@ fn main() {
             wall.elapsed_us / 1e3,
             fmt_fps(wall.samples_per_sec),
         );
+    }
+
+    if let Some(requests) = args.serve {
+        // Single-event requests (the Table III deployment) through the
+        // persistent Runtime pool with dynamic micro-batching.
+        let model = zoo::jsc_m();
+        let workload = layer_workload(&model.layers[0], 0, &wl);
+        let (stats, report) = measure_runtime_serve(
+            &workload.netlist,
+            &config,
+            args.backend,
+            args.workers,
+            requests,
+        );
+        println!();
+        print_runtime_serve("JSC-M L0 block", &stats, &report);
     }
 
     // Per-pass compile cost of a representative detector model — the

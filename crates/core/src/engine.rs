@@ -2,11 +2,23 @@
 //!
 //! The paper's deployment model (§V) replays one compiled instruction
 //! queue back to back at the steady-state initiation interval. An
-//! [`Engine`] is that steady state as an object: it owns a validated
-//! [`LpuMachine`] and the program, plus the machine's reusable lane
-//! buffers, so [`Engine::run_batch`] skips the per-call configuration
-//! validation and state allocation that [`crate::flow::Flow::simulate`]
-//! pays on every invocation.
+//! [`Engine`] is that steady state as an object, split the way a real
+//! inference server is:
+//!
+//! * [`EngineCore`] — the **immutable, shareable** half: the validated
+//!   [`LpuMachine`], the program, and (for the bit-sliced backend) the
+//!   compiled kernel tape. An engine holds it behind an `Arc`, so clones
+//!   and worker threads share one resident compiled block.
+//! * [`EngineScratch`] — the **mutable, per-worker** half: snapshot and
+//!   pipeline buffers, retired lane vectors, the 64-lane bit-slice
+//!   frame. Every executing thread owns its own.
+//!
+//! The split gives the engine `&self` entry points —
+//! [`Engine::run_batch_with`] takes the scratch explicitly — which is
+//! what lets the persistent worker pool of
+//! [`crate::runtime::Runtime`] serve one compiled block from many
+//! threads at once. [`Engine::run_batch`] keeps the convenient `&mut`
+//! shape by lending the engine's own scratch.
 //!
 //! Two execution [`Backend`]s produce bit-identical outputs:
 //!
@@ -17,12 +29,15 @@
 //!   ([`lbnn_netlist::BitSliceEvaluator`]), the paper's word-level
 //!   parallelism exploited in software.
 //!
-//! [`Engine::run_batches`] additionally shards a batch sequence across OS
-//! threads (`std::thread::scope`), each worker owning its own scratch
-//! state, with results merged back in input order.
+//! [`Engine::run_batches`] additionally shards a batch sequence across
+//! the engine's persistent worker pool (spawned once, reused across
+//! calls), each worker owning its own scratch, with results merged back
+//! in input order.
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use lbnn_netlist::{BitSlice64, BitSliceEvaluator, Lanes, Netlist};
@@ -32,6 +47,7 @@ use crate::error::CoreError;
 use crate::flow::Flow;
 use crate::lpu::machine::{LpuMachine, PassScratch, RunResult};
 use crate::lpu::LpuConfig;
+use crate::runtime::WorkerPool;
 use crate::throughput::{block_throughput, ThroughputReport, WallTiming};
 
 /// How an [`Engine`] executes a compiled flow.
@@ -77,12 +93,140 @@ impl FromStr for Backend {
     }
 }
 
+/// Per-worker mutable execution state: the scalar machine's pass buffers
+/// plus the bit-sliced 64-lane frame.
+///
+/// A scratch is shape-agnostic (it reshapes to whatever program runs on
+/// it), starts empty and cheap (`Default`), and amortizes to zero
+/// allocation in steady state when reused across batches. Every thread
+/// executing against a shared [`EngineCore`] owns exactly one.
+#[derive(Debug, Clone, Default)]
+pub struct EngineScratch {
+    pub(crate) pass: PassScratch,
+    pub(crate) frame: BitSlice64,
+}
+
+impl EngineScratch {
+    /// An empty scratch; buffers grow on first use and persist after.
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+}
+
+/// The immutable, shareable half of an [`Engine`]: configuration,
+/// validated machine, program, and (for [`Backend::BitSliced64`]) the
+/// compiled kernel tape.
+///
+/// A core never mutates after construction — every entry point is
+/// `&self`, with all execution state supplied as [`EngineScratch`] — so
+/// one `Arc<EngineCore>` can serve batches from any number of threads
+/// simultaneously. [`Engine`] wraps it with bookkeeping (scratch, worker
+/// pool, served-batch counter); the [`crate::runtime::Runtime`] worker
+/// pool executes against it directly.
+#[derive(Debug)]
+pub struct EngineCore {
+    machine: LpuMachine,
+    program: LpuProgram,
+    backend: Backend,
+    /// Compiled kernel tape ([`Backend::BitSliced64`] cores only).
+    sliced: Option<BitSliceEvaluator>,
+    /// LPE operations per pass, cached from the program.
+    lpe_ops_per_pass: usize,
+}
+
+impl EngineCore {
+    /// The execution backend this core replays batches on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &LpuConfig {
+        self.machine.config()
+    }
+
+    /// The resident program.
+    pub fn program(&self) -> &LpuProgram {
+        &self.program
+    }
+
+    /// Steady-state clock cycles between batch starts (initiation
+    /// interval × `tc`): back-to-back serving admits a new batch every
+    /// `queue_depth` compute cycles, not every full fill+drain latency.
+    pub fn steady_clock_cycles_per_batch(&self) -> u64 {
+        self.program.queue_depth as u64 * self.config().tc() as u64
+    }
+
+    /// Runs one batch on the selected backend using caller-owned
+    /// `scratch` — the single dispatch point shared by every execution
+    /// path (sequential replay, the sharded pool, the runtime
+    /// micro-batcher), so the paths cannot diverge.
+    ///
+    /// Does **not** count toward any engine's
+    /// [`batches_served`](Engine::batches_served); use
+    /// [`Engine::run_batch_with`] for counted serving.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpuMachine::run`].
+    pub fn run_batch(
+        &self,
+        scratch: &mut EngineScratch,
+        inputs: &[Lanes],
+    ) -> Result<RunResult, CoreError> {
+        match self.backend {
+            Backend::Scalar => {
+                self.machine
+                    .run_with_scratch(&self.program, inputs, &mut scratch.pass)
+            }
+            Backend::BitSliced64 => self.run_bitsliced(inputs, &mut scratch.frame),
+        }
+    }
+
+    /// One bit-sliced pass: functional execution with the scalar path's
+    /// model-time accounting.
+    fn run_bitsliced(
+        &self,
+        inputs: &[Lanes],
+        frame: &mut BitSlice64,
+    ) -> Result<RunResult, CoreError> {
+        let program = &self.program;
+        if inputs.len() != program.num_inputs {
+            return Err(CoreError::InputArity {
+                expected: program.num_inputs,
+                got: inputs.len(),
+            });
+        }
+        let sliced = self
+            .sliced
+            .as_ref()
+            .expect("bit-sliced core has a kernel tape");
+        // The scalar machine defaults no-input programs to one lane; match it.
+        let lanes = inputs.first().map_or(1, Lanes::len);
+        let outputs = sliced.evaluate_with(inputs, lanes, frame)?;
+        Ok(RunResult {
+            outputs,
+            compute_cycles: program.total_cycles,
+            clock_cycles: program.total_cycles as u64 * self.config().tc() as u64,
+            lpe_ops: self.lpe_ops_per_pass,
+            peak_live_snapshots: 0,
+        })
+    }
+}
+
 /// A resident, ready-to-serve compiled block.
 ///
 /// Construction validates the configuration and the program/machine shape
-/// once; afterwards every [`run_batch`](Engine::run_batch) is a pure
-/// replay. Buffers (snapshot registers, pipeline registers, retired lane
-/// vectors, bit-slice frames) persist across batches.
+/// once into an immutable [`EngineCore`]; afterwards every
+/// [`run_batch`](Engine::run_batch) is a pure replay. The engine's own
+/// buffers (snapshot registers, pipeline registers, retired lane vectors,
+/// bit-slice frames) persist across batches, and
+/// [`run_batch_with`](Engine::run_batch_with) serves with caller-owned
+/// scratch through `&self`, so one engine can serve from many threads.
+///
+/// Cloning an engine is cheap: the compiled core is shared (`Arc`), the
+/// clone gets fresh empty scratch and its own
+/// [`batches_served`](Engine::batches_served) counter.
 ///
 /// ```
 /// use lbnn_core::{Engine, Flow, LpuConfig};
@@ -99,20 +243,44 @@ impl FromStr for Backend {
 /// assert_eq!(engine.batches_served(), 2);
 /// # Ok::<(), lbnn_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone)]
 pub struct Engine {
-    machine: LpuMachine,
-    program: LpuProgram,
-    scratch: PassScratch,
-    backend: Backend,
-    /// Compiled kernel tape ([`Backend::BitSliced64`] engines only).
-    sliced: Option<BitSliceEvaluator>,
-    /// Reusable 64-lane frame for the bit-sliced path.
-    frame: BitSlice64,
-    /// LPE operations per pass, cached from the program.
-    lpe_ops_per_pass: usize,
+    core: Arc<EngineCore>,
+    /// The engine's own scratch, lent to `&mut self` convenience paths.
+    scratch: EngineScratch,
     workers: usize,
-    batches_served: u64,
+    /// Persistent worker pool for [`Engine::run_batches`], spawned on
+    /// first multi-worker call and reused until the worker count changes.
+    pool: Option<WorkerPool>,
+    /// Batches served since construction; incremented exactly once per
+    /// executed batch by every serving path (atomic so `&self` paths and
+    /// pool workers can count).
+    batches_served: Arc<AtomicU64>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("core", &self.core)
+            .field("workers", &self.workers)
+            .field("pooled", &self.pool.is_some())
+            .field("batches_served", &self.batches_served())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for Engine {
+    /// Cheap clone: shares the immutable core, starts with fresh scratch,
+    /// no pool, and a counter snapshot (the clone's
+    /// [`batches_served`](Engine::batches_served) advances independently).
+    fn clone(&self) -> Self {
+        Engine {
+            core: Arc::clone(&self.core),
+            scratch: EngineScratch::default(),
+            workers: self.workers,
+            pool: None,
+            batches_served: Arc::new(AtomicU64::new(self.batches_served())),
+        }
+    }
 }
 
 impl Engine {
@@ -203,15 +371,17 @@ impl Engine {
         };
         let lpe_ops_per_pass = program.lpe_op_count();
         Ok(Engine {
-            machine,
-            program,
-            scratch: PassScratch::default(),
-            backend,
-            sliced,
-            frame: BitSlice64::default(),
-            lpe_ops_per_pass,
+            core: Arc::new(EngineCore {
+                machine,
+                program,
+                backend,
+                sliced,
+                lpe_ops_per_pass,
+            }),
+            scratch: EngineScratch::default(),
             workers: 1,
-            batches_served: 0,
+            pool: None,
+            batches_served: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -225,13 +395,18 @@ impl Engine {
     }
 
     /// Sets the worker-thread count used by [`Engine::run_batches`].
-    /// `0` means "one per available CPU".
+    /// `0` means "one per available CPU". Changing the count retires the
+    /// engine's persistent pool; the next multi-worker run respawns it.
     pub fn set_workers(&mut self, workers: usize) {
-        self.workers = if workers == 0 {
+        let workers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             workers
         };
+        if workers != self.workers {
+            self.workers = workers;
+            self.pool = None;
+        }
     }
 
     /// The worker-thread count [`Engine::run_batches`] shards over.
@@ -239,28 +414,46 @@ impl Engine {
         self.workers
     }
 
+    /// Joins and drops the engine's persistent sharding pool, if one was
+    /// spawned; the next multi-worker [`Engine::run_batches`] respawns
+    /// it. Used when the engine moves into a [`crate::runtime::Runtime`],
+    /// which brings its own workers.
+    pub(crate) fn retire_pool(&mut self) {
+        self.pool = None;
+    }
+
+    /// The shared immutable core: config, program, backend, kernel tape.
+    pub fn core(&self) -> &Arc<EngineCore> {
+        &self.core
+    }
+
     /// The execution backend this engine replays batches on.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.core.backend
     }
 
     /// The machine configuration.
     pub fn config(&self) -> &LpuConfig {
-        self.machine.config()
+        self.core.config()
     }
 
     /// The resident program.
     pub fn program(&self) -> &LpuProgram {
-        &self.program
+        self.core.program()
     }
 
-    /// Batches served since construction.
+    /// Batches served since construction, across every path — sequential
+    /// [`run_batch`](Engine::run_batch), caller-scratch
+    /// [`run_batch_with`](Engine::run_batch_with), the sharded pool of
+    /// [`run_batches`](Engine::run_batches), and
+    /// [`crate::runtime::Runtime`] micro-batches — each executed batch
+    /// counted exactly once (failed batches do not count).
     pub fn batches_served(&self) -> u64 {
-        self.batches_served
+        self.batches_served.load(Ordering::Relaxed)
     }
 
     /// Runs one batch (`inputs[i]` = lanes of primary input `i`),
-    /// reusing the engine's buffers.
+    /// reusing the engine's own buffers.
     ///
     /// Results are bit-identical to [`Flow::simulate`] on the same
     /// inputs, on either backend; only the execution strategy differs.
@@ -269,17 +462,26 @@ impl Engine {
     ///
     /// See [`LpuMachine::run`].
     pub fn run_batch(&mut self, inputs: &[Lanes]) -> Result<RunResult, CoreError> {
-        let result = dispatch_pass(
-            &self.machine,
-            &self.program,
-            self.backend,
-            self.sliced.as_ref(),
-            self.lpe_ops_per_pass,
-            inputs,
-            &mut self.scratch,
-            &mut self.frame,
-        )?;
-        self.batches_served += 1;
+        let result = self.core.run_batch(&mut self.scratch, inputs)?;
+        self.batches_served.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// Runs one batch through `&self` with caller-owned scratch — the
+    /// shared-state entry point: any number of threads may call this
+    /// concurrently on one engine, each with its own
+    /// [`EngineScratch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LpuMachine::run`].
+    pub fn run_batch_with(
+        &self,
+        scratch: &mut EngineScratch,
+        inputs: &[Lanes],
+    ) -> Result<RunResult, CoreError> {
+        let result = self.core.run_batch(scratch, inputs)?;
+        self.batches_served.fetch_add(1, Ordering::Relaxed);
         Ok(result)
     }
 
@@ -287,10 +489,10 @@ impl Engine {
     /// serving loop — returning one result per batch, in input order.
     ///
     /// With [`workers`](Engine::workers) > 1 the sequence is sharded into
-    /// contiguous chunks across that many OS threads
-    /// (`std::thread::scope`); each worker owns its own scratch buffers,
-    /// and the merged results are indistinguishable from sequential
-    /// execution.
+    /// contiguous chunks across the engine's persistent worker pool
+    /// (spawned on first use, reused across calls); each worker owns its
+    /// own scratch buffers, and the merged results are indistinguishable
+    /// from sequential execution.
     ///
     /// # Errors
     ///
@@ -305,59 +507,78 @@ impl Engine {
     ) -> Result<Vec<RunResult>, CoreError> {
         let workers = self.workers.clamp(1, batches.len().max(1));
         if workers == 1 {
-            return batches
-                .iter()
-                .map(|batch| self.run_batch(batch.as_ref()))
-                .collect();
+            let mut out = Vec::with_capacity(batches.len());
+            for batch in batches {
+                out.push(self.run_batch(batch.as_ref())?);
+            }
+            return Ok(out);
         }
 
-        let machine = &self.machine;
-        let program = &self.program;
-        let backend = self.backend;
-        let sliced = self.sliced.as_ref();
-        let lpe_ops = self.lpe_ops_per_pass;
-        let chunk = batches.len().div_ceil(workers);
-        let shards: Vec<Vec<Result<RunResult, CoreError>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = batches
-                .chunks(chunk)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut scratch = PassScratch::default();
-                        let mut frame = BitSlice64::default();
-                        let mut out = Vec::with_capacity(shard.len());
-                        for batch in shard {
-                            let result = dispatch_pass(
-                                machine,
-                                program,
-                                backend,
-                                sliced,
-                                lpe_ops,
-                                batch.as_ref(),
-                                &mut scratch,
-                                &mut frame,
-                            );
-                            let failed = result.is_err();
-                            out.push(result);
-                            if failed {
+        let pool_workers = self.workers;
+        let pool = self
+            .pool
+            .get_or_insert_with(|| WorkerPool::spawn(pool_workers, 2 * pool_workers));
+        // Jobs outlive this call's borrows (the pool threads are
+        // persistent), so the shard data must be owned: one copy of the
+        // batch sequence, shared by every shard. The copy is O(input
+        // bytes) against O(inputs × gates × cycles) of execution — the
+        // price of reusing threads instead of spawning per call.
+        let owned: Arc<Vec<Vec<Lanes>>> =
+            Arc::new(batches.iter().map(|b| b.as_ref().to_vec()).collect());
+        let chunk = owned.len().div_ceil(workers);
+        let (tx, rx) = mpsc::channel();
+        let mut shards = 0usize;
+        let mut start = 0usize;
+        while start < owned.len() {
+            let end = (start + chunk).min(owned.len());
+            let range = start..end;
+            let core = Arc::clone(&self.core);
+            let data = Arc::clone(&owned);
+            let served = Arc::clone(&self.batches_served);
+            let tx = tx.clone();
+            let idx = shards;
+            pool.submit(Box::new(move |scratch| {
+                // A panicking batch (e.g. inconsistent lane counts) must
+                // not kill the persistent worker: capture it and let the
+                // caller re-raise, exactly like the old scoped join did.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut out: Vec<Result<RunResult, CoreError>> =
+                        Vec::with_capacity(range.len());
+                    for batch in &data[range.clone()] {
+                        match core.run_batch(&mut scratch.engine, batch) {
+                            Ok(r) => {
+                                served.fetch_add(1, Ordering::Relaxed);
+                                out.push(Ok(r));
+                            }
+                            Err(e) => {
+                                out.push(Err(e));
                                 break; // this shard stops at its first error
                             }
                         }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect()
-        });
+                    }
+                    out
+                }));
+                let _ = tx.send((idx, result));
+            }));
+            shards += 1;
+            start = end;
+        }
+        drop(tx);
 
-        let mut results = Vec::with_capacity(batches.len());
+        let mut collected: Vec<Vec<Result<RunResult, CoreError>>> = Vec::new();
+        collected.resize_with(shards, Vec::new);
+        for _ in 0..shards {
+            let (idx, result) = rx.recv().expect("batch worker dropped its result");
+            match result {
+                Ok(res) => collected[idx] = res,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        let mut results = Vec::with_capacity(owned.len());
         let mut first_err = None;
-        for result in shards.into_iter().flatten() {
+        for result in collected.into_iter().flatten() {
             match result {
                 Ok(r) => {
-                    self.batches_served += 1;
                     if first_err.is_none() {
                         results.push(r);
                     }
@@ -402,7 +623,7 @@ impl Engine {
             self.config().freq_mhz,
         )
         .with_wall(WallTiming {
-            backend: self.backend,
+            backend: self.backend(),
             workers: self.workers,
             batches: results.len(),
             elapsed_us,
@@ -411,6 +632,7 @@ impl Engine {
             } else {
                 f64::INFINITY
             },
+            queue: None,
         });
         Ok((results, report))
     }
@@ -419,63 +641,8 @@ impl Engine {
     /// interval × `tc`): back-to-back serving admits a new batch every
     /// `queue_depth` compute cycles, not every full fill+drain latency.
     pub fn steady_clock_cycles_per_batch(&self) -> u64 {
-        self.program.queue_depth as u64 * self.config().tc() as u64
+        self.core.steady_clock_cycles_per_batch()
     }
-}
-
-/// One pass on the selected backend — the single dispatch point shared by
-/// sequential [`Engine::run_batch`] and the sharded workers, so the two
-/// paths cannot diverge.
-#[allow(clippy::too_many_arguments)]
-fn dispatch_pass(
-    machine: &LpuMachine,
-    program: &LpuProgram,
-    backend: Backend,
-    sliced: Option<&BitSliceEvaluator>,
-    lpe_ops: usize,
-    inputs: &[Lanes],
-    scratch: &mut PassScratch,
-    frame: &mut BitSlice64,
-) -> Result<RunResult, CoreError> {
-    match backend {
-        Backend::Scalar => machine.run_with_scratch(program, inputs, scratch),
-        Backend::BitSliced64 => run_bitsliced(
-            program,
-            sliced.expect("bit-sliced engine has a tape"),
-            machine.config(),
-            lpe_ops,
-            inputs,
-            frame,
-        ),
-    }
-}
-
-/// One bit-sliced pass: functional execution with the scalar path's
-/// model-time accounting.
-fn run_bitsliced(
-    program: &LpuProgram,
-    sliced: &BitSliceEvaluator,
-    config: &LpuConfig,
-    lpe_ops: usize,
-    inputs: &[Lanes],
-    frame: &mut BitSlice64,
-) -> Result<RunResult, CoreError> {
-    if inputs.len() != program.num_inputs {
-        return Err(CoreError::InputArity {
-            expected: program.num_inputs,
-            got: inputs.len(),
-        });
-    }
-    // The scalar machine defaults no-input programs to one lane; match it.
-    let lanes = inputs.first().map_or(1, Lanes::len);
-    let outputs = sliced.evaluate_with(inputs, lanes, frame)?;
-    Ok(RunResult {
-        outputs,
-        compute_cycles: program.total_cycles,
-        clock_cycles: program.total_cycles as u64 * config.tc() as u64,
-        lpe_ops,
-        peak_live_snapshots: 0,
-    })
 }
 
 impl Flow {
@@ -628,6 +795,68 @@ mod tests {
         }
     }
 
+    /// Regression (Issue 4 satellite): the persistent pool counts every
+    /// executed batch exactly once, across repeated calls, pool respawns,
+    /// and the `&self` caller-scratch path.
+    #[test]
+    fn batches_served_counts_each_batch_exactly_once() {
+        let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(4);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let batches: Vec<Vec<Lanes>> = (0..7)
+            .map(|_| random_batch(&mut rng, nl.inputs().len(), 24))
+            .collect();
+        let mut engine = flow.engine().unwrap().with_workers(3);
+        engine.run_batches(&batches).unwrap();
+        assert_eq!(engine.batches_served(), 7, "first pooled run");
+        engine.run_batches(&batches).unwrap();
+        assert_eq!(
+            engine.batches_served(),
+            14,
+            "pool reuse must not double-count"
+        );
+        engine.set_workers(5); // retires and respawns the pool
+        engine.run_batches(&batches).unwrap();
+        assert_eq!(engine.batches_served(), 21, "respawned pool");
+        let mut scratch = EngineScratch::new();
+        engine.run_batch_with(&mut scratch, &batches[0]).unwrap();
+        assert_eq!(
+            engine.batches_served(),
+            22,
+            "caller-scratch path counts once"
+        );
+        // A clone counts independently from its snapshot.
+        let mut fork = engine.clone();
+        fork.run_batch(&batches[0]).unwrap();
+        assert_eq!(fork.batches_served(), 23);
+        assert_eq!(engine.batches_served(), 22);
+    }
+
+    #[test]
+    fn run_batch_with_matches_owned_scratch_path() {
+        let nl = RandomDag::strict(10, 5, 8).outputs(3).generate(11);
+        for backend in [Backend::Scalar, Backend::BitSliced64] {
+            let flow = Flow::builder(&nl)
+                .config(LpuConfig::new(5, 4))
+                .backend(backend)
+                .compile()
+                .unwrap();
+            let mut engine = flow.engine().unwrap();
+            let shared = flow.engine().unwrap();
+            let mut scratch = EngineScratch::new();
+            let mut rng = StdRng::seed_from_u64(31);
+            for lanes in [1usize, 64, 130] {
+                let batch = random_batch(&mut rng, nl.inputs().len(), lanes);
+                let a = engine.run_batch(&batch).unwrap();
+                let b = shared.run_batch_with(&mut scratch, &batch).unwrap();
+                assert_eq!(a.outputs, b.outputs, "{backend} lanes {lanes}");
+            }
+        }
+    }
+
     #[test]
     fn sharded_run_batches_reports_first_error_in_input_order() {
         let nl = RandomDag::strict(6, 3, 4).outputs(2).generate(3);
@@ -666,6 +895,7 @@ mod tests {
         assert_eq!(wall.batches, 5);
         assert_eq!(report.batch, 5 * 64);
         assert!(wall.samples_per_sec > 0.0);
+        assert!(wall.queue.is_none(), "pre-packed replay has no queue");
     }
 
     #[test]

@@ -30,18 +30,24 @@
 //!   across processes as versioned, checksummed, self-contained binary
 //!   images: compile once, serve anywhere.
 //!
-//! * **Serving** ([`engine`], [`model`]) — the deployment API: compile
-//!   once, serve forever. An [`Engine`] owns a validated machine and its
-//!   reusable buffers for back-to-back batch replay; a
-//!   [`CompiledModel`] compiles a whole multi-block
-//!   workload into one artifact with per-layer stats and aggregate
-//!   throughput. Engines execute on one of two bit-identical
-//!   [`Backend`]s — the cycle-accurate machine ([`Backend::Scalar`]) or
-//!   branch-free bit-sliced 64-lane word kernels
-//!   ([`Backend::BitSliced64`]) — selected via
-//!   [`FlowBuilder::backend`](flow::FlowBuilder::backend), and
-//!   [`Engine::run_batches`] shards batch sequences across worker
-//!   threads.
+//! * **Serving** ([`engine`], [`model`], [`runtime`]) — the deployment
+//!   API: compile once, serve forever. An [`Engine`] splits into an
+//!   immutable `Arc`'d core (config, program, kernel tape) and per-call
+//!   [`EngineScratch`], so one resident compiled block serves from any
+//!   number of threads through `&self`
+//!   ([`Engine::run_batch_with`]); a [`CompiledModel`] lifts the same
+//!   contract to a whole multi-block workload
+//!   ([`CompiledModel::infer_with`] + [`ModelScratch`]). Engines execute
+//!   on one of two bit-identical [`Backend`]s — the cycle-accurate
+//!   machine ([`Backend::Scalar`]) or branch-free bit-sliced 64-lane
+//!   word kernels ([`Backend::BitSliced64`]) — selected via
+//!   [`FlowBuilder::backend`](flow::FlowBuilder::backend).
+//!   [`Engine::run_batches`] shards batch sequences across a persistent
+//!   worker pool, and the [`Runtime`] serves *individual* requests:
+//!   a bounded submission queue with backpressure, dynamic 64-lane
+//!   micro-batching (size-or-deadline flush), per-request
+//!   [`RequestHandle`]s, and measured latency percentiles/queue depth
+//!   ([`QueueStats`]).
 //!
 //! ## Quickstart
 //!
@@ -73,12 +79,14 @@ pub mod error;
 pub mod flow;
 pub mod lpu;
 pub mod model;
+pub mod runtime;
 pub mod throughput;
 
 pub use compiler::pipeline::{CompileReport, PassReport};
-pub use engine::{Backend, Engine};
+pub use engine::{Backend, Engine, EngineCore, EngineScratch};
 pub use error::{ArtifactError, CoreError};
 pub use flow::{CompileArtifacts, Flow, FlowBuilder, FlowOptions, FlowStats};
 pub use lpu::{LpuConfig, LpuMachine};
-pub use model::{CompiledModel, LayerSpec, ServingMode};
-pub use throughput::{ThroughputReport, WallTiming};
+pub use model::{CompiledModel, LayerSpec, ModelScratch, ServingMode};
+pub use runtime::{RequestHandle, Runtime, RuntimeOptions, RuntimeStats};
+pub use throughput::{QueueStats, ThroughputReport, WallTiming};

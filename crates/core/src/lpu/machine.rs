@@ -29,10 +29,14 @@ pub struct LpuMachine {
 /// Reusable execution state: snapshot registers, the two inter-LPV
 /// pipeline buffers, the primary-output buffer, and a free list of lane
 /// vectors. [`LpuMachine::run`] allocates one per call;
-/// [`crate::engine::Engine`] keeps one alive across batches so steady-state
+/// [`crate::engine::EngineScratch`] owns one per worker so steady-state
 /// serving stops paying per-pass allocation.
+///
+/// The scratch is shape-agnostic: [`LpuMachine::run_with_scratch`]
+/// reshapes it for whatever program it executes, so one scratch can be
+/// reused across machines and programs.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct PassScratch {
+pub struct PassScratch {
     snapshots: Vec<Vec<Option<Lanes>>>,
     prev_out: Vec<Vec<Option<Lanes>>>,
     new_out: Vec<Vec<Option<Lanes>>>,
@@ -115,7 +119,15 @@ impl LpuMachine {
 
     /// Runs one pass reusing `scratch` buffers (the [`crate::engine::Engine`]
     /// fast path; [`LpuMachine::run`] is this with throwaway scratch).
-    pub(crate) fn run_with_scratch(
+    ///
+    /// The machine itself is immutable (`&self`): all mutable state lives
+    /// in `scratch`, so one machine can execute on many threads, each
+    /// owning its own scratch.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpuMachine::run`].
+    pub fn run_with_scratch(
         &self,
         program: &LpuProgram,
         inputs: &[Lanes],

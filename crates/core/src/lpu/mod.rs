@@ -15,6 +15,6 @@ pub mod resource;
 
 pub use config::LpuConfig;
 pub use hetero::{profile, propose, HeteroProposal, LpvProfile};
-pub use machine::{LpuMachine, RunResult};
+pub use machine::{LpuMachine, PassScratch, RunResult};
 pub use multi::{Assembly, MultiLpu};
 pub use resource::{ResourceReport, Vu9pCapacity};

@@ -7,10 +7,12 @@
 //! [`Engine`] per layer, so whole-model inference and throughput
 //! accounting stop being ad-hoc per-layer loops at the call sites.
 
+use std::sync::OnceLock;
+
 use lbnn_netlist::{Lanes, Netlist};
 
 use crate::compiler::pipeline::CompileReport;
-use crate::engine::{Backend, Engine};
+use crate::engine::{Backend, Engine, EngineScratch};
 use crate::error::CoreError;
 use crate::flow::{Flow, FlowOptions, FlowStats};
 use crate::lpu::machine::RunResult;
@@ -88,10 +90,10 @@ pub struct CompiledLayer {
     blocks: u64,
     sites: u64,
     flow: Flow,
-    /// Built on first [`CompiledModel::infer`]: accounting-only consumers
-    /// (the bench reports) never pay the program clone an [`Engine`]
-    /// needs.
-    engine: Option<Engine>,
+    /// Built on first use (`OnceLock`, so `&self` inference can
+    /// initialize it): accounting-only consumers (the bench reports)
+    /// never pay the program clone an [`Engine`] needs.
+    engine: OnceLock<Engine>,
 }
 
 impl CompiledLayer {
@@ -103,8 +105,26 @@ impl CompiledLayer {
             blocks,
             sites,
             flow,
-            engine: None,
+            engine: OnceLock::new(),
         }
+    }
+
+    /// The layer's resident serving engine, built on first call and
+    /// shared afterwards (`&self`: any thread may serve through it with
+    /// its own scratch via [`Engine::run_batch_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::from_flow`] (cannot fail for layers produced by
+    /// [`CompiledModel::compile`] or loaded from a valid artifact).
+    pub fn engine(&self) -> Result<&Engine, CoreError> {
+        if self.engine.get().is_none() {
+            let built = Engine::from_flow(&self.flow)?;
+            // A concurrent initializer may have won the race; its engine
+            // is equivalent, so ours is simply dropped.
+            let _ = self.engine.set(built);
+        }
+        Ok(self.engine.get().expect("just initialized"))
     }
 
     /// The layer label.
@@ -196,6 +216,14 @@ impl ModelInference {
 /// next block's sampled fan-in (§IV). Used by [`CompiledModel::infer`]
 /// between layers; exposed so per-layer callers can reproduce the chain
 /// exactly.
+///
+/// `want == 0` yields an empty vector (a degenerate next layer consumes
+/// nothing); `want` larger than `prev_outputs.len()` cycles through the
+/// outputs again, so every requested slot is fed.
+///
+/// # Panics
+///
+/// Panics if `prev_outputs` is empty — there is nothing to chain from.
 pub fn chain_inputs(prev_outputs: &[Lanes], want: usize) -> Vec<Lanes> {
     assert!(
         !prev_outputs.is_empty(),
@@ -204,6 +232,26 @@ pub fn chain_inputs(prev_outputs: &[Lanes], want: usize) -> Vec<Lanes> {
     (0..want)
         .map(|i| prev_outputs[i % prev_outputs.len()].clone())
         .collect()
+}
+
+/// Per-caller mutable state for whole-model inference: one
+/// [`EngineScratch`] per layer, grown on demand and reused across
+/// [`CompiledModel::infer_with`] calls.
+///
+/// The model itself stays immutable during inference (`&self`), so any
+/// number of threads can run inference on one shared [`CompiledModel`],
+/// each owning its own `ModelScratch` — the split the
+/// [`crate::runtime::Runtime`] worker pool is built on.
+#[derive(Debug, Clone, Default)]
+pub struct ModelScratch {
+    layers: Vec<EngineScratch>,
+}
+
+impl ModelScratch {
+    /// An empty scratch; per-layer buffers grow on first use.
+    pub fn new() -> Self {
+        ModelScratch::default()
+    }
 }
 
 /// A whole multi-block workload compiled into one serving artifact.
@@ -218,7 +266,7 @@ pub fn chain_inputs(prev_outputs: &[Lanes], want: usize) -> Vec<Lanes> {
 ///     LayerSpec::block("L1", RandomDag::strict(8, 4, 6).outputs(4).generate(1)),
 ///     LayerSpec::block("L2", RandomDag::strict(4, 3, 4).outputs(2).generate(2)),
 /// ];
-/// let mut model =
+/// let model =
 ///     CompiledModel::compile("demo", specs, &LpuConfig::new(4, 4), &FlowOptions::default())?;
 /// let batch: Vec<Lanes> = (0..8).map(|i| Lanes::from_bools(&[i % 3 == 0])).collect();
 /// let result = model.infer(&batch)?;
@@ -269,7 +317,7 @@ impl CompiledModel {
                     blocks,
                     sites,
                     flow,
-                    engine: None,
+                    engine: OnceLock::new(),
                 })
             })
             .collect::<Result<Vec<_>, CoreError>>()?;
@@ -309,19 +357,40 @@ impl CompiledModel {
     /// [`chain_inputs`]. Results are bit-identical to running each
     /// layer's [`Flow::simulate`] by hand over the same chain.
     ///
+    /// The model is not mutated (`&self`): layer engines initialize
+    /// lazily behind `OnceLock`s, and this convenience path allocates a
+    /// fresh [`ModelScratch`] per call. Hot callers (the
+    /// [`crate::runtime::Runtime`] worker pool) reuse scratch across
+    /// calls via [`CompiledModel::infer_with`].
+    ///
     /// # Errors
     ///
     /// Propagates the first layer execution error.
-    pub fn infer(&mut self, inputs: &[Lanes]) -> Result<ModelInference, CoreError> {
+    pub fn infer(&self, inputs: &[Lanes]) -> Result<ModelInference, CoreError> {
+        self.infer_with(&mut ModelScratch::default(), inputs)
+    }
+
+    /// [`CompiledModel::infer`] with caller-owned scratch: zero
+    /// per-call allocation in steady state, and safe to call from many
+    /// threads at once on one shared model (each with its own scratch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer execution error.
+    pub fn infer_with(
+        &self,
+        scratch: &mut ModelScratch,
+        inputs: &[Lanes],
+    ) -> Result<ModelInference, CoreError> {
+        scratch
+            .layers
+            .resize_with(self.layers.len(), EngineScratch::default);
         let mut layer_outputs: Vec<Vec<Lanes>> = Vec::with_capacity(self.layers.len());
         let mut lpe_ops = 0usize;
         let mut clock_cycles = 0u64;
-        for layer in self.layers.iter_mut() {
+        for (layer, scratch) in self.layers.iter().zip(scratch.layers.iter_mut()) {
             let want = layer.flow.program.num_inputs;
-            if layer.engine.is_none() {
-                layer.engine = Some(Engine::from_flow(&layer.flow)?);
-            }
-            let engine = layer.engine.as_mut().expect("just initialized");
+            let engine = layer.engine()?;
             // The caller must match the first layer exactly (a mismatch
             // surfaces as InputArity below); between layers, adapt. Lane
             // vectors are borrowed from the previous layer's outputs — no
@@ -332,9 +401,9 @@ impl CompiledModel {
                 lpe_ops: ops,
                 ..
             } = match layer_outputs.last() {
-                None => engine.run_batch(inputs)?,
-                Some(prev) if prev.len() == want => engine.run_batch(prev)?,
-                Some(prev) => engine.run_batch(&chain_inputs(prev, want))?,
+                None => engine.run_batch_with(scratch, inputs)?,
+                Some(prev) if prev.len() == want => engine.run_batch_with(scratch, prev)?,
+                Some(prev) => engine.run_batch_with(scratch, &chain_inputs(prev, want))?,
             };
             lpe_ops += ops;
             clock_cycles += cycles;
@@ -400,7 +469,7 @@ mod tests {
 
     #[test]
     fn infer_chains_layers_bit_exactly() {
-        let mut model = two_layer_model();
+        let model = two_layer_model();
         let inputs: Vec<Lanes> = (0..10usize)
             .map(|i| {
                 let bits: Vec<bool> = (0..48).map(|l| (i * 7 + l) % 3 == 0).collect();
@@ -442,6 +511,73 @@ mod tests {
         let b = Lanes::from_bools(&[false, true]);
         let chained = chain_inputs(&[a.clone(), b.clone()], 5);
         assert_eq!(chained, vec![a.clone(), b.clone(), a.clone(), b, a]);
+    }
+
+    #[test]
+    fn chain_inputs_want_zero_is_empty() {
+        let a = Lanes::from_bools(&[true, false, true]);
+        assert!(chain_inputs(&[a], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no outputs")]
+    fn chain_inputs_rejects_empty_previous_layer() {
+        let _ = chain_inputs(&[], 4);
+    }
+
+    #[test]
+    fn chain_inputs_want_exceeding_prev_wraps_every_slot() {
+        let prev: Vec<Lanes> = (0..3)
+            .map(|i| Lanes::from_bools(&[i == 0, i == 1]))
+            .collect();
+        let chained = chain_inputs(&prev, 8);
+        assert_eq!(chained.len(), 8);
+        for (i, lanes) in chained.iter().enumerate() {
+            assert_eq!(lanes, &prev[i % 3], "slot {i} cycles into prev");
+        }
+    }
+
+    #[test]
+    fn infer_with_reused_scratch_matches_fresh_calls() {
+        let model = two_layer_model();
+        let mut scratch = ModelScratch::new();
+        for round in 0..3usize {
+            let inputs: Vec<Lanes> = (0..10usize)
+                .map(|i| {
+                    let bits: Vec<bool> = (0..32).map(|l| (i + l + round) % 3 == 0).collect();
+                    Lanes::from_bools(&bits)
+                })
+                .collect();
+            let reused = model.infer_with(&mut scratch, &inputs).unwrap();
+            let fresh = model.infer(&inputs).unwrap();
+            assert_eq!(reused.layer_outputs, fresh.layer_outputs, "round {round}");
+        }
+    }
+
+    #[test]
+    fn shared_model_infers_from_many_threads() {
+        let model = std::sync::Arc::new(two_layer_model());
+        let inputs: Vec<Lanes> = (0..10usize)
+            .map(|i| {
+                let bits: Vec<bool> = (0..48).map(|l| (i * 5 + l) % 3 == 0).collect();
+                Lanes::from_bools(&bits)
+            })
+            .collect();
+        let expect = model.infer(&inputs).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let model = std::sync::Arc::clone(&model);
+                let inputs = inputs.clone();
+                let expect = expect.layer_outputs.clone();
+                scope.spawn(move || {
+                    let mut scratch = ModelScratch::new();
+                    for _ in 0..3 {
+                        let got = model.infer_with(&mut scratch, &inputs).unwrap();
+                        assert_eq!(got.layer_outputs, expect);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,1178 @@
+//! The persistent serving runtime: shared compiled state, a resident
+//! worker pool, and dynamic 64-lane micro-batching.
+//!
+//! The paper's LPU earns its throughput from *word-level parallelism*:
+//! every operand word carries `2m` independent Boolean samples, so a
+//! compiled block is only fully utilized when samples stream through it
+//! packed. The host analogue ([`Backend::BitSliced64`]) packs 64 samples
+//! per `u64` — but real traffic arrives one request at a time. This
+//! module closes that gap with the shape real inference servers have:
+//!
+//! ```text
+//!  submit(bits) ──▶ bounded pending buffer ──▶ micro-batcher
+//!       │                (backpressure)      (64 full │ deadline)
+//!       ▼                                          │
+//!  RequestHandle ◀── per-request outputs ◀── worker pool (N threads,
+//!   .wait()            (lane j = request j)   each: own EngineScratch,
+//!                                             shared Arc'd EngineCore)
+//! ```
+//!
+//! * The compiled model is **resident and shared**: workers execute
+//!   against the immutable [`EngineCore`](crate::engine::EngineCore)
+//!   (or a shared [`CompiledModel`]) through `&self`; only
+//!   [`EngineScratch`] is per-worker.
+//! * [`Runtime::submit`] enqueues one *single-sample* request and
+//!   returns a [`RequestHandle`]. The dynamic micro-batcher packs
+//!   pending requests into full 64-lane bit-sliced words, flushing when
+//!   a batch fills ([`RuntimeOptions::max_batch`]) or when the oldest
+//!   pending request ages past [`RuntimeOptions::flush_after`] — the
+//!   classic size-or-deadline trigger.
+//! * The submission path is **bounded**: when the job queue is full,
+//!   `submit` blocks until a worker drains it (backpressure instead of
+//!   unbounded memory growth).
+//! * The runtime measures what serving layers must report: submit→
+//!   response latency percentiles (p50/p95/p99) and peak queue depth
+//!   ([`QueueStats`]), surfaced through [`Runtime::stats`] and attached
+//!   to [`ThroughputReport::wall`] by [`Runtime::report`].
+//!
+//! Outputs are bit-identical to running each request alone through the
+//! scalar reference engine — pinned by property tests — because packing
+//! is pure lane bookkeeping: request `j` of a micro-batch occupies lane
+//! `j` of every input and output word.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lbnn_netlist::Lanes;
+
+use crate::engine::{Backend, Engine, EngineScratch};
+use crate::error::CoreError;
+use crate::model::{CompiledModel, ModelScratch};
+use crate::throughput::{block_throughput, QueueStats, ThroughputReport, WallTiming};
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// Per-worker mutable state: one engine scratch (block serving and batch
+/// sharding) plus per-layer scratches for whole-model serving. Each pool
+/// thread owns exactly one and reuses it for every job it executes.
+#[derive(Debug, Default)]
+pub struct ServeScratch {
+    /// Scratch for single-block execution.
+    pub(crate) engine: EngineScratch,
+    /// Per-layer scratches for whole-model execution.
+    pub(crate) model: ModelScratch,
+}
+
+/// A job executed on a pool worker with that worker's scratch.
+type Job = Box<dyn FnOnce(&mut ServeScratch) + Send + 'static>;
+
+/// A persistent pool of OS worker threads draining a bounded job queue.
+///
+/// This replaces the old per-call `std::thread::scope` sharding: threads
+/// are spawned once and reused, each owning one [`ServeScratch`], so
+/// steady-state serving pays no thread spawn or scratch allocation per
+/// call. [`WorkerPool::submit`] blocks while the queue is at capacity —
+/// the pool is the backpressure point for everything built on it.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .field("capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` persistent threads (at least one) draining a
+    /// queue bounded at `capacity` jobs.
+    pub(crate) fn spawn(workers: usize, capacity: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut scratch = ServeScratch::default();
+                    loop {
+                        let job = {
+                            let mut st = shared.state.lock().expect("pool lock");
+                            loop {
+                                if let Some(job) = st.queue.pop_front() {
+                                    shared.not_full.notify_one();
+                                    break Some(job);
+                                }
+                                // Drain the queue fully before honoring
+                                // shutdown, so no accepted job is dropped.
+                                if st.shutdown {
+                                    break None;
+                                }
+                                st = shared.not_empty.wait(st).expect("pool lock");
+                            }
+                        };
+                        match job {
+                            Some(job) => job(&mut scratch),
+                            None => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Worker threads in the pool.
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a job, blocking while the bounded queue is at capacity
+    /// (backpressure).
+    pub(crate) fn submit(&self, job: Job) {
+        let mut st = self.shared.state.lock().expect("pool lock");
+        while st.queue.len() >= self.shared.capacity && !st.shutdown {
+            st = self.shared.not_full.wait(st).expect("pool lock");
+        }
+        st.queue.push_back(job);
+        drop(st);
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Signals shutdown, lets the workers drain every queued job, and
+    /// joins them.
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests and handles
+// ---------------------------------------------------------------------------
+
+struct ResponseSlot {
+    state: Mutex<Option<Result<Vec<bool>, CoreError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> ResponseSlot {
+        ResponseSlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, result: Result<Vec<bool>, CoreError>) {
+        let mut st = self.state.lock().expect("response lock");
+        *st = Some(result);
+        drop(st);
+        self.ready.notify_all();
+    }
+}
+
+/// The caller's side of one submitted request.
+///
+/// Resolves to the request's primary-output bits (in netlist output
+/// order) once its micro-batch executes; requests resolve in submission
+/// order within each micro-batch, and [`RequestHandle::id`] is the
+/// global submission index.
+#[must_use = "a dropped handle discards the request's response"]
+pub struct RequestHandle {
+    slot: Arc<ResponseSlot>,
+    id: u64,
+}
+
+impl fmt::Debug for RequestHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl RequestHandle {
+    /// The global submission index of this request (0-based, in
+    /// [`Runtime::submit`] call order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request's micro-batch has executed and returns
+    /// the request's output bits, one per primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the execution error of the micro-batch that carried this
+    /// request (every request of a failed batch receives the error).
+    pub fn wait(self) -> Result<Vec<bool>, CoreError> {
+        let mut st = self.slot.state.lock().expect("response lock");
+        loop {
+            if let Some(result) = st.take() {
+                return result;
+            }
+            st = self.slot.ready.wait(st).expect("response lock");
+        }
+    }
+
+    /// Non-blocking poll: a copy of the response if the request has
+    /// resolved. The slot keeps its value, so a later
+    /// [`RequestHandle::wait`] still returns.
+    pub fn try_wait(&self) -> Option<Result<Vec<bool>, CoreError>> {
+        self.slot.state.lock().expect("response lock").clone()
+    }
+}
+
+/// One pending request inside the micro-batcher.
+struct Request {
+    bits: Vec<bool>,
+    submitted: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+// ---------------------------------------------------------------------------
+// Serving target
+// ---------------------------------------------------------------------------
+
+/// What the runtime serves: one compiled block or a whole model chain.
+#[derive(Clone)]
+enum Target {
+    Block(Arc<Engine>),
+    Model(Arc<CompiledModel>),
+}
+
+impl Target {
+    fn num_inputs(&self) -> usize {
+        match self {
+            Target::Block(engine) => engine.program().num_inputs,
+            Target::Model(model) => model.layers()[0].flow().program.num_inputs,
+        }
+    }
+
+    fn backend(&self) -> Backend {
+        match self {
+            Target::Block(engine) => engine.backend(),
+            Target::Model(model) => model.layers()[0].backend(),
+        }
+    }
+
+    fn freq_mhz(&self) -> f64 {
+        match self {
+            Target::Block(engine) => engine.config().freq_mhz,
+            Target::Model(model) => model.config().freq_mhz,
+        }
+    }
+
+    /// Steady-state clock cycles one micro-batch costs in model time.
+    fn steady_clock_cycles(&self) -> u64 {
+        match self {
+            Target::Block(engine) => engine.steady_clock_cycles_per_batch(),
+            Target::Model(model) => model
+                .layers()
+                .iter()
+                .map(|l| l.stats().steady_clock_cycles)
+                .sum(),
+        }
+    }
+
+    fn execute(
+        &self,
+        scratch: &mut ServeScratch,
+        inputs: &[Lanes],
+    ) -> Result<Vec<Lanes>, CoreError> {
+        match self {
+            Target::Block(engine) => {
+                Ok(engine.run_batch_with(&mut scratch.engine, inputs)?.outputs)
+            }
+            Target::Model(model) => Ok(model
+                .infer_with(&mut scratch.model, inputs)?
+                .outputs()
+                .to_vec()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// Worker threads in the persistent pool. `0` means one per
+    /// available CPU.
+    pub workers: usize,
+    /// Bound of the micro-batch job queue; a full queue blocks
+    /// [`Runtime::submit`] until a worker drains it (backpressure).
+    pub queue_capacity: usize,
+    /// Lanes per micro-batch — the size flush trigger. The default 64
+    /// fills exactly one bit-sliced word, the host analogue of the
+    /// hardware's `2m`-sample operand.
+    pub max_batch: usize,
+    /// Deadline flush trigger: a partial batch is dispatched once its
+    /// oldest request has waited this long, bounding tail latency under
+    /// light traffic.
+    pub flush_after: Duration,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            workers: 0,
+            queue_capacity: 32,
+            max_batch: 64,
+            flush_after: Duration::from_micros(200),
+        }
+    }
+}
+
+impl RuntimeOptions {
+    /// Sets the worker count (builder style). `0` = one per CPU.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the micro-batch size trigger (builder style).
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the bounded job-queue capacity (builder style).
+    #[must_use]
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the deadline flush trigger (builder style).
+    #[must_use]
+    pub fn flush_after(mut self, flush_after: Duration) -> Self {
+        self.flush_after = flush_after;
+        self
+    }
+}
+
+/// Serving statistics of a [`Runtime`] (snapshot; see
+/// [`Runtime::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeStats {
+    /// Requests submitted.
+    pub requests: u64,
+    /// Micro-batches executed.
+    pub micro_batches: u64,
+    /// Micro-batches dispatched by the size trigger (batch filled).
+    pub full_flushes: u64,
+    /// Micro-batches dispatched by the deadline trigger or an explicit
+    /// [`Runtime::flush`]/shutdown drain.
+    pub deadline_flushes: u64,
+    /// Mean lanes per executed micro-batch (packing efficiency; 64 means
+    /// every bit-sliced word was full).
+    pub mean_lanes_per_batch: f64,
+    /// Queue depth and submit→response latency percentiles.
+    pub queue: QueueStats,
+    /// Wall-clock span from first submit to last response, in
+    /// microseconds.
+    pub elapsed_us: f64,
+    /// Completed requests per second over that span.
+    pub requests_per_sec: f64,
+}
+
+struct RuntimeShared {
+    batcher: Mutex<BatchState>,
+    /// Wakes the deadline flusher when the pending set changes.
+    kick: Condvar,
+    stats: StatsShared,
+}
+
+struct BatchState {
+    pending: Vec<Request>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// Latency samples kept for percentile estimation, bounded so a
+/// long-lived runtime's memory (and `stats()` sort cost) cannot grow
+/// with total traffic: reservoir sampling (Algorithm R) over all
+/// completions, deterministic via an internal xorshift stream.
+struct LatencyReservoir {
+    samples: Vec<f64>,
+    seen: u64,
+    rng: u64,
+}
+
+/// Reservoir capacity: enough resolution for a stable p99 while keeping
+/// `stats()` O(1) in total requests served.
+const LATENCY_SAMPLE_CAP: usize = 4096;
+
+impl Default for LatencyReservoir {
+    fn default() -> Self {
+        LatencyReservoir {
+            samples: Vec::new(),
+            seen: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl LatencyReservoir {
+    fn record(&mut self, value_us: f64) {
+        self.seen += 1;
+        if self.samples.len() < LATENCY_SAMPLE_CAP {
+            self.samples.push(value_us);
+            return;
+        }
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let slot = (self.rng % self.seen) as usize;
+        if slot < LATENCY_SAMPLE_CAP {
+            self.samples[slot] = value_us;
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsShared {
+    latencies_us: Mutex<LatencyReservoir>,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    micro_batches: AtomicU64,
+    full_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    lanes_served: AtomicU64,
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+    span: Mutex<Option<(Instant, Instant)>>,
+}
+
+impl StatsShared {
+    fn note_submit(&self, now: Instant) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let depth = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_in_flight.fetch_max(depth, Ordering::Relaxed);
+        let mut span = self.span.lock().expect("span lock");
+        match span.as_mut() {
+            None => *span = Some((now, now)),
+            Some((_, last)) => *last = (*last).max(now),
+        }
+    }
+
+    fn note_completion(&self, latencies: &[f64], now: Instant) {
+        self.completed
+            .fetch_add(latencies.len() as u64, Ordering::Relaxed);
+        self.in_flight.fetch_sub(latencies.len(), Ordering::Relaxed);
+        {
+            let mut reservoir = self.latencies_us.lock().expect("latency lock");
+            for &latency in latencies {
+                reservoir.record(latency);
+            }
+        }
+        let mut span = self.span.lock().expect("span lock");
+        if let Some((_, last)) = span.as_mut() {
+            *last = (*last).max(now);
+        }
+    }
+}
+
+/// A persistent serving runtime over a resident compiled block
+/// ([`Engine`]) or whole model ([`CompiledModel`]).
+///
+/// Construction spawns the worker pool and the deadline flusher; from
+/// then on [`Runtime::submit`] is the only per-request cost. Dropping
+/// the runtime flushes every pending request, drains the job queue, and
+/// joins all threads — every issued [`RequestHandle`] resolves.
+///
+/// ```
+/// use lbnn_core::runtime::{Runtime, RuntimeOptions};
+/// use lbnn_core::{Flow, LpuConfig};
+/// use lbnn_netlist::random::RandomDag;
+///
+/// let netlist = RandomDag::strict(6, 3, 4).outputs(2).generate(1);
+/// let flow = Flow::builder(&netlist).config(LpuConfig::new(4, 4)).compile()?;
+/// let runtime = Runtime::from_engine(flow.into_engine()?, RuntimeOptions::default())?;
+/// let handles: Vec<_> = (0..100)
+///     .map(|i| runtime.submit(&[i % 2 == 0; 6]))
+///     .collect::<Result<_, _>>()?;
+/// runtime.flush(); // don't wait out the deadline in a doctest
+/// for handle in handles {
+///     assert_eq!(handle.wait()?.len(), 2);
+/// }
+/// assert_eq!(runtime.stats().requests, 100);
+/// # Ok::<(), lbnn_core::CoreError>(())
+/// ```
+pub struct Runtime {
+    target: Target,
+    options: RuntimeOptions,
+    pool: Arc<WorkerPool>,
+    shared: Arc<RuntimeShared>,
+    flusher: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("backend", &self.target.backend())
+            .field("workers", &self.pool.workers())
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Builds a runtime serving one compiled block. The engine's
+    /// immutable core is shared across the pool; its own scratch is
+    /// unused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for unusable options or a
+    /// zero-input program (single-sample requests need at least one
+    /// input bit).
+    pub fn from_engine(mut engine: Engine, options: RuntimeOptions) -> Result<Runtime, CoreError> {
+        // The engine's own sharding pool (if `run_batches` ever spawned
+        // one) is dead weight here — the runtime brings its own workers.
+        engine.retire_pool();
+        Runtime::build(Target::Block(Arc::new(engine)), options)
+    }
+
+    /// Builds a runtime serving a whole compiled model: each request
+    /// flows through every layer (with [`crate::model::chain_inputs`]
+    /// adaptation between layers), and the response carries the final
+    /// layer's outputs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::from_engine`].
+    pub fn from_model(model: CompiledModel, options: RuntimeOptions) -> Result<Runtime, CoreError> {
+        Runtime::build(Target::Model(Arc::new(model)), options)
+    }
+
+    fn build(target: Target, options: RuntimeOptions) -> Result<Runtime, CoreError> {
+        if options.max_batch == 0 {
+            return Err(CoreError::BadConfig {
+                reason: "runtime max_batch must be at least 1".to_string(),
+            });
+        }
+        if options.flush_after.is_zero() {
+            return Err(CoreError::BadConfig {
+                reason: "runtime flush_after must be positive".to_string(),
+            });
+        }
+        if options.queue_capacity == 0 {
+            return Err(CoreError::BadConfig {
+                reason: "runtime queue_capacity must be at least 1".to_string(),
+            });
+        }
+        if target.num_inputs() == 0 {
+            return Err(CoreError::BadConfig {
+                reason: "the serving runtime needs a program with at least one primary input"
+                    .to_string(),
+            });
+        }
+        let workers = if options.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            options.workers
+        };
+        let pool = Arc::new(WorkerPool::spawn(workers, options.queue_capacity));
+        let shared = Arc::new(RuntimeShared {
+            batcher: Mutex::new(BatchState {
+                pending: Vec::new(),
+                next_id: 0,
+                shutdown: false,
+            }),
+            kick: Condvar::new(),
+            stats: StatsShared::default(),
+        });
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            let target = target.clone();
+            let flush_after = options.flush_after;
+            std::thread::spawn(move || {
+                let mut st = shared.batcher.lock().expect("batcher lock");
+                loop {
+                    if st.pending.is_empty() {
+                        if st.shutdown {
+                            return;
+                        }
+                        st = shared.kick.wait(st).expect("batcher lock");
+                        continue;
+                    }
+                    let deadline = st.pending[0].submitted + flush_after;
+                    let now = Instant::now();
+                    if st.shutdown || now >= deadline {
+                        let reqs = std::mem::take(&mut st.pending);
+                        drop(st);
+                        shared
+                            .stats
+                            .deadline_flushes
+                            .fetch_add(1, Ordering::Relaxed);
+                        dispatch(&target, &pool, &shared, reqs);
+                        st = shared.batcher.lock().expect("batcher lock");
+                    } else {
+                        let (guard, _) = shared
+                            .kick
+                            .wait_timeout(st, deadline - now)
+                            .expect("batcher lock");
+                        st = guard;
+                    }
+                }
+            })
+        };
+        Ok(Runtime {
+            target,
+            options,
+            pool,
+            shared,
+            flusher: Some(flusher),
+        })
+    }
+
+    /// The worker threads serving this runtime.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The execution backend micro-batches run on.
+    pub fn backend(&self) -> Backend {
+        self.target.backend()
+    }
+
+    /// Primary-input bits each request must carry.
+    pub fn num_inputs(&self) -> usize {
+        self.target.num_inputs()
+    }
+
+    /// Submits one single-sample request (`bits[i]` = the value of
+    /// primary input `i`) and returns a handle resolving to its outputs.
+    ///
+    /// The request joins the current micro-batch; when the batch fills
+    /// ([`RuntimeOptions::max_batch`]) it is dispatched immediately,
+    /// otherwise the deadline flusher dispatches it within
+    /// [`RuntimeOptions::flush_after`]. A full job queue blocks this
+    /// call until a worker catches up (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputArity`] when `bits` does not match the
+    /// program's primary-input count.
+    pub fn submit(&self, bits: &[bool]) -> Result<RequestHandle, CoreError> {
+        let want = self.target.num_inputs();
+        if bits.len() != want {
+            return Err(CoreError::InputArity {
+                expected: want,
+                got: bits.len(),
+            });
+        }
+        let now = Instant::now();
+        self.shared.stats.note_submit(now);
+        let slot = Arc::new(ResponseSlot::new());
+        // Allocate and copy outside the batcher lock: concurrent
+        // submitters only serialize on the push itself.
+        let request = Request {
+            bits: bits.to_vec(),
+            submitted: now,
+            slot: Arc::clone(&slot),
+        };
+        let (id, full, first_pending) = {
+            let mut st = self.shared.batcher.lock().expect("batcher lock");
+            let id = st.next_id;
+            st.next_id += 1;
+            st.pending.push(request);
+            if st.pending.len() >= self.options.max_batch {
+                (id, Some(std::mem::take(&mut st.pending)), false)
+            } else {
+                (id, None, st.pending.len() == 1)
+            }
+        };
+        match full {
+            Some(reqs) => {
+                self.shared
+                    .stats
+                    .full_flushes
+                    .fetch_add(1, Ordering::Relaxed);
+                // Dispatch outside the batcher lock: if the pool queue is
+                // full this blocks, but other submitters keep batching.
+                dispatch(&self.target, &self.pool, &self.shared, reqs);
+            }
+            None => {
+                // Arm the deadline flusher only on the empty→non-empty
+                // transition: its deadline depends solely on the oldest
+                // pending request, which later pushes never change.
+                if first_pending {
+                    self.shared.kick.notify_all();
+                }
+            }
+        }
+        Ok(RequestHandle { slot, id })
+    }
+
+    /// Dispatches the current partial micro-batch immediately instead of
+    /// waiting for the size or deadline trigger. No-op when nothing is
+    /// pending.
+    pub fn flush(&self) {
+        let reqs = {
+            let mut st = self.shared.batcher.lock().expect("batcher lock");
+            std::mem::take(&mut st.pending)
+        };
+        if !reqs.is_empty() {
+            self.shared
+                .stats
+                .deadline_flushes
+                .fetch_add(1, Ordering::Relaxed);
+            dispatch(&self.target, &self.pool, &self.shared, reqs);
+        }
+    }
+
+    /// A snapshot of the runtime's serving statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        let stats = &self.shared.stats;
+        let mut latencies = stats
+            .latencies_us
+            .lock()
+            .expect("latency lock")
+            .samples
+            .clone();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let micro_batches = stats.micro_batches.load(Ordering::Relaxed);
+        let lanes = stats.lanes_served.load(Ordering::Relaxed);
+        let completed = stats.completed.load(Ordering::Relaxed);
+        let elapsed_us = stats
+            .span
+            .lock()
+            .expect("span lock")
+            .map_or(0.0, |(first, last)| {
+                last.duration_since(first).as_secs_f64() * 1e6
+            });
+        RuntimeStats {
+            requests: stats.requests.load(Ordering::Relaxed),
+            micro_batches,
+            full_flushes: stats.full_flushes.load(Ordering::Relaxed),
+            deadline_flushes: stats.deadline_flushes.load(Ordering::Relaxed),
+            mean_lanes_per_batch: if micro_batches > 0 {
+                lanes as f64 / micro_batches as f64
+            } else {
+                0.0
+            },
+            queue: QueueStats {
+                peak_depth: stats.peak_in_flight.load(Ordering::Relaxed),
+                p50_us: percentile(&latencies, 0.50),
+                p95_us: percentile(&latencies, 0.95),
+                p99_us: percentile(&latencies, 0.99),
+            },
+            elapsed_us,
+            requests_per_sec: if elapsed_us > 0.0 {
+                completed as f64 / (elapsed_us / 1e6)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The serving run as a [`ThroughputReport`]: model-time fields
+    /// cover every executed micro-batch at the steady-state initiation
+    /// interval, and [`ThroughputReport::wall`] carries the measured
+    /// host throughput plus the runtime's [`QueueStats`].
+    pub fn report(&self) -> ThroughputReport {
+        let stats = self.stats();
+        let cycles = self
+            .target
+            .steady_clock_cycles()
+            .saturating_mul(stats.micro_batches.max(1))
+            .max(1);
+        block_throughput(cycles, stats.requests as usize, self.target.freq_mhz()).with_wall(
+            WallTiming {
+                backend: self.target.backend(),
+                workers: self.pool.workers(),
+                batches: stats.micro_batches as usize,
+                elapsed_us: stats.elapsed_us,
+                samples_per_sec: stats.requests_per_sec,
+                queue: Some(stats.queue),
+            },
+        )
+    }
+
+    /// Shuts the runtime down: flushes pending requests, drains the job
+    /// queue, joins every thread. Called automatically on drop; calling
+    /// it twice is a no-op.
+    fn shutdown_inner(&mut self) {
+        {
+            let mut st = self.shared.batcher.lock().expect("batcher lock");
+            st.shutdown = true;
+        }
+        self.shared.kick.notify_all();
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+        // `self.pool` (the last strong Arc once the flusher has joined)
+        // drops after this body, joining the workers after they drain
+        // the queue — so every issued handle resolves.
+    }
+}
+
+/// Packs `reqs` into one multi-lane batch, executes it on a pool worker,
+/// and fulfills every request's slot (lane `j` of every word belongs to
+/// request `j`).
+fn dispatch(target: &Target, pool: &WorkerPool, shared: &Arc<RuntimeShared>, reqs: Vec<Request>) {
+    if reqs.is_empty() {
+        return;
+    }
+    let target = target.clone();
+    let shared = Arc::clone(shared);
+    pool.submit(Box::new(move |scratch| {
+        let rows: Vec<&[bool]> = reqs.iter().map(|r| r.bits.as_slice()).collect();
+        let inputs = Lanes::pack_rows(&rows, target.num_inputs());
+        // A panicking batch must not kill the persistent worker; turn it
+        // into an error every carried request observes.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| target.execute(scratch, &inputs))) {
+            Ok(result) => result,
+            Err(_) => Err(CoreError::BadConfig {
+                reason: "runtime worker panicked executing a micro-batch".to_string(),
+            }),
+        };
+        let now = Instant::now();
+        let latencies: Vec<f64> = reqs
+            .iter()
+            .map(|req| now.duration_since(req.submitted).as_secs_f64() * 1e6)
+            .collect();
+        // Account the batch BEFORE resolving any slot: a waiter unblocks
+        // the instant its slot fulfills, and a thread that has waited
+        // every handle must observe complete stats.
+        let stats = &shared.stats;
+        stats.micro_batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .lanes_served
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        stats.note_completion(&latencies, now);
+        match outcome {
+            Ok(outputs) => {
+                for (j, req) in reqs.iter().enumerate() {
+                    let bits: Vec<bool> = outputs.iter().map(|o| o.get(j)).collect();
+                    req.slot.fulfill(Ok(bits));
+                }
+            }
+            Err(e) => {
+                for req in &reqs {
+                    req.slot.fulfill(Err(e.clone()));
+                }
+            }
+        }
+    }));
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 for empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl Engine {
+    /// Converts this engine into a [`Runtime`] serving it — the
+    /// compiled core becomes the pool's shared state.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::from_engine`].
+    pub fn into_runtime(self, options: RuntimeOptions) -> Result<Runtime, CoreError> {
+        Runtime::from_engine(self, options)
+    }
+}
+
+impl CompiledModel {
+    /// Converts this model into a [`Runtime`] serving whole-model
+    /// inference per request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::from_model`].
+    pub fn into_runtime(self, options: RuntimeOptions) -> Result<Runtime, CoreError> {
+        Runtime::from_model(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Flow;
+    use crate::lpu::LpuConfig;
+    use lbnn_netlist::random::RandomDag;
+
+    fn request_bits(width: usize, seed: u64) -> Vec<bool> {
+        (0..width).map(|i| (seed >> (i % 64)) & 1 != 0).collect()
+    }
+
+    fn compiled(backend: Backend, seed: u64) -> Flow {
+        let nl = RandomDag::strict(8, 4, 6).outputs(3).generate(seed);
+        Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .backend(backend)
+            .compile()
+            .unwrap()
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_drains_on_drop() {
+        let pool = WorkerPool::spawn(2, 2);
+        assert_eq!(pool.workers(), 2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drop(pool); // joins after draining
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn runtime_serves_requests_bit_identically_to_engine() {
+        for backend in [Backend::Scalar, Backend::BitSliced64] {
+            let flow = compiled(backend, 3);
+            let width = flow.program.num_inputs;
+            let reference = flow.engine().unwrap();
+            let runtime = Runtime::from_engine(
+                flow.engine().unwrap(),
+                RuntimeOptions::default().workers(2).max_batch(16),
+            )
+            .unwrap();
+            let requests: Vec<Vec<bool>> =
+                (0..50).map(|i| request_bits(width, 0x5eed + i)).collect();
+            let handles: Vec<RequestHandle> = requests
+                .iter()
+                .map(|bits| runtime.submit(bits).unwrap())
+                .collect();
+            runtime.flush();
+            // Reference: all requests packed as one wide batch on the
+            // sequential engine.
+            let mut scratch = EngineScratch::new();
+            let packed = Lanes::pack_rows(&requests, width);
+            let expect = reference.run_batch_with(&mut scratch, &packed).unwrap();
+            for (j, handle) in handles.into_iter().enumerate() {
+                assert_eq!(handle.id(), j as u64);
+                let got = handle.wait().unwrap();
+                let want: Vec<bool> = expect.outputs.iter().map(|o| o.get(j)).collect();
+                assert_eq!(got, want, "{backend} request {j}");
+            }
+            let stats = runtime.stats();
+            assert_eq!(stats.requests, 50);
+            assert!(stats.micro_batches >= 4, "16-lane batches over 50 requests");
+            assert!(stats.queue.peak_depth > 0);
+        }
+    }
+
+    #[test]
+    fn deadline_flush_resolves_partial_batches() {
+        let flow = compiled(Backend::BitSliced64, 5);
+        let width = flow.program.num_inputs;
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(1)
+                .flush_after(Duration::from_millis(2)),
+        )
+        .unwrap();
+        // 3 requests never fill a 64-lane batch: only the deadline can
+        // dispatch them.
+        let handles: Vec<RequestHandle> = (0..3)
+            .map(|i| runtime.submit(&request_bits(width, i)).unwrap())
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().len(), 3);
+        }
+        let stats = runtime.stats();
+        assert!(stats.deadline_flushes >= 1, "{stats:?}");
+        assert_eq!(stats.full_flushes, 0);
+        assert!(stats.mean_lanes_per_batch <= 3.0);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_losing_requests() {
+        let flow = compiled(Backend::Scalar, 7);
+        let width = flow.program.num_inputs;
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(1)
+                .max_batch(2)
+                .queue_capacity(1),
+        )
+        .unwrap();
+        let handles: Vec<RequestHandle> = (0..40)
+            .map(|i| runtime.submit(&request_bits(width, i)).unwrap())
+            .collect();
+        runtime.flush();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        assert_eq!(runtime.stats().requests, 40);
+    }
+
+    #[test]
+    fn submit_rejects_wrong_arity() {
+        let flow = compiled(Backend::Scalar, 1);
+        let runtime =
+            Runtime::from_engine(flow.engine().unwrap(), RuntimeOptions::default()).unwrap();
+        let err = runtime.submit(&[true]).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InputArity {
+                expected: 8,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        let flow = compiled(Backend::Scalar, 2);
+        let engine = flow.engine().unwrap();
+        let err = Runtime::from_engine(engine.clone(), RuntimeOptions::default().max_batch(0))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig { .. }));
+        let err = Runtime::from_engine(
+            engine.clone(),
+            RuntimeOptions::default().flush_after(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig { .. }));
+        let err =
+            Runtime::from_engine(engine, RuntimeOptions::default().queue_capacity(0)).unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig { .. }));
+    }
+
+    #[test]
+    fn try_wait_does_not_consume_the_response() {
+        let flow = compiled(Backend::Scalar, 6);
+        let width = flow.program.num_inputs;
+        let runtime =
+            Runtime::from_engine(flow.engine().unwrap(), RuntimeOptions::default().workers(1))
+                .unwrap();
+        let handle = runtime.submit(&request_bits(width, 1)).unwrap();
+        runtime.flush();
+        // Poll until resolved; the poll must leave the slot intact...
+        let polled = loop {
+            if let Some(result) = handle.try_wait() {
+                break result.unwrap();
+            }
+            std::thread::yield_now();
+        };
+        // ...so a subsequent blocking wait still returns the same bits.
+        assert_eq!(handle.wait().unwrap(), polled);
+    }
+
+    #[test]
+    fn drop_resolves_outstanding_handles() {
+        let flow = compiled(Backend::BitSliced64, 9);
+        let width = flow.program.num_inputs;
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(2)
+                .flush_after(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        let handles: Vec<RequestHandle> = (0..5)
+            .map(|i| runtime.submit(&request_bits(width, i)).unwrap())
+            .collect();
+        drop(runtime); // shutdown drain must dispatch the partial batch
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn report_carries_queue_stats() {
+        let flow = compiled(Backend::BitSliced64, 4);
+        let width = flow.program.num_inputs;
+        let steady = flow.stats.steady_clock_cycles;
+        // Long deadline: the size trigger alone shapes the 4 batches the
+        // exact-count assertions below expect.
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(1)
+                .max_batch(8)
+                .flush_after(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        let handles: Vec<RequestHandle> = (0..32)
+            .map(|i| runtime.submit(&request_bits(width, i)).unwrap())
+            .collect();
+        runtime.flush();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let report = runtime.report();
+        assert_eq!(report.batch, 32);
+        assert_eq!(report.clock_cycles, steady * 4);
+        let wall = report.wall.expect("runtime report measures wall time");
+        let queue = wall.queue.expect("runtime report carries queue stats");
+        assert!(queue.p50_us <= queue.p95_us && queue.p95_us <= queue.p99_us);
+        assert!(queue.peak_depth >= 1);
+        assert_eq!(wall.batches, 4);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.50), 5.0);
+        assert_eq!(percentile(&sorted, 0.95), 10.0);
+        assert_eq!(percentile(&sorted, 0.99), 10.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[42.0], 0.99), 42.0);
+    }
+}

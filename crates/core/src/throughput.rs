@@ -8,9 +8,32 @@
 
 use crate::engine::Backend;
 
+/// Queue-depth and per-request latency statistics of a serving run,
+/// measured by the [`Runtime`](crate::runtime::Runtime) micro-batcher.
+///
+/// Pre-packed batch replay ([`Engine::run_batches_timed`]) has no
+/// request queue, so its [`WallTiming::queue`] is `None`; runtime-served
+/// runs record the peak number of in-flight requests and the
+/// distribution of submit→response latency.
+///
+/// [`Engine::run_batches_timed`]: crate::engine::Engine::run_batches_timed
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueStats {
+    /// Peak number of simultaneously in-flight requests (submitted but
+    /// not yet resolved).
+    pub peak_depth: usize,
+    /// Median submit→response latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile submit→response latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile submit→response latency in microseconds.
+    pub p99_us: f64,
+}
+
 /// Wall-clock measurement of one simulated serving run, attached to a
 /// [`ThroughputReport`] by
-/// [`Engine::run_batches_timed`](crate::engine::Engine::run_batches_timed).
+/// [`Engine::run_batches_timed`](crate::engine::Engine::run_batches_timed)
+/// and [`Runtime::report`](crate::runtime::Runtime::report).
 ///
 /// The model-time fields of the report describe what the *hardware* would
 /// do; this records what the chosen software [`Backend`] actually took on
@@ -28,6 +51,10 @@ pub struct WallTiming {
     pub elapsed_us: f64,
     /// Measured host throughput in samples (lanes) per second.
     pub samples_per_sec: f64,
+    /// Queue-depth and latency percentiles, when the run went through the
+    /// [`Runtime`](crate::runtime::Runtime) request queue (`None` for
+    /// pre-packed batch replay, which has no queue).
+    pub queue: Option<QueueStats>,
 }
 
 /// Throughput of a single compiled block.

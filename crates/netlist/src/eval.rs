@@ -123,6 +123,40 @@ impl Lanes {
         &self.words
     }
 
+    /// Transposes per-sample bit rows into per-signal lane columns:
+    /// `rows[j]` holds sample `j`'s value for each of `width` signals,
+    /// and the result holds one `Lanes` per signal with sample `j` at
+    /// lane `j` — the packing shared by every serving path that turns
+    /// individual requests into a bit-sliced batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `width`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lbnn_netlist::Lanes;
+    /// let rows = [[true, false], [true, true], [false, false]];
+    /// let cols = Lanes::pack_rows(&rows, 2);
+    /// assert_eq!(cols.len(), 2);
+    /// assert_eq!(cols[0].to_bools(), vec![true, true, false]); // signal 0
+    /// assert_eq!(cols[1].to_bools(), vec![false, true, false]); // signal 1
+    /// ```
+    pub fn pack_rows<R: AsRef<[bool]>>(rows: &[R], width: usize) -> Vec<Lanes> {
+        let mut columns = vec![Lanes::zeros(rows.len()); width];
+        for (j, row) in rows.iter().enumerate() {
+            let row = row.as_ref();
+            assert_eq!(row.len(), width, "row {j} has the wrong width");
+            for (column, &bit) in columns.iter_mut().zip(row) {
+                if bit {
+                    column.set(j, true);
+                }
+            }
+        }
+        columns
+    }
+
     /// Number of lanes set to 1.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -499,6 +533,31 @@ mod tests {
         assert_eq!(lanes.len(), 130);
         assert_eq!(lanes.to_bools(), bits);
         assert_eq!(lanes.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn pack_rows_transposes_and_checks_width() {
+        // Round trip: pack 70 rows (multi-word lanes), read each sample
+        // back from its lane.
+        let rows: Vec<Vec<bool>> = (0..70)
+            .map(|j| (0..5).map(|i| (j + i) % 3 == 0).collect())
+            .collect();
+        let cols = Lanes::pack_rows(&rows, 5);
+        assert_eq!(cols.len(), 5);
+        for (j, row) in rows.iter().enumerate() {
+            for (i, &bit) in row.iter().enumerate() {
+                assert_eq!(cols[i].get(j), bit, "signal {i} sample {j}");
+            }
+        }
+        assert!(Lanes::pack_rows::<Vec<bool>>(&[], 3)
+            .iter()
+            .all(Lanes::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn pack_rows_rejects_ragged_rows() {
+        let _ = Lanes::pack_rows(&[vec![true, false], vec![true]], 2);
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Compile the whole detector — both blocks — into one serving
     // artifact for the paper's LPU (m = 64, n = 16).
     let config = LpuConfig::paper_default();
-    let mut detector = CompiledModel::compile(
+    let detector = CompiledModel::compile(
         "nid",
         vec![
             LayerSpec::block("hidden", hidden),

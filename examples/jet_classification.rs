@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let head = layer_netlist(&layers[1], ExtractMode::Popcount, None)?;
 
     let config = LpuConfig::paper_default();
-    let mut classifier = CompiledModel::compile(
+    let classifier = CompiledModel::compile(
         "jsc",
         vec![
             LayerSpec::block("hidden", hidden),

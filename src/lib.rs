@@ -25,9 +25,13 @@
 //! Engines replay on one of two bit-identical [`Backend`]s — the
 //! cycle-accurate machine ([`Backend::Scalar`]) or bit-sliced 64-lane
 //! word kernels ([`Backend::BitSliced64`]), selected with
-//! [`FlowBuilder::backend`] — and [`Engine::run_batches`] shards batch
-//! sequences across worker threads. `docs/ARCHITECTURE.md` maps the
-//! crate layers end to end.
+//! [`FlowBuilder::backend`] — and split into an immutable shared core
+//! plus per-worker scratch, so one resident compiled block serves from
+//! any number of threads. [`Engine::run_batches`] shards batch
+//! sequences across a persistent worker pool, and the [`Runtime`]
+//! serves individual requests through a bounded queue with dynamic
+//! 64-lane micro-batching and measured latency percentiles.
+//! `docs/ARCHITECTURE.md` maps the crate layers end to end.
 //!
 //! ```
 //! use lbnn::{Flow, LpuConfig};
@@ -71,8 +75,9 @@ pub use lbnn_switch as switch;
 
 pub use lbnn_core::{
     ArtifactError, Backend, CompileArtifacts, CompileReport, CompiledModel, CoreError, Engine,
-    Flow, FlowBuilder, FlowOptions, FlowStats, LayerSpec, LpuConfig, LpuMachine, PassReport,
-    ServingMode, ThroughputReport, WallTiming,
+    EngineCore, EngineScratch, Flow, FlowBuilder, FlowOptions, FlowStats, LayerSpec, LpuConfig,
+    LpuMachine, ModelScratch, PassReport, QueueStats, RequestHandle, Runtime, RuntimeOptions,
+    RuntimeStats, ServingMode, ThroughputReport, WallTiming,
 };
 
 /// Compiles the README's code blocks as doctests (`cargo test --doc`),

@@ -93,7 +93,7 @@ fn compiled_model_infer_agrees_with_per_layer_evaluation() {
     let model = zoo::jsc_m();
     let config = LpuConfig::new(16, 4);
     let wl = small_options();
-    let mut compiled = CompiledModel::compile(
+    let compiled = CompiledModel::compile(
         model.name,
         model_specs(&model, &wl),
         &config,
@@ -217,10 +217,10 @@ fn compiled_model_infer_is_backend_independent() {
     let config = LpuConfig::new(16, 4);
     let wl = small_options();
     let specs = model_specs(&model, &wl);
-    let mut scalar =
+    let scalar =
         CompiledModel::compile(model.name, specs.clone(), &config, &FlowOptions::default())
             .unwrap();
-    let mut sliced = CompiledModel::compile(
+    let sliced = CompiledModel::compile(
         model.name,
         specs,
         &config,

@@ -191,12 +191,12 @@ fn compiled_model_round_trips_through_a_file() {
         },
     ];
     let config = LpuConfig::new(6, 4);
-    let mut model =
+    let model =
         CompiledModel::compile("roundtrip", specs, &config, &FlowOptions::default()).unwrap();
 
     let path = temp_path("model");
     model.save(&path).unwrap();
-    let mut loaded = CompiledModel::load(&path).unwrap();
+    let loaded = CompiledModel::load(&path).unwrap();
     std::fs::remove_file(&path).ok();
 
     assert_eq!(loaded.name(), model.name());

@@ -46,7 +46,7 @@ fn nid_pipeline_preserves_accuracy() {
     // 4. Compile both blocks into one serving artifact and execute the
     //    test set on the LPU in a single whole-model inference.
     let config = LpuConfig::new(32, 8);
-    let mut detector = CompiledModel::compile(
+    let detector = CompiledModel::compile(
         "nid",
         vec![
             LayerSpec::block("hidden", hidden_nl),

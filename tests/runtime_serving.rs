@@ -1,0 +1,310 @@
+//! The serving runtime's contract, end to end: concurrent single-sample
+//! requests through the `Runtime` worker pool must be bit-identical to
+//! the sequential scalar reference engine, on both backends, for any
+//! request count and arrival pattern — plus the accounting and
+//! backpressure guarantees the runtime makes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lbnn::netlist::random::RandomDag;
+use lbnn::netlist::Lanes;
+use lbnn::{
+    Backend, CompiledModel, EngineScratch, Flow, FlowOptions, LayerSpec, LpuConfig, RequestHandle,
+    Runtime, RuntimeOptions,
+};
+use proptest::prelude::*;
+
+/// Deterministic request bits: request `r` of width `width`.
+fn request_bits(width: usize, r: u64, salt: u64) -> Vec<bool> {
+    (0..width)
+        .map(|i| {
+            let x = r
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(salt)
+                .wrapping_add((i as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
+            (x ^ (x >> 29)) & 1 != 0
+        })
+        .collect()
+}
+
+/// Packs per-request bit vectors into one wide batch (`lane j` =
+/// request `j`).
+fn pack(requests: &[Vec<bool>], width: usize) -> Vec<Lanes> {
+    Lanes::pack_rows(requests, width)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// The headline invariant (ISSUE 4 acceptance): for any request
+    /// count, worker count, micro-batch size and arrival pattern, on
+    /// both backends, every `Runtime` response is bit-identical to the
+    /// sequential scalar reference engine serving the same sample alone.
+    #[test]
+    fn runtime_is_bit_identical_to_sequential_reference(
+        seed in 0u64..500,
+        requests in 1usize..130,
+        workers in 1usize..4,
+        max_batch in 1usize..80,
+        sliced in proptest::bool::ANY,
+        burst in 1usize..20,
+    ) {
+        let netlist = RandomDag::strict(9, 4, 7).outputs(3).generate(seed);
+        let backend = if sliced { Backend::BitSliced64 } else { Backend::Scalar };
+        let flow = Flow::builder(&netlist)
+            .config(LpuConfig::new(4, 4))
+            .backend(backend)
+            .compile()
+            .unwrap();
+        // The reference: the *scalar* cycle-accurate engine, each request
+        // served alone on a single lane.
+        let reference = Flow::builder(&netlist)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap()
+            .into_engine()
+            .unwrap();
+        let mut scratch = EngineScratch::new();
+
+        let width = netlist.inputs().len();
+        let runtime = Runtime::from_engine(
+            flow.into_engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(workers)
+                .max_batch(max_batch)
+                // Long deadline: flushes below model the arrival pattern
+                // deterministically instead of racing the wall clock.
+                .flush_after(Duration::from_secs(3600)),
+        )
+        .unwrap();
+
+        // Arrival pattern: submit in bursts of `burst`, flushing between
+        // bursts, so micro-batches form at irregular sizes.
+        let mut handles: Vec<RequestHandle> = Vec::with_capacity(requests);
+        for r in 0..requests {
+            handles.push(runtime.submit(&request_bits(width, r as u64, seed)).unwrap());
+            if (r + 1) % burst == 0 {
+                runtime.flush();
+            }
+        }
+        runtime.flush();
+
+        for (r, handle) in handles.into_iter().enumerate() {
+            prop_assert_eq!(handle.id(), r as u64);
+            let got = handle.wait().unwrap();
+            let single: Vec<Lanes> = request_bits(width, r as u64, seed)
+                .iter()
+                .map(|&b| Lanes::from_bools(&[b]))
+                .collect();
+            let want: Vec<bool> = reference
+                .run_batch_with(&mut scratch, &single)
+                .unwrap()
+                .outputs
+                .iter()
+                .map(|o| o.get(0))
+                .collect();
+            prop_assert_eq!(got, want, "backend {} request {}", backend, r);
+        }
+        let stats = runtime.stats();
+        prop_assert_eq!(stats.requests, requests as u64);
+        prop_assert!(stats.micro_batches >= 1);
+    }
+}
+
+/// Concurrent submitters on one shared runtime: responses stay paired
+/// with their own requests (no cross-request lane mixups), bit-exact
+/// against the packed sequential engine.
+#[test]
+fn concurrent_submitters_get_their_own_answers() {
+    let netlist = RandomDag::strict(10, 5, 8).outputs(4).generate(77);
+    let width = netlist.inputs().len();
+    for backend in [Backend::Scalar, Backend::BitSliced64] {
+        let flow = Flow::builder(&netlist)
+            .config(LpuConfig::new(5, 4))
+            .backend(backend)
+            .compile()
+            .unwrap();
+        let reference = flow.engine().unwrap();
+        let runtime = Arc::new(
+            Runtime::from_engine(
+                flow.engine().unwrap(),
+                RuntimeOptions::default().workers(2).max_batch(16),
+            )
+            .unwrap(),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let runtime = Arc::clone(&runtime);
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut scratch = EngineScratch::new();
+                    let requests: Vec<Vec<bool>> =
+                        (0..25).map(|r| request_bits(width, r, t)).collect();
+                    let handles: Vec<RequestHandle> = requests
+                        .iter()
+                        .map(|bits| runtime.submit(bits).unwrap())
+                        .collect();
+                    runtime.flush();
+                    let packed = pack(&requests, width);
+                    let expect = reference.run_batch_with(&mut scratch, &packed).unwrap();
+                    for (j, handle) in handles.into_iter().enumerate() {
+                        let got = handle.wait().unwrap();
+                        let want: Vec<bool> = expect.outputs.iter().map(|o| o.get(j)).collect();
+                        assert_eq!(got, want, "thread {t} request {j} on {backend}");
+                    }
+                });
+            }
+        });
+        assert_eq!(runtime.stats().requests, 100);
+    }
+}
+
+/// A runtime over a whole `CompiledModel` chains every layer per
+/// request, bit-identically to `CompiledModel::infer` on the packed
+/// batch.
+#[test]
+fn model_runtime_matches_whole_model_inference() {
+    let specs = vec![
+        LayerSpec::block("L1", RandomDag::strict(8, 4, 6).outputs(5).generate(21)),
+        LayerSpec::block("L2", RandomDag::strict(5, 3, 4).outputs(3).generate(22)),
+    ];
+    let config = LpuConfig::new(4, 4);
+    for backend in [Backend::Scalar, Backend::BitSliced64] {
+        let options = FlowOptions {
+            backend,
+            ..Default::default()
+        };
+        let model = CompiledModel::compile("serve", specs.clone(), &config, &options).unwrap();
+        let width = model.layers()[0].flow().program.num_inputs;
+        let requests: Vec<Vec<bool>> = (0..70).map(|r| request_bits(width, r, 5)).collect();
+        let expect = model.infer(&pack(&requests, width)).unwrap();
+
+        // Long deadline: the explicit flush below decides batch shapes,
+        // so the exact-count assertion cannot race the wall clock.
+        let runtime = model
+            .into_runtime(
+                RuntimeOptions::default()
+                    .workers(2)
+                    .flush_after(Duration::from_secs(3600)),
+            )
+            .unwrap();
+        let handles: Vec<RequestHandle> = requests
+            .iter()
+            .map(|bits| runtime.submit(bits).unwrap())
+            .collect();
+        runtime.flush();
+        for (j, handle) in handles.into_iter().enumerate() {
+            let got = handle.wait().unwrap();
+            let want: Vec<bool> = expect.outputs().iter().map(|o| o.get(j)).collect();
+            assert_eq!(got, want, "request {j} on {backend}");
+        }
+        let stats = runtime.stats();
+        assert_eq!(stats.requests, 70);
+        assert_eq!(
+            stats.micro_batches, 2,
+            "70 requests -> one full + one partial"
+        );
+    }
+}
+
+/// Regression (ISSUE 4 satellite): `batches_served` counts every batch
+/// exactly once whether batches flow through the sequential path, the
+/// persistent sharding pool (reused and respawned), or the runtime's
+/// micro-batcher.
+#[test]
+fn batches_served_is_exact_across_all_serving_paths() {
+    let netlist = RandomDag::strict(8, 4, 6).outputs(2).generate(41);
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(4, 4))
+        .compile()
+        .unwrap();
+    let width = netlist.inputs().len();
+    let batches: Vec<Vec<Lanes>> = (0..10)
+        .map(|b| {
+            pack(
+                &(0..8)
+                    .map(|r| request_bits(width, r, b))
+                    .collect::<Vec<_>>(),
+                width,
+            )
+        })
+        .collect();
+
+    // Sequential, pooled (twice — reuse must not double-count), respawned.
+    let mut engine = flow.engine().unwrap();
+    engine.run_batches(&batches).unwrap();
+    assert_eq!(engine.batches_served(), 10);
+    engine.set_workers(3);
+    engine.run_batches(&batches).unwrap();
+    engine.run_batches(&batches).unwrap();
+    assert_eq!(engine.batches_served(), 30);
+    engine.set_workers(2);
+    engine.run_batches(&batches).unwrap();
+    assert_eq!(engine.batches_served(), 40);
+
+    // Runtime path: micro-batches count on the served engine exactly
+    // once each (observed through the runtime's own accounting plus the
+    // pre-seeded engine counter).
+    // Long deadline so the explicit flush decides batch shapes (no race
+    // against the deadline flusher in the exact-count assertion below).
+    let runtime = Runtime::from_engine(
+        engine,
+        RuntimeOptions::default()
+            .workers(2)
+            .max_batch(32)
+            .flush_after(Duration::from_secs(3600)),
+    )
+    .unwrap();
+    let handles: Vec<RequestHandle> = (0..96)
+        .map(|r| runtime.submit(&request_bits(width, r, 9)).unwrap())
+        .collect();
+    runtime.flush();
+    for handle in handles {
+        handle.wait().unwrap();
+    }
+    assert_eq!(
+        runtime.stats().micro_batches,
+        3,
+        "96 requests / 32-lane batches"
+    );
+}
+
+/// Backpressure end to end: a tiny bounded queue and micro-batches still
+/// deliver every response, and the deadline flusher resolves a trickle
+/// of requests that never fills a batch.
+#[test]
+fn backpressure_and_deadline_flush_deliver_every_response() {
+    let netlist = RandomDag::strict(8, 4, 6).outputs(3).generate(13);
+    let width = netlist.inputs().len();
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(4, 4))
+        .backend(Backend::BitSliced64)
+        .compile()
+        .unwrap();
+    let runtime = Runtime::from_engine(
+        flow.engine().unwrap(),
+        RuntimeOptions::default()
+            .workers(1)
+            .max_batch(2)
+            .queue_capacity(1)
+            .flush_after(Duration::from_millis(1)),
+    )
+    .unwrap();
+    // 101 requests: 50 full 2-lane flushes under a capacity-1 queue
+    // (constant backpressure) plus one trailing request only the
+    // deadline can deliver.
+    let handles: Vec<RequestHandle> = (0..101)
+        .map(|r| runtime.submit(&request_bits(width, r, 3)).unwrap())
+        .collect();
+    for handle in handles {
+        handle.wait().unwrap();
+    }
+    let stats = runtime.stats();
+    assert_eq!(stats.requests, 101);
+    assert!(stats.deadline_flushes >= 1, "{stats:?}");
+    assert!(stats.full_flushes >= 50, "{stats:?}");
+}
