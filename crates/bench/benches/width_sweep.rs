@@ -1,0 +1,128 @@
+//! Criterion bench behind the width-generic backend (ISSUE 5): serving
+//! throughput of one `table2`-style VGG16 conv block swept across every
+//! bit-slice width (64/128/256/512 lanes per kernel pass), on both the
+//! pre-packed batch path and the runtime micro-batcher, with the scalar
+//! machine as the baseline.
+//!
+//! Each width serves the *same* 2048 samples, packed into batches of its
+//! own lane width, so the samples/s numbers are directly comparable. The
+//! summary printed after the benches measures the acceptance ratio:
+//! 256-lane serving vs 64-lane serving on the same block (host-dependent
+//! — wider slices win until the frame outgrows the cache hierarchy or
+//! the memory bus saturates; the summary reports whichever happened).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbnn_bench::{bench_workload_options, serving_batches, synthetic_requests};
+use lbnn_core::lpu::LpuConfig;
+use lbnn_core::runtime::{RequestHandle, Runtime, RuntimeOptions};
+use lbnn_core::{Backend, Engine, Flow};
+use lbnn_models::workload::layer_workload;
+use lbnn_models::zoo;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Total samples served per measurement, at every width.
+const SAMPLES: usize = 2048;
+
+fn compile_engine(netlist: &lbnn_netlist::Netlist, backend: Backend) -> Engine {
+    Flow::builder(netlist)
+        .config(LpuConfig::paper_default())
+        .backend(backend)
+        .compile()
+        .unwrap()
+        .into_engine()
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let wl = bench_workload_options();
+    let model = zoo::vgg16_layers_2_13();
+    // L8: a 256->512 conv block, mid-size — the table2 representative.
+    let workload = layer_workload(&model.layers[7], 7, &wl);
+    let width = workload.netlist.inputs().len();
+
+    let mut g = c.benchmark_group("width_sweep_vgg16_block");
+    g.sample_size(10);
+
+    // Scalar baseline: the same samples as 64-lane batches.
+    let scalar_batches = serving_batches(width, 64, SAMPLES / 64, 0x51ce);
+    let mut scalar = compile_engine(&workload.netlist, Backend::Scalar);
+    g.bench_function("serve_scalar_64", |b| {
+        b.iter(|| black_box(scalar.run_batches(&scalar_batches).unwrap()))
+    });
+
+    // Bit-sliced sweep: each width serves the samples packed at its own
+    // lane width (full frames, the steady-state best case).
+    for words in [1usize, 2, 4, 8] {
+        let lanes = 64 * words;
+        let batches = serving_batches(width, lanes, SAMPLES / lanes, 0x51ce);
+        let mut engine = compile_engine(&workload.netlist, Backend::BitSliced { words });
+        g.bench_function(format!("serve_bitsliced_{lanes}"), |b| {
+            b.iter(|| black_box(engine.run_batches(&batches).unwrap()))
+        });
+    }
+
+    // Runtime micro-batcher at 64 and 256 lanes: individual submits,
+    // auto flush target = the engine's lane width.
+    let request_bits = synthetic_requests(width, SAMPLES / 4, 0x51ce);
+    for words in [1usize, 4] {
+        let engine = compile_engine(&workload.netlist, Backend::BitSliced { words });
+        let runtime = Runtime::from_engine(engine, RuntimeOptions::default().workers(0)).unwrap();
+        g.bench_function(format!("runtime_submit_{}", 64 * words), |b| {
+            b.iter(|| {
+                let handles: Vec<RequestHandle> = request_bits
+                    .iter()
+                    .map(|bits| runtime.submit(bits).unwrap())
+                    .collect();
+                runtime.flush();
+                black_box(
+                    handles
+                        .into_iter()
+                        .map(|h| h.wait().unwrap().len())
+                        .sum::<usize>(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    // The acceptance comparison, measured directly: per-width serving
+    // time for the same SAMPLES samples (mean of 5 runs each).
+    let time = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..5 {
+            f();
+        }
+        start.elapsed().as_secs_f64() / 5.0
+    };
+    println!("\nwidth sweep summary ({SAMPLES} samples, VGG16 L8 block):");
+    let mut per_width = Vec::new();
+    for words in [1usize, 2, 4, 8] {
+        let lanes = 64 * words;
+        let batches = serving_batches(width, lanes, SAMPLES / lanes, 0x51ce);
+        let mut engine = compile_engine(&workload.netlist, Backend::BitSliced { words });
+        let secs = time(&mut || {
+            black_box(engine.run_batches(&batches).unwrap());
+        });
+        println!(
+            "  {lanes:>4} lanes: {:>8.1} us -> {:>10.0} samples/s",
+            secs * 1e6,
+            SAMPLES as f64 / secs
+        );
+        per_width.push((lanes, secs));
+    }
+    let t64 = per_width[0].1;
+    let t256 = per_width[2].1;
+    println!(
+        "  256-lane vs 64-lane: {:.2}x {}",
+        t64 / t256,
+        if t256 < t64 {
+            "(wider slice wins)"
+        } else {
+            "(host caps out: memory-bound at this width on this machine)"
+        }
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

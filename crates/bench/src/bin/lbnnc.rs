@@ -11,18 +11,20 @@
 //!                                      original verification oracle)
 //!   --m <N>             LPEs per LPV            (default 64)
 //!   --n <N>             LPVs per LPU            (default 16)
-//!   --backend <B>       execution backend: scalar | bitsliced64; with
-//!                       --from-artifact, overrides the recorded backend
-//!                       (both serve bit-identically)
+//!   --backend <B>       execution backend: scalar | bitsliced64 |
+//!                       bitsliced:<64|128|256|512> (bit-sliced lane
+//!                       width); with --from-artifact, overrides the
+//!                       recorded backend (all serve bit-identically)
 //!   --no-merge          skip the MFG merging procedure (Algorithm 3)
 //!   --no-opt            skip logic optimization
 //!   --geq               use the pseudocode stop rule (>= m) instead of > m
 //!   --verify <SEED>     run the cycle-accurate machine against the netlist
 //!   --serve <N>         replay N synthetic single-sample requests through
-//!                       the Runtime worker pool (dynamic 64-lane
-//!                       micro-batching) and print throughput + latency
-//!                       percentiles; with --verify, every response is also
-//!                       checked against the netlist oracle
+//!                       the Runtime worker pool (dynamic micro-batching
+//!                       to the engine's lane width) and print throughput
+//!                       + latency percentiles; with --verify, every
+//!                       response is also checked against the netlist
+//!                       oracle
 //!   --workers <N>       runtime worker threads for --serve (0 = one per CPU)
 //!   --diagram           print the time-space schedule
 //!   --emit-verilog <F>  write the mapped, balanced netlist as Verilog
@@ -73,7 +75,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lbnnc <input.v> [--m N] [--n N] [--backend scalar|bitsliced64]\n\
+        "usage: lbnnc <input.v> [--m N] [--n N] [--backend scalar|bitsliced64|bitsliced:<lanes>]\n\
          \u{20}             [--no-merge] [--no-opt] [--geq] [--verify SEED] [--diagram]\n\
          \u{20}             [--serve N] [--workers N]\n\
          \u{20}             [--emit-verilog FILE] [--emit-artifact FILE] [--encode]\n\
@@ -351,10 +353,10 @@ fn main() -> ExitCode {
     if args.from_artifact.is_some() {
         match flow.engine() {
             Ok(engine) => println!(
-                "engine ready: backend {}, {} clk between batches, {} lanes/batch",
+                "engine ready: backend {}, {} clk between batches, {} lanes/kernel pass",
                 engine.backend(),
                 engine.steady_clock_cycles_per_batch(),
-                flow.config.operand_bits()
+                engine.lane_width()
             ),
             Err(e) => {
                 eprintln!("lbnnc: engine construction failed: {e}");
@@ -378,7 +380,7 @@ fn main() -> ExitCode {
 
     // Serving mode: replay N synthetic single-sample requests through the
     // persistent Runtime worker pool; the micro-batcher packs them into
-    // 64-lane bit-sliced words dynamically.
+    // full bit-sliced frames (the engine's lane width) dynamically.
     if let Some(requests) = args.serve {
         let engine = match flow.engine() {
             Ok(engine) => engine,
@@ -399,7 +401,8 @@ fn main() -> ExitCode {
         let inputs = synthetic_requests(width, requests, 0x5e12_2023);
         println!(
             "serving {requests} single-sample requests through the runtime \
-             (dynamic 64-lane micro-batching)..."
+             (dynamic micro-batching, flush target {} lanes)...",
+            runtime.flush_target()
         );
         let handles: Vec<RequestHandle> = match inputs
             .iter()

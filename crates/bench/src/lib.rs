@@ -249,9 +249,10 @@ impl Default for BackendArgs {
     }
 }
 
-/// Parses `--backend <scalar|bitsliced64>`, `--workers <n>` and
-/// `--serve <n>` from an argument iterator (unrecognized arguments are
-/// ignored so binaries can layer their own flags).
+/// Parses `--backend <scalar|bitsliced64|bitsliced:<lanes>>`,
+/// `--workers <n>` and `--serve <n>` from an argument iterator
+/// (unrecognized arguments are ignored so binaries can layer their own
+/// flags).
 ///
 /// # Panics
 ///
@@ -370,7 +371,7 @@ pub fn synthetic_requests(width: usize, count: usize, seed: u64) -> Vec<Vec<bool
 
 /// Compiles `netlist` for `backend` and replays `requests` synthetic
 /// single-sample requests through a [`lbnn_core::Runtime`] — individual `submit`
-/// calls, dynamically micro-batched into 64-lane words by the runtime —
+/// calls, dynamically micro-batched to the backend's lane width by the runtime —
 /// returning the measured [`RuntimeStats`] and the wall-annotated
 /// [`ThroughputReport`] (whose [`lbnn_core::WallTiming::queue`] carries
 /// the latency percentiles). The number behind the table binaries'
@@ -586,6 +587,9 @@ mod tests {
         let b = args(&["--unrelated", "--backend", "scalar"]);
         assert_eq!(b.backend, Backend::Scalar);
         assert!(b.measure);
+        let c = args(&["--backend", "bitsliced:256"]);
+        assert_eq!(c.backend, Backend::BitSliced { words: 4 });
+        assert!(c.measure);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! [`CompiledModel::save`]/[`CompiledModel::load`] write a versioned,
 //! checksummed binary image holding everything serving needs — the
 //! mapped netlist (binary image, [`lbnn_netlist::serdes`]), the
-//! [`LpuConfig`], the [`Backend`] choice, the self-describing
+//! [`LpuConfig`], the [`Backend`] choice (including the bit-slice width
+//! since format v2), the self-describing
 //! [`EncodedProgram`], the [`FlowStats`], and the per-pass
 //! [`CompileReport`]. A loaded flow builds an [`Engine`](crate::Engine)
 //! on either backend and serves bit-identically to the process that
@@ -57,8 +58,10 @@ use crate::model::{CompiledLayer, CompiledModel};
 
 /// Artifact file magic.
 const MAGIC: [u8; 8] = *b"LBNNARTF";
-/// Current container format version.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Current container format version. Version 2 added the bit-slice
+/// width (`words`) to the backend record; version-1 images are rejected
+/// with [`ArtifactError::UnsupportedVersion`].
+pub const ARTIFACT_VERSION: u32 = 2;
 /// Container kind: a single compiled flow.
 const KIND_FLOW: u8 = 1;
 /// Container kind: a whole compiled model (one flow per layer).
@@ -191,17 +194,48 @@ fn read_config(r: &mut ByteReader<'_>) -> Result<LpuConfig, CoreError> {
     Ok(config)
 }
 
-fn backend_code(b: Backend) -> u8 {
+/// Backend record: one code byte, plus a `words` byte for bit-sliced
+/// backends (format v2).
+///
+/// The writer records unsupported-but-representable widths faithfully
+/// (the reader turns them into [`ArtifactError::UnsupportedWidth`]), but
+/// a width that does not fit the u8 field must fail here — silently
+/// truncating it would serialize a *different, valid* width.
+fn write_backend(w: &mut ByteWriter, b: Backend) -> Result<(), CoreError> {
     match b {
-        Backend::Scalar => 0,
-        Backend::BitSliced64 => 1,
+        Backend::Scalar => w.put_u8(0),
+        Backend::BitSliced { words } => {
+            let byte = u8::try_from(words).map_err(|_| CoreError::BadConfig {
+                reason: format!(
+                    "bit-sliced backend width of {words} words does not fit the artifact's \
+                     width field (supported widths are 1, 2, 4 or 8)"
+                ),
+            })?;
+            w.put_u8(1);
+            w.put_u8(byte);
+        }
     }
+    Ok(())
 }
 
-fn backend_from_code(code: u8) -> Result<Backend, CoreError> {
-    match code {
+fn read_backend(r: &mut ByteReader<'_>) -> Result<Backend, CoreError> {
+    match rd(r.get_u8())? {
         0 => Ok(Backend::Scalar),
-        1 => Ok(Backend::BitSliced64),
+        1 => {
+            let words = rd(r.get_u8())?;
+            let backend = Backend::BitSliced {
+                words: words as usize,
+            };
+            // A corrupt or future width byte is its own typed error, so
+            // callers can distinguish "unknown lane width" from general
+            // structural damage.
+            if backend.validate().is_err() {
+                return Err(CoreError::Artifact(ArtifactError::UnsupportedWidth {
+                    words,
+                }));
+            }
+            Ok(backend)
+        }
         other => Err(malformed(format!("unknown backend code {other}"))),
     }
 }
@@ -364,7 +398,7 @@ fn encode_flow_payload(flow: &Flow) -> Result<Vec<u8>, CoreError> {
     let mut w = ByteWriter::new();
     write_netlist(&flow.netlist, &mut w);
     write_config(&mut w, &flow.config);
-    w.put_u8(backend_code(flow.backend));
+    write_backend(&mut w, flow.backend)?;
     write_stats(&mut w, &flow.stats);
     write_report(&mut w, &flow.report);
     write_encoded_program(&mut w, &encode_program(&flow.program)?);
@@ -375,7 +409,7 @@ fn decode_flow_payload(payload: &[u8]) -> Result<Flow, CoreError> {
     let mut r = ByteReader::new(payload);
     let netlist = rd(read_netlist(&mut r))?;
     let config = read_config(&mut r)?;
-    let backend = backend_from_code(rd(r.get_u8())?)?;
+    let backend = read_backend(&mut r)?;
     let stats = read_stats(&mut r)?;
     let report = read_report(&mut r)?;
     let encoded = read_encoded_program(&mut r)?;
@@ -635,6 +669,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn every_slice_width_round_trips() {
+        for words in [1usize, 2, 4, 8] {
+            let flow = compile(words as u64, Backend::BitSliced { words });
+            let loaded = Flow::from_artifact_bytes(&flow.to_artifact_bytes().unwrap()).unwrap();
+            assert_eq!(loaded.backend, Backend::BitSliced { words });
+            let mut original = flow.engine().unwrap();
+            let mut reloaded = loaded.engine().unwrap();
+            let lanes = 64 * words + 5; // tailed multi-word batch
+            let b = batch(flow.program.num_inputs, lanes, 23);
+            assert_eq!(
+                original.run_batch(&b).unwrap().outputs,
+                reloaded.run_batch(&b).unwrap().outputs,
+                "words {words}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_width_in_artifact_is_a_typed_error() {
+        // A flow whose backend field was corrupted to an unsupported
+        // width still serializes (the writer records what it is given),
+        // but loading reports the dedicated typed error.
+        let mut flow = compile(2, Backend::BitSliced64);
+        flow.backend = Backend::BitSliced { words: 5 };
+        let bytes = flow.to_artifact_bytes().unwrap();
+        assert!(matches!(
+            Flow::from_artifact_bytes(&bytes),
+            Err(CoreError::Artifact(ArtifactError::UnsupportedWidth {
+                words: 5
+            }))
+        ));
+        // A width beyond the u8 record must fail to *save* — truncating
+        // it would silently serialize a different, valid width.
+        flow.backend = Backend::BitSliced { words: 257 };
+        assert!(matches!(
+            flow.to_artifact_bytes(),
+            Err(CoreError::BadConfig { .. })
+        ));
     }
 
     #[test]

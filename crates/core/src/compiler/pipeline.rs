@@ -175,6 +175,7 @@ pub(crate) fn run(
     options: FlowOptions,
 ) -> Result<Flow, CoreError> {
     config.validate()?;
+    options.backend.validate()?;
     netlist.validate()?;
     let mut cx = CompileContext {
         config,

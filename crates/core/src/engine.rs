@@ -10,8 +10,9 @@
 //!   compiled kernel tape. An engine holds it behind an `Arc`, so clones
 //!   and worker threads share one resident compiled block.
 //! * [`EngineScratch`] — the **mutable, per-worker** half: snapshot and
-//!   pipeline buffers, retired lane vectors, the 64-lane bit-slice
-//!   frame. Every executing thread owns its own.
+//!   pipeline buffers, retired lane vectors, the bit-slice frame (sized
+//!   to the backend's width on first use). Every executing thread owns
+//!   its own.
 //!
 //! The split gives the engine `&self` entry points —
 //! [`Engine::run_batch_with`] takes the scratch explicitly — which is
@@ -20,14 +21,17 @@
 //! threads at once. [`Engine::run_batch`] keeps the convenient `&mut`
 //! shape by lending the engine's own scratch.
 //!
-//! Two execution [`Backend`]s produce bit-identical outputs:
+//! Every execution [`Backend`] produces bit-identical outputs:
 //!
 //! * [`Backend::Scalar`] — the cycle-accurate machine replay, modeling
 //!   every switch delivery and snapshot register;
-//! * [`Backend::BitSliced64`] — the compiled netlist replayed as a flat
-//!   tape of branch-free 64-lane word kernels
-//!   ([`lbnn_netlist::BitSliceEvaluator`]), the paper's word-level
-//!   parallelism exploited in software.
+//! * [`Backend::BitSliced`] — the compiled netlist replayed as a flat
+//!   tape of branch-free word kernels
+//!   ([`lbnn_netlist::BitSliceEvaluator`]) at a configurable slice
+//!   width: 1, 2, 4 or 8 `u64` words per net = 64/128/256/512 samples
+//!   per kernel pass, the paper's word-level parallelism exploited in
+//!   software. [`Backend::BitSliced64`] is the original 64-lane
+//!   configuration, kept as a shim.
 //!
 //! [`Engine::run_batches`] additionally shards a batch sequence across
 //! the engine's persistent worker pool (spawned once, reused across
@@ -40,7 +44,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
-use lbnn_netlist::{BitSlice64, BitSliceEvaluator, Lanes, Netlist};
+use lbnn_netlist::{BitSliceEvaluator, Lanes, Netlist, SliceFrame, SUPPORTED_SLICE_WORDS};
 
 use crate::compiler::program::LpuProgram;
 use crate::error::CoreError;
@@ -52,7 +56,7 @@ use crate::throughput::{block_throughput, ThroughputReport, WallTiming};
 
 /// How an [`Engine`] executes a compiled flow.
 ///
-/// Both backends are bit-identical on every batch; they differ only in
+/// All backends are bit-identical on every batch; they differ only in
 /// what they model and how fast they run. Select one at compile time with
 /// [`crate::flow::FlowBuilder::backend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -63,19 +67,67 @@ pub enum Backend {
     #[default]
     Scalar,
     /// Bit-sliced functional execution: the mapped netlist compiled once
-    /// into branch-free word kernels, 64 samples per `u64` per net.
-    /// Reports the same model-time statistics (compute/clock cycles, LPE
-    /// ops) as [`Backend::Scalar`] but does not track snapshot occupancy
-    /// ([`RunResult::peak_live_snapshots`] is 0).
-    BitSliced64,
+    /// into branch-free word kernels, `64 × words` samples per net per
+    /// kernel pass. Reports the same model-time statistics (compute/clock
+    /// cycles, LPE ops) as [`Backend::Scalar`] but does not track
+    /// snapshot occupancy ([`RunResult::peak_live_snapshots`] is 0).
+    BitSliced {
+        /// `u64` words per net slice: 1, 2, 4 or 8 (= 64/128/256/512
+        /// lanes per kernel pass). Other values are rejected by
+        /// [`Backend::validate`] at compile and engine construction.
+        words: usize,
+    },
+}
+
+#[allow(non_upper_case_globals)]
+impl Backend {
+    /// Migration shim: the original single-word 64-lane bit-sliced
+    /// backend, now spelled [`Backend::BitSliced`]` { words: 1 }`.
+    pub const BitSliced64: Backend = Backend::BitSliced { words: 1 };
+}
+
+impl Backend {
+    /// Samples one kernel pass of this backend natively packs — the
+    /// width the serving runtime's micro-batcher fills toward. Bit-sliced
+    /// backends pack `64 × words`; the scalar machine has no intrinsic
+    /// packing (lane count is arbitrary), so it reports one word's worth
+    /// (64), the historical micro-batch size.
+    pub fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar => 64,
+            Backend::BitSliced { words } => 64 * words,
+        }
+    }
+
+    /// Checks that a bit-sliced width is one the kernels support
+    /// ([`SUPPORTED_SLICE_WORDS`]: 1, 2, 4 or 8 words).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] naming the offending width.
+    pub fn validate(self) -> Result<(), CoreError> {
+        match self {
+            Backend::Scalar => Ok(()),
+            Backend::BitSliced { words } if SUPPORTED_SLICE_WORDS.contains(&words) => Ok(()),
+            Backend::BitSliced { words } => Err(CoreError::BadConfig {
+                reason: format!(
+                    "bit-sliced backend width of {words} words is not supported \
+                     (supported: 1, 2, 4 or 8 words = 64/128/256/512 lanes)"
+                ),
+            }),
+        }
+    }
 }
 
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Backend::Scalar => "scalar",
-            Backend::BitSliced64 => "bitsliced64",
-        })
+        match self {
+            Backend::Scalar => f.write_str("scalar"),
+            // The one-word spelling predates the width-generic backend;
+            // keep it stable for logs, CLIs and round-tripping.
+            Backend::BitSliced { words: 1 } => f.write_str("bitsliced64"),
+            Backend::BitSliced { words } => write!(f, "bitsliced:{}", 64 * words),
+        }
     }
 }
 
@@ -83,27 +135,48 @@ impl FromStr for Backend {
     type Err = CoreError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |reason: String| CoreError::BadConfig { reason };
+        if let Some(lanes) = s
+            .strip_prefix("bitsliced:")
+            .or_else(|| s.strip_prefix("bit-sliced:"))
+        {
+            let lanes: usize = lanes.parse().map_err(|_| {
+                bad(format!(
+                    "bad backend lane count `{lanes}` (expected a number)"
+                ))
+            })?;
+            if lanes == 0 || !lanes.is_multiple_of(64) {
+                return Err(bad(format!(
+                    "backend lane count {lanes} must be a positive multiple of 64"
+                )));
+            }
+            let backend = Backend::BitSliced { words: lanes / 64 };
+            backend.validate()?;
+            return Ok(backend);
+        }
         match s {
             "scalar" => Ok(Backend::Scalar),
             "bitsliced64" | "bitsliced" | "bit-sliced" => Ok(Backend::BitSliced64),
-            other => Err(CoreError::BadConfig {
-                reason: format!("unknown backend `{other}` (expected `scalar` or `bitsliced64`)"),
-            }),
+            other => Err(bad(format!(
+                "unknown backend `{other}` (expected `scalar`, `bitsliced64` or \
+                 `bitsliced:<64|128|256|512>`)"
+            ))),
         }
     }
 }
 
 /// Per-worker mutable execution state: the scalar machine's pass buffers
-/// plus the bit-sliced 64-lane frame.
+/// plus the bit-slice frame.
 ///
-/// A scratch is shape-agnostic (it reshapes to whatever program runs on
-/// it), starts empty and cheap (`Default`), and amortizes to zero
-/// allocation in steady state when reused across batches. Every thread
-/// executing against a shared [`EngineCore`] owns exactly one.
+/// A scratch is shape-agnostic (it reshapes to whatever program — and
+/// whatever slice width — runs on it), starts empty and cheap
+/// (`Default`), and amortizes to zero allocation in steady state when
+/// reused across batches. Every thread executing against a shared
+/// [`EngineCore`] owns exactly one.
 #[derive(Debug, Clone, Default)]
 pub struct EngineScratch {
     pub(crate) pass: PassScratch,
-    pub(crate) frame: BitSlice64,
+    pub(crate) frame: SliceFrame,
 }
 
 impl EngineScratch {
@@ -114,7 +187,7 @@ impl EngineScratch {
 }
 
 /// The immutable, shareable half of an [`Engine`]: configuration,
-/// validated machine, program, and (for [`Backend::BitSliced64`]) the
+/// validated machine, program, and (for [`Backend::BitSliced`]) the
 /// compiled kernel tape.
 ///
 /// A core never mutates after construction — every entry point is
@@ -128,7 +201,7 @@ pub struct EngineCore {
     machine: LpuMachine,
     program: LpuProgram,
     backend: Backend,
-    /// Compiled kernel tape ([`Backend::BitSliced64`] cores only).
+    /// Compiled kernel tape ([`Backend::BitSliced`] cores only).
     sliced: Option<BitSliceEvaluator>,
     /// LPE operations per pass, cached from the program.
     lpe_ops_per_pass: usize,
@@ -138,6 +211,14 @@ impl EngineCore {
     /// The execution backend this core replays batches on.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// Lanes one kernel pass of this core natively packs
+    /// ([`Backend::lanes`]): 64–512 for bit-sliced backends, 64 for the
+    /// scalar machine. The serving runtime's micro-batcher flushes at
+    /// this width.
+    pub fn lane_width(&self) -> usize {
+        self.backend.lanes()
     }
 
     /// The machine configuration.
@@ -179,7 +260,12 @@ impl EngineCore {
                 self.machine
                     .run_with_scratch(&self.program, inputs, &mut scratch.pass)
             }
-            Backend::BitSliced64 => self.run_bitsliced(inputs, &mut scratch.frame),
+            Backend::BitSliced { words } => {
+                // The scratch is width-agnostic; shape it to this core's
+                // slice width before the kernel runs (no-op once matched).
+                scratch.frame.set_width(words);
+                self.run_bitsliced(inputs, &mut scratch.frame)
+            }
         }
     }
 
@@ -188,7 +274,7 @@ impl EngineCore {
     fn run_bitsliced(
         &self,
         inputs: &[Lanes],
-        frame: &mut BitSlice64,
+        frame: &mut SliceFrame,
     ) -> Result<RunResult, CoreError> {
         let program = &self.program;
         if inputs.len() != program.num_inputs {
@@ -335,6 +421,7 @@ impl Engine {
         netlist: Option<&Netlist>,
     ) -> Result<Self, CoreError> {
         let machine = LpuMachine::new(config)?;
+        backend.validate()?;
         if program.m != config.m || program.n != config.n {
             return Err(CoreError::BadConfig {
                 reason: format!(
@@ -345,7 +432,7 @@ impl Engine {
         }
         let sliced = match backend {
             Backend::Scalar => None,
-            Backend::BitSliced64 => {
+            Backend::BitSliced { .. } => {
                 let netlist = netlist.ok_or_else(|| CoreError::BadConfig {
                     reason: "the bit-sliced backend needs the mapped netlist; build the engine \
                              from a Flow"
@@ -430,6 +517,14 @@ impl Engine {
     /// The execution backend this engine replays batches on.
     pub fn backend(&self) -> Backend {
         self.core.backend
+    }
+
+    /// Lanes one kernel pass natively packs (64–512 for bit-sliced
+    /// backends, 64 for the scalar machine); see
+    /// [`EngineCore::lane_width`]. The [`crate::runtime::Runtime`]
+    /// micro-batcher uses this as its default flush target.
+    pub fn lane_width(&self) -> usize {
+        self.core.lane_width()
     }
 
     /// The machine configuration.
@@ -738,31 +833,64 @@ mod tests {
     }
 
     #[test]
-    fn bitsliced_backend_is_bit_identical_to_scalar() {
+    fn bitsliced_backend_is_bit_identical_to_scalar_at_every_width() {
         let mut rng = StdRng::seed_from_u64(2024);
-        for seed in 0..4 {
+        for seed in 0..2 {
             let nl = RandomDag::strict(12, 6, 9).outputs(4).generate(seed);
             let scalar_flow = Flow::builder(&nl)
                 .config(LpuConfig::new(6, 4))
                 .compile()
                 .unwrap();
-            let sliced_flow = Flow::builder(&nl)
-                .config(LpuConfig::new(6, 4))
-                .backend(Backend::BitSliced64)
-                .compile()
-                .unwrap();
             let mut scalar = scalar_flow.engine().unwrap();
-            let mut sliced = sliced_flow.engine().unwrap();
             assert_eq!(scalar.backend(), Backend::Scalar);
-            assert_eq!(sliced.backend(), Backend::BitSliced64);
-            for lanes in [1usize, 64, 100, 200] {
-                let batch = random_batch(&mut rng, nl.inputs().len(), lanes);
-                let a = scalar.run_batch(&batch).unwrap();
-                let b = sliced.run_batch(&batch).unwrap();
-                assert_eq!(a.outputs, b.outputs, "seed {seed} lanes {lanes}");
-                assert_eq!(a.clock_cycles, b.clock_cycles);
-                assert_eq!(a.lpe_ops, b.lpe_ops);
+            for words in [1usize, 2, 4, 8] {
+                let sliced_flow = Flow::builder(&nl)
+                    .config(LpuConfig::new(6, 4))
+                    .backend(Backend::BitSliced { words })
+                    .compile()
+                    .unwrap();
+                let mut sliced = sliced_flow.engine().unwrap();
+                assert_eq!(sliced.backend(), Backend::BitSliced { words });
+                assert_eq!(sliced.lane_width(), 64 * words);
+                // Sub-slice, exact-slice and tailed multi-slice batches.
+                for lanes in [1usize, 64, 64 * words, 64 * words + 13, 600] {
+                    let batch = random_batch(&mut rng, nl.inputs().len(), lanes);
+                    let a = scalar.run_batch(&batch).unwrap();
+                    let b = sliced.run_batch(&batch).unwrap();
+                    assert_eq!(
+                        a.outputs, b.outputs,
+                        "seed {seed} words {words} lanes {lanes}"
+                    );
+                    assert_eq!(a.clock_cycles, b.clock_cycles);
+                    assert_eq!(a.lpe_ops, b.lpe_ops);
+                }
             }
+        }
+    }
+
+    #[test]
+    fn bitsliced64_shim_is_the_one_word_backend() {
+        assert_eq!(Backend::BitSliced64, Backend::BitSliced { words: 1 });
+        assert_eq!(Backend::BitSliced64.lanes(), 64);
+        assert_eq!(Backend::Scalar.lanes(), 64);
+        assert_eq!(Backend::BitSliced { words: 8 }.lanes(), 512);
+    }
+
+    #[test]
+    fn unsupported_slice_widths_are_rejected() {
+        for words in [0usize, 3, 5, 16] {
+            let backend = Backend::BitSliced { words };
+            assert!(matches!(
+                backend.validate(),
+                Err(CoreError::BadConfig { .. })
+            ));
+            let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(1);
+            let err = Flow::builder(&nl)
+                .config(LpuConfig::new(4, 4))
+                .backend(backend)
+                .compile()
+                .unwrap_err();
+            assert!(matches!(err, CoreError::BadConfig { .. }), "words {words}");
         }
     }
 
@@ -906,7 +1034,33 @@ mod tests {
             Backend::BitSliced64
         );
         assert_eq!(Backend::BitSliced64.to_string(), "bitsliced64");
-        assert!("simd".parse::<Backend>().is_err());
+        for (spec, words) in [
+            ("bitsliced:64", 1usize),
+            ("bitsliced:128", 2),
+            ("bitsliced:256", 4),
+            ("bitsliced:512", 8),
+            ("bit-sliced:256", 4),
+        ] {
+            assert_eq!(
+                spec.parse::<Backend>().unwrap(),
+                Backend::BitSliced { words },
+                "{spec}"
+            );
+        }
+        // Display round-trips through FromStr for every supported width.
+        for words in [1usize, 2, 4, 8] {
+            let backend = Backend::BitSliced { words };
+            assert_eq!(backend.to_string().parse::<Backend>().unwrap(), backend);
+        }
+        for bad in [
+            "simd",
+            "bitsliced:0",
+            "bitsliced:96",
+            "bitsliced:1024",
+            "bitsliced:x",
+        ] {
+            assert!(bad.parse::<Backend>().is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub enum ArtifactError {
         /// Human-readable description.
         reason: String,
     },
+    /// The artifact records a bit-sliced backend whose slice width this
+    /// build does not support (supported: 1, 2, 4 or 8 words per net =
+    /// 64/128/256/512 lanes).
+    UnsupportedWidth {
+        /// The `words` byte found in the backend record.
+        words: u8,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -70,6 +77,11 @@ impl fmt::Display for ArtifactError {
                 "artifact checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
             ArtifactError::Malformed { reason } => write!(f, "malformed artifact: {reason}"),
+            ArtifactError::UnsupportedWidth { words } => write!(
+                f,
+                "artifact records a bit-sliced backend of {words} words per net; \
+                 this build supports 1, 2, 4 or 8 (64/128/256/512 lanes)"
+            ),
         }
     }
 }
@@ -239,6 +251,7 @@ mod tests {
             ArtifactError::Malformed {
                 reason: "bad opcode".into(),
             },
+            ArtifactError::UnsupportedWidth { words: 5 },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

@@ -199,8 +199,11 @@ impl<'a> FlowBuilder<'a> {
 
     /// Selects the execution [`Backend`] engines built from the compiled
     /// flow will replay batches on. Defaults to [`Backend::Scalar`] (the
-    /// cycle-accurate machine); [`Backend::BitSliced64`] runs the same
-    /// program bit-identically as branch-free 64-lane word kernels.
+    /// cycle-accurate machine); [`Backend::BitSliced`]` { words }` runs
+    /// the same program bit-identically as branch-free word kernels at
+    /// 64, 128, 256 or 512 lanes per kernel pass (`words` ∈ {1, 2, 4,
+    /// 8}; unsupported widths fail [`FlowBuilder::compile`] with
+    /// [`CoreError::BadConfig`]).
     pub fn backend(mut self, backend: Backend) -> Self {
         self.options.backend = backend;
         self

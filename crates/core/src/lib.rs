@@ -38,16 +38,17 @@
 //!   ([`Engine::run_batch_with`]); a [`CompiledModel`] lifts the same
 //!   contract to a whole multi-block workload
 //!   ([`CompiledModel::infer_with`] + [`ModelScratch`]). Engines execute
-//!   on one of two bit-identical [`Backend`]s — the cycle-accurate
-//!   machine ([`Backend::Scalar`]) or branch-free bit-sliced 64-lane
-//!   word kernels ([`Backend::BitSliced64`]) — selected via
-//!   [`FlowBuilder::backend`](flow::FlowBuilder::backend).
+//!   on bit-identical [`Backend`]s — the cycle-accurate machine
+//!   ([`Backend::Scalar`]) or branch-free bit-sliced word kernels at a
+//!   selectable width ([`Backend::BitSliced`]` { words }`, 1/2/4/8
+//!   words per net = 64/128/256/512 lanes per kernel pass) — selected
+//!   via [`FlowBuilder::backend`](flow::FlowBuilder::backend).
 //!   [`Engine::run_batches`] shards batch sequences across a persistent
 //!   worker pool, and the [`Runtime`] serves *individual* requests:
-//!   a bounded submission queue with backpressure, dynamic 64-lane
-//!   micro-batching (size-or-deadline flush), per-request
-//!   [`RequestHandle`]s, and measured latency percentiles/queue depth
-//!   ([`QueueStats`]).
+//!   a bounded submission queue with backpressure, dynamic
+//!   micro-batching to the engine's lane width (size-or-deadline
+//!   flush), per-request [`RequestHandle`]s, and measured latency
+//!   percentiles/queue depth ([`QueueStats`]).
 //!
 //! ## Quickstart
 //!

@@ -1,16 +1,17 @@
 //! The persistent serving runtime: shared compiled state, a resident
-//! worker pool, and dynamic 64-lane micro-batching.
+//! worker pool, and dynamic micro-batching to the engine's lane width.
 //!
 //! The paper's LPU earns its throughput from *word-level parallelism*:
 //! every operand word carries `2m` independent Boolean samples, so a
 //! compiled block is only fully utilized when samples stream through it
-//! packed. The host analogue ([`Backend::BitSliced64`]) packs 64 samples
-//! per `u64` — but real traffic arrives one request at a time. This
-//! module closes that gap with the shape real inference servers have:
+//! packed. The host analogue ([`Backend::BitSliced`]) packs `64 × words`
+//! samples per kernel pass (64–512 lanes) — but real traffic arrives one
+//! request at a time. This module closes that gap with the shape real
+//! inference servers have:
 //!
 //! ```text
 //!  submit(bits) ──▶ bounded pending buffer ──▶ micro-batcher
-//!       │                (backpressure)      (64 full │ deadline)
+//!       │                (backpressure)    (lane-width full │ deadline)
 //!       ▼                                          │
 //!  RequestHandle ◀── per-request outputs ◀── worker pool (N threads,
 //!   .wait()            (lane j = request j)   each: own EngineScratch,
@@ -23,10 +24,11 @@
 //!   [`EngineScratch`] is per-worker.
 //! * [`Runtime::submit`] enqueues one *single-sample* request and
 //!   returns a [`RequestHandle`]. The dynamic micro-batcher packs
-//!   pending requests into full 64-lane bit-sliced words, flushing when
-//!   a batch fills ([`RuntimeOptions::max_batch`]) or when the oldest
-//!   pending request ages past [`RuntimeOptions::flush_after`] — the
-//!   classic size-or-deadline trigger.
+//!   pending requests into full bit-sliced frames, flushing when a
+//!   batch reaches the serving engine's lane width (or an explicit
+//!   [`RuntimeOptions::max_batch`] override) or when the oldest pending
+//!   request ages past [`RuntimeOptions::flush_after`] — the classic
+//!   size-or-deadline trigger.
 //! * The submission path is **bounded**: when the job queue is full,
 //!   `submit` blocks until a worker drains it (backpressure instead of
 //!   unbounded memory growth).
@@ -295,6 +297,15 @@ impl Target {
         }
     }
 
+    /// Lanes one kernel pass of the served target natively packs — the
+    /// micro-batcher's default flush width ([`Backend::lanes`]).
+    fn lane_width(&self) -> usize {
+        match self {
+            Target::Block(engine) => engine.lane_width(),
+            Target::Model(model) => model.layers()[0].backend().lanes(),
+        }
+    }
+
     fn freq_mhz(&self) -> f64 {
         match self {
             Target::Block(engine) => engine.config().freq_mhz,
@@ -344,9 +355,12 @@ pub struct RuntimeOptions {
     /// Bound of the micro-batch job queue; a full queue blocks
     /// [`Runtime::submit`] until a worker drains it (backpressure).
     pub queue_capacity: usize,
-    /// Lanes per micro-batch — the size flush trigger. The default 64
-    /// fills exactly one bit-sliced word, the host analogue of the
-    /// hardware's `2m`-sample operand.
+    /// Lanes per micro-batch — the size flush trigger. The default `0`
+    /// means "the serving engine's lane width"
+    /// ([`crate::Engine::lane_width`]): one full bit-sliced frame
+    /// (64–512 lanes depending on the backend), the host analogue of
+    /// the hardware's `2m`-sample operand. Any positive value overrides
+    /// the width explicitly.
     pub max_batch: usize,
     /// Deadline flush trigger: a partial batch is dispatched once its
     /// oldest request has waited this long, bounding tail latency under
@@ -359,7 +373,7 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             workers: 0,
             queue_capacity: 32,
-            max_batch: 64,
+            max_batch: 0,
             flush_after: Duration::from_micros(200),
         }
     }
@@ -373,7 +387,8 @@ impl RuntimeOptions {
         self
     }
 
-    /// Sets the micro-batch size trigger (builder style).
+    /// Sets the micro-batch size trigger (builder style). `0` = the
+    /// serving engine's lane width (the default).
     #[must_use]
     pub fn max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch;
@@ -546,6 +561,9 @@ impl StatsShared {
 pub struct Runtime {
     target: Target,
     options: RuntimeOptions,
+    /// Resolved size flush trigger: `options.max_batch`, or the target's
+    /// lane width when the option is 0 (auto).
+    flush_target: usize,
     pool: Arc<WorkerPool>,
     shared: Arc<RuntimeShared>,
     flusher: Option<JoinHandle<()>>,
@@ -591,11 +609,13 @@ impl Runtime {
     }
 
     fn build(target: Target, options: RuntimeOptions) -> Result<Runtime, CoreError> {
-        if options.max_batch == 0 {
-            return Err(CoreError::BadConfig {
-                reason: "runtime max_batch must be at least 1".to_string(),
-            });
-        }
+        // max_batch 0 = auto: fill exactly one bit-sliced frame of the
+        // serving backend (64–512 lanes).
+        let flush_target = if options.max_batch == 0 {
+            target.lane_width()
+        } else {
+            options.max_batch
+        };
         if options.flush_after.is_zero() {
             return Err(CoreError::BadConfig {
                 reason: "runtime flush_after must be positive".to_string(),
@@ -666,6 +686,7 @@ impl Runtime {
         Ok(Runtime {
             target,
             options,
+            flush_target,
             pool,
             shared,
             flusher: Some(flusher),
@@ -682,6 +703,13 @@ impl Runtime {
         self.target.backend()
     }
 
+    /// The resolved size flush trigger: [`RuntimeOptions::max_batch`] if
+    /// set, otherwise the serving engine's lane width (one full
+    /// bit-sliced frame).
+    pub fn flush_target(&self) -> usize {
+        self.flush_target
+    }
+
     /// Primary-input bits each request must carry.
     pub fn num_inputs(&self) -> usize {
         self.target.num_inputs()
@@ -691,8 +719,9 @@ impl Runtime {
     /// primary input `i`) and returns a handle resolving to its outputs.
     ///
     /// The request joins the current micro-batch; when the batch fills
-    /// ([`RuntimeOptions::max_batch`]) it is dispatched immediately,
-    /// otherwise the deadline flusher dispatches it within
+    /// ([`Runtime::flush_target`]: the engine's lane width, or an
+    /// explicit [`RuntimeOptions::max_batch`]) it is dispatched
+    /// immediately, otherwise the deadline flusher dispatches it within
     /// [`RuntimeOptions::flush_after`]. A full job queue blocks this
     /// call until a worker catches up (backpressure).
     ///
@@ -723,7 +752,7 @@ impl Runtime {
             let id = st.next_id;
             st.next_id += 1;
             st.pending.push(request);
-            if st.pending.len() >= self.options.max_batch {
+            if st.pending.len() >= self.flush_target {
                 (id, Some(std::mem::take(&mut st.pending)), false)
             } else {
                 (id, None, st.pending.len() == 1)
@@ -1080,9 +1109,6 @@ mod tests {
     fn bad_options_are_rejected() {
         let flow = compiled(Backend::Scalar, 2);
         let engine = flow.engine().unwrap();
-        let err = Runtime::from_engine(engine.clone(), RuntimeOptions::default().max_batch(0))
-            .unwrap_err();
-        assert!(matches!(err, CoreError::BadConfig { .. }));
         let err = Runtime::from_engine(
             engine.clone(),
             RuntimeOptions::default().flush_after(Duration::ZERO),
@@ -1092,6 +1118,76 @@ mod tests {
         let err =
             Runtime::from_engine(engine, RuntimeOptions::default().queue_capacity(0)).unwrap_err();
         assert!(matches!(err, CoreError::BadConfig { .. }));
+    }
+
+    /// The default (auto) flush target is the serving engine's lane
+    /// width: a 4-word backend fills 256-lane frames, an explicit
+    /// `max_batch` still overrides.
+    #[test]
+    fn auto_flush_target_is_the_engine_lane_width() {
+        let nl = RandomDag::strict(8, 4, 6).outputs(3).generate(11);
+        for (backend, lanes) in [
+            (Backend::Scalar, 64usize),
+            (Backend::BitSliced { words: 1 }, 64),
+            (Backend::BitSliced { words: 4 }, 256),
+            (Backend::BitSliced { words: 8 }, 512),
+        ] {
+            let flow = Flow::builder(&nl)
+                .config(LpuConfig::new(4, 4))
+                .backend(backend)
+                .compile()
+                .unwrap();
+            let runtime =
+                Runtime::from_engine(flow.engine().unwrap(), RuntimeOptions::default()).unwrap();
+            assert_eq!(runtime.flush_target(), lanes, "{backend}");
+            let explicit = Runtime::from_engine(
+                flow.engine().unwrap(),
+                RuntimeOptions::default().max_batch(7),
+            )
+            .unwrap();
+            assert_eq!(explicit.flush_target(), 7, "{backend}");
+        }
+    }
+
+    /// Submitting exactly one lane-width of requests triggers a size
+    /// flush on a wide backend; one more stays pending for the deadline.
+    #[test]
+    fn wide_backend_size_flush_fires_at_lane_width() {
+        let flow = {
+            let nl = RandomDag::strict(8, 4, 6).outputs(3).generate(17);
+            Flow::builder(&nl)
+                .config(LpuConfig::new(4, 4))
+                .backend(Backend::BitSliced { words: 2 })
+                .compile()
+                .unwrap()
+        };
+        let width = flow.program.num_inputs;
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(1)
+                .flush_after(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert_eq!(runtime.flush_target(), 128);
+        let mut handles: Vec<RequestHandle> = (0..128)
+            .map(|i| runtime.submit(&request_bits(width, i)).unwrap())
+            .collect();
+        // The 128th submit filled one full 128-lane frame.
+        for handle in handles.drain(..) {
+            handle.wait().unwrap();
+        }
+        let stats = runtime.stats();
+        assert_eq!(stats.full_flushes, 1, "{stats:?}");
+        assert_eq!(stats.micro_batches, 1);
+        assert!((stats.mean_lanes_per_batch - 128.0).abs() < 1e-9);
+        // One straggler only resolves on an explicit/deadline flush.
+        let straggler = runtime.submit(&request_bits(width, 999)).unwrap();
+        runtime.flush();
+        straggler.wait().unwrap();
+        let stats = runtime.stats();
+        assert_eq!(stats.full_flushes, 1);
+        assert_eq!(stats.deadline_flushes, 1);
     }
 
     #[test]

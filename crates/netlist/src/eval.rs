@@ -13,11 +13,15 @@
 //!   against.
 //! * [`BitSliceEvaluator`] — compiles the netlist once into a flat tape of
 //!   branch-free ANF word kernels ([`crate::Op::anf_masks`]) over a
-//!   [`BitSlice64`] frame (one `u64` per net = 64 samples), then replays
-//!   the tape per 64-lane block. No per-net allocation, no per-gate
-//!   dispatch: this is the software analogue of the LPU's word-level
-//!   parallelism and the kernel behind the serving layer's bit-sliced
-//!   backend.
+//!   [`SliceFrame`] (a fixed number of `u64` words per net), then replays
+//!   the tape per block of `64 × words` lanes. No per-net allocation, no
+//!   per-gate dispatch: this is the software analogue of the LPU's
+//!   word-level parallelism and the kernel behind the serving layer's
+//!   bit-sliced backend. The frame width is generic — any
+//!   `words_per_net ≥ 1` works, and the widths in
+//!   [`SUPPORTED_SLICE_WORDS`] (1/2/4/8 words = 64/128/256/512 lanes)
+//!   run on monomorphized kernels the compiler can keep branch-free and
+//!   vectorize.
 
 use crate::cell::Op;
 use crate::error::NetlistError;
@@ -144,17 +148,22 @@ impl Lanes {
     /// assert_eq!(cols[1].to_bools(), vec![false, true, false]); // signal 1
     /// ```
     pub fn pack_rows<R: AsRef<[bool]>>(rows: &[R], width: usize) -> Vec<Lanes> {
-        let mut columns = vec![Lanes::zeros(rows.len()); width];
+        let words = rows.len().div_ceil(64);
+        let mut columns: Vec<Vec<u64>> = vec![vec![0u64; words]; width];
         for (j, row) in rows.iter().enumerate() {
             let row = row.as_ref();
             assert_eq!(row.len(), width, "row {j} has the wrong width");
+            let (word, mask) = (j / 64, 1u64 << (j % 64));
             for (column, &bit) in columns.iter_mut().zip(row) {
                 if bit {
-                    column.set(j, true);
+                    column[word] |= mask;
                 }
             }
         }
         columns
+            .into_iter()
+            .map(|column| Lanes::from_words(column, rows.len()))
+            .collect()
     }
 
     /// Number of lanes set to 1.
@@ -276,56 +285,128 @@ pub fn evaluate(netlist: &Netlist, inputs: &[Lanes]) -> Result<Vec<Lanes>, Netli
         .collect())
 }
 
-/// One bit-sliced execution frame: a single `u64` per net, so one frame
-/// holds the values of 64 independent samples for every signal of the
-/// netlist at once.
+/// The bit-slice widths with monomorphized branch-free kernels:
+/// 1/2/4/8 words per net = 64/128/256/512 lanes per block.
+///
+/// [`BitSliceEvaluator::run_block`] accepts any `words_per_net ≥ 1`
+/// (other widths fall back to a generic loop); the serving layer above
+/// restricts its backends to this blessed set.
+pub const SUPPORTED_SLICE_WORDS: [usize; 4] = [1, 2, 4, 8];
+
+/// One bit-sliced execution frame: a fixed number of `u64` words per
+/// net, so one frame holds `64 × words_per_net` independent samples for
+/// every signal of the netlist at once. A one-word frame is the classic
+/// 64-lane slice; 2/4/8-word frames widen a block to 128/256/512 lanes.
 ///
 /// Frames are plain scratch storage — [`BitSliceEvaluator::run_block`]
 /// fills one from packed inputs, replays the kernel tape over it, and
 /// reads the primary outputs back out. Reusing a frame across blocks and
-/// batches keeps steady-state evaluation allocation-free.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct BitSlice64 {
+/// batches keeps steady-state evaluation allocation-free. Net `slot`
+/// occupies the contiguous words `slot × words_per_net ..` (net-major
+/// layout, so each kernel step touches one small fixed-size span per
+/// operand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceFrame {
     words: Vec<u64>,
+    words_per_net: usize,
 }
 
-impl BitSlice64 {
-    /// A frame with `slots` nets, all 64 lanes zero.
+/// Migration shim: the original 64-lane frame is a [`SliceFrame`] with
+/// one word per net ([`SliceFrame::with_slots`]).
+pub type BitSlice64 = SliceFrame;
+
+impl Default for SliceFrame {
+    /// An empty one-word-per-net (64-lane) frame.
+    fn default() -> Self {
+        SliceFrame {
+            words: Vec::new(),
+            words_per_net: 1,
+        }
+    }
+}
+
+impl SliceFrame {
+    /// A 64-lane frame with `slots` nets (one word per net), all zero.
     pub fn with_slots(slots: usize) -> Self {
-        BitSlice64 {
-            words: vec![0; slots],
+        SliceFrame::with_width(slots, 1)
+    }
+
+    /// A frame with `slots` nets of `words_per_net` words each
+    /// (`64 × words_per_net` lanes), all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_net` is zero.
+    pub fn with_width(slots: usize, words_per_net: usize) -> Self {
+        assert!(words_per_net > 0, "a slice frame needs at least one word");
+        SliceFrame {
+            words: vec![0; slots * words_per_net],
+            words_per_net,
         }
     }
 
     /// Number of net slots in the frame.
     #[inline]
     pub fn slots(&self) -> usize {
-        self.words.len()
+        self.words.len() / self.words_per_net
     }
 
-    /// The 64 packed samples of net `slot`.
+    /// Words per net slot.
+    #[inline]
+    pub fn words_per_net(&self) -> usize {
+        self.words_per_net
+    }
+
+    /// Lanes one block of this frame evaluates (`64 × words_per_net`).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        64 * self.words_per_net
+    }
+
+    /// Changes the frame's width, preserving the slot count. Contents
+    /// are unspecified afterwards (the evaluator reloads every input
+    /// slot before each block).
     ///
     /// # Panics
     ///
-    /// Panics if `slot >= slots()`.
-    #[inline]
-    pub fn word(&self, slot: usize) -> u64 {
-        self.words[slot]
+    /// Panics if `words_per_net` is zero.
+    pub fn set_width(&mut self, words_per_net: usize) {
+        assert!(words_per_net > 0, "a slice frame needs at least one word");
+        if words_per_net != self.words_per_net {
+            let slots = self.slots();
+            self.words_per_net = words_per_net;
+            self.words.resize(slots * words_per_net, 0);
+        }
     }
 
-    /// Sets the 64 packed samples of net `slot`.
+    /// One packed 64-sample word of net `slot`: word `index` of its
+    /// `words_per_net` span (word `w` covers lanes `64w .. 64w+64`).
     ///
     /// # Panics
     ///
-    /// Panics if `slot >= slots()`.
+    /// Panics if `slot >= slots()` or `index >= words_per_net()`.
     #[inline]
-    pub fn set_word(&mut self, slot: usize, value: u64) {
-        self.words[slot] = value;
+    pub fn word(&self, slot: usize, index: usize) -> u64 {
+        assert!(index < self.words_per_net, "word index out of range");
+        self.words[slot * self.words_per_net + index]
     }
 
-    /// Resizes the frame to `slots` nets (new slots are zero).
+    /// Sets one packed 64-sample word of net `slot`; see
+    /// [`SliceFrame::word`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= slots()` or `index >= words_per_net()`.
+    #[inline]
+    pub fn set_word(&mut self, slot: usize, index: usize, value: u64) {
+        assert!(index < self.words_per_net, "word index out of range");
+        self.words[slot * self.words_per_net + index] = value;
+    }
+
+    /// Resizes the frame to `slots` nets at its current width (new slots
+    /// are zero).
     fn reshape(&mut self, slots: usize) {
-        self.words.resize(slots, 0);
+        self.words.resize(slots * self.words_per_net, 0);
     }
 }
 
@@ -343,13 +424,16 @@ struct SliceInstr {
     k: [u64; 4],
 }
 
-/// A netlist compiled into a bit-sliced 64-lane kernel tape.
+/// A netlist compiled into a width-generic bit-sliced kernel tape.
 ///
 /// Compilation walks the arena once, turning every executable cell into a
 /// kernel instruction in topological order. Evaluation then processes the
-/// batch 64 lanes at a time: load each primary input's packed word into a
-/// [`BitSlice64`] frame, replay the tape, read the primary outputs back.
-/// Results are bit-identical to [`evaluate`] on the same inputs.
+/// batch one [`SliceFrame`] block at a time — `64 × words_per_net` lanes
+/// per block: load each primary input's packed words into the frame,
+/// replay the tape, read the primary outputs back. The tape itself is
+/// width-independent (instructions carry slot indices and ANF masks), so
+/// one compiled evaluator serves every frame width. Results are
+/// bit-identical to [`evaluate`] on the same inputs at every width.
 ///
 /// # Example
 ///
@@ -433,36 +517,79 @@ impl BitSliceEvaluator {
         self.outputs.len()
     }
 
-    /// A frame sized for this evaluator's netlist.
-    pub fn frame(&self) -> BitSlice64 {
-        BitSlice64::with_slots(self.slots)
+    /// A 64-lane frame sized for this evaluator's netlist; see
+    /// [`BitSliceEvaluator::frame_with_words`] for wider slices.
+    pub fn frame(&self) -> SliceFrame {
+        self.frame_with_words(1)
     }
 
-    /// Replays the kernel tape over one 64-lane frame in place.
+    /// A frame sized for this evaluator's netlist at `words_per_net`
+    /// words (`64 × words_per_net` lanes) per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_net` is zero.
+    pub fn frame_with_words(&self, words_per_net: usize) -> SliceFrame {
+        SliceFrame::with_width(self.slots, words_per_net)
+    }
+
+    /// Replays the kernel tape over one frame in place, at the frame's
+    /// width (`frame.lanes()` samples per net).
     ///
     /// The caller loads the primary-input words first (slots from the
     /// compiled input map); afterwards every net's slot holds its value
-    /// for all 64 lanes. [`BitSliceEvaluator::evaluate`] wraps the
-    /// packing/unpacking; this is the raw kernel.
+    /// for all lanes of the block. [`BitSliceEvaluator::evaluate`] wraps
+    /// the packing/unpacking; this is the raw kernel. Widths in
+    /// [`SUPPORTED_SLICE_WORDS`] dispatch to monomorphized kernels whose
+    /// per-net word loop the compiler unrolls; any other width runs a
+    /// generic loop with identical results.
     ///
     /// # Panics
     ///
     /// Panics if `frame` has fewer slots than the compiled netlist.
     #[inline]
-    pub fn run_block(&self, frame: &mut BitSlice64) {
+    pub fn run_block(&self, frame: &mut SliceFrame) {
         assert!(frame.slots() >= self.slots, "frame too small for tape");
-        let words = &mut frame.words;
-        for i in &self.tape {
-            let a = words[i.a as usize];
-            let b = words[i.b as usize];
-            words[i.out as usize] = i.k[0] ^ (i.k[1] & b) ^ (i.k[2] & a) ^ (i.k[3] & a & b);
+        match frame.words_per_net {
+            1 => self.run_block_w::<1>(&mut frame.words),
+            2 => self.run_block_w::<2>(&mut frame.words),
+            4 => self.run_block_w::<4>(&mut frame.words),
+            8 => self.run_block_w::<8>(&mut frame.words),
+            w => self.run_block_any(&mut frame.words, w),
         }
     }
 
-    /// Evaluates the whole batch, reusing `frame` as scratch across
-    /// 64-lane blocks. Semantics match [`evaluate`]; `lanes` overrides the
-    /// batch width (used by no-input netlists, where width cannot be
-    /// inferred from `inputs`).
+    /// Monomorphized entry: the constant `W` propagates into
+    /// [`BitSliceEvaluator::run_block_any`]'s trip counts, so each
+    /// supported width compiles to an unrolled straight-line kernel
+    /// while the kernel body itself exists exactly once.
+    fn run_block_w<const W: usize>(&self, words: &mut [u64]) {
+        self.run_block_any(words, W);
+    }
+
+    /// The one kernel body, for any `per` words per net.
+    #[inline(always)]
+    fn run_block_any(&self, words: &mut [u64], per: usize) {
+        for i in &self.tape {
+            let (a0, b0, o0) = (i.a as usize * per, i.b as usize * per, i.out as usize * per);
+            for w in 0..per {
+                let a = words[a0 + w];
+                let b = words[b0 + w];
+                words[o0 + w] = i.k[0] ^ (i.k[1] & b) ^ (i.k[2] & a) ^ (i.k[3] & a & b);
+            }
+        }
+    }
+
+    /// Evaluates the whole batch, reusing `frame` as scratch and
+    /// processing `frame.lanes()` lanes per block. Semantics match
+    /// [`evaluate`] at every width; `lanes` overrides the batch width
+    /// (used by no-input netlists, where width cannot be inferred from
+    /// `inputs`).
+    ///
+    /// A batch whose lane count is not a multiple of the block width ends
+    /// in a partial block: missing input words are loaded as zero and the
+    /// tail lanes of every output word are masked off by the returned
+    /// [`Lanes`], so unused lanes are never published.
     ///
     /// # Errors
     ///
@@ -476,7 +603,7 @@ impl BitSliceEvaluator {
         &self,
         inputs: &[Lanes],
         lanes: usize,
-        frame: &mut BitSlice64,
+        frame: &mut SliceFrame,
     ) -> Result<Vec<Lanes>, NetlistError> {
         if inputs.len() != self.inputs.len() {
             return Err(NetlistError::InputArity {
@@ -488,15 +615,27 @@ impl BitSliceEvaluator {
             assert_eq!(l.len(), lanes, "inconsistent lane counts across inputs");
         }
         frame.reshape(self.slots);
-        let blocks = lanes.div_ceil(64);
-        let mut out_words: Vec<Vec<u64>> = vec![Vec::with_capacity(blocks); self.outputs.len()];
+        let per = frame.words_per_net;
+        let total_words = lanes.div_ceil(64);
+        let blocks = lanes.div_ceil(frame.lanes());
+        let mut out_words: Vec<Vec<u64>> =
+            vec![Vec::with_capacity(total_words); self.outputs.len()];
         for block in 0..blocks {
+            let base = block * per;
+            // A partial final block covers fewer than `per` input words;
+            // the rest of each input span is zeroed so the kernel never
+            // reads stale lanes from a previous batch.
+            let avail = (total_words - base).min(per);
             for (lanes_in, &slot) in inputs.iter().zip(&self.inputs) {
-                frame.words[slot as usize] = lanes_in.words()[block];
+                let span = slot as usize * per;
+                let in_words = &lanes_in.words()[base..base + avail];
+                frame.words[span..span + avail].copy_from_slice(in_words);
+                frame.words[span + avail..span + per].fill(0);
             }
             self.run_block(frame);
             for (words, &slot) in out_words.iter_mut().zip(&self.outputs) {
-                words.push(frame.words[slot as usize]);
+                let span = slot as usize * per;
+                words.extend_from_slice(&frame.words[span..span + avail]);
             }
         }
         Ok(out_words
@@ -665,6 +804,105 @@ mod tests {
                 got: 0
             })
         ));
+    }
+
+    #[test]
+    fn every_slice_width_matches_evaluate() {
+        use crate::random::RandomDag;
+        for seed in 0..4 {
+            let nl = RandomDag::loose(7, 5, 8).outputs(3).generate(seed);
+            let sliced = BitSliceEvaluator::compile(&nl);
+            // Awkward batch widths per frame width: sub-block, exact
+            // block, multi-block with tail. 3 words per net exercises the
+            // generic fallback kernel.
+            for words in [1usize, 2, 3, 4, 8] {
+                let mut frame = sliced.frame_with_words(words);
+                assert_eq!(frame.lanes(), 64 * words);
+                for lanes in [1usize, 63, 64 * words, 64 * words + 1, 130 * words] {
+                    let inputs: Vec<Lanes> = (0..nl.inputs().len())
+                        .map(|i| {
+                            let bits: Vec<bool> = (0..lanes)
+                                .map(|l| (seed as usize + i * 31 + l * 7).is_multiple_of(3))
+                                .collect();
+                            Lanes::from_bools(&bits)
+                        })
+                        .collect();
+                    let want = evaluate(&nl, &inputs).unwrap();
+                    let got = sliced.evaluate_with(&inputs, lanes, &mut frame).unwrap();
+                    assert_eq!(got, want, "seed {seed} words {words} lanes {lanes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_frame_set_width_preserves_slots() {
+        let mut frame = SliceFrame::with_slots(10);
+        assert_eq!(
+            (frame.slots(), frame.words_per_net(), frame.lanes()),
+            (10, 1, 64)
+        );
+        frame.set_width(4);
+        assert_eq!(
+            (frame.slots(), frame.words_per_net(), frame.lanes()),
+            (10, 4, 256)
+        );
+        frame.set_word(9, 3, 0xdead_beef);
+        assert_eq!(frame.word(9, 3), 0xdead_beef);
+        frame.set_width(2);
+        assert_eq!((frame.slots(), frame.lanes()), (10, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn slice_frame_rejects_zero_width() {
+        let _ = SliceFrame::with_width(4, 0);
+    }
+
+    #[test]
+    fn partial_final_block_masks_unused_lanes_on_every_width() {
+        // NOT of all-zero inputs turns every *computed* lane to 1 — so any
+        // garbage published from the unused tail lanes of a partial block
+        // would show up as count_ones() > lanes.
+        let mut nl = Netlist::new("n");
+        let a = nl.add_input("a");
+        let y = nl.add_gate1(Op::Not, a);
+        nl.add_output(y, "y");
+        let sliced = BitSliceEvaluator::compile(&nl);
+        for words in SUPPORTED_SLICE_WORDS {
+            let mut frame = sliced.frame_with_words(words);
+            let block = 64 * words;
+            for lanes in [1usize, block - 1, block + 1, 2 * block + 7] {
+                let out = sliced
+                    .evaluate_with(&[Lanes::zeros(lanes)], lanes, &mut frame)
+                    .unwrap();
+                assert_eq!(out[0].len(), lanes, "words {words} lanes {lanes}");
+                assert_eq!(out[0].count_ones(), lanes, "words {words} lanes {lanes}");
+                if let Some(last) = out[0].words().last() {
+                    let rem = lanes % 64;
+                    if rem != 0 {
+                        assert_eq!(last >> rem, 0, "tail bits must stay clear");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lane_batches_are_empty_on_every_width() {
+        let mut nl = Netlist::new("n");
+        let a = nl.add_input("a");
+        let y = nl.add_gate1(Op::Not, a);
+        nl.add_output(y, "y");
+        let sliced = BitSliceEvaluator::compile(&nl);
+        for words in SUPPORTED_SLICE_WORDS {
+            let mut frame = sliced.frame_with_words(words);
+            let out = sliced
+                .evaluate_with(&[Lanes::zeros(0)], 0, &mut frame)
+                .unwrap();
+            assert_eq!(out.len(), 1);
+            assert!(out[0].is_empty(), "words {words}");
+        }
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! * depth levelization ([`levelize`]) and full path balancing ([`balance`]),
 //!   the two pre-processing steps the paper's compiler requires,
 //! * bit-parallel functional evaluation ([`eval`]) used as the correctness
-//!   oracle for the LPU simulator, plus the bit-sliced 64-lane kernel
-//!   compiler ([`BitSliceEvaluator`]) behind the serving layer's fast
-//!   execution backend,
+//!   oracle for the LPU simulator, plus the width-generic bit-sliced
+//!   kernel compiler ([`BitSliceEvaluator`], 64–512 lanes per
+//!   [`SliceFrame`] block) behind the serving layer's fast execution
+//!   backend,
 //! * seeded random netlist generators ([`random`]) for tests and benchmarks.
 //!
 //! ## Example
@@ -50,7 +51,7 @@ pub mod verilog;
 
 pub use cell::Op;
 pub use error::NetlistError;
-pub use eval::{BitSlice64, BitSliceEvaluator, Lanes};
+pub use eval::{BitSlice64, BitSliceEvaluator, Lanes, SliceFrame, SUPPORTED_SLICE_WORDS};
 pub use levelize::Levels;
 pub use netlist::{Netlist, Node, NodeId};
 pub use serdes::{ByteReader, ByteWriter};

@@ -35,11 +35,14 @@
 //! assert_eq!(result.outputs[0].to_bools(), vec![true]); // (1 & 0) ^ 1
 //!
 //! // Same block, bit-sliced backend: bit-identical, faster host replay.
+//! // `words` picks the slice width (1/2/4/8 = 64-512 lanes per pass);
+//! // `Backend::BitSliced64` is the one-word shim.
 //! let sliced = Flow::builder(&nl)
 //!     .config(LpuConfig::new(4, 4))
-//!     .backend(Backend::BitSliced64)
+//!     .backend(Backend::BitSliced { words: 4 })
 //!     .compile()?;
 //! let mut sliced_engine = sliced.into_engine()?;
+//! assert_eq!(sliced_engine.lane_width(), 256);
 //! assert_eq!(sliced_engine.run_batch(&batch)?.outputs, result.outputs);
 //! # Ok::<(), lbnn::CoreError>(())
 //! ```

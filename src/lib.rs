@@ -22,16 +22,19 @@
 //!    per-pass [`CompileReport`] (wall time + stat deltas), persisted in
 //!    the artifact.
 //!
-//! Engines replay on one of two bit-identical [`Backend`]s — the
-//! cycle-accurate machine ([`Backend::Scalar`]) or bit-sliced 64-lane
-//! word kernels ([`Backend::BitSliced64`]), selected with
+//! Engines replay on bit-identical [`Backend`]s — the cycle-accurate
+//! machine ([`Backend::Scalar`]) or bit-sliced word kernels at a
+//! selectable width ([`Backend::BitSliced`]` { words }`: 1/2/4/8 words
+//! per net = 64/128/256/512 lanes per kernel pass, with
+//! [`Backend::BitSliced64`] kept as the one-word shim), selected with
 //! [`FlowBuilder::backend`] — and split into an immutable shared core
 //! plus per-worker scratch, so one resident compiled block serves from
 //! any number of threads. [`Engine::run_batches`] shards batch
 //! sequences across a persistent worker pool, and the [`Runtime`]
 //! serves individual requests through a bounded queue with dynamic
-//! 64-lane micro-batching and measured latency percentiles.
-//! `docs/ARCHITECTURE.md` maps the crate layers end to end.
+//! micro-batching to the engine's lane width and measured latency
+//! percentiles. `docs/ARCHITECTURE.md` maps the crate layers end to
+//! end.
 //!
 //! ```
 //! use lbnn::{Flow, LpuConfig};
@@ -85,5 +88,11 @@ pub use lbnn_core::{
 #[cfg(doctest)]
 #[doc = include_str!("../README.md")]
 pub struct ReadmeDoctests;
+
+/// Compiles `docs/ARCHITECTURE.md`'s code blocks as doctests (`cargo
+/// test --doc`), so the backend/width documentation cannot rot either.
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub struct ArchitectureDoctests;
 
 pub mod examples;

@@ -45,12 +45,16 @@ proptest! {
         outputs in 1usize..5,
         m in 4usize..10,
         n in 2usize..6,
-        bitsliced in proptest::bool::ANY,
+        backend_idx in 0usize..5,
     ) {
         let netlist = RandomDag::strict(inputs, depth, width)
             .outputs(outputs)
             .generate(seed);
-        let backend = if bitsliced { Backend::BitSliced64 } else { Backend::Scalar };
+        // 0 = scalar; 1..5 = every supported bit-slice width.
+        let backend = match backend_idx {
+            0 => Backend::Scalar,
+            i => Backend::BitSliced { words: 1 << (i - 1) },
+        };
         let flow = Flow::builder(&netlist)
             .config(LpuConfig::new(m, n))
             .backend(backend)
@@ -78,34 +82,108 @@ proptest! {
     }
 }
 
-/// Both backends loaded from artifacts agree with each other, not just
+/// All backends loaded from artifacts agree with each other, not just
 /// each with its own original — the full compile-once/serve-anywhere
-/// diamond.
+/// diamond, across every slice width.
 #[test]
 fn loaded_backends_agree_with_each_other() {
     let netlist = RandomDag::strict(16, 6, 12).outputs(5).generate(77);
     let mut engines = Vec::new();
-    for backend in [Backend::Scalar, Backend::BitSliced64] {
+    let backends = [
+        Backend::Scalar,
+        Backend::BitSliced { words: 1 },
+        Backend::BitSliced { words: 2 },
+        Backend::BitSliced { words: 4 },
+        Backend::BitSliced { words: 8 },
+    ];
+    for backend in backends {
         let flow = Flow::builder(&netlist)
             .config(LpuConfig::new(8, 4))
             .backend(backend)
             .compile()
             .unwrap();
         let loaded = Flow::from_artifact_bytes(&flow.to_artifact_bytes().unwrap()).unwrap();
+        assert_eq!(loaded.backend, backend);
         engines.push(loaded.into_engine().unwrap());
     }
-    let [scalar, sliced] = &mut engines[..] else {
-        unreachable!()
-    };
     let mut rng = StdRng::seed_from_u64(31);
-    for lanes in [1usize, 64, 130] {
+    // Lane counts straddling every width's block boundary.
+    for lanes in [1usize, 64, 130, 255, 256, 513] {
         let batch = random_lanes(&mut rng, netlist.inputs().len(), lanes);
-        assert_eq!(
-            scalar.run_batch(&batch).unwrap().outputs,
-            sliced.run_batch(&batch).unwrap().outputs,
-            "lanes {lanes}"
-        );
+        let reference = engines[0].run_batch(&batch).unwrap().outputs;
+        for (engine, backend) in engines[1..].iter_mut().zip(&backends[1..]) {
+            assert_eq!(
+                engine.run_batch(&batch).unwrap().outputs,
+                reference,
+                "{backend} lanes {lanes}"
+            );
+        }
     }
+}
+
+/// The artifact's backend record carries the slice width (format v2):
+/// each width round-trips exactly, and a corrupt `words` byte inside an
+/// otherwise valid envelope surfaces as the dedicated typed error.
+#[test]
+fn artifact_width_field_round_trips_and_rejects_corruption() {
+    let netlist = RandomDag::strict(10, 5, 8).outputs(3).generate(8);
+    let compile = |words: usize| {
+        Flow::builder(&netlist)
+            .config(LpuConfig::new(5, 4))
+            .backend(Backend::BitSliced { words })
+            .compile()
+            .unwrap()
+    };
+    for words in [1usize, 2, 4, 8] {
+        let loaded =
+            Flow::from_artifact_bytes(&compile(words).to_artifact_bytes().unwrap()).unwrap();
+        assert_eq!(loaded.backend, Backend::BitSliced { words });
+        loaded.engine().unwrap();
+    }
+
+    // Locate the words byte as the single payload byte that differs
+    // between the words=1 and words=2 images of the *same* compiled
+    // flow (same netlist, config, program and report — only the width
+    // and the checksum change).
+    let mut flow = compile(1);
+    let a = flow.to_artifact_bytes().unwrap();
+    flow.backend = Backend::BitSliced { words: 2 };
+    let b = flow.to_artifact_bytes().unwrap();
+    assert_eq!(a.len(), b.len());
+    let body = a.len() - 8; // trailing 8 bytes are the checksum
+    let diffs: Vec<usize> = (0..body).filter(|&i| a[i] != b[i]).collect();
+    assert_eq!(diffs.len(), 1, "exactly the words byte differs");
+    let words_at = diffs[0];
+
+    // Corrupt it to an unsupported width and re-seal the checksum so the
+    // only remaining defect is the width itself.
+    let mut bad = a.clone();
+    bad[words_at] = 7;
+    let checksum = {
+        // FNV-1a, matching the artifact container.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in &bad[..body] {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    };
+    bad[body..].copy_from_slice(&checksum.to_le_bytes());
+    assert!(matches!(
+        Flow::from_artifact_bytes(&bad),
+        Err(CoreError::Artifact(ArtifactError::UnsupportedWidth {
+            words: 7
+        }))
+    ));
+
+    // Without the checksum fix-up the same flip is caught earlier, as
+    // checksum corruption — the layered-validation contract.
+    let mut flipped = a;
+    flipped[words_at] = 7;
+    assert!(matches!(
+        Flow::from_artifact_bytes(&flipped),
+        Err(CoreError::Artifact(ArtifactError::ChecksumMismatch { .. }))
+    ));
 }
 
 /// Satellite requirement: corruption comes back as the typed error for

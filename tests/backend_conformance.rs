@@ -1,0 +1,339 @@
+//! Cross-backend differential conformance: every available execution
+//! backend/width must serve **bit-identically to the sequential scalar
+//! oracle** (direct netlist evaluation) on every serving path —
+//! `Engine::run_batch`, `Engine::run_batches` (sequential and sharded),
+//! and `Runtime::submit` — for random netlists, the shipped example
+//! netlists, non-multiple-of-width tail batches, and zero-length
+//! batches, on both direct-compile and artifact-reload flows.
+//!
+//! This is the single generic harness that pins a new backend or a new
+//! slice width the moment it exists: add it to [`all_backends`] and
+//! every invariant below applies to it.
+
+use lbnn::netlist::eval::evaluate;
+use lbnn::netlist::random::RandomDag;
+use lbnn::netlist::verilog::parse_verilog;
+use lbnn::netlist::{Lanes, Netlist};
+use lbnn::{Backend, Flow, LpuConfig, RequestHandle, Runtime, RuntimeOptions};
+use proptest::prelude::*;
+
+/// Every backend/width this build can serve on. The scalar
+/// cycle-accurate machine is the reference implementation; the oracle
+/// both it and the bit-sliced widths are compared against is direct
+/// netlist evaluation.
+fn all_backends() -> Vec<Backend> {
+    let mut backends = vec![Backend::Scalar];
+    backends.extend(
+        lbnn::netlist::SUPPORTED_SLICE_WORDS
+            .iter()
+            .map(|&words| Backend::BitSliced { words }),
+    );
+    backends
+}
+
+/// Deterministic batch: `width` inputs × `lanes` samples.
+fn batch(width: usize, lanes: usize, seed: u64) -> Vec<Lanes> {
+    (0..width)
+        .map(|i| {
+            let bits: Vec<bool> = (0..lanes)
+                .map(|l| {
+                    let x = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((i as u64) << 32)
+                        .wrapping_add(l as u64)
+                        .wrapping_mul(0x517c_c1b7_2722_0a95);
+                    (x ^ (x >> 31)) & 1 != 0
+                })
+                .collect();
+            Lanes::from_bools(&bits)
+        })
+        .collect()
+}
+
+/// Batch lane counts that straddle every width's block boundary:
+/// zero-length, single-lane, one under/over 64, and one under/at/over
+/// the widest (512-lane) block.
+fn awkward_lane_counts() -> Vec<usize> {
+    vec![0, 1, 63, 64, 65, 129, 511, 512, 517]
+}
+
+/// The harness core: compiles `netlist` once per backend (optionally
+/// bouncing each flow through its serialized artifact) and checks every
+/// serving path bit-exactly against the `evaluate` oracle.
+fn assert_conformance(netlist: &Netlist, config: LpuConfig, seed: u64, reload: bool) {
+    let width = netlist.inputs().len();
+    let batches: Vec<Vec<Lanes>> = awkward_lane_counts()
+        .into_iter()
+        .map(|lanes| batch(width, lanes, seed))
+        .collect();
+    let oracle: Vec<Vec<Lanes>> = batches
+        .iter()
+        .map(|b| evaluate(netlist, b).expect("oracle evaluation"))
+        .collect();
+    for backend in all_backends() {
+        let flow = Flow::builder(netlist)
+            .config(config)
+            .backend(backend)
+            .compile()
+            .unwrap_or_else(|e| panic!("{backend}: compile failed: {e}"));
+        let flow = if reload {
+            Flow::from_artifact_bytes(&flow.to_artifact_bytes().unwrap())
+                .unwrap_or_else(|e| panic!("{backend}: artifact reload failed: {e}"))
+        } else {
+            flow
+        };
+        assert_eq!(flow.backend, backend);
+
+        // Path 1: one batch at a time through the resident engine.
+        let mut engine = flow.engine().unwrap();
+        for (b, want) in batches.iter().zip(&oracle) {
+            let got = engine.run_batch(b).unwrap();
+            assert_eq!(
+                &got.outputs,
+                want,
+                "{backend} run_batch lanes {} (reload {reload})",
+                b.first().map_or(0, Lanes::len)
+            );
+        }
+
+        // Path 2: the whole sequence back to back, sequential and
+        // sharded across the persistent pool.
+        for workers in [1usize, 3] {
+            let mut engine = flow.engine().unwrap().with_workers(workers);
+            let results = engine.run_batches(&batches).unwrap();
+            assert_eq!(results.len(), batches.len());
+            for (got, want) in results.iter().zip(&oracle) {
+                assert_eq!(
+                    &got.outputs, want,
+                    "{backend} run_batches x{workers} (reload {reload})"
+                );
+            }
+        }
+    }
+}
+
+/// Runtime conformance: individual submits across every backend resolve
+/// to the oracle's per-request bits, at the default (lane-width) flush
+/// target and at an awkward explicit one.
+fn assert_runtime_conformance(netlist: &Netlist, config: LpuConfig, seed: u64, reload: bool) {
+    let width = netlist.inputs().len();
+    // 517 requests: covers multiple full frames on every width plus a
+    // tail partial batch on all of them.
+    let requests: Vec<Vec<bool>> = (0..517)
+        .map(|r| {
+            batch(width, 1, seed ^ (r as u64) << 7)
+                .iter()
+                .map(|l| l.get(0))
+                .collect()
+        })
+        .collect();
+    let packed = Lanes::pack_rows(&requests, width);
+    let oracle = evaluate(netlist, &packed).expect("oracle evaluation");
+    for backend in all_backends() {
+        let flow = Flow::builder(netlist)
+            .config(config)
+            .backend(backend)
+            .compile()
+            .unwrap();
+        let flow = if reload {
+            Flow::from_artifact_bytes(&flow.to_artifact_bytes().unwrap()).unwrap()
+        } else {
+            flow
+        };
+        for max_batch in [0usize, 21] {
+            let runtime = Runtime::from_engine(
+                flow.engine().unwrap(),
+                RuntimeOptions::default()
+                    .workers(2)
+                    .max_batch(max_batch)
+                    .flush_after(std::time::Duration::from_secs(3600)),
+            )
+            .unwrap();
+            if max_batch == 0 {
+                assert_eq!(runtime.flush_target(), backend.lanes(), "{backend}");
+            }
+            let handles: Vec<RequestHandle> = requests
+                .iter()
+                .map(|bits| runtime.submit(bits).unwrap())
+                .collect();
+            runtime.flush();
+            for (j, handle) in handles.into_iter().enumerate() {
+                let got = handle.wait().unwrap();
+                let want: Vec<bool> = oracle.iter().map(|o| o.get(j)).collect();
+                assert_eq!(
+                    got, want,
+                    "{backend} request {j} max_batch {max_batch} (reload {reload})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// The acceptance invariant: for random netlists and machine shapes,
+    /// all widths are pinned bit-identical to the scalar reference by
+    /// every engine-batch path, on both direct-compile and
+    /// artifact-reload flows.
+    #[test]
+    fn every_backend_matches_the_oracle_on_random_netlists(
+        seed in 0u64..1000,
+        inputs in 5usize..11,
+        depth in 3usize..6,
+        dag_width in 3usize..8,
+        outputs in 1usize..5,
+        m in 4usize..9,
+        n in 2usize..5,
+        reload in proptest::bool::ANY,
+    ) {
+        let netlist = RandomDag::strict(inputs, depth, dag_width)
+            .outputs(outputs)
+            .generate(seed);
+        assert_conformance(&netlist, LpuConfig::new(m, n), seed, reload);
+    }
+
+    /// Runtime-serve conformance over random netlists: submits resolve
+    /// bit-identically to the oracle on every width, default and
+    /// explicit flush targets, direct and reloaded flows.
+    #[test]
+    fn runtime_matches_the_oracle_on_random_netlists(
+        seed in 0u64..1000,
+        inputs in 5usize..10,
+        reload in proptest::bool::ANY,
+    ) {
+        let netlist = RandomDag::strict(inputs, 4, 6).outputs(3).generate(seed);
+        assert_runtime_conformance(&netlist, LpuConfig::new(5, 4), seed, reload);
+    }
+}
+
+/// Every shipped example netlist conforms on every backend, through both
+/// the engine-batch and runtime-serve paths.
+#[test]
+fn shipped_example_netlists_conform_on_every_backend() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("examples/data exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("v") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let netlist =
+            parse_verilog(&src).unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+        assert_conformance(&netlist, LpuConfig::new(8, 4), 0x5eed, false);
+        assert_conformance(&netlist, LpuConfig::new(8, 4), 0x5eed, true);
+        assert_runtime_conformance(&netlist, LpuConfig::new(8, 4), 0x5eed, false);
+        checked += 1;
+    }
+    assert!(
+        checked > 0,
+        "no example netlists found in {}",
+        dir.display()
+    );
+}
+
+/// Regression (tail-lane masking): a batch of `lanes*k + r` samples
+/// (0 < r < lanes) must never read or publish garbage from the unused
+/// lanes of the final partial block, on any width. NOT of all-zero
+/// inputs makes stray lanes maximally visible: every *computed* lane is
+/// 1, so any leak shows up as extra set bits or a dirty tail word.
+#[test]
+fn tail_lanes_never_leak_on_any_width() {
+    let mut nl = Netlist::new("inv");
+    let a = nl.add_input("a");
+    let y = nl.add_gate1(lbnn::netlist::Op::Not, a);
+    nl.add_output(y, "y");
+    for backend in all_backends() {
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(2, 2))
+            .optimize(false)
+            .backend(backend)
+            .compile()
+            .unwrap();
+        let mut engine = flow.engine().unwrap();
+        let block = backend.lanes();
+        for lanes in [1, block - 1, block + 1, 2 * block + 3, 3 * block - 1] {
+            let out = &engine.run_batch(&[Lanes::zeros(lanes)]).unwrap().outputs[0];
+            assert_eq!(out.len(), lanes, "{backend} lanes {lanes}");
+            assert_eq!(
+                out.count_ones(),
+                lanes,
+                "{backend} lanes {lanes}: garbage leaked into unused lanes"
+            );
+            let rem = lanes % 64;
+            if rem != 0 {
+                let last = *out.words().last().unwrap();
+                assert_eq!(last >> rem, 0, "{backend} lanes {lanes}: dirty tail word");
+            }
+        }
+    }
+}
+
+/// Regression (tail lanes through the runtime): a partial micro-batch of
+/// `r < lane_width` requests resolves correctly on every width — the
+/// unused lanes of the padded frame never bleed into responses.
+#[test]
+fn partial_micro_batches_conform_on_every_width() {
+    let netlist = RandomDag::strict(7, 4, 6).outputs(3).generate(99);
+    let width = netlist.inputs().len();
+    for backend in all_backends() {
+        let flow = Flow::builder(&netlist)
+            .config(LpuConfig::new(4, 4))
+            .backend(backend)
+            .compile()
+            .unwrap();
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(1)
+                .flush_after(std::time::Duration::from_secs(3600)),
+        )
+        .unwrap();
+        // Strictly fewer requests than any width's flush target.
+        let requests: Vec<Vec<bool>> = (0..5)
+            .map(|r| {
+                batch(width, 1, 0xfeed ^ (r as u64))
+                    .iter()
+                    .map(|l| l.get(0))
+                    .collect()
+            })
+            .collect();
+        let packed = Lanes::pack_rows(&requests, width);
+        let oracle = evaluate(&netlist, &packed).unwrap();
+        let handles: Vec<RequestHandle> = requests
+            .iter()
+            .map(|bits| runtime.submit(bits).unwrap())
+            .collect();
+        runtime.flush();
+        for (j, handle) in handles.into_iter().enumerate() {
+            let got = handle.wait().unwrap();
+            let want: Vec<bool> = oracle.iter().map(|o| o.get(j)).collect();
+            assert_eq!(got, want, "{backend} request {j}");
+        }
+    }
+}
+
+/// Zero-length batches are a no-op with well-formed (empty) outputs on
+/// every backend — no panic, no phantom lanes.
+#[test]
+fn zero_length_batches_are_served_empty_on_every_width() {
+    let netlist = RandomDag::strict(6, 3, 5).outputs(2).generate(3);
+    for backend in all_backends() {
+        let flow = Flow::builder(&netlist)
+            .config(LpuConfig::new(4, 4))
+            .backend(backend)
+            .compile()
+            .unwrap();
+        let mut engine = flow.engine().unwrap();
+        let empty = batch(netlist.inputs().len(), 0, 1);
+        let result = engine.run_batch(&empty).unwrap();
+        assert_eq!(result.outputs.len(), 2, "{backend}");
+        for out in &result.outputs {
+            assert!(out.is_empty(), "{backend}: zero-length batch grew lanes");
+        }
+    }
+}

@@ -2,9 +2,9 @@
 //! surface as a structured error (or checked panic), never as silent
 //! wrong answers.
 
-use lbnn_core::error::CoreError;
+use lbnn_core::error::{ArtifactError, CoreError};
 use lbnn_core::lpu::{LpuConfig, LpuMachine};
-use lbnn_core::Flow;
+use lbnn_core::{Backend, Flow};
 use lbnn_netlist::random::RandomDag;
 use lbnn_netlist::verilog::parse_verilog;
 use lbnn_netlist::{Lanes, NetlistError};
@@ -146,6 +146,54 @@ fn degenerate_machines_rejected() {
     for bad in [LpuConfig::new(0, 4), LpuConfig::new(4, 0)] {
         assert!(Flow::builder(&nl).config(bad).compile().is_err());
     }
+}
+
+/// Unsupported bit-slice widths are structured failures at every
+/// boundary they can enter through: backend parsing, compilation,
+/// engine construction, and artifact loading.
+#[test]
+fn unsupported_slice_widths_are_structured_failures() {
+    let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(7);
+
+    // CLI-style parsing: lane counts that are not 64/128/256/512.
+    for bad in [
+        "bitsliced:0",
+        "bitsliced:32",
+        "bitsliced:96",
+        "bitsliced:4096",
+    ] {
+        assert!(matches!(
+            bad.parse::<Backend>(),
+            Err(CoreError::BadConfig { .. })
+        ));
+    }
+
+    // Compile-time: the pipeline rejects the width before any pass runs.
+    let err = Flow::builder(&nl)
+        .config(LpuConfig::new(4, 4))
+        .backend(Backend::BitSliced { words: 3 })
+        .compile()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::BadConfig { .. }));
+
+    // Engine construction: a flow whose backend field was corrupted
+    // after compilation still cannot build an engine.
+    let mut flow = Flow::builder(&nl)
+        .config(LpuConfig::new(4, 4))
+        .compile()
+        .unwrap();
+    flow.backend = Backend::BitSliced { words: 6 };
+    assert!(matches!(flow.engine(), Err(CoreError::BadConfig { .. })));
+
+    // Artifact boundary: the recorded width comes back as the dedicated
+    // typed error, not a panic and not a generic Malformed.
+    let bytes = flow.to_artifact_bytes().unwrap();
+    assert!(matches!(
+        Flow::from_artifact_bytes(&bytes),
+        Err(CoreError::Artifact(ArtifactError::UnsupportedWidth {
+            words: 6
+        }))
+    ));
 }
 
 #[test]

@@ -40,21 +40,27 @@ proptest! {
         .. ProptestConfig::default()
     })]
 
-    /// The headline invariant (ISSUE 4 acceptance): for any request
-    /// count, worker count, micro-batch size and arrival pattern, on
-    /// both backends, every `Runtime` response is bit-identical to the
-    /// sequential scalar reference engine serving the same sample alone.
+    /// The headline invariant (ISSUE 4 acceptance, widened by ISSUE 5):
+    /// for any request count, worker count, micro-batch size and arrival
+    /// pattern, on every backend width, every `Runtime` response is
+    /// bit-identical to the sequential scalar reference engine serving
+    /// the same sample alone. `max_batch` 0 exercises the auto flush
+    /// target (the engine's lane width).
     #[test]
     fn runtime_is_bit_identical_to_sequential_reference(
         seed in 0u64..500,
         requests in 1usize..130,
         workers in 1usize..4,
-        max_batch in 1usize..80,
-        sliced in proptest::bool::ANY,
+        max_batch in 0usize..80,
+        backend_idx in 0usize..5,
         burst in 1usize..20,
     ) {
         let netlist = RandomDag::strict(9, 4, 7).outputs(3).generate(seed);
-        let backend = if sliced { Backend::BitSliced64 } else { Backend::Scalar };
+        // 0 = scalar; 1..5 = every supported bit-slice width.
+        let backend = match backend_idx {
+            0 => Backend::Scalar,
+            i => Backend::BitSliced { words: 1 << (i - 1) },
+        };
         let flow = Flow::builder(&netlist)
             .config(LpuConfig::new(4, 4))
             .backend(backend)
