@@ -28,7 +28,9 @@
 //!   --workers <N>       runtime worker threads for --serve (0 = one per CPU)
 //!   --diagram           print the time-space schedule
 //!   --emit-verilog <F>  write the mapped, balanced netlist as Verilog
-//!   --emit-artifact <F> write the compiled flow as a serving artifact
+//!   --emit-artifact [F] write the compiled flow as a serving artifact;
+//!                       without a value, the filename is derived from
+//!                       the input netlist stem (`foo.v` → `foo.lbnn`)
 //!   --encode            report the binary program image size
 //! ```
 //!
@@ -78,7 +80,7 @@ fn usage() -> ! {
         "usage: lbnnc <input.v> [--m N] [--n N] [--backend scalar|bitsliced64|bitsliced:<lanes>]\n\
          \u{20}             [--no-merge] [--no-opt] [--geq] [--verify SEED] [--diagram]\n\
          \u{20}             [--serve N] [--workers N]\n\
-         \u{20}             [--emit-verilog FILE] [--emit-artifact FILE] [--encode]\n\
+         \u{20}             [--emit-verilog FILE] [--emit-artifact [FILE]] [--encode]\n\
          \u{20}      lbnnc --from-artifact FILE [input.v] [--backend B] [--verify SEED]\n\
          \u{20}             [--serve N] [--workers N] [--encode]"
     );
@@ -104,7 +106,7 @@ fn parse_args() -> Args {
         encode: false,
         compile_flags_seen: Vec::new(),
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--m" => {
@@ -162,7 +164,12 @@ fn parse_args() -> Args {
             }
             "--diagram" => args.diagram = true,
             "--emit-verilog" => args.emit_verilog = Some(it.next().unwrap_or_else(|| usage())),
-            "--emit-artifact" => args.emit_artifact = Some(it.next().unwrap_or_else(|| usage())),
+            // The value is optional: `--emit-artifact` alone derives the
+            // filename from the input netlist stem at emit time.
+            "--emit-artifact" => match it.peek() {
+                Some(v) if !v.starts_with('-') => args.emit_artifact = it.next(),
+                _ => args.emit_artifact = Some(String::new()),
+            },
             "--from-artifact" => args.from_artifact = Some(it.next().unwrap_or_else(|| usage())),
             "--encode" => args.encode = true,
             "--help" | "-h" => usage(),
@@ -506,6 +513,22 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = args.emit_artifact {
+        // Bare `--emit-artifact`: derive the filename from the input stem.
+        let path = if path.is_empty() {
+            if args.input.is_empty() {
+                eprintln!(
+                    "lbnnc: --emit-artifact without a filename needs an input netlist \
+                     to derive one from"
+                );
+                return ExitCode::FAILURE;
+            }
+            std::path::Path::new(&args.input)
+                .with_extension("lbnn")
+                .display()
+                .to_string()
+        } else {
+            path
+        };
         match flow.save(&path) {
             Ok(()) => {
                 let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);

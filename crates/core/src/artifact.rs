@@ -67,6 +67,63 @@ const KIND_FLOW: u8 = 1;
 /// Container kind: a whole compiled model (one flow per layer).
 const KIND_MODEL: u8 = 2;
 
+/// What a serialized artifact image contains — readable from the
+/// container header without decoding (or checksumming) the payload, so
+/// a model directory can be scanned cheaply and each file dispatched to
+/// [`Flow::load`] or [`CompiledModel::load`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// One compiled flow ([`Flow::save`]).
+    Flow,
+    /// A whole compiled model ([`CompiledModel::save`]).
+    Model,
+}
+
+impl ArtifactKind {
+    /// Reads the container kind from the first bytes of an artifact
+    /// image. Validates the magic and format version but **not** the
+    /// checksum — that happens when the artifact is actually loaded.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] / [`ArtifactError::BadMagic`] /
+    /// [`ArtifactError::UnsupportedVersion`] for a damaged header, and
+    /// [`ArtifactError::Malformed`] for an unknown kind byte.
+    pub fn peek(bytes: &[u8]) -> Result<ArtifactKind, CoreError> {
+        const HEADER: usize = 8 + 4 + 1;
+        if bytes.len() >= 8 && bytes[..8] != MAGIC {
+            return Err(CoreError::Artifact(ArtifactError::BadMagic));
+        }
+        if bytes.len() < HEADER {
+            return Err(CoreError::Artifact(ArtifactError::Truncated {
+                expected: HEADER,
+                got: bytes.len(),
+            }));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != ARTIFACT_VERSION {
+            return Err(CoreError::Artifact(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: ARTIFACT_VERSION,
+            }));
+        }
+        match bytes[12] {
+            KIND_FLOW => Ok(ArtifactKind::Flow),
+            KIND_MODEL => Ok(ArtifactKind::Model),
+            other => Err(malformed(format!("unknown artifact kind {other}"))),
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactKind::Flow => write!(f, "flow"),
+            ArtifactKind::Model => write!(f, "model"),
+        }
+    }
+}
+
 /// FNV-1a 64-bit checksum (dependency-free, deterministic, fast enough
 /// for artifact-sized payloads).
 fn fnv1a64(bytes: &[u8]) -> u64 {

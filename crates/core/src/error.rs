@@ -144,6 +144,16 @@ pub enum CoreError {
         /// First batch lane where the LPU and the oracle disagree.
         lane: usize,
     },
+    /// The serving runtime's admission limit was reached and the
+    /// request was shed instead of queued
+    /// ([`Runtime::try_submit`](crate::Runtime::try_submit)) — the typed
+    /// form of an HTTP 429.
+    Overloaded {
+        /// Requests in flight when admission was refused.
+        in_flight: usize,
+        /// The runtime's admission limit.
+        limit: usize,
+    },
     /// A serialized artifact or program image could not be loaded.
     Artifact(ArtifactError),
 }
@@ -173,6 +183,11 @@ impl fmt::Display for CoreError {
             CoreError::VerifyMismatch { output, lane } => write!(
                 f,
                 "LPU output `{output}` disagrees with the netlist oracle (first at lane {lane})"
+            ),
+            CoreError::Overloaded { in_flight, limit } => write!(
+                f,
+                "runtime overloaded: {in_flight} requests in flight (admission limit {limit}); \
+                 request shed"
             ),
             CoreError::Artifact(e) => write!(f, "artifact error: {e}"),
         }

@@ -366,6 +366,14 @@ pub struct RuntimeOptions {
     /// oldest request has waited this long, bounding tail latency under
     /// light traffic.
     pub flush_after: Duration,
+    /// Admission limit for [`Runtime::try_submit`]: the in-flight
+    /// request count at which new requests are shed instead of queued.
+    /// The default `0` means "auto": `flush_target × (queue_capacity +
+    /// workers + 1)` — enough to fill every queued job slot, every
+    /// worker, and the currently forming micro-batch. [`Runtime::submit`]
+    /// ignores this and blocks (backpressure); `try_submit` is the
+    /// load-shedding entry point network servers use.
+    pub admission_limit: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -375,6 +383,7 @@ impl Default for RuntimeOptions {
             queue_capacity: 32,
             max_batch: 0,
             flush_after: Duration::from_micros(200),
+            admission_limit: 0,
         }
     }
 }
@@ -408,6 +417,14 @@ impl RuntimeOptions {
         self.flush_after = flush_after;
         self
     }
+
+    /// Sets the [`Runtime::try_submit`] admission limit (builder style).
+    /// `0` = auto (see [`RuntimeOptions::admission_limit`]).
+    #[must_use]
+    pub fn admission_limit(mut self, admission_limit: usize) -> Self {
+        self.admission_limit = admission_limit;
+        self
+    }
 }
 
 /// Serving statistics of a [`Runtime`] (snapshot; see
@@ -426,6 +443,12 @@ pub struct RuntimeStats {
     /// Mean lanes per executed micro-batch (packing efficiency; 64 means
     /// every bit-sliced word was full).
     pub mean_lanes_per_batch: f64,
+    /// Requests rejected at admission by [`Runtime::try_submit`]
+    /// because the runtime was saturated (load shedding). Shed requests
+    /// are **not** counted in [`RuntimeStats::requests`].
+    pub shed: u64,
+    /// Requests currently in flight (submitted but not yet resolved).
+    pub in_flight: usize,
     /// Queue depth and submit→response latency percentiles.
     pub queue: QueueStats,
     /// Wall-clock span from first submit to last response, in
@@ -497,10 +520,16 @@ struct StatsShared {
     micro_batches: AtomicU64,
     full_flushes: AtomicU64,
     deadline_flushes: AtomicU64,
+    shed: AtomicU64,
     lanes_served: AtomicU64,
     in_flight: AtomicUsize,
     peak_in_flight: AtomicUsize,
     span: Mutex<Option<(Instant, Instant)>>,
+    /// Pairs with `idle` to wake [`Runtime::drain`] when `in_flight`
+    /// reaches zero; completions only touch it on that transition, so
+    /// the hot path stays atomic-only.
+    idle_lock: Mutex<()>,
+    idle: Condvar,
 }
 
 impl StatsShared {
@@ -515,10 +544,24 @@ impl StatsShared {
         }
     }
 
+    /// Retires `count` requests from the in-flight gauge once their
+    /// slots are fulfilled, waking any [`Runtime::drain`] on the
+    /// busy→idle transition. Separate from [`StatsShared::note_completion`]
+    /// so `in_flight == 0` really means "every accepted handle has
+    /// resolved", not just "accounted".
+    fn note_resolved(&self, count: usize) {
+        let prev = self.in_flight.fetch_sub(count, Ordering::Release);
+        if prev == count {
+            // Taking the lock orders the notification after a concurrent
+            // drainer's check-then-wait.
+            let _guard = self.idle_lock.lock().expect("idle lock");
+            self.idle.notify_all();
+        }
+    }
+
     fn note_completion(&self, latencies: &[f64], now: Instant) {
         self.completed
             .fetch_add(latencies.len() as u64, Ordering::Relaxed);
-        self.in_flight.fetch_sub(latencies.len(), Ordering::Relaxed);
         {
             let mut reservoir = self.latencies_us.lock().expect("latency lock");
             for &latency in latencies {
@@ -564,6 +607,9 @@ pub struct Runtime {
     /// Resolved size flush trigger: `options.max_batch`, or the target's
     /// lane width when the option is 0 (auto).
     flush_target: usize,
+    /// Resolved admission limit for [`Runtime::try_submit`]:
+    /// `options.admission_limit`, or the auto formula when 0.
+    admission_limit: usize,
     pool: Arc<WorkerPool>,
     shared: Arc<RuntimeShared>,
     flusher: Option<JoinHandle<()>>,
@@ -637,6 +683,13 @@ impl Runtime {
         } else {
             options.workers
         };
+        // Auto admission limit: every queued job slot and every worker
+        // full of lane-width batches, plus the currently forming batch.
+        let admission_limit = if options.admission_limit == 0 {
+            flush_target * (options.queue_capacity + workers + 1)
+        } else {
+            options.admission_limit
+        };
         let pool = Arc::new(WorkerPool::spawn(workers, options.queue_capacity));
         let shared = Arc::new(RuntimeShared {
             batcher: Mutex::new(BatchState {
@@ -687,6 +740,7 @@ impl Runtime {
             target,
             options,
             flush_target,
+            admission_limit,
             pool,
             shared,
             flusher: Some(flusher),
@@ -780,6 +834,84 @@ impl Runtime {
         Ok(RequestHandle { slot, id })
     }
 
+    /// The in-flight request count at which [`Runtime::try_submit`]
+    /// sheds: [`RuntimeOptions::admission_limit`] if set, otherwise
+    /// `flush_target × (queue_capacity + workers + 1)`.
+    pub fn admission_limit(&self) -> usize {
+        self.admission_limit
+    }
+
+    /// Requests currently in flight (submitted but not yet resolved).
+    pub fn in_flight(&self) -> usize {
+        self.shared.stats.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Admission-controlled submit: like [`Runtime::submit`], but when
+    /// the runtime is saturated — [`Runtime::in_flight`] at or past
+    /// [`Runtime::admission_limit`] — the request is **shed
+    /// immediately** ([`CoreError::Overloaded`], counted in
+    /// [`RuntimeStats::shed`]) instead of blocking the caller on
+    /// backpressure. This is the entry point for network front-ends: an
+    /// accept loop must answer "try later" in microseconds, not stall
+    /// behind a full queue.
+    ///
+    /// Admission is checked before the request is accounted, so a shed
+    /// request leaves no trace beyond the shed counter. The check is a
+    /// single relaxed atomic load; under a concurrent submit storm a few
+    /// requests may be admitted slightly past the limit, which only
+    /// means they briefly block like plain `submit` — shedding accuracy
+    /// is a latency bound, not an exact quota.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InputArity`] for a malformed request (checked before
+    /// admission, so bad requests are never miscounted as shed) and
+    /// [`CoreError::Overloaded`] when saturated.
+    pub fn try_submit(&self, bits: &[bool]) -> Result<RequestHandle, CoreError> {
+        let want = self.target.num_inputs();
+        if bits.len() != want {
+            return Err(CoreError::InputArity {
+                expected: want,
+                got: bits.len(),
+            });
+        }
+        let in_flight = self.shared.stats.in_flight.load(Ordering::Relaxed);
+        if in_flight >= self.admission_limit {
+            self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(CoreError::Overloaded {
+                in_flight,
+                limit: self.admission_limit,
+            });
+        }
+        self.submit(bits)
+    }
+
+    /// Blocks until every request accepted so far has resolved — queue
+    /// empty, workers idle — without dropping the runtime. The pending
+    /// partial batch is flushed first (a drain must not wait out the
+    /// deadline), and re-flushed while waiting so requests racing in
+    /// from other threads drain too.
+    ///
+    /// The runtime stays fully usable afterwards: this is the graceful-
+    /// drain primitive for servers (stop accepting, `drain()`, report
+    /// final stats), not a shutdown.
+    pub fn drain(&self) {
+        loop {
+            self.flush();
+            let stats = &self.shared.stats;
+            let guard = stats.idle_lock.lock().expect("idle lock");
+            if stats.in_flight.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Timed wait: the notify races with our flush above only in
+            // the direction of a spurious extra loop, never a hang.
+            let _ = stats
+                .idle
+                .wait_timeout(guard, Duration::from_millis(5))
+                .expect("idle lock");
+        }
+    }
+
     /// Dispatches the current partial micro-batch immediately instead of
     /// waiting for the size or deadline trigger. No-op when nothing is
     /// pending.
@@ -827,6 +959,8 @@ impl Runtime {
             } else {
                 0.0
             },
+            shed: stats.shed.load(Ordering::Relaxed),
+            in_flight: stats.in_flight.load(Ordering::Relaxed),
             queue: QueueStats {
                 peak_depth: stats.peak_in_flight.load(Ordering::Relaxed),
                 p50_us: percentile(&latencies, 0.50),
@@ -936,6 +1070,9 @@ fn dispatch(target: &Target, pool: &WorkerPool, shared: &Arc<RuntimeShared>, req
                 }
             }
         }
+        // Only now are the requests truly resolved: retire them from the
+        // in-flight gauge (this is what `drain` waits on).
+        stats.note_resolved(reqs.len());
     }));
 }
 
@@ -1260,6 +1397,100 @@ mod tests {
         assert!(queue.p50_us <= queue.p95_us && queue.p95_us <= queue.p99_us);
         assert!(queue.peak_depth >= 1);
         assert_eq!(wall.batches, 4);
+    }
+
+    /// try_submit sheds immediately (typed error + counter) once the
+    /// admission limit is reached, and the runtime keeps serving after
+    /// the saturation clears.
+    #[test]
+    fn try_submit_sheds_at_the_admission_limit() {
+        let flow = compiled(Backend::BitSliced64, 13);
+        let width = flow.program.num_inputs;
+        // Long deadline + wide batch: accepted requests sit pending, so
+        // in_flight is fully under the test's control.
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(1)
+                .admission_limit(4)
+                .flush_after(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert_eq!(runtime.admission_limit(), 4);
+        let accepted: Vec<RequestHandle> = (0..4)
+            .map(|i| runtime.try_submit(&request_bits(width, i)).unwrap())
+            .collect();
+        assert_eq!(runtime.in_flight(), 4);
+        // The 5th is shed without blocking; arity errors are not shed.
+        let err = runtime.try_submit(&request_bits(width, 99)).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Overloaded {
+                in_flight: 4,
+                limit: 4
+            }
+        ));
+        assert!(matches!(
+            runtime.try_submit(&[true]).unwrap_err(),
+            CoreError::InputArity { .. }
+        ));
+        let stats = runtime.stats();
+        assert_eq!(stats.shed, 1, "arity errors must not count as shed");
+        assert_eq!(stats.requests, 4);
+        // Draining clears the saturation; admission reopens.
+        runtime.drain();
+        for handle in accepted {
+            assert_eq!(handle.wait().unwrap().len(), 3);
+        }
+        assert_eq!(runtime.in_flight(), 0);
+        let reopened = runtime.try_submit(&request_bits(width, 5)).unwrap();
+        runtime.flush();
+        reopened.wait().unwrap();
+        assert_eq!(runtime.stats().shed, 1);
+    }
+
+    /// The auto admission limit scales with flush target, queue capacity
+    /// and workers.
+    #[test]
+    fn auto_admission_limit_formula() {
+        let flow = compiled(Backend::BitSliced64, 15);
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(2)
+                .queue_capacity(3)
+                .max_batch(10),
+        )
+        .unwrap();
+        // flush_target × (queue_capacity + workers + 1) = 10 × 6.
+        assert_eq!(runtime.admission_limit(), 60);
+    }
+
+    /// drain() blocks until idle without consuming the runtime, flushing
+    /// the pending partial batch instead of waiting out the deadline.
+    #[test]
+    fn drain_resolves_pending_requests_and_keeps_serving() {
+        let flow = compiled(Backend::Scalar, 21);
+        let width = flow.program.num_inputs;
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(2)
+                .flush_after(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        runtime.drain(); // idle drain is an immediate no-op
+        for round in 0..3u64 {
+            let handles: Vec<RequestHandle> = (0..7)
+                .map(|i| runtime.submit(&request_bits(width, round * 7 + i)).unwrap())
+                .collect();
+            runtime.drain();
+            assert_eq!(runtime.in_flight(), 0);
+            for handle in handles {
+                assert!(handle.try_wait().expect("drained request resolved").is_ok());
+            }
+        }
+        assert_eq!(runtime.stats().requests, 21);
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! The multi-model registry: `name@version` → loaded artifact.
+//!
+//! A model directory is the unit of deployment: every `*.lbnn` file in
+//! it (non-recursive) becomes one served model. The file stem carries
+//! the identity — `xor@3.lbnn` serves as `xor@3`; a stem without `@`
+//! gets version `1`. Both artifact kinds load transparently
+//! ([`ArtifactKind::peek`] dispatches before decoding): a flow becomes
+//! a single-block model, a compiled model a multi-layer one. Each entry
+//! owns a dedicated [`Runtime`] — models are isolated, so one model's
+//! saturation sheds *its* traffic while its neighbours keep serving.
+//!
+//! Resolution accepts `name@version` (exact) or bare `name` (the latest
+//! version: numeric descending when both versions are integers,
+//! lexicographic otherwise — so `v10` beats `v9` where both are plain
+//! numbers).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+use lbnn_core::{
+    ArtifactKind, CompiledModel, CoreError, Flow, Runtime, RuntimeOptions, RuntimeStats,
+};
+
+use crate::metrics::ModelMetrics;
+use crate::ServeError;
+
+/// One served model: identity, its dedicated runtime, and counters.
+pub struct ModelEntry {
+    /// Model name (file stem before `@`).
+    pub name: String,
+    /// Model version (file stem after `@`, `"1"` if absent).
+    pub version: String,
+    /// Primary input count the model expects per request.
+    pub num_inputs: usize,
+    /// Primary output count the model produces per request.
+    pub num_outputs: usize,
+    /// Backend label (`scalar`, `bitsliced:256`, ...).
+    pub backend: String,
+    /// The model's dedicated serving runtime.
+    pub runtime: Runtime,
+    /// Request counters for this model.
+    pub metrics: ModelMetrics,
+}
+
+impl std::fmt::Debug for ModelEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelEntry")
+            .field("id", &self.id())
+            .field("num_inputs", &self.num_inputs)
+            .field("num_outputs", &self.num_outputs)
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelEntry {
+    /// Canonical `name@version` identifier.
+    pub fn id(&self) -> String {
+        format!("{}@{}", self.name, self.version)
+    }
+
+    /// Current runtime statistics (cheap snapshot).
+    pub fn stats(&self) -> RuntimeStats {
+        self.runtime.stats()
+    }
+
+    /// Run one request through admission control and the runtime,
+    /// recording the outcome in [`ModelEntry::metrics`].
+    ///
+    /// Blocks the *calling connection thread* until the response is
+    /// ready (or the request is shed immediately) — never the accept
+    /// loop.
+    pub fn infer(&self, bits: &[bool]) -> InferOutcome {
+        match self.runtime.try_submit(bits) {
+            Ok(handle) => match handle.wait() {
+                Ok(outputs) => {
+                    self.metrics.ok.fetch_add(1, Ordering::Relaxed);
+                    InferOutcome::Ok(outputs)
+                }
+                Err(e) => {
+                    self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    InferOutcome::Failed(e.to_string())
+                }
+            },
+            Err(CoreError::Overloaded { .. }) => {
+                self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                InferOutcome::Shed
+            }
+            Err(e) => {
+                self.metrics.bad_request.fetch_add(1, Ordering::Relaxed);
+                InferOutcome::BadArity(e.to_string())
+            }
+        }
+    }
+}
+
+/// What happened to one request handed to [`ModelEntry::infer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferOutcome {
+    /// Admitted and answered: the output bits.
+    Ok(Vec<bool>),
+    /// Refused by admission control — the runtime is saturated.
+    Shed,
+    /// Rejected before submission (wrong input arity).
+    BadArity(String),
+    /// Admitted but the engine failed.
+    Failed(String),
+}
+
+/// Immutable collection of [`ModelEntry`]s, shared across connections.
+pub struct ModelRegistry {
+    entries: Vec<ModelEntry>,
+    /// `name@version` → index into `entries`.
+    by_id: HashMap<String, usize>,
+    /// `name` → index of its latest version.
+    latest: HashMap<String, usize>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("entries", &self.entries)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelRegistry {
+    /// Build an empty registry (populate with the `insert_*` methods).
+    pub fn new() -> ModelRegistry {
+        ModelRegistry {
+            entries: Vec::new(),
+            by_id: HashMap::new(),
+            latest: HashMap::new(),
+        }
+    }
+
+    /// Scan `dir` for `*.lbnn` artifacts and load every one, giving each
+    /// its own runtime built from `options`.
+    pub fn load_dir(
+        dir: impl AsRef<Path>,
+        options: &RuntimeOptions,
+    ) -> Result<ModelRegistry, ServeError> {
+        let dir = dir.as_ref();
+        let mut files: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| ServeError::Io {
+                target: dir.display().to_string(),
+                reason: e.to_string(),
+            })?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "lbnn").unwrap_or(false))
+            .collect();
+        // Deterministic registry order regardless of readdir order.
+        files.sort();
+        let mut registry = ModelRegistry::new();
+        for path in &files {
+            let stem = path.file_stem().and_then(|s| s.to_str()).ok_or_else(|| {
+                ServeError::BadModelName {
+                    stem: path.display().to_string(),
+                    reason: "stem is not valid utf-8".into(),
+                }
+            })?;
+            let (name, version) = parse_model_stem(stem)?;
+            let load_err = |source: CoreError| ServeError::Artifact {
+                path: path.display().to_string(),
+                source,
+            };
+            let bytes = std::fs::read(path).map_err(|e| ServeError::Io {
+                target: path.display().to_string(),
+                reason: e.to_string(),
+            })?;
+            match ArtifactKind::peek(&bytes).map_err(load_err)? {
+                ArtifactKind::Flow => {
+                    let flow = Flow::load(path).map_err(load_err)?;
+                    registry.insert_flow(&name, &version, flow, *options)?;
+                }
+                ArtifactKind::Model => {
+                    let model = CompiledModel::load(path).map_err(load_err)?;
+                    registry.insert_model(&name, &version, model, *options)?;
+                }
+            }
+        }
+        if registry.entries.is_empty() {
+            return Err(ServeError::EmptyRegistry {
+                dir: dir.display().to_string(),
+            });
+        }
+        Ok(registry)
+    }
+
+    /// Register a single-block [`Flow`] under `name@version`.
+    pub fn insert_flow(
+        &mut self,
+        name: &str,
+        version: &str,
+        flow: Flow,
+        options: RuntimeOptions,
+    ) -> Result<(), ServeError> {
+        let num_inputs = flow.program.num_inputs;
+        let num_outputs = flow.program.outputs.len();
+        let backend = flow.backend.to_string();
+        let runtime = Runtime::from_engine(flow.into_engine()?, options)?;
+        self.insert_entry(name, version, num_inputs, num_outputs, backend, runtime)
+    }
+
+    /// Register a multi-layer [`CompiledModel`] under `name@version`.
+    pub fn insert_model(
+        &mut self,
+        name: &str,
+        version: &str,
+        model: CompiledModel,
+        options: RuntimeOptions,
+    ) -> Result<(), ServeError> {
+        let layers = model.layers();
+        let num_inputs = layers
+            .first()
+            .map(|l| l.flow().program.num_inputs)
+            .unwrap_or(0);
+        let num_outputs = layers
+            .last()
+            .map(|l| l.flow().program.outputs.len())
+            .unwrap_or(0);
+        let backend = layers
+            .first()
+            .map(|l| l.backend().to_string())
+            .unwrap_or_default();
+        let runtime = Runtime::from_model(model, options)?;
+        self.insert_entry(name, version, num_inputs, num_outputs, backend, runtime)
+    }
+
+    fn insert_entry(
+        &mut self,
+        name: &str,
+        version: &str,
+        num_inputs: usize,
+        num_outputs: usize,
+        backend: String,
+        runtime: Runtime,
+    ) -> Result<(), ServeError> {
+        let id = format!("{name}@{version}");
+        if self.by_id.contains_key(&id) {
+            return Err(ServeError::DuplicateModel {
+                name: name.to_string(),
+                version: version.to_string(),
+            });
+        }
+        let index = self.entries.len();
+        self.entries.push(ModelEntry {
+            name: name.to_string(),
+            version: version.to_string(),
+            num_inputs,
+            num_outputs,
+            backend,
+            runtime,
+            metrics: ModelMetrics::default(),
+        });
+        self.by_id.insert(id, index);
+        match self.latest.get(name) {
+            Some(&prev) if !version_newer(version, &self.entries[prev].version) => {}
+            _ => {
+                self.latest.insert(name.to_string(), index);
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve `name@version` (exact) or `name` (latest version).
+    pub fn resolve(&self, spec: &str) -> Option<&ModelEntry> {
+        let index = match spec.split_once('@') {
+            Some(_) => *self.by_id.get(spec)?,
+            None => *self.latest.get(spec)?,
+        };
+        Some(&self.entries[index])
+    }
+
+    /// All entries, in registration (= sorted filename) order.
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// Drain every model's runtime: block until all in-flight requests
+    /// everywhere have resolved. Part of graceful shutdown.
+    pub fn drain_all(&self) {
+        for entry in &self.entries {
+            entry.runtime.drain();
+        }
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry::new()
+    }
+}
+
+/// Split a file stem into `(name, version)`; no `@` means version `1`.
+fn parse_model_stem(stem: &str) -> Result<(String, String), ServeError> {
+    let (name, version) = match stem.split_once('@') {
+        Some((n, v)) => (n, v),
+        None => (stem, "1"),
+    };
+    if name.is_empty() {
+        return Err(ServeError::BadModelName {
+            stem: stem.to_string(),
+            reason: "empty model name".into(),
+        });
+    }
+    if version.is_empty() || version.contains('@') {
+        return Err(ServeError::BadModelName {
+            stem: stem.to_string(),
+            reason: "version must be non-empty and contain no `@`".into(),
+        });
+    }
+    Ok((name.to_string(), version.to_string()))
+}
+
+/// Is version `a` newer than `b`? Numeric comparison when both parse as
+/// integers, lexicographic otherwise.
+fn version_newer(a: &str, b: &str) -> bool {
+    match (a.parse::<u64>(), b.parse::<u64>()) {
+        (Ok(a), Ok(b)) => a > b,
+        _ => a > b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbnn_core::LpuConfig;
+    use lbnn_netlist::random::RandomDag;
+
+    fn tiny_flow(seed: u64) -> Flow {
+        let netlist = RandomDag::strict(12, 4, 8).generate(seed);
+        Flow::builder(&netlist)
+            .config(LpuConfig::new(8, 4))
+            .compile()
+            .expect("compile tiny flow")
+    }
+
+    #[test]
+    fn stem_parsing() {
+        assert_eq!(
+            parse_model_stem("xor@3").unwrap(),
+            ("xor".into(), "3".into())
+        );
+        assert_eq!(parse_model_stem("xor").unwrap(), ("xor".into(), "1".into()));
+        assert_eq!(
+            parse_model_stem("deep@2024.1").unwrap(),
+            ("deep".into(), "2024.1".into())
+        );
+        assert!(parse_model_stem("@3").is_err());
+        assert!(parse_model_stem("a@").is_err());
+        assert!(parse_model_stem("a@b@c").is_err());
+    }
+
+    #[test]
+    fn version_ordering_is_numeric_then_lexicographic() {
+        assert!(version_newer("10", "9"));
+        assert!(!version_newer("9", "10"));
+        assert!(version_newer("2024.2", "2024.1"));
+        assert!(!version_newer("3", "3"));
+    }
+
+    #[test]
+    fn resolve_exact_and_latest() {
+        let mut registry = ModelRegistry::new();
+        let options = RuntimeOptions::default();
+        registry
+            .insert_flow("xor", "1", tiny_flow(1), options)
+            .unwrap();
+        registry
+            .insert_flow("xor", "10", tiny_flow(2), options)
+            .unwrap();
+        registry
+            .insert_flow("xor", "9", tiny_flow(3), options)
+            .unwrap();
+        registry
+            .insert_flow("and", "2", tiny_flow(4), options)
+            .unwrap();
+        assert_eq!(registry.resolve("xor@9").unwrap().version, "9");
+        // Bare name → numerically-latest version, not lexicographic max.
+        assert_eq!(registry.resolve("xor").unwrap().version, "10");
+        assert_eq!(registry.resolve("and").unwrap().id(), "and@2");
+        assert!(registry.resolve("xor@7").is_none());
+        assert!(registry.resolve("nope").is_none());
+        assert_eq!(registry.entries().len(), 4);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut registry = ModelRegistry::new();
+        let options = RuntimeOptions::default();
+        registry
+            .insert_flow("m", "1", tiny_flow(1), options)
+            .unwrap();
+        let err = registry
+            .insert_flow("m", "1", tiny_flow(2), options)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DuplicateModel { .. }));
+    }
+
+    #[test]
+    fn infer_matches_direct_runtime_and_counts_outcomes() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .insert_flow("m", "1", tiny_flow(5), RuntimeOptions::default())
+            .unwrap();
+        let entry = registry.resolve("m").unwrap();
+        let bits: Vec<bool> = (0..entry.num_inputs).map(|i| i % 3 == 0).collect();
+        let out = match entry.infer(&bits) {
+            InferOutcome::Ok(bits) => bits,
+            other => panic!("unexpected outcome: {other:?}"),
+        };
+        assert_eq!(out.len(), entry.num_outputs);
+        // Wrong arity is a BadArity, and is counted separately.
+        assert!(matches!(entry.infer(&[true]), InferOutcome::BadArity(_)));
+        let (ok, shed, bad, failed) = entry.metrics.snapshot();
+        assert_eq!((ok, shed, bad, failed), (1, 0, 1, 0));
+        registry.drain_all();
+    }
+
+    #[test]
+    fn load_dir_discovers_both_artifact_kinds() {
+        let dir = std::env::temp_dir().join(format!("lbnn-serve-registry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        tiny_flow(7).save(dir.join("alpha@2.lbnn")).unwrap();
+        tiny_flow(8).save(dir.join("beta.lbnn")).unwrap();
+        std::fs::write(dir.join("README.txt"), "not an artifact").unwrap();
+        let registry = ModelRegistry::load_dir(&dir, &RuntimeOptions::default()).unwrap();
+        assert_eq!(registry.entries().len(), 2);
+        assert_eq!(registry.resolve("alpha").unwrap().id(), "alpha@2");
+        assert_eq!(registry.resolve("beta").unwrap().version, "1");
+        // A corrupt artifact fails the whole load with its path named.
+        std::fs::write(dir.join("bad@1.lbnn"), b"garbage").unwrap();
+        let err = ModelRegistry::load_dir(&dir, &RuntimeOptions::default()).unwrap_err();
+        assert!(matches!(err, ServeError::Artifact { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("lbnn-serve-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = ModelRegistry::load_dir(&dir, &RuntimeOptions::default()).unwrap_err();
+        assert!(matches!(err, ServeError::EmptyRegistry { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -65,6 +65,7 @@
 //! | [`core`] | `lbnn-core` | compiler, cycle-accurate LPU, serving layer |
 //! | [`models`] | `lbnn-models` | model zoo, datasets, workload construction |
 //! | [`baselines`] | `lbnn-baselines` | analytic MAC/XNOR/LogicNets baselines |
+//! | [`serve`] | `lbnn-serve` | network serving: HTTP + binary protocol, registry, load shedding |
 //! | [`bench`](mod@bench) | `lbnn-bench` | table/figure reproduction harness |
 
 pub use lbnn_baselines as baselines;
@@ -74,6 +75,7 @@ pub use lbnn_logic_synth as logic_synth;
 pub use lbnn_models as models;
 pub use lbnn_netlist as netlist;
 pub use lbnn_nullanet as nullanet;
+pub use lbnn_serve as serve;
 pub use lbnn_switch as switch;
 
 pub use lbnn_core::{

@@ -1,0 +1,460 @@
+//! Protocol-level integration tests for the `lbnn-serve` front-end: a
+//! real server on an ephemeral port, real sockets, both protocols.
+//!
+//! Covers the contract the network layer must keep:
+//! * malformed HTTP and oversized bodies get precise 4xx answers,
+//! * wrong input arity and unknown models are per-request failures
+//!   (400/404, or `BAD_REQUEST`/`NOT_FOUND` frames), never hangs,
+//! * concurrent clients on both protocols receive responses
+//!   bit-identical to the scalar netlist oracle,
+//! * a saturated model sheds 429s while its neighbour keeps serving,
+//! * graceful shutdown answers every accepted request.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use lbnn::netlist::random::RandomDag;
+use lbnn::netlist::Netlist;
+use lbnn::serve::registry::ModelRegistry;
+use lbnn::serve::server::{ServeReport, Server, ServerHandle, ServerOptions};
+use lbnn::serve::wire::{self, InferRequest, Status};
+use lbnn::serve::WireLimits;
+use lbnn::{Flow, LpuConfig, RuntimeOptions};
+
+/// Compile a small strict DAG; returns the flow plus its oracle netlist.
+fn compiled(seed: u64) -> (Flow, Netlist) {
+    let netlist = RandomDag::strict(14, 4, 10).outputs(3).generate(seed);
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(8, 4))
+        .compile()
+        .expect("compile test flow");
+    (flow, netlist)
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: std::thread::JoinHandle<ServeReport>,
+}
+
+impl TestServer {
+    fn start(registry: ModelRegistry, options: ServerOptions) -> TestServer {
+        let server = Server::bind("127.0.0.1:0", registry, options).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve().expect("serve"));
+        TestServer { addr, handle, join }
+    }
+
+    fn stop(self) -> ServeReport {
+        self.handle.shutdown();
+        self.join.join().expect("server thread")
+    }
+}
+
+/// One-shot raw exchange: send `payload`, read until the peer closes.
+fn raw_roundtrip(addr: SocketAddr, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(payload).expect("send");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("recv");
+    out
+}
+
+fn http_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    raw_roundtrip(
+        addr,
+        format!(
+            "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn bits_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+#[test]
+fn malformed_http_gets_400_and_client_errors_get_4xx() {
+    let (flow, _) = compiled(1);
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert_flow("m", "1", flow, RuntimeOptions::default())
+        .unwrap();
+    let server = TestServer::start(registry, ServerOptions::default());
+
+    // Garbage request line.
+    assert!(raw_roundtrip(server.addr, b"NOT HTTP AT ALL\r\n\r\n").starts_with("HTTP/1.1 400"));
+    // Unsupported HTTP version.
+    assert!(raw_roundtrip(server.addr, b"GET / HTTP/2.0\r\n\r\n").starts_with("HTTP/1.1 505"));
+    // Chunked encoding is not supported.
+    assert!(raw_roundtrip(
+        server.addr,
+        b"POST /v1/models/m/infer HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    )
+    .starts_with("HTTP/1.1 501"));
+    // Unknown path and unknown model.
+    assert!(http_request(server.addr, "GET", "/nope", "").starts_with("HTTP/1.1 404"));
+    assert!(
+        http_request(server.addr, "POST", "/v1/models/ghost/infer", "01")
+            .starts_with("HTTP/1.1 404")
+    );
+    // Wrong method on a model route.
+    assert!(http_request(server.addr, "DELETE", "/v1/models/m", "").starts_with("HTTP/1.1 405"));
+    // Wrong arity: model takes more than 1 bit.
+    assert!(
+        http_request(server.addr, "POST", "/v1/models/m/infer", "1").starts_with("HTTP/1.1 400")
+    );
+    // Non-bit characters in the body.
+    assert!(
+        http_request(server.addr, "POST", "/v1/models/m/infer", "01x1").starts_with("HTTP/1.1 400")
+    );
+
+    let report = server.stop();
+    assert!(report.protocol_errors >= 3, "report: {report}");
+    // Arity and body failures are per-model bad_request, not protocol errors.
+    assert_eq!(report.models[0].bad_request, 2);
+    assert_eq!(report.models[0].ok, 0);
+}
+
+#[test]
+fn oversized_bodies_and_heads_are_rejected() {
+    let (flow, _) = compiled(2);
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert_flow("m", "1", flow, RuntimeOptions::default())
+        .unwrap();
+    let options = ServerOptions {
+        limits: WireLimits {
+            max_head_bytes: 512,
+            max_body_bytes: 64,
+        },
+        ..ServerOptions::default()
+    };
+    let server = TestServer::start(registry, options);
+
+    let big_body = "0".repeat(65);
+    assert!(
+        http_request(server.addr, "POST", "/v1/models/m/infer", &big_body)
+            .starts_with("HTTP/1.1 413")
+    );
+    let long_path = format!("/{}", "x".repeat(600));
+    assert!(http_request(server.addr, "GET", &long_path, "").starts_with("HTTP/1.1 431"));
+
+    let report = server.stop();
+    assert_eq!(report.protocol_errors, 2);
+}
+
+#[test]
+fn binary_protocol_round_trips_and_rejects_bad_frames() {
+    let (flow, netlist) = compiled(3);
+    let num_inputs = flow.program.num_inputs;
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert_flow("m", "1", flow, RuntimeOptions::default())
+        .unwrap();
+    let server = TestServer::start(registry, ServerOptions::default());
+
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream.write_all(&wire::MAGIC).unwrap();
+    let mut buf = Vec::new();
+
+    let mut exchange = |payload: &[u8]| -> Vec<u8> {
+        wire::write_frame(&mut stream, payload).unwrap();
+        loop {
+            match wire::read_frame(&mut stream, &mut buf) {
+                wire::FrameOutcome::Ready(p) => return p,
+                wire::FrameOutcome::NeedMore => continue,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    };
+
+    // OK round trip, checked against the oracle.
+    let bits: Vec<bool> = (0..num_inputs).map(|i| i % 2 == 1).collect();
+    let resp = wire::decode_response(&exchange(&wire::encode_request(&InferRequest {
+        model: "m@1".into(),
+        bits: bits.clone(),
+    })))
+    .unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.bits, netlist.eval_bools(&bits));
+
+    // Unknown model.
+    let resp = wire::decode_response(&exchange(&wire::encode_request(&InferRequest {
+        model: "ghost".into(),
+        bits: bits.clone(),
+    })))
+    .unwrap();
+    assert_eq!(resp.status, Status::NotFound);
+
+    // Wrong arity.
+    let resp = wire::decode_response(&exchange(&wire::encode_request(&InferRequest {
+        model: "m".into(),
+        bits: vec![true],
+    })))
+    .unwrap();
+    assert_eq!(resp.status, Status::BadRequest);
+
+    // A syntactically broken frame payload (too short for its header).
+    let resp = wire::decode_response(&exchange(&[0xff])).unwrap();
+    assert_eq!(resp.status, Status::BadRequest);
+    drop(stream);
+
+    let report = server.stop();
+    assert_eq!(report.binary_connections, 1);
+    assert_eq!(report.binary_requests, 4);
+    assert_eq!(report.models[0].ok, 1);
+}
+
+#[test]
+fn http_keep_alive_serves_pipelined_requests_on_one_connection() {
+    let (flow, netlist) = compiled(4);
+    let num_inputs = flow.program.num_inputs;
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert_flow("m", "1", flow, RuntimeOptions::default())
+        .unwrap();
+    let server = TestServer::start(registry, ServerOptions::default());
+
+    let inputs: Vec<Vec<bool>> = (0..4)
+        .map(|r| (0..num_inputs).map(|i| (i + r) % 3 == 0).collect())
+        .collect();
+    let mut payload = String::new();
+    for (i, bits) in inputs.iter().enumerate() {
+        let body = bits_string(bits);
+        let connection = if i + 1 == inputs.len() {
+            "close"
+        } else {
+            "keep-alive"
+        };
+        payload.push_str(&format!(
+            "POST /v1/models/m/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+            body.len()
+        ));
+    }
+    let response = raw_roundtrip(server.addr, payload.as_bytes());
+    let bodies: Vec<&str> = response
+        .split("\r\n\r\n")
+        .skip(1)
+        .map(|chunk| chunk.lines().next().unwrap_or(""))
+        .collect();
+    assert_eq!(bodies.len(), inputs.len());
+    for (bits, body) in inputs.iter().zip(&bodies) {
+        assert_eq!(
+            *body,
+            bits_string(&netlist.eval_bools(bits)),
+            "for {bits:?}"
+        );
+    }
+
+    let report = server.stop();
+    assert_eq!(report.http_connections, 1);
+    assert_eq!(report.http_requests, 4);
+}
+
+#[test]
+fn concurrent_clients_match_the_scalar_oracle_bit_for_bit() {
+    let (flow, netlist) = compiled(5);
+    let num_inputs = flow.program.num_inputs;
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert_flow("m", "1", flow, RuntimeOptions::default())
+        .unwrap();
+    let server = TestServer::start(registry, ServerOptions::default());
+    let addr = server.addr;
+
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 16;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let netlist = netlist.clone();
+            std::thread::spawn(move || {
+                for r in 0..PER_CLIENT {
+                    let bits: Vec<bool> = (0..num_inputs)
+                        .map(|i| (i * 31 + r * 7 + c) % 5 < 2)
+                        .collect();
+                    let expected = bits_string(&netlist.eval_bools(&bits));
+                    if c % 2 == 0 {
+                        // HTTP client.
+                        let response =
+                            http_request(addr, "POST", "/v1/models/m/infer", &bits_string(&bits));
+                        assert!(response.starts_with("HTTP/1.1 200"), "got: {response}");
+                        let body = response.split("\r\n\r\n").nth(1).unwrap_or("").trim();
+                        assert_eq!(body, expected, "client {c} request {r}");
+                    } else {
+                        // Binary client, persistent connection per thread.
+                        let mut stream = TcpStream::connect(addr).unwrap();
+                        stream.write_all(&wire::MAGIC).unwrap();
+                        let mut buf = Vec::new();
+                        wire::write_frame(
+                            &mut stream,
+                            &wire::encode_request(&InferRequest {
+                                model: "m".into(),
+                                bits: bits.clone(),
+                            }),
+                        )
+                        .unwrap();
+                        let payload = loop {
+                            match wire::read_frame(&mut stream, &mut buf) {
+                                wire::FrameOutcome::Ready(p) => break p,
+                                wire::FrameOutcome::NeedMore => continue,
+                                other => panic!("unexpected: {other:?}"),
+                            }
+                        };
+                        let resp = wire::decode_response(&payload).unwrap();
+                        assert_eq!(resp.status, Status::Ok);
+                        assert_eq!(bits_string(&resp.bits), expected, "client {c} request {r}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    let report = server.stop();
+    assert_eq!(report.models[0].ok as usize, CLIENTS * PER_CLIENT);
+    assert_eq!(report.models[0].failed, 0);
+    assert_eq!(report.models[0].bad_request, 0);
+}
+
+#[test]
+fn saturated_model_sheds_while_its_neighbour_keeps_serving() {
+    let (flow_a, _) = compiled(6);
+    let (flow_b, netlist_b) = compiled(7);
+    let inputs_a = flow_a.program.num_inputs;
+    let inputs_b = flow_b.program.num_inputs;
+    let mut registry = ModelRegistry::new();
+    // Model A: tiny admission limit and a deadline far beyond the test's
+    // lifetime, so accepted requests sit in the micro-batcher and every
+    // further request must shed. Model B: ordinary options.
+    registry
+        .insert_flow(
+            "a",
+            "1",
+            flow_a,
+            RuntimeOptions::default()
+                .admission_limit(2)
+                .max_batch(64)
+                .flush_after(Duration::from_secs(120)),
+        )
+        .unwrap();
+    registry
+        .insert_flow("b", "1", flow_b, RuntimeOptions::default())
+        .unwrap();
+    let server = TestServer::start(registry, ServerOptions::default());
+    let addr = server.addr;
+
+    // Two requests to A occupy its admission window; they won't resolve
+    // until the server drains (the deadline never fires on its own).
+    let blocked: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                http_request(addr, "POST", "/v1/models/a/infer", &"1".repeat(inputs_a))
+            })
+        })
+        .collect();
+    // Wait until both are admitted (in_flight visible via /metrics).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = http_request(addr, "GET", "/metrics", "");
+        if metrics.contains("lbnn_model_in_flight{model=\"a@1\"} 2") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "model a never reached in_flight=2:\n{metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A is saturated: immediate 429, no waiting.
+    let shed = http_request(addr, "POST", "/v1/models/a/infer", &"1".repeat(inputs_a));
+    assert!(shed.starts_with("HTTP/1.1 429"), "got: {shed}");
+    assert!(shed.contains("SHED"));
+
+    // B is unaffected and still answers correctly.
+    let bits_b: Vec<bool> = (0..inputs_b).map(|i| i % 2 == 0).collect();
+    let ok = http_request(addr, "POST", "/v1/models/b/infer", &bits_string(&bits_b));
+    assert!(ok.starts_with("HTTP/1.1 200"), "got: {ok}");
+    assert_eq!(
+        ok.split("\r\n\r\n").nth(1).unwrap_or("").trim(),
+        bits_string(&netlist_b.eval_bools(&bits_b))
+    );
+
+    // Drain: the blocked requests must now resolve with 200s — shedding
+    // never cancels admitted work.
+    let report = server.stop();
+    for b in blocked {
+        let response = b.join().expect("blocked client");
+        assert!(response.starts_with("HTTP/1.1 200"), "got: {response}");
+    }
+    let a = report.models.iter().find(|m| m.id == "a@1").unwrap();
+    let b = report.models.iter().find(|m| m.id == "b@1").unwrap();
+    assert_eq!(a.ok, 2);
+    assert_eq!(a.shed, 1);
+    assert_eq!(a.stats.shed, 1);
+    assert_eq!(b.ok, 1);
+    assert_eq!(b.shed, 0);
+}
+
+#[test]
+fn graceful_shutdown_answers_every_accepted_request() {
+    let (flow, netlist) = compiled(8);
+    let num_inputs = flow.program.num_inputs;
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert_flow("m", "1", flow, RuntimeOptions::default())
+        .unwrap();
+    let server = TestServer::start(registry, ServerOptions::default());
+
+    // Pipeline a burst of binary requests, then ask for shutdown while
+    // the connection is still open.
+    const BURST: usize = 40;
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream.write_all(&wire::MAGIC).unwrap();
+    let inputs: Vec<Vec<bool>> = (0..BURST)
+        .map(|r| (0..num_inputs).map(|i| (i * 13 + r) % 4 < 2).collect())
+        .collect();
+    for bits in &inputs {
+        wire::write_frame(
+            &mut stream,
+            &wire::encode_request(&InferRequest {
+                model: "m".into(),
+                bits: bits.clone(),
+            }),
+        )
+        .unwrap();
+    }
+    // Shutdown via the admin endpoint, concurrently with the burst.
+    let admin = http_request(server.addr, "POST", "/admin/shutdown", "");
+    assert!(admin.starts_with("HTTP/1.1 200"), "got: {admin}");
+
+    // Every pipelined request still gets its (correct) response.
+    let mut buf = Vec::new();
+    for bits in &inputs {
+        let payload = loop {
+            match wire::read_frame(&mut stream, &mut buf) {
+                wire::FrameOutcome::Ready(p) => break p,
+                wire::FrameOutcome::NeedMore => continue,
+                other => panic!("unexpected: {other:?}"),
+            }
+        };
+        let resp = wire::decode_response(&payload).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.bits, netlist.eval_bools(bits));
+    }
+    drop(stream);
+
+    let report = server.join.join().expect("server thread");
+    assert_eq!(report.models[0].ok as usize, BURST);
+    assert_eq!(report.models[0].failed, 0);
+    // Zero accepted requests lost: everything submitted resolved.
+    assert_eq!(report.models[0].stats.in_flight, 0);
+    assert_eq!(report.models[0].stats.requests as usize, BURST);
+}
