@@ -31,6 +31,12 @@
 //!   --emit-artifact [F] write the compiled flow as a serving artifact;
 //!                       without a value, the filename is derived from
 //!                       the input netlist stem (`foo.v` → `foo.lbnn`)
+//!   --emit-negate-patch <F>
+//!                       write a `.lbnnp` delta that negates every
+//!                       primary-output cell — the smallest patch whose
+//!                       effect is visible on every inference (each
+//!                       output bit flips), for hot-reconfiguration
+//!                       smoke tests against a running server
 //!   --encode            report the binary program image size
 //! ```
 //!
@@ -68,6 +74,7 @@ struct Args {
     diagram: bool,
     emit_verilog: Option<String>,
     emit_artifact: Option<String>,
+    emit_patch: Option<String>,
     from_artifact: Option<String>,
     encode: bool,
     /// Compile-only flags seen on the command line, for a loud warning
@@ -80,7 +87,8 @@ fn usage() -> ! {
         "usage: lbnnc <input.v> [--m N] [--n N] [--backend scalar|bitsliced64|bitsliced:<lanes>]\n\
          \u{20}             [--no-merge] [--no-opt] [--geq] [--verify SEED] [--diagram]\n\
          \u{20}             [--serve N] [--workers N]\n\
-         \u{20}             [--emit-verilog FILE] [--emit-artifact [FILE]] [--encode]\n\
+         \u{20}             [--emit-verilog FILE] [--emit-artifact [FILE]]\n\
+         \u{20}             [--emit-negate-patch FILE] [--encode]\n\
          \u{20}      lbnnc --from-artifact FILE [input.v] [--backend B] [--verify SEED]\n\
          \u{20}             [--serve N] [--workers N] [--encode]"
     );
@@ -102,6 +110,7 @@ fn parse_args() -> Args {
         diagram: false,
         emit_verilog: None,
         emit_artifact: None,
+        emit_patch: None,
         from_artifact: None,
         encode: false,
         compile_flags_seen: Vec::new(),
@@ -170,6 +179,7 @@ fn parse_args() -> Args {
                 Some(v) if !v.starts_with('-') => args.emit_artifact = it.next(),
                 _ => args.emit_artifact = Some(String::new()),
             },
+            "--emit-negate-patch" => args.emit_patch = Some(it.next().unwrap_or_else(|| usage())),
             "--from-artifact" => args.from_artifact = Some(it.next().unwrap_or_else(|| usage())),
             "--encode" => args.encode = true,
             "--help" | "-h" => usage(),
@@ -539,6 +549,36 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = args.emit_patch {
+        let outputs: std::collections::BTreeSet<_> =
+            flow.netlist.outputs().iter().map(|o| o.node).collect();
+        let patches: lbnn_netlist::PatchSet = outputs
+            .into_iter()
+            .filter_map(|id| Some((id, flow.netlist.node(id).op().negated()?)))
+            .collect();
+        if patches.is_empty() {
+            eprintln!("lbnnc: no negatable output cell — cannot emit a patch");
+            return ExitCode::FAILURE;
+        }
+        let delta = match flow.make_delta(&patches) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("lbnnc: cannot build patch delta: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, &delta) {
+            eprintln!("lbnnc: cannot write patch {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "negate-outputs patch written to {path} ({} bytes, {} cells) — apply with \
+             POST /admin/patch/<model> or a `.lbnnp` sidecar",
+            delta.len(),
+            patches.len()
+        );
     }
 
     ExitCode::SUCCESS

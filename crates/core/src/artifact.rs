@@ -8,10 +8,17 @@
 //! mapped netlist (binary image, [`lbnn_netlist::serdes`]), the
 //! [`LpuConfig`], the [`Backend`] choice (including the bit-slice width
 //! since format v2), the self-describing
-//! [`EncodedProgram`], the [`FlowStats`], and the per-pass
-//! [`CompileReport`]. A loaded flow builds an [`Engine`](crate::Engine)
-//! on either backend and serves bit-identically to the process that
-//! compiled it.
+//! [`EncodedProgram`], the [`FlowStats`], the per-pass
+//! [`CompileReport`], and (since format v3) the instruction→cell id
+//! table that lets patch deltas address a loaded program's cells. A
+//! loaded flow builds an [`Engine`](crate::Engine) on either backend
+//! and serves bit-identically to the process that compiled it.
+//!
+//! Artifacts also support **deltas**: a [`PatchDelta`] (`.lbnnp`) is a
+//! checksummed list of per-cell function replacements bound to the
+//! exact base artifact it was made against — see
+//! [`Flow::apply_delta`] / [`CompiledModel::apply_delta`] and the hot
+//! reconfiguration section of `docs/ARCHITECTURE.md`.
 //!
 //! ## Container layout
 //!
@@ -45,7 +52,7 @@
 use std::path::Path;
 
 use lbnn_netlist::serdes::{read_netlist, write_netlist, ByteReader, ByteWriter};
-use lbnn_netlist::{Levels, NetlistError};
+use lbnn_netlist::{Levels, Netlist, NetlistError, NodeId, Op, PatchSet};
 
 use crate::compiler::isa::{decode_program, encode_program, EncodedProgram, InstrFormat};
 use crate::compiler::pipeline::{CompileReport, PassReport};
@@ -58,10 +65,17 @@ use crate::model::{CompiledLayer, CompiledModel};
 
 /// Artifact file magic.
 const MAGIC: [u8; 8] = *b"LBNNARTF";
+/// Patch-delta (`.lbnnp`) file magic.
+const PATCH_MAGIC: [u8; 8] = *b"LBNNPTCH";
+/// Current patch-delta format version.
+pub const PATCH_VERSION: u32 = 1;
 /// Current container format version. Version 2 added the bit-slice
-/// width (`words`) to the backend record; version-1 images are rejected
-/// with [`ArtifactError::UnsupportedVersion`].
-pub const ARTIFACT_VERSION: u32 = 2;
+/// width (`words`) to the backend record; version 3 added the
+/// instruction→cell id table that binds each program instruction to its
+/// mapped-netlist node, which is what lets patch deltas (`.lbnnp`)
+/// address cells of a *loaded* artifact. Older images are rejected with
+/// [`ArtifactError::UnsupportedVersion`].
+pub const ARTIFACT_VERSION: u32 = 3;
 /// Container kind: a single compiled flow.
 const KIND_FLOW: u8 = 1;
 /// Container kind: a whole compiled model (one flow per layer).
@@ -451,6 +465,58 @@ fn read_encoded_program(r: &mut ByteReader<'_>) -> Result<EncodedProgram, CoreEr
 // Flow payload
 // ---------------------------------------------------------------------------
 
+/// Instruction→cell id table (format v3): one u32 per LPE lane of every
+/// occupied queue slot, in queue order — the mapped-netlist node each
+/// instruction computes, or `u32::MAX` for an empty lane. The hardware
+/// bitstream ([`encode_program`]) stays free of node annotations; this
+/// container-level table is what re-binds a loaded program's
+/// instructions to stable cell ids so patch deltas can address them.
+fn write_node_table(w: &mut ByteWriter, program: &crate::compiler::program::LpuProgram) {
+    for queue in &program.queues {
+        for slot in queue.iter().flatten() {
+            for lpe in &slot.lpes {
+                w.put_u32(lpe.as_ref().map_or(u32::MAX, |i| i.node.index() as u32));
+            }
+        }
+    }
+}
+
+/// Rehydrates the `node` field of every decoded instruction from the
+/// v3 node table; see [`write_node_table`].
+fn read_node_table(
+    r: &mut ByteReader<'_>,
+    program: &mut crate::compiler::program::LpuProgram,
+    netlist: &Netlist,
+) -> Result<(), CoreError> {
+    for queue in &mut program.queues {
+        for slot in queue.iter_mut().flatten() {
+            for lpe in slot.lpes.iter_mut() {
+                let id = rd(r.get_u32())?;
+                match lpe {
+                    Some(instr) => {
+                        if id as usize >= netlist.len() {
+                            return Err(malformed(format!(
+                                "node table binds an instruction to cell {id}, but the mapped \
+                                 netlist has {} nodes",
+                                netlist.len()
+                            )));
+                        }
+                        instr.node = NodeId::new(id);
+                    }
+                    None => {
+                        if id != u32::MAX {
+                            return Err(malformed(
+                                "node table annotates an empty LPE lane".to_string(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn encode_flow_payload(flow: &Flow) -> Result<Vec<u8>, CoreError> {
     let mut w = ByteWriter::new();
     write_netlist(&flow.netlist, &mut w);
@@ -459,6 +525,7 @@ fn encode_flow_payload(flow: &Flow) -> Result<Vec<u8>, CoreError> {
     write_stats(&mut w, &flow.stats);
     write_report(&mut w, &flow.report);
     write_encoded_program(&mut w, &encode_program(&flow.program)?);
+    write_node_table(&mut w, &flow.program);
     Ok(w.into_bytes())
 }
 
@@ -470,12 +537,6 @@ fn decode_flow_payload(payload: &[u8]) -> Result<Flow, CoreError> {
     let stats = read_stats(&mut r)?;
     let report = read_report(&mut r)?;
     let encoded = read_encoded_program(&mut r)?;
-    if !r.is_empty() {
-        return Err(malformed(format!(
-            "{} trailing bytes after flow payload",
-            r.remaining()
-        )));
-    }
     if encoded.format.m != config.m || encoded.n != config.n {
         return Err(malformed(format!(
             "program was encoded for m={}, n={} but the config says m={}, n={}",
@@ -504,7 +565,14 @@ fn decode_flow_payload(payload: &[u8]) -> Result<Flow, CoreError> {
             stats.depth
         )));
     }
-    let program = decode_program(&encoded)?;
+    let mut program = decode_program(&encoded)?;
+    read_node_table(&mut r, &mut program, &netlist)?;
+    if !r.is_empty() {
+        return Err(malformed(format!(
+            "{} trailing bytes after flow payload",
+            r.remaining()
+        )));
+    }
     Ok(Flow {
         source: netlist.clone(),
         netlist,
@@ -675,6 +743,329 @@ impl CompiledModel {
             })
         })?;
         CompiledModel::from_artifact_bytes(&bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Patch deltas (`.lbnnp`)
+// ---------------------------------------------------------------------------
+
+/// One cell replacement inside a [`PatchDelta`]: layer `layer` (always
+/// 0 for flow artifacts), mapped-netlist node `node`, new function
+/// `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchRecord {
+    /// Layer index the cell lives in (0 for single-flow artifacts).
+    pub layer: u32,
+    /// Stable cell id: the node's index in the layer's mapped netlist.
+    pub node: NodeId,
+    /// The replacement logic function.
+    pub op: Op,
+}
+
+/// A versioned artifact **delta**: the wire form of a
+/// [`PatchSet`], bound to the exact base artifact it was made against.
+///
+/// ## Wire layout (`.lbnnp`)
+///
+/// ```text
+/// ┌────────────┬─────────┬───────────────┬───────┬─────────────────┬──────────┐
+/// │ magic      │ version │ base checksum │ count │ records         │ checksum │
+/// │ "LBNNPTCH" │ u32     │ u64           │ u32   │ (u32,u32,u8)×N  │ u64 FNV  │
+/// └────────────┴─────────┴───────────────┴───────┴─────────────────┴──────────┘
+/// ```
+///
+/// Each record is `(layer, node, op code)`. The base checksum is the
+/// FNV-1a trailer of the base `.lbnn` artifact image
+/// ([`Flow::artifact_checksum`]); applying a delta to any other
+/// artifact fails with [`ArtifactError::BaseMismatch`] instead of
+/// silently rewriting the wrong cells. The trailing checksum covers
+/// everything before it, so corruption surfaces as typed errors —
+/// never a panic, never a misapplied patch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchDelta {
+    /// FNV-1a checksum of the base artifact image this delta patches.
+    pub base_checksum: u64,
+    /// The cell replacements, in (layer, node) order.
+    pub records: Vec<PatchRecord>,
+}
+
+impl PatchDelta {
+    /// Serializes this delta into `.lbnnp` wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&PATCH_MAGIC);
+        w.put_u32(PATCH_VERSION);
+        w.put_u64(self.base_checksum);
+        w.put_u32(self.records.len() as u32);
+        for r in &self.records {
+            w.put_u32(r.layer);
+            w.put_u32(r.node.index() as u32);
+            w.put_u8(r.op.code());
+        }
+        let mut out = w.into_bytes();
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses `.lbnnp` wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// The most specific typed [`ArtifactError`]: wrong magic →
+    /// [`BadMagic`](ArtifactError::BadMagic), unknown version →
+    /// [`UnsupportedVersion`](ArtifactError::UnsupportedVersion), short
+    /// image → [`Truncated`](ArtifactError::Truncated), flipped bytes →
+    /// [`ChecksumMismatch`](ArtifactError::ChecksumMismatch), bad op
+    /// code or trailing garbage →
+    /// [`Malformed`](ArtifactError::Malformed). Never panics on
+    /// untrusted bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PatchDelta, CoreError> {
+        const HEADER: usize = 8 + 4 + 8 + 4;
+        const RECORD: usize = 4 + 4 + 1;
+        if bytes.len() >= 8 && bytes[..8] != PATCH_MAGIC {
+            return Err(CoreError::Artifact(ArtifactError::BadMagic));
+        }
+        if bytes.len() < HEADER + 8 {
+            return Err(CoreError::Artifact(ArtifactError::Truncated {
+                expected: HEADER + 8,
+                got: bytes.len(),
+            }));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != PATCH_VERSION {
+            return Err(CoreError::Artifact(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: PATCH_VERSION,
+            }));
+        }
+        let base_checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes")) as usize;
+        let expected = count
+            .checked_mul(RECORD)
+            .and_then(|n| n.checked_add(HEADER + 8))
+            .ok_or_else(|| malformed("patch record count overflows"))?;
+        if bytes.len() < expected {
+            return Err(CoreError::Artifact(ArtifactError::Truncated {
+                expected,
+                got: bytes.len(),
+            }));
+        }
+        if bytes.len() > expected {
+            return Err(malformed(format!(
+                "{} trailing bytes after patch delta",
+                bytes.len() - expected
+            )));
+        }
+        let stored = u64::from_le_bytes(bytes[expected - 8..].try_into().expect("8 bytes"));
+        let computed = fnv1a64(&bytes[..expected - 8]);
+        if stored != computed {
+            return Err(CoreError::Artifact(ArtifactError::ChecksumMismatch {
+                stored,
+                computed,
+            }));
+        }
+        let mut records = Vec::with_capacity(count);
+        let mut at = HEADER;
+        for _ in 0..count {
+            let layer = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            let node = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+            let code = bytes[at + 8];
+            let op = Op::from_code(code)
+                .ok_or_else(|| malformed(format!("unknown op code {code} in patch record")))?;
+            records.push(PatchRecord {
+                layer,
+                node: NodeId::new(node),
+                op,
+            });
+            at += RECORD;
+        }
+        Ok(PatchDelta {
+            base_checksum,
+            records,
+        })
+    }
+}
+
+/// The stored FNV-1a trailer of a serialized artifact image — the value
+/// patch deltas bind to.
+fn image_checksum(image: &[u8]) -> u64 {
+    debug_assert!(image.len() >= 8, "artifact images always carry a trailer");
+    u64::from_le_bytes(image[image.len() - 8..].try_into().expect("8 bytes"))
+}
+
+/// Converts the per-layer patch sets a delta describes into validated
+/// [`PatchSet`]s, mapping validation failures onto
+/// [`ArtifactError::UnknownCell`] / [`ArtifactError::Malformed`].
+fn patch_sets_by_layer(
+    records: &[PatchRecord],
+    layers: &[&Netlist],
+) -> Result<Vec<PatchSet>, CoreError> {
+    let mut sets: Vec<PatchSet> = vec![PatchSet::new(); layers.len()];
+    for r in records {
+        let layer = r.layer as usize;
+        if layer >= layers.len() {
+            return Err(CoreError::Artifact(ArtifactError::UnknownCell {
+                layer: r.layer,
+                node: r.node.index() as u32,
+            }));
+        }
+        sets[layer].set(r.node, r.op);
+    }
+    for (layer, (set, netlist)) in sets.iter().zip(layers).enumerate() {
+        set.validate(netlist).map_err(|e| match e {
+            NetlistError::InvalidNode { id } | NetlistError::BadPatch { id, .. } => {
+                CoreError::Artifact(ArtifactError::UnknownCell {
+                    layer: layer as u32,
+                    node: id.index() as u32,
+                })
+            }
+            other => malformed(other.to_string()),
+        })?;
+    }
+    Ok(sets)
+}
+
+impl Flow {
+    /// The FNV-1a checksum of this flow's serialized artifact image —
+    /// the identity patch deltas bind to. Stable across
+    /// save/load round trips.
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::to_artifact_bytes`].
+    pub fn artifact_checksum(&self) -> Result<u64, CoreError> {
+        Ok(image_checksum(&self.to_artifact_bytes()?))
+    }
+
+    /// Serializes `patches` as a `.lbnnp` delta bound to this flow's
+    /// artifact checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Netlist`] if the patch set is invalid for this
+    /// flow's mapped netlist, plus anything
+    /// [`Flow::artifact_checksum`] reports.
+    pub fn make_delta(&self, patches: &PatchSet) -> Result<Vec<u8>, CoreError> {
+        patches.validate(&self.netlist)?;
+        let delta = PatchDelta {
+            base_checksum: self.artifact_checksum()?,
+            records: patches
+                .iter()
+                .map(|(node, op)| PatchRecord { layer: 0, node, op })
+                .collect(),
+        };
+        Ok(delta.to_bytes())
+    }
+
+    /// Applies a `.lbnnp` delta to this flow, returning the patched
+    /// flow ([`Flow::apply_patches`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PatchDelta::from_bytes`] reports, plus
+    /// [`ArtifactError::BaseMismatch`] when the delta was made against
+    /// a different artifact and [`ArtifactError::UnknownCell`] when it
+    /// names a cell this flow does not have.
+    pub fn apply_delta(&self, bytes: &[u8]) -> Result<Flow, CoreError> {
+        let delta = PatchDelta::from_bytes(bytes)?;
+        let found = self.artifact_checksum()?;
+        if delta.base_checksum != found {
+            return Err(CoreError::Artifact(ArtifactError::BaseMismatch {
+                expected: delta.base_checksum,
+                found,
+            }));
+        }
+        let sets = patch_sets_by_layer(&delta.records, &[&self.netlist])?;
+        self.apply_patches(&sets[0])
+    }
+}
+
+impl CompiledModel {
+    /// The FNV-1a checksum of this model's serialized artifact image —
+    /// the identity patch deltas bind to.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledModel::to_artifact_bytes`].
+    pub fn artifact_checksum(&self) -> Result<u64, CoreError> {
+        Ok(image_checksum(&self.to_artifact_bytes()?))
+    }
+
+    /// Serializes per-layer patch sets as one `.lbnnp` delta bound to
+    /// this model's artifact checksum. `patches` pairs each layer index
+    /// with the patch set for that layer's mapped netlist.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::UnknownCell`] for a layer index this model does
+    /// not have, [`CoreError::Netlist`] for patch sets invalid against
+    /// their layer, plus anything [`CompiledModel::artifact_checksum`]
+    /// reports.
+    pub fn make_delta(&self, patches: &[(usize, PatchSet)]) -> Result<Vec<u8>, CoreError> {
+        let mut records = Vec::new();
+        for (layer, set) in patches {
+            let Some(compiled) = self.layers().get(*layer) else {
+                return Err(CoreError::Artifact(ArtifactError::UnknownCell {
+                    layer: *layer as u32,
+                    node: set.iter().next().map_or(0, |(id, _)| id.index() as u32),
+                }));
+            };
+            set.validate(&compiled.flow().netlist)?;
+            records.extend(set.iter().map(|(node, op)| PatchRecord {
+                layer: *layer as u32,
+                node,
+                op,
+            }));
+        }
+        let delta = PatchDelta {
+            base_checksum: self.artifact_checksum()?,
+            records,
+        };
+        Ok(delta.to_bytes())
+    }
+
+    /// Applies a `.lbnnp` delta to this model, returning the patched
+    /// model (each touched layer re-wrapped around its patched flow;
+    /// engines rebuild lazily on first use).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PatchDelta::from_bytes`] reports, plus
+    /// [`ArtifactError::BaseMismatch`] when the delta was made against
+    /// a different artifact and [`ArtifactError::UnknownCell`] when it
+    /// names a layer or cell this model does not have.
+    pub fn apply_delta(&self, bytes: &[u8]) -> Result<CompiledModel, CoreError> {
+        let delta = PatchDelta::from_bytes(bytes)?;
+        let found = self.artifact_checksum()?;
+        if delta.base_checksum != found {
+            return Err(CoreError::Artifact(ArtifactError::BaseMismatch {
+                expected: delta.base_checksum,
+                found,
+            }));
+        }
+        let netlists: Vec<&Netlist> = self.layers().iter().map(|l| &l.flow().netlist).collect();
+        let sets = patch_sets_by_layer(&delta.records, &netlists)?;
+        let mut layers = Vec::with_capacity(self.layers().len());
+        for (layer, set) in self.layers().iter().zip(&sets) {
+            let flow = if set.is_empty() {
+                layer.flow().clone()
+            } else {
+                layer.flow().apply_patches(set)?
+            };
+            layers.push(CompiledLayer::from_loaded(
+                layer.name().to_string(),
+                layer.blocks(),
+                layer.sites(),
+                flow,
+            ));
+        }
+        Ok(CompiledModel::from_parts(
+            self.name().to_string(),
+            *self.config(),
+            layers,
+        ))
     }
 }
 
@@ -878,5 +1269,158 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = Flow::load("/nonexistent/lbnn/artifact.bin").unwrap_err();
         assert!(matches!(err, CoreError::Artifact(ArtifactError::Io { .. })));
+    }
+
+    /// Picks `n` two-input gates of the mapped netlist and flips each to
+    /// its negated form.
+    fn negating_patches(flow: &Flow, n: usize) -> PatchSet {
+        let mut patches = PatchSet::new();
+        for (id, node) in flow.netlist.iter() {
+            if node.op().is_gate2() && patches.len() < n {
+                patches.set(id, node.op().negated().unwrap());
+            }
+        }
+        assert_eq!(patches.len(), n);
+        patches
+    }
+
+    #[test]
+    fn patch_delta_wire_round_trip() {
+        let delta = PatchDelta {
+            base_checksum: 0xDEAD_BEEF_CAFE_F00D,
+            records: vec![
+                PatchRecord {
+                    layer: 0,
+                    node: lbnn_netlist::NodeId::new(7),
+                    op: Op::Nand,
+                },
+                PatchRecord {
+                    layer: 3,
+                    node: lbnn_netlist::NodeId::new(11),
+                    op: Op::Not,
+                },
+            ],
+        };
+        let bytes = delta.to_bytes();
+        assert_eq!(&bytes[..8], b"LBNNPTCH");
+        assert_eq!(PatchDelta::from_bytes(&bytes).unwrap(), delta);
+        // An empty delta round-trips too.
+        let empty = PatchDelta {
+            base_checksum: 1,
+            records: vec![],
+        };
+        assert_eq!(PatchDelta::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn flow_delta_applies_and_matches_direct_patching() {
+        let flow = compile(12, Backend::BitSliced64);
+        let patches = negating_patches(&flow, 3);
+        let bytes = flow.make_delta(&patches).unwrap();
+        let via_delta = flow.apply_delta(&bytes).unwrap();
+        let direct = flow.apply_patches(&patches).unwrap();
+        assert_eq!(via_delta.netlist, direct.netlist);
+        let b = batch(flow.program.num_inputs, 100, 41);
+        assert_eq!(
+            via_delta.engine().unwrap().run_batch(&b).unwrap().outputs,
+            direct.engine().unwrap().run_batch(&b).unwrap().outputs,
+        );
+        // The patched flow still passes end-to-end verification.
+        via_delta.verify_against_netlist(8).unwrap();
+    }
+
+    #[test]
+    fn delta_binds_to_its_base_artifact() {
+        let flow = compile(13, Backend::Scalar);
+        let other = compile(14, Backend::Scalar);
+        let patches = negating_patches(&flow, 2);
+        let bytes = flow.make_delta(&patches).unwrap();
+        assert!(matches!(
+            other.apply_delta(&bytes),
+            Err(CoreError::Artifact(ArtifactError::BaseMismatch { .. }))
+        ));
+        // Checksums are stable across a save/load round trip, so the
+        // delta still applies to the reloaded flow.
+        let reloaded = Flow::from_artifact_bytes(&flow.to_artifact_bytes().unwrap()).unwrap();
+        assert_eq!(
+            reloaded.artifact_checksum().unwrap(),
+            flow.artifact_checksum().unwrap()
+        );
+        reloaded.apply_delta(&bytes).unwrap();
+    }
+
+    #[test]
+    fn delta_corruption_is_typed_and_unknown_cells_are_rejected() {
+        let flow = compile(15, Backend::Scalar);
+        let patches = negating_patches(&flow, 2);
+        let bytes = flow.make_delta(&patches).unwrap();
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            flow.apply_delta(&bad),
+            Err(CoreError::Artifact(ArtifactError::BadMagic))
+        ));
+        for cut in [0, 7, 12, bytes.len() - 1] {
+            assert!(matches!(
+                flow.apply_delta(&bytes[..cut]),
+                Err(CoreError::Artifact(ArtifactError::Truncated { .. }))
+            ));
+        }
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            flow.apply_delta(&bad),
+            Err(CoreError::Artifact(ArtifactError::UnsupportedVersion {
+                found: 9,
+                supported: PATCH_VERSION,
+            }))
+        ));
+        let mut bad = bytes.clone();
+        bad[25] ^= 0x40; // a record byte
+        assert!(matches!(
+            flow.apply_delta(&bad),
+            Err(CoreError::Artifact(ArtifactError::ChecksumMismatch { .. }))
+        ));
+        // No corruption pattern panics.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xA5;
+            let _ = flow.apply_delta(&bad);
+        }
+
+        // A record naming a cell the base does not have is rejected
+        // (valid envelope, correct base, bogus cell id).
+        let unknown = PatchDelta {
+            base_checksum: flow.artifact_checksum().unwrap(),
+            records: vec![PatchRecord {
+                layer: 0,
+                node: lbnn_netlist::NodeId::new(100_000),
+                op: Op::Xor,
+            }],
+        };
+        assert!(matches!(
+            flow.apply_delta(&unknown.to_bytes()),
+            Err(CoreError::Artifact(ArtifactError::UnknownCell {
+                layer: 0,
+                node: 100_000,
+            }))
+        ));
+        // So is one naming a layer a flow artifact cannot have.
+        let bad_layer = PatchDelta {
+            base_checksum: flow.artifact_checksum().unwrap(),
+            records: vec![PatchRecord {
+                layer: 2,
+                node: lbnn_netlist::NodeId::new(0),
+                op: Op::Xor,
+            }],
+        };
+        assert!(matches!(
+            flow.apply_delta(&bad_layer.to_bytes()),
+            Err(CoreError::Artifact(ArtifactError::UnknownCell {
+                layer: 2,
+                ..
+            }))
+        ));
     }
 }

@@ -44,7 +44,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
-use lbnn_netlist::{BitSliceEvaluator, Lanes, Netlist, SliceFrame, SUPPORTED_SLICE_WORDS};
+use lbnn_netlist::{
+    BitSliceEvaluator, Lanes, Netlist, PatchSet, SliceFrame, SUPPORTED_SLICE_WORDS,
+};
 
 use crate::compiler::program::LpuProgram;
 use crate::error::CoreError;
@@ -165,6 +167,46 @@ impl FromStr for Backend {
     }
 }
 
+/// Rewrites the op of every instruction computing a patched cell,
+/// leaving routing, snapshots and scheduling untouched. A cell
+/// recomputed by several MFG executions is patched at every occurrence.
+/// Shared by [`EngineCore::patch_cells`] (live engines) and
+/// [`Flow::apply_patches`](crate::flow::Flow::apply_patches)
+/// (compile-side patching).
+pub(crate) fn patch_program(program: &mut LpuProgram, patches: &PatchSet) -> Result<(), CoreError> {
+    use lbnn_netlist::NetlistError;
+
+    let mut missing: std::collections::BTreeSet<_> = patches.iter().map(|(id, _)| id).collect();
+    for queue in &mut program.queues {
+        for slot in queue.iter_mut().flatten() {
+            for lpe in slot.lpes.iter_mut().flatten() {
+                let Some(op) = patches.get(lpe.node) else {
+                    continue;
+                };
+                if op.arity() != lpe.op.arity() {
+                    return Err(NetlistError::BadPatch {
+                        id: lpe.node,
+                        reason: format!(
+                            "arity mismatch: instruction computes {} ({} inputs), \
+                             patch wants {op} ({} inputs)",
+                            lpe.op,
+                            lpe.op.arity(),
+                            op.arity()
+                        ),
+                    }
+                    .into());
+                }
+                lpe.op = op;
+                missing.remove(&lpe.node);
+            }
+        }
+    }
+    if let Some(&id) = missing.iter().next() {
+        return Err(NetlistError::InvalidNode { id }.into());
+    }
+    Ok(())
+}
+
 /// Per-worker mutable execution state: the scalar machine's pass buffers
 /// plus the bit-slice frame.
 ///
@@ -236,6 +278,44 @@ impl EngineCore {
     /// `queue_depth` compute cycles, not every full fill+drain latency.
     pub fn steady_clock_cycles_per_batch(&self) -> u64 {
         self.program.queue_depth as u64 * self.config().tc() as u64
+    }
+
+    /// A copy of this core with the logic function of every cell in
+    /// `patches` replaced — the copy-on-write half of hot
+    /// reconfiguration.
+    ///
+    /// Only function payloads move: the scalar program keeps its
+    /// routing, snapshot and schedule words and has each matching
+    /// [`LpeInstr`](crate::compiler::program::LpeInstr)'s op swapped
+    /// (a cell recomputed by several MFG executions is patched at every
+    /// occurrence), and the bit-sliced kernel tape has the target
+    /// cells' ANF masks rewritten in place
+    /// ([`BitSliceEvaluator::patched`]). The original core is untouched,
+    /// so in-flight batches holding the old `Arc` keep executing the old
+    /// function while new submissions see the new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Netlist`] with
+    /// [`NetlistError::BadPatch`](lbnn_netlist::NetlistError::BadPatch)
+    /// when a replacement's arity disagrees with the instruction it
+    /// rewrites, or
+    /// [`NetlistError::InvalidNode`](lbnn_netlist::NetlistError::InvalidNode)
+    /// when a patched id names no executable cell of this program.
+    pub fn patch_cells(&self, patches: &PatchSet) -> Result<EngineCore, CoreError> {
+        let mut program = self.program.clone();
+        patch_program(&mut program, patches)?;
+        let sliced = match &self.sliced {
+            Some(s) => Some(s.patched(patches)?),
+            None => None,
+        };
+        Ok(EngineCore {
+            machine: self.machine.clone(),
+            program,
+            backend: self.backend,
+            sliced,
+            lpe_ops_per_pass: self.lpe_ops_per_pass,
+        })
     }
 
     /// Runs one batch on the selected backend using caller-owned
@@ -514,6 +594,30 @@ impl Engine {
         &self.core
     }
 
+    /// A new engine serving this engine's program with the cells in
+    /// `patches` rewritten ([`EngineCore::patch_cells`]).
+    ///
+    /// Copy-on-write: the patched engine owns a fresh
+    /// [`EngineCore`] and counter, while `self` — and every clone or
+    /// worker holding the old `Arc`'d core — continues serving the old
+    /// functions unchanged. Pair with
+    /// [`Runtime::swap_engine`](crate::runtime::Runtime::swap_engine)
+    /// to move live traffic over atomically.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineCore::patch_cells`].
+    pub fn patch_cells(&self, patches: &PatchSet) -> Result<Engine, CoreError> {
+        let core = self.core.patch_cells(patches)?;
+        Ok(Engine {
+            core: Arc::new(core),
+            scratch: EngineScratch::default(),
+            workers: self.workers,
+            pool: None,
+            batches_served: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
     /// The execution backend this engine replays batches on.
     pub fn backend(&self) -> Backend {
         self.core.backend
@@ -766,6 +870,7 @@ impl Flow {
 mod tests {
     use super::*;
     use lbnn_netlist::random::RandomDag;
+    use lbnn_netlist::{NetlistError, Op};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -1061,6 +1166,91 @@ mod tests {
         ] {
             assert!(bad.parse::<Backend>().is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn patch_cells_matches_oracle_on_every_backend() {
+        let nl = RandomDag::strict(12, 5, 8).outputs(3).generate(21);
+        let mut rng = StdRng::seed_from_u64(77);
+        for backend in [
+            Backend::Scalar,
+            Backend::BitSliced { words: 1 },
+            Backend::BitSliced { words: 4 },
+        ] {
+            let flow = Flow::builder(&nl)
+                .config(LpuConfig::new(6, 4))
+                .backend(backend)
+                .compile()
+                .unwrap();
+            // Flip a few mapped-netlist gates to their negated forms.
+            let mut patches = PatchSet::new();
+            for (id, node) in flow.netlist.iter() {
+                if node.op().is_gate2() && patches.len() < 3 {
+                    patches.set(id, node.op().negated().unwrap());
+                }
+            }
+            assert_eq!(patches.len(), 3);
+            let engine = flow.engine().unwrap();
+            let patched = engine.patch_cells(&patches).unwrap();
+            let mut oracle_nl = flow.netlist.clone();
+            oracle_nl.apply_patches(&patches).unwrap();
+            for lanes in [1usize, 64, 100] {
+                let batch = random_batch(&mut rng, nl.inputs().len(), lanes);
+                let got = patched
+                    .core()
+                    .run_batch(&mut EngineScratch::new(), &batch)
+                    .unwrap();
+                let want = lbnn_netlist::eval::evaluate(&oracle_nl, &batch).unwrap();
+                assert_eq!(got.outputs, want, "{backend} lanes {lanes}");
+                // The original engine still serves the old functions.
+                let old = engine
+                    .core()
+                    .run_batch(&mut EngineScratch::new(), &batch)
+                    .unwrap();
+                let base = lbnn_netlist::eval::evaluate(&flow.netlist, &batch).unwrap();
+                assert_eq!(old.outputs, base, "{backend} old core lanes {lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn patch_cells_rejects_unknown_cells_and_arity_mismatches() {
+        let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(2);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap();
+        let engine = flow.engine().unwrap();
+
+        // Primary inputs have no instruction to rewrite.
+        let mut on_input = PatchSet::new();
+        on_input.set(flow.netlist.inputs()[0], Op::And);
+        assert!(matches!(
+            engine.patch_cells(&on_input),
+            Err(CoreError::Netlist(NetlistError::InvalidNode { .. }))
+        ));
+
+        // Out-of-range ids are unknown cells.
+        let mut unknown = PatchSet::new();
+        unknown.set(lbnn_netlist::NodeId::new(10_000), Op::Xor);
+        assert!(matches!(
+            engine.patch_cells(&unknown),
+            Err(CoreError::Netlist(NetlistError::InvalidNode { .. }))
+        ));
+
+        // A two-input cell cannot become single-input.
+        let gate2 = flow
+            .netlist
+            .iter()
+            .find(|(_, n)| n.op().is_gate2())
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut bad_arity = PatchSet::new();
+        bad_arity.set(gate2, Op::Not);
+        assert!(matches!(
+            engine.patch_cells(&bad_arity),
+            Err(CoreError::Netlist(NetlistError::BadPatch { .. }))
+        ));
     }
 
     #[test]

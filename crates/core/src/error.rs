@@ -55,6 +55,22 @@ pub enum ArtifactError {
         /// The `words` byte found in the backend record.
         words: u8,
     },
+    /// A patch delta (`.lbnnp`) was made against a different base
+    /// artifact than the one it is being applied to.
+    BaseMismatch {
+        /// Base-artifact checksum the delta was bound to.
+        expected: u64,
+        /// Checksum of the artifact actually being patched.
+        found: u64,
+    },
+    /// A patch delta names a cell its base artifact does not have (or
+    /// one that is not patchable, e.g. a primary input).
+    UnknownCell {
+        /// Layer index recorded in the delta (0 for flow artifacts).
+        layer: u32,
+        /// Node id recorded in the delta.
+        node: u32,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -81,6 +97,16 @@ impl fmt::Display for ArtifactError {
                 f,
                 "artifact records a bit-sliced backend of {words} words per net; \
                  this build supports 1, 2, 4 or 8 (64/128/256/512 lanes)"
+            ),
+            ArtifactError::BaseMismatch { expected, found } => write!(
+                f,
+                "patch delta was made against base artifact {expected:#018x}, \
+                 but this artifact is {found:#018x}"
+            ),
+            ArtifactError::UnknownCell { layer, node } => write!(
+                f,
+                "patch delta names cell {node} of layer {layer}, which the base \
+                 artifact does not have (or which is not patchable)"
             ),
         }
     }
@@ -267,6 +293,11 @@ mod tests {
                 reason: "bad opcode".into(),
             },
             ArtifactError::UnsupportedWidth { words: 5 },
+            ArtifactError::BaseMismatch {
+                expected: 3,
+                found: 4,
+            },
+            ArtifactError::UnknownCell { layer: 1, node: 42 },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

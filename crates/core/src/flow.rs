@@ -24,7 +24,7 @@
 //! ```
 
 use lbnn_netlist::eval::evaluate;
-use lbnn_netlist::{Lanes, Levels, Netlist};
+use lbnn_netlist::{Lanes, Levels, Netlist, PatchSet};
 
 use crate::compiler::merge::MergeStats;
 use crate::compiler::partition::{Partition, PartitionOptions};
@@ -295,6 +295,42 @@ impl Flow {
         Ok(VerifyReport {
             lanes_checked: lanes,
             outputs_checked: want.len(),
+        })
+    }
+
+    /// A copy of this flow with the cells in `patches` computing their
+    /// replacement functions — the compile-side half of hot
+    /// reconfiguration.
+    ///
+    /// Patch ids name nodes of the **mapped** netlist ([`Flow::netlist`],
+    /// the one the program executes), not the original source. Only
+    /// function payloads change: the mapped netlist gets its ops
+    /// replaced in place, the program gets each matching instruction's
+    /// op swapped, and the structural compile artifacts (levels,
+    /// partition, schedule) are kept as-is — a patch never moves a gate.
+    /// The patched flow's [`Flow::source`] is the patched netlist, so
+    /// [`Flow::verify_against_netlist`] remains an end-to-end oracle.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Netlist`] for invalid patches (unknown cell, arity
+    /// mismatch, non-patchable target); see
+    /// [`PatchSet::validate`](lbnn_netlist::PatchSet::validate).
+    pub fn apply_patches(&self, patches: &PatchSet) -> Result<Flow, CoreError> {
+        patches.validate(&self.netlist)?;
+        let mut netlist = self.netlist.clone();
+        netlist.apply_patches(patches)?;
+        let mut program = self.program.clone();
+        crate::engine::patch_program(&mut program, patches)?;
+        Ok(Flow {
+            source: netlist.clone(),
+            netlist,
+            program,
+            config: self.config,
+            backend: self.backend,
+            stats: self.stats,
+            report: self.report.clone(),
+            artifacts: self.artifacts.clone(),
         })
     }
 

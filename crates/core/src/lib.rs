@@ -83,7 +83,7 @@ pub mod model;
 pub mod runtime;
 pub mod throughput;
 
-pub use artifact::ArtifactKind;
+pub use artifact::{ArtifactKind, PatchDelta, PatchRecord, PATCH_VERSION};
 pub use compiler::pipeline::{CompileReport, PassReport};
 pub use engine::{Backend, Engine, EngineCore, EngineScratch};
 pub use error::{ArtifactError, CoreError};

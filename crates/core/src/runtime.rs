@@ -36,6 +36,14 @@
 //!   response latency percentiles (p50/p95/p99) and peak queue depth
 //!   ([`QueueStats`]), surfaced through [`Runtime::stats`] and attached
 //!   to [`ThroughputReport::wall`] by [`Runtime::report`].
+//! * The served target is **hot-swappable**: [`Runtime::swap_engine`] /
+//!   [`Runtime::swap_model`] atomically replace the compiled core
+//!   (version `vN` → `vN+1`) under live traffic. A micro-batch executes
+//!   wholly on the target it was dispatched with, so every response is
+//!   bit-identical to either the old or the new version — never a torn
+//!   mix — and no accepted request is dropped. [`RuntimeStats`] reports
+//!   the serving version, the swap count, and completions split per
+//!   version.
 //!
 //! Outputs are bit-identical to running each request alone through the
 //! scalar reference engine — pinned by property tests — because packing
@@ -46,7 +54,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -449,6 +457,20 @@ pub struct RuntimeStats {
     pub shed: u64,
     /// Requests currently in flight (submitted but not yet resolved).
     pub in_flight: usize,
+    /// The serving version new submissions run on: 0 at construction,
+    /// incremented by every [`Runtime::swap_engine`] /
+    /// [`Runtime::swap_model`].
+    pub version: u64,
+    /// Hot swaps performed over the runtime's lifetime.
+    pub swaps: u64,
+    /// Requests completed on the current serving version. Attribution is
+    /// approximate for batches racing a concurrent swap (a batch counts
+    /// against the version current at its *completion*), but
+    /// `completed_current + completed_prior` always equals the total
+    /// completion count.
+    pub completed_current: u64,
+    /// Requests completed on superseded serving versions.
+    pub completed_prior: u64,
     /// Queue depth and submit→response latency percentiles.
     pub queue: QueueStats,
     /// Wall-clock span from first submit to last response, in
@@ -463,6 +485,37 @@ struct RuntimeShared {
     /// Wakes the deadline flusher when the pending set changes.
     kick: Condvar,
     stats: StatsShared,
+    swap: SwapState,
+}
+
+/// The hot-swappable serving target plus its version bookkeeping.
+///
+/// A swap replaces `target` under the write lock; dispatch paths take a
+/// read lock only long enough to clone the `Arc`'d target together with
+/// its version, so in-flight micro-batches keep executing the core they
+/// were dispatched with while new submissions see the replacement.
+struct SwapState {
+    target: RwLock<Target>,
+    /// Serving version: 0 at construction, +1 per swap. Bumped under the
+    /// `target` write lock so a `(target, version)` pair read under the
+    /// read lock is always consistent.
+    version: AtomicU64,
+    /// Total hot swaps performed.
+    swaps: AtomicU64,
+    /// Resolved size flush trigger for the *current* target
+    /// (re-resolved on swap when [`RuntimeOptions::max_batch`] is auto).
+    flush_target: AtomicUsize,
+}
+
+impl RuntimeShared {
+    /// The current serving target and its version, read consistently
+    /// under the swap read lock (cloning a [`Target`] is two `Arc`
+    /// bumps at most).
+    fn current(&self) -> (Target, u64) {
+        let guard = self.swap.target.read().expect("swap lock");
+        let version = self.swap.version.load(Ordering::Acquire);
+        (guard.clone(), version)
+    }
 }
 
 struct BatchState {
@@ -517,6 +570,12 @@ struct StatsShared {
     latencies_us: Mutex<LatencyReservoir>,
     requests: AtomicU64,
     completed: AtomicU64,
+    /// Completions attributed to the current serving version; rolled
+    /// into `completed_prior` by a swap. The pair always sums to
+    /// `completed` even when batches race a swap.
+    completed_current: AtomicU64,
+    /// Completions attributed to superseded serving versions.
+    completed_prior: AtomicU64,
     micro_batches: AtomicU64,
     full_flushes: AtomicU64,
     deadline_flushes: AtomicU64,
@@ -602,13 +661,10 @@ impl StatsShared {
 /// # Ok::<(), lbnn_core::CoreError>(())
 /// ```
 pub struct Runtime {
-    target: Target,
     options: RuntimeOptions,
-    /// Resolved size flush trigger: `options.max_batch`, or the target's
-    /// lane width when the option is 0 (auto).
-    flush_target: usize,
     /// Resolved admission limit for [`Runtime::try_submit`]:
-    /// `options.admission_limit`, or the auto formula when 0.
+    /// `options.admission_limit`, or the auto formula when 0. Fixed at
+    /// construction — a hot swap does not renegotiate admission.
     admission_limit: usize,
     pool: Arc<WorkerPool>,
     shared: Arc<RuntimeShared>,
@@ -618,7 +674,8 @@ pub struct Runtime {
 impl fmt::Debug for Runtime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Runtime")
-            .field("backend", &self.target.backend())
+            .field("backend", &self.backend())
+            .field("version", &self.version())
             .field("workers", &self.pool.workers())
             .field("options", &self.options)
             .finish_non_exhaustive()
@@ -699,11 +756,16 @@ impl Runtime {
             }),
             kick: Condvar::new(),
             stats: StatsShared::default(),
+            swap: SwapState {
+                target: RwLock::new(target),
+                version: AtomicU64::new(0),
+                swaps: AtomicU64::new(0),
+                flush_target: AtomicUsize::new(flush_target),
+            },
         });
         let flusher = {
             let shared = Arc::clone(&shared);
             let pool = Arc::clone(&pool);
-            let target = target.clone();
             let flush_after = options.flush_after;
             std::thread::spawn(move || {
                 let mut st = shared.batcher.lock().expect("batcher lock");
@@ -724,7 +786,11 @@ impl Runtime {
                             .stats
                             .deadline_flushes
                             .fetch_add(1, Ordering::Relaxed);
-                        dispatch(&target, &pool, &shared, reqs);
+                        // Resolve the target per flush, not once at
+                        // spawn: the deadline flusher must dispatch onto
+                        // whatever version is current.
+                        let (target, version) = shared.current();
+                        dispatch(target, version, &pool, &shared, reqs);
                         st = shared.batcher.lock().expect("batcher lock");
                     } else {
                         let (guard, _) = shared
@@ -737,9 +803,7 @@ impl Runtime {
             })
         };
         Ok(Runtime {
-            target,
             options,
-            flush_target,
             admission_limit,
             pool,
             shared,
@@ -752,21 +816,112 @@ impl Runtime {
         self.pool.workers()
     }
 
-    /// The execution backend micro-batches run on.
+    /// The execution backend micro-batches run on (the *current*
+    /// serving version's backend).
     pub fn backend(&self) -> Backend {
-        self.target.backend()
+        self.shared.swap.target.read().expect("swap lock").backend()
     }
 
     /// The resolved size flush trigger: [`RuntimeOptions::max_batch`] if
-    /// set, otherwise the serving engine's lane width (one full
-    /// bit-sliced frame).
+    /// set, otherwise the current serving engine's lane width (one full
+    /// bit-sliced frame; re-resolved when a hot swap changes the
+    /// backend).
     pub fn flush_target(&self) -> usize {
-        self.flush_target
+        self.shared.swap.flush_target.load(Ordering::Acquire)
     }
 
-    /// Primary-input bits each request must carry.
+    /// Primary-input bits each request must carry. Stable across hot
+    /// swaps: [`Runtime::swap_engine`] rejects replacements that change
+    /// the input interface.
     pub fn num_inputs(&self) -> usize {
-        self.target.num_inputs()
+        self.shared
+            .swap
+            .target
+            .read()
+            .expect("swap lock")
+            .num_inputs()
+    }
+
+    /// The serving version new submissions execute: 0 at construction,
+    /// incremented by every successful hot swap.
+    pub fn version(&self) -> u64 {
+        self.shared.swap.version.load(Ordering::Acquire)
+    }
+
+    /// Hot-swaps the served block for `engine`, atomically moving the
+    /// runtime from version `vN` to `vN+1` **without stopping traffic**:
+    ///
+    /// * The pending partial micro-batch is flushed to the old core
+    ///   first, and micro-batches already dispatched keep executing the
+    ///   old `Arc`'d core they were handed — every response is
+    ///   bit-identical to *some* single version, never a torn mix.
+    /// * Submissions that land after the swap execute the new core.
+    /// * No accepted request is dropped; per-version completion counters
+    ///   roll so [`RuntimeStats::completed_current`] restarts for the
+    ///   new version.
+    ///
+    /// Returns the new serving version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when the replacement's
+    /// primary-input count differs from the serving target's — a hot
+    /// swap must preserve the request interface (that is what
+    /// [`crate::EngineCore::patch_cells`] and
+    /// [`crate::Flow::apply_delta`] guarantee by construction).
+    pub fn swap_engine(&self, mut engine: Engine) -> Result<u64, CoreError> {
+        engine.retire_pool();
+        self.swap_target(Target::Block(Arc::new(engine)))
+    }
+
+    /// Hot-swaps the served model — [`Runtime::swap_engine`] for
+    /// whole-model serving, with the same semantics and interface check.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::swap_engine`].
+    pub fn swap_model(&self, model: CompiledModel) -> Result<u64, CoreError> {
+        self.swap_target(Target::Model(Arc::new(model)))
+    }
+
+    fn swap_target(&self, target: Target) -> Result<u64, CoreError> {
+        let want = self.num_inputs();
+        let got = target.num_inputs();
+        if got != want {
+            return Err(CoreError::BadConfig {
+                reason: format!(
+                    "hot swap would change the primary-input count from {want} to {got}; \
+                     a replacement must preserve the serving interface"
+                ),
+            });
+        }
+        // Dispatch the forming partial batch to the outgoing version:
+        // requests accepted before the swap must not silently execute a
+        // core newer than any that existed when they were accepted
+        // *and* older batches must not linger past the swap unflushed.
+        self.flush();
+        let stats = &self.shared.stats;
+        let version = {
+            let mut guard = self.shared.swap.target.write().expect("swap lock");
+            *guard = target;
+            let version = self.shared.swap.version.fetch_add(1, Ordering::AcqRel) + 1;
+            self.shared.swap.swaps.fetch_add(1, Ordering::Relaxed);
+            let flush_target = if self.options.max_batch == 0 {
+                guard.lane_width()
+            } else {
+                self.options.max_batch
+            };
+            self.shared
+                .swap
+                .flush_target
+                .store(flush_target, Ordering::Release);
+            // Roll the per-version counters: everything completed so far
+            // now belongs to a superseded version.
+            let rolled = stats.completed_current.swap(0, Ordering::AcqRel);
+            stats.completed_prior.fetch_add(rolled, Ordering::AcqRel);
+            version
+        };
+        Ok(version)
     }
 
     /// Submits one single-sample request (`bits[i]` = the value of
@@ -784,7 +939,7 @@ impl Runtime {
     /// Returns [`CoreError::InputArity`] when `bits` does not match the
     /// program's primary-input count.
     pub fn submit(&self, bits: &[bool]) -> Result<RequestHandle, CoreError> {
-        let want = self.target.num_inputs();
+        let want = self.num_inputs();
         if bits.len() != want {
             return Err(CoreError::InputArity {
                 expected: want,
@@ -801,12 +956,13 @@ impl Runtime {
             submitted: now,
             slot: Arc::clone(&slot),
         };
+        let flush_target = self.flush_target();
         let (id, full, first_pending) = {
             let mut st = self.shared.batcher.lock().expect("batcher lock");
             let id = st.next_id;
             st.next_id += 1;
             st.pending.push(request);
-            if st.pending.len() >= self.flush_target {
+            if st.pending.len() >= flush_target {
                 (id, Some(std::mem::take(&mut st.pending)), false)
             } else {
                 (id, None, st.pending.len() == 1)
@@ -820,7 +976,8 @@ impl Runtime {
                     .fetch_add(1, Ordering::Relaxed);
                 // Dispatch outside the batcher lock: if the pool queue is
                 // full this blocks, but other submitters keep batching.
-                dispatch(&self.target, &self.pool, &self.shared, reqs);
+                let (target, version) = self.shared.current();
+                dispatch(target, version, &self.pool, &self.shared, reqs);
             }
             None => {
                 // Arm the deadline flusher only on the empty→non-empty
@@ -868,7 +1025,7 @@ impl Runtime {
     /// admission, so bad requests are never miscounted as shed) and
     /// [`CoreError::Overloaded`] when saturated.
     pub fn try_submit(&self, bits: &[bool]) -> Result<RequestHandle, CoreError> {
-        let want = self.target.num_inputs();
+        let want = self.num_inputs();
         if bits.len() != want {
             return Err(CoreError::InputArity {
                 expected: want,
@@ -925,7 +1082,8 @@ impl Runtime {
                 .stats
                 .deadline_flushes
                 .fetch_add(1, Ordering::Relaxed);
-            dispatch(&self.target, &self.pool, &self.shared, reqs);
+            let (target, version) = self.shared.current();
+            dispatch(target, version, &self.pool, &self.shared, reqs);
         }
     }
 
@@ -961,6 +1119,10 @@ impl Runtime {
             },
             shed: stats.shed.load(Ordering::Relaxed),
             in_flight: stats.in_flight.load(Ordering::Relaxed),
+            version: self.shared.swap.version.load(Ordering::Acquire),
+            swaps: self.shared.swap.swaps.load(Ordering::Relaxed),
+            completed_current: stats.completed_current.load(Ordering::Relaxed),
+            completed_prior: stats.completed_prior.load(Ordering::Relaxed),
             queue: QueueStats {
                 peak_depth: stats.peak_in_flight.load(Ordering::Relaxed),
                 p50_us: percentile(&latencies, 0.50),
@@ -982,21 +1144,19 @@ impl Runtime {
     /// host throughput plus the runtime's [`QueueStats`].
     pub fn report(&self) -> ThroughputReport {
         let stats = self.stats();
-        let cycles = self
-            .target
+        let (target, _) = self.shared.current();
+        let cycles = target
             .steady_clock_cycles()
             .saturating_mul(stats.micro_batches.max(1))
             .max(1);
-        block_throughput(cycles, stats.requests as usize, self.target.freq_mhz()).with_wall(
-            WallTiming {
-                backend: self.target.backend(),
-                workers: self.pool.workers(),
-                batches: stats.micro_batches as usize,
-                elapsed_us: stats.elapsed_us,
-                samples_per_sec: stats.requests_per_sec,
-                queue: Some(stats.queue),
-            },
-        )
+        block_throughput(cycles, stats.requests as usize, target.freq_mhz()).with_wall(WallTiming {
+            backend: target.backend(),
+            workers: self.pool.workers(),
+            batches: stats.micro_batches as usize,
+            elapsed_us: stats.elapsed_us,
+            samples_per_sec: stats.requests_per_sec,
+            queue: Some(stats.queue),
+        })
     }
 
     /// Shuts the runtime down: flushes pending requests, drains the job
@@ -1025,12 +1185,19 @@ impl Drop for Runtime {
 
 /// Packs `reqs` into one multi-lane batch, executes it on a pool worker,
 /// and fulfills every request's slot (lane `j` of every word belongs to
-/// request `j`).
-fn dispatch(target: &Target, pool: &WorkerPool, shared: &Arc<RuntimeShared>, reqs: Vec<Request>) {
+/// request `j`). `version` is the serving version `target` was read
+/// under; the batch executes that exact target even if a swap lands
+/// while it is queued, and its completions are attributed per version.
+fn dispatch(
+    target: Target,
+    version: u64,
+    pool: &WorkerPool,
+    shared: &Arc<RuntimeShared>,
+    reqs: Vec<Request>,
+) {
     if reqs.is_empty() {
         return;
     }
-    let target = target.clone();
     let shared = Arc::clone(shared);
     pool.submit(Box::new(move |scratch| {
         let rows: Vec<&[bool]> = reqs.iter().map(|r| r.bits.as_slice()).collect();
@@ -1057,6 +1224,15 @@ fn dispatch(target: &Target, pool: &WorkerPool, shared: &Arc<RuntimeShared>, req
             .lanes_served
             .fetch_add(reqs.len() as u64, Ordering::Relaxed);
         stats.note_completion(&latencies, now);
+        // Attribute the batch to a serving version. A batch finishing
+        // after its version was swapped out counts as "prior" — same
+        // bucket the swap's counter roll would have moved it to.
+        let bucket = if version == shared.swap.version.load(Ordering::Acquire) {
+            &stats.completed_current
+        } else {
+            &stats.completed_prior
+        };
+        bucket.fetch_add(reqs.len() as u64, Ordering::Relaxed);
         match outcome {
             Ok(outputs) => {
                 for (j, req) in reqs.iter().enumerate() {
@@ -1491,6 +1667,107 @@ mod tests {
             }
         }
         assert_eq!(runtime.stats().requests, 21);
+    }
+
+    /// Hot swap under a quiet runtime: the version bumps, submissions
+    /// after the swap are bit-identical to the replacement engine,
+    /// responses resolved before it still match the original, and the
+    /// per-version completion counters sum to the total.
+    #[test]
+    fn swap_engine_moves_new_submissions_to_the_new_version() {
+        use lbnn_netlist::PatchSet;
+        let flow = compiled(Backend::BitSliced64, 23);
+        let width = flow.program.num_inputs;
+        // Replacement: the same structure with a few gates negated.
+        let patches: PatchSet = flow
+            .netlist
+            .iter()
+            .filter(|(_, node)| node.op().is_gate2())
+            .take(3)
+            .map(|(id, node)| (id, node.op().negated().unwrap()))
+            .collect();
+        assert_eq!(patches.len(), 3);
+        let base_engine = flow.engine().unwrap();
+        let patched_engine = base_engine.patch_cells(&patches).unwrap();
+
+        let runtime = Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default().workers(2).max_batch(8),
+        )
+        .unwrap();
+        assert_eq!(runtime.version(), 0);
+        let requests: Vec<Vec<bool>> = (0..20).map(|i| request_bits(width, 0xabc + i)).collect();
+        let packed = Lanes::pack_rows(&requests, width);
+        let mut scratch = EngineScratch::new();
+        let before = base_engine.run_batch_with(&mut scratch, &packed).unwrap();
+        let after = patched_engine
+            .run_batch_with(&mut scratch, &packed)
+            .unwrap();
+
+        let submit_all = |runtime: &Runtime| -> Vec<Vec<bool>> {
+            let handles: Vec<RequestHandle> = requests
+                .iter()
+                .map(|bits| runtime.submit(bits).unwrap())
+                .collect();
+            runtime.drain();
+            handles.into_iter().map(|h| h.wait().unwrap()).collect()
+        };
+
+        let got = submit_all(&runtime);
+        for (j, bits) in got.iter().enumerate() {
+            let want: Vec<bool> = before.outputs.iter().map(|o| o.get(j)).collect();
+            assert_eq!(*bits, want, "pre-swap request {j}");
+        }
+
+        let version = runtime.swap_engine(patched_engine).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(runtime.version(), 1);
+
+        let got = submit_all(&runtime);
+        for (j, bits) in got.iter().enumerate() {
+            let want: Vec<bool> = after.outputs.iter().map(|o| o.get(j)).collect();
+            assert_eq!(*bits, want, "post-swap request {j}");
+        }
+
+        let stats = runtime.stats();
+        assert_eq!(stats.requests, 40);
+        assert_eq!(stats.version, 1);
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.completed_prior, 20, "pre-swap completions rolled");
+        assert_eq!(stats.completed_current, 20);
+        assert_eq!(
+            stats.completed_current + stats.completed_prior,
+            stats.requests,
+            "per-version counters must partition the completions"
+        );
+    }
+
+    /// A hot swap must preserve the request interface: a replacement
+    /// with a different primary-input count is rejected with a typed
+    /// error and the runtime keeps serving the old version.
+    #[test]
+    fn swap_engine_rejects_interface_changes() {
+        let flow = compiled(Backend::Scalar, 29);
+        let width = flow.program.num_inputs;
+        let runtime =
+            Runtime::from_engine(flow.engine().unwrap(), RuntimeOptions::default().workers(1))
+                .unwrap();
+        // A netlist with a different input count is not a legal swap.
+        let other = RandomDag::strict(5, 3, 4).outputs(2).generate(31);
+        let other_flow = Flow::builder(&other)
+            .config(LpuConfig::new(4, 4))
+            .compile()
+            .unwrap();
+        let err = runtime
+            .swap_engine(other_flow.engine().unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig { .. }), "{err}");
+        assert_eq!(runtime.version(), 0);
+        assert_eq!(runtime.stats().swaps, 0);
+        // Still serving.
+        let handle = runtime.submit(&request_bits(width, 1)).unwrap();
+        runtime.flush();
+        handle.wait().unwrap();
     }
 
     #[test]

@@ -55,6 +55,14 @@ pub enum NetlistError {
         /// Human-readable description of the corruption.
         reason: String,
     },
+    /// A live patch targeted a cell it cannot legally rewrite
+    /// ([`crate::PatchSet::validate`]).
+    BadPatch {
+        /// The targeted node.
+        id: NodeId,
+        /// Why the replacement is not allowed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -78,6 +86,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::Malformed { reason } => {
                 write!(f, "malformed netlist image: {reason}")
+            }
+            NetlistError::BadPatch { id, reason } => {
+                write!(f, "cannot patch node {id:?}: {reason}")
             }
         }
     }
@@ -108,6 +119,10 @@ mod tests {
             },
             NetlistError::Malformed {
                 reason: "truncated".into(),
+            },
+            NetlistError::BadPatch {
+                id: NodeId::new(4),
+                reason: "arity mismatch".into(),
             },
         ];
         for e in errs {

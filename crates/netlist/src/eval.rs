@@ -26,6 +26,7 @@
 use crate::cell::Op;
 use crate::error::NetlistError;
 use crate::netlist::Netlist;
+use crate::patch::PatchSet;
 
 /// A packed vector of Boolean lanes (the value of one signal across a batch).
 ///
@@ -500,6 +501,34 @@ impl BitSliceEvaluator {
                 .collect(),
             slots: netlist.len(),
         }
+    }
+
+    /// A copy of this tape with the ANF masks of every patched cell
+    /// replaced, leaving all structure (operand slots, instruction
+    /// order, frame layout) untouched.
+    ///
+    /// Callers are expected to have validated `patches` against the
+    /// source netlist ([`PatchSet::validate`]); this method only
+    /// requires each target to have a tape instruction. The tape stores
+    /// instructions in ascending `out` slot order (the arena is
+    /// topological and ids are dense), so each lookup is a binary
+    /// search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNode`] if a patched id has no
+    /// instruction — out of range, or a primary input.
+    pub fn patched(&self, patches: &PatchSet) -> Result<BitSliceEvaluator, NetlistError> {
+        let mut out = self.clone();
+        for (id, op) in patches.iter() {
+            let slot = id.index() as u32;
+            let idx = out
+                .tape
+                .binary_search_by_key(&slot, |instr| instr.out)
+                .map_err(|_| NetlistError::InvalidNode { id })?;
+            out.tape[idx].k = op.anf_masks();
+        }
+        Ok(out)
     }
 
     /// Number of kernel instructions (executable nets).

@@ -45,6 +45,7 @@ pub mod error;
 pub mod eval;
 pub mod levelize;
 pub mod netlist;
+pub mod patch;
 pub mod random;
 pub mod serdes;
 pub mod verilog;
@@ -54,4 +55,5 @@ pub use error::NetlistError;
 pub use eval::{BitSlice64, BitSliceEvaluator, Lanes, SliceFrame, SUPPORTED_SLICE_WORDS};
 pub use levelize::Levels;
 pub use netlist::{Netlist, Node, NodeId};
+pub use patch::PatchSet;
 pub use serdes::{ByteReader, ByteWriter};

@@ -179,6 +179,39 @@ impl Netlist {
         Ok(self.push(op, f, None))
     }
 
+    /// Replaces the logic function of an existing gate, keeping its
+    /// wiring intact.
+    ///
+    /// The target must be an executable non-constant cell and `op` must
+    /// be executable with the same arity, so every fanin slot stays
+    /// meaningful. This is the single-node primitive behind
+    /// [`Netlist::apply_patches`](crate::PatchSet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNode`] for out-of-range ids and
+    /// [`NetlistError::BadPatch`] for illegal replacements.
+    pub fn replace_op(&mut self, id: NodeId, op: Op) -> Result<(), NetlistError> {
+        let Some(node) = self.nodes.get(id.index()) else {
+            return Err(NetlistError::InvalidNode { id });
+        };
+        let old = node.op;
+        if !old.is_executable() || old.arity() == 0 {
+            return Err(NetlistError::BadPatch {
+                id,
+                reason: format!("{old} cells have no replaceable gate function"),
+            });
+        }
+        if !op.is_executable() || op.arity() != old.arity() {
+            return Err(NetlistError::BadPatch {
+                id,
+                reason: format!("cannot replace {old} ({} inputs) with {op}", old.arity()),
+            });
+        }
+        self.nodes[id.index()].op = op;
+        Ok(())
+    }
+
     /// Declares `node` as a primary output with the given port name.
     pub fn add_output(&mut self, node: NodeId, name: impl Into<String>) {
         self.check_fanin(node);

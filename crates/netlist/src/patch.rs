@@ -1,0 +1,288 @@
+//! Live truth-table patches: rebind a cell's logic function without
+//! touching its wiring.
+//!
+//! The compiled evaluators in this workspace all share one invariant:
+//! a cell's *structure* (its fanin wiring, level, and schedule slot) is
+//! decided once at compile time, while its *function* is carried as
+//! data — the four ANF masks returned by [`Op::anf_masks`]. A
+//! [`PatchSet`] exploits that split. It names cells by their stable
+//! [`NodeId`] (node ids are dense and survive compilation: the
+//! bit-sliced tape addresses slots by node index, and the LPU program
+//! tags every instruction with its source `NodeId`) and maps each one
+//! to a replacement [`Op`] of the same arity. Applying a patch set
+//! therefore never re-synthesises, re-levelizes, or re-schedules
+//! anything — downstream layers only swap mask words.
+//!
+//! What a patch may do is deliberately narrow:
+//!
+//! * the target node must exist and be an executable cell — primary
+//!   inputs carry no function to replace;
+//! * constant cells (arity 0) are off limits: compilers fold constant
+//!   fanins into immediate operands, so a constant's "function" has
+//!   already been copied into its consumers by the time a patch could
+//!   run;
+//! * the replacement op must be executable and have the **same arity**
+//!   as the op it replaces, so the existing wiring remains valid.
+//!
+//! Violations surface as [`NetlistError::BadPatch`].
+
+use std::collections::BTreeMap;
+
+use crate::cell::Op;
+use crate::error::NetlistError;
+use crate::netlist::{Netlist, NodeId};
+
+/// An ordered set of per-cell function replacements, keyed by stable
+/// node id.
+///
+/// Later [`set`](PatchSet::set) calls on the same id overwrite earlier
+/// ones — a `PatchSet` describes the *final* function of each touched
+/// cell, not a sequence of edits. Iteration order is ascending by node
+/// id, which keeps serialized deltas and test failures deterministic.
+///
+/// ```
+/// use lbnn_netlist::{Netlist, Op, PatchSet};
+///
+/// let mut nl = Netlist::new("n");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate2(Op::And, a, b);
+/// nl.add_output(g, "g");
+///
+/// let mut patch = PatchSet::new();
+/// patch.set(g, Op::Xor);
+/// patch.validate(&nl).unwrap();
+///
+/// let mut patched = nl.clone();
+/// patched.apply_patches(&patch).unwrap();
+/// assert_eq!(patched.node(g).op(), Op::Xor);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatchSet {
+    changes: BTreeMap<NodeId, Op>,
+}
+
+impl PatchSet {
+    /// An empty patch set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that cell `id` should compute `op`. Overwrites any
+    /// earlier entry for the same id.
+    pub fn set(&mut self, id: NodeId, op: Op) -> &mut Self {
+        self.changes.insert(id, op);
+        self
+    }
+
+    /// The replacement op recorded for `id`, if any.
+    pub fn get(&self, id: NodeId) -> Option<Op> {
+        self.changes.get(&id).copied()
+    }
+
+    /// Number of cells touched.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True when no cells are touched.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Iterate `(id, new_op)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Op)> + '_ {
+        self.changes.iter().map(|(&id, &op)| (id, op))
+    }
+
+    /// Check every entry against `netlist` without modifying anything.
+    ///
+    /// Verifies that each target exists, is an executable non-constant
+    /// cell, and that the replacement op is executable with matching
+    /// arity. Returns the first violation as
+    /// [`NetlistError::BadPatch`] (or [`NetlistError::InvalidNode`]
+    /// for ids outside the netlist).
+    pub fn validate(&self, netlist: &Netlist) -> Result<(), NetlistError> {
+        for (id, op) in self.iter() {
+            if id.index() >= netlist.len() {
+                return Err(NetlistError::InvalidNode { id });
+            }
+            let old = netlist.node(id).op();
+            if !old.is_executable() {
+                return Err(NetlistError::BadPatch {
+                    id,
+                    reason: "primary inputs carry no patchable function".into(),
+                });
+            }
+            if old.arity() == 0 {
+                return Err(NetlistError::BadPatch {
+                    id,
+                    reason: "constant cells are folded into operands at compile time".into(),
+                });
+            }
+            if !op.is_executable() {
+                return Err(NetlistError::BadPatch {
+                    id,
+                    reason: format!("replacement op {op} is not an executable cell function"),
+                });
+            }
+            if op.arity() != old.arity() {
+                return Err(NetlistError::BadPatch {
+                    id,
+                    reason: format!(
+                        "arity mismatch: cell computes {old} ({} inputs), patch wants {op} ({} inputs)",
+                        old.arity(),
+                        op.arity()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(NodeId, Op)> for PatchSet {
+    fn from_iter<T: IntoIterator<Item = (NodeId, Op)>>(iter: T) -> Self {
+        Self {
+            changes: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Netlist {
+    /// Apply every replacement in `patches` to this netlist.
+    ///
+    /// Validates the whole set first, so on error the netlist is
+    /// unchanged. Wiring, names, inputs, and outputs are untouched —
+    /// only the op of each targeted node changes.
+    pub fn apply_patches(&mut self, patches: &PatchSet) -> Result<(), NetlistError> {
+        patches.validate(self)?;
+        for (id, op) in patches.iter() {
+            self.replace_op(id, op)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mux() -> (Netlist, NodeId, NodeId, NodeId) {
+        let mut nl = Netlist::new("mux");
+        let s = nl.add_input("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let ns = nl.add_gate1(Op::Not, s);
+        let t0 = nl.add_gate2(Op::And, ns, a);
+        let t1 = nl.add_gate2(Op::And, s, b);
+        let y = nl.add_gate2(Op::Or, t0, t1);
+        nl.add_output(y, "y");
+        (nl, ns, t1, y)
+    }
+
+    #[test]
+    fn set_get_iter_and_overwrite() {
+        let mut p = PatchSet::new();
+        assert!(p.is_empty());
+        let id = NodeId::new(3);
+        p.set(id, Op::And);
+        p.set(id, Op::Xor);
+        p.set(NodeId::new(1), Op::Nor);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(id), Some(Op::Xor));
+        assert_eq!(p.get(NodeId::new(9)), None);
+        let pairs: Vec<_> = p.iter().collect();
+        assert_eq!(pairs, vec![(NodeId::new(1), Op::Nor), (id, Op::Xor)]);
+    }
+
+    #[test]
+    fn validate_accepts_same_arity_gate_swaps() {
+        let (nl, ns, t1, y) = mux();
+        let mut p = PatchSet::new();
+        p.set(ns, Op::Buf).set(t1, Op::Nand).set(y, Op::Xnor);
+        p.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_targets_and_ops() {
+        let (nl, ns, t1, _) = mux();
+
+        let mut out_of_range = PatchSet::new();
+        out_of_range.set(NodeId::new(99), Op::And);
+        assert!(matches!(
+            out_of_range.validate(&nl),
+            Err(NetlistError::InvalidNode { .. })
+        ));
+
+        let mut on_input = PatchSet::new();
+        on_input.set(NodeId::new(0), Op::And);
+        assert!(matches!(
+            on_input.validate(&nl),
+            Err(NetlistError::BadPatch { .. })
+        ));
+
+        let mut arity_mismatch = PatchSet::new();
+        arity_mismatch.set(t1, Op::Not);
+        assert!(matches!(
+            arity_mismatch.validate(&nl),
+            Err(NetlistError::BadPatch { .. })
+        ));
+
+        let mut to_input = PatchSet::new();
+        to_input.set(ns, Op::Input);
+        assert!(matches!(
+            to_input.validate(&nl),
+            Err(NetlistError::BadPatch { .. })
+        ));
+
+        let mut to_const = PatchSet::new();
+        to_const.set(t1, Op::Const1);
+        assert!(matches!(
+            to_const.validate(&nl),
+            Err(NetlistError::BadPatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_const_targets() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let c = nl.add_const(true);
+        let g = nl.add_gate2(Op::And, a, c);
+        nl.add_output(g, "g");
+        let mut p = PatchSet::new();
+        p.set(c, Op::Const0);
+        assert!(matches!(
+            p.validate(&nl),
+            Err(NetlistError::BadPatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_patches_changes_semantics_and_keeps_wiring() {
+        let (nl, _, _, y) = mux();
+        let mut patched = nl.clone();
+        let mut p = PatchSet::new();
+        p.set(y, Op::Nor);
+        patched.apply_patches(&p).unwrap();
+        assert_eq!(patched.node(y).op(), Op::Nor);
+        assert_eq!(patched.node(y).fanins(), nl.node(y).fanins());
+        assert_eq!(patched.len(), nl.len());
+        // mux(s=0, a=1, b=0) = 1; with the Or replaced by Nor it flips.
+        let base = nl.eval_bools(&[false, true, false]);
+        let after = patched.eval_bools(&[false, true, false]);
+        assert_eq!(base, vec![true]);
+        assert_eq!(after, vec![false]);
+    }
+
+    #[test]
+    fn apply_patches_is_atomic_on_error() {
+        let (nl, ns, _, y) = mux();
+        let mut patched = nl.clone();
+        let mut p = PatchSet::new();
+        p.set(y, Op::Xor).set(ns, Op::And); // second entry is invalid
+        assert!(patched.apply_patches(&p).is_err());
+        assert_eq!(patched.node(y).op(), Op::Or);
+    }
+}

@@ -97,6 +97,12 @@ pub enum ServeError {
         /// The scanned directory.
         dir: String,
     },
+    /// A patch (or other admin operation) named a model the registry
+    /// does not serve.
+    ModelNotFound {
+        /// The `name[@version]` spec that resolved nothing.
+        spec: String,
+    },
     /// The load generator got a response that violates the protocol.
     Protocol {
         /// What went wrong.
@@ -120,6 +126,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::EmptyRegistry { dir } => {
                 write!(f, "no loadable `.lbnn` artifacts found in {dir}")
+            }
+            ServeError::ModelNotFound { spec } => {
+                write!(f, "no model `{spec}` in the registry")
             }
             ServeError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
         }

@@ -125,6 +125,14 @@ pub fn render_metrics(
             "lbnn_model_micro_batches_total{{model=\"{id}\"}} {}",
             stats.micro_batches
         ));
+        line(format!(
+            "lbnn_model_serving_version{{model=\"{id}\"}} {}",
+            stats.version
+        ));
+        line(format!(
+            "lbnn_model_swaps_total{{model=\"{id}\"}} {}",
+            stats.swaps
+        ));
         for (q, v) in [
             ("0.5", stats.queue.p50_us),
             ("0.95", stats.queue.p95_us),
@@ -149,8 +157,9 @@ pub fn render_models(
         let (ok, shed, _, _) = metrics.snapshot();
         out.push_str(&format!(
             "{id} inputs={inputs} outputs={outputs} backend={backend} \
-             requests={ok} shed={shed} in_flight={} p99_us={}\n",
-            stats.in_flight, stats.queue.p99_us,
+             requests={ok} shed={shed} in_flight={} p99_us={} \
+             serving_version={} swaps={}\n",
+            stats.in_flight, stats.queue.p99_us, stats.version, stats.swaps,
         ));
     }
     out
@@ -170,6 +179,10 @@ mod tests {
             mean_lanes_per_batch: 0.0,
             shed: 0,
             in_flight: 0,
+            version: 0,
+            swaps: 0,
+            completed_current: 0,
+            completed_prior: 0,
             queue: QueueStats {
                 peak_depth: 0,
                 p50_us: 0.0,

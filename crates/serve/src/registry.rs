@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::Ordering;
+use std::sync::Mutex;
 
 use lbnn_core::{
     ArtifactKind, CompiledModel, CoreError, Flow, Runtime, RuntimeOptions, RuntimeStats,
@@ -24,6 +25,19 @@ use lbnn_core::{
 
 use crate::metrics::ModelMetrics;
 use crate::ServeError;
+
+/// The compiled base a [`ModelEntry`] serves, retained so `.lbnnp`
+/// deltas can be applied against it at any time
+/// ([`ModelEntry::apply_patch`]). After a successful patch the stored
+/// source *is* the patched artifact: deltas chain, each binding to the
+/// checksum of whatever the entry currently serves.
+enum ModelSource {
+    /// A single-block flow artifact (boxed: a `Flow` is an order of
+    /// magnitude larger than the `CompiledModel` handle).
+    Flow(Box<Flow>),
+    /// A multi-layer compiled model artifact.
+    Model(CompiledModel),
+}
 
 /// One served model: identity, its dedicated runtime, and counters.
 pub struct ModelEntry {
@@ -41,6 +55,9 @@ pub struct ModelEntry {
     pub runtime: Runtime,
     /// Request counters for this model.
     pub metrics: ModelMetrics,
+    /// The served artifact, kept for live patching. The mutex
+    /// serializes patch application; serving never touches it.
+    source: Mutex<ModelSource>,
 }
 
 impl std::fmt::Debug for ModelEntry {
@@ -92,6 +109,41 @@ impl ModelEntry {
                 InferOutcome::BadArity(e.to_string())
             }
         }
+    }
+
+    /// Applies a `.lbnnp` patch delta to this entry's served artifact
+    /// and hot-swaps the runtime onto the patched compile — traffic in
+    /// flight finishes on the old version, new requests see the new one.
+    ///
+    /// Returns the runtime's new serving version. On success the stored
+    /// artifact becomes the patched one, so a following delta must bind
+    /// to the *patched* artifact's checksum (deltas chain).
+    ///
+    /// # Errors
+    ///
+    /// Typed artifact errors for a corrupt/truncated delta, a delta
+    /// bound to a different base
+    /// ([`BaseMismatch`](lbnn_core::ArtifactError::BaseMismatch)), or
+    /// one naming unknown cells
+    /// ([`UnknownCell`](lbnn_core::ArtifactError::UnknownCell)); the
+    /// entry keeps serving its current version unchanged on any error.
+    pub fn apply_patch(&self, delta: &[u8]) -> Result<u64, ServeError> {
+        let mut source = self.source.lock().expect("model source lock");
+        let version = match &*source {
+            ModelSource::Flow(flow) => {
+                let patched = flow.apply_delta(delta)?;
+                let version = self.runtime.swap_engine(patched.engine()?)?;
+                *source = ModelSource::Flow(Box::new(patched));
+                version
+            }
+            ModelSource::Model(model) => {
+                let patched = model.apply_delta(delta)?;
+                let version = self.runtime.swap_model(patched.clone())?;
+                *source = ModelSource::Model(patched);
+                version
+            }
+        };
+        Ok(version)
     }
 }
 
@@ -185,7 +237,64 @@ impl ModelRegistry {
                 dir: dir.display().to_string(),
             });
         }
+        // Apply any `.lbnnp` deltas sitting next to their base
+        // artifacts: `xor@3.lbnnp` patches the entry loaded from
+        // `xor@3.lbnn`. Startup patching reuses the same path as live
+        // patching, so a delta that would be rejected over the wire is
+        // rejected here too (and names its file).
+        let mut patches: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| ServeError::Io {
+                target: dir.display().to_string(),
+                reason: e.to_string(),
+            })?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "lbnnp").unwrap_or(false))
+            .collect();
+        patches.sort();
+        for path in &patches {
+            let stem = path.file_stem().and_then(|s| s.to_str()).ok_or_else(|| {
+                ServeError::BadModelName {
+                    stem: path.display().to_string(),
+                    reason: "stem is not valid utf-8".into(),
+                }
+            })?;
+            let (name, version) = parse_model_stem(stem)?;
+            let id = format!("{name}@{version}");
+            let bytes = std::fs::read(path).map_err(|e| ServeError::Io {
+                target: path.display().to_string(),
+                reason: e.to_string(),
+            })?;
+            registry.apply_patch(&id, &bytes).map_err(|e| match e {
+                ServeError::ModelNotFound { spec } => ServeError::BadModelName {
+                    stem: stem.to_string(),
+                    reason: format!("patch `{spec}.lbnnp` has no matching `.lbnn` artifact"),
+                },
+                ServeError::Core(source) => ServeError::Artifact {
+                    path: path.display().to_string(),
+                    source,
+                },
+                other => other,
+            })?;
+        }
         Ok(registry)
+    }
+
+    /// Applies a `.lbnnp` delta to the model resolved by `spec`
+    /// (`name@version` exact, or bare `name` for the latest version) —
+    /// see [`ModelEntry::apply_patch`]. Returns the runtime's new
+    /// serving version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelNotFound`] when `spec` resolves nothing;
+    /// otherwise the entry's typed patch errors.
+    pub fn apply_patch(&self, spec: &str, delta: &[u8]) -> Result<u64, ServeError> {
+        let entry = self
+            .resolve(spec)
+            .ok_or_else(|| ServeError::ModelNotFound {
+                spec: spec.to_string(),
+            })?;
+        entry.apply_patch(delta)
     }
 
     /// Register a single-block [`Flow`] under `name@version`.
@@ -199,8 +308,16 @@ impl ModelRegistry {
         let num_inputs = flow.program.num_inputs;
         let num_outputs = flow.program.outputs.len();
         let backend = flow.backend.to_string();
-        let runtime = Runtime::from_engine(flow.into_engine()?, options)?;
-        self.insert_entry(name, version, num_inputs, num_outputs, backend, runtime)
+        let runtime = Runtime::from_engine(flow.engine()?, options)?;
+        self.insert_entry(
+            name,
+            version,
+            num_inputs,
+            num_outputs,
+            backend,
+            runtime,
+            ModelSource::Flow(Box::new(flow)),
+        )
     }
 
     /// Register a multi-layer [`CompiledModel`] under `name@version`.
@@ -224,10 +341,19 @@ impl ModelRegistry {
             .first()
             .map(|l| l.backend().to_string())
             .unwrap_or_default();
-        let runtime = Runtime::from_model(model, options)?;
-        self.insert_entry(name, version, num_inputs, num_outputs, backend, runtime)
+        let runtime = Runtime::from_model(model.clone(), options)?;
+        self.insert_entry(
+            name,
+            version,
+            num_inputs,
+            num_outputs,
+            backend,
+            runtime,
+            ModelSource::Model(model),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn insert_entry(
         &mut self,
         name: &str,
@@ -236,6 +362,7 @@ impl ModelRegistry {
         num_outputs: usize,
         backend: String,
         runtime: Runtime,
+        source: ModelSource,
     ) -> Result<(), ServeError> {
         let id = format!("{name}@{version}");
         if self.by_id.contains_key(&id) {
@@ -253,6 +380,7 @@ impl ModelRegistry {
             backend,
             runtime,
             metrics: ModelMetrics::default(),
+            source: Mutex::new(source),
         });
         self.by_id.insert(id, index);
         match self.latest.get(name) {
@@ -335,6 +463,27 @@ mod tests {
             .config(LpuConfig::new(8, 4))
             .compile()
             .expect("compile tiny flow")
+    }
+
+    /// A patch set negating every primary-output gate: the replacement's
+    /// outputs differ from the base on *every* input, so a swap is
+    /// always observable.
+    fn negate_output_gates(flow: &Flow) -> lbnn_netlist::PatchSet {
+        let out_ids: std::collections::BTreeSet<_> =
+            flow.netlist.outputs().iter().map(|o| o.node).collect();
+        let patches: lbnn_netlist::PatchSet = out_ids
+            .iter()
+            .map(|&id| flow.netlist.node(id))
+            .zip(out_ids.iter())
+            .filter_map(|(node, &id)| {
+                node.op()
+                    .negated()
+                    .filter(|_| node.op().is_executable())
+                    .map(|neg| (id, neg))
+            })
+            .collect();
+        assert!(!patches.is_empty(), "flow has no patchable output gates");
+        patches
     }
 
     #[test]
@@ -434,6 +583,105 @@ mod tests {
         std::fs::write(dir.join("bad@1.lbnn"), b"garbage").unwrap();
         let err = ModelRegistry::load_dir(&dir, &RuntimeOptions::default()).unwrap_err();
         assert!(matches!(err, ServeError::Artifact { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A `.lbnnp` delta negating a few gates: applying it through the
+    /// registry hot-swaps the runtime, flips the served outputs to the
+    /// patched oracle, and bumps the serving version; errors are typed
+    /// and leave the entry serving unchanged.
+    #[test]
+    fn apply_patch_swaps_the_served_compile() {
+        let flow = tiny_flow(9);
+        let patches = negate_output_gates(&flow);
+        let delta = flow.make_delta(&patches).unwrap();
+        let patched_flow = flow.apply_patches(&patches).unwrap();
+        let bits: Vec<bool> = (0..flow.program.num_inputs).map(|i| i % 2 == 0).collect();
+        let base_want = flow.netlist.eval_bools(&bits);
+        let patched_want = patched_flow.netlist.eval_bools(&bits);
+        assert_ne!(base_want, patched_want, "patch must be observable");
+
+        let mut registry = ModelRegistry::new();
+        registry
+            .insert_flow("m", "1", flow, RuntimeOptions::default())
+            .unwrap();
+        let entry = registry.resolve("m").unwrap();
+        let before = match entry.infer(&bits) {
+            InferOutcome::Ok(out) => out,
+            other => panic!("unexpected outcome: {other:?}"),
+        };
+        assert_eq!(before, base_want);
+
+        // Unknown spec and corrupt delta are typed, non-destructive.
+        assert!(matches!(
+            registry.apply_patch("nope", &delta).unwrap_err(),
+            ServeError::ModelNotFound { .. }
+        ));
+        assert!(matches!(
+            registry.apply_patch("m", b"garbage").unwrap_err(),
+            ServeError::Core(_)
+        ));
+        assert_eq!(registry.resolve("m").unwrap().stats().version, 0);
+
+        let version = registry.apply_patch("m", &delta).unwrap();
+        assert_eq!(version, 1);
+        let entry = registry.resolve("m").unwrap();
+        assert_eq!(entry.stats().version, 1);
+        assert_eq!(entry.stats().swaps, 1);
+        let after = match entry.infer(&bits) {
+            InferOutcome::Ok(out) => out,
+            other => panic!("unexpected outcome: {other:?}"),
+        };
+        let want: Vec<bool> = patched_flow.source.eval_bools(&bits);
+        let outputs = patched_flow.netlist.outputs().len();
+        assert_eq!(after.len(), outputs);
+        assert_eq!(after, want[want.len() - outputs..].to_vec());
+
+        // The stored source is now the patched artifact: the same delta
+        // no longer binds (deltas chain), with a typed BaseMismatch.
+        let err = registry.apply_patch("m", &delta).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Core(lbnn_core::CoreError::Artifact(
+                    lbnn_core::ArtifactError::BaseMismatch { .. }
+                ))
+            ),
+            "{err:?}"
+        );
+        registry.drain_all();
+    }
+
+    /// `load_dir` applies `name@version.lbnnp` deltas found next to
+    /// their base artifacts at startup; an orphan delta is an error.
+    #[test]
+    fn load_dir_applies_sidecar_patches() {
+        let dir = std::env::temp_dir().join(format!("lbnn-serve-patch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let flow = tiny_flow(10);
+        let patches = negate_output_gates(&flow);
+        let delta = flow.make_delta(&patches).unwrap();
+        let patched_flow = flow.apply_patches(&patches).unwrap();
+        flow.save(dir.join("hot@2.lbnn")).unwrap();
+        std::fs::write(dir.join("hot@2.lbnnp"), &delta).unwrap();
+
+        let registry = ModelRegistry::load_dir(&dir, &RuntimeOptions::default()).unwrap();
+        let entry = registry.resolve("hot").unwrap();
+        assert_eq!(entry.stats().version, 1, "startup patch must swap");
+        let bits: Vec<bool> = (0..entry.num_inputs).map(|i| i % 3 != 0).collect();
+        let got = match entry.infer(&bits) {
+            InferOutcome::Ok(out) => out,
+            other => panic!("unexpected outcome: {other:?}"),
+        };
+        let want = patched_flow.source.eval_bools(&bits);
+        let outputs = patched_flow.netlist.outputs().len();
+        assert_eq!(got, want[want.len() - outputs..].to_vec());
+        registry.drain_all();
+
+        // An orphan delta (no matching .lbnn) fails the load by name.
+        std::fs::write(dir.join("ghost@1.lbnnp"), &delta).unwrap();
+        let err = ModelRegistry::load_dir(&dir, &RuntimeOptions::default()).unwrap_err();
+        assert!(matches!(err, ServeError::BadModelName { .. }), "{err:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

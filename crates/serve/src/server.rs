@@ -19,6 +19,7 @@
 //! GET  /v1/models/{name[@version]}   single model info
 //! POST /v1/models/{name[@version]}/infer   body "0101…" → "10…"
 //! POST /admin/shutdown               begin graceful drain (if enabled)
+//! POST /admin/patch/{name[@version]} body = `.lbnnp` delta → hot-swap (if enabled)
 //! ```
 //!
 //! ## Graceful drain
@@ -502,6 +503,15 @@ fn route(req: &Request, shared: &Shared) -> (u16, String) {
             (200, "draining\n".into())
         }
         (method, path) => {
+            if let Some(spec) = path.strip_prefix("/admin/patch/") {
+                if !shared.enable_admin {
+                    return (404, "not found\n".into());
+                }
+                if method != "POST" {
+                    return (405, "use POST\n".into());
+                }
+                return patch_http(spec, &req.body, shared);
+            }
             if let Some(rest) = path.strip_prefix("/v1/models/") {
                 if let Some(spec) = rest.strip_suffix("/infer") {
                     return match method {
@@ -528,6 +538,24 @@ fn route(req: &Request, shared: &Shared) -> (u16, String) {
             }
             (404, "not found\n".into())
         }
+    }
+}
+
+/// `POST /admin/patch/{spec}`: raw `.lbnnp` delta body in, hot-swap the
+/// named model onto the patched compile. Status codes make the failure
+/// class machine-readable: `404` unknown model, `409` the delta binds to
+/// a different base artifact, `400` anything malformed.
+fn patch_http(spec: &str, body: &[u8], shared: &Shared) -> (u16, String) {
+    use lbnn_core::{ArtifactError, CoreError};
+    match shared.registry.apply_patch(spec, body) {
+        Ok(version) => (200, format!("{spec} now serving version {version}\n")),
+        Err(ServeError::ModelNotFound { spec }) => {
+            (404, format!("no model `{spec}` in the registry\n"))
+        }
+        Err(ServeError::Core(CoreError::Artifact(e @ ArtifactError::BaseMismatch { .. }))) => {
+            (409, format!("{e}\n"))
+        }
+        Err(e) => (400, format!("{e}\n")),
     }
 }
 
@@ -620,6 +648,98 @@ mod tests {
         let report = join.join().unwrap();
         assert_eq!(report.http_connections, 4);
         assert_eq!(report.models.len(), 1);
+    }
+
+    fn http_post(addr: SocketAddr, path: &str, body: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .unwrap();
+        stream.write_all(body).unwrap();
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    /// `POST /admin/patch/{model}` with a `.lbnnp` body hot-swaps the
+    /// served compile: responses flip to the patched oracle, the
+    /// version counters surface in `/metrics`, and the error statuses
+    /// are per failure class (404 / 409 / 400).
+    #[test]
+    fn admin_patch_hot_swaps_over_http() {
+        use lbnn_netlist::PatchSet;
+        let netlist = RandomDag::strict(12, 4, 8).generate(19);
+        let flow = Flow::builder(&netlist)
+            .config(LpuConfig::new(8, 4))
+            .compile()
+            .unwrap();
+        // Negate every output gate: the swap is observable on any input.
+        let patches: PatchSet = flow
+            .netlist
+            .outputs()
+            .iter()
+            .map(|o| o.node)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .filter_map(|id| flow.netlist.node(id).op().negated().map(|neg| (id, neg)))
+            .collect();
+        assert!(!patches.is_empty());
+        let delta = flow.make_delta(&patches).unwrap();
+        let patched = flow.apply_patches(&patches).unwrap();
+        let width = flow.program.num_inputs;
+        let bits: Vec<bool> = (0..width).map(|i| i % 2 == 1).collect();
+        let body: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let base_want: String = flow
+            .netlist
+            .eval_bools(&bits)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        let patched_want: String = patched
+            .netlist
+            .eval_bools(&bits)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        assert_ne!(base_want, patched_want);
+
+        let mut registry = ModelRegistry::new();
+        registry
+            .insert_flow("p", "1", flow, RuntimeOptions::default())
+            .unwrap();
+        let (addr, handle, join) = start(registry);
+
+        let resp = http_post(addr, "/v1/models/p/infer", body.as_bytes());
+        assert!(resp.contains(&base_want), "got: {resp}");
+
+        // Failure classes first: unknown model, corrupt delta.
+        assert!(http_post(addr, "/admin/patch/ghost", &delta).starts_with("HTTP/1.1 404"));
+        assert!(http_post(addr, "/admin/patch/p", b"junk").starts_with("HTTP/1.1 400"));
+
+        let resp = http_post(addr, "/admin/patch/p", &delta);
+        assert!(resp.starts_with("HTTP/1.1 200"), "got: {resp}");
+        assert!(resp.contains("serving version 1"), "got: {resp}");
+
+        let resp = http_post(addr, "/v1/models/p/infer", body.as_bytes());
+        assert!(resp.contains(&patched_want), "got: {resp}");
+
+        // Replaying the same delta now mismatches the (patched) base.
+        assert!(http_post(addr, "/admin/patch/p", &delta).starts_with("HTTP/1.1 409"));
+
+        let metrics = http_get(addr, "/metrics");
+        assert!(
+            metrics.contains("lbnn_model_serving_version{model=\"p@1\"} 1"),
+            "got: {metrics}"
+        );
+        assert!(
+            metrics.contains("lbnn_model_swaps_total{model=\"p@1\"} 1"),
+            "got: {metrics}"
+        );
+        handle.shutdown();
+        join.join().unwrap();
     }
 
     #[test]

@@ -81,9 +81,10 @@ pub use lbnn_switch as switch;
 pub use lbnn_core::{
     ArtifactError, Backend, CompileArtifacts, CompileReport, CompiledModel, CoreError, Engine,
     EngineCore, EngineScratch, Flow, FlowBuilder, FlowOptions, FlowStats, LayerSpec, LpuConfig,
-    LpuMachine, ModelScratch, PassReport, QueueStats, RequestHandle, Runtime, RuntimeOptions,
-    RuntimeStats, ServingMode, ThroughputReport, WallTiming,
+    LpuMachine, ModelScratch, PassReport, PatchDelta, PatchRecord, QueueStats, RequestHandle,
+    Runtime, RuntimeOptions, RuntimeStats, ServingMode, ThroughputReport, WallTiming,
 };
+pub use lbnn_netlist::PatchSet;
 
 /// Compiles the README's code blocks as doctests (`cargo test --doc`),
 /// so the quickstart in the repository front page cannot rot.

@@ -324,3 +324,166 @@ fn compile_report_travels_with_the_artifact() {
     assert!(loaded.artifacts.is_none(), "compiler state does not travel");
     assert!(flow.artifacts.is_some(), "fresh compiles keep it");
 }
+
+/// A patch delta round-trips through a `.lbnnp` sidecar file: the
+/// reloaded delta applies to a *reloaded* base artifact and the result
+/// serves the same bits as patching the in-process flow directly.
+#[test]
+fn patch_delta_round_trips_through_files() {
+    use lbnn::netlist::PatchSet;
+    let netlist = RandomDag::strict(9, 4, 7).outputs(3).generate(17);
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(4, 4))
+        .backend(Backend::BitSliced64)
+        .compile()
+        .unwrap();
+    let patches: PatchSet = flow
+        .netlist
+        .iter()
+        .filter(|(_, n)| n.op().is_gate2())
+        .take(4)
+        .map(|(id, n)| (id, n.op().negated().unwrap()))
+        .collect();
+
+    let base_path = temp_path("patch-base");
+    let delta_path =
+        std::env::temp_dir().join(format!("lbnn-roundtrip-delta-{}.lbnnp", std::process::id()));
+    flow.save(&base_path).unwrap();
+    std::fs::write(&delta_path, flow.make_delta(&patches).unwrap()).unwrap();
+
+    let reloaded = Flow::load(&base_path).unwrap();
+    let delta = std::fs::read(&delta_path).unwrap();
+    let patched = reloaded.apply_delta(&delta).unwrap();
+    let direct = flow.apply_patches(&patches).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let width = netlist.inputs().len();
+    let batch = random_lanes(&mut rng, width, 64);
+    let a = patched.into_engine().unwrap().run_batch(&batch).unwrap();
+    let b = direct.into_engine().unwrap().run_batch(&batch).unwrap();
+    for (x, y) in a.outputs.iter().zip(b.outputs.iter()) {
+        for lane in 0..64 {
+            assert_eq!(x.get(lane), y.get(lane));
+        }
+    }
+    std::fs::remove_file(&base_path).ok();
+    std::fs::remove_file(&delta_path).ok();
+}
+
+/// Corrupt `.lbnnp` images surface as the most specific typed
+/// `ArtifactError` — truncation, bad magic, unsupported version, a
+/// delta bound to a different base, a record naming a cell the base
+/// does not have, trailing garbage — and a full byte-flip sweep never
+/// panics and never silently applies.
+#[test]
+fn corrupted_patch_deltas_report_typed_errors() {
+    use lbnn::netlist::PatchSet;
+    use lbnn::{PatchDelta, PatchRecord};
+    let netlist = RandomDag::strict(9, 4, 7).outputs(3).generate(23);
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(4, 4))
+        .compile()
+        .unwrap();
+    let patches: PatchSet = flow
+        .netlist
+        .iter()
+        .filter(|(_, n)| n.op().is_gate2())
+        .take(3)
+        .map(|(id, n)| (id, n.op().negated().unwrap()))
+        .collect();
+    let delta = flow.make_delta(&patches).unwrap();
+    assert!(
+        flow.apply_delta(&delta).is_ok(),
+        "the pristine delta applies"
+    );
+
+    // Truncation at every structural boundary (and a few odd offsets).
+    for cut in [0, 4, 7, 8, 12, 19, 23, 24, delta.len() - 9, delta.len() - 1] {
+        let err = flow.apply_delta(&delta[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Artifact(ArtifactError::Truncated { .. } | ArtifactError::BadMagic)
+            ),
+            "cut at {cut}: {err:?}"
+        );
+    }
+
+    // Bad magic.
+    let mut bad = delta.clone();
+    bad[0] = b'x';
+    assert!(
+        matches!(
+            flow.apply_delta(&bad).unwrap_err(),
+            CoreError::Artifact(ArtifactError::BadMagic)
+        ),
+        "bad magic"
+    );
+
+    // Unsupported version (the checksum is irrelevant: version is
+    // checked before the trailer).
+    let mut bad = delta.clone();
+    bad[8..12].copy_from_slice(&9u32.to_le_bytes());
+    assert!(
+        matches!(
+            flow.apply_delta(&bad).unwrap_err(),
+            CoreError::Artifact(ArtifactError::UnsupportedVersion { found: 9, .. })
+        ),
+        "unsupported version"
+    );
+
+    // A structurally valid delta bound to a *different* base: parse,
+    // perturb the binding, re-serialize (fresh trailer).
+    let parsed = PatchDelta::from_bytes(&delta).unwrap();
+    let foreign = PatchDelta {
+        base_checksum: parsed.base_checksum.wrapping_add(1),
+        records: parsed.records.clone(),
+    };
+    let err = flow.apply_delta(&foreign.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Artifact(ArtifactError::BaseMismatch { .. })),
+        "{err:?}"
+    );
+
+    // A record naming a cell the base artifact does not have.
+    let mut ghost = parsed.clone();
+    ghost.records.push(PatchRecord {
+        layer: 0,
+        node: lbnn::netlist::NodeId::new(1_000_000),
+        op: lbnn::netlist::Op::And,
+    });
+    let err = flow.apply_delta(&ghost.to_bytes()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::Artifact(ArtifactError::UnknownCell { layer: 0, .. })
+        ),
+        "{err:?}"
+    );
+
+    // A record targeting a layer a single-flow artifact does not have.
+    let mut wrong_layer = parsed.clone();
+    wrong_layer.records[0].layer = 3;
+    assert!(
+        flow.apply_delta(&wrong_layer.to_bytes()).is_err(),
+        "wrong layer must be rejected"
+    );
+
+    // Trailing garbage after a well-formed image.
+    let mut long = delta.clone();
+    long.extend_from_slice(b"junk");
+    assert!(flow.apply_delta(&long).is_err(), "trailing bytes rejected");
+
+    // Exhaustive single-byte-flip sweep: every corruption is a typed
+    // error (the Err return *is* the no-panic proof), and the base
+    // flow still serves afterwards.
+    for i in 0..delta.len() {
+        let mut bad = delta.clone();
+        bad[i] ^= 0xa5;
+        assert!(
+            flow.apply_delta(&bad).is_err(),
+            "flip at byte {i} must not apply"
+        );
+    }
+    assert!(flow.engine().is_ok(), "base flow unharmed by the sweep");
+}

@@ -314,3 +314,251 @@ fn backpressure_and_deadline_flush_deliver_every_response() {
     assert!(stats.deadline_flushes >= 1, "{stats:?}");
     assert!(stats.full_flushes >= 50, "{stats:?}");
 }
+
+/// Negates every primary-output cell of `flow`'s mapped netlist: the
+/// strongest observable patch. Every output bit flips for every input,
+/// so a torn response — one mixing vN and vN+1 cells — matches
+/// *neither* version's oracle and cannot hide.
+fn negate_outputs(flow: &Flow) -> lbnn::PatchSet {
+    let outputs: std::collections::BTreeSet<_> =
+        flow.netlist.outputs().iter().map(|o| o.node).collect();
+    let patches: lbnn::PatchSet = outputs
+        .into_iter()
+        .map(|id| {
+            let negated = flow
+                .netlist
+                .node(id)
+                .op()
+                .negated()
+                .expect("output cells of a random DAG are gates");
+            (id, negated)
+        })
+        .collect();
+    assert!(!patches.is_empty());
+    patches
+}
+
+/// ISSUE 7 acceptance: `swap_engine` under concurrent traffic. Four
+/// submitters push 2000 requests through the runtime while the main
+/// thread hot-swaps v0 → v1 mid-stream. Every response must be
+/// bit-identical to exactly one version's oracle — never torn, never
+/// dropped — and the per-version counters must account for every
+/// request.
+#[test]
+fn hot_swap_under_traffic_never_tears_or_drops() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 500; // 2000 in flight across the swap
+    let netlist = RandomDag::strict(10, 5, 8).outputs(4).generate(99);
+    let width = netlist.inputs().len();
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(5, 4))
+        .backend(Backend::BitSliced { words: 2 })
+        .compile()
+        .unwrap();
+    let patches = negate_outputs(&flow);
+    let patched_flow = flow.apply_patches(&patches).unwrap();
+
+    // Both versions' oracles for every request, computed up front from
+    // the packed sequential engines.
+    let base_ref = flow.engine().unwrap();
+    let patched_ref = patched_flow.engine().unwrap();
+    let mut scratch = EngineScratch::new();
+    let mut base_want: Vec<Vec<Vec<bool>>> = Vec::with_capacity(THREADS);
+    let mut patched_want: Vec<Vec<Vec<bool>>> = Vec::with_capacity(THREADS);
+    for t in 0..THREADS {
+        let requests: Vec<Vec<bool>> = (0..PER_THREAD)
+            .map(|r| request_bits(width, r as u64, t as u64))
+            .collect();
+        let packed = pack(&requests, width);
+        let b = base_ref
+            .run_batch_with(&mut scratch, &packed)
+            .unwrap()
+            .outputs;
+        let p = patched_ref
+            .run_batch_with(&mut scratch, &packed)
+            .unwrap()
+            .outputs;
+        let rows = |outs: &[Lanes]| -> Vec<Vec<bool>> {
+            (0..PER_THREAD)
+                .map(|j| outs.iter().map(|o| o.get(j)).collect())
+                .collect()
+        };
+        base_want.push(rows(&b));
+        patched_want.push(rows(&p));
+    }
+    for t in 0..THREADS {
+        for j in 0..PER_THREAD {
+            assert_ne!(
+                base_want[t][j], patched_want[t][j],
+                "negated outputs must make the versions distinguishable on every request"
+            );
+        }
+    }
+
+    let runtime = Arc::new(
+        Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(2)
+                .max_batch(8)
+                .flush_after(Duration::from_millis(1)),
+        )
+        .unwrap(),
+    );
+    assert_eq!(runtime.version(), 0);
+
+    let matched_old = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let matched_new = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let runtime = Arc::clone(&runtime);
+            let matched_old = Arc::clone(&matched_old);
+            let matched_new = Arc::clone(&matched_new);
+            let base_want = &base_want[t];
+            let patched_want = &patched_want[t];
+            scope.spawn(move || {
+                let handles: Vec<RequestHandle> = (0..PER_THREAD)
+                    .map(|r| {
+                        runtime
+                            .submit(&request_bits(width, r as u64, t as u64))
+                            .unwrap()
+                    })
+                    .collect();
+                runtime.flush();
+                for (j, handle) in handles.into_iter().enumerate() {
+                    // Zero drops: every accepted request resolves.
+                    let got = handle.wait().unwrap();
+                    if got == base_want[j] {
+                        matched_old.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    } else if got == patched_want[j] {
+                        matched_new.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    } else {
+                        panic!("torn response: thread {t} request {j} matches neither v0 nor v1");
+                    }
+                }
+            });
+        }
+        // Swap mid-traffic.
+        std::thread::sleep(Duration::from_millis(2));
+        let version = runtime.swap_engine(patched_flow.engine().unwrap()).unwrap();
+        assert_eq!(version, 1);
+    });
+    runtime.drain();
+
+    let total = (THREADS * PER_THREAD) as u64;
+    let old = matched_old.load(std::sync::atomic::Ordering::Relaxed);
+    let new = matched_new.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        old + new,
+        total,
+        "every response matched exactly one version"
+    );
+    let stats = runtime.stats();
+    assert_eq!(stats.requests, total);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.version, 1);
+    assert_eq!(
+        stats.completed_current + stats.completed_prior,
+        total,
+        "{stats:?}"
+    );
+
+    // After the dust settles the runtime serves v1 exclusively.
+    let post: Vec<bool> = request_bits(width, 7, 1);
+    let handle = runtime.submit(&post).unwrap();
+    runtime.flush();
+    let got = handle.wait().unwrap();
+    assert_eq!(got, patched_want[1][7], "post-swap requests serve v1");
+}
+
+/// The swap/shed/drain interaction: a swap first flushes the pending
+/// partial micro-batch to the *old* core (requests admitted before the
+/// swap are answered by the version that admitted them), shed
+/// accounting survives the swap untouched, and admission capacity
+/// recovers afterwards on the new version.
+#[test]
+fn swap_flushes_pending_to_old_core_and_keeps_shed_accounting() {
+    let netlist = RandomDag::strict(9, 4, 7).outputs(3).generate(31);
+    let width = netlist.inputs().len();
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(4, 4))
+        .backend(Backend::BitSliced64)
+        .compile()
+        .unwrap();
+    let patches = negate_outputs(&flow);
+    let patched_flow = flow.apply_patches(&patches).unwrap();
+    let base_ref = flow.engine().unwrap();
+    let patched_ref = patched_flow.engine().unwrap();
+    let mut scratch = EngineScratch::new();
+
+    // Huge batch target + hour-long deadline: nothing flushes until the
+    // swap does. Admission capped at 6 so the 7th request sheds.
+    let runtime = Runtime::from_engine(
+        flow.engine().unwrap(),
+        RuntimeOptions::default()
+            .workers(1)
+            .max_batch(64)
+            .flush_after(Duration::from_secs(3600))
+            .admission_limit(6),
+    )
+    .unwrap();
+
+    let pre: Vec<Vec<bool>> = (0..6).map(|r| request_bits(width, r, 8)).collect();
+    let handles: Vec<RequestHandle> = pre
+        .iter()
+        .map(|bits| runtime.try_submit(bits).unwrap())
+        .collect();
+    let overflow = runtime.try_submit(&request_bits(width, 9, 8));
+    assert!(
+        matches!(overflow, Err(lbnn::CoreError::Overloaded { .. })),
+        "{overflow:?}"
+    );
+    assert_eq!(runtime.stats().shed, 1);
+
+    // The swap flushes the six pending requests to the v0 core before
+    // installing v1.
+    assert_eq!(
+        runtime.swap_engine(patched_flow.engine().unwrap()).unwrap(),
+        1
+    );
+    let packed = pack(&pre, width);
+    let want_v0 = base_ref
+        .run_batch_with(&mut scratch, &packed)
+        .unwrap()
+        .outputs;
+    for (j, handle) in handles.into_iter().enumerate() {
+        let got = handle.wait().unwrap();
+        let want: Vec<bool> = want_v0.iter().map(|o| o.get(j)).collect();
+        assert_eq!(got, want, "pre-swap request {j} must be served by v0");
+    }
+    runtime.drain();
+
+    // Admission capacity recovered; new traffic serves v1 bits.
+    let post: Vec<Vec<bool>> = (0..6).map(|r| request_bits(width, r, 21)).collect();
+    let post_handles: Vec<RequestHandle> = post
+        .iter()
+        .map(|bits| runtime.try_submit(bits).unwrap())
+        .collect();
+    runtime.flush();
+    let packed = pack(&post, width);
+    let want_v1 = patched_ref
+        .run_batch_with(&mut scratch, &packed)
+        .unwrap()
+        .outputs;
+    for (j, handle) in post_handles.into_iter().enumerate() {
+        let got = handle.wait().unwrap();
+        let want: Vec<bool> = want_v1.iter().map(|o| o.get(j)).collect();
+        assert_eq!(got, want, "post-swap request {j} must be served by v1");
+    }
+    let stats = runtime.stats();
+    assert_eq!(stats.requests, 12);
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.version, 1);
+    assert_eq!(
+        stats.completed_current + stats.completed_prior,
+        stats.requests
+    );
+}
