@@ -259,6 +259,35 @@ fn print_compile_report(flow: &Flow) {
     }
 }
 
+fn print_tape_stats(flow: &Flow) {
+    let Some(stats) = flow.tape_stats() else {
+        return; // scalar flow, or a loaded artifact without a cached tape
+    };
+    let words = match flow.backend {
+        Backend::BitSliced { words } => words,
+        Backend::Scalar => return,
+    };
+    println!("kernel tape (locality pass):");
+    println!(
+        "  {} instructions, {} fused chains ({} accumulator-resident results)",
+        stats.tape_len, stats.fused_chains, stats.fused_instrs
+    );
+    println!(
+        "  frame slots {} -> {} live ({:.1} KiB at {} lanes)",
+        stats.frame_slots_unoptimized,
+        stats.frame_slots,
+        stats.frame_bytes(words) as f64 / 1024.0,
+        64 * words
+    );
+    println!(
+        "  peak level working set {} slots ({:.1} KiB), {} tile(s)/block at cap {} words",
+        stats.max_level_working_set,
+        stats.max_level_working_set_bytes(words) as f64 / 1024.0,
+        stats.tiles_at(words),
+        stats.tile_words()
+    );
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
 
@@ -364,6 +393,7 @@ fn main() -> ExitCode {
 
     print_flow_summary(&flow);
     print_compile_report(&flow);
+    print_tape_stats(&flow);
 
     // Loaded artifacts go straight to a resident engine (that is their
     // point); surface the serving parameters.

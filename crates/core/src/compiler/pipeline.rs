@@ -2,7 +2,10 @@
 //!
 //! `run` drives the paper's Fig 1 flow as a sequence of named passes —
 //! `optimize → balance → levelize → partition → merge → schedule →
-//! codegen` — threading a `CompileContext` through them. Every pass
+//! codegen`, plus a `locality` pass for bit-sliced backends that
+//! compiles the fused, slot-renumbered kernel tape
+//! ([`lbnn_netlist::BitSliceEvaluator`]) and records how far the live
+//! frame shrank — threading a `CompileContext` through them. Every pass
 //! reports its wall time and a before/after statistic into the
 //! [`CompileReport`] attached to the resulting
 //! [`crate::flow::Flow`], so per-stage compile cost is visible at
@@ -21,12 +24,13 @@ use std::time::Instant;
 
 use lbnn_logic_synth::{optimize, OptimizeOptions};
 use lbnn_netlist::balance::balance;
-use lbnn_netlist::{Levels, Netlist, Op};
+use lbnn_netlist::{BitSliceEvaluator, Levels, Netlist, Op};
 
 use crate::compiler::codegen::generate;
 use crate::compiler::merge::{merge_mfgs, MergeStats};
 use crate::compiler::partition::partition;
 use crate::compiler::schedule::schedule_spacetime;
+use crate::engine::Backend;
 use crate::error::CoreError;
 use crate::flow::{CompileArtifacts, Flow, FlowOptions, FlowStats};
 use crate::lpu::LpuConfig;
@@ -280,6 +284,22 @@ pub(crate) fn run(
         Ok((program, count))
     })?;
 
+    // 8. Tape locality (bit-sliced backends only): compile the fused,
+    //    slot-renumbered, cache-budgeted kernel tape now, so the report
+    //    records what the pass saved (frame slots before → after) and
+    //    the engine reuses the tape instead of recompiling it.
+    let tape = match options.backend {
+        Backend::Scalar => None,
+        Backend::BitSliced { .. } => {
+            let slots_before = balanced.len();
+            Some(cx.pass("locality", "slots", Some(slots_before), || {
+                let tape = BitSliceEvaluator::compile(&balanced);
+                let live = tape.tape_stats().frame_slots;
+                Ok((tape, live))
+            })?)
+        }
+    };
+
     let stats = FlowStats {
         gates: balanced.gate_count(),
         depth: levels.depth(),
@@ -311,6 +331,7 @@ pub(crate) fn run(
             partition: part,
             merge_stats,
             schedule,
+            tape,
         }),
     })
 }
@@ -433,6 +454,42 @@ mod tests {
         let merge = flow.report.pass("merge").unwrap();
         assert_eq!(merge.before, merge.after);
         assert_eq!(flow.stats.mfgs, flow.stats.mfgs_before_merge);
+    }
+
+    /// Bit-sliced compiles append the locality pass: the report shows
+    /// the frame shrinking from one-slot-per-node to the live footprint,
+    /// and the compiled tape rides along in the artifacts.
+    #[test]
+    fn bitsliced_compiles_record_the_locality_pass() {
+        use crate::engine::Backend;
+        let nl = RandomDag::strict(16, 6, 12).outputs(4).generate(3);
+        let flow = Flow::builder(&nl)
+            .config(LpuConfig::new(8, 4))
+            .backend(Backend::BitSliced { words: 4 })
+            .compile()
+            .unwrap();
+        let names: Vec<&str> = flow.report.passes.iter().map(|p| p.name.as_str()).collect();
+        let mut expected: Vec<&str> = PASS_ORDER.to_vec();
+        expected.push("locality");
+        assert_eq!(names, expected);
+        let locality = flow.report.pass("locality").unwrap();
+        assert_eq!(locality.stat, "slots");
+        assert_eq!(locality.before, flow.netlist.len());
+        assert!(locality.after <= locality.before);
+        let tape = flow
+            .artifacts
+            .as_ref()
+            .and_then(|a| a.tape.as_ref())
+            .expect("bit-sliced artifacts carry the compiled tape");
+        assert_eq!(tape.tape_stats().frame_slots, locality.after);
+
+        // Scalar compiles stay exactly the canonical 7 passes, tape-free.
+        let scalar = Flow::builder(&nl)
+            .config(LpuConfig::new(8, 4))
+            .compile()
+            .unwrap();
+        assert_eq!(scalar.report.passes.len(), PASS_ORDER.len());
+        assert!(scalar.artifacts.as_ref().unwrap().tape.is_none());
     }
 
     #[test]

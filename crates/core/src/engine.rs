@@ -45,7 +45,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use lbnn_netlist::{
-    BitSliceEvaluator, Lanes, Netlist, PatchSet, SliceFrame, SUPPORTED_SLICE_WORDS,
+    BitSliceEvaluator, Lanes, Netlist, PatchSet, SliceFrame, TapeStats, SUPPORTED_SLICE_WORDS,
 };
 
 use crate::compiler::program::LpuProgram;
@@ -273,6 +273,13 @@ impl EngineCore {
         &self.program
     }
 
+    /// Locality statistics of the resident kernel tape
+    /// ([`TapeStats`]: fused chains, live frame slots, tiling); `None`
+    /// on scalar cores, which execute no tape.
+    pub fn tape_stats(&self) -> Option<TapeStats> {
+        self.sliced.as_ref().map(BitSliceEvaluator::tape_stats)
+    }
+
     /// Steady-state clock cycles between batch starts (initiation
     /// interval × `tc`): back-to-back serving admits a new batch every
     /// `queue_depth` compute cycles, not every full fill+drain latency.
@@ -463,11 +470,14 @@ impl Engine {
     /// Returns [`CoreError::BadConfig`] if the configuration is unusable
     /// or the program was compiled for a different machine shape.
     pub fn new(config: LpuConfig, program: LpuProgram) -> Result<Self, CoreError> {
-        Engine::build(config, program, Backend::Scalar, None)
+        Engine::build(config, program, Backend::Scalar, None, None)
     }
 
     /// Builds an engine serving `flow`'s program on `flow`'s backend
     /// (clones the program; use [`Flow::into_engine`] to avoid the copy).
+    /// A flow whose artifacts carry the locality pass's compiled tape
+    /// hands it over directly; flows loaded from serialized artifacts
+    /// recompile it (deterministically) from the mapped netlist.
     ///
     /// # Errors
     ///
@@ -478,6 +488,7 @@ impl Engine {
             flow.program.clone(),
             flow.backend,
             Some(&flow.netlist),
+            flow.artifacts.as_ref().and_then(|a| a.tape.clone()),
         )
     }
 
@@ -494,11 +505,15 @@ impl Engine {
 
     /// Shared constructor: `netlist` (the mapped netlist the program
     /// computes) is required for [`Backend::BitSliced64`].
+    /// `precompiled` short-circuits tape compilation with the locality
+    /// pass's output when the caller already has it (a freshly compiled
+    /// [`Flow`]); it must have been compiled from the same netlist.
     pub(crate) fn build(
         config: LpuConfig,
         program: LpuProgram,
         backend: Backend,
         netlist: Option<&Netlist>,
+        precompiled: Option<BitSliceEvaluator>,
     ) -> Result<Self, CoreError> {
         let machine = LpuMachine::new(config)?;
         backend.validate()?;
@@ -513,12 +528,17 @@ impl Engine {
         let sliced = match backend {
             Backend::Scalar => None,
             Backend::BitSliced { .. } => {
-                let netlist = netlist.ok_or_else(|| CoreError::BadConfig {
-                    reason: "the bit-sliced backend needs the mapped netlist; build the engine \
-                             from a Flow"
-                        .to_string(),
-                })?;
-                let sliced = BitSliceEvaluator::compile(netlist);
+                let sliced = match precompiled {
+                    Some(tape) => tape,
+                    None => {
+                        let netlist = netlist.ok_or_else(|| CoreError::BadConfig {
+                            reason: "the bit-sliced backend needs the mapped netlist; build the \
+                                     engine from a Flow"
+                                .to_string(),
+                        })?;
+                        BitSliceEvaluator::compile(netlist)
+                    }
+                };
                 if sliced.num_inputs() != program.num_inputs
                     || sliced.num_outputs() != program.outputs.len()
                 {
@@ -621,6 +641,12 @@ impl Engine {
     /// The execution backend this engine replays batches on.
     pub fn backend(&self) -> Backend {
         self.core.backend
+    }
+
+    /// Locality statistics of the resident kernel tape
+    /// ([`EngineCore::tape_stats`]); `None` on scalar engines.
+    pub fn tape_stats(&self) -> Option<TapeStats> {
+        self.core.tape_stats()
     }
 
     /// Lanes one kernel pass natively packs (64–512 for bit-sliced
@@ -856,13 +882,34 @@ impl Flow {
     }
 
     /// Converts this flow into a resident [`Engine`], moving the program
-    /// (the compiler artifacts are dropped).
+    /// and the locality pass's compiled kernel tape (the remaining
+    /// compiler artifacts are dropped).
     ///
     /// # Errors
     ///
     /// See [`Engine::new`].
     pub fn into_engine(self) -> Result<Engine, CoreError> {
-        Engine::build(self.config, self.program, self.backend, Some(&self.netlist))
+        let Flow {
+            netlist,
+            program,
+            config,
+            backend,
+            artifacts,
+            ..
+        } = self;
+        let tape = artifacts.and_then(|a| a.tape);
+        Engine::build(config, program, backend, Some(&netlist), tape)
+    }
+
+    /// Locality statistics of the kernel tape the `locality` pass
+    /// compiled for this flow ([`TapeStats`]); `None` for scalar flows
+    /// and flows loaded from serialized artifacts (which recompile the
+    /// tape at engine build).
+    pub fn tape_stats(&self) -> Option<TapeStats> {
+        self.artifacts
+            .as_ref()
+            .and_then(|a| a.tape.as_ref())
+            .map(BitSliceEvaluator::tape_stats)
     }
 }
 

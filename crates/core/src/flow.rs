@@ -24,7 +24,7 @@
 //! ```
 
 use lbnn_netlist::eval::evaluate;
-use lbnn_netlist::{Lanes, Levels, Netlist, PatchSet};
+use lbnn_netlist::{BitSliceEvaluator, Lanes, Levels, Netlist, PatchSet};
 
 use crate::compiler::merge::MergeStats;
 use crate::compiler::partition::{Partition, PartitionOptions};
@@ -119,6 +119,11 @@ pub struct CompileArtifacts {
     pub merge_stats: MergeStats,
     /// The space-time schedule.
     pub schedule: Schedule,
+    /// The fused, slot-renumbered bit-sliced kernel tape the `locality`
+    /// pass compiled (bit-sliced backends only; `None` for scalar
+    /// flows). Engines built from this flow reuse it instead of
+    /// recompiling; [`Flow::apply_patches`] keeps it in sync.
+    pub tape: Option<BitSliceEvaluator>,
 }
 
 /// A compiled flow: the mapped netlist, the executable LPU program, and
@@ -322,6 +327,15 @@ impl Flow {
         netlist.apply_patches(patches)?;
         let mut program = self.program.clone();
         crate::engine::patch_program(&mut program, patches)?;
+        // The cached kernel tape must be patched too, or engines built
+        // from the patched flow would serve the old masks.
+        let artifacts = match &self.artifacts {
+            Some(a) => Some(CompileArtifacts {
+                tape: a.tape.as_ref().map(|t| t.patched(patches)).transpose()?,
+                ..a.clone()
+            }),
+            None => None,
+        };
         Ok(Flow {
             source: netlist.clone(),
             netlist,
@@ -330,7 +344,7 @@ impl Flow {
             backend: self.backend,
             stats: self.stats,
             report: self.report.clone(),
-            artifacts: self.artifacts.clone(),
+            artifacts,
         })
     }
 

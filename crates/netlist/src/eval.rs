@@ -17,15 +17,20 @@
 //!   the tape per block of `64 × words` lanes. No per-net allocation, no
 //!   per-gate dispatch: this is the software analogue of the LPU's
 //!   word-level parallelism and the kernel behind the serving layer's
-//!   bit-sliced backend. The frame width is generic — any
-//!   `words_per_net ≥ 1` works, and the widths in
+//!   bit-sliced backend. Compilation runs a **tape-locality pass**
+//!   ([`TapeOptions`]): single-fanout chains are fused so their
+//!   intermediates live in a register accumulator, dead nets' frame slots
+//!   are recycled by a liveness allocator, and wide blocks are tiled over
+//!   word sub-ranges so the live frame stays cache-resident
+//!   ([`TapeStats`] reports what the pass did). The frame width is
+//!   generic — any `words_per_net ≥ 1` works, and the widths in
 //!   [`SUPPORTED_SLICE_WORDS`] (1/2/4/8 words = 64/128/256/512 lanes)
 //!   run on monomorphized kernels the compiler can keep branch-free and
 //!   vectorize.
 
 use crate::cell::Op;
 use crate::error::NetlistError;
-use crate::netlist::Netlist;
+use crate::netlist::{Netlist, NodeId};
 use crate::patch::PatchSet;
 
 /// A packed vector of Boolean lanes (the value of one signal across a batch).
@@ -290,9 +295,18 @@ pub fn evaluate(netlist: &Netlist, inputs: &[Lanes]) -> Result<Vec<Lanes>, Netli
 /// 1/2/4/8 words per net = 64/128/256/512 lanes per block.
 ///
 /// [`BitSliceEvaluator::run_block`] accepts any `words_per_net ≥ 1`
-/// (other widths fall back to a generic loop); the serving layer above
-/// restricts its backends to this blessed set.
+/// (other widths are chunked into tiles from this set); the serving layer
+/// above restricts its backends to this blessed set.
 pub const SUPPORTED_SLICE_WORDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Compile-time sentinel: the value is fed through the chain
+/// accumulator, not a net slot of its own. Only used while building the
+/// tape — emission resolves it to the dedicated accumulator slot (the
+/// last slot of the frame), so the hot kernel never branches on it. An
+/// emitted instruction whose `out` is the accumulator slot is a fused
+/// chain interior — its result is consumed by the next instruction on
+/// the tape and its slot line stays cache-hot.
+const REG: u32 = u32::MAX;
 
 /// One bit-sliced execution frame: a fixed number of `u64` words per
 /// net, so one frame holds `64 × words_per_net` independent samples for
@@ -305,7 +319,8 @@ pub const SUPPORTED_SLICE_WORDS: [usize; 4] = [1, 2, 4, 8];
 /// batches keeps steady-state evaluation allocation-free. Net `slot`
 /// occupies the contiguous words `slot × words_per_net ..` (net-major
 /// layout, so each kernel step touches one small fixed-size span per
-/// operand).
+/// operand). Slots are *live* frame slots assigned by the compile-time
+/// locality pass, not netlist node ids — dead nets share recycled slots.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SliceFrame {
     words: Vec<u64>,
@@ -364,9 +379,11 @@ impl SliceFrame {
         64 * self.words_per_net
     }
 
-    /// Changes the frame's width, preserving the slot count. Contents
-    /// are unspecified afterwards (the evaluator reloads every input
-    /// slot before each block).
+    /// Changes the frame's width, preserving the slot count. All contents
+    /// are zeroed: with slot reuse, a gate's slot may be read (behind a
+    /// zero ANF mask, or as a partial-block tail) before the tape first
+    /// writes it, so a width change must never leave stale words from an
+    /// earlier layout where a reused slot now lands.
     ///
     /// # Panics
     ///
@@ -376,6 +393,7 @@ impl SliceFrame {
         if words_per_net != self.words_per_net {
             let slots = self.slots();
             self.words_per_net = words_per_net;
+            self.words.clear();
             self.words.resize(slots * words_per_net, 0);
         }
     }
@@ -411,12 +429,16 @@ impl SliceFrame {
     }
 }
 
-/// One straight-line kernel step: `frame[out] = k0 ^ (k1 & frame[b]) ^
-/// (k2 & frame[a]) ^ (k3 & frame[a] & frame[b])`.
+/// One straight-line kernel step: `out = k0 ^ (k1 & b) ^ (k2 & a) ^
+/// (k3 & a & b)`, where each of `a`, `b`, `out` is a frame slot —
+/// fused-chain values use the dedicated accumulator slot (the last slot
+/// of the frame), resolved at compile time so execution never branches.
 ///
 /// The coefficients come from [`crate::Op::anf_masks`]; single-input and
 /// constant cells simply have the unused coefficients zeroed, so every
-/// gate kind executes the same branch-free sequence of bitwise ops.
+/// gate kind executes the same branch-free sequence of bitwise ops. The
+/// masks are stored verbatim per cell even inside fused chains, which is
+/// what keeps in-place hot patching a pure mask rewrite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SliceInstr {
     a: u32,
@@ -425,16 +447,198 @@ struct SliceInstr {
     k: [u64; 4],
 }
 
+/// Knobs for the tape-locality pass run by
+/// [`BitSliceEvaluator::compile_with`].
+///
+/// [`BitSliceEvaluator::compile`] uses [`TapeOptions::from_env`], so the
+/// pass can be toggled per process for differential testing:
+///
+/// * `LBNN_TAPE_FUSION=0` — disable chain fusion,
+/// * `LBNN_TAPE_SLOT_REUSE=0` — disable liveness-based slot recycling,
+/// * `LBNN_CACHE_BUDGET=<bytes>` — per-tile frame budget (0 = unlimited).
+///
+/// Every combination produces bit-identical results; the options only
+/// trade memory traffic for tape shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeOptions {
+    /// Collapse single-fanout cell runs into fused chains whose
+    /// intermediates all share the dedicated accumulator slot (written
+    /// and re-read back-to-back, so the line stays in L1).
+    pub fuse: bool,
+    /// Recycle the frame slots of dead nets with a liveness allocator,
+    /// shrinking the live frame footprint.
+    pub reuse: bool,
+    /// Target footprint in bytes of one tile of the live frame
+    /// (`frame_slots × tile_words × 8`). Blocks wider than the largest
+    /// fitting tile are executed tile by tile so the working set stays
+    /// cache-resident; `0` disables tiling (one full-width tile).
+    pub cache_budget: usize,
+}
+
+impl Default for TapeOptions {
+    /// Fusion and slot reuse on, 256 KiB cache budget (roughly half of a
+    /// typical per-core L2, leaving room for the tape itself).
+    fn default() -> Self {
+        TapeOptions {
+            fuse: true,
+            reuse: true,
+            cache_budget: 256 * 1024,
+        }
+    }
+}
+
+impl TapeOptions {
+    /// The default options with any `LBNN_TAPE_FUSION`,
+    /// `LBNN_TAPE_SLOT_REUSE`, and `LBNN_CACHE_BUDGET` environment
+    /// overrides applied (see the type docs). Unparsable values fall back
+    /// to the defaults.
+    pub fn from_env() -> Self {
+        fn flag(name: &str, default: bool) -> bool {
+            match std::env::var(name) {
+                Ok(v) => !matches!(
+                    v.trim().to_ascii_lowercase().as_str(),
+                    "0" | "false" | "off" | "no"
+                ),
+                Err(_) => default,
+            }
+        }
+        let d = TapeOptions::default();
+        TapeOptions {
+            fuse: flag("LBNN_TAPE_FUSION", d.fuse),
+            reuse: flag("LBNN_TAPE_SLOT_REUSE", d.reuse),
+            cache_budget: std::env::var("LBNN_CACHE_BUDGET")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(d.cache_budget),
+        }
+    }
+}
+
+/// What the tape-locality pass did to a compiled tape, and how the tape
+/// will execute ([`BitSliceEvaluator::tape_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeStats {
+    /// Kernel instructions on the tape (one per executable cell).
+    pub tape_len: usize,
+    /// Fused chains of length ≥ 2 (runs of single-fanout cells whose
+    /// interiors share the accumulator slot instead of slots of their
+    /// own).
+    pub fused_chains: usize,
+    /// Instructions whose result goes to the accumulator slot (chain
+    /// interiors; `tape_len - fused_instrs` results land in net slots).
+    pub fused_instrs: usize,
+    /// Frame slots a slot-per-node layout would need (the netlist size —
+    /// what the frame cost before the locality pass).
+    pub frame_slots_unoptimized: usize,
+    /// Live data slots after renumbering and reuse. The allocated
+    /// [`SliceFrame`] adds one dedicated accumulator scratch slot on
+    /// top (slot index `frame_slots`).
+    pub frame_slots: usize,
+    /// Largest number of distinct frame slots any one netlist level
+    /// touches — the per-level working set, in slots.
+    pub max_level_working_set: usize,
+    /// The cache budget (bytes) the tape was compiled with
+    /// ([`TapeOptions::cache_budget`]).
+    pub cache_budget: usize,
+}
+
+/// The widest tile (words) from `{8, 4, 2, 1}` not exceeding `max`.
+#[inline]
+fn largest_tile(max: usize) -> usize {
+    if max >= 8 {
+        8
+    } else if max >= 4 {
+        4
+    } else if max >= 2 {
+        2
+    } else {
+        1
+    }
+}
+
+impl TapeStats {
+    /// Bytes of the live frame at `words_per_net` words per slot.
+    pub fn frame_bytes(&self, words_per_net: usize) -> usize {
+        self.frame_slots * words_per_net * 8
+    }
+
+    /// Bytes of the largest per-level working set at `words_per_net`
+    /// words per slot.
+    pub fn max_level_working_set_bytes(&self, words_per_net: usize) -> usize {
+        self.max_level_working_set * words_per_net * 8
+    }
+
+    /// The tile width cap (words) execution uses: the widest tile from
+    /// `{8, 4, 2, 1}` whose frame slice (`frame_slots × tile × 8` bytes)
+    /// fits the cache budget. A zero budget means unlimited (cap 8 — the
+    /// widest supported block needs no splitting).
+    pub fn tile_words(&self) -> usize {
+        if self.cache_budget == 0 {
+            return 8;
+        }
+        for t in [8usize, 4, 2] {
+            if self.frame_slots * t * 8 <= self.cache_budget {
+                return t;
+            }
+        }
+        1
+    }
+
+    /// How many tiles one block of `words_per_net` words executes as
+    /// under the current cap (1 when the whole block fits).
+    pub fn tiles_at(&self, words_per_net: usize) -> usize {
+        let cap = self.tile_words();
+        let mut tiles = 0;
+        let mut rem = words_per_net;
+        while rem > 0 {
+            rem -= largest_tile(cap.min(rem));
+            tiles += 1;
+        }
+        tiles
+    }
+}
+
+/// A bump allocator over frame slots with an optional free list: dead
+/// slots are recycled LIFO (the hottest lines first) when `reuse` is on.
+struct SlotPool {
+    free: Vec<u32>,
+    high: u32,
+    reuse: bool,
+}
+
+impl SlotPool {
+    fn alloc(&mut self) -> u32 {
+        if let Some(s) = self.free.pop() {
+            return s;
+        }
+        let s = self.high;
+        self.high += 1;
+        s
+    }
+
+    fn release(&mut self, slot: u32) {
+        if self.reuse {
+            self.free.push(slot);
+        }
+    }
+}
+
 /// A netlist compiled into a width-generic bit-sliced kernel tape.
 ///
 /// Compilation walks the arena once, turning every executable cell into a
-/// kernel instruction in topological order. Evaluation then processes the
-/// batch one [`SliceFrame`] block at a time — `64 × words_per_net` lanes
-/// per block: load each primary input's packed words into the frame,
-/// replay the tape, read the primary outputs back. The tape itself is
-/// width-independent (instructions carry slot indices and ANF masks), so
-/// one compiled evaluator serves every frame width. Results are
-/// bit-identical to [`evaluate`] on the same inputs at every width.
+/// kernel instruction in topological order, then runs a locality pass
+/// ([`TapeOptions`]): runs of single-fanout cells are fused into chains
+/// whose intermediate words all share one dedicated accumulator slot
+/// (kept cache-hot by back-to-back reuse, with no hot-loop branches),
+/// frame slots are renumbered and recycled by a liveness allocator, and
+/// execution is tiled over word sub-ranges when the live frame exceeds
+/// the cache budget. Evaluation then processes the batch one [`SliceFrame`] block
+/// at a time — `64 × words_per_net` lanes per block: load each primary
+/// input's packed words into the frame, replay the tape, read the primary
+/// outputs back. The tape itself is width-independent (instructions carry
+/// slot indices and ANF masks), so one compiled evaluator serves every
+/// frame width. Results are bit-identical to [`evaluate`] on the same
+/// inputs at every width, whatever the options.
 ///
 /// # Example
 ///
@@ -460,73 +664,298 @@ struct SliceInstr {
 pub struct BitSliceEvaluator {
     /// Straight-line program, one instruction per executable node.
     tape: Vec<SliceInstr>,
+    /// Netlist node id behind each tape instruction (`tape[i]` computes
+    /// cell `cells[i]`) — the instruction → cell-id table hot patching
+    /// rewrites through.
+    cells: Vec<u32>,
     /// Frame slot of each primary input, in [`Netlist::inputs`] order.
     inputs: Vec<u32>,
     /// Frame slot of each primary output, in [`Netlist::outputs`] order.
     outputs: Vec<u32>,
-    /// Frame size (one slot per netlist node).
+    /// Allocated frame size in slots: the live data slots after
+    /// renumbering and reuse, plus the accumulator scratch slot.
     slots: usize,
+    /// What the locality pass did.
+    stats: TapeStats,
 }
 
 impl BitSliceEvaluator {
-    /// Compiles `netlist` into a kernel tape.
-    ///
-    /// The arena's topological order is the tape order; primary inputs
-    /// occupy frame slots but emit no instruction.
+    /// Compiles `netlist` into a kernel tape with
+    /// [`TapeOptions::from_env`] (the defaults unless overridden by
+    /// environment variables; see [`TapeOptions`]).
     pub fn compile(netlist: &Netlist) -> Self {
-        let mut tape = Vec::with_capacity(netlist.len());
+        BitSliceEvaluator::compile_with(netlist, TapeOptions::from_env())
+    }
+
+    /// Compiles `netlist` into a kernel tape with explicit locality
+    /// options.
+    ///
+    /// The pass is deterministic and purely structural: fusion, tape
+    /// order, and slot assignment depend only on the netlist's wiring
+    /// (never on gate kinds), so compiling a patched netlist afresh
+    /// yields the same structure as patching a compiled tape in place —
+    /// the invariant [`BitSliceEvaluator::patched`] relies on.
+    pub fn compile_with(netlist: &Netlist, options: TapeOptions) -> Self {
+        let n = netlist.len();
+        const NEVER: usize = usize::MAX;
+
+        // 1. Chain fusion: for each gate, at most one single-fanout,
+        // non-input fanin is fed through the accumulator instead of the
+        // frame. `counts == 1` guarantees the producer has exactly this
+        // one consumer (a duplicate operand or a primary output bumps the
+        // count past 1), so chains are disjoint by construction.
+        let counts = netlist.fanout_counts();
+        let mut reg_source = vec![REG; n]; // consumer -> fanin fed via acc
+        let mut fused_out = vec![false; n]; // value lives in acc, no slot
+        if options.fuse {
+            for (id, node) in netlist.iter() {
+                if node.op() == Op::Input {
+                    continue;
+                }
+                for &f in node.fanins() {
+                    let fi = f.index();
+                    if counts[fi] == 1 && netlist.node(f).op() != Op::Input && !fused_out[fi] {
+                        reg_source[id.index()] = fi as u32;
+                        fused_out[fi] = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 2. Tape order: arena order, except chain interiors are pulled
+        // forward to sit contiguously before their terminator, so each
+        // interior's accumulator value is consumed by the very next
+        // instruction. Every frame operand of a chain member is an input
+        // or another chain's terminator at an earlier arena position, so
+        // the order stays topological.
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut fused_chains = 0usize;
+        for (id, node) in netlist.iter() {
+            if node.op() == Op::Input || fused_out[id.index()] {
+                continue;
+            }
+            let start = order.len();
+            let mut cur = id.index() as u32;
+            loop {
+                order.push(cur);
+                let src = reg_source[cur as usize];
+                if src == REG {
+                    break;
+                }
+                cur = src;
+            }
+            order[start..].reverse();
+            if order.len() - start >= 2 {
+                fused_chains += 1;
+            }
+        }
+
+        // 3. Liveness: the last tape position reading each node from the
+        // frame (accumulator reads don't count — interiors never get
+        // slots).
+        let mut last_read = vec![NEVER; n];
+        for (p, &yid) in order.iter().enumerate() {
+            let y = yid as usize;
+            for &f in netlist.node(NodeId::new(yid)).fanins() {
+                if f.index() as u32 != reg_source[y] {
+                    last_read[f.index()] = p;
+                }
+            }
+        }
+
+        // 4. Slot assignment. Releases happen *before* the defining
+        // instruction's slot is allocated, so a value may land in the
+        // slot of the operand that died feeding it — safe because the
+        // kernel loads both operand spans in full before storing.
+        let mut pinned = vec![false; n];
+        for o in netlist.outputs() {
+            pinned[o.node.index()] = true;
+        }
+        let mut slot_of = vec![REG; n];
+        let mut pool = SlotPool {
+            free: Vec::new(),
+            high: 0,
+            reuse: options.reuse,
+        };
+        for &i in netlist.inputs() {
+            slot_of[i.index()] = pool.alloc();
+        }
+        // Unread, unpinned inputs free their slot right away: every
+        // block writes all input slots before the tape runs, so a gate
+        // reusing the slot simply overwrites the dead words.
+        for &i in netlist.inputs() {
+            let ii = i.index();
+            if last_read[ii] == NEVER && !pinned[ii] {
+                pool.release(slot_of[ii]);
+            }
+        }
+        for (p, &yid) in order.iter().enumerate() {
+            let y = yid as usize;
+            let fan = netlist.node(NodeId::new(yid)).fanins();
+            let mut released = [REG; 2];
+            let mut nr = 0;
+            for &f in fan {
+                let fi = f.index();
+                if fi as u32 == reg_source[y] {
+                    continue;
+                }
+                if last_read[fi] == p
+                    && !pinned[fi]
+                    && released[..nr].iter().all(|&r| r != fi as u32)
+                {
+                    pool.release(slot_of[fi]);
+                    released[nr] = fi as u32;
+                    nr += 1;
+                }
+            }
+            if !fused_out[y] {
+                slot_of[y] = pool.alloc();
+                // A stored value nothing reads (and no output pins) frees
+                // its slot immediately for the next definition.
+                if last_read[y] == NEVER && !pinned[y] {
+                    pool.release(slot_of[y]);
+                }
+            }
+        }
+        let frame_slots = pool.high as usize;
+        // The chain accumulator lives in a dedicated scratch slot just
+        // past the live data slots. Resolving `REG` to a real slot here
+        // keeps the hot kernel branch-free (every operand/result is an
+        // unconditional indexed load/store); the slot is written and
+        // re-read back-to-back, so it stays cache-hot regardless of
+        // frame size. It is always reserved — arity-0/1 instructions
+        // read it behind all-zero operand masks even in unfused tapes.
+        let acc_slot = frame_slots as u32;
+
+        // 5. Emit the tape and the instruction → cell-id table.
+        let mut tape = Vec::with_capacity(order.len());
+        let mut cells = Vec::with_capacity(order.len());
+        for &yid in &order {
+            let y = yid as usize;
+            let node = netlist.node(NodeId::new(yid));
+            let fan = node.fanins();
+            let rs = reg_source[y];
+            let operand = |f: NodeId| {
+                if f.index() as u32 == rs {
+                    acc_slot
+                } else {
+                    slot_of[f.index()]
+                }
+            };
+            // Arity 0 reads the accumulator behind all-zero operand
+            // masks; arity 1 duplicates its operand into `b`.
+            let (a, b) = match fan.len() {
+                0 => (acc_slot, acc_slot),
+                1 => (operand(fan[0]), operand(fan[0])),
+                _ => (operand(fan[0]), operand(fan[1])),
+            };
+            let out = if fused_out[y] { acc_slot } else { slot_of[y] };
+            tape.push(SliceInstr {
+                a,
+                b,
+                out,
+                k: node.op().anf_masks(),
+            });
+            cells.push(yid);
+        }
+
+        // 6. Per-level working set: the largest number of distinct live
+        // slots the instructions of any one netlist level touch.
+        let mut level = vec![0u32; n];
         for (id, node) in netlist.iter() {
             if node.op() == Op::Input {
                 continue;
             }
-            let fan = node.fanins();
-            // Unused operands read slot 0 behind a zero mask — harmless,
-            // and it keeps the kernel uniform across arities.
-            let a = fan.first().map_or(0, |f| f.index() as u32);
-            let b = fan.get(1).map_or(a, |f| f.index() as u32);
-            tape.push(SliceInstr {
-                a,
-                b,
-                out: id.index() as u32,
-                k: node.op().anf_masks(),
-            });
+            level[id.index()] = node
+                .fanins()
+                .iter()
+                .map(|f| level[f.index()])
+                .max()
+                .map_or(0, |m| m + 1);
         }
+        let max_level = order.iter().map(|&y| level[y as usize]).max().unwrap_or(0) as usize;
+        let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+        for (p, &yid) in order.iter().enumerate() {
+            by_level[level[yid as usize] as usize].push(p);
+        }
+        let mut seen = vec![u32::MAX; frame_slots + 1];
+        let mut max_level_working_set = 0usize;
+        for (l, positions) in by_level.iter().enumerate() {
+            let mut touched = 0usize;
+            for &p in positions {
+                let i = &tape[p];
+                for slot in [i.a, i.b, i.out] {
+                    if seen[slot as usize] != l as u32 {
+                        seen[slot as usize] = l as u32;
+                        touched += 1;
+                    }
+                }
+            }
+            max_level_working_set = max_level_working_set.max(touched);
+        }
+
+        let stats = TapeStats {
+            tape_len: tape.len(),
+            fused_chains,
+            fused_instrs: tape.iter().filter(|i| i.out == acc_slot).count(),
+            frame_slots_unoptimized: n,
+            frame_slots,
+            max_level_working_set,
+            cache_budget: options.cache_budget,
+        };
         BitSliceEvaluator {
             tape,
-            inputs: netlist.inputs().iter().map(|i| i.index() as u32).collect(),
+            cells,
+            inputs: netlist
+                .inputs()
+                .iter()
+                .map(|i| slot_of[i.index()])
+                .collect(),
             outputs: netlist
                 .outputs()
                 .iter()
-                .map(|o| o.node.index() as u32)
+                .map(|o| slot_of[o.node.index()])
                 .collect(),
-            slots: netlist.len(),
+            // The allocated frame = live data slots + the accumulator
+            // scratch slot.
+            slots: frame_slots + 1,
+            stats,
         }
     }
 
     /// A copy of this tape with the ANF masks of every patched cell
     /// replaced, leaving all structure (operand slots, instruction
-    /// order, frame layout) untouched.
+    /// order, fusion, frame layout) untouched.
+    ///
+    /// Fusion and slot assignment are purely structural (see
+    /// [`BitSliceEvaluator::compile_with`]), and every instruction —
+    /// chain interiors included — stores its cell's masks verbatim, so a
+    /// mask rewrite inside a fused chain *is* the re-derived fused
+    /// chain: the result is bit-identical to a fresh compile of the
+    /// patched netlist.
     ///
     /// Callers are expected to have validated `patches` against the
     /// source netlist ([`PatchSet::validate`]); this method only
-    /// requires each target to have a tape instruction. The tape stores
-    /// instructions in ascending `out` slot order (the arena is
-    /// topological and ids are dense), so each lookup is a binary
-    /// search.
+    /// requires each target to have a tape instruction (looked up
+    /// through the instruction → cell-id table).
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::InvalidNode`] if a patched id has no
     /// instruction — out of range, or a primary input.
     pub fn patched(&self, patches: &PatchSet) -> Result<BitSliceEvaluator, NetlistError> {
+        let mut index = vec![u32::MAX; self.stats.frame_slots_unoptimized];
+        for (p, &cell) in self.cells.iter().enumerate() {
+            index[cell as usize] = p as u32;
+        }
         let mut out = self.clone();
         for (id, op) in patches.iter() {
-            let slot = id.index() as u32;
-            let idx = out
-                .tape
-                .binary_search_by_key(&slot, |instr| instr.out)
-                .map_err(|_| NetlistError::InvalidNode { id })?;
-            out.tape[idx].k = op.anf_masks();
+            let p = match index.get(id.index()) {
+                Some(&p) if p != u32::MAX => p as usize,
+                _ => return Err(NetlistError::InvalidNode { id }),
+            };
+            out.tape[p].k = op.anf_masks();
         }
         Ok(out)
     }
@@ -534,6 +963,25 @@ impl BitSliceEvaluator {
     /// Number of kernel instructions (executable nets).
     pub fn tape_len(&self) -> usize {
         self.tape.len()
+    }
+
+    /// What the locality pass did to this tape, and how blocks will be
+    /// tiled ([`TapeStats`]).
+    pub fn tape_stats(&self) -> TapeStats {
+        self.stats
+    }
+
+    /// The cells whose instructions are fused chain interiors (results
+    /// go to the accumulator slot, not a net slot of their own). Useful
+    /// for aiming a patch at the inside of a chain in tests.
+    pub fn fused_cells(&self) -> Vec<NodeId> {
+        let acc = self.stats.frame_slots as u32;
+        self.tape
+            .iter()
+            .zip(&self.cells)
+            .filter(|(i, _)| i.out == acc)
+            .map(|(_, &c)| NodeId::new(c))
+            .collect()
     }
 
     /// Number of primary inputs the evaluator expects.
@@ -546,13 +994,13 @@ impl BitSliceEvaluator {
         self.outputs.len()
     }
 
-    /// A 64-lane frame sized for this evaluator's netlist; see
+    /// A 64-lane frame sized for this evaluator's live slots; see
     /// [`BitSliceEvaluator::frame_with_words`] for wider slices.
     pub fn frame(&self) -> SliceFrame {
         self.frame_with_words(1)
     }
 
-    /// A frame sized for this evaluator's netlist at `words_per_net`
+    /// A frame sized for this evaluator's live slots at `words_per_net`
     /// words (`64 × words_per_net` lanes) per block.
     ///
     /// # Panics
@@ -566,46 +1014,59 @@ impl BitSliceEvaluator {
     /// width (`frame.lanes()` samples per net).
     ///
     /// The caller loads the primary-input words first (slots from the
-    /// compiled input map); afterwards every net's slot holds its value
-    /// for all lanes of the block. [`BitSliceEvaluator::evaluate`] wraps
-    /// the packing/unpacking; this is the raw kernel. Widths in
-    /// [`SUPPORTED_SLICE_WORDS`] dispatch to monomorphized kernels whose
-    /// per-net word loop the compiler unrolls; any other width runs a
-    /// generic loop with identical results.
+    /// compiled input map); afterwards every *live* net's slot holds its
+    /// value for all lanes of the block (fused chain interiors never
+    /// materialize). [`BitSliceEvaluator::evaluate`] wraps the
+    /// packing/unpacking; this is the raw kernel. Blocks execute as one
+    /// or more cache-budget-sized tiles over the word range
+    /// ([`TapeStats::tile_words`]); each tile width from
+    /// [`SUPPORTED_SLICE_WORDS`] runs a monomorphized kernel whose
+    /// per-net word loop the compiler unrolls, and any `words_per_net`
+    /// (supported or not) is chunked from that same set with identical
+    /// results.
     ///
     /// # Panics
     ///
-    /// Panics if `frame` has fewer slots than the compiled netlist.
+    /// Panics if `frame` has fewer slots than the compiled live frame.
     #[inline]
     pub fn run_block(&self, frame: &mut SliceFrame) {
         assert!(frame.slots() >= self.slots, "frame too small for tape");
-        match frame.words_per_net {
-            1 => self.run_block_w::<1>(&mut frame.words),
-            2 => self.run_block_w::<2>(&mut frame.words),
-            4 => self.run_block_w::<4>(&mut frame.words),
-            8 => self.run_block_w::<8>(&mut frame.words),
-            w => self.run_block_any(&mut frame.words, w),
+        let per = frame.words_per_net;
+        let cap = self.stats.tile_words();
+        let mut base = 0;
+        while base < per {
+            let tile = largest_tile(cap.min(per - base));
+            match tile {
+                8 => self.run_tile::<8>(&mut frame.words, per, base),
+                4 => self.run_tile::<4>(&mut frame.words, per, base),
+                2 => self.run_tile::<2>(&mut frame.words, per, base),
+                _ => self.run_tile::<1>(&mut frame.words, per, base),
+            }
+            base += tile;
         }
     }
 
-    /// Monomorphized entry: the constant `W` propagates into
-    /// [`BitSliceEvaluator::run_block_any`]'s trip counts, so each
-    /// supported width compiles to an unrolled straight-line kernel
-    /// while the kernel body itself exists exactly once.
-    fn run_block_w<const W: usize>(&self, words: &mut [u64]) {
-        self.run_block_any(words, W);
-    }
-
-    /// The one kernel body, for any `per` words per net.
-    #[inline(always)]
-    fn run_block_any(&self, words: &mut [u64], per: usize) {
+    /// One tile of the kernel: replays the whole tape over words
+    /// `base .. base + TW` of every slot span. The monomorphized `TW`
+    /// turns every loop below into straight-line code. The body is
+    /// branch-free by construction — the fused-chain accumulator was
+    /// resolved to the dedicated scratch slot at compile time, so every
+    /// instruction is an unconditional load/load/store (an interior's
+    /// write is re-read by the very next instruction, keeping the
+    /// accumulator line in L1). Operand spans are loaded in full before
+    /// the result is stored, so an instruction may safely write the
+    /// recycled slot of one of its own operands.
+    fn run_tile<const TW: usize>(&self, words: &mut [u64], per: usize, base: usize) {
         for i in &self.tape {
-            let (a0, b0, o0) = (i.a as usize * per, i.b as usize * per, i.out as usize * per);
-            for w in 0..per {
-                let a = words[a0 + w];
-                let b = words[b0 + w];
-                words[o0 + w] = i.k[0] ^ (i.k[1] & b) ^ (i.k[2] & a) ^ (i.k[3] & a & b);
-            }
+            let a0 = i.a as usize * per + base;
+            let b0 = i.b as usize * per + base;
+            let va: [u64; TW] = std::array::from_fn(|w| words[a0 + w]);
+            let vb: [u64; TW] = std::array::from_fn(|w| words[b0 + w]);
+            let r: [u64; TW] = std::array::from_fn(|w| {
+                i.k[0] ^ (i.k[1] & vb[w]) ^ (i.k[2] & va[w]) ^ (i.k[3] & va[w] & vb[w])
+            });
+            let o0 = i.out as usize * per + base;
+            words[o0..o0 + TW].copy_from_slice(&r);
         }
     }
 
@@ -843,7 +1304,7 @@ mod tests {
             let sliced = BitSliceEvaluator::compile(&nl);
             // Awkward batch widths per frame width: sub-block, exact
             // block, multi-block with tail. 3 words per net exercises the
-            // generic fallback kernel.
+            // tile-chunked generic path.
             for words in [1usize, 2, 3, 4, 8] {
                 let mut frame = sliced.frame_with_words(words);
                 assert_eq!(frame.lanes(), 64 * words);
@@ -864,6 +1325,220 @@ mod tests {
         }
     }
 
+    /// Every combination of locality options is bit-identical to the
+    /// oracle, including tile widths forced by tiny cache budgets.
+    #[test]
+    fn tape_options_variants_match_oracle() {
+        use crate::random::RandomDag;
+        let variants = [
+            TapeOptions::default(),
+            TapeOptions {
+                fuse: false,
+                ..TapeOptions::default()
+            },
+            TapeOptions {
+                reuse: false,
+                ..TapeOptions::default()
+            },
+            TapeOptions {
+                fuse: false,
+                reuse: false,
+                ..TapeOptions::default()
+            },
+            TapeOptions {
+                cache_budget: 64, // frame never fits: 1-word tiles
+                ..TapeOptions::default()
+            },
+            TapeOptions {
+                cache_budget: 0, // unlimited: one full-width tile
+                ..TapeOptions::default()
+            },
+        ];
+        for seed in 0..3 {
+            let nl = RandomDag::loose(7, 5, 8).outputs(3).generate(seed);
+            for opt in variants {
+                let sliced = BitSliceEvaluator::compile_with(&nl, opt);
+                for words in [1usize, 3, 8] {
+                    let mut frame = sliced.frame_with_words(words);
+                    for lanes in [1usize, 63, 64 * words + 1] {
+                        let inputs: Vec<Lanes> = (0..nl.inputs().len())
+                            .map(|i| {
+                                let bits: Vec<bool> = (0..lanes)
+                                    .map(|l| (seed as usize + i * 13 + l * 5).is_multiple_of(3))
+                                    .collect();
+                                Lanes::from_bools(&bits)
+                            })
+                            .collect();
+                        let want = evaluate(&nl, &inputs).unwrap();
+                        let got = sliced.evaluate_with(&inputs, lanes, &mut frame).unwrap();
+                        assert_eq!(got, want, "seed {seed} opt {opt:?} words {words}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A hand-built single-fanout run fuses into one chain: interiors
+    /// vanish from the frame, the live footprint shrinks, and the fused
+    /// tape still matches the oracle.
+    #[test]
+    fn fusion_fuses_chains_and_shrinks_frame() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate2(Op::And, a, b);
+        let g2 = nl.add_gate1(Op::Not, g1);
+        let g3 = nl.add_gate2(Op::Xor, g2, a);
+        let g4 = nl.add_gate1(Op::Not, g3);
+        nl.add_output(g4, "y");
+
+        let sliced = BitSliceEvaluator::compile_with(&nl, TapeOptions::default());
+        let stats = sliced.tape_stats();
+        assert_eq!(stats.tape_len, 4);
+        assert_eq!(stats.fused_chains, 1, "g1→g2→g3→g4 is one chain");
+        assert_eq!(stats.fused_instrs, 3, "g1, g2, g3 stay in the accumulator");
+        assert_eq!(stats.frame_slots_unoptimized, 6);
+        // Peak live is the two inputs; g4's result recycles a's slot
+        // (dead after g3, the last frame read of `a`).
+        assert_eq!(stats.frame_slots, 2);
+        assert_eq!(sliced.fused_cells(), vec![g1, g2, g3]);
+
+        let unfused = BitSliceEvaluator::compile_with(
+            &nl,
+            TapeOptions {
+                fuse: false,
+                ..TapeOptions::default()
+            },
+        );
+        assert_eq!(unfused.tape_stats().fused_instrs, 0);
+
+        for lanes in [1usize, 64, 130] {
+            let bits_a: Vec<bool> = (0..lanes).map(|l| l % 3 == 0).collect();
+            let bits_b: Vec<bool> = (0..lanes).map(|l| l % 5 != 0).collect();
+            let inputs = [Lanes::from_bools(&bits_a), Lanes::from_bools(&bits_b)];
+            let want = evaluate(&nl, &inputs).unwrap();
+            assert_eq!(sliced.evaluate(&inputs).unwrap(), want, "fused, {lanes}");
+            assert_eq!(unfused.evaluate(&inputs).unwrap(), want, "unfused, {lanes}");
+        }
+    }
+
+    /// Dead stores and unread inputs release their slots; with reuse off
+    /// the frame keeps one slot per stored value.
+    #[test]
+    fn dead_and_unread_slots_are_recycled() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let _b = nl.add_input("b"); // never read
+        let y = nl.add_gate1(Op::Not, a);
+        nl.add_output(y, "y");
+        let fused = BitSliceEvaluator::compile_with(&nl, TapeOptions::default());
+        // b's slot is released, then a dies feeding y: y reuses a slot.
+        assert_eq!(fused.tape_stats().frame_slots, 2);
+        let no_reuse = BitSliceEvaluator::compile_with(
+            &nl,
+            TapeOptions {
+                reuse: false,
+                ..TapeOptions::default()
+            },
+        );
+        assert_eq!(no_reuse.tape_stats().frame_slots, 3);
+        for e in [&fused, &no_reuse] {
+            let out = e.evaluate(&[Lanes::zeros(100), Lanes::ones(100)]).unwrap();
+            assert_eq!(out[0].count_ones(), 100, "NOT of all-zero = all-one");
+        }
+    }
+
+    /// A cache budget too small for even a one-word frame slice still
+    /// executes correctly, one word per tile.
+    #[test]
+    fn tiny_cache_budget_forces_single_word_tiles() {
+        use crate::random::RandomDag;
+        let nl = RandomDag::loose(6, 4, 7).outputs(2).generate(11);
+        let sliced = BitSliceEvaluator::compile_with(
+            &nl,
+            TapeOptions {
+                cache_budget: 8, // one u64: no tile fits, cap clamps to 1
+                ..TapeOptions::default()
+            },
+        );
+        let stats = sliced.tape_stats();
+        assert_eq!(stats.tile_words(), 1);
+        assert_eq!(stats.tiles_at(8), 8);
+        assert_eq!(stats.tiles_at(1), 1);
+        let inputs: Vec<Lanes> = (0..nl.inputs().len())
+            .map(|i| {
+                let bits: Vec<bool> = (0..517).map(|l| (i + l) % 3 == 0).collect();
+                Lanes::from_bools(&bits)
+            })
+            .collect();
+        let want = evaluate(&nl, &inputs).unwrap();
+        let mut frame = sliced.frame_with_words(8);
+        assert_eq!(
+            sliced.evaluate_with(&inputs, 517, &mut frame).unwrap(),
+            want
+        );
+    }
+
+    /// Patching a cell inside a fused chain rewrites that instruction's
+    /// masks in place and matches a fresh compile of the patched netlist.
+    #[test]
+    fn patched_fused_tape_matches_fresh_compile() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate2(Op::And, a, b);
+        let g2 = nl.add_gate1(Op::Not, g1);
+        let g3 = nl.add_gate2(Op::Xor, g2, b);
+        nl.add_output(g3, "y");
+        let sliced = BitSliceEvaluator::compile_with(&nl, TapeOptions::default());
+        assert!(sliced.fused_cells().contains(&g2), "g2 must be fused");
+
+        let mut patches = PatchSet::new();
+        patches.set(g2, Op::Buf);
+        patches.set(g1, Op::Nor);
+        let patched = sliced.patched(&patches).unwrap();
+        let mut patched_nl = nl.clone();
+        patched_nl.apply_patches(&patches).unwrap();
+        let fresh = BitSliceEvaluator::compile_with(&patched_nl, TapeOptions::default());
+
+        for lanes in [1usize, 64, 131] {
+            let bits_a: Vec<bool> = (0..lanes).map(|l| l % 2 == 0).collect();
+            let bits_b: Vec<bool> = (0..lanes).map(|l| l % 7 != 0).collect();
+            let inputs = [Lanes::from_bools(&bits_a), Lanes::from_bools(&bits_b)];
+            let want = evaluate(&patched_nl, &inputs).unwrap();
+            assert_eq!(fresh.evaluate(&inputs).unwrap(), want);
+            assert_eq!(patched.evaluate(&inputs).unwrap(), want, "lanes {lanes}");
+        }
+
+        // The unpatched tape still serves the original function.
+        let inputs = [Lanes::ones(70), Lanes::zeros(70)];
+        assert_eq!(
+            sliced.evaluate(&inputs).unwrap(),
+            evaluate(&nl, &inputs).unwrap()
+        );
+    }
+
+    #[test]
+    fn patched_rejects_cells_without_instructions() {
+        let mut nl = Netlist::new("p");
+        let a = nl.add_input("a");
+        let y = nl.add_gate1(Op::Not, a);
+        nl.add_output(y, "y");
+        let sliced = BitSliceEvaluator::compile(&nl);
+        let mut on_input = PatchSet::new();
+        on_input.set(a, Op::Buf);
+        assert!(matches!(
+            sliced.patched(&on_input),
+            Err(NetlistError::InvalidNode { .. })
+        ));
+        let mut out_of_range = PatchSet::new();
+        out_of_range.set(NodeId::new(1000), Op::Buf);
+        assert!(matches!(
+            sliced.patched(&out_of_range),
+            Err(NetlistError::InvalidNode { .. })
+        ));
+    }
+
     #[test]
     fn slice_frame_set_width_preserves_slots() {
         let mut frame = SliceFrame::with_slots(10);
@@ -880,6 +1555,56 @@ mod tests {
         assert_eq!(frame.word(9, 3), 0xdead_beef);
         frame.set_width(2);
         assert_eq!((frame.slots(), frame.lanes()), (10, 128));
+    }
+
+    /// A width change must zero the whole frame: with slot reuse, stale
+    /// words from the old layout would otherwise sit exactly where a
+    /// recycled slot's partial-block tail is read back.
+    #[test]
+    fn slice_frame_set_width_zeroes_reused_tails() {
+        let mut frame = SliceFrame::with_width(4, 4);
+        for slot in 0..4 {
+            for w in 0..4 {
+                frame.set_word(slot, w, !0);
+            }
+        }
+        frame.set_width(2);
+        for slot in 0..4 {
+            for w in 0..2 {
+                assert_eq!(frame.word(slot, w), 0, "stale word at {slot}/{w}");
+            }
+        }
+        frame.set_width(8);
+        for slot in 0..4 {
+            for w in 0..8 {
+                assert_eq!(frame.word(slot, w), 0, "stale word at {slot}/{w}");
+            }
+        }
+    }
+
+    /// Regression: a ragged final block evaluated right after a width
+    /// change on a reused frame must not see words from the old layout.
+    #[test]
+    fn ragged_final_block_after_width_change_is_clean() {
+        use crate::random::RandomDag;
+        let nl = RandomDag::loose(6, 4, 7).outputs(2).generate(3);
+        let sliced = BitSliceEvaluator::compile(&nl);
+        let mut frame = sliced.frame_with_words(8);
+        let fill: Vec<Lanes> = (0..nl.inputs().len()).map(|_| Lanes::ones(512)).collect();
+        sliced.evaluate_with(&fill, 512, &mut frame).unwrap();
+        // Shrink the width and run a batch whose final block is ragged.
+        frame.set_width(2);
+        for lanes in [65usize, 129, 130] {
+            let inputs: Vec<Lanes> = (0..nl.inputs().len())
+                .map(|i| {
+                    let bits: Vec<bool> = (0..lanes).map(|l| (i * 11 + l) % 3 == 0).collect();
+                    Lanes::from_bools(&bits)
+                })
+                .collect();
+            let want = evaluate(&nl, &inputs).unwrap();
+            let got = sliced.evaluate_with(&inputs, lanes, &mut frame).unwrap();
+            assert_eq!(got, want, "lanes {lanes}");
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //!   oracle for the LPU simulator, plus the width-generic bit-sliced
 //!   kernel compiler ([`BitSliceEvaluator`], 64–512 lanes per
 //!   [`SliceFrame`] block) behind the serving layer's fast execution
-//!   backend,
+//!   backend, with a tape-locality pass ([`TapeOptions`]/[`TapeStats`]:
+//!   chain fusion, liveness-based slot reuse, cache-budget tiling),
 //! * seeded random netlist generators ([`random`]) for tests and benchmarks.
 //!
 //! ## Example
@@ -52,7 +53,9 @@ pub mod verilog;
 
 pub use cell::Op;
 pub use error::NetlistError;
-pub use eval::{BitSlice64, BitSliceEvaluator, Lanes, SliceFrame, SUPPORTED_SLICE_WORDS};
+pub use eval::{
+    BitSlice64, BitSliceEvaluator, Lanes, SliceFrame, TapeOptions, TapeStats, SUPPORTED_SLICE_WORDS,
+};
 pub use levelize::Levels;
 pub use netlist::{Netlist, Node, NodeId};
 pub use patch::PatchSet;

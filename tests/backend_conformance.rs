@@ -317,6 +317,94 @@ fn partial_micro_batches_conform_on_every_width() {
     }
 }
 
+/// Tape-locality differential sweep (ISSUE 8): the fused, slot-reused,
+/// cache-tiled kernel tape must be bit-identical to the oracle with the
+/// locality pass in every configuration — fusion on/off, slot reuse
+/// on/off, tiling forced and disabled — at 64–512 lanes and awkward
+/// batch shapes. Options are passed explicitly
+/// ([`lbnn::netlist::TapeOptions`]) so the sweep is immune to test-runner
+/// env races; CI additionally runs the whole suite once under
+/// `LBNN_TAPE_FUSION=0 LBNN_TAPE_SLOT_REUSE=0` to pin the env toggles.
+#[test]
+fn tape_locality_options_are_bit_identical_at_every_width() {
+    use lbnn::netlist::eval::BitSliceEvaluator;
+    use lbnn::netlist::TapeOptions;
+    let variants = [
+        ("default", TapeOptions::default()),
+        (
+            "fusion off",
+            TapeOptions {
+                fuse: false,
+                ..TapeOptions::default()
+            },
+        ),
+        (
+            "reuse off",
+            TapeOptions {
+                reuse: false,
+                ..TapeOptions::default()
+            },
+        ),
+        (
+            "both off",
+            TapeOptions {
+                fuse: false,
+                reuse: false,
+                ..TapeOptions::default()
+            },
+        ),
+        (
+            "tiny budget",
+            TapeOptions {
+                cache_budget: 64,
+                ..TapeOptions::default()
+            },
+        ),
+        (
+            "unlimited budget",
+            TapeOptions {
+                cache_budget: 0,
+                ..TapeOptions::default()
+            },
+        ),
+    ];
+    let mut saw_fusion = false;
+    let mut saw_shrink = false;
+    for seed in [7u64, 42, 1337] {
+        let netlist = RandomDag::strict(9, 5, 8).outputs(4).generate(seed);
+        let width = netlist.inputs().len();
+        let batches: Vec<Vec<Lanes>> = awkward_lane_counts()
+            .into_iter()
+            .map(|lanes| batch(width, lanes, seed))
+            .collect();
+        let oracle: Vec<Vec<Lanes>> = batches
+            .iter()
+            .map(|b| evaluate(&netlist, b).unwrap())
+            .collect();
+        for (label, opt) in variants {
+            let sliced = BitSliceEvaluator::compile_with(&netlist, opt);
+            if label == "default" {
+                let stats = sliced.tape_stats();
+                saw_fusion |= stats.fused_instrs > 0;
+                saw_shrink |= stats.frame_slots < stats.frame_slots_unoptimized;
+            }
+            for &words in lbnn::netlist::SUPPORTED_SLICE_WORDS.iter() {
+                let mut frame = sliced.frame_with_words(words);
+                for (b, want) in batches.iter().zip(&oracle) {
+                    let lanes = b.first().map_or(0, Lanes::len);
+                    let got = sliced.evaluate_with(b, lanes, &mut frame).unwrap();
+                    assert_eq!(
+                        &got, want,
+                        "seed {seed} variant `{label}` words {words} lanes {lanes}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(saw_fusion, "no seed produced a fused chain");
+    assert!(saw_shrink, "no seed shrank the live frame");
+}
+
 /// Zero-length batches are a no-op with well-formed (empty) outputs on
 /// every backend — no panic, no phantom lanes.
 #[test]

@@ -239,6 +239,127 @@ proptest! {
     }
 }
 
+/// ISSUE 8: a patch aimed at cells *inside a fused chain* must re-derive
+/// the chain's fused masks — the live-patched tape and the `.lbnnp`
+/// delta route both stay bit-identical to a fresh compile of the patched
+/// netlist, at every lane width. The netlist is a hand-built
+/// single-fanout run so the locality pass is guaranteed to fuse, and the
+/// patch set flips the function of every fused (accumulator-resident)
+/// cell.
+#[test]
+fn patching_inside_a_fused_chain_matches_fresh_compile() {
+    let mut nl = Netlist::new("chain");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let g1 = nl.add_gate2(Op::And, a, b);
+    let g2 = nl.add_gate1(Op::Not, g1);
+    let g3 = nl.add_gate2(Op::Xor, g2, a);
+    let g4 = nl.add_gate1(Op::Not, g3);
+    nl.add_output(g4, "y");
+
+    for words in [1usize, 2, 4, 8] {
+        let backend = Backend::BitSliced { words };
+        let config = LpuConfig::new(4, 4);
+        let flow = Flow::builder(&nl)
+            .config(config)
+            .backend(backend)
+            .optimize(false) // keep the hand-built chain mappable as-is
+            .compile()
+            .unwrap();
+        let tape = flow
+            .artifacts
+            .as_ref()
+            .and_then(|art| art.tape.as_ref())
+            .expect("bit-sliced flows cache the locality pass's tape");
+        let mut fused = tape.fused_cells();
+        if lbnn::netlist::TapeOptions::from_env().fuse {
+            assert!(
+                !fused.is_empty(),
+                "the mapped chain netlist must produce fused cells (words {words})"
+            );
+        } else {
+            // CI also runs this suite with fusion disabled via
+            // LBNN_TAPE_FUSION=0 — no fused cells then, so patch the
+            // same chain interiors by structure instead.
+            fused = flow
+                .netlist
+                .iter()
+                .filter(|(_, n)| n.op().is_executable() && n.op().arity() >= 1)
+                .map(|(id, _)| id)
+                .collect();
+        }
+
+        // Flip the function of every fused cell, same arity.
+        let mut patches = PatchSet::new();
+        for id in &fused {
+            let rep = match flow.netlist.node(*id).op() {
+                Op::Not => Op::Buf,
+                Op::Buf => Op::Not,
+                Op::And => Op::Nand,
+                Op::Nand => Op::And,
+                Op::Or => Op::Nor,
+                Op::Nor => Op::Or,
+                Op::Xor => Op::Xnor,
+                Op::Xnor => Op::Xor,
+                _ => continue,
+            };
+            patches.set(*id, rep);
+        }
+        assert!(
+            !patches.is_empty(),
+            "no patchable fused cell (words {words})"
+        );
+
+        let mut patched_netlist = flow.netlist.clone();
+        patched_netlist.apply_patches(&patches).unwrap();
+        let fresh = Flow::builder(&patched_netlist)
+            .config(config)
+            .backend(backend)
+            .optimize(false)
+            .compile()
+            .unwrap()
+            .into_engine()
+            .unwrap();
+        let live = flow.engine().unwrap().patch_cells(&patches).unwrap();
+        let delta = flow.make_delta(&patches).unwrap();
+        let via_delta = flow.apply_delta(&delta).unwrap().into_engine().unwrap();
+
+        let width = flow.program.num_inputs;
+        let lanes_full = backend.lanes();
+        for lanes in [1usize, lanes_full / 2 + 3, lanes_full] {
+            let rows: Vec<Vec<bool>> = (0..lanes)
+                .map(|r| request_bits(width, r as u64, 0xf05ed ^ words as u64))
+                .collect();
+            let batch = Lanes::pack_rows(&rows, width);
+            let mut scratch = EngineScratch::new();
+            let want = fresh.run_batch_with(&mut scratch, &batch).unwrap().outputs;
+            let oracle = evaluate(&patched_netlist, &batch).unwrap();
+            assert_eq!(
+                want, oracle,
+                "fresh compile disagrees with the netlist oracle (words {words})"
+            );
+            for (route, engine) in [("live", &live), ("delta", &via_delta)] {
+                let got = engine.run_batch_with(&mut scratch, &batch).unwrap().outputs;
+                assert_eq!(got, want, "{route} route, words {words}, {lanes} lanes");
+            }
+        }
+
+        // The base flow still serves the unpatched function.
+        let rows: Vec<Vec<bool>> = (0..9)
+            .map(|r| request_bits(width, r as u64, 0xba5e))
+            .collect();
+        let batch = Lanes::pack_rows(&rows, width);
+        let mut scratch = EngineScratch::new();
+        let base = flow
+            .engine()
+            .unwrap()
+            .run_batch_with(&mut scratch, &batch)
+            .unwrap()
+            .outputs;
+        assert_eq!(base, evaluate(&flow.netlist, &batch).unwrap());
+    }
+}
+
 /// Patching must reject what it cannot express, without touching the
 /// engine: unknown cells, primary inputs, and arity mismatches are
 /// typed errors on every route.
