@@ -1,8 +1,8 @@
 //! Criterion bench behind the width-generic backend (ISSUE 5): serving
 //! throughput of one `table2`-style VGG16 conv block swept across every
-//! bit-slice width (64/128/256/512 lanes per kernel pass), on both the
-//! pre-packed batch path and the runtime micro-batcher, with the scalar
-//! machine as the baseline.
+//! bit-slice width (64/128/256/512/1024 lanes per kernel pass), on both
+//! the pre-packed batch path and the runtime micro-batcher, with the
+//! scalar machine as the baseline.
 //!
 //! Each width serves the *same* 2048 samples, packed into batches of its
 //! own lane width, so the samples/s numbers are directly comparable. The
@@ -18,6 +18,7 @@ use lbnn_core::runtime::{RequestHandle, Runtime, RuntimeOptions};
 use lbnn_core::{Backend, Engine, Flow};
 use lbnn_models::workload::layer_workload;
 use lbnn_models::zoo;
+use lbnn_netlist::Lanes;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -35,7 +36,7 @@ fn compile_engine(netlist: &lbnn_netlist::Netlist, backend: Backend) -> Engine {
 }
 
 /// `LBNN_WIDTH_SWEEP_FAST=1` skips the criterion group and shrinks the
-/// summary to three timing runs per width — CI smoke mode. The JSON
+/// summary to eight timing runs per width — CI smoke mode. The JSON
 /// artifact is still written, so the scaling ratios stay machine-checkable.
 fn fast_mode() -> bool {
     std::env::var("LBNN_WIDTH_SWEEP_FAST").is_ok_and(|v| !matches!(v.as_str(), "" | "0"))
@@ -49,7 +50,7 @@ fn bench(c: &mut Criterion) {
     let width = workload.netlist.inputs().len();
 
     if fast_mode() {
-        summary(&workload.netlist, width, 3);
+        summary(&workload.netlist, width, 8);
         return;
     }
 
@@ -65,7 +66,7 @@ fn bench(c: &mut Criterion) {
 
     // Bit-sliced sweep: each width serves the samples packed at its own
     // lane width (full frames, the steady-state best case).
-    for words in [1usize, 2, 4, 8] {
+    for words in [1usize, 2, 4, 8, 16] {
         let lanes = 64 * words;
         let batches = serving_batches(width, lanes, SAMPLES / lanes, 0x51ce);
         let mut engine = compile_engine(&workload.netlist, Backend::BitSliced { words });
@@ -103,13 +104,41 @@ fn bench(c: &mut Criterion) {
     summary(&workload.netlist, width, 15);
 }
 
-/// The machine-readable acceptance measurement (ISSUE 8): per-width
+/// The machine-readable acceptance measurement (ISSUE 8/9): per-width
 /// serving time for the same `SAMPLES` samples, printed as a table and
 /// written to `BENCH_width_sweep.json` with the width-scaling ratios
 /// (how much faster N lanes serve than 64 — linear scaling would be
-/// N/64). Each width reports its best of `runs` timings — minima are
-/// far more robust than means against scheduler noise on shared hosts.
+/// N/64). Each width also reports the marshalling costs around the
+/// kernels: `pack` (per-request bool rows → packed lane columns via the
+/// 64×64 word transpose) and `unpack` (output columns → rows), the two
+/// sides of the runtime micro-batcher's flush. Each number is the best
+/// of `runs` timings, and the kernel timings are *interleaved* — every
+/// pass times each width once, round-robin — so a noisy stretch on a
+/// shared host degrades all widths alike instead of poisoning one
+/// width's whole block and skewing the scaling ratio.
 fn summary(netlist: &lbnn_netlist::Netlist, width: usize, runs: usize) {
+    println!("\nwidth sweep summary ({SAMPLES} samples, VGG16 L8 block, best of {runs}):");
+    let rows = synthetic_requests(width, SAMPLES, 0x51ce);
+    let mut setups: Vec<(usize, Engine, Vec<Vec<Lanes>>)> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&words| {
+            let lanes = 64 * words;
+            let batches = serving_batches(width, lanes, SAMPLES / lanes, 0x51ce);
+            (
+                lanes,
+                compile_engine(netlist, Backend::BitSliced { words }),
+                batches,
+            )
+        })
+        .collect();
+    let mut kernels = [f64::MAX; 5];
+    for _ in 0..runs {
+        for (i, (_, engine, batches)) in setups.iter_mut().enumerate() {
+            let start = Instant::now();
+            black_box(engine.run_batches(batches).unwrap());
+            kernels[i] = kernels[i].min(start.elapsed().as_secs_f64());
+        }
+    }
     let time = |f: &mut dyn FnMut()| {
         let mut best = f64::MAX;
         for _ in 0..runs {
@@ -119,26 +148,40 @@ fn summary(netlist: &lbnn_netlist::Netlist, width: usize, runs: usize) {
         }
         best
     };
-    println!("\nwidth sweep summary ({SAMPLES} samples, VGG16 L8 block, best of {runs}):");
     let mut per_width = Vec::new();
-    for words in [1usize, 2, 4, 8] {
-        let lanes = 64 * words;
-        let batches = serving_batches(width, lanes, SAMPLES / lanes, 0x51ce);
-        let mut engine = compile_engine(netlist, Backend::BitSliced { words });
-        let secs = time(&mut || {
-            black_box(engine.run_batches(&batches).unwrap());
+    for (i, (lanes, engine, batches)) in setups.iter_mut().enumerate() {
+        let (lanes, kernel) = (*lanes, kernels[i]);
+        let mut packed = Vec::new();
+        let pack = time(&mut || {
+            for chunk in rows.chunks(lanes) {
+                black_box(Lanes::pack_rows_into(chunk, width, &mut packed));
+            }
+        });
+        let outputs: Vec<Vec<Lanes>> = engine
+            .run_batches(batches)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.outputs)
+            .collect();
+        let unpack = time(&mut || {
+            for out in &outputs {
+                black_box(Lanes::unpack_rows(out));
+            }
         });
         println!(
-            "  {lanes:>4} lanes: {:>8.1} us -> {:>10.0} samples/s",
-            secs * 1e6,
-            SAMPLES as f64 / secs
+            "  {lanes:>4} lanes: {:>8.1} us kernel ({:>5.1} pack / {:>5.1} unpack) -> {:>10.0} samples/s",
+            kernel * 1e6,
+            pack * 1e6,
+            unpack * 1e6,
+            SAMPLES as f64 / kernel
         );
-        per_width.push((lanes, secs));
+        per_width.push((lanes, kernel, pack, unpack));
     }
     let t64 = per_width[0].1;
     let ratio = |i: usize| t64 / per_width[i].1;
-    let (s128, s256, s512) = (ratio(1), ratio(2), ratio(3));
+    let (s128, s256, s512, s1024) = (ratio(1), ratio(2), ratio(3), ratio(4));
     println!("  512-lane vs 64-lane: {s512:.2}x (linear would be 8.00x)");
+    println!("  1024-lane vs 64-lane: {s1024:.2}x (linear would be 16.00x)");
     println!(
         "  256-lane vs 64-lane: {s256:.2}x {}",
         if s256 > 1.0 {
@@ -149,14 +192,22 @@ fn summary(netlist: &lbnn_netlist::Netlist, width: usize, runs: usize) {
     );
 
     // Hand-built JSON (no serde in-tree): one object per width plus the
-    // scaling ratios the CI smoke asserts on.
+    // scaling ratios the CI smoke asserts on. `ns_per_sample` is kernel
+    // time (the serving hot loop); pack/unpack are the marshalling
+    // breakdown around it.
     let widths_json: Vec<String> = per_width
         .iter()
-        .map(|&(lanes, secs)| {
-            let ns = secs * 1e9 / SAMPLES as f64;
+        .map(|&(lanes, kernel, pack, unpack)| {
+            let per = |secs: f64| secs * 1e9 / SAMPLES as f64;
             format!(
-                "    {{\"lanes\": {lanes}, \"ns_per_sample\": {ns:.2}, \"samples_per_sec\": {:.0}}}",
-                SAMPLES as f64 / secs
+                "    {{\"lanes\": {lanes}, \"ns_per_sample\": {:.2}, \
+                 \"pack_ns_per_sample\": {:.2}, \"kernel_ns_per_sample\": {:.2}, \
+                 \"unpack_ns_per_sample\": {:.2}, \"samples_per_sec\": {:.0}}}",
+                per(kernel),
+                per(pack),
+                per(kernel),
+                per(unpack),
+                SAMPLES as f64 / kernel
             )
         })
         .collect();
@@ -164,7 +215,7 @@ fn summary(netlist: &lbnn_netlist::Netlist, width: usize, runs: usize) {
         "{{\n  \"bench\": \"width_sweep\",\n  \"workload\": \"vgg16_l8_block\",\n  \
          \"samples\": {SAMPLES},\n  \"runs_per_width\": {runs},\n  \"widths\": [\n{}\n  ],\n  \
          \"scaling\": {{\"s128_over_64\": {s128:.3}, \"s256_over_64\": {s256:.3}, \
-         \"s512_over_64\": {s512:.3}}}\n}}\n",
+         \"s512_over_64\": {s512:.3}, \"s1024_over_64\": {s1024:.3}}}\n}}\n",
         widths_json.join(",\n")
     );
     // Benches run with the crate as CWD; anchor the artifact at the

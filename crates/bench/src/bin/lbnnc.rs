@@ -12,8 +12,8 @@
 //!   --m <N>             LPEs per LPV            (default 64)
 //!   --n <N>             LPVs per LPU            (default 16)
 //!   --backend <B>       execution backend: scalar | bitsliced64 |
-//!                       bitsliced:<64|128|256|512> (bit-sliced lane
-//!                       width); with --from-artifact, overrides the
+//!                       bitsliced:<64|128|256|512|1024> (bit-sliced
+//!                       lane width); with --from-artifact, overrides the
 //!                       recorded backend (all serve bit-identically)
 //!   --no-merge          skip the MFG merging procedure (Algorithm 3)
 //!   --no-opt            skip logic optimization
@@ -286,6 +286,7 @@ fn print_tape_stats(flow: &Flow) {
         stats.tiles_at(words),
         stats.tile_words()
     );
+    println!("  simd kernels: {} (LBNN_SIMD to override)", stats.simd);
 }
 
 fn main() -> ExitCode {

@@ -6,7 +6,7 @@
 //! column is measured by compiling the FFCL workloads and counting cycles
 //! in the cycle-accurate simulator.
 
-//! Pass `--backend <scalar|bitsliced64|bitsliced:<lanes>>` (and optionally `--workers <n>`,
+//! Pass `--backend <scalar|bitsliced64|bitsliced:<lanes>>` (lanes 64-1024) (and optionally `--workers <n>`,
 //! `0` = one per CPU) to also measure host serving throughput of a
 //! representative VGG16 block on that execution backend; add
 //! `--serve <N>` to replay `N` synthetic single-sample requests through

@@ -6,7 +6,7 @@
 //! win by orders of magnitude — the paper's trade-off: raw speed vs
 //! field-reprogrammability.
 
-//! Pass `--backend <scalar|bitsliced64|bitsliced:<lanes>>` (and optionally `--workers <n>`,
+//! Pass `--backend <scalar|bitsliced64|bitsliced:<lanes>>` (lanes 64-1024) (and optionally `--workers <n>`,
 //! `0` = one per CPU) to also measure host serving throughput of a
 //! representative JSC-M block on that execution backend; add
 //! `--serve <N>` to replay `N` synthetic single-sample requests through

@@ -28,10 +28,11 @@
 //! * [`Backend::BitSliced`] — the compiled netlist replayed as a flat
 //!   tape of branch-free word kernels
 //!   ([`lbnn_netlist::BitSliceEvaluator`]) at a configurable slice
-//!   width: 1, 2, 4 or 8 `u64` words per net = 64/128/256/512 samples
-//!   per kernel pass, the paper's word-level parallelism exploited in
-//!   software. [`Backend::BitSliced64`] is the original 64-lane
-//!   configuration, kept as a shim.
+//!   width: 1, 2, 4, 8 or 16 `u64` words per net =
+//!   64/128/256/512/1024 samples per kernel pass, the paper's
+//!   word-level parallelism exploited in software (SIMD-accelerated on
+//!   x86_64, see [`lbnn_netlist::SimdMode`]). [`Backend::BitSliced64`]
+//!   is the original 64-lane configuration, kept as a shim.
 //!
 //! [`Engine::run_batches`] additionally shards a batch sequence across
 //! the engine's persistent worker pool (spawned once, reused across
@@ -74,9 +75,10 @@ pub enum Backend {
     /// cycles, LPE ops) as [`Backend::Scalar`] but does not track
     /// snapshot occupancy ([`RunResult::peak_live_snapshots`] is 0).
     BitSliced {
-        /// `u64` words per net slice: 1, 2, 4 or 8 (= 64/128/256/512
-        /// lanes per kernel pass). Other values are rejected by
-        /// [`Backend::validate`] at compile and engine construction.
+        /// `u64` words per net slice: 1, 2, 4, 8 or 16
+        /// (= 64/128/256/512/1024 lanes per kernel pass). Other values
+        /// are rejected by [`Backend::validate`] at compile and engine
+        /// construction.
         words: usize,
     },
 }
@@ -102,7 +104,7 @@ impl Backend {
     }
 
     /// Checks that a bit-sliced width is one the kernels support
-    /// ([`SUPPORTED_SLICE_WORDS`]: 1, 2, 4 or 8 words).
+    /// ([`SUPPORTED_SLICE_WORDS`]: 1, 2, 4, 8 or 16 words).
     ///
     /// # Errors
     ///
@@ -114,7 +116,7 @@ impl Backend {
             Backend::BitSliced { words } => Err(CoreError::BadConfig {
                 reason: format!(
                     "bit-sliced backend width of {words} words is not supported \
-                     (supported: 1, 2, 4 or 8 words = 64/128/256/512 lanes)"
+                     (supported: 1, 2, 4, 8 or 16 words = 64/128/256/512/1024 lanes)"
                 ),
             }),
         }
@@ -161,7 +163,7 @@ impl FromStr for Backend {
             "bitsliced64" | "bitsliced" | "bit-sliced" => Ok(Backend::BitSliced64),
             other => Err(bad(format!(
                 "unknown backend `{other}` (expected `scalar`, `bitsliced64` or \
-                 `bitsliced:<64|128|256|512>`)"
+                 `bitsliced:<64|128|256|512|1024>`)"
             ))),
         }
     }
@@ -219,6 +221,11 @@ pub(crate) fn patch_program(program: &mut LpuProgram, patches: &PatchSet) -> Res
 pub struct EngineScratch {
     pub(crate) pass: PassScratch,
     pub(crate) frame: SliceFrame,
+    /// Reusable flat packed-input buffer in [`Lanes::pack_rows_into`]
+    /// layout, lent to the packed serving paths (the runtime
+    /// micro-batcher, `lbnn-serve`'s binary fast path) so steady-state
+    /// packing allocates nothing.
+    pub(crate) packed: Vec<u64>,
 }
 
 impl EngineScratch {
@@ -256,9 +263,9 @@ impl EngineCore {
     }
 
     /// Lanes one kernel pass of this core natively packs
-    /// ([`Backend::lanes`]): 64–512 for bit-sliced backends, 64 for the
-    /// scalar machine. The serving runtime's micro-batcher flushes at
-    /// this width.
+    /// ([`Backend::lanes`]): 64–1024 for bit-sliced backends, 64 for
+    /// the scalar machine. The serving runtime's micro-batcher flushes
+    /// at this width.
     pub fn lane_width(&self) -> usize {
         self.backend.lanes()
     }
@@ -356,6 +363,66 @@ impl EngineCore {
         }
     }
 
+    /// [`EngineCore::run_batch`] over a flat pre-packed input buffer
+    /// instead of per-input [`Lanes`]: input `i`'s lane column occupies
+    /// `packed[i * stride .. (i + 1) * stride]` words
+    /// (`stride = lanes.div_ceil(64)` — the [`Lanes::pack_rows_into`]
+    /// layout, and the word layout of `num_inputs` concatenated
+    /// `Lanes`). On bit-sliced cores the batch streams straight from
+    /// `packed` into the kernel frame with no per-batch `Vec<Lanes>`
+    /// materialization; scalar cores (whose machine replay consumes
+    /// `Lanes`) rebuild the columns first, costing exactly what the
+    /// unpacked path pays.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpuMachine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != num_inputs * lanes.div_ceil(64)`.
+    pub fn run_batch_packed(
+        &self,
+        scratch: &mut EngineScratch,
+        packed: &[u64],
+        num_inputs: usize,
+        lanes: usize,
+    ) -> Result<RunResult, CoreError> {
+        match self.backend {
+            Backend::Scalar => {
+                let stride = lanes.div_ceil(64);
+                assert_eq!(
+                    packed.len(),
+                    num_inputs * stride,
+                    "packed buffer does not hold {num_inputs} columns of {stride} words"
+                );
+                let inputs: Vec<Lanes> = (0..num_inputs)
+                    .map(|i| {
+                        Lanes::from_words(packed[i * stride..(i + 1) * stride].to_vec(), lanes)
+                    })
+                    .collect();
+                self.machine
+                    .run_with_scratch(&self.program, &inputs, &mut scratch.pass)
+            }
+            Backend::BitSliced { words } => {
+                scratch.frame.set_width(words);
+                if num_inputs != self.program.num_inputs {
+                    return Err(CoreError::InputArity {
+                        expected: self.program.num_inputs,
+                        got: num_inputs,
+                    });
+                }
+                let sliced = self
+                    .sliced
+                    .as_ref()
+                    .expect("bit-sliced core has a kernel tape");
+                let outputs =
+                    sliced.evaluate_packed_with(packed, num_inputs, lanes, &mut scratch.frame)?;
+                Ok(self.bitsliced_result(outputs))
+            }
+        }
+    }
+
     /// One bit-sliced pass: functional execution with the scalar path's
     /// model-time accounting.
     fn run_bitsliced(
@@ -377,14 +444,40 @@ impl EngineCore {
         // The scalar machine defaults no-input programs to one lane; match it.
         let lanes = inputs.first().map_or(1, Lanes::len);
         let outputs = sliced.evaluate_with(inputs, lanes, frame)?;
-        Ok(RunResult {
+        Ok(self.bitsliced_result(outputs))
+    }
+
+    /// Wraps bit-sliced outputs with the scalar path's model-time
+    /// accounting.
+    fn bitsliced_result(&self, outputs: Vec<Lanes>) -> RunResult {
+        RunResult {
             outputs,
-            compute_cycles: program.total_cycles,
-            clock_cycles: program.total_cycles as u64 * self.config().tc() as u64,
+            compute_cycles: self.program.total_cycles,
+            clock_cycles: self.program.total_cycles as u64 * self.config().tc() as u64,
             lpe_ops: self.lpe_ops_per_pass,
             peak_live_snapshots: 0,
-        })
+        }
     }
+}
+
+/// A whole [`Engine::run_batches`] sequence packed into one flat
+/// buffer: batch `i`'s input columns occupy `words[descs[i].offset..]`
+/// in [`Lanes::pack_rows_into`] layout, `descs[i]` recording the
+/// offset plus the batch's input and lane counts. Cached on the engine
+/// between calls so steady-state sharded serving re-packs into the
+/// same allocation instead of cloning every `Lanes` of every batch.
+#[derive(Debug, Default)]
+struct PackedBatches {
+    words: Vec<u64>,
+    descs: Vec<PackedDesc>,
+}
+
+/// Where one batch lives inside a [`PackedBatches`] buffer.
+#[derive(Debug, Clone, Copy)]
+struct PackedDesc {
+    offset: usize,
+    inputs: usize,
+    lanes: usize,
 }
 
 /// A resident, ready-to-serve compiled block.
@@ -424,6 +517,9 @@ pub struct Engine {
     /// Persistent worker pool for [`Engine::run_batches`], spawned on
     /// first multi-worker call and reused until the worker count changes.
     pool: Option<WorkerPool>,
+    /// Reusable pack-once buffer for sharded [`Engine::run_batches`]
+    /// calls; holds its capacity between calls.
+    packed_cache: PackedBatches,
     /// Batches served since construction; incremented exactly once per
     /// executed batch by every serving path (atomic so `&self` paths and
     /// pool workers can count).
@@ -451,6 +547,7 @@ impl Clone for Engine {
             scratch: EngineScratch::default(),
             workers: self.workers,
             pool: None,
+            packed_cache: PackedBatches::default(),
             batches_served: Arc::new(AtomicU64::new(self.batches_served())),
         }
     }
@@ -568,6 +665,7 @@ impl Engine {
             scratch: EngineScratch::default(),
             workers: 1,
             pool: None,
+            packed_cache: PackedBatches::default(),
             batches_served: Arc::new(AtomicU64::new(0)),
         })
     }
@@ -634,6 +732,7 @@ impl Engine {
             scratch: EngineScratch::default(),
             workers: self.workers,
             pool: None,
+            packed_cache: PackedBatches::default(),
             batches_served: Arc::new(AtomicU64::new(0)),
         })
     }
@@ -649,7 +748,7 @@ impl Engine {
         self.core.tape_stats()
     }
 
-    /// Lanes one kernel pass natively packs (64–512 for bit-sliced
+    /// Lanes one kernel pass natively packs (64–1024 for bit-sliced
     /// backends, 64 for the scalar machine); see
     /// [`EngineCore::lane_width`]. The [`crate::runtime::Runtime`]
     /// micro-batcher uses this as its default flush target.
@@ -710,6 +809,29 @@ impl Engine {
         Ok(result)
     }
 
+    /// [`Engine::run_batch_with`] over a flat pre-packed input buffer
+    /// ([`EngineCore::run_batch_packed`]): the zero-copy serving entry
+    /// used by the runtime micro-batcher after a
+    /// [`Lanes::pack_rows_into`] transpose into the worker's reusable
+    /// scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpuMachine::run`].
+    pub fn run_batch_packed_with(
+        &self,
+        scratch: &mut EngineScratch,
+        packed: &[u64],
+        num_inputs: usize,
+        lanes: usize,
+    ) -> Result<RunResult, CoreError> {
+        let result = self
+            .core
+            .run_batch_packed(scratch, packed, num_inputs, lanes)?;
+        self.batches_served.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
     /// Runs a sequence of batches back to back — the paper's steady-state
     /// serving loop — returning one result per batch, in input order.
     ///
@@ -744,18 +866,37 @@ impl Engine {
             .pool
             .get_or_insert_with(|| WorkerPool::spawn(pool_workers, 2 * pool_workers));
         // Jobs outlive this call's borrows (the pool threads are
-        // persistent), so the shard data must be owned: one copy of the
-        // batch sequence, shared by every shard. The copy is O(input
-        // bytes) against O(inputs × gates × cycles) of execution — the
-        // price of reusing threads instead of spawning per call.
-        let owned: Arc<Vec<Vec<Lanes>>> =
-            Arc::new(batches.iter().map(|b| b.as_ref().to_vec()).collect());
-        let chunk = owned.len().div_ceil(workers);
+        // persistent), so the shard data must be owned. Instead of
+        // cloning every `Lanes` of every batch into fresh `Vec`s per
+        // call, the whole sequence is packed once into the engine's
+        // reusable flat buffer — zero allocation in steady state — and
+        // each worker streams its shard into the kernels by offset.
+        let mut pb = std::mem::take(&mut self.packed_cache);
+        pb.words.clear();
+        pb.descs.clear();
+        for batch in batches {
+            let batch = batch.as_ref();
+            // The scalar machine defaults no-input programs to one
+            // lane; record the width the per-batch path would infer.
+            let lanes = batch.first().map_or(1, Lanes::len);
+            let offset = pb.words.len();
+            for col in batch {
+                assert_eq!(col.len(), lanes, "inconsistent lane counts across inputs");
+                pb.words.extend_from_slice(col.words());
+            }
+            pb.descs.push(PackedDesc {
+                offset,
+                inputs: batch.len(),
+                lanes,
+            });
+        }
+        let owned = Arc::new(pb);
+        let chunk = owned.descs.len().div_ceil(workers);
         let (tx, rx) = mpsc::channel();
         let mut shards = 0usize;
         let mut start = 0usize;
-        while start < owned.len() {
-            let end = (start + chunk).min(owned.len());
+        while start < owned.descs.len() {
+            let end = (start + chunk).min(owned.descs.len());
             let range = start..end;
             let core = Arc::clone(&self.core);
             let data = Arc::clone(&owned);
@@ -763,14 +904,21 @@ impl Engine {
             let tx = tx.clone();
             let idx = shards;
             pool.submit(Box::new(move |scratch| {
-                // A panicking batch (e.g. inconsistent lane counts) must
-                // not kill the persistent worker: capture it and let the
-                // caller re-raise, exactly like the old scoped join did.
+                // A panicking batch must not kill the persistent
+                // worker: capture it and let the caller re-raise,
+                // exactly like the old scoped join did.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut out: Vec<Result<RunResult, CoreError>> =
                         Vec::with_capacity(range.len());
-                    for batch in &data[range.clone()] {
-                        match core.run_batch(&mut scratch.engine, batch) {
+                    for desc in &data.descs[range.clone()] {
+                        let len = desc.inputs * desc.lanes.div_ceil(64);
+                        let packed = &data.words[desc.offset..desc.offset + len];
+                        match core.run_batch_packed(
+                            &mut scratch.engine,
+                            packed,
+                            desc.inputs,
+                            desc.lanes,
+                        ) {
                             Ok(r) => {
                                 served.fetch_add(1, Ordering::Relaxed);
                                 out.push(Ok(r));
@@ -799,7 +947,15 @@ impl Engine {
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        let mut results = Vec::with_capacity(owned.len());
+        let total = owned.descs.len();
+        // Reclaim the packed buffer (and its capacity) for the next
+        // call. Every shard has sent its result, but a worker may still
+        // be tearing down its closure; losing that race just means the
+        // capacity is rebuilt on the next call.
+        if let Ok(pb) = Arc::try_unwrap(owned) {
+            self.packed_cache = pb;
+        }
+        let mut results = Vec::with_capacity(total);
         let mut first_err = None;
         for result in collected.into_iter().flatten() {
             match result {
@@ -995,7 +1151,7 @@ mod tests {
                 .unwrap();
             let mut scalar = scalar_flow.engine().unwrap();
             assert_eq!(scalar.backend(), Backend::Scalar);
-            for words in [1usize, 2, 4, 8] {
+            for words in [1usize, 2, 4, 8, 16] {
                 let sliced_flow = Flow::builder(&nl)
                     .config(LpuConfig::new(6, 4))
                     .backend(Backend::BitSliced { words })
@@ -1030,7 +1186,7 @@ mod tests {
 
     #[test]
     fn unsupported_slice_widths_are_rejected() {
-        for words in [0usize, 3, 5, 16] {
+        for words in [0usize, 3, 5, 32] {
             let backend = Backend::BitSliced { words };
             assert!(matches!(
                 backend.validate(),
@@ -1049,7 +1205,11 @@ mod tests {
     #[test]
     fn sharded_run_batches_preserves_input_order() {
         let nl = RandomDag::strict(10, 5, 8).outputs(3).generate(7);
-        for backend in [Backend::Scalar, Backend::BitSliced64] {
+        for backend in [
+            Backend::Scalar,
+            Backend::BitSliced64,
+            Backend::BitSliced { words: 16 },
+        ] {
             let flow = Flow::builder(&nl)
                 .config(LpuConfig::new(5, 4))
                 .backend(backend)
@@ -1137,6 +1297,43 @@ mod tests {
         }
     }
 
+    /// The packed entry point is bit-identical to the `Lanes` path on
+    /// both backends: the flat buffer is exactly the concatenated lane
+    /// columns, so feeding it by offset must change nothing.
+    #[test]
+    fn run_batch_packed_matches_lanes_path() {
+        let nl = RandomDag::strict(10, 5, 8).outputs(3).generate(13);
+        for backend in [
+            Backend::Scalar,
+            Backend::BitSliced64,
+            Backend::BitSliced { words: 8 },
+        ] {
+            let flow = Flow::builder(&nl)
+                .config(LpuConfig::new(5, 4))
+                .backend(backend)
+                .compile()
+                .unwrap();
+            let mut engine = flow.engine().unwrap();
+            let shared = flow.engine().unwrap();
+            let mut scratch = EngineScratch::new();
+            let mut rng = StdRng::seed_from_u64(41);
+            for lanes in [1usize, 64, 130, 517] {
+                let batch = random_batch(&mut rng, nl.inputs().len(), lanes);
+                let packed: Vec<u64> = batch.iter().flat_map(|l| l.words().to_vec()).collect();
+                let a = engine.run_batch(&batch).unwrap();
+                let b = shared
+                    .run_batch_packed_with(&mut scratch, &packed, batch.len(), lanes)
+                    .unwrap();
+                assert_eq!(a.outputs, b.outputs, "{backend} lanes {lanes}");
+            }
+            // Arity mismatches surface as errors, not panics.
+            assert!(matches!(
+                shared.run_batch_packed_with(&mut scratch, &[], 0, 64),
+                Err(CoreError::InputArity { .. })
+            ));
+        }
+    }
+
     #[test]
     fn sharded_run_batches_reports_first_error_in_input_order() {
         let nl = RandomDag::strict(6, 3, 4).outputs(2).generate(3);
@@ -1191,6 +1388,7 @@ mod tests {
             ("bitsliced:128", 2),
             ("bitsliced:256", 4),
             ("bitsliced:512", 8),
+            ("bitsliced:1024", 16),
             ("bit-sliced:256", 4),
         ] {
             assert_eq!(
@@ -1200,7 +1398,7 @@ mod tests {
             );
         }
         // Display round-trips through FromStr for every supported width.
-        for words in [1usize, 2, 4, 8] {
+        for words in [1usize, 2, 4, 8, 16] {
             let backend = Backend::BitSliced { words };
             assert_eq!(backend.to_string().parse::<Backend>().unwrap(), backend);
         }
@@ -1208,7 +1406,7 @@ mod tests {
             "simd",
             "bitsliced:0",
             "bitsliced:96",
-            "bitsliced:1024",
+            "bitsliced:2048",
             "bitsliced:x",
         ] {
             assert!(bad.parse::<Backend>().is_err(), "{bad}");

@@ -49,8 +49,8 @@ pub enum ArtifactError {
         reason: String,
     },
     /// The artifact records a bit-sliced backend whose slice width this
-    /// build does not support (supported: 1, 2, 4 or 8 words per net =
-    /// 64/128/256/512 lanes).
+    /// build does not support (supported: 1, 2, 4, 8 or 16 words per
+    /// net = 64/128/256/512/1024 lanes).
     UnsupportedWidth {
         /// The `words` byte found in the backend record.
         words: u8,
@@ -96,7 +96,7 @@ impl fmt::Display for ArtifactError {
             ArtifactError::UnsupportedWidth { words } => write!(
                 f,
                 "artifact records a bit-sliced backend of {words} words per net; \
-                 this build supports 1, 2, 4 or 8 (64/128/256/512 lanes)"
+                 this build supports 1, 2, 4, 8 or 16 (64/128/256/512/1024 lanes)"
             ),
             ArtifactError::BaseMismatch { expected, found } => write!(
                 f,

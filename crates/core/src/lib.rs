@@ -41,7 +41,7 @@
 //!   on bit-identical [`Backend`]s — the cycle-accurate machine
 //!   ([`Backend::Scalar`]) or branch-free bit-sliced word kernels at a
 //!   selectable width ([`Backend::BitSliced`]` { words }`, 1/2/4/8
-//!   words per net = 64/128/256/512 lanes per kernel pass) — selected
+//!   words per net = 64/128/256/512/1024 lanes per kernel pass) — selected
 //!   via [`FlowBuilder::backend`](flow::FlowBuilder::backend).
 //!   [`Engine::run_batches`] shards batch sequences across a persistent
 //!   worker pool, and the [`Runtime`] serves *individual* requests:

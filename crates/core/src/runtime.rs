@@ -5,7 +5,7 @@
 //! every operand word carries `2m` independent Boolean samples, so a
 //! compiled block is only fully utilized when samples stream through it
 //! packed. The host analogue ([`Backend::BitSliced`]) packs `64 × words`
-//! samples per kernel pass (64–512 lanes) — but real traffic arrives one
+//! samples per kernel pass (64–1024 lanes) — but real traffic arrives one
 //! request at a time. This module closes that gap with the shape real
 //! inference servers have:
 //!
@@ -333,19 +333,42 @@ impl Target {
         }
     }
 
-    fn execute(
+    /// Packs per-request bit rows and executes one micro-batch.
+    ///
+    /// Block targets take the zero-copy path: the rows are transposed
+    /// ([`Lanes::pack_rows_into`], word-level 64×64 blocks) into the
+    /// worker's reusable flat buffer and streamed straight into the
+    /// kernel frame — no per-batch `Vec<Lanes>` materialization. Model
+    /// chains consume per-layer `Lanes`, so they materialize the
+    /// columns once (still through the word-level transpose).
+    fn execute_rows(
         &self,
         scratch: &mut ServeScratch,
-        inputs: &[Lanes],
+        rows: &[&[bool]],
+        num_inputs: usize,
     ) -> Result<Vec<Lanes>, CoreError> {
         match self {
             Target::Block(engine) => {
-                Ok(engine.run_batch_with(&mut scratch.engine, inputs)?.outputs)
+                // The buffer is both scratch state and kernel input;
+                // take it out for the call to keep the borrows disjoint.
+                let mut packed = std::mem::take(&mut scratch.engine.packed);
+                Lanes::pack_rows_into(rows, num_inputs, &mut packed);
+                let result = engine.run_batch_packed_with(
+                    &mut scratch.engine,
+                    &packed,
+                    num_inputs,
+                    rows.len(),
+                );
+                scratch.engine.packed = packed;
+                Ok(result?.outputs)
             }
-            Target::Model(model) => Ok(model
-                .infer_with(&mut scratch.model, inputs)?
-                .outputs()
-                .to_vec()),
+            Target::Model(model) => {
+                let inputs = Lanes::pack_rows(rows, num_inputs);
+                Ok(model
+                    .infer_with(&mut scratch.model, &inputs)?
+                    .outputs()
+                    .to_vec())
+            }
         }
     }
 }
@@ -366,7 +389,7 @@ pub struct RuntimeOptions {
     /// Lanes per micro-batch — the size flush trigger. The default `0`
     /// means "the serving engine's lane width"
     /// ([`crate::Engine::lane_width`]): one full bit-sliced frame
-    /// (64–512 lanes depending on the backend), the host analogue of
+    /// (64–1024 lanes depending on the backend), the host analogue of
     /// the hardware's `2m`-sample operand. Any positive value overrides
     /// the width explicitly.
     pub max_batch: usize,
@@ -713,7 +736,7 @@ impl Runtime {
 
     fn build(target: Target, options: RuntimeOptions) -> Result<Runtime, CoreError> {
         // max_batch 0 = auto: fill exactly one bit-sliced frame of the
-        // serving backend (64–512 lanes).
+        // serving backend (64–1024 lanes).
         let flush_target = if options.max_batch == 0 {
             target.lane_width()
         } else {
@@ -1201,10 +1224,12 @@ fn dispatch(
     let shared = Arc::clone(shared);
     pool.submit(Box::new(move |scratch| {
         let rows: Vec<&[bool]> = reqs.iter().map(|r| r.bits.as_slice()).collect();
-        let inputs = Lanes::pack_rows(&rows, target.num_inputs());
+        let num_inputs = target.num_inputs();
         // A panicking batch must not kill the persistent worker; turn it
         // into an error every carried request observes.
-        let outcome = match catch_unwind(AssertUnwindSafe(|| target.execute(scratch, &inputs))) {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| {
+            target.execute_rows(scratch, &rows, num_inputs)
+        })) {
             Ok(result) => result,
             Err(_) => Err(CoreError::BadConfig {
                 reason: "runtime worker panicked executing a micro-batch".to_string(),
@@ -1235,9 +1260,11 @@ fn dispatch(
         bucket.fetch_add(reqs.len() as u64, Ordering::Relaxed);
         match outcome {
             Ok(outputs) => {
-                for (j, req) in reqs.iter().enumerate() {
-                    let bits: Vec<bool> = outputs.iter().map(|o| o.get(j)).collect();
-                    req.slot.fulfill(Ok(bits));
+                // One word-level transpose back to per-request rows
+                // instead of a bounds-checked `get` per output bit.
+                let mut out_rows = Lanes::unpack_rows(&outputs).into_iter();
+                for req in &reqs {
+                    req.slot.fulfill(Ok(out_rows.next().unwrap_or_default()));
                 }
             }
             Err(e) => {

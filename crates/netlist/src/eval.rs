@@ -24,9 +24,13 @@
 //!   word sub-ranges so the live frame stays cache-resident
 //!   ([`TapeStats`] reports what the pass did). The frame width is
 //!   generic — any `words_per_net ≥ 1` works, and the widths in
-//!   [`SUPPORTED_SLICE_WORDS`] (1/2/4/8 words = 64/128/256/512 lanes)
-//!   run on monomorphized kernels the compiler can keep branch-free and
-//!   vectorize.
+//!   [`SUPPORTED_SLICE_WORDS`] (1/2/4/8/16 words = 64/128/256/512/1024
+//!   lanes) run on monomorphized kernels the compiler can keep
+//!   branch-free and vectorize. On x86_64, wide tiles additionally run
+//!   on explicit `std::arch` SIMD kernels (AVX-512/AVX2/SSE2, picked by
+//!   runtime CPU-feature detection; [`SimdMode`] / the `LBNN_SIMD`
+//!   environment knob override the choice), all bit-identical to the
+//!   portable scalar tiles.
 
 use crate::cell::Op;
 use crate::error::NetlistError;
@@ -154,22 +158,88 @@ impl Lanes {
     /// assert_eq!(cols[1].to_bools(), vec![false, true, false]); // signal 1
     /// ```
     pub fn pack_rows<R: AsRef<[bool]>>(rows: &[R], width: usize) -> Vec<Lanes> {
-        let words = rows.len().div_ceil(64);
-        let mut columns: Vec<Vec<u64>> = vec![vec![0u64; words]; width];
-        for (j, row) in rows.iter().enumerate() {
-            let row = row.as_ref();
-            assert_eq!(row.len(), width, "row {j} has the wrong width");
-            let (word, mask) = (j / 64, 1u64 << (j % 64));
-            for (column, &bit) in columns.iter_mut().zip(row) {
-                if bit {
-                    column[word] |= mask;
+        let stride = rows.len().div_ceil(64);
+        let mut flat = Vec::new();
+        Lanes::pack_rows_into(rows, width, &mut flat);
+        (0..width)
+            .map(|i| Lanes::from_words(flat[i * stride..(i + 1) * stride].to_vec(), rows.len()))
+            .collect()
+    }
+
+    /// [`Lanes::pack_rows`] into a caller-owned flat buffer — the
+    /// zero-allocation packing behind steady-state serving. `out` is
+    /// resized to `width × stride` words (`stride = rows.len().div_ceil(64)`,
+    /// also the return value): signal `i`'s lane column occupies
+    /// `out[i * stride .. (i + 1) * stride]` with sample `j` at bit `j`
+    /// (the exact word layout of `width` concatenated [`Lanes`]).
+    ///
+    /// The transpose runs 64×64 bits at a time ([`transpose_64x64`]):
+    /// each block of ≤ 64 rows × ≤ 64 signals is gathered into a local
+    /// 512-byte tile, transposed word-level, and stored with one word
+    /// write per signal — instead of one scattered read-modify-write per
+    /// *bit* as the naive loop does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `width`.
+    pub fn pack_rows_into<R: AsRef<[bool]>>(rows: &[R], width: usize, out: &mut Vec<u64>) -> usize {
+        let stride = rows.len().div_ceil(64);
+        out.clear();
+        out.resize(width * stride, 0);
+        let mut tile = [0u64; 64];
+        for (rb, chunk) in rows.chunks(64).enumerate() {
+            for cb in 0..width.div_ceil(64) {
+                let s0 = cb * 64;
+                let cols = (width - s0).min(64);
+                for (r, row) in chunk.iter().enumerate() {
+                    let row = row.as_ref();
+                    assert_eq!(row.len(), width, "row {} has the wrong width", rb * 64 + r);
+                    tile[r] = gather_bits(&row[s0..s0 + cols]);
+                }
+                tile[chunk.len()..].fill(0);
+                transpose_64x64(&mut tile);
+                for (k, &word) in tile.iter().take(cols).enumerate() {
+                    out[(s0 + k) * stride + rb] = word;
                 }
             }
         }
-        columns
-            .into_iter()
-            .map(|column| Lanes::from_words(column, rows.len()))
-            .collect()
+        stride
+    }
+
+    /// Inverse of [`Lanes::pack_rows`]: per-signal lane columns back to
+    /// per-sample bit rows (`result[j][i]` = lane `j` of `columns[i]`) —
+    /// the unpacking the serving paths use to hand each request its own
+    /// output bits. Word-level like the packing: 64×64 blocks are
+    /// transposed in a local tile, not read bit by bit with per-access
+    /// bounds checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have inconsistent lane counts.
+    pub fn unpack_rows(columns: &[Lanes]) -> Vec<Vec<bool>> {
+        let rows = columns.first().map_or(0, Lanes::len);
+        for c in columns {
+            assert_eq!(c.len(), rows, "inconsistent lane counts across columns");
+        }
+        let mut result = vec![vec![false; columns.len()]; rows];
+        let mut tile = [0u64; 64];
+        for rb in 0..rows.div_ceil(64) {
+            let nrows = (rows - rb * 64).min(64);
+            for (s0, block) in columns.chunks(64).enumerate().map(|(b, c)| (b * 64, c)) {
+                for (k, col) in block.iter().enumerate() {
+                    tile[k] = col.words[rb];
+                }
+                tile[block.len()..].fill(0);
+                transpose_64x64(&mut tile);
+                for (r, &word) in tile.iter().take(nrows).enumerate() {
+                    let row = &mut result[rb * 64 + r];
+                    for (k, dst) in row[s0..s0 + block.len()].iter_mut().enumerate() {
+                        *dst = word >> k & 1 != 0;
+                    }
+                }
+            }
+        }
+        result
     }
 
     /// Number of lanes set to 1.
@@ -216,6 +286,49 @@ impl Lanes {
             }
         }
     }
+}
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight §7-3): `m[k]`
+/// is row `k` with column `i` at bit `i`; afterwards bit `i` of row `k`
+/// is the old bit `k` of row `i`. Six rounds of masked delta swaps —
+/// 64 words of work per round instead of one operation per bit, the
+/// kernel behind [`Lanes::pack_rows`] / [`Lanes::unpack_rows`].
+pub fn transpose_64x64(m: &mut [u64; 64]) {
+    let mut j = 32;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            // LSB-first variant of the classic delta swap (bit i of row k
+            // is column i, so the off-diagonal halves trade the other way
+            // round than in the MSB-first original).
+            let t = ((m[k] >> j) ^ m[k | j]) & mask;
+            m[k] ^= t << j;
+            m[k | j] ^= t;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Packs up to 64 booleans into one word, LSB first. Each 8-bool group
+/// collapses with a single multiply (each `bool` is a 0/1 byte; the
+/// magic constant shifts byte `k` onto bit `56 + k`) — no per-bit
+/// branches or shifts.
+#[inline]
+fn gather_bits(row: &[bool]) -> u64 {
+    debug_assert!(row.len() <= 64);
+    let mut w = 0u64;
+    for (g, chunk) in row.chunks(8).enumerate() {
+        let mut bytes = [0u8; 8];
+        for (dst, &b) in bytes.iter_mut().zip(chunk) {
+            *dst = b as u8;
+        }
+        let packed = u64::from_le_bytes(bytes).wrapping_mul(0x0102_0408_1020_4080) >> 56;
+        w |= packed << (8 * g);
+    }
+    w
 }
 
 /// Evaluates the netlist across all lanes simultaneously.
@@ -292,12 +405,131 @@ pub fn evaluate(netlist: &Netlist, inputs: &[Lanes]) -> Result<Vec<Lanes>, Netli
 }
 
 /// The bit-slice widths with monomorphized branch-free kernels:
-/// 1/2/4/8 words per net = 64/128/256/512 lanes per block.
+/// 1/2/4/8/16 words per net = 64/128/256/512/1024 lanes per block.
 ///
 /// [`BitSliceEvaluator::run_block`] accepts any `words_per_net ≥ 1`
 /// (other widths are chunked into tiles from this set); the serving layer
 /// above restricts its backends to this blessed set.
-pub const SUPPORTED_SLICE_WORDS: [usize; 4] = [1, 2, 4, 8];
+pub const SUPPORTED_SLICE_WORDS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Requested SIMD policy for the kernel tape ([`TapeOptions::simd`],
+/// `LBNN_SIMD` environment knob). A request is a *ceiling*, not a
+/// demand: compilation resolves it against runtime CPU-feature
+/// detection ([`SimdMode::resolve`]) and clamps to the best level the
+/// host actually has, so forcing `avx2` on a pre-AVX2 machine degrades
+/// gracefully instead of faulting. Every level is bit-identical — the
+/// knob exists for differential testing and perf triage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimdMode {
+    /// Pick the fastest level for this kernel class (the default).
+    /// Prefers AVX2 over AVX-512 when both are present: the replay
+    /// kernel is pure 64-bit logic ops, and on server cores 512-bit
+    /// vectors pay frequency-license and port-width penalties that
+    /// outweigh the halved instruction count (measured ~15-20% slower
+    /// at 512/1024 lanes). `avx512` stays available as an explicit
+    /// opt-in for hosts where the wider unit does win.
+    #[default]
+    Auto,
+    /// Cap at AVX-512 (8 words per vector op).
+    Avx512,
+    /// Cap at AVX2 (4 words per vector op).
+    Avx2,
+    /// Cap at SSE2 (2 words per vector op; baseline on every x86_64).
+    Sse2,
+    /// Portable scalar tiles only — no `std::arch` kernels.
+    Off,
+}
+
+impl SimdMode {
+    /// Parses the `LBNN_SIMD` spellings: `auto`, `avx512`, `avx2`,
+    /// `sse2`, `off` (plus `0`/`none`/`scalar` for `off`).
+    pub fn parse(s: &str) -> Option<SimdMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" | "" => Some(SimdMode::Auto),
+            "avx512" => Some(SimdMode::Avx512),
+            "avx2" => Some(SimdMode::Avx2),
+            "sse2" => Some(SimdMode::Sse2),
+            "off" | "0" | "none" | "scalar" => Some(SimdMode::Off),
+            _ => None,
+        }
+    }
+
+    /// [`SimdMode::Auto`] unless the `LBNN_SIMD` environment variable
+    /// names another mode (unparsable values fall back to `Auto`).
+    pub fn from_env() -> SimdMode {
+        std::env::var("LBNN_SIMD")
+            .ok()
+            .and_then(|v| SimdMode::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Clamps the requested mode to what this CPU supports, via runtime
+    /// feature detection. On non-x86_64 hosts every mode resolves to
+    /// [`SimdLevel::Scalar`] (the portable tiles are the only kernels).
+    pub fn resolve(self) -> SimdLevel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if self == SimdMode::Off {
+                return SimdLevel::Scalar;
+            }
+            let avx512 = is_x86_feature_detected!("avx512f");
+            let avx2 = is_x86_feature_detected!("avx2");
+            match self {
+                // `Auto` deliberately skips AVX-512 when AVX2 is present
+                // (see the enum docs); it only lands on Avx512 for the
+                // hypothetical avx512f-without-avx2 feature report.
+                SimdMode::Avx512 if avx512 => SimdLevel::Avx512,
+                SimdMode::Auto | SimdMode::Avx512 | SimdMode::Avx2 if avx2 => SimdLevel::Avx2,
+                SimdMode::Auto if avx512 => SimdLevel::Avx512,
+                // SSE2 is part of the x86_64 baseline: always present.
+                _ => SimdLevel::Sse2,
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            SimdLevel::Scalar
+        }
+    }
+}
+
+impl std::fmt::Display for SimdMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimdMode::Auto => "auto",
+            SimdMode::Avx512 => "avx512",
+            SimdMode::Avx2 => "avx2",
+            SimdMode::Sse2 => "sse2",
+            SimdMode::Off => "off",
+        })
+    }
+}
+
+/// The SIMD dispatch level a tape actually executes with — the result
+/// of resolving a [`SimdMode`] request against runtime CPU-feature
+/// detection at compile time ([`BitSliceEvaluator::simd_level`]), so
+/// the hot loop never re-detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// 512-bit vectors: 8 words per op (tiles of 8/16 words).
+    Avx512,
+    /// 256-bit vectors: 4 words per op (tiles of 4/8/16 words).
+    Avx2,
+    /// 128-bit vectors: 2 words per op (tiles of 2 words and up).
+    Sse2,
+    /// Portable monomorphized tiles (always used for 1-word tiles).
+    Scalar,
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimdLevel::Avx512 => "avx512",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Scalar => "scalar",
+        })
+    }
+}
 
 /// Compile-time sentinel: the value is fed through the chain
 /// accumulator, not a net slot of its own. Only used while building the
@@ -455,7 +687,9 @@ struct SliceInstr {
 ///
 /// * `LBNN_TAPE_FUSION=0` — disable chain fusion,
 /// * `LBNN_TAPE_SLOT_REUSE=0` — disable liveness-based slot recycling,
-/// * `LBNN_CACHE_BUDGET=<bytes>` — per-tile frame budget (0 = unlimited).
+/// * `LBNN_CACHE_BUDGET=<bytes>` — per-tile frame budget (0 = unlimited),
+/// * `LBNN_SIMD=auto|avx512|avx2|sse2|off` — SIMD kernel ceiling
+///   ([`SimdMode`]).
 ///
 /// Every combination produces bit-identical results; the options only
 /// trade memory traffic for tape shape.
@@ -473,25 +707,32 @@ pub struct TapeOptions {
     /// fitting tile are executed tile by tile so the working set stays
     /// cache-resident; `0` disables tiling (one full-width tile).
     pub cache_budget: usize,
+    /// SIMD ceiling for the replay kernels, resolved against runtime
+    /// CPU-feature detection at compile time ([`SimdMode::resolve`]).
+    /// Purely an execution choice — the tape structure (fusion, slots,
+    /// tiling) is identical at every level.
+    pub simd: SimdMode,
 }
 
 impl Default for TapeOptions {
     /// Fusion and slot reuse on, 256 KiB cache budget (roughly half of a
-    /// typical per-core L2, leaving room for the tape itself).
+    /// typical per-core L2, leaving room for the tape itself), SIMD
+    /// auto-detected.
     fn default() -> Self {
         TapeOptions {
             fuse: true,
             reuse: true,
             cache_budget: 256 * 1024,
+            simd: SimdMode::Auto,
         }
     }
 }
 
 impl TapeOptions {
     /// The default options with any `LBNN_TAPE_FUSION`,
-    /// `LBNN_TAPE_SLOT_REUSE`, and `LBNN_CACHE_BUDGET` environment
-    /// overrides applied (see the type docs). Unparsable values fall back
-    /// to the defaults.
+    /// `LBNN_TAPE_SLOT_REUSE`, `LBNN_CACHE_BUDGET`, and `LBNN_SIMD`
+    /// environment overrides applied (see the type docs). Unparsable
+    /// values fall back to the defaults.
     pub fn from_env() -> Self {
         fn flag(name: &str, default: bool) -> bool {
             match std::env::var(name) {
@@ -510,6 +751,7 @@ impl TapeOptions {
                 .ok()
                 .and_then(|v| v.trim().parse().ok())
                 .unwrap_or(d.cache_budget),
+            simd: SimdMode::from_env(),
         }
     }
 }
@@ -540,12 +782,18 @@ pub struct TapeStats {
     /// The cache budget (bytes) the tape was compiled with
     /// ([`TapeOptions::cache_budget`]).
     pub cache_budget: usize,
+    /// The SIMD dispatch level tiles execute with — the requested
+    /// [`TapeOptions::simd`] resolved against runtime CPU-feature
+    /// detection.
+    pub simd: SimdLevel,
 }
 
-/// The widest tile (words) from `{8, 4, 2, 1}` not exceeding `max`.
+/// The widest tile (words) from `{16, 8, 4, 2, 1}` not exceeding `max`.
 #[inline]
 fn largest_tile(max: usize) -> usize {
-    if max >= 8 {
+    if max >= 16 {
+        16
+    } else if max >= 8 {
         8
     } else if max >= 4 {
         4
@@ -569,14 +817,14 @@ impl TapeStats {
     }
 
     /// The tile width cap (words) execution uses: the widest tile from
-    /// `{8, 4, 2, 1}` whose frame slice (`frame_slots × tile × 8` bytes)
-    /// fits the cache budget. A zero budget means unlimited (cap 8 — the
-    /// widest supported block needs no splitting).
+    /// `{16, 8, 4, 2, 1}` whose frame slice (`frame_slots × tile × 8`
+    /// bytes) fits the cache budget. A zero budget means unlimited (cap
+    /// 16 — the widest supported block needs no splitting).
     pub fn tile_words(&self) -> usize {
         if self.cache_budget == 0 {
-            return 8;
+            return 16;
         }
-        for t in [8usize, 4, 2] {
+        for t in [16usize, 8, 4, 2] {
             if self.frame_slots * t * 8 <= self.cache_budget {
                 return t;
             }
@@ -903,6 +1151,8 @@ impl BitSliceEvaluator {
             frame_slots,
             max_level_working_set,
             cache_budget: options.cache_budget,
+            // Feature detection happens once here, never in the hot loop.
+            simd: options.simd.resolve(),
         };
         BitSliceEvaluator {
             tape,
@@ -971,6 +1221,13 @@ impl BitSliceEvaluator {
         self.stats
     }
 
+    /// The SIMD dispatch level this tape executes with: the requested
+    /// [`TapeOptions::simd`] clamped to what runtime CPU-feature
+    /// detection found at compile time.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.stats.simd
+    }
+
     /// The cells whose instructions are fused chain interiors (results
     /// go to the accumulator slot, not a net slot of their own). Useful
     /// for aiming a patch at the inside of a chain in tests.
@@ -1036,13 +1293,63 @@ impl BitSliceEvaluator {
         let mut base = 0;
         while base < per {
             let tile = largest_tile(cap.min(per - base));
-            match tile {
-                8 => self.run_tile::<8>(&mut frame.words, per, base),
-                4 => self.run_tile::<4>(&mut frame.words, per, base),
-                2 => self.run_tile::<2>(&mut frame.words, per, base),
-                _ => self.run_tile::<1>(&mut frame.words, per, base),
-            }
+            self.run_tile_dispatch(tile, &mut frame.words, per, base);
             base += tile;
+        }
+    }
+
+    /// Routes one tile to the widest kernel the resolved SIMD level and
+    /// the tile width allow; narrow tiles fall through to the next level
+    /// down (a 2-word tile can't fill a 256-bit vector), and everything
+    /// falls back to the portable scalar tiles.
+    fn run_tile_dispatch(&self, tile: usize, words: &mut [u64], per: usize, base: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY of the `unsafe` calls below: the target features were
+            // verified by runtime detection when `stats.simd` was resolved
+            // at compile time, and every span the kernels touch is in
+            // bounds — `run_block` asserted `frame.slots() >= self.slots`,
+            // tape slot indices are `< self.slots` by construction, and
+            // the tiling loop keeps `base + tile <= per`, so
+            // `slot * per + base + tile <= self.slots * per <= words.len()`.
+            debug_assert!(self.slots * per <= words.len() && base + tile <= per);
+            match (self.stats.simd, tile) {
+                (SimdLevel::Avx512, 16) => {
+                    return unsafe { simd::run_tile_avx512::<16>(&self.tape, words, per, base) }
+                }
+                (SimdLevel::Avx512, 8) => {
+                    return unsafe { simd::run_tile_avx512::<8>(&self.tape, words, per, base) }
+                }
+                (SimdLevel::Avx2, 16) => {
+                    return unsafe { simd::run_tile_avx2::<16>(&self.tape, words, per, base) }
+                }
+                (SimdLevel::Avx2, 8) => {
+                    return unsafe { simd::run_tile_avx2::<8>(&self.tape, words, per, base) }
+                }
+                (SimdLevel::Avx512 | SimdLevel::Avx2, 4) => {
+                    return unsafe { simd::run_tile_avx2::<4>(&self.tape, words, per, base) }
+                }
+                (SimdLevel::Sse2, 16) => {
+                    return unsafe { simd::run_tile_sse2::<16>(&self.tape, words, per, base) }
+                }
+                (SimdLevel::Sse2, 8) => {
+                    return unsafe { simd::run_tile_sse2::<8>(&self.tape, words, per, base) }
+                }
+                (SimdLevel::Sse2, 4) => {
+                    return unsafe { simd::run_tile_sse2::<4>(&self.tape, words, per, base) }
+                }
+                (SimdLevel::Avx512 | SimdLevel::Avx2 | SimdLevel::Sse2, 2) => {
+                    return unsafe { simd::run_tile_sse2::<2>(&self.tape, words, per, base) }
+                }
+                _ => {}
+            }
+        }
+        match tile {
+            16 => self.run_tile::<16>(words, per, base),
+            8 => self.run_tile::<8>(words, per, base),
+            4 => self.run_tile::<4>(words, per, base),
+            2 => self.run_tile::<2>(words, per, base),
+            _ => self.run_tile::<1>(words, per, base),
         }
     }
 
@@ -1104,6 +1411,55 @@ impl BitSliceEvaluator {
         for l in inputs {
             assert_eq!(l.len(), lanes, "inconsistent lane counts across inputs");
         }
+        Ok(self.eval_blocks(lanes, frame, |i| inputs[i].words()))
+    }
+
+    /// [`BitSliceEvaluator::evaluate_with`] over a flat pre-packed input
+    /// buffer instead of per-input [`Lanes`]: input `i`'s lane column
+    /// occupies `packed[i * stride .. (i + 1) * stride]` words
+    /// (`stride = lanes.div_ceil(64)` — the layout
+    /// [`Lanes::pack_rows_into`] produces, and the layout of
+    /// `num_inputs` concatenated `Lanes`). This is the zero-copy serving
+    /// entry: batches stream straight from one reusable buffer into the
+    /// frame with no per-batch `Vec<Lanes>` materialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputArity`] on an input-count mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != num_inputs * lanes.div_ceil(64)`.
+    pub fn evaluate_packed_with(
+        &self,
+        packed: &[u64],
+        num_inputs: usize,
+        lanes: usize,
+        frame: &mut SliceFrame,
+    ) -> Result<Vec<Lanes>, NetlistError> {
+        if num_inputs != self.inputs.len() {
+            return Err(NetlistError::InputArity {
+                expected: self.inputs.len(),
+                got: num_inputs,
+            });
+        }
+        let stride = lanes.div_ceil(64);
+        assert_eq!(
+            packed.len(),
+            num_inputs * stride,
+            "packed buffer does not hold {num_inputs} columns of {stride} words"
+        );
+        Ok(self.eval_blocks(lanes, frame, |i| &packed[i * stride..(i + 1) * stride]))
+    }
+
+    /// The shared block loop: `input_words(i)` yields input `i`'s packed
+    /// lane column (at least `lanes.div_ceil(64)` words).
+    fn eval_blocks<'a, F: Fn(usize) -> &'a [u64]>(
+        &self,
+        lanes: usize,
+        frame: &mut SliceFrame,
+        input_words: F,
+    ) -> Vec<Lanes> {
         frame.reshape(self.slots);
         let per = frame.words_per_net;
         let total_words = lanes.div_ceil(64);
@@ -1116,9 +1472,9 @@ impl BitSliceEvaluator {
             // the rest of each input span is zeroed so the kernel never
             // reads stale lanes from a previous batch.
             let avail = (total_words - base).min(per);
-            for (lanes_in, &slot) in inputs.iter().zip(&self.inputs) {
+            for (i, &slot) in self.inputs.iter().enumerate() {
                 let span = slot as usize * per;
-                let in_words = &lanes_in.words()[base..base + avail];
+                let in_words = &input_words(i)[base..base + avail];
                 frame.words[span..span + avail].copy_from_slice(in_words);
                 frame.words[span + avail..span + per].fill(0);
             }
@@ -1128,10 +1484,10 @@ impl BitSliceEvaluator {
                 words.extend_from_slice(&frame.words[span..span + avail]);
             }
         }
-        Ok(out_words
+        out_words
             .into_iter()
             .map(|words| Lanes::from_words(words, lanes))
-            .collect())
+            .collect()
     }
 
     /// Evaluates the netlist across all lanes — the bit-sliced counterpart
@@ -1147,6 +1503,120 @@ impl BitSliceEvaluator {
     pub fn evaluate(&self, inputs: &[Lanes]) -> Result<Vec<Lanes>, NetlistError> {
         let lanes = inputs.first().map_or(0, Lanes::len);
         self.evaluate_with(inputs, lanes, &mut self.frame())
+    }
+}
+
+/// Explicit `std::arch` replays of the ANF word kernel. Each function
+/// mirrors [`BitSliceEvaluator::run_tile`] exactly — same tape walk,
+/// same `out = k0 ^ (k1 & b) ^ (k2 & a) ^ (k3 & a & b)` per word, same
+/// load-both-operands-then-store order per vector group (groups within
+/// a span are disjoint, so an instruction writing the recycled slot of
+/// one of its own operands stays safe) — but processes 2/4/8 words per
+/// vector op with the ANF masks broadcast across the vector.
+///
+/// # Safety
+///
+/// Callers must have verified the target feature via runtime detection,
+/// and must guarantee `slot * per + base + TW <= words.len()` for every
+/// slot index on the tape (`TW` a multiple of the vector width) — see
+/// the dispatch comment in [`BitSliceEvaluator::run_tile_dispatch`].
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::SliceInstr;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn run_tile_avx512<const TW: usize>(
+        tape: &[SliceInstr],
+        words: &mut [u64],
+        per: usize,
+        base: usize,
+    ) {
+        let p = words.as_mut_ptr();
+        for i in tape {
+            let a0 = i.a as usize * per + base;
+            let b0 = i.b as usize * per + base;
+            let o0 = i.out as usize * per + base;
+            let k0 = _mm512_set1_epi64(i.k[0] as i64);
+            let k1 = _mm512_set1_epi64(i.k[1] as i64);
+            let k2 = _mm512_set1_epi64(i.k[2] as i64);
+            let k3 = _mm512_set1_epi64(i.k[3] as i64);
+            let mut w = 0;
+            while w < TW {
+                let va = _mm512_loadu_si512(p.add(a0 + w) as *const __m512i);
+                let vb = _mm512_loadu_si512(p.add(b0 + w) as *const __m512i);
+                // Factored ANF: k0 ^ (k1&b) ^ (a & (k2 ^ (k3&b))) — one
+                // fewer AND than the textbook 4-term form.
+                let r = _mm512_xor_si512(
+                    _mm512_xor_si512(k0, _mm512_and_si512(k1, vb)),
+                    _mm512_and_si512(va, _mm512_xor_si512(k2, _mm512_and_si512(k3, vb))),
+                );
+                _mm512_storeu_si512(p.add(o0 + w) as *mut __m512i, r);
+                w += 8;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn run_tile_avx2<const TW: usize>(
+        tape: &[SliceInstr],
+        words: &mut [u64],
+        per: usize,
+        base: usize,
+    ) {
+        let p = words.as_mut_ptr();
+        for i in tape {
+            let a0 = i.a as usize * per + base;
+            let b0 = i.b as usize * per + base;
+            let o0 = i.out as usize * per + base;
+            let k0 = _mm256_set1_epi64x(i.k[0] as i64);
+            let k1 = _mm256_set1_epi64x(i.k[1] as i64);
+            let k2 = _mm256_set1_epi64x(i.k[2] as i64);
+            let k3 = _mm256_set1_epi64x(i.k[3] as i64);
+            let mut w = 0;
+            while w < TW {
+                let va = _mm256_loadu_si256(p.add(a0 + w) as *const __m256i);
+                let vb = _mm256_loadu_si256(p.add(b0 + w) as *const __m256i);
+                // Factored ANF: k0 ^ (k1&b) ^ (a & (k2 ^ (k3&b))).
+                let r = _mm256_xor_si256(
+                    _mm256_xor_si256(k0, _mm256_and_si256(k1, vb)),
+                    _mm256_and_si256(va, _mm256_xor_si256(k2, _mm256_and_si256(k3, vb))),
+                );
+                _mm256_storeu_si256(p.add(o0 + w) as *mut __m256i, r);
+                w += 4;
+            }
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn run_tile_sse2<const TW: usize>(
+        tape: &[SliceInstr],
+        words: &mut [u64],
+        per: usize,
+        base: usize,
+    ) {
+        let p = words.as_mut_ptr();
+        for i in tape {
+            let a0 = i.a as usize * per + base;
+            let b0 = i.b as usize * per + base;
+            let o0 = i.out as usize * per + base;
+            let k0 = _mm_set1_epi64x(i.k[0] as i64);
+            let k1 = _mm_set1_epi64x(i.k[1] as i64);
+            let k2 = _mm_set1_epi64x(i.k[2] as i64);
+            let k3 = _mm_set1_epi64x(i.k[3] as i64);
+            let mut w = 0;
+            while w < TW {
+                let va = _mm_loadu_si128(p.add(a0 + w) as *const __m128i);
+                let vb = _mm_loadu_si128(p.add(b0 + w) as *const __m128i);
+                // Factored ANF: k0 ^ (k1&b) ^ (a & (k2 ^ (k3&b))).
+                let r = _mm_xor_si128(
+                    _mm_xor_si128(k0, _mm_and_si128(k1, vb)),
+                    _mm_and_si128(va, _mm_xor_si128(k2, _mm_and_si128(k3, vb))),
+                );
+                _mm_storeu_si128(p.add(o0 + w) as *mut __m128i, r);
+                w += 2;
+            }
+        }
     }
 }
 
@@ -1181,6 +1651,208 @@ mod tests {
         assert!(Lanes::pack_rows::<Vec<bool>>(&[], 3)
             .iter()
             .all(Lanes::is_empty));
+    }
+
+    /// The word-level transpose against a naive per-bit reference, plus
+    /// the involution property (transposing twice is the identity).
+    #[test]
+    fn transpose_64x64_matches_naive() {
+        for seed in 0..4u64 {
+            let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let mut rng = || {
+                // xorshift64
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let orig: [u64; 64] = std::array::from_fn(|_| rng());
+            let mut m = orig;
+            transpose_64x64(&mut m);
+            for (r, row) in m.iter().enumerate() {
+                for (c, col) in orig.iter().enumerate() {
+                    assert_eq!(row >> c & 1, col >> r & 1, "seed {seed} row {r} col {c}");
+                }
+            }
+            transpose_64x64(&mut m);
+            assert_eq!(m, orig, "transpose must be an involution");
+        }
+    }
+
+    /// `pack_rows_into` produces exactly the concatenated words of
+    /// `pack_rows`, and a naive per-bit pack agrees with both — across
+    /// row counts and widths that straddle the 64×64 block edges.
+    #[test]
+    fn pack_rows_into_matches_naive_packing() {
+        for (nrows, width) in [
+            (0, 5),
+            (1, 1),
+            (63, 64),
+            (64, 65),
+            (65, 63),
+            (130, 70),
+            (70, 129),
+        ] {
+            let rows: Vec<Vec<bool>> = (0..nrows)
+                .map(|j| (0..width).map(|i| (j * 31 + i * 7) % 3 == 0).collect())
+                .collect();
+            let mut flat = Vec::new();
+            let stride = Lanes::pack_rows_into(&rows, width, &mut flat);
+            assert_eq!(stride, nrows.div_ceil(64));
+            assert_eq!(flat.len(), width * stride);
+            let cols = Lanes::pack_rows(&rows, width);
+            for (i, col) in cols.iter().enumerate() {
+                assert_eq!(
+                    &flat[i * stride..(i + 1) * stride],
+                    col.words(),
+                    "{nrows}x{width} signal {i}"
+                );
+                // The naive reference: one get() per bit.
+                for (j, row) in rows.iter().enumerate() {
+                    assert_eq!(col.get(j), row[i], "{nrows}x{width} signal {i} sample {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_rows_inverts_pack_rows() {
+        for (nrows, width) in [(0, 3), (1, 1), (63, 65), (65, 64), (130, 70)] {
+            let rows: Vec<Vec<bool>> = (0..nrows)
+                .map(|j| (0..width).map(|i| (j * 13 + i * 11) % 5 < 2).collect())
+                .collect();
+            let cols = Lanes::pack_rows(&rows, width);
+            assert_eq!(Lanes::unpack_rows(&cols), rows, "{nrows}x{width}");
+        }
+        assert!(Lanes::unpack_rows(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent lane counts")]
+    fn unpack_rows_rejects_mismatched_columns() {
+        let _ = Lanes::unpack_rows(&[Lanes::zeros(3), Lanes::zeros(4)]);
+    }
+
+    #[test]
+    fn simd_mode_parses_and_resolves() {
+        assert_eq!(SimdMode::parse("auto"), Some(SimdMode::Auto));
+        assert_eq!(SimdMode::parse(" AVX2 "), Some(SimdMode::Avx2));
+        assert_eq!(SimdMode::parse("avx512"), Some(SimdMode::Avx512));
+        assert_eq!(SimdMode::parse("sse2"), Some(SimdMode::Sse2));
+        for off in ["off", "0", "none", "scalar"] {
+            assert_eq!(SimdMode::parse(off), Some(SimdMode::Off));
+        }
+        assert_eq!(SimdMode::parse("altivec"), None);
+        assert_eq!(SimdMode::Off.resolve(), SimdLevel::Scalar);
+        // `Auto` prefers AVX2 over AVX-512 (see the SimdMode docs);
+        // AVX-512 kernels run only on explicit request.
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") {
+            assert_eq!(SimdMode::Auto.resolve(), SimdLevel::Avx2);
+        }
+        // Whatever the host, a request never resolves *above* itself.
+        assert_ne!(SimdMode::Avx2.resolve(), SimdLevel::Avx512);
+        assert!(matches!(
+            SimdMode::Sse2.resolve(),
+            SimdLevel::Sse2 | SimdLevel::Scalar
+        ));
+        assert_eq!(format!("{}", SimdMode::Avx512), "avx512");
+        assert_eq!(format!("{}", SimdLevel::Scalar), "scalar");
+    }
+
+    /// Every SIMD dispatch level the host can execute is bit-identical
+    /// to the oracle at every supported width, ragged tails included —
+    /// the netlist-level half of the conformance satellite.
+    #[test]
+    fn simd_variants_match_oracle_at_every_width() {
+        use crate::random::RandomDag;
+        let modes = [
+            SimdMode::Auto,
+            SimdMode::Avx512,
+            SimdMode::Avx2,
+            SimdMode::Sse2,
+            SimdMode::Off,
+        ];
+        for seed in 0..3 {
+            let nl = RandomDag::loose(7, 5, 8).outputs(3).generate(seed);
+            for mode in modes {
+                let sliced = BitSliceEvaluator::compile_with(
+                    &nl,
+                    TapeOptions {
+                        simd: mode,
+                        ..TapeOptions::default()
+                    },
+                );
+                for words in SUPPORTED_SLICE_WORDS {
+                    let mut frame = sliced.frame_with_words(words);
+                    for lanes in [1usize, 63, 64 * words, 64 * words + 1] {
+                        let inputs: Vec<Lanes> = (0..nl.inputs().len())
+                            .map(|i| {
+                                let bits: Vec<bool> = (0..lanes)
+                                    .map(|l| (seed as usize + i * 31 + l * 7).is_multiple_of(3))
+                                    .collect();
+                                Lanes::from_bools(&bits)
+                            })
+                            .collect();
+                        let want = evaluate(&nl, &inputs).unwrap();
+                        let got = sliced.evaluate_with(&inputs, lanes, &mut frame).unwrap();
+                        assert_eq!(got, want, "seed {seed} simd {mode} words {words}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The packed flat-buffer entry is bit-identical to the `Lanes`
+    /// entry and validates its inputs.
+    #[test]
+    fn evaluate_packed_matches_lanes_path() {
+        use crate::random::RandomDag;
+        let nl = RandomDag::loose(6, 4, 7).outputs(2).generate(5);
+        let sliced = BitSliceEvaluator::compile(&nl);
+        let n_in = nl.inputs().len();
+        for words in [1usize, 4, 16] {
+            let mut frame = sliced.frame_with_words(words);
+            for lanes in [1usize, 64 * words, 64 * words + 7, 517] {
+                let rows: Vec<Vec<bool>> = (0..lanes)
+                    .map(|j| (0..n_in).map(|i| (i * 17 + j * 3) % 4 == 0).collect())
+                    .collect();
+                let inputs = Lanes::pack_rows(&rows, n_in);
+                let mut packed = Vec::new();
+                Lanes::pack_rows_into(&rows, n_in, &mut packed);
+                let want = sliced.evaluate_with(&inputs, lanes, &mut frame).unwrap();
+                let got = sliced
+                    .evaluate_packed_with(&packed, n_in, lanes, &mut frame)
+                    .unwrap();
+                assert_eq!(got, want, "words {words} lanes {lanes}");
+            }
+        }
+        assert!(matches!(
+            sliced.evaluate_packed_with(&[], 0, 0, &mut sliced.frame()),
+            Err(NetlistError::InputArity { .. })
+        ));
+    }
+
+    #[test]
+    fn simd_level_is_resolved_at_compile_time() {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        nl.add_output(a, "y");
+        let off = BitSliceEvaluator::compile_with(
+            &nl,
+            TapeOptions {
+                simd: SimdMode::Off,
+                ..TapeOptions::default()
+            },
+        );
+        assert_eq!(off.simd_level(), SimdLevel::Scalar);
+        assert_eq!(off.tape_stats().simd, SimdLevel::Scalar);
+        let auto = BitSliceEvaluator::compile_with(&nl, TapeOptions::default());
+        if cfg!(target_arch = "x86_64") {
+            assert_ne!(auto.simd_level(), SimdLevel::Scalar, "x86_64 has SSE2");
+        } else {
+            assert_eq!(auto.simd_level(), SimdLevel::Scalar);
+        }
     }
 
     #[test]

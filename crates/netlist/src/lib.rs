@@ -16,10 +16,12 @@
 //!   the two pre-processing steps the paper's compiler requires,
 //! * bit-parallel functional evaluation ([`eval`]) used as the correctness
 //!   oracle for the LPU simulator, plus the width-generic bit-sliced
-//!   kernel compiler ([`BitSliceEvaluator`], 64–512 lanes per
+//!   kernel compiler ([`BitSliceEvaluator`], 64–1024 lanes per
 //!   [`SliceFrame`] block) behind the serving layer's fast execution
 //!   backend, with a tape-locality pass ([`TapeOptions`]/[`TapeStats`]:
-//!   chain fusion, liveness-based slot reuse, cache-budget tiling),
+//!   chain fusion, liveness-based slot reuse, cache-budget tiling) and
+//!   runtime-detected `std::arch` SIMD replay kernels
+//!   ([`SimdMode`]/[`SimdLevel`], AVX-512/AVX2/SSE2 on x86_64),
 //! * seeded random netlist generators ([`random`]) for tests and benchmarks.
 //!
 //! ## Example
@@ -54,7 +56,8 @@ pub mod verilog;
 pub use cell::Op;
 pub use error::NetlistError;
 pub use eval::{
-    BitSlice64, BitSliceEvaluator, Lanes, SliceFrame, TapeOptions, TapeStats, SUPPORTED_SLICE_WORDS,
+    BitSlice64, BitSliceEvaluator, Lanes, SimdLevel, SimdMode, SliceFrame, TapeOptions, TapeStats,
+    SUPPORTED_SLICE_WORDS,
 };
 pub use levelize::Levels;
 pub use netlist::{Netlist, Node, NodeId};

@@ -150,4 +150,32 @@ proptest! {
             }
         }
     }
+
+    /// The 64×64 block-transpose packing is bit-identical to a naive
+    /// per-bit transpose for arbitrary row counts and widths (block-edge
+    /// shapes included), and `unpack_rows` inverts it exactly.
+    #[test]
+    fn pack_rows_transpose_matches_naive(
+        seed in 0u64..10_000,
+        nrows in 0usize..200,
+        width in 1usize..140,
+    ) {
+        let rows: Vec<Vec<bool>> = (0..nrows)
+            .map(|j| {
+                (0..width)
+                    .map(|i| (seed as usize).wrapping_add(j * 7 + i * 13).is_multiple_of(3))
+                    .collect()
+            })
+            .collect();
+        let cols = Lanes::pack_rows(&rows, width);
+        prop_assert_eq!(cols.len(), width);
+        for (i, col) in cols.iter().enumerate() {
+            let mut naive = Lanes::zeros(nrows);
+            for (j, row) in rows.iter().enumerate() {
+                naive.set(j, row[i]);
+            }
+            prop_assert_eq!(col, &naive, "signal {}", i);
+        }
+        prop_assert_eq!(Lanes::unpack_rows(&cols), rows);
+    }
 }

@@ -82,26 +82,46 @@ pub struct InferResponse {
 }
 
 /// Pack bits LSB-first into bytes (bit `i` → byte `i/8`, bit `i%8`).
+///
+/// Branch-free: each 8-bool chunk (0/1 bytes in memory) is gathered
+/// with one widening multiply — the diagonal coefficients place bit `j`
+/// of the product's top byte — instead of a test-and-set per bit.
 pub fn pack_bits(bits: &[bool]) -> Vec<u8> {
     let mut bytes = vec![0u8; bits.len().div_ceil(8)];
-    for (i, &b) in bits.iter().enumerate() {
-        if b {
-            bytes[i / 8] |= 1 << (i % 8);
+    let mut chunks = bits.chunks_exact(8);
+    for (dst, chunk) in bytes.iter_mut().zip(&mut chunks) {
+        let mut raw = [0u8; 8];
+        for (r, &b) in raw.iter_mut().zip(chunk) {
+            *r = b as u8;
+        }
+        *dst = (u64::from_le_bytes(raw).wrapping_mul(0x0102_0408_1020_4080) >> 56) as u8;
+    }
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        if let Some(last) = bytes.last_mut() {
+            *last |= (b as u8) << i;
         }
     }
     bytes
 }
 
 /// Inverse of [`pack_bits`]: take `nbits` bits back out of `bytes`.
+///
+/// Word-level like the packing: the byte is replicated across a word
+/// and masked against the bit diagonal, spreading bit `j` into byte `j`
+/// in one multiply instead of a shift-and-test per bit.
 pub fn unpack_bits(bytes: &[u8], nbits: usize) -> Option<Vec<bool>> {
     if bytes.len() != nbits.div_ceil(8) {
         return None;
     }
-    Some(
-        (0..nbits)
-            .map(|i| bytes[i / 8] >> (i % 8) & 1 == 1)
-            .collect(),
-    )
+    let mut bits = vec![false; nbits];
+    for (chunk, &byte) in bits.chunks_mut(8).zip(bytes) {
+        let spread = ((byte as u64).wrapping_mul(0x0101_0101_0101_0101) & 0x8040_2010_0804_0201)
+            .to_le_bytes();
+        for (j, b) in chunk.iter_mut().enumerate() {
+            *b = spread[j] != 0;
+        }
+    }
+    Some(bits)
 }
 
 /// Encode a request as a frame payload (no length prefix).

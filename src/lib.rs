@@ -24,8 +24,8 @@
 //!
 //! Engines replay on bit-identical [`Backend`]s — the cycle-accurate
 //! machine ([`Backend::Scalar`]) or bit-sliced word kernels at a
-//! selectable width ([`Backend::BitSliced`]` { words }`: 1/2/4/8 words
-//! per net = 64/128/256/512 lanes per kernel pass, with
+//! selectable width ([`Backend::BitSliced`]` { words }`: 1/2/4/8/16
+//! words per net = 64/128/256/512/1024 lanes per kernel pass, with
 //! [`Backend::BitSliced64`] kept as the one-word shim), selected with
 //! [`FlowBuilder::backend`] — and split into an immutable shared core
 //! plus per-worker scratch, so one resident compiled block serves from

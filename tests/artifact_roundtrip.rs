@@ -134,7 +134,7 @@ fn artifact_width_field_round_trips_and_rejects_corruption() {
             .compile()
             .unwrap()
     };
-    for words in [1usize, 2, 4, 8] {
+    for words in [1usize, 2, 4, 8, 16] {
         let loaded =
             Flow::from_artifact_bytes(&compile(words).to_artifact_bytes().unwrap()).unwrap();
         assert_eq!(loaded.backend, Backend::BitSliced { words });

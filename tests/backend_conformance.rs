@@ -51,10 +51,11 @@ fn batch(width: usize, lanes: usize, seed: u64) -> Vec<Lanes> {
 }
 
 /// Batch lane counts that straddle every width's block boundary:
-/// zero-length, single-lane, one under/over 64, and one under/at/over
-/// the widest (512-lane) block.
+/// zero-length, single-lane, one under/over 64, one under/at/over the
+/// 512-lane block, and one under/at/over the widest (1024-lane) block
+/// — every width sees at least one ragged final block.
 fn awkward_lane_counts() -> Vec<usize> {
-    vec![0, 1, 63, 64, 65, 129, 511, 512, 517]
+    vec![0, 1, 63, 64, 65, 129, 511, 512, 517, 1023, 1024, 1025]
 }
 
 /// The harness core: compiles `netlist` once per backend (optionally
@@ -320,7 +321,7 @@ fn partial_micro_batches_conform_on_every_width() {
 /// Tape-locality differential sweep (ISSUE 8): the fused, slot-reused,
 /// cache-tiled kernel tape must be bit-identical to the oracle with the
 /// locality pass in every configuration — fusion on/off, slot reuse
-/// on/off, tiling forced and disabled — at 64–512 lanes and awkward
+/// on/off, tiling forced and disabled — at 64–1024 lanes and awkward
 /// batch shapes. Options are passed explicitly
 /// ([`lbnn::netlist::TapeOptions`]) so the sweep is immune to test-runner
 /// env races; CI additionally runs the whole suite once under
@@ -403,6 +404,92 @@ fn tape_locality_options_are_bit_identical_at_every_width() {
     }
     assert!(saw_fusion, "no seed produced a fused chain");
     assert!(saw_shrink, "no seed shrank the live frame");
+}
+
+/// SIMD dispatch differential sweep (ISSUE 9): every `LBNN_SIMD`
+/// dispatch variant — auto, forced AVX-512/AVX2/SSE2 (each clamped to
+/// what the host supports), and scalar-off — must replay the kernel
+/// tape bit-identically to the oracle at every width and awkward batch
+/// shape, ragged final blocks included. A patched tape (the in-place
+/// ANF-mask rewrite behind the `.lbnnp` hot-reconfiguration flow) must
+/// stay bit-identical under every variant too. Modes are forced
+/// explicitly ([`lbnn::netlist::SimdMode`] via `TapeOptions::simd`) so
+/// the sweep is immune to test-runner env races; CI additionally runs
+/// the whole conformance suite once under `LBNN_SIMD=off` to pin the
+/// env knob (the default run exercises the best available path).
+#[test]
+fn simd_dispatch_variants_are_bit_identical_at_every_width() {
+    use lbnn::netlist::eval::BitSliceEvaluator;
+    use lbnn::netlist::{PatchSet, SimdMode, TapeOptions};
+    let modes = [
+        SimdMode::Auto,
+        SimdMode::Avx512,
+        SimdMode::Avx2,
+        SimdMode::Sse2,
+        SimdMode::Off,
+    ];
+    for seed in [11u64, 23] {
+        let netlist = RandomDag::strict(9, 5, 8).outputs(4).generate(seed);
+        let width = netlist.inputs().len();
+        let batches: Vec<Vec<Lanes>> = awkward_lane_counts()
+            .into_iter()
+            .map(|lanes| batch(width, lanes, seed))
+            .collect();
+        let oracle: Vec<Vec<Lanes>> = batches
+            .iter()
+            .map(|b| evaluate(&netlist, b).unwrap())
+            .collect();
+        // A few gates flipped to their negated forms — the same shape
+        // of rewrite `Engine::patch_cells` ships over the `.lbnnp`
+        // delta format.
+        let mut patches = PatchSet::new();
+        for (id, node) in netlist.iter() {
+            if node.op().is_gate2() && patches.len() < 3 {
+                patches.set(id, node.op().negated().unwrap());
+            }
+        }
+        assert_eq!(patches.len(), 3);
+        let mut patched_netlist = netlist.clone();
+        patched_netlist.apply_patches(&patches).unwrap();
+        let patched_oracle: Vec<Vec<Lanes>> = batches
+            .iter()
+            .map(|b| evaluate(&patched_netlist, b).unwrap())
+            .collect();
+        for mode in modes {
+            let opt = TapeOptions {
+                simd: mode,
+                ..TapeOptions::default()
+            };
+            let sliced = BitSliceEvaluator::compile_with(&netlist, opt);
+            let patched = sliced.patched(&patches).unwrap();
+            // Patching rewrites masks in place, never the dispatch level.
+            assert_eq!(
+                patched.tape_stats().simd,
+                sliced.tape_stats().simd,
+                "seed {seed} mode {mode}"
+            );
+            for &words in lbnn::netlist::SUPPORTED_SLICE_WORDS.iter() {
+                let mut frame = sliced.frame_with_words(words);
+                for (b, want) in batches.iter().zip(&oracle) {
+                    let lanes = b.first().map_or(0, Lanes::len);
+                    let got = sliced.evaluate_with(b, lanes, &mut frame).unwrap();
+                    assert_eq!(
+                        &got, want,
+                        "seed {seed} mode {mode} words {words} lanes {lanes}"
+                    );
+                }
+                let mut pframe = patched.frame_with_words(words);
+                for (b, want) in batches.iter().zip(&patched_oracle) {
+                    let lanes = b.first().map_or(0, Lanes::len);
+                    let got = patched.evaluate_with(b, lanes, &mut pframe).unwrap();
+                    assert_eq!(
+                        &got, want,
+                        "patched: seed {seed} mode {mode} words {words} lanes {lanes}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Zero-length batches are a no-op with well-formed (empty) outputs on

@@ -80,10 +80,10 @@ proptest! {
     fn patched_tape_matches_fresh_compile_of_patched_netlist(
         seed in 0u64..300,
         pick in 0u64..u64::MAX,
-        words_idx in 0usize..4,
+        words_idx in 0usize..5,
         salt in 0u64..u64::MAX,
     ) {
-        let words = 1usize << words_idx; // 1/2/4/8 words = 64..512 lanes
+        let words = 1usize << words_idx; // 1/2/4/8/16 words = 64..1024 lanes
         let backend = Backend::BitSliced { words };
         let netlist = RandomDag::strict(9, 4, 7).outputs(3).generate(seed);
         let config = LpuConfig::new(4, 4);
@@ -176,7 +176,7 @@ proptest! {
     fn runtime_serves_patched_bits(
         seed in 0u64..300,
         pick in 0u64..u64::MAX,
-        words_idx in 0usize..4,
+        words_idx in 0usize..5,
         delta_sel in 0usize..2,
     ) {
         let words = 1usize << words_idx;
@@ -257,7 +257,7 @@ fn patching_inside_a_fused_chain_matches_fresh_compile() {
     let g4 = nl.add_gate1(Op::Not, g3);
     nl.add_output(g4, "y");
 
-    for words in [1usize, 2, 4, 8] {
+    for words in [1usize, 2, 4, 8, 16] {
         let backend = Backend::BitSliced { words };
         let config = LpuConfig::new(4, 4);
         let flow = Flow::builder(&nl)
