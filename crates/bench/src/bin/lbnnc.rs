@@ -15,6 +15,10 @@
 //!                       bitsliced:<64|128|256|512|1024> (bit-sliced
 //!                       lane width); with --from-artifact, overrides the
 //!                       recorded backend (all serve bit-identically)
+//!   --partitions <N>    split the bit-sliced kernel tape into N
+//!                       partitions with a compile-time cross-partition
+//!                       exchange schedule (1..=64, default 1); ignored
+//!                       by the scalar backend
 //!   --no-merge          skip the MFG merging procedure (Algorithm 3)
 //!   --no-opt            skip logic optimization
 //!   --geq               use the pseudocode stop rule (>= m) instead of > m
@@ -65,6 +69,7 @@ struct Args {
     /// `--from-artifact` mode an explicit backend overrides the one
     /// recorded in the artifact (both serve bit-identically).
     backend: Option<Backend>,
+    partitions: usize,
     merge: bool,
     optimize: bool,
     geq: bool,
@@ -85,6 +90,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: lbnnc <input.v> [--m N] [--n N] [--backend scalar|bitsliced64|bitsliced:<lanes>]\n\
+         \u{20}             [--partitions N]\n\
          \u{20}             [--no-merge] [--no-opt] [--geq] [--verify SEED] [--diagram]\n\
          \u{20}             [--serve N] [--workers N]\n\
          \u{20}             [--emit-verilog FILE] [--emit-artifact [FILE]]\n\
@@ -101,6 +107,7 @@ fn parse_args() -> Args {
         m: 64,
         n: 16,
         backend: None,
+        partitions: 1,
         merge: true,
         optimize: true,
         geq: false,
@@ -138,6 +145,13 @@ fn parse_args() -> Args {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 )
+            }
+            "--partitions" => {
+                args.compile_flags_seen.push("--partitions");
+                args.partitions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--no-merge" => {
                 args.compile_flags_seen.push("--no-merge");
@@ -289,6 +303,37 @@ fn print_tape_stats(flow: &Flow) {
     println!("  simd kernels: {} (LBNN_SIMD to override)", stats.simd);
 }
 
+fn print_partition_stats(flow: &Flow) {
+    let Some(engine) = &flow.partitioned else {
+        return; // unpartitioned flow (or scalar backend: knob ignored)
+    };
+    let words = match flow.backend {
+        Backend::BitSliced { words } => words,
+        Backend::Scalar => return,
+    };
+    let stats = engine.partition_stats();
+    println!("partitioned execution (exchange pass):");
+    println!(
+        "  {} partitions over {} levels, {} tape instructions total",
+        stats.partitions, stats.levels, stats.tape_len
+    );
+    println!(
+        "  cut {} nets -> {} scheduled copies ({:.1} KiB exchanged per block at {} lanes)",
+        stats.cut_nets,
+        stats.cut_copies,
+        stats.exchange_words(words) as f64 * 8.0 / 1024.0,
+        64 * words
+    );
+    println!(
+        "  frame slots: {} total, {} in the widest partition ({:.1} KiB at {} lanes)",
+        stats.total_frame_slots,
+        stats.max_frame_slots,
+        (stats.max_frame_slots * words * 8) as f64 / 1024.0,
+        64 * words
+    );
+    println!("  executor: LBNN_PARTITION_EXEC=auto|seq|par to override");
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
 
@@ -380,6 +425,7 @@ fn main() -> ExitCode {
                 .merge(args.merge)
                 .optimize(args.optimize)
                 .backend(args.backend.unwrap_or_default())
+                .partitions(args.partitions)
                 .partition(partition)
                 .compile()
             {
@@ -395,6 +441,7 @@ fn main() -> ExitCode {
     print_flow_summary(&flow);
     print_compile_report(&flow);
     print_tape_stats(&flow);
+    print_partition_stats(&flow);
 
     // Loaded artifacts go straight to a resident engine (that is their
     // point); surface the serving parameters.

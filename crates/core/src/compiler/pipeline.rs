@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use lbnn_logic_synth::{optimize, OptimizeOptions};
 use lbnn_netlist::balance::balance;
-use lbnn_netlist::{BitSliceEvaluator, Levels, Netlist, Op};
+use lbnn_netlist::{BitSliceEvaluator, Levels, Netlist, Op, PartitionedEngine, MAX_PARTITIONS};
 
 use crate::compiler::codegen::generate;
 use crate::compiler::merge::{merge_mfgs, MergeStats};
@@ -180,6 +180,14 @@ pub(crate) fn run(
 ) -> Result<Flow, CoreError> {
     config.validate()?;
     options.backend.validate()?;
+    if options.partitions == 0 || options.partitions > MAX_PARTITIONS {
+        return Err(CoreError::BadConfig {
+            reason: format!(
+                "partitions must be 1..={MAX_PARTITIONS}, got {}",
+                options.partitions
+            ),
+        });
+    }
     netlist.validate()?;
     let mut cx = CompileContext {
         config,
@@ -300,6 +308,23 @@ pub(crate) fn run(
         }
     };
 
+    // 9. Exchange (bit-sliced backends with `partitions > 1` only):
+    //    split the tape into per-partition slot spaces and build the
+    //    compile-time cross-partition exchange schedule. The report
+    //    records the cut: distinct crossing nets in, scheduled word
+    //    copies out.
+    let partitioned = match options.backend {
+        Backend::BitSliced { .. } if options.partitions > 1 => {
+            Some(cx.pass("exchange", "cut-nets", None, || {
+                let engine = PartitionedEngine::compile(&balanced, options.partitions)
+                    .map_err(CoreError::Netlist)?;
+                let cut = engine.partition_stats().cut_nets;
+                Ok((engine, cut))
+            })?)
+        }
+        _ => None,
+    };
+
     let stats = FlowStats {
         gates: balanced.gate_count(),
         depth: levels.depth(),
@@ -326,6 +351,8 @@ pub(crate) fn run(
         backend: options.backend,
         stats,
         report,
+        partitions: options.partitions,
+        partitioned,
         artifacts: Some(CompileArtifacts {
             levels,
             partition: part,

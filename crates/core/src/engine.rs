@@ -46,7 +46,8 @@ use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use lbnn_netlist::{
-    BitSliceEvaluator, Lanes, Netlist, PatchSet, SliceFrame, TapeStats, SUPPORTED_SLICE_WORDS,
+    BitSliceEvaluator, Lanes, Netlist, PartitionedEngine, PatchSet, SliceFrame, TapeStats,
+    MAX_PARTITIONS, SUPPORTED_SLICE_WORDS,
 };
 
 use crate::compiler::program::LpuProgram;
@@ -221,6 +222,9 @@ pub(crate) fn patch_program(program: &mut LpuProgram, patches: &PatchSet) -> Res
 pub struct EngineScratch {
     pub(crate) pass: PassScratch,
     pub(crate) frame: SliceFrame,
+    /// Per-partition frames for cores executing a
+    /// [`PartitionedEngine`]; empty (and unused) otherwise.
+    pub(crate) pframes: Vec<SliceFrame>,
     /// Reusable flat packed-input buffer in [`Lanes::pack_rows_into`]
     /// layout, lent to the packed serving paths (the runtime
     /// micro-batcher, `lbnn-serve`'s binary fast path) so steady-state
@@ -252,6 +256,12 @@ pub struct EngineCore {
     backend: Backend,
     /// Compiled kernel tape ([`Backend::BitSliced`] cores only).
     sliced: Option<BitSliceEvaluator>,
+    /// Partitioned multi-engine: present when the core was built from a
+    /// flow compiled with `partitions > 1` on a bit-sliced backend.
+    /// When present, it executes every batch instead of `sliced` —
+    /// bit-identically, on N per-partition tapes with the exchange
+    /// schedule between levels.
+    partitioned: Option<PartitionedEngine>,
     /// LPE operations per pass, cached from the program.
     lpe_ops_per_pass: usize,
 }
@@ -285,6 +295,22 @@ impl EngineCore {
     /// on scalar cores, which execute no tape.
     pub fn tape_stats(&self) -> Option<TapeStats> {
         self.sliced.as_ref().map(BitSliceEvaluator::tape_stats)
+    }
+
+    /// Execution partitions this core serves on: 1 for single-tape and
+    /// scalar cores.
+    pub fn partitions(&self) -> usize {
+        self.partitioned
+            .as_ref()
+            .map_or(1, PartitionedEngine::num_partitions)
+    }
+
+    /// Cut-size and per-partition frame statistics of the resident
+    /// partitioned multi-engine; `None` on unpartitioned cores.
+    pub fn partition_stats(&self) -> Option<lbnn_netlist::PartitionStats> {
+        self.partitioned
+            .as_ref()
+            .map(PartitionedEngine::partition_stats)
     }
 
     /// Steady-state clock cycles between batch starts (initiation
@@ -323,11 +349,16 @@ impl EngineCore {
             Some(s) => Some(s.patched(patches)?),
             None => None,
         };
+        let partitioned = match &self.partitioned {
+            Some(p) => Some(p.patched(patches)?),
+            None => None,
+        };
         Ok(EngineCore {
             machine: self.machine.clone(),
             program,
             backend: self.backend,
             sliced,
+            partitioned,
             lpe_ops_per_pass: self.lpe_ops_per_pass,
         })
     }
@@ -355,10 +386,24 @@ impl EngineCore {
                     .run_with_scratch(&self.program, inputs, &mut scratch.pass)
             }
             Backend::BitSliced { words } => {
+                if inputs.len() != self.program.num_inputs {
+                    return Err(CoreError::InputArity {
+                        expected: self.program.num_inputs,
+                        got: inputs.len(),
+                    });
+                }
+                // The scalar machine defaults no-input programs to one
+                // lane; match it on both bit-sliced paths.
+                let lanes = inputs.first().map_or(1, Lanes::len);
+                if let Some(part) = &self.partitioned {
+                    self.prepare_pframes(scratch, part, words);
+                    let outputs = part.evaluate_with(inputs, lanes, &mut scratch.pframes)?;
+                    return Ok(self.bitsliced_result(outputs));
+                }
                 // The scratch is width-agnostic; shape it to this core's
                 // slice width before the kernel runs (no-op once matched).
                 scratch.frame.set_width(words);
-                self.run_bitsliced(inputs, &mut scratch.frame)
+                self.run_bitsliced(inputs, lanes, &mut scratch.frame)
             }
         }
     }
@@ -405,13 +450,19 @@ impl EngineCore {
                     .run_with_scratch(&self.program, &inputs, &mut scratch.pass)
             }
             Backend::BitSliced { words } => {
-                scratch.frame.set_width(words);
                 if num_inputs != self.program.num_inputs {
                     return Err(CoreError::InputArity {
                         expected: self.program.num_inputs,
                         got: num_inputs,
                     });
                 }
+                if let Some(part) = &self.partitioned {
+                    self.prepare_pframes(scratch, part, words);
+                    let outputs =
+                        part.evaluate_packed_with(packed, num_inputs, lanes, &mut scratch.pframes)?;
+                    return Ok(self.bitsliced_result(outputs));
+                }
+                scratch.frame.set_width(words);
                 let sliced = self
                     .sliced
                     .as_ref()
@@ -423,26 +474,30 @@ impl EngineCore {
         }
     }
 
-    /// One bit-sliced pass: functional execution with the scalar path's
-    /// model-time accounting.
+    /// Shapes the scratch's per-partition frames to this core's
+    /// partition count and slice width (no-op once matched).
+    fn prepare_pframes(&self, scratch: &mut EngineScratch, part: &PartitionedEngine, words: usize) {
+        if scratch.pframes.len() == part.num_partitions() {
+            for frame in &mut scratch.pframes {
+                frame.set_width(words);
+            }
+        } else {
+            scratch.pframes = part.frames_with_words(words);
+        }
+    }
+
+    /// One single-tape bit-sliced pass: functional execution with the
+    /// scalar path's model-time accounting.
     fn run_bitsliced(
         &self,
         inputs: &[Lanes],
+        lanes: usize,
         frame: &mut SliceFrame,
     ) -> Result<RunResult, CoreError> {
-        let program = &self.program;
-        if inputs.len() != program.num_inputs {
-            return Err(CoreError::InputArity {
-                expected: program.num_inputs,
-                got: inputs.len(),
-            });
-        }
         let sliced = self
             .sliced
             .as_ref()
             .expect("bit-sliced core has a kernel tape");
-        // The scalar machine defaults no-input programs to one lane; match it.
-        let lanes = inputs.first().map_or(1, Lanes::len);
         let outputs = sliced.evaluate_with(inputs, lanes, frame)?;
         Ok(self.bitsliced_result(outputs))
     }
@@ -567,7 +622,7 @@ impl Engine {
     /// Returns [`CoreError::BadConfig`] if the configuration is unusable
     /// or the program was compiled for a different machine shape.
     pub fn new(config: LpuConfig, program: LpuProgram) -> Result<Self, CoreError> {
-        Engine::build(config, program, Backend::Scalar, None, None)
+        Engine::build(config, program, Backend::Scalar, None, None, 1, None)
     }
 
     /// Builds an engine serving `flow`'s program on `flow`'s backend
@@ -586,6 +641,8 @@ impl Engine {
             flow.backend,
             Some(&flow.netlist),
             flow.artifacts.as_ref().and_then(|a| a.tape.clone()),
+            flow.partitions,
+            flow.partitioned.clone(),
         )
     }
 
@@ -604,16 +661,28 @@ impl Engine {
     /// computes) is required for [`Backend::BitSliced64`].
     /// `precompiled` short-circuits tape compilation with the locality
     /// pass's output when the caller already has it (a freshly compiled
-    /// [`Flow`]); it must have been compiled from the same netlist.
+    /// [`Flow`]); it must have been compiled from the same netlist. The
+    /// same applies to `partitions`/`prepartitioned`: a bit-sliced
+    /// engine with `partitions > 1` serves on a [`PartitionedEngine`],
+    /// handed over from the flow's `exchange` pass (or a v4 artifact)
+    /// when available and recompiled from the netlist otherwise.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         config: LpuConfig,
         program: LpuProgram,
         backend: Backend,
         netlist: Option<&Netlist>,
         precompiled: Option<BitSliceEvaluator>,
+        partitions: usize,
+        prepartitioned: Option<PartitionedEngine>,
     ) -> Result<Self, CoreError> {
         let machine = LpuMachine::new(config)?;
         backend.validate()?;
+        if partitions == 0 || partitions > MAX_PARTITIONS {
+            return Err(CoreError::BadConfig {
+                reason: format!("partitions must be 1..={MAX_PARTITIONS}, got {partitions}"),
+            });
+        }
         if program.m != config.m || program.n != config.n {
             return Err(CoreError::BadConfig {
                 reason: format!(
@@ -653,6 +722,48 @@ impl Engine {
                 Some(sliced)
             }
         };
+        // Scalar backends ignore the partitions knob (the cycle-accurate
+        // machine is its own execution model); bit-sliced cores with
+        // partitions > 1 carry the partitioned multi-engine.
+        let partitioned = match (backend, partitions) {
+            (Backend::Scalar, _) | (_, 1) => None,
+            (Backend::BitSliced { .. }, parts) => {
+                let engine = match prepartitioned {
+                    Some(engine) => engine,
+                    None => {
+                        let netlist = netlist.ok_or_else(|| CoreError::BadConfig {
+                            reason: "a partitioned engine needs the mapped netlist; build the \
+                                     engine from a Flow"
+                                .to_string(),
+                        })?;
+                        PartitionedEngine::compile(netlist, parts)?
+                    }
+                };
+                if engine.num_partitions() != parts {
+                    return Err(CoreError::BadConfig {
+                        reason: format!(
+                            "flow declares {parts} partitions but its engine has {}",
+                            engine.num_partitions()
+                        ),
+                    });
+                }
+                if engine.num_inputs() != program.num_inputs
+                    || engine.num_outputs() != program.outputs.len()
+                {
+                    return Err(CoreError::BadConfig {
+                        reason: format!(
+                            "partitioned engine interface ({} in / {} out) disagrees with the \
+                             program ({} in / {} out)",
+                            engine.num_inputs(),
+                            engine.num_outputs(),
+                            program.num_inputs,
+                            program.outputs.len()
+                        ),
+                    });
+                }
+                Some(engine)
+            }
+        };
         let lpe_ops_per_pass = program.lpe_op_count();
         Ok(Engine {
             core: Arc::new(EngineCore {
@@ -660,6 +771,7 @@ impl Engine {
                 program,
                 backend,
                 sliced,
+                partitioned,
                 lpe_ops_per_pass,
             }),
             scratch: EngineScratch::default(),
@@ -746,6 +858,18 @@ impl Engine {
     /// ([`EngineCore::tape_stats`]); `None` on scalar engines.
     pub fn tape_stats(&self) -> Option<TapeStats> {
         self.core.tape_stats()
+    }
+
+    /// Execution partitions this engine serves on; see
+    /// [`EngineCore::partitions`].
+    pub fn partitions(&self) -> usize {
+        self.core.partitions()
+    }
+
+    /// Cut-size and per-partition frame statistics; see
+    /// [`EngineCore::partition_stats`].
+    pub fn partition_stats(&self) -> Option<lbnn_netlist::PartitionStats> {
+        self.core.partition_stats()
     }
 
     /// Lanes one kernel pass natively packs (64–1024 for bit-sliced
@@ -1051,10 +1175,20 @@ impl Flow {
             config,
             backend,
             artifacts,
+            partitions,
+            partitioned,
             ..
         } = self;
         let tape = artifacts.and_then(|a| a.tape);
-        Engine::build(config, program, backend, Some(&netlist), tape)
+        Engine::build(
+            config,
+            program,
+            backend,
+            Some(&netlist),
+            tape,
+            partitions,
+            partitioned,
+        )
     }
 
     /// Locality statistics of the kernel tape the `locality` pass

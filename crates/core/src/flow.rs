@@ -24,7 +24,7 @@
 //! ```
 
 use lbnn_netlist::eval::evaluate;
-use lbnn_netlist::{BitSliceEvaluator, Lanes, Levels, Netlist, PatchSet};
+use lbnn_netlist::{BitSliceEvaluator, Lanes, Levels, Netlist, PartitionedEngine, PatchSet};
 
 use crate::compiler::merge::MergeStats;
 use crate::compiler::partition::{Partition, PartitionOptions};
@@ -50,6 +50,12 @@ pub struct FlowOptions {
     pub partition: PartitionOptions,
     /// Execution backend engines built from this flow will use.
     pub backend: Backend,
+    /// Execution partitions for bit-sliced backends: `1` (default)
+    /// serves on one kernel tape; `2..=`[`lbnn_netlist::MAX_PARTITIONS`]
+    /// compiles per-partition tapes plus an exchange schedule and
+    /// serves on a [`PartitionedEngine`]. Scalar backends ignore the
+    /// knob (the cycle-accurate machine is its own execution model).
+    pub partitions: usize,
 }
 
 impl Default for FlowOptions {
@@ -59,6 +65,7 @@ impl Default for FlowOptions {
             merge: true,
             partition: PartitionOptions::default(),
             backend: Backend::default(),
+            partitions: 1,
         }
     }
 }
@@ -147,6 +154,13 @@ pub struct Flow {
     /// Per-pass wall times and stat deltas of the compile that produced
     /// this flow (persisted across [`Flow::save`]/[`Flow::load`]).
     pub report: CompileReport,
+    /// Execution partitions ([`FlowOptions::partitions`]).
+    pub partitions: usize,
+    /// The partitioned multi-engine compiled by the `exchange` pass
+    /// when `partitions > 1` on a bit-sliced backend. Unlike
+    /// [`Flow::artifacts`] this travels in serialized artifacts
+    /// (container v4), so a loaded flow still serves partitioned.
+    pub partitioned: Option<PartitionedEngine>,
     /// Intermediate compiler artifacts; `None` on flows loaded from a
     /// serialized artifact.
     pub artifacts: Option<CompileArtifacts>,
@@ -217,6 +231,16 @@ impl<'a> FlowBuilder<'a> {
     /// Sets the partitioning options (stop rule, child duplication).
     pub fn partition(mut self, partition: PartitionOptions) -> Self {
         self.options.partition = partition;
+        self
+    }
+
+    /// Splits execution across `partitions` kernel tapes with a
+    /// compile-time cross-partition exchange schedule
+    /// ([`FlowOptions::partitions`]). Counts outside
+    /// `1..=`[`lbnn_netlist::MAX_PARTITIONS`] fail
+    /// [`FlowBuilder::compile`] with [`CoreError::BadConfig`].
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.options.partitions = partitions;
         self
     }
 
@@ -336,6 +360,13 @@ impl Flow {
             }),
             None => None,
         };
+        // Same for the partitioned multi-engine: patch every partition
+        // tape in place, structure untouched.
+        let partitioned = self
+            .partitioned
+            .as_ref()
+            .map(|e| e.patched(patches))
+            .transpose()?;
         Ok(Flow {
             source: netlist.clone(),
             netlist,
@@ -344,6 +375,8 @@ impl Flow {
             backend: self.backend,
             stats: self.stats,
             report: self.report.clone(),
+            partitions: self.partitions,
+            partitioned,
             artifacts,
         })
     }

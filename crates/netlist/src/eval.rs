@@ -555,7 +555,7 @@ const REG: u32 = u32::MAX;
 /// locality pass, not netlist node ids — dead nets share recycled slots.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SliceFrame {
-    words: Vec<u64>,
+    pub(crate) words: Vec<u64>,
     words_per_net: usize,
 }
 
@@ -656,7 +656,7 @@ impl SliceFrame {
 
     /// Resizes the frame to `slots` nets at its current width (new slots
     /// are zero).
-    fn reshape(&mut self, slots: usize) {
+    pub(crate) fn reshape(&mut self, slots: usize) {
         self.words.resize(slots * self.words_per_net, 0);
     }
 }
@@ -672,11 +672,11 @@ impl SliceFrame {
 /// masks are stored verbatim per cell even inside fused chains, which is
 /// what keeps in-place hot patching a pure mask rewrite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct SliceInstr {
-    a: u32,
-    b: u32,
-    out: u32,
-    k: [u64; 4],
+pub(crate) struct SliceInstr {
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) out: u32,
+    pub(crate) k: [u64; 4],
 }
 
 /// Knobs for the tape-locality pass run by
@@ -790,7 +790,7 @@ pub struct TapeStats {
 
 /// The widest tile (words) from `{16, 8, 4, 2, 1}` not exceeding `max`.
 #[inline]
-fn largest_tile(max: usize) -> usize {
+pub(crate) fn largest_tile(max: usize) -> usize {
     if max >= 16 {
         16
     } else if max >= 8 {
@@ -801,6 +801,118 @@ fn largest_tile(max: usize) -> usize {
         2
     } else {
         1
+    }
+}
+
+/// Replays `tape` over every word of a frame buffer, tile by tile:
+/// words `0 .. per` are split into tiles no wider than `tile_cap`
+/// (largest-first from `{16, 8, 4, 2, 1}`) and each tile is routed to
+/// the widest kernel `simd` allows. This is the shared engine behind
+/// [`BitSliceEvaluator::run_block`] and the per-partition segment
+/// replay of [`crate::partitioned::PartitionedEngine`].
+///
+/// Callers must guarantee every slot index on `tape` satisfies
+/// `slot * per + per <= words.len()` — out-of-range indices panic on
+/// the portable path but are undefined behaviour on the SIMD path.
+#[inline]
+pub(crate) fn replay_tape(
+    tape: &[SliceInstr],
+    simd: SimdLevel,
+    tile_cap: usize,
+    words: &mut [u64],
+    per: usize,
+) {
+    let mut base = 0;
+    while base < per {
+        let tile = largest_tile(tile_cap.min(per - base));
+        replay_tile_dispatch(tape, simd, tile, words, per, base);
+        base += tile;
+    }
+}
+
+/// Routes one tile to the widest kernel the resolved SIMD level and
+/// the tile width allow; narrow tiles fall through to the next level
+/// down (a 2-word tile can't fill a 256-bit vector), and everything
+/// falls back to the portable scalar tiles.
+pub(crate) fn replay_tile_dispatch(
+    tape: &[SliceInstr],
+    simd: SimdLevel,
+    tile: usize,
+    words: &mut [u64],
+    per: usize,
+    base: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY of the `unsafe` calls below: the target features were
+        // verified by runtime detection when `simd` was resolved at
+        // compile time, and every span the kernels touch is in bounds —
+        // the caller guarantees `slot * per + per <= words.len()` for
+        // every slot index on the tape, and the tiling loop keeps
+        // `base + tile <= per`, so
+        // `slot * per + base + tile <= words.len()`.
+        debug_assert!(base + tile <= per);
+        match (simd, tile) {
+            (SimdLevel::Avx512, 16) => {
+                return unsafe { simd::run_tile_avx512::<16>(tape, words, per, base) }
+            }
+            (SimdLevel::Avx512, 8) => {
+                return unsafe { simd::run_tile_avx512::<8>(tape, words, per, base) }
+            }
+            (SimdLevel::Avx2, 16) => {
+                return unsafe { simd::run_tile_avx2::<16>(tape, words, per, base) }
+            }
+            (SimdLevel::Avx2, 8) => {
+                return unsafe { simd::run_tile_avx2::<8>(tape, words, per, base) }
+            }
+            (SimdLevel::Avx512 | SimdLevel::Avx2, 4) => {
+                return unsafe { simd::run_tile_avx2::<4>(tape, words, per, base) }
+            }
+            (SimdLevel::Sse2, 16) => {
+                return unsafe { simd::run_tile_sse2::<16>(tape, words, per, base) }
+            }
+            (SimdLevel::Sse2, 8) => {
+                return unsafe { simd::run_tile_sse2::<8>(tape, words, per, base) }
+            }
+            (SimdLevel::Sse2, 4) => {
+                return unsafe { simd::run_tile_sse2::<4>(tape, words, per, base) }
+            }
+            (SimdLevel::Avx512 | SimdLevel::Avx2 | SimdLevel::Sse2, 2) => {
+                return unsafe { simd::run_tile_sse2::<2>(tape, words, per, base) }
+            }
+            _ => {}
+        }
+    }
+    match tile {
+        16 => replay_tile::<16>(tape, words, per, base),
+        8 => replay_tile::<8>(tape, words, per, base),
+        4 => replay_tile::<4>(tape, words, per, base),
+        2 => replay_tile::<2>(tape, words, per, base),
+        _ => replay_tile::<1>(tape, words, per, base),
+    }
+}
+
+/// One tile of the kernel: replays the whole tape over words
+/// `base .. base + TW` of every slot span. The monomorphized `TW`
+/// turns every loop below into straight-line code. The body is
+/// branch-free by construction — the fused-chain accumulator was
+/// resolved to the dedicated scratch slot at compile time, so every
+/// instruction is an unconditional load/load/store (an interior's
+/// write is re-read by the very next instruction, keeping the
+/// accumulator line in L1). Operand spans are loaded in full before
+/// the result is stored, so an instruction may safely write the
+/// recycled slot of one of its own operands.
+fn replay_tile<const TW: usize>(tape: &[SliceInstr], words: &mut [u64], per: usize, base: usize) {
+    for i in tape {
+        let a0 = i.a as usize * per + base;
+        let b0 = i.b as usize * per + base;
+        let va: [u64; TW] = std::array::from_fn(|w| words[a0 + w]);
+        let vb: [u64; TW] = std::array::from_fn(|w| words[b0 + w]);
+        let r: [u64; TW] = std::array::from_fn(|w| {
+            i.k[0] ^ (i.k[1] & vb[w]) ^ (i.k[2] & va[w]) ^ (i.k[3] & va[w] & vb[w])
+        });
+        let o0 = i.out as usize * per + base;
+        words[o0..o0 + TW].copy_from_slice(&r);
     }
 }
 
@@ -848,14 +960,14 @@ impl TapeStats {
 
 /// A bump allocator over frame slots with an optional free list: dead
 /// slots are recycled LIFO (the hottest lines first) when `reuse` is on.
-struct SlotPool {
-    free: Vec<u32>,
-    high: u32,
-    reuse: bool,
+pub(crate) struct SlotPool {
+    pub(crate) free: Vec<u32>,
+    pub(crate) high: u32,
+    pub(crate) reuse: bool,
 }
 
 impl SlotPool {
-    fn alloc(&mut self) -> u32 {
+    pub(crate) fn alloc(&mut self) -> u32 {
         if let Some(s) = self.free.pop() {
             return s;
         }
@@ -864,7 +976,7 @@ impl SlotPool {
         s
     }
 
-    fn release(&mut self, slot: u32) {
+    pub(crate) fn release(&mut self, slot: u32) {
         if self.reuse {
             self.free.push(slot);
         }
@@ -1288,93 +1400,13 @@ impl BitSliceEvaluator {
     #[inline]
     pub fn run_block(&self, frame: &mut SliceFrame) {
         assert!(frame.slots() >= self.slots, "frame too small for tape");
-        let per = frame.words_per_net;
-        let cap = self.stats.tile_words();
-        let mut base = 0;
-        while base < per {
-            let tile = largest_tile(cap.min(per - base));
-            self.run_tile_dispatch(tile, &mut frame.words, per, base);
-            base += tile;
-        }
-    }
-
-    /// Routes one tile to the widest kernel the resolved SIMD level and
-    /// the tile width allow; narrow tiles fall through to the next level
-    /// down (a 2-word tile can't fill a 256-bit vector), and everything
-    /// falls back to the portable scalar tiles.
-    fn run_tile_dispatch(&self, tile: usize, words: &mut [u64], per: usize, base: usize) {
-        #[cfg(target_arch = "x86_64")]
-        {
-            // SAFETY of the `unsafe` calls below: the target features were
-            // verified by runtime detection when `stats.simd` was resolved
-            // at compile time, and every span the kernels touch is in
-            // bounds — `run_block` asserted `frame.slots() >= self.slots`,
-            // tape slot indices are `< self.slots` by construction, and
-            // the tiling loop keeps `base + tile <= per`, so
-            // `slot * per + base + tile <= self.slots * per <= words.len()`.
-            debug_assert!(self.slots * per <= words.len() && base + tile <= per);
-            match (self.stats.simd, tile) {
-                (SimdLevel::Avx512, 16) => {
-                    return unsafe { simd::run_tile_avx512::<16>(&self.tape, words, per, base) }
-                }
-                (SimdLevel::Avx512, 8) => {
-                    return unsafe { simd::run_tile_avx512::<8>(&self.tape, words, per, base) }
-                }
-                (SimdLevel::Avx2, 16) => {
-                    return unsafe { simd::run_tile_avx2::<16>(&self.tape, words, per, base) }
-                }
-                (SimdLevel::Avx2, 8) => {
-                    return unsafe { simd::run_tile_avx2::<8>(&self.tape, words, per, base) }
-                }
-                (SimdLevel::Avx512 | SimdLevel::Avx2, 4) => {
-                    return unsafe { simd::run_tile_avx2::<4>(&self.tape, words, per, base) }
-                }
-                (SimdLevel::Sse2, 16) => {
-                    return unsafe { simd::run_tile_sse2::<16>(&self.tape, words, per, base) }
-                }
-                (SimdLevel::Sse2, 8) => {
-                    return unsafe { simd::run_tile_sse2::<8>(&self.tape, words, per, base) }
-                }
-                (SimdLevel::Sse2, 4) => {
-                    return unsafe { simd::run_tile_sse2::<4>(&self.tape, words, per, base) }
-                }
-                (SimdLevel::Avx512 | SimdLevel::Avx2 | SimdLevel::Sse2, 2) => {
-                    return unsafe { simd::run_tile_sse2::<2>(&self.tape, words, per, base) }
-                }
-                _ => {}
-            }
-        }
-        match tile {
-            16 => self.run_tile::<16>(words, per, base),
-            8 => self.run_tile::<8>(words, per, base),
-            4 => self.run_tile::<4>(words, per, base),
-            2 => self.run_tile::<2>(words, per, base),
-            _ => self.run_tile::<1>(words, per, base),
-        }
-    }
-
-    /// One tile of the kernel: replays the whole tape over words
-    /// `base .. base + TW` of every slot span. The monomorphized `TW`
-    /// turns every loop below into straight-line code. The body is
-    /// branch-free by construction — the fused-chain accumulator was
-    /// resolved to the dedicated scratch slot at compile time, so every
-    /// instruction is an unconditional load/load/store (an interior's
-    /// write is re-read by the very next instruction, keeping the
-    /// accumulator line in L1). Operand spans are loaded in full before
-    /// the result is stored, so an instruction may safely write the
-    /// recycled slot of one of its own operands.
-    fn run_tile<const TW: usize>(&self, words: &mut [u64], per: usize, base: usize) {
-        for i in &self.tape {
-            let a0 = i.a as usize * per + base;
-            let b0 = i.b as usize * per + base;
-            let va: [u64; TW] = std::array::from_fn(|w| words[a0 + w]);
-            let vb: [u64; TW] = std::array::from_fn(|w| words[b0 + w]);
-            let r: [u64; TW] = std::array::from_fn(|w| {
-                i.k[0] ^ (i.k[1] & vb[w]) ^ (i.k[2] & va[w]) ^ (i.k[3] & va[w] & vb[w])
-            });
-            let o0 = i.out as usize * per + base;
-            words[o0..o0 + TW].copy_from_slice(&r);
-        }
+        replay_tape(
+            &self.tape,
+            self.stats.simd,
+            self.stats.tile_words(),
+            &mut frame.words,
+            frame.words_per_net,
+        );
     }
 
     /// Evaluates the whole batch, reusing `frame` as scratch and

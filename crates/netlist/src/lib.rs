@@ -22,6 +22,10 @@
 //!   chain fusion, liveness-based slot reuse, cache-budget tiling) and
 //!   runtime-detected `std::arch` SIMD replay kernels
 //!   ([`SimdMode`]/[`SimdLevel`], AVX-512/AVX2/SSE2 on x86_64),
+//! * partitioned multi-engine execution ([`partitioned`]): a netlist
+//!   split into per-partition kernel tapes with a compile-time
+//!   cross-partition [`ExchangeSchedule`], run level-synchronously on
+//!   one worker thread per partition ([`PartitionedEngine`]),
 //! * seeded random netlist generators ([`random`]) for tests and benchmarks.
 //!
 //! ## Example
@@ -48,6 +52,7 @@ pub mod error;
 pub mod eval;
 pub mod levelize;
 pub mod netlist;
+pub mod partitioned;
 pub mod patch;
 pub mod random;
 pub mod serdes;
@@ -61,5 +66,9 @@ pub use eval::{
 };
 pub use levelize::Levels;
 pub use netlist::{Netlist, Node, NodeId};
+pub use partitioned::{
+    ExchangeCopy, ExchangeSchedule, PartitionAssignment, PartitionStats, PartitionedEngine,
+    MAX_PARTITIONS,
+};
 pub use patch::PatchSet;
 pub use serdes::{ByteReader, ByteWriter};

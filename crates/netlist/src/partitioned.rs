@@ -1,0 +1,1705 @@
+//! Partitioned multi-engine execution of a bit-sliced kernel tape.
+//!
+//! The paper's LPU assemblies partition one netlist across processing
+//! units with explicit inter-partition routing. This module is the
+//! software analogue: a [`PartitionedEngine`] compiles a netlist into N
+//! per-partition kernel tapes — each with its **own** locality-optimized
+//! slot space, allocated by the same liveness allocator the single-tape
+//! [`BitSliceEvaluator`](crate::BitSliceEvaluator) uses — plus a
+//! compile-time [`ExchangeSchedule`]: the `(src_partition, src_slot) →
+//! (dst_partition, dst_slot)` word copies that move every
+//! cross-partition net, grouped by netlist level.
+//!
+//! Execution is level-synchronous: every partition replays its level-`l`
+//! tape segment over its own [`SliceFrame`], then the level's exchange
+//! copies run, then level `l + 1` starts. On a multi-core host the N
+//! partitions run on N worker threads with a barrier either side of each
+//! non-empty exchange (a partition only ever touches a foreign frame
+//! inside that window); on a single core — or for small batches, where
+//! thread spawn would dominate — the same schedule replays sequentially
+//! with bit-identical results.
+//!
+//! Why this helps even without extra cores: the per-partition frames are
+//! a fraction of the single-engine frame, so each partition fits a wider
+//! cache-budget tile ([`TapeOptions::cache_budget`]) and replays its
+//! tape fewer times per block. A netlist whose single-engine frame
+//! exceeds the budget pays one full tape stream per tile; partitioned,
+//! each (smaller) tape streams once.
+//!
+//! Slot-safety invariant the allocator maintains: at each level
+//! boundary, **import slots are allocated before export slots are
+//! released**, so a copy's destination can never alias a slot another
+//! copy still reads — the exchange is order-independent within a level,
+//! which is also what makes the threaded copies race-free.
+//!
+//! The construction is deterministic and purely structural (level and
+//! arena order, never gate kinds), so [`PartitionedEngine::patched`] is
+//! a pure ANF-mask rewrite, exactly like the single-tape evaluator.
+
+use crate::cell::Op;
+use crate::error::NetlistError;
+use crate::eval::{replay_tape, Lanes, SimdLevel, SliceFrame, SliceInstr, SlotPool, TapeOptions};
+use crate::netlist::{Netlist, NodeId};
+use crate::patch::PatchSet;
+use crate::serdes::{ByteReader, ByteWriter};
+
+/// Hard ceiling on the partition count: consumer bitmasks are one
+/// `u64`, and more partitions than cores (or L2 slices) never helps.
+pub const MAX_PARTITIONS: usize = 64;
+
+/// Sentinel for "no position / no slot" in the compile-time tables.
+const NONE: u32 = u32::MAX;
+
+/// Input accessor the block loops pull packed lane columns through:
+/// maps a primary-input index to its full `lanes.div_ceil(64)`-word
+/// column.
+type InputWords<'a> = dyn Fn(usize) -> &'a [u64] + Sync + 'a;
+
+fn malformed(reason: impl Into<String>) -> NetlistError {
+    NetlistError::Malformed {
+        reason: reason.into(),
+    }
+}
+
+/// A node → partition map driving [`PartitionedEngine::compile_with`].
+///
+/// The default ([`PartitionAssignment::contiguous`]) splits every
+/// netlist level into `parts` contiguous arena-order chunks — the
+/// level-synchronous analogue of partitioning a layer's neurons into
+/// blocks, and the assignment that keeps banded netlists' cuts small.
+/// Arbitrary maps ([`PartitionAssignment::from_map`]) exist for tests
+/// that probe the exchange scheduler with adversarial assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionAssignment {
+    parts: usize,
+    of: Vec<u32>,
+}
+
+impl PartitionAssignment {
+    /// Splits each level of `netlist` into `parts` contiguous
+    /// arena-order chunks (primary inputs are chunked the same way;
+    /// their partition only matters as the *home* of an input that is
+    /// also a primary output).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Malformed`] when `parts` is 0 or exceeds
+    /// [`MAX_PARTITIONS`].
+    pub fn contiguous(netlist: &Netlist, parts: usize) -> Result<Self, NetlistError> {
+        check_parts(parts)?;
+        let n = netlist.len();
+        let level = node_levels(netlist);
+        let num_levels = level.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); num_levels + 1];
+        for (id, node) in netlist.iter() {
+            if node.op() == Op::Input {
+                buckets[0].push(id.index() as u32);
+            } else {
+                buckets[level[id.index()] as usize + 1].push(id.index() as u32);
+            }
+        }
+        let mut of = vec![0u32; n];
+        for bucket in &buckets {
+            for (j, &id) in bucket.iter().enumerate() {
+                of[id as usize] = (j * parts / bucket.len()) as u32;
+            }
+        }
+        Ok(PartitionAssignment { parts, of })
+    }
+
+    /// An arbitrary node → partition map: `of[i]` is the partition of
+    /// arena node `i` (inputs included).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Malformed`] when `parts` is out of range or any
+    /// entry names a partition `>= parts`.
+    pub fn from_map(parts: usize, of: Vec<u32>) -> Result<Self, NetlistError> {
+        check_parts(parts)?;
+        if let Some(&bad) = of.iter().find(|&&p| p as usize >= parts) {
+            return Err(malformed(format!(
+                "assignment names partition {bad} but there are only {parts}"
+            )));
+        }
+        Ok(PartitionAssignment { parts, of })
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The partition of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range of the map.
+    pub fn of(&self, id: NodeId) -> usize {
+        self.of[id.index()] as usize
+    }
+}
+
+fn check_parts(parts: usize) -> Result<(), NetlistError> {
+    if parts == 0 || parts > MAX_PARTITIONS {
+        return Err(malformed(format!(
+            "partition count {parts} is outside the supported 1..={MAX_PARTITIONS}"
+        )));
+    }
+    Ok(())
+}
+
+/// Gate levels as the tape compilers define them: inputs and constants
+/// at 0, every gate one past its deepest fanin.
+fn node_levels(netlist: &Netlist) -> Vec<u32> {
+    let mut level = vec![0u32; netlist.len()];
+    for (id, node) in netlist.iter() {
+        if node.op() == Op::Input {
+            continue;
+        }
+        level[id.index()] = node
+            .fanins()
+            .iter()
+            .map(|f| level[f.index()])
+            .max()
+            .map_or(0, |m| m + 1);
+    }
+    level
+}
+
+/// One compile-time word copy of the exchange schedule: after the
+/// source partition's level segment completes, the `words_per_net` span
+/// of `src_slot` in `src_part`'s frame is copied to `dst_slot` in
+/// `dst_part`'s frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeCopy {
+    /// Partition that computed the value.
+    pub src_part: u32,
+    /// Its slot in the source partition's frame.
+    pub src_slot: u32,
+    /// Partition that will read the value at a later level.
+    pub dst_part: u32,
+    /// The import slot in the destination partition's frame.
+    pub dst_slot: u32,
+}
+
+/// The compile-time cross-partition routing plan: `levels[l]` holds the
+/// copies to run after every partition finishes its level-`l` segment
+/// (and before any level-`l + 1` instruction runs). Copies within a
+/// level write pairwise-distinct destination slots, none of which alias
+/// a source slot still to be read at that level — they can run in any
+/// order, or concurrently.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExchangeSchedule {
+    /// Per-level copy groups, aligned with the tape level segments.
+    pub levels: Vec<Vec<ExchangeCopy>>,
+}
+
+impl ExchangeSchedule {
+    /// Total copies across all levels.
+    pub fn num_copies(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+}
+
+/// What partitioning did to the tape
+/// ([`PartitionedEngine::partition_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Number of partitions.
+    pub partitions: usize,
+    /// Level segments every partition's tape is divided into.
+    pub levels: usize,
+    /// Distinct nets computed in one partition and read in another —
+    /// the cut size.
+    pub cut_nets: usize,
+    /// Exchange copies (≥ `cut_nets`: one per consuming partition).
+    pub cut_copies: usize,
+    /// Live slots of the largest per-partition frame (each frame adds
+    /// one accumulator scratch slot on top).
+    pub max_frame_slots: usize,
+    /// Live slots summed over all partitions.
+    pub total_frame_slots: usize,
+    /// Kernel instructions summed over all partitions (equals the
+    /// single-tape length: partitioning never duplicates work).
+    pub tape_len: usize,
+}
+
+impl PartitionStats {
+    /// Words the exchange moves per block at `words_per_net` words per
+    /// net — the per-block exchange overhead.
+    pub fn exchange_words(&self, words_per_net: usize) -> usize {
+        self.cut_copies * words_per_net
+    }
+}
+
+/// One partition's share of the compiled netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PartTape {
+    /// This partition's kernel instructions, level-major.
+    tape: Vec<SliceInstr>,
+    /// Netlist node behind each instruction (patch addressing).
+    cells: Vec<u32>,
+    /// `tape[seg_ends[l - 1] .. seg_ends[l]]` is the level-`l` segment.
+    seg_ends: Vec<u32>,
+    /// `(primary input index, slot)` for every input this partition
+    /// loads directly — inputs are never exchanged.
+    inputs: Vec<(u32, u32)>,
+    /// `(primary output index, slot)` for every output this partition
+    /// owns.
+    outputs: Vec<(u32, u32)>,
+    /// Per level: the schedule copies whose destination is this
+    /// partition (what this partition's worker executes).
+    imports: Vec<Vec<ExchangeCopy>>,
+    /// Live data slots; the frame adds one accumulator slot on top.
+    frame_slots: usize,
+    /// Cache-budget tile cap for this partition's (smaller) frame.
+    tile_cap: usize,
+}
+
+/// The widest tile from `{16, 8, 4, 2, 1}` whose frame slice fits
+/// `budget` bytes (0 = unlimited) — [`crate::TapeStats::tile_words`]
+/// for a per-partition frame.
+fn tile_cap_for(frame_slots: usize, budget: usize) -> usize {
+    if budget == 0 {
+        return 16;
+    }
+    for t in [16usize, 8, 4, 2] {
+        if frame_slots * t * 8 <= budget {
+            return t;
+        }
+    }
+    1
+}
+
+/// A netlist compiled into N per-partition kernel tapes plus the
+/// exchange schedule that routes every cross-partition net — the
+/// multi-engine counterpart of
+/// [`BitSliceEvaluator`](crate::BitSliceEvaluator), with identical
+/// [`Lanes`] I/O semantics and bit-identical results at every frame
+/// width and partition count.
+///
+/// # Example
+///
+/// ```
+/// use lbnn_netlist::eval::evaluate;
+/// use lbnn_netlist::partitioned::PartitionedEngine;
+/// use lbnn_netlist::{Lanes, Netlist, Op};
+/// let mut nl = Netlist::new("f");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let y = nl.add_gate2(Op::Nand, a, b);
+/// nl.add_output(y, "y");
+/// let inputs = [
+///     Lanes::from_bools(&[true, true, false]),
+///     Lanes::from_bools(&[true, false, true]),
+/// ];
+/// let engine = PartitionedEngine::compile(&nl, 2).unwrap();
+/// assert_eq!(
+///     engine.evaluate(&inputs).unwrap(),
+///     evaluate(&nl, &inputs).unwrap(),
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedEngine {
+    parts: Vec<PartTape>,
+    schedule: ExchangeSchedule,
+    num_inputs: usize,
+    num_outputs: usize,
+    /// Netlist arena size the tapes were compiled from (patch-index
+    /// bound).
+    num_cells: usize,
+    cache_budget: usize,
+    simd: SimdLevel,
+    stats: PartitionStats,
+}
+
+impl PartitionedEngine {
+    /// Compiles `netlist` into `parts` partition tapes with the default
+    /// contiguous per-level assignment and
+    /// [`TapeOptions::from_env`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Malformed`] for a partition count outside
+    /// `1..=`[`MAX_PARTITIONS`].
+    pub fn compile(netlist: &Netlist, parts: usize) -> Result<Self, NetlistError> {
+        let assignment = PartitionAssignment::contiguous(netlist, parts)?;
+        PartitionedEngine::compile_with(netlist, &assignment, TapeOptions::from_env())
+    }
+
+    /// Compiles `netlist` against an explicit [`PartitionAssignment`]
+    /// and locality options. [`TapeOptions::fuse`] is ignored —
+    /// single-fanout chains span levels, and partition tapes must break
+    /// at every level boundary for the exchange — while `reuse`,
+    /// `cache_budget` and `simd` apply per partition.
+    ///
+    /// Deterministic and purely structural: two compiles of the same
+    /// netlist with the same assignment and options are equal, and
+    /// patching never changes the schedule
+    /// ([`PartitionedEngine::patched`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Malformed`] when the assignment does not cover
+    /// exactly this netlist's nodes.
+    pub fn compile_with(
+        netlist: &Netlist,
+        assignment: &PartitionAssignment,
+        options: TapeOptions,
+    ) -> Result<Self, NetlistError> {
+        let n = netlist.len();
+        let parts = assignment.parts;
+        if assignment.of.len() != n {
+            return Err(malformed(format!(
+                "assignment covers {} nodes but the netlist has {n}",
+                assignment.of.len()
+            )));
+        }
+        let pof = &assignment.of;
+        let level = node_levels(netlist);
+        let num_levels = netlist
+            .iter()
+            .filter(|(_, node)| node.op() != Op::Input)
+            .map(|(id, _)| level[id.index()] as usize + 1)
+            .max()
+            .unwrap_or(0);
+
+        // Executable nodes grouped by level, arena order within each —
+        // the global tape order every per-partition order is a
+        // subsequence of.
+        let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); num_levels];
+        for (id, node) in netlist.iter() {
+            if node.op() != Op::Input {
+                by_level[level[id.index()] as usize].push(id.index() as u32);
+            }
+        }
+
+        // Which partitions read each node from a frame (bitmask), and
+        // which partition pins it as a primary output.
+        let mut read_mask = vec![0u64; n];
+        for (id, node) in netlist.iter() {
+            if node.op() == Op::Input {
+                continue;
+            }
+            for &f in node.fanins() {
+                read_mask[f.index()] |= 1u64 << pof[id.index()];
+            }
+        }
+        let mut pin_mask = vec![0u64; n];
+        for o in netlist.outputs() {
+            pin_mask[o.node.index()] |= 1u64 << pof[o.node.index()];
+        }
+
+        // Cross-partition consumer mask of each executable node: the
+        // partitions that import it. Inputs never appear — every
+        // partition loads the primary inputs it reads directly.
+        let mut cross_mask = vec![0u64; n];
+        let mut cut_nets = 0usize;
+        for (id, node) in netlist.iter() {
+            if node.op() == Op::Input {
+                continue;
+            }
+            let i = id.index();
+            let m = read_mask[i] & !(1u64 << pof[i]);
+            cross_mask[i] = m;
+            if m != 0 {
+                cut_nets += 1;
+            }
+        }
+
+        // Per-partition slot assignment. Event order within a
+        // partition: level-l instructions (arena order), then the
+        // level-l exchange — import allocations FIRST, export releases
+        // SECOND, so an import destination can never alias a source
+        // slot still being read at this exchange.
+        let mut slot_of: Vec<Vec<u32>> = Vec::with_capacity(parts);
+        let mut frame_slots: Vec<usize> = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let pbit = 1u64 << p;
+            // Instruction and exchange positions in this partition's
+            // event order.
+            let mut ipos = vec![NONE; n];
+            let mut xpos = vec![NONE; num_levels];
+            let mut pos = 0u32;
+            for (l, ids) in by_level.iter().enumerate() {
+                for &y in ids {
+                    if pof[y as usize] == p as u32 {
+                        ipos[y as usize] = pos;
+                        pos += 1;
+                    }
+                }
+                xpos[l] = pos;
+                pos += 1;
+            }
+            // Last frame read of each value present in this partition.
+            let mut last_read = vec![NONE; n];
+            for ids in &by_level {
+                for &y in ids {
+                    let yi = y as usize;
+                    if pof[yi] != p as u32 {
+                        continue;
+                    }
+                    for &f in netlist.node(NodeId::new(y)).fanins() {
+                        last_read[f.index()] = ipos[yi];
+                    }
+                }
+            }
+            for ids in &by_level {
+                for &y in ids {
+                    let yi = y as usize;
+                    if pof[yi] == p as u32 && cross_mask[yi] != 0 {
+                        let x = xpos[level[yi] as usize];
+                        if last_read[yi] == NONE || last_read[yi] < x {
+                            last_read[yi] = x;
+                        }
+                    }
+                }
+            }
+            let mut pool = SlotPool {
+                free: Vec::new(),
+                high: 0,
+                reuse: options.reuse,
+            };
+            let mut slots = vec![NONE; n];
+            for &i in netlist.inputs() {
+                let ii = i.index();
+                if read_mask[ii] & pbit != 0 || pin_mask[ii] & pbit != 0 {
+                    slots[ii] = pool.alloc();
+                }
+            }
+            for (l, ids) in by_level.iter().enumerate() {
+                for &y in ids {
+                    let yi = y as usize;
+                    if pof[yi] != p as u32 {
+                        continue;
+                    }
+                    let fan = netlist.node(NodeId::new(y)).fanins();
+                    let mut released = [NONE; 2];
+                    let mut nr = 0;
+                    for &f in fan {
+                        let fi = f.index();
+                        if last_read[fi] == ipos[yi]
+                            && pin_mask[fi] & pbit == 0
+                            && released[..nr].iter().all(|&r| r != fi as u32)
+                        {
+                            pool.release(slots[fi]);
+                            released[nr] = fi as u32;
+                            nr += 1;
+                        }
+                    }
+                    slots[yi] = pool.alloc();
+                    if last_read[yi] == NONE && pin_mask[yi] & pbit == 0 {
+                        pool.release(slots[yi]);
+                    }
+                }
+                // Exchange boundary: imports in, then dead exports out.
+                for &y in ids {
+                    let yi = y as usize;
+                    if cross_mask[yi] & pbit != 0 {
+                        slots[yi] = pool.alloc();
+                    }
+                }
+                for &y in ids {
+                    let yi = y as usize;
+                    if pof[yi] == p as u32
+                        && cross_mask[yi] != 0
+                        && last_read[yi] == xpos[l]
+                        && pin_mask[yi] & pbit == 0
+                    {
+                        pool.release(slots[yi]);
+                    }
+                }
+            }
+            frame_slots.push(pool.high as usize);
+            slot_of.push(slots);
+        }
+
+        // The exchange schedule: every cross net, routed at its
+        // production level, one copy per consuming partition — arena
+        // order within a level, partitions ascending. Deterministic.
+        let mut schedule = ExchangeSchedule {
+            levels: vec![Vec::new(); num_levels],
+        };
+        for (l, ids) in by_level.iter().enumerate() {
+            for &y in ids {
+                let yi = y as usize;
+                let src = pof[yi];
+                let mut m = cross_mask[yi];
+                while m != 0 {
+                    let q = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    schedule.levels[l].push(ExchangeCopy {
+                        src_part: src,
+                        src_slot: slot_of[src as usize][yi],
+                        dst_part: q as u32,
+                        dst_slot: slot_of[q][yi],
+                    });
+                }
+            }
+        }
+
+        // Emit the per-partition tapes.
+        let mut parts_out: Vec<PartTape> = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let acc = frame_slots[p] as u32;
+            let slots = &slot_of[p];
+            let mut tape = Vec::new();
+            let mut cells = Vec::new();
+            let mut seg_ends = Vec::with_capacity(num_levels);
+            for ids in &by_level {
+                for &y in ids {
+                    let yi = y as usize;
+                    if pof[yi] != p as u32 {
+                        continue;
+                    }
+                    let node = netlist.node(NodeId::new(y));
+                    let fan = node.fanins();
+                    let (a, b) = match fan.len() {
+                        0 => (acc, acc),
+                        1 => (slots[fan[0].index()], slots[fan[0].index()]),
+                        _ => (slots[fan[0].index()], slots[fan[1].index()]),
+                    };
+                    tape.push(SliceInstr {
+                        a,
+                        b,
+                        out: slots[yi],
+                        k: node.op().anf_masks(),
+                    });
+                    cells.push(y);
+                }
+                seg_ends.push(tape.len() as u32);
+            }
+            let inputs = netlist
+                .inputs()
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| slots[i.index()] != NONE)
+                .map(|(pi, i)| (pi as u32, slots[i.index()]))
+                .collect();
+            let outputs = netlist
+                .outputs()
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| pof[o.node.index()] == p as u32)
+                .map(|(po, o)| (po as u32, slots[o.node.index()]))
+                .collect();
+            let imports = schedule
+                .levels
+                .iter()
+                .map(|copies| {
+                    copies
+                        .iter()
+                        .filter(|c| c.dst_part == p as u32)
+                        .copied()
+                        .collect()
+                })
+                .collect();
+            parts_out.push(PartTape {
+                tape,
+                cells,
+                seg_ends,
+                inputs,
+                outputs,
+                imports,
+                frame_slots: frame_slots[p],
+                tile_cap: tile_cap_for(frame_slots[p], options.cache_budget),
+            });
+        }
+
+        let stats = PartitionStats {
+            partitions: parts,
+            levels: num_levels,
+            cut_nets,
+            cut_copies: schedule.num_copies(),
+            max_frame_slots: frame_slots.iter().copied().max().unwrap_or(0),
+            total_frame_slots: frame_slots.iter().sum(),
+            tape_len: parts_out.iter().map(|p| p.tape.len()).sum(),
+        };
+        Ok(PartitionedEngine {
+            parts: parts_out,
+            schedule,
+            num_inputs: netlist.inputs().len(),
+            num_outputs: netlist.outputs().len(),
+            num_cells: n,
+            cache_budget: options.cache_budget,
+            simd: options.simd.resolve(),
+            stats,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of primary inputs the engine expects.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs the engine produces.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Cut sizes, per-partition frame footprints, copy counts
+    /// ([`PartitionStats`]).
+    pub fn partition_stats(&self) -> PartitionStats {
+        self.stats
+    }
+
+    /// The compile-time exchange schedule.
+    pub fn schedule(&self) -> &ExchangeSchedule {
+        &self.schedule
+    }
+
+    /// The SIMD dispatch level the partition tapes execute with.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
+    }
+
+    /// One frame per partition at `words_per_net` words
+    /// (`64 × words_per_net` lanes) per block, each sized for its
+    /// partition's live slots plus the accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_net` is zero.
+    pub fn frames_with_words(&self, words_per_net: usize) -> Vec<SliceFrame> {
+        self.parts
+            .iter()
+            .map(|p| SliceFrame::with_width(p.frame_slots + 1, words_per_net))
+            .collect()
+    }
+
+    /// Resizes `frames` to one correctly-shaped frame per partition at
+    /// the width they already have (or `per` when empty), preserving
+    /// allocations across batches.
+    fn prepare_frames(&self, frames: &mut Vec<SliceFrame>, per: usize) {
+        frames.resize_with(self.parts.len(), SliceFrame::default);
+        for (frame, part) in frames.iter_mut().zip(&self.parts) {
+            frame.set_width(per);
+            frame.reshape(part.frame_slots + 1);
+        }
+    }
+
+    /// Evaluates the whole batch — the partitioned counterpart of
+    /// [`BitSliceEvaluator::evaluate_with`](crate::BitSliceEvaluator::evaluate_with),
+    /// with identical semantics (partial final blocks zero-filled and
+    /// tail-masked; `lanes` overrides the width for no-input netlists).
+    /// `frames` is per-partition scratch, resized as needed; the block
+    /// width is the frames' current width (64 lanes after a fresh
+    /// `Vec::new()`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InputArity`] on an input-count mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lane vectors have inconsistent lane counts.
+    pub fn evaluate_with(
+        &self,
+        inputs: &[Lanes],
+        lanes: usize,
+        frames: &mut Vec<SliceFrame>,
+    ) -> Result<Vec<Lanes>, NetlistError> {
+        if inputs.len() != self.num_inputs {
+            return Err(NetlistError::InputArity {
+                expected: self.num_inputs,
+                got: inputs.len(),
+            });
+        }
+        for l in inputs {
+            assert_eq!(l.len(), lanes, "inconsistent lane counts across inputs");
+        }
+        Ok(self.eval_blocks(lanes, frames, &|i| inputs[i].words()))
+    }
+
+    /// [`PartitionedEngine::evaluate_with`] over a flat pre-packed
+    /// input buffer (the [`Lanes::pack_rows_into`] layout): input `i`'s
+    /// lane column occupies `packed[i * stride .. (i + 1) * stride]`
+    /// with `stride = lanes.div_ceil(64)`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InputArity`] on an input-count mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != num_inputs * lanes.div_ceil(64)`.
+    pub fn evaluate_packed_with(
+        &self,
+        packed: &[u64],
+        num_inputs: usize,
+        lanes: usize,
+        frames: &mut Vec<SliceFrame>,
+    ) -> Result<Vec<Lanes>, NetlistError> {
+        if num_inputs != self.num_inputs {
+            return Err(NetlistError::InputArity {
+                expected: self.num_inputs,
+                got: num_inputs,
+            });
+        }
+        let stride = lanes.div_ceil(64);
+        assert_eq!(
+            packed.len(),
+            num_inputs * stride,
+            "packed buffer does not hold {num_inputs} columns of {stride} words"
+        );
+        Ok(self.eval_blocks(lanes, frames, &|i| &packed[i * stride..(i + 1) * stride]))
+    }
+
+    /// Evaluates at 64 lanes per block with fresh frames — the
+    /// convenience entry mirroring
+    /// [`BitSliceEvaluator::evaluate`](crate::BitSliceEvaluator::evaluate).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InputArity`] on an input-count mismatch.
+    pub fn evaluate(&self, inputs: &[Lanes]) -> Result<Vec<Lanes>, NetlistError> {
+        let lanes = inputs.first().map_or(0, Lanes::len);
+        self.evaluate_with(inputs, lanes, &mut self.frames_with_words(1))
+    }
+
+    /// The shared block loop. Picks the threaded executor when there
+    /// are multiple partitions, multiple cores, and enough work to
+    /// amortize thread spawn; otherwise replays the same schedule
+    /// sequentially. Both paths are bit-identical.
+    fn eval_blocks(
+        &self,
+        lanes: usize,
+        frames: &mut Vec<SliceFrame>,
+        input_words: &InputWords<'_>,
+    ) -> Vec<Lanes> {
+        let per = frames.first().map_or(1, SliceFrame::words_per_net).max(1);
+        self.prepare_frames(frames, per);
+        let total_words = lanes.div_ceil(64);
+        let blocks = lanes.div_ceil(64 * per);
+        let mut out = vec![0u64; self.num_outputs * total_words];
+        if blocks > 0 {
+            // Thread spawn costs ~10s of µs per worker; only go wide
+            // when the per-batch kernel work clearly dominates that.
+            let work = self.stats.tape_len * per * blocks;
+            let wide = self.parts.len() > 1
+                && match exec_mode() {
+                    ExecMode::Sequential => false,
+                    ExecMode::Parallel => true,
+                    ExecMode::Auto => available_workers() > 1 && work >= 1 << 16,
+                };
+            if wide {
+                self.run_batch_parallel(frames, per, total_words, blocks, &mut out, input_words);
+            } else {
+                self.run_batch_sequential(frames, per, total_words, blocks, &mut out, input_words);
+            }
+        }
+        (0..self.num_outputs)
+            .map(|po| {
+                Lanes::from_words(
+                    out[po * total_words..(po + 1) * total_words].to_vec(),
+                    lanes,
+                )
+            })
+            .collect()
+    }
+
+    /// Loads one block's input spans into `frame` (zero-filling the
+    /// words past `avail`) for one partition.
+    fn load_inputs(
+        part: &PartTape,
+        frame: &mut SliceFrame,
+        per: usize,
+        base: usize,
+        avail: usize,
+        input_words: &InputWords<'_>,
+    ) {
+        for &(pi, slot) in &part.inputs {
+            let span = slot as usize * per;
+            let in_words = &input_words(pi as usize)[base..base + avail];
+            frame.words[span..span + avail].copy_from_slice(in_words);
+            frame.words[span + avail..span + per].fill(0);
+        }
+    }
+
+    /// Reference executor: the exact schedule the threaded path runs,
+    /// replayed on the calling thread.
+    fn run_batch_sequential(
+        &self,
+        frames: &mut [SliceFrame],
+        per: usize,
+        total_words: usize,
+        blocks: usize,
+        out: &mut [u64],
+        input_words: &InputWords<'_>,
+    ) {
+        for block in 0..blocks {
+            let base = block * per;
+            let avail = (total_words - base).min(per);
+            for (part, frame) in self.parts.iter().zip(frames.iter_mut()) {
+                Self::load_inputs(part, frame, per, base, avail, input_words);
+            }
+            let mut seg_starts = vec![0usize; self.parts.len()];
+            for (l, copies) in self.schedule.levels.iter().enumerate() {
+                for (p, (part, frame)) in self.parts.iter().zip(frames.iter_mut()).enumerate() {
+                    let end = part.seg_ends[l] as usize;
+                    replay_tape(
+                        &part.tape[seg_starts[p]..end],
+                        self.simd,
+                        part.tile_cap,
+                        &mut frame.words,
+                        per,
+                    );
+                    seg_starts[p] = end;
+                }
+                for c in copies {
+                    // Copies never alias (distinct destination slots,
+                    // sources disjoint from destinations by the
+                    // import-alloc-before-export-release rule), so a
+                    // word-level move per copy is exact.
+                    for w in 0..per {
+                        let v = frames[c.src_part as usize].words[c.src_slot as usize * per + w];
+                        frames[c.dst_part as usize].words[c.dst_slot as usize * per + w] = v;
+                    }
+                }
+            }
+            for (part, frame) in self.parts.iter().zip(frames.iter()) {
+                for &(po, slot) in &part.outputs {
+                    let span = slot as usize * per;
+                    out[po as usize * total_words + base..po as usize * total_words + base + avail]
+                        .copy_from_slice(&frame.words[span..span + avail]);
+                }
+            }
+        }
+    }
+
+    /// Threaded executor: one worker per partition, `std::sync::Barrier`
+    /// either side of every non-empty exchange. Outside the exchange
+    /// window a worker only touches its own frame; inside it, it writes
+    /// only its own import slots and reads only foreign export slots —
+    /// all pairwise disjoint by construction — so the raw-pointer
+    /// traffic below is race-free.
+    fn run_batch_parallel(
+        &self,
+        frames: &mut [SliceFrame],
+        per: usize,
+        total_words: usize,
+        blocks: usize,
+        out: &mut [u64],
+        input_words: &InputWords<'_>,
+    ) {
+        /// A raw frame-buffer pointer shareable across the scoped
+        /// workers. Safety rests on the phase protocol documented on
+        /// [`PartitionedEngine::run_batch_parallel`].
+        #[derive(Clone, Copy)]
+        struct Raw(*mut u64, usize);
+        unsafe impl Send for Raw {}
+        unsafe impl Sync for Raw {}
+
+        let bases: Vec<Raw> = frames
+            .iter_mut()
+            .map(|f| Raw(f.words.as_mut_ptr(), f.words.len()))
+            .collect();
+        let out_base = Raw(out.as_mut_ptr(), out.len());
+        let barrier = std::sync::Barrier::new(self.parts.len());
+        let worker = |p: usize| {
+            // Capture the whole `Raw` (not its `*mut` field, which the
+            // compiler's disjoint capture would otherwise pick and
+            // which is not `Sync`) — the rebinding is load-bearing.
+            #[allow(clippy::redundant_locals)]
+            let out_base = out_base;
+            let part = &self.parts[p];
+            let Raw(base, len) = bases[p];
+            for block in 0..blocks {
+                let wbase = block * per;
+                let avail = (total_words - wbase).min(per);
+                {
+                    // SAFETY: outside the exchange window below, worker
+                    // `p` is the only thread touching frame `p`.
+                    let words = unsafe { std::slice::from_raw_parts_mut(base, len) };
+                    for &(pi, slot) in &part.inputs {
+                        let span = slot as usize * per;
+                        let in_words = &input_words(pi as usize)[wbase..wbase + avail];
+                        words[span..span + avail].copy_from_slice(in_words);
+                        words[span + avail..span + per].fill(0);
+                    }
+                }
+                let mut seg_start = 0usize;
+                for l in 0..self.schedule.levels.len() {
+                    let end = part.seg_ends[l] as usize;
+                    {
+                        // SAFETY: compute phase — own frame only.
+                        let words = unsafe { std::slice::from_raw_parts_mut(base, len) };
+                        replay_tape(
+                            &part.tape[seg_start..end],
+                            self.simd,
+                            part.tile_cap,
+                            words,
+                            per,
+                        );
+                    }
+                    seg_start = end;
+                    // Every worker sees the same schedule, so all of
+                    // them agree on which levels rendezvous.
+                    if !self.schedule.levels[l].is_empty() {
+                        barrier.wait();
+                        for c in &part.imports[l] {
+                            let Raw(src, src_len) = bases[c.src_part as usize];
+                            let s = c.src_slot as usize * per;
+                            let d = c.dst_slot as usize * per;
+                            debug_assert!(s + per <= src_len && d + per <= len);
+                            // SAFETY: exchange phase — this worker
+                            // writes only its own import slots; the
+                            // source worker neither writes nor reads
+                            // its exported span until the closing
+                            // barrier; import and export slot sets are
+                            // disjoint within every frame.
+                            unsafe {
+                                std::ptr::copy_nonoverlapping(src.add(s), base.add(d), per);
+                            }
+                        }
+                        barrier.wait();
+                    }
+                }
+                {
+                    // SAFETY: own frame read, plus writes to this
+                    // partition's own outputs' rows of the shared out
+                    // buffer — output ownership is a partition of the
+                    // output set, so rows never overlap across workers.
+                    let words = unsafe { std::slice::from_raw_parts(base, len) };
+                    for &(po, slot) in &part.outputs {
+                        let span = slot as usize * per;
+                        let dst = po as usize * total_words + wbase;
+                        debug_assert!(dst + avail <= out_base.1);
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                words[span..].as_ptr(),
+                                out_base.0.add(dst),
+                                avail,
+                            );
+                        }
+                    }
+                }
+            }
+        };
+        std::thread::scope(|s| {
+            for p in 1..self.parts.len() {
+                s.spawn(move || worker(p));
+            }
+            worker(0);
+        });
+    }
+
+    /// A copy of this engine with the ANF masks of every patched cell
+    /// replaced in whichever partition tape holds it — structure
+    /// (assignment, slots, schedule) untouched, bit-identical to a
+    /// fresh compile of the patched netlist (the same invariant as
+    /// [`BitSliceEvaluator::patched`](crate::BitSliceEvaluator::patched)).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InvalidNode`] if a patched id has no instruction
+    /// in any partition — out of range, or a primary input.
+    pub fn patched(&self, patches: &PatchSet) -> Result<PartitionedEngine, NetlistError> {
+        let mut index = vec![(NONE, NONE); self.num_cells];
+        for (p, part) in self.parts.iter().enumerate() {
+            for (pos, &cell) in part.cells.iter().enumerate() {
+                index[cell as usize] = (p as u32, pos as u32);
+            }
+        }
+        let mut out = self.clone();
+        for (id, op) in patches.iter() {
+            let (p, pos) = match index.get(id.index()) {
+                Some(&(p, pos)) if p != NONE => (p as usize, pos as usize),
+                _ => return Err(NetlistError::InvalidNode { id }),
+            };
+            out.parts[p].tape[pos].k = op.anf_masks();
+        }
+        Ok(out)
+    }
+
+    /// Model-based checker for the exchange schedule, independent of
+    /// the scheduler's own bookkeeping: replays every partition tape
+    /// and exchange copy **symbolically** (slots hold netlist node ids,
+    /// not words) and verifies that
+    ///
+    /// * every instruction reads exactly its fanins' values — which
+    ///   fails if a cross-partition net was not transferred before its
+    ///   first use, or if a live slot was overwritten (the stale reader
+    ///   sees the wrong symbol),
+    /// * every copy reads a defined value,
+    /// * every primary output's slot still holds its node's value after
+    ///   the last level,
+    /// * the tapes cover every executable node exactly once, in level
+    ///   order.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn validate(&self, netlist: &Netlist) -> Result<(), String> {
+        let n = netlist.len();
+        if n != self.num_cells {
+            return Err(format!(
+                "engine compiled from {} cells, netlist has {n}",
+                self.num_cells
+            ));
+        }
+        let level = node_levels(netlist);
+        let mut seen = vec![false; n];
+        let mut frames: Vec<Vec<Option<u32>>> = self
+            .parts
+            .iter()
+            .map(|p| vec![None; p.frame_slots + 1])
+            .collect();
+        for (p, part) in self.parts.iter().enumerate() {
+            if part.seg_ends.len() != self.schedule.levels.len() {
+                return Err(format!(
+                    "partition {p} has {} level segments but the schedule has {}",
+                    part.seg_ends.len(),
+                    self.schedule.levels.len()
+                ));
+            }
+            for &(pi, slot) in &part.inputs {
+                let node = *netlist
+                    .inputs()
+                    .get(pi as usize)
+                    .ok_or(format!("partition {p} loads unknown input {pi}"))?;
+                *frames[p]
+                    .get_mut(slot as usize)
+                    .ok_or(format!("partition {p} input slot {slot} out of range"))? =
+                    Some(node.index() as u32);
+            }
+        }
+        let mut seg_starts = vec![0usize; self.parts.len()];
+        for (l, copies) in self.schedule.levels.iter().enumerate() {
+            for (p, part) in self.parts.iter().enumerate() {
+                let end = part.seg_ends[l] as usize;
+                if end < seg_starts[p] || end > part.tape.len() {
+                    return Err(format!("partition {p} segment ends not monotone"));
+                }
+                for pos in seg_starts[p]..end {
+                    let instr = &part.tape[pos];
+                    let y = part.cells[pos] as usize;
+                    if y >= n || netlist.node(NodeId::new(y as u32)).op() == Op::Input {
+                        return Err(format!("partition {p} instruction {pos} has no cell"));
+                    }
+                    if std::mem::replace(&mut seen[y], true) {
+                        return Err(format!("cell {y} computed twice"));
+                    }
+                    if level[y] as usize != l {
+                        return Err(format!("cell {y} scheduled at level {l}"));
+                    }
+                    let fan = netlist.node(NodeId::new(y as u32)).fanins();
+                    let ops = match fan.len() {
+                        0 => vec![],
+                        1 => vec![(instr.a, fan[0])],
+                        _ => vec![(instr.a, fan[0]), (instr.b, fan[1])],
+                    };
+                    for (slot, f) in ops {
+                        let got = *frames[p]
+                            .get(slot as usize)
+                            .ok_or(format!("partition {p} slot {slot} out of range"))?;
+                        if got != Some(f.index() as u32) {
+                            return Err(format!(
+                                "cell {y} in partition {p} reads slot {slot} expecting cell {}, \
+                                 found {got:?} — transferred too late or overwritten while live",
+                                f.index()
+                            ));
+                        }
+                    }
+                    let out = *part
+                        .tape
+                        .get(pos)
+                        .map(|i| &i.out)
+                        .ok_or("tape bounds".to_string())?;
+                    *frames[p]
+                        .get_mut(out as usize)
+                        .ok_or(format!("partition {p} out slot {out} out of range"))? =
+                        Some(y as u32);
+                }
+                seg_starts[p] = end;
+            }
+            for c in copies {
+                let v = *frames
+                    .get(c.src_part as usize)
+                    .and_then(|f| f.get(c.src_slot as usize))
+                    .ok_or("copy source out of range".to_string())?;
+                let Some(v) = v else {
+                    return Err(format!(
+                        "level-{l} copy from partition {} slot {} reads an undefined value",
+                        c.src_part, c.src_slot
+                    ));
+                };
+                *frames
+                    .get_mut(c.dst_part as usize)
+                    .and_then(|f| f.get_mut(c.dst_slot as usize))
+                    .ok_or("copy destination out of range".to_string())? = Some(v);
+            }
+        }
+        for (id, node) in netlist.iter() {
+            if node.op() != Op::Input && !seen[id.index()] {
+                return Err(format!("cell {} never computed", id.index()));
+            }
+        }
+        for (po, o) in netlist.outputs().iter().enumerate() {
+            let owner = self
+                .parts
+                .iter()
+                .enumerate()
+                .find_map(|(p, part)| {
+                    part.outputs
+                        .iter()
+                        .find(|&&(idx, _)| idx as usize == po)
+                        .map(|&(_, slot)| (p, slot))
+                })
+                .ok_or(format!("output {po} owned by no partition"))?;
+            let got = frames[owner.0][owner.1 as usize];
+            if got != Some(o.node.index() as u32) {
+                return Err(format!(
+                    "output {po} slot holds {got:?}, expected cell {} — overwritten while live",
+                    o.node.index()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the engine (tapes, slot maps, exchange schedule) into
+    /// `w` — the v4 artifact payload section. Execution-environment
+    /// choices (SIMD level, cache budget) are **not** stored; the
+    /// reader re-resolves them for its host.
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.put_u32(self.parts.len() as u32);
+        w.put_u32(self.num_inputs as u32);
+        w.put_u32(self.num_outputs as u32);
+        w.put_u32(self.num_cells as u32);
+        w.put_u32(self.schedule.levels.len() as u32);
+        for part in &self.parts {
+            w.put_u32(part.tape.len() as u32);
+            for i in &part.tape {
+                w.put_u32(i.a);
+                w.put_u32(i.b);
+                w.put_u32(i.out);
+                for k in i.k {
+                    w.put_u64(k);
+                }
+            }
+            for &c in &part.cells {
+                w.put_u32(c);
+            }
+            for &e in &part.seg_ends {
+                w.put_u32(e);
+            }
+            w.put_u32(part.inputs.len() as u32);
+            for &(pi, slot) in &part.inputs {
+                w.put_u32(pi);
+                w.put_u32(slot);
+            }
+            w.put_u32(part.outputs.len() as u32);
+            for &(po, slot) in &part.outputs {
+                w.put_u32(po);
+                w.put_u32(slot);
+            }
+            w.put_u64(part.frame_slots as u64);
+        }
+        for copies in &self.schedule.levels {
+            w.put_u32(copies.len() as u32);
+            for c in copies {
+                w.put_u32(c.src_part);
+                w.put_u32(c.src_slot);
+                w.put_u32(c.dst_part);
+                w.put_u32(c.dst_slot);
+            }
+        }
+    }
+
+    /// Reads a [`PartitionedEngine::write`] image back, re-resolving
+    /// SIMD and cache budget for this host via
+    /// [`TapeOptions::from_env`]. Every structural invariant the
+    /// executors rely on (slot bounds, monotone segments, partition
+    /// indices, output coverage) is re-checked, so a corrupt image
+    /// comes back as a typed error, never a panic or out-of-bounds
+    /// replay.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Malformed`] for truncated or structurally
+    /// inconsistent images.
+    pub fn read(r: &mut ByteReader<'_>) -> Result<PartitionedEngine, NetlistError> {
+        let parts_count = r.get_count("partition", 16)?;
+        if parts_count == 0 || parts_count > MAX_PARTITIONS {
+            return Err(malformed(format!(
+                "image declares {parts_count} partitions, outside the supported 1..={MAX_PARTITIONS}"
+            )));
+        }
+        let num_inputs = r.get_u32()? as usize;
+        let num_outputs = r.get_u32()? as usize;
+        let num_cells = r.get_u32()? as usize;
+        let levels = r.get_count("exchange level", 4)?;
+        let options = TapeOptions::from_env();
+        let mut parts = Vec::with_capacity(parts_count);
+        for p in 0..parts_count {
+            let tape_len = r.get_count("instruction", 44)?;
+            let mut tape = Vec::with_capacity(tape_len);
+            for _ in 0..tape_len {
+                let a = r.get_u32()?;
+                let b = r.get_u32()?;
+                let out = r.get_u32()?;
+                let mut k = [0u64; 4];
+                for k_i in &mut k {
+                    *k_i = r.get_u64()?;
+                }
+                tape.push(SliceInstr { a, b, out, k });
+            }
+            let mut cells = Vec::with_capacity(tape_len);
+            for _ in 0..tape_len {
+                let c = r.get_u32()?;
+                if c as usize >= num_cells {
+                    return Err(malformed(format!(
+                        "partition {p} instruction bound to cell {c} of a {num_cells}-cell netlist"
+                    )));
+                }
+                cells.push(c);
+            }
+            let mut seg_ends = Vec::with_capacity(levels);
+            let mut prev = 0u32;
+            for _ in 0..levels {
+                let e = r.get_u32()?;
+                if e < prev || e as usize > tape_len {
+                    return Err(malformed(format!(
+                        "partition {p} level segments are not monotone"
+                    )));
+                }
+                prev = e;
+                seg_ends.push(e);
+            }
+            if levels > 0 && prev as usize != tape_len {
+                return Err(malformed(format!(
+                    "partition {p} segments cover {prev} of {tape_len} instructions"
+                )));
+            }
+            if levels == 0 && tape_len != 0 {
+                return Err(malformed(format!(
+                    "partition {p} has instructions but no level segments"
+                )));
+            }
+            let in_count = r.get_count("partition input", 8)?;
+            let mut inputs = Vec::with_capacity(in_count);
+            for _ in 0..in_count {
+                let pi = r.get_u32()?;
+                let slot = r.get_u32()?;
+                if pi as usize >= num_inputs {
+                    return Err(malformed(format!(
+                        "partition {p} loads unknown primary input {pi}"
+                    )));
+                }
+                inputs.push((pi, slot));
+            }
+            let out_count = r.get_count("partition output", 8)?;
+            let mut outputs = Vec::with_capacity(out_count);
+            for _ in 0..out_count {
+                let po = r.get_u32()?;
+                let slot = r.get_u32()?;
+                if po as usize >= num_outputs {
+                    return Err(malformed(format!(
+                        "partition {p} owns unknown primary output {po}"
+                    )));
+                }
+                outputs.push((po, slot));
+            }
+            let frame_slots = r.get_u64()? as usize;
+            // Slot bounds are what keep the replay kernels in bounds —
+            // reject anything past the accumulator slot.
+            let bound = frame_slots as u64 + 1;
+            let ok = tape
+                .iter()
+                .all(|i| (i.a as u64) < bound && (i.b as u64) < bound && (i.out as u64) < bound)
+                && inputs.iter().all(|&(_, s)| (s as u64) < bound)
+                && outputs.iter().all(|&(_, s)| (s as u64) < bound);
+            if !ok {
+                return Err(malformed(format!(
+                    "partition {p} references slots past its {frame_slots}-slot frame"
+                )));
+            }
+            parts.push(PartTape {
+                tape,
+                cells,
+                seg_ends,
+                inputs,
+                outputs,
+                imports: Vec::new(),
+                frame_slots,
+                tile_cap: tile_cap_for(frame_slots, options.cache_budget),
+            });
+        }
+        let mut schedule = ExchangeSchedule {
+            levels: Vec::with_capacity(levels),
+        };
+        let mut cut_copies = 0usize;
+        for l in 0..levels {
+            let count = r.get_count("exchange copy", 16)?;
+            let mut copies = Vec::with_capacity(count);
+            for _ in 0..count {
+                let c = ExchangeCopy {
+                    src_part: r.get_u32()?,
+                    src_slot: r.get_u32()?,
+                    dst_part: r.get_u32()?,
+                    dst_slot: r.get_u32()?,
+                };
+                let src_ok = (c.src_part as usize) < parts_count
+                    && (c.src_slot as usize) <= parts[c.src_part as usize].frame_slots;
+                let dst_ok = (c.dst_part as usize) < parts_count
+                    && (c.dst_slot as usize) <= parts[c.dst_part as usize].frame_slots;
+                if !src_ok || !dst_ok {
+                    return Err(malformed(format!(
+                        "level-{l} exchange copy references a partition or slot out of range"
+                    )));
+                }
+                copies.push(c);
+            }
+            cut_copies += copies.len();
+            schedule.levels.push(copies);
+        }
+        // Every primary output must be owned exactly once, or
+        // evaluation would silently publish zeros.
+        let mut owned = vec![false; num_outputs];
+        for part in &parts {
+            for &(po, _) in &part.outputs {
+                if std::mem::replace(&mut owned[po as usize], true) {
+                    return Err(malformed(format!("primary output {po} owned twice")));
+                }
+            }
+        }
+        if let Some(po) = owned.iter().position(|&o| !o) {
+            return Err(malformed(format!(
+                "primary output {po} owned by no partition"
+            )));
+        }
+        // (Re)derive the per-partition import lists from the schedule.
+        for (p, part) in parts.iter_mut().enumerate() {
+            part.imports = schedule
+                .levels
+                .iter()
+                .map(|copies| {
+                    copies
+                        .iter()
+                        .filter(|c| c.dst_part as usize == p)
+                        .copied()
+                        .collect()
+                })
+                .collect();
+        }
+        // Distinct cut nets are not recoverable from the wire image
+        // (copies do not carry node ids); count distinct (src_part,
+        // src_slot, level) triples instead — equal for every schedule
+        // this crate emits, where a net is exported at exactly one
+        // level from exactly one slot.
+        let mut cut_nets = 0usize;
+        for copies in &schedule.levels {
+            let mut seen: Vec<(u32, u32)> = Vec::new();
+            for c in copies {
+                if !seen.contains(&(c.src_part, c.src_slot)) {
+                    seen.push((c.src_part, c.src_slot));
+                    cut_nets += 1;
+                }
+            }
+        }
+        let stats = PartitionStats {
+            partitions: parts_count,
+            levels,
+            cut_nets,
+            cut_copies,
+            max_frame_slots: parts.iter().map(|p| p.frame_slots).max().unwrap_or(0),
+            total_frame_slots: parts.iter().map(|p| p.frame_slots).sum(),
+            tape_len: parts.iter().map(|p| p.tape.len()).sum(),
+        };
+        Ok(PartitionedEngine {
+            parts,
+            schedule,
+            num_inputs,
+            num_outputs,
+            num_cells,
+            cache_budget: options.cache_budget,
+            simd: options.simd.resolve(),
+            stats,
+        })
+    }
+}
+
+/// Cached `available_parallelism` — queried once per process; the
+/// executor checks it on every batch.
+fn available_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Which executor [`PartitionedEngine`] uses for a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecMode {
+    /// Threads when cores and batch size warrant it (the default).
+    Auto,
+    /// Always the sequential reference executor.
+    Sequential,
+    /// Always the threaded executor (both are bit-identical; this
+    /// exists so benchmarks and differential tests can pin a path).
+    Parallel,
+}
+
+/// `LBNN_PARTITION_EXEC` = `auto` | `seq` | `par`, read once per
+/// process.
+fn exec_mode() -> ExecMode {
+    static MODE: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("LBNN_PARTITION_EXEC").as_deref() {
+        Ok("seq") | Ok("sequential") => ExecMode::Sequential,
+        Ok("par") | Ok("parallel") => ExecMode::Parallel,
+        _ => ExecMode::Auto,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::random::RandomDag;
+
+    fn test_inputs(nl: &Netlist, lanes: usize, seed: u64) -> Vec<Lanes> {
+        (0..nl.inputs().len())
+            .map(|i| {
+                let bits: Vec<bool> = (0..lanes)
+                    .map(|l| (seed as usize + i * 31 + l * 7).is_multiple_of(3))
+                    .collect();
+                Lanes::from_bools(&bits)
+            })
+            .collect()
+    }
+
+    /// The partitioned engine is bit-identical to the word-parallel
+    /// oracle at every partition count × frame width, ragged tails and
+    /// empty batches included.
+    #[test]
+    fn partitioned_matches_oracle_across_counts_and_widths() {
+        for seed in 0..3 {
+            let nl = RandomDag::loose(7, 5, 8).outputs(3).generate(seed);
+            for parts in [1usize, 2, 3, 8] {
+                let engine = PartitionedEngine::compile(&nl, parts).unwrap();
+                for words in [1usize, 4, 16] {
+                    let mut frames = engine.frames_with_words(words);
+                    for lanes in [0usize, 1, 63, 64 * words, 64 * words + 1, 517] {
+                        let inputs = test_inputs(&nl, lanes, seed);
+                        let want = evaluate(&nl, &inputs).unwrap();
+                        let got = engine.evaluate_with(&inputs, lanes, &mut frames).unwrap();
+                        assert_eq!(
+                            got, want,
+                            "seed {seed} parts {parts} words {words} lanes {lanes}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sequential and threaded executors produce the same bits — the
+    /// threaded path is forced explicitly, so this holds even on a
+    /// single-core host where `Auto` would never go wide.
+    #[test]
+    fn parallel_executor_matches_sequential() {
+        let nl = RandomDag::loose(9, 6, 10).outputs(4).generate(11);
+        let engine = PartitionedEngine::compile(&nl, 3).unwrap();
+        let per = 4usize;
+        for lanes in [1usize, 64 * per, 64 * per * 3 + 17] {
+            let inputs = test_inputs(&nl, lanes, 11);
+            let total_words = lanes.div_ceil(64);
+            let blocks = lanes.div_ceil(64 * per);
+            let input_words = |i: usize| inputs[i].words();
+            let mut frames = engine.frames_with_words(per);
+            let mut seq = vec![0u64; engine.num_outputs * total_words];
+            engine.run_batch_sequential(
+                &mut frames,
+                per,
+                total_words,
+                blocks,
+                &mut seq,
+                &input_words,
+            );
+            let mut frames = engine.frames_with_words(per);
+            let mut par = vec![0u64; engine.num_outputs * total_words];
+            engine.run_batch_parallel(
+                &mut frames,
+                per,
+                total_words,
+                blocks,
+                &mut par,
+                &input_words,
+            );
+            assert_eq!(seq, par, "lanes {lanes}");
+        }
+    }
+
+    /// The symbolic model checker accepts every schedule this compiler
+    /// emits — contiguous and adversarial assignments, slot reuse on
+    /// and off — and compilation is deterministic.
+    #[test]
+    fn schedules_validate_and_compile_deterministically() {
+        for seed in 0..4 {
+            let nl = RandomDag::loose(6, 5, 9).outputs(3).generate(seed + 20);
+            for parts in [1usize, 2, 3, 8] {
+                let a = PartitionedEngine::compile(&nl, parts).unwrap();
+                a.validate(&nl).unwrap();
+                let b = PartitionedEngine::compile(&nl, parts).unwrap();
+                assert_eq!(a, b, "seed {seed} parts {parts} not deterministic");
+            }
+            // Adversarial assignment: a deterministic pseudo-random map.
+            let parts = 4usize;
+            let mut x = 0x9e3779b97f4a7c15u64 ^ seed;
+            let of: Vec<u32> = (0..nl.len())
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x % parts as u64) as u32
+                })
+                .collect();
+            let assignment = PartitionAssignment::from_map(parts, of).unwrap();
+            for reuse in [true, false] {
+                let options = TapeOptions {
+                    reuse,
+                    ..TapeOptions::default()
+                };
+                let engine = PartitionedEngine::compile_with(&nl, &assignment, options).unwrap();
+                engine.validate(&nl).unwrap();
+                let inputs = test_inputs(&nl, 130, seed);
+                let want = evaluate(&nl, &inputs).unwrap();
+                let got = engine.evaluate(&inputs).unwrap();
+                assert_eq!(got, want, "adversarial seed {seed} reuse {reuse}");
+            }
+        }
+    }
+
+    /// Patching a partitioned engine equals a fresh compile of the
+    /// patched netlist — exactly, not just observationally, because
+    /// partitioning is purely structural.
+    #[test]
+    fn patched_equals_fresh_compile_of_patched_netlist() {
+        let nl = RandomDag::loose(6, 4, 8).outputs(3).generate(7);
+        let mut patches = PatchSet::new();
+        for (id, node) in nl.iter() {
+            if let Some(neg) = node.op().negated() {
+                patches.set(id, neg);
+                if patches.len() == 3 {
+                    break;
+                }
+            }
+        }
+        assert!(!patches.is_empty());
+        let mut patched_nl = nl.clone();
+        patched_nl.apply_patches(&patches).unwrap();
+        for parts in [2usize, 5] {
+            let engine = PartitionedEngine::compile(&nl, parts).unwrap();
+            let fresh = PartitionedEngine::compile(&patched_nl, parts).unwrap();
+            assert_eq!(engine.patched(&patches).unwrap(), fresh);
+        }
+        // Unknown cells are typed errors.
+        let mut bad = PatchSet::new();
+        bad.set(NodeId::new(nl.len() as u32), Op::And);
+        assert!(matches!(
+            PartitionedEngine::compile(&nl, 2).unwrap().patched(&bad),
+            Err(NetlistError::InvalidNode { .. })
+        ));
+    }
+
+    /// The wire image round-trips to an equal engine, and corrupt
+    /// images (any truncation, partition-count lies) come back as typed
+    /// errors, never panics.
+    #[test]
+    fn serialization_roundtrip_and_corruption() {
+        let nl = RandomDag::loose(7, 5, 9).outputs(3).generate(3);
+        let engine = PartitionedEngine::compile(&nl, 3).unwrap();
+        let mut w = ByteWriter::new();
+        engine.write(&mut w);
+        let bytes = w.into_bytes();
+        let back = PartitionedEngine::read(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back, engine);
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(
+                PartitionedEngine::read(&mut ByteReader::new(&bytes[..cut])).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        // A partition count outside 1..=MAX_PARTITIONS is rejected up
+        // front.
+        let mut lied = bytes.clone();
+        lied[..4].copy_from_slice(&65u32.to_le_bytes());
+        assert!(matches!(
+            PartitionedEngine::read(&mut ByteReader::new(&lied)),
+            Err(NetlistError::Malformed { .. })
+        ));
+        lied[..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            PartitionedEngine::read(&mut ByteReader::new(&lied)),
+            Err(NetlistError::Malformed { .. })
+        ));
+    }
+
+    /// Invalid partition counts and malformed assignments are typed
+    /// errors at the compile boundary.
+    #[test]
+    fn invalid_partitioning_is_rejected() {
+        let nl = RandomDag::strict(4, 3, 5).outputs(2).generate(1);
+        assert!(matches!(
+            PartitionedEngine::compile(&nl, 0),
+            Err(NetlistError::Malformed { .. })
+        ));
+        assert!(matches!(
+            PartitionedEngine::compile(&nl, MAX_PARTITIONS + 1),
+            Err(NetlistError::Malformed { .. })
+        ));
+        assert!(matches!(
+            PartitionAssignment::from_map(2, vec![0, 1, 2]),
+            Err(NetlistError::Malformed { .. })
+        ));
+        // Assignment sized for a different netlist.
+        let short = PartitionAssignment::from_map(2, vec![0; 1]).unwrap();
+        assert!(matches!(
+            PartitionedEngine::compile_with(&nl, &short, TapeOptions::default()),
+            Err(NetlistError::Malformed { .. })
+        ));
+        assert!(matches!(
+            engine_arity_err(&nl),
+            Err(NetlistError::InputArity { .. })
+        ));
+    }
+
+    fn engine_arity_err(nl: &Netlist) -> Result<Vec<Lanes>, NetlistError> {
+        PartitionedEngine::compile(nl, 2)?.evaluate(&[])
+    }
+
+    /// Inputs that double as primary outputs and multi-consumer cross
+    /// nets route correctly, and the cut stats add up.
+    #[test]
+    fn stats_and_passthrough_outputs() {
+        let mut nl = Netlist::new("pass");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate2(Op::Xor, a, b);
+        nl.add_output(a, "a_thru");
+        nl.add_output(y, "y");
+        let engine = PartitionedEngine::compile(&nl, 2).unwrap();
+        engine.validate(&nl).unwrap();
+        let inputs = [
+            Lanes::from_bools(&[true, false, true]),
+            Lanes::from_bools(&[true, true, false]),
+        ];
+        assert_eq!(
+            engine.evaluate(&inputs).unwrap(),
+            evaluate(&nl, &inputs).unwrap()
+        );
+        let stats = engine.partition_stats();
+        assert_eq!(stats.partitions, 2);
+        assert_eq!(stats.tape_len, 1);
+        assert_eq!(stats.cut_copies, engine.schedule().num_copies());
+        assert_eq!(stats.exchange_words(4), stats.cut_copies * 4);
+    }
+}

@@ -249,6 +249,131 @@ fn corrupted_files_report_typed_errors() {
     std::fs::remove_file(&path).ok();
 }
 
+/// ISSUE 10 (artifact v4): a partitioned flow round-trips with its
+/// per-partition tapes and exchange schedule intact, and targeted v4
+/// corruption — a partition-count mismatch between the flow header and
+/// the engine image, a truncated exchange table, a garbage presence
+/// flag — surfaces as typed `ArtifactError`s, never a panic.
+#[test]
+fn partitioned_artifact_v4_round_trips_and_rejects_corruption() {
+    use lbnn::netlist::serdes::ByteWriter;
+    let netlist = RandomDag::loose(10, 5, 8).outputs(4).generate(13);
+    let flow = Flow::builder(&netlist)
+        .config(LpuConfig::new(5, 4))
+        .backend(Backend::BitSliced { words: 2 })
+        .partitions(3)
+        .compile()
+        .unwrap();
+    let engine_ref = flow.partitioned.clone().expect("exchange pass ran");
+    let bytes = flow.to_artifact_bytes().unwrap();
+    let loaded = Flow::from_artifact_bytes(&bytes).unwrap();
+    assert_eq!(loaded.partitions, 3);
+    assert_eq!(
+        loaded.partitioned.as_ref(),
+        Some(&engine_ref),
+        "per-partition tapes + exchange schedule travel structurally intact"
+    );
+    let mut orig = flow.engine().unwrap();
+    let mut re = loaded.engine().unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let batch = random_lanes(&mut rng, netlist.inputs().len(), 130);
+    assert_eq!(
+        orig.run_batch(&batch).unwrap().outputs,
+        re.run_batch(&batch).unwrap().outputs
+    );
+
+    // The serialized engine is the flow payload's suffix; locate it so
+    // the corruption below is surgical.
+    let mut w = ByteWriter::new();
+    engine_ref.write(&mut w);
+    let blob = w.into_bytes();
+    let body = bytes.len() - 8; // trailing 8 bytes: container checksum
+    let engine_start = body - blob.len();
+    assert_eq!(
+        &bytes[engine_start..body],
+        blob.as_slice(),
+        "engine image is the payload suffix"
+    );
+    // Immediately before it: the u32 partition count + u8 presence flag.
+    let pfield = engine_start - 5;
+    assert_eq!(&bytes[pfield..pfield + 4], &3u32.to_le_bytes());
+    assert_eq!(bytes[engine_start - 1], 1);
+
+    // Re-seal the container checksum (FNV-1a over everything before it)
+    // so the injected defect is the only one the parser can trip on.
+    let reseal = |mut img: Vec<u8>| -> Vec<u8> {
+        let b = img.len() - 8;
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in &img[..b] {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let sum = hash.to_le_bytes();
+        img[b..].copy_from_slice(&sum);
+        img
+    };
+
+    // Partition-count mismatch, flow-header side: declares 2, engine
+    // image carries 3.
+    let mut lie = bytes.clone();
+    lie[pfield..pfield + 4].copy_from_slice(&2u32.to_le_bytes());
+    let err = Flow::from_artifact_bytes(&reseal(lie)).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Artifact(ArtifactError::Malformed { .. })),
+        "header-side count lie: {err:?}"
+    );
+
+    // Partition-count mismatch, engine side: the image's own parts
+    // field lies (misaligns every later count, or fails the cross-check).
+    let mut lie = bytes.clone();
+    lie[engine_start..engine_start + 4].copy_from_slice(&2u32.to_le_bytes());
+    let err = Flow::from_artifact_bytes(&reseal(lie)).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Artifact(ArtifactError::Malformed { .. })),
+        "engine-side count lie: {err:?}"
+    );
+
+    // Truncated exchange table: the copy lists are the image's tail.
+    // Chop bytes off, fix the declared payload length and checksum so
+    // the truncation itself is the only defect left to catch.
+    for chop in [1usize, 4, 16, blob.len() / 2] {
+        let mut cut = bytes[..body - chop].to_vec();
+        let payload_len = (cut.len() - 21) as u64; // 21-byte container header
+        cut[13..21].copy_from_slice(&payload_len.to_le_bytes());
+        cut.extend_from_slice(&[0u8; 8]);
+        let err = Flow::from_artifact_bytes(&reseal(cut)).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Artifact(ArtifactError::Malformed { .. })),
+            "chop {chop}: {err:?}"
+        );
+    }
+
+    // A presence flag that is neither 0 nor 1.
+    let mut bad = bytes.clone();
+    bad[engine_start - 1] = 2;
+    let err = Flow::from_artifact_bytes(&reseal(bad)).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Artifact(ArtifactError::Malformed { .. })),
+        "presence flag: {err:?}"
+    );
+
+    // Raw truncation mid-engine (no fix-ups) stays the dedicated
+    // Truncated error from the container layer.
+    let err = Flow::from_artifact_bytes(&bytes[..body - blob.len() / 3]).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Artifact(ArtifactError::Truncated { .. })),
+        "{err:?}"
+    );
+
+    // Unresealed byte-flip sweep across the whole v4 tail: every flip
+    // is caught (by the checksum at minimum) and nothing panics.
+    for i in (pfield..body).step_by(7) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xa5;
+        assert!(Flow::from_artifact_bytes(&bad).is_err(), "flip at byte {i}");
+    }
+}
+
 /// A whole model survives the artifact boundary: save, load in a fresh
 /// value, and infer bit-identically, with per-layer stats and compile
 /// reports intact.

@@ -196,6 +196,72 @@ fn unsupported_slice_widths_are_structured_failures() {
     ));
 }
 
+/// ISSUE 10: invalid partition counts are structured failures at every
+/// boundary — the compile pipeline, direct `PartitionedEngine`
+/// compilation, assignment construction, and the serialized-engine
+/// parser. Never a panic.
+#[test]
+fn invalid_partition_counts_are_structured_failures() {
+    use lbnn_netlist::{PartitionAssignment, PartitionedEngine, MAX_PARTITIONS};
+    let nl = RandomDag::strict(8, 4, 6).outputs(2).generate(7);
+
+    // Compile pipeline: rejected before any pass runs, on both backends.
+    for bad in [0usize, MAX_PARTITIONS + 1, 1000] {
+        for backend in [Backend::Scalar, Backend::BitSliced { words: 2 }] {
+            let err = Flow::builder(&nl)
+                .config(LpuConfig::new(4, 4))
+                .backend(backend)
+                .partitions(bad)
+                .compile()
+                .unwrap_err();
+            assert!(
+                matches!(err, CoreError::BadConfig { .. }),
+                "partitions={bad} {backend}: {err:?}"
+            );
+        }
+    }
+
+    // Direct engine compilation and assignment construction.
+    for bad in [0usize, MAX_PARTITIONS + 1] {
+        assert!(matches!(
+            PartitionedEngine::compile(&nl, bad),
+            Err(NetlistError::Malformed { .. })
+        ));
+        assert!(matches!(
+            PartitionAssignment::contiguous(&nl, bad),
+            Err(NetlistError::Malformed { .. })
+        ));
+    }
+    // An assignment shorter than the netlist passes construction (the
+    // map alone cannot know the target) but fails engine compilation.
+    let short = PartitionAssignment::from_map(2, vec![0; nl.len() - 1]).unwrap();
+    let err = PartitionedEngine::compile_with(&nl, &short, Default::default()).unwrap_err();
+    assert!(matches!(err, NetlistError::Malformed { .. }), "{err:?}");
+    // And a map entry outside its own partition range fails immediately.
+    let mut map = vec![0u32; nl.len()];
+    map[3] = 2; // parts=2 means only 0 and 1 are valid
+    assert!(matches!(
+        PartitionAssignment::from_map(2, map),
+        Err(NetlistError::Malformed { .. })
+    ));
+
+    // Serialized-engine parser: a blob that *claims* an out-of-range
+    // partition count fails typed, whatever follows the header.
+    let engine = PartitionedEngine::compile(&nl, 3).unwrap();
+    let mut w = lbnn_netlist::serdes::ByteWriter::new();
+    engine.write(&mut w);
+    let blob = w.into_bytes();
+    for lie in [0u32, MAX_PARTITIONS as u32 + 1] {
+        let mut bad = blob.clone();
+        bad[..4].copy_from_slice(&lie.to_le_bytes());
+        let mut r = lbnn_netlist::serdes::ByteReader::new(&bad);
+        assert!(matches!(
+            PartitionedEngine::read(&mut r),
+            Err(NetlistError::Malformed { .. })
+        ));
+    }
+}
+
 #[test]
 fn evaluation_arity_errors() {
     let nl = RandomDag::strict(4, 2, 3).outputs(1).generate(3);

@@ -473,6 +473,160 @@ fn hot_swap_under_traffic_never_tears_or_drops() {
     assert_eq!(got, patched_want[1][7], "post-swap requests serve v1");
 }
 
+/// ISSUE 10: `swap_engine` across a *partition-count change* under
+/// concurrent traffic. v0 serves a single-tape engine, v1 a 3-way
+/// partitioned engine of the negated netlist, v2 an 8-way partitioned
+/// engine of the original netlist — every response must be
+/// bit-identical to exactly one version's fresh-compile oracle (never
+/// torn), and the post-swap runtime must report the new partition count
+/// while serving the new bits.
+#[test]
+fn hot_swap_across_partition_count_change_under_traffic() {
+    const THREADS: usize = 3;
+    const PER_THREAD: usize = 300;
+    let netlist = RandomDag::loose(10, 5, 8).outputs(4).generate(41);
+    let width = netlist.inputs().len();
+    let config = LpuConfig::new(5, 4);
+    let backend = Backend::BitSliced { words: 2 };
+    let flow = Flow::builder(&netlist)
+        .config(config)
+        .backend(backend)
+        .compile()
+        .unwrap();
+    let patches = negate_outputs(&flow);
+    let patched_flow = flow.apply_patches(&patches).unwrap();
+    // The v1 engine: a *fresh compile* of the patched netlist at 3
+    // partitions (not a patch of the running engine) — the swap
+    // interface only checks arity, so partition counts may change.
+    let v1_flow = Flow::builder(&patched_flow.netlist)
+        .config(config)
+        .backend(backend)
+        .partitions(3)
+        .optimize(false)
+        .merge(false)
+        .compile()
+        .unwrap();
+    assert_eq!(v1_flow.partitioned.as_ref().unwrap().num_partitions(), 3);
+
+    let base_ref = flow.engine().unwrap();
+    let v1_ref = v1_flow.engine().unwrap();
+    let mut scratch = EngineScratch::new();
+    let mut base_want: Vec<Vec<Vec<bool>>> = Vec::with_capacity(THREADS);
+    let mut v1_want: Vec<Vec<Vec<bool>>> = Vec::with_capacity(THREADS);
+    for t in 0..THREADS {
+        let requests: Vec<Vec<bool>> = (0..PER_THREAD)
+            .map(|r| request_bits(width, r as u64, 0x700 + t as u64))
+            .collect();
+        let packed = pack(&requests, width);
+        let b = base_ref
+            .run_batch_with(&mut scratch, &packed)
+            .unwrap()
+            .outputs;
+        let p = v1_ref
+            .run_batch_with(&mut scratch, &packed)
+            .unwrap()
+            .outputs;
+        let rows = |outs: &[Lanes]| -> Vec<Vec<bool>> {
+            (0..PER_THREAD)
+                .map(|j| outs.iter().map(|o| o.get(j)).collect())
+                .collect()
+        };
+        base_want.push(rows(&b));
+        v1_want.push(rows(&p));
+    }
+    for t in 0..THREADS {
+        for j in 0..PER_THREAD {
+            assert_ne!(
+                base_want[t][j], v1_want[t][j],
+                "negated outputs must distinguish the versions"
+            );
+        }
+    }
+
+    let runtime = Arc::new(
+        Runtime::from_engine(
+            flow.engine().unwrap(),
+            RuntimeOptions::default()
+                .workers(2)
+                .max_batch(8)
+                .flush_after(Duration::from_millis(1)),
+        )
+        .unwrap(),
+    );
+    let matched = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let runtime = Arc::clone(&runtime);
+            let matched = Arc::clone(&matched);
+            let base_want = &base_want[t];
+            let v1_want = &v1_want[t];
+            scope.spawn(move || {
+                let handles: Vec<RequestHandle> = (0..PER_THREAD)
+                    .map(|r| {
+                        runtime
+                            .submit(&request_bits(width, r as u64, 0x700 + t as u64))
+                            .unwrap()
+                    })
+                    .collect();
+                runtime.flush();
+                for (j, handle) in handles.into_iter().enumerate() {
+                    let got = handle.wait().unwrap();
+                    assert!(
+                        got == base_want[j] || got == v1_want[j],
+                        "torn response across partition-count swap: thread {t} request {j}"
+                    );
+                    matched.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(runtime.swap_engine(v1_flow.engine().unwrap()).unwrap(), 1);
+    });
+    runtime.drain();
+    assert_eq!(
+        matched.load(std::sync::atomic::Ordering::Relaxed),
+        (THREADS * PER_THREAD) as u64
+    );
+
+    // Settled: v1 (3 partitions, negated bits) serves exclusively.
+    let probe: Vec<bool> = request_bits(width, 11, 0x701);
+    let handle = runtime.submit(&probe).unwrap();
+    runtime.flush();
+    assert_eq!(handle.wait().unwrap(), v1_want[1][11]);
+
+    // Second swap: back to the original function at 8 partitions. The
+    // served bits must return to the v0 oracle (partitioning is purely
+    // an execution-schedule choice).
+    let v2_flow = Flow::builder(&netlist)
+        .config(config)
+        .backend(backend)
+        .partitions(8)
+        .compile()
+        .unwrap();
+    let v2_engine = v2_flow.engine().unwrap();
+    assert_eq!(v2_engine.partitions(), 8);
+    assert_eq!(runtime.swap_engine(v2_engine).unwrap(), 2);
+    let handles: Vec<RequestHandle> = (0..PER_THREAD)
+        .map(|r| {
+            runtime
+                .submit(&request_bits(width, r as u64, 0x700))
+                .unwrap()
+        })
+        .collect();
+    runtime.flush();
+    for (j, handle) in handles.into_iter().enumerate() {
+        assert_eq!(
+            handle.wait().unwrap(),
+            base_want[0][j],
+            "8-way partitioned v2 must serve the original function's bits"
+        );
+    }
+    let stats = runtime.stats();
+    assert_eq!(stats.swaps, 2);
+    assert_eq!(stats.version, 2);
+    assert_eq!(stats.in_flight, 0);
+}
+
 /// The swap/shed/drain interaction: a swap first flushes the pending
 /// partial micro-batch to the *old* core (requests admitted before the
 /// swap are answered by the version that admitted them), shed
